@@ -1,0 +1,163 @@
+//! Bisection tool for the vacation conservation failure:
+//! `debug_vacation <system> <cores> <relations> <txns>`
+//! where system ∈ {nzstm, logtm, hybrid, bzstm}.
+
+use nztm_bench::suite::paper_machine;
+use nztm_core::cm::KarmaDeadlock;
+use nztm_core::{Bzstm, NzConfig, Nzstm, NzstmScss};
+use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, LogTmSe, NztmHybrid};
+use nztm_workloads::driver::run_vacation_sim;
+use nztm_workloads::stamp::vacation::VacationConfig;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let system = args.first().map(String::as_str).unwrap_or("hybrid");
+    let cores: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(15);
+    let relations: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let txns: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(40);
+
+    let (machine, platform) = paper_machine(cores);
+    let cfg = VacationConfig::high(relations, 16);
+    eprintln!("running {system} cores={cores} relations={relations} txns={txns}");
+    let r = match system {
+        "nzstm" => {
+            let s = Nzstm::new(
+                Arc::clone(&platform),
+                Arc::new(KarmaDeadlock::default()),
+                NzConfig::default(),
+            );
+            run_vacation_sim(&machine, &platform, &s, cfg, txns)
+        }
+        "bzstm" => {
+            let s: Arc<Bzstm<_>> = Bzstm::with_defaults(Arc::clone(&platform));
+            run_vacation_sim(&machine, &platform, &s, cfg, txns)
+        }
+        "scss" => {
+            let s: Arc<NzstmScss<_>> = NzstmScss::with_defaults(Arc::clone(&platform));
+            run_vacation_sim(&machine, &platform, &s, cfg, txns)
+        }
+        "logtm" => {
+            let s = LogTmSe::new(Arc::clone(&platform));
+            run_vacation_sim(&machine, &platform, &s, cfg, txns)
+        }
+        "hybrid" => {
+            let stm = Nzstm::new(
+                Arc::clone(&platform),
+                Arc::new(KarmaDeadlock::default()),
+                NzConfig::default(),
+            );
+            let htm = BestEffortHtm::new(Arc::clone(&platform), AtmtpConfig::default());
+            htm.install();
+            let s = NztmHybrid::new(stm, htm, HybridConfig::default());
+            let r = run_vacation_sim(&machine, &platform, &s, cfg, txns);
+            s.htm().uninstall();
+            r
+        }
+        "hybridlog" => {
+            // Like "hybrid", but with host-side event logging to localize
+            // conservation failures.
+            use nztm_core::TmSys;
+            use nztm_sim::DetRng;
+            use nztm_workloads::stamp::vacation::Vacation;
+            let stm = Nzstm::new(
+                Arc::clone(&platform),
+                Arc::new(KarmaDeadlock::default()),
+                NzConfig::default(),
+            );
+            let htm = BestEffortHtm::new(Arc::clone(&platform), AtmtpConfig::default());
+            htm.install();
+            let s = NztmHybrid::new(stm, htm, HybridConfig::default());
+            // Setup on core 0.
+            let slot: Arc<parking_lot::Mutex<Option<Vacation<NztmHybrid>>>> =
+                Arc::new(parking_lot::Mutex::new(None));
+            {
+                let (s2, slot2, cfg2) = (Arc::clone(&s), Arc::clone(&slot), cfg.clone());
+                let mut bodies: Vec<Box<dyn FnOnce() + Send>> =
+                    vec![Box::new(move || *slot2.lock() = Some(Vacation::new(&*s2, cfg2)))];
+                for _ in 1..cores {
+                    bodies.push(Box::new(|| {}));
+                }
+                machine.run(bodies);
+            }
+            let v = Arc::new(slot.lock().take().unwrap());
+            type Log = parking_lot::Mutex<Vec<String>>;
+            let log: Arc<Log> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..cores)
+                .map(|tid| {
+                    let v = Arc::clone(&v);
+                    let s = Arc::clone(&s);
+                    let log = Arc::clone(&log);
+                    let seed = cfg.seed;
+                    Box::new(move || {
+                        let mut rng = DetRng::new(seed ^ 0xBEEF).split(tid as u64);
+                        for n in 0..txns {
+                            let r = rng.next_below(100);
+                            if r < v.cfg.user_pct {
+                                if r < v.cfg.user_pct / 10 {
+                                    let (c, rel) = v.delete_customer(&*s, &mut rng);
+                                    log.lock().push(format!("t{tid}.{n} DEL c{c} {rel:?}"));
+                                } else if let Some((k, id, c, sl)) =
+                                    v.make_reservation(&*s, &mut rng)
+                                {
+                                    log.lock().push(format!(
+                                        "t{tid}.{n} RES k{k} id{id} c{c} slot{sl}"
+                                    ));
+                                }
+                            } else {
+                                v.update_tables(&*s, &mut rng);
+                            }
+                        }
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            machine.run(bodies);
+            // Dump events touching the suspicious resource and customers.
+            for line in log.lock().iter() {
+                println!("{line}");
+            }
+            v.check_conservation(&*s);
+            println!("conservation OK");
+            s.htm().uninstall();
+            return;
+        }
+        "counter" => {
+            // Mixed-path counter hammer: all cores increment one object
+            // through the hybrid. Any lost update = conservation bug.
+            use nztm_core::TmSys;
+            let stm = Nzstm::new(
+                Arc::clone(&platform),
+                Arc::new(KarmaDeadlock::default()),
+                NzConfig::default(),
+            );
+            let htm = BestEffortHtm::new(Arc::clone(&platform), AtmtpConfig::default());
+            htm.install();
+            let s = NztmHybrid::new(stm, htm, HybridConfig::default());
+            let obj = s.alloc(0u64);
+            let per = txns;
+            let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..cores)
+                .map(|_| {
+                    let s = Arc::clone(&s);
+                    let obj = Arc::clone(&obj);
+                    Box::new(move || {
+                        for _ in 0..per {
+                            s.execute(&mut |tx| {
+                                let v = NztmHybrid::read(tx, &obj)?;
+                                NztmHybrid::write(tx, &obj, &(v + 1))
+                            });
+                        }
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            machine.run(bodies);
+            let expect = cores as u64 * per;
+            let got = obj.read_untracked();
+            println!("counter: got={got} expect={expect} stats={:?}", s.stats());
+            assert_eq!(got, expect, "LOST UPDATES");
+            s.htm().uninstall();
+            return;
+        }
+        other => panic!("unknown system {other}"),
+    };
+    println!("OK commits={} stats={:?}", r.stats.commits, r.stats);
+}

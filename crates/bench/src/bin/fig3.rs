@@ -1,0 +1,84 @@
+//! Figure 3: simulator throughput — LogTM-SE vs NZTM/ATMTP vs NZSTM.
+//!
+//! "Figure 3 shows the completion rate of transactions (throughput) on
+//! the simulator, normalized to the throughput of LogTM-SE running on a
+//! single processor." X-axis: 1, 3, 7, 15 threads (§4.3: one processor
+//! kept free for interrupts in the paper's simulator; we keep the same
+//! counts for comparability).
+//!
+//! Usage: `fig3 [--full] [--json out.json] [workload ...]`
+
+use nztm_bench::report::{Cell, FigureReport, Panel, Series};
+use nztm_bench::suite::{fig3_systems, Workload, WorkloadScale, ALL_WORKLOADS};
+use nztm_bench::suite::fig3_cell;
+
+const THREADS: &[usize] = &[1, 3, 7, 15];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let wl_filter: Vec<Workload> =
+        args.iter().filter_map(|a| Workload::from_name(a)).collect();
+    let workloads: Vec<Workload> =
+        if wl_filter.is_empty() { ALL_WORKLOADS.to_vec() } else { wl_filter };
+    let scale = if full { WorkloadScale::full() } else { WorkloadScale::quick() };
+
+    let mut panels = Vec::new();
+    for w in workloads {
+        eprintln!("[fig3] {} ...", w.name());
+        // Normalization base: LogTM-SE at 1 thread.
+        let base = fig3_cell(nztm_bench::suite::SimSystem::LogTmSe, w, 1, &scale);
+        let base_tp = base.throughput();
+
+        let mut series = Vec::new();
+        for sys in fig3_systems() {
+            let mut cells = Vec::new();
+            for &t in THREADS {
+                let r = fig3_cell(sys, w, t, &scale);
+                let st = &r.stats;
+                cells.push(Cell {
+                    threads: t,
+                    raw: r.throughput(),
+                    norm: if base_tp > 0.0 { r.throughput() / base_tp } else { 0.0 },
+                    commits: st.commits,
+                    aborts: st.aborts() + st.htm_aborts,
+                    abort_rate: {
+                        let attempts = st.attempts() + st.htm_aborts;
+                        if attempts == 0 {
+                            0.0
+                        } else {
+                            (st.aborts() + st.htm_aborts) as f64 / attempts as f64
+                        }
+                    },
+                    htm_share: st.htm_commit_share(),
+                    inflations: st.inflations,
+                });
+                eprintln!(
+                    "[fig3]   {:<11} t={:<2} cycles={:<12} commits={}",
+                    sys.name(),
+                    t,
+                    r.elapsed,
+                    st.commits
+                );
+            }
+            series.push(Series { system: sys.name().to_string(), cells });
+        }
+        panels.push(Panel { workload: w.name().to_string(), series });
+    }
+
+    let report = FigureReport {
+        figure: "Figure 3 — simulator".into(),
+        normalization: "1-thread LogTM-SE".into(),
+        panels,
+    };
+    println!("{}", report.render_text());
+    if let Some(p) = json_path {
+        std::fs::write(&p, report.to_json()).expect("write json");
+        eprintln!("[fig3] wrote {p}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 4: "Rock machine" throughput — DSTM2-SF vs BZSTM vs SCSS vs
+//! NZSTM on native threads.
+//!
+//! "Figure 4 shows the completion rate of transactions (throughput) on
+//! the Rock machine, normalized to the throughput of a single global
+//! lock (not shown) running on a single processor." X-axis: 1, 2, 4, 8,
+//! 16 threads.
+//!
+//! The substitution for Rock silicon is the host CPU: the four software
+//! systems run on real threads; their *relative* standings — within
+//! ~10% of one another except kmeans (§4.4.2) — are the reproduction
+//! target. (Note: on a single-core host the scaling dimension
+//! degenerates; the relative system-to-system comparison at each thread
+//! count remains meaningful.)
+//!
+//! Usage: `fig4 [--full] [--threads 1,2,4] [--json out.json] [workload ...]`
+
+use nztm_bench::report::{Cell, FigureReport, Panel, Series};
+use nztm_bench::suite::{fig4_cell, fig4_sim_cell, fig4_systems, Workload, WorkloadScale, ALL_WORKLOADS};
+
+const THREADS: &[usize] = &[1, 2, 4, 8, 16];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    // --sim: run the four software systems on the deterministic
+    // simulator instead of host threads (cycle-based, reproducible; the
+    // configuration used for the S4–S6 shape claims).
+    let sim = args.iter().any(|a| a == "--sim");
+    let json_path =
+        args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+    let threads: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').map(|x| x.parse().expect("thread count")).collect())
+        .unwrap_or_else(|| THREADS.to_vec());
+    let wl_filter: Vec<Workload> = args.iter().filter_map(|a| Workload::from_name(a)).collect();
+    let workloads: Vec<Workload> =
+        if wl_filter.is_empty() { ALL_WORKLOADS.to_vec() } else { wl_filter };
+    let scale = if full { WorkloadScale::full() } else { WorkloadScale::quick() };
+
+    let mut panels = Vec::new();
+    let cell = |sys: &str, w: Workload, t: usize, scale: &WorkloadScale| {
+        if sim {
+            fig4_sim_cell(sys, w, t, scale)
+        } else {
+            fig4_cell(sys, w, t, scale)
+        }
+    };
+    for w in workloads {
+        eprintln!("[fig4] {} ...", w.name());
+        // Normalization base: a single global lock at 1 thread.
+        let base = cell("GlobalLock", w, 1, &scale);
+        let base_tp = base.throughput();
+
+        let mut series = Vec::new();
+        for sys in fig4_systems() {
+            let mut cells = Vec::new();
+            for &t in &threads {
+                let r = cell(sys, w, t, &scale);
+                let st = &r.stats;
+                cells.push(Cell {
+                    threads: t,
+                    raw: r.throughput(),
+                    norm: if base_tp > 0.0 { r.throughput() / base_tp } else { 0.0 },
+                    commits: st.commits,
+                    aborts: st.aborts(),
+                    abort_rate: st.abort_rate(),
+                    htm_share: 0.0,
+                    inflations: st.inflations,
+                });
+                eprintln!(
+                    "[fig4]   {:<9} t={:<2} ns={:<13} commits={} aborts={}",
+                    sys,
+                    t,
+                    r.elapsed,
+                    st.commits,
+                    st.aborts()
+                );
+            }
+            series.push(Series { system: sys.to_string(), cells });
+        }
+        panels.push(Panel { workload: w.name().to_string(), series });
+    }
+
+    let report = FigureReport {
+        figure: if sim {
+            "Figure 4 — simulated cycles (Rock substitute)".into()
+        } else {
+            "Figure 4 — native (Rock substitute)".into()
+        },
+        normalization: "1-thread single global lock".into(),
+        panels,
+    };
+    println!("{}", report.render_text());
+    if let Some(p) = json_path {
+        std::fs::write(&p, report.to_json()).expect("write json");
+        eprintln!("[fig4] wrote {p}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Figure output: the same rows/series the paper plots, as text tables
+//! and machine-readable JSON.
+
+use serde::Serialize;
+
+/// One measured cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct Cell {
+    pub threads: usize,
+    /// Raw throughput (ops per cycle or per nanosecond).
+    pub raw: f64,
+    /// Normalized throughput (the figure's y-axis).
+    pub norm: f64,
+    pub commits: u64,
+    pub aborts: u64,
+    pub abort_rate: f64,
+    /// Hardware-commit share (hybrid systems; 0 otherwise).
+    pub htm_share: f64,
+    pub inflations: u64,
+}
+
+/// One line in a sub-plot: a system measured across thread counts.
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    pub system: String,
+    pub cells: Vec<Cell>,
+}
+
+/// One sub-plot (a workload) of a figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct Panel {
+    pub workload: String,
+    pub series: Vec<Series>,
+}
+
+/// A whole figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct FigureReport {
+    pub figure: String,
+    pub normalization: String,
+    pub panels: Vec<Panel>,
+}
+
+impl FigureReport {
+    /// Render as the text analogue of the paper's figure: one table per
+    /// workload panel, columns = thread counts, rows = systems,
+    /// values = normalized throughput.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "==== {} (normalized to {}) ====", self.figure, self.normalization).unwrap();
+        for p in &self.panels {
+            writeln!(out, "\n--- {} ---", p.workload).unwrap();
+            let threads: Vec<usize> =
+                p.series.first().map(|s| s.cells.iter().map(|c| c.threads).collect()).unwrap_or_default();
+            write!(out, "{:<12}", "system").unwrap();
+            for t in &threads {
+                write!(out, "{t:>9}").unwrap();
+            }
+            writeln!(out).unwrap();
+            for s in &p.series {
+                write!(out, "{:<12}", s.system).unwrap();
+                for c in &s.cells {
+                    write!(out, "{:>9.2}", c.norm).unwrap();
+                }
+                writeln!(out).unwrap();
+            }
+            // Abort-rate annotation row per system (the §4.4 text claims).
+            for s in &p.series {
+                write!(out, "{:<12}", format!("  ar {}", s.system)).unwrap();
+                for c in &s.cells {
+                    write!(out, "{:>8.1}%", c.abort_rate * 100.0).unwrap();
+                }
+                writeln!(out).unwrap();
+            }
+        }
+        out
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> FigureReport {
+        FigureReport {
+            figure: "Figure X".into(),
+            normalization: "1-thread demo".into(),
+            panels: vec![Panel {
+                workload: "demo-w".into(),
+                series: vec![Series {
+                    system: "SYS".into(),
+                    cells: vec![Cell {
+                        threads: 1,
+                        raw: 0.5,
+                        norm: 1.0,
+                        commits: 10,
+                        aborts: 1,
+                        abort_rate: 1.0 / 11.0,
+                        htm_share: 0.0,
+                        inflations: 0,
+                    }],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn text_render_contains_values() {
+        let r = demo().render_text();
+        assert!(r.contains("demo-w"));
+        assert!(r.contains("SYS"));
+        assert!(r.contains("1.00"));
+        assert!(r.contains("9.1%"));
+    }
+
+    #[test]
+    fn json_round_trips_structurally() {
+        let j = demo().to_json();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["panels"][0]["series"][0]["cells"][0]["threads"], 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Single-global-lock "transactional memory".
+//!
+//! Figure 4 normalizes every system to "the throughput of a single global
+//! lock ... running on a single processor", because a global lock offers
+//! "the same level of programming complexity as using transactions" with
+//! zero instrumentation. Transactions never abort; they simply serialize.
+//!
+//! The lock is a test-and-test-and-set spinlock built on the `Platform`
+//! hooks rather than an OS mutex, for two reasons: (a) the simulated
+//! platform's cooperative scheduler must never block an OS thread that
+//! holds the run token, and (b) TATAS-with-backoff is what the era's
+//! lock-based baselines actually used.
+
+use nztm_core::data::{snapshot_words, write_words, TmData, WordArray};
+use nztm_core::stats::TmStats;
+use nztm_core::txn::Abort;
+use nztm_core::util::PerCore;
+use nztm_core::TmSys;
+use nztm_sim::{AccessKind, Platform};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A plain data object: no transactional metadata at all.
+pub struct PlainObject<T: TmData> {
+    data: T::Words,
+    synth: usize,
+}
+
+impl<T: TmData> PlainObject<T> {
+    fn new(init: T) -> Arc<Self> {
+        let obj: PlainObject<T> = PlainObject {
+            data: T::Words::new_zeroed(),
+            synth: nztm_sim::synth_alloc(T::n_words() * 8),
+        };
+        let mut scratch = vec![0u64; T::n_words()];
+        init.encode(&mut scratch);
+        write_words(obj.data.words(), &scratch);
+        Arc::new(obj)
+    }
+
+    pub fn read_untracked(&self) -> T {
+        let mut scratch = vec![0u64; T::n_words()];
+        snapshot_words(self.data.words(), &mut scratch);
+        T::decode(&scratch)
+    }
+}
+
+struct ThreadCtx {
+    stats: TmStats,
+    scratch: Vec<u64>,
+}
+
+/// The global-lock TM.
+pub struct GlobalLockTm<P: Platform> {
+    platform: Arc<P>,
+    lock: AtomicU64,
+    lock_synth: usize,
+    threads: PerCore<ThreadCtx>,
+}
+
+impl<P: Platform> GlobalLockTm<P> {
+    pub fn new(platform: Arc<P>) -> Arc<Self> {
+        let n = platform.n_cores();
+        Arc::new(GlobalLockTm {
+            platform,
+            lock: AtomicU64::new(0),
+            lock_synth: nztm_sim::synth_alloc(64),
+            threads: PerCore::new(n, |_| ThreadCtx { stats: TmStats::default(), scratch: Vec::new() }),
+        })
+    }
+
+    fn lock_addr(&self) -> usize {
+        self.lock_synth
+    }
+
+    fn acquire(&self) {
+        loop {
+            // Test...
+            self.platform.mem(self.lock_addr(), 8, AccessKind::Read);
+            while self.lock.load(Ordering::Relaxed) != 0 {
+                self.platform.spin_wait();
+            }
+            // ...and test-and-set.
+            self.platform.mem(self.lock_addr(), 8, AccessKind::Rmw);
+            if self
+                .lock
+                .compare_exchange_weak(0, 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    fn release(&self) {
+        self.platform.mem(self.lock_addr(), 8, AccessKind::Write);
+        self.lock.store(0, Ordering::Release);
+    }
+
+    pub fn run<R>(&self, mut f: impl FnMut(&mut GlockTx<'_, P>) -> Result<R, Abort>) -> R {
+        let tid = self.platform.core_id();
+        let ctx = unsafe { self.threads.get(tid) };
+        self.acquire();
+        let mut tx = GlockTx { sys: self, ctx };
+        let r = f(&mut tx);
+        self.release();
+        ctx.stats.commits += 1;
+        match r {
+            Ok(v) => v,
+            Err(_) => unreachable!("global-lock transactions cannot abort"),
+        }
+    }
+}
+
+/// "Transaction" under the global lock: plain reads and writes.
+pub struct GlockTx<'s, P: Platform> {
+    sys: &'s GlobalLockTm<P>,
+    ctx: *mut ThreadCtx,
+}
+
+impl<'s, P: Platform> GlockTx<'s, P> {
+    fn ctx(&mut self) -> &mut ThreadCtx {
+        unsafe { &mut *self.ctx }
+    }
+
+    pub fn read<T: TmData>(&mut self, obj: &Arc<PlainObject<T>>) -> Result<T, Abort> {
+        let sys = self.sys;
+        let ctx = self.ctx();
+        ctx.stats.reads += 1;
+        let n = T::n_words();
+        ctx.scratch.clear();
+        ctx.scratch.resize(n, 0);
+        sys.platform.mem(obj.synth, n * 8, AccessKind::Read);
+        snapshot_words(obj.data.words(), &mut ctx.scratch);
+        Ok(T::decode(&ctx.scratch))
+    }
+
+    pub fn write<T: TmData>(&mut self, obj: &Arc<PlainObject<T>>, v: &T) -> Result<(), Abort> {
+        let sys = self.sys;
+        let ctx = self.ctx();
+        ctx.stats.acquires += 1;
+        let n = T::n_words();
+        ctx.scratch.clear();
+        ctx.scratch.resize(n, 0);
+        v.encode(&mut ctx.scratch);
+        sys.platform.mem(obj.synth, n * 8, AccessKind::Write);
+        write_words(obj.data.words(), &ctx.scratch);
+        Ok(())
+    }
+}
+
+impl<P: Platform> TmSys for GlobalLockTm<P> {
+    type Obj<T: TmData> = Arc<PlainObject<T>>;
+    type Tx<'t> = GlockTx<'t, P>;
+
+    fn alloc<T: TmData>(&self, init: T) -> Self::Obj<T> {
+        PlainObject::new(init)
+    }
+
+    fn peek<T: TmData>(obj: &Self::Obj<T>) -> T {
+        obj.read_untracked()
+    }
+
+    fn execute<R>(&self, f: &mut dyn FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R {
+        self.run(|tx| f(tx))
+    }
+
+    fn read<T: TmData>(tx: &mut Self::Tx<'_>, obj: &Self::Obj<T>) -> Result<T, Abort> {
+        tx.read(obj)
+    }
+
+    fn write<T: TmData>(tx: &mut Self::Tx<'_>, obj: &Self::Obj<T>, v: &T) -> Result<(), Abort> {
+        tx.write(obj, v)
+    }
+
+    fn stats(&self) -> TmStats {
+        let mut total = TmStats::default();
+        for tid in 0..self.threads.len() {
+            let ctx = unsafe { self.threads.get(tid) };
+            total.merge(&ctx.stats);
+        }
+        total
+    }
+
+    fn reset_stats(&self) {
+        for tid in 0..self.threads.len() {
+            let ctx = unsafe { self.threads.get(tid) };
+            ctx.stats = TmStats::default();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalLock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nztm_sim::Native;
+
+    #[test]
+    fn single_thread_read_write() {
+        let p = Native::new(1);
+        p.register_thread();
+        let s = GlobalLockTm::new(p);
+        let o = s.alloc(1u64);
+        let v = s.run(|tx| {
+            let v = tx.read(&o)?;
+            tx.write(&o, &(v + 1))?;
+            Ok(v)
+        });
+        assert_eq!(v, 1);
+        assert_eq!(o.read_untracked(), 2);
+        assert_eq!(s.stats().commits, 1);
+    }
+
+    #[test]
+    fn four_threads_serialize() {
+        let p = Native::new(4);
+        let s = GlobalLockTm::new(Arc::clone(&p));
+        let o = s.alloc(0u64);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let p = Arc::clone(&p);
+                let s = Arc::clone(&s);
+                let o = Arc::clone(&o);
+                std::thread::spawn(move || {
+                    p.register_thread_as(i);
+                    for _ in 0..5_000 {
+                        s.run(|tx| {
+                            let v = tx.read(&o)?;
+                            tx.write(&o, &(v + 1))
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(o.read_untracked(), 20_000);
+        assert_eq!(s.stats().commits, 20_000);
+        assert_eq!(s.stats().aborts(), 0);
+    }
+}

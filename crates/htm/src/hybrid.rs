@@ -1,0 +1,395 @@
+//! NZTM: the hybrid TM (§2.4).
+//!
+//! "Like the HyTM system presented by Damron et al., NZTM attempts
+//! transactions using HTM and if (repeatedly) unsuccessful, transactions
+//! are run using NZSTM software transactions."
+//!
+//! The hardware path operates on the **same `NZObject`s** as the
+//! software path — that is the point of zero indirection: a hardware
+//! transaction reads the collocated owner word (adding its line to the
+//! transaction's conflict set), applies the §2.4 checks from
+//! [`nztm_core::hybrid::hw_examine_and_clean`] (abort on live software
+//! ownership/readers; repair settled owners: restore, deflate, NULL),
+//! and then accesses the data in place with no copying.
+//!
+//! Retry policy (§4.3): "NZTM retries the transaction in hardware a
+//! number of times proportional to the total number of running threads,
+//! only if the reason for aborting was ... a transactional (coherence)
+//! conflict as determined by the CPS register. After all attempts are
+//! exhausted, or if the reason ... was something other than a coherence
+//! conflict, NZTM falls back onto NZSTM."
+
+use crate::besteffort::{BestEffortHtm, HwAbort, HwTxn};
+use crate::cps::CpsReason;
+use nztm_core::data::TmData;
+use nztm_core::hybrid::{hw_examine_and_clean, HwCheck};
+use nztm_core::stats::TmStats;
+use nztm_core::txn::{Abort, AbortCause};
+use nztm_core::util::PerCore;
+use nztm_core::{NZObject, NzTx, Nzstm, ReadMode, TmSys};
+use nztm_sim::{AccessKind, Platform, SimPlatform};
+use std::sync::Arc;
+
+/// Hybrid tuning.
+#[derive(Clone, Debug)]
+pub struct HybridConfig {
+    /// Hardware retries = `retries_factor × n_threads` (§4.3's
+    /// "proportional to the total number of running threads").
+    pub retries_factor: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig { retries_factor: 1 }
+    }
+}
+
+/// The NZTM hybrid system.
+pub struct NztmHybrid {
+    stm: Arc<Nzstm<SimPlatform>>,
+    htm: Arc<BestEffortHtm>,
+    platform: Arc<SimPlatform>,
+    cfg: HybridConfig,
+    stats: PerCore<TmStats>,
+}
+
+impl NztmHybrid {
+    /// Build a hybrid over an NZSTM software path and a best-effort HTM.
+    /// The STM must use visible reads (the §2.4 reader checks rely on
+    /// the reader bitmap).
+    pub fn new(
+        stm: Arc<Nzstm<SimPlatform>>,
+        htm: Arc<BestEffortHtm>,
+        cfg: HybridConfig,
+    ) -> Arc<Self> {
+        assert_visible_reads(stm.read_mode());
+        let platform = Arc::clone(stm.platform());
+        let n = platform.n_cores();
+        Arc::new(NztmHybrid { stm, htm, platform, cfg, stats: PerCore::new(n, |_| TmStats::default()) })
+    }
+
+    pub fn stm(&self) -> &Arc<Nzstm<SimPlatform>> {
+        &self.stm
+    }
+
+    pub fn htm(&self) -> &Arc<BestEffortHtm> {
+        &self.htm
+    }
+
+    fn hw_read_obj<T: TmData>(
+        &self,
+        hw: &mut HwTxn,
+        core: usize,
+        obj: &Arc<NZObject<T>>,
+    ) -> Result<T, HwAbort> {
+        let h = obj.header();
+        // The metadata line joins the hardware read set: any later
+        // software acquisition (a CAS on the owner word) dooms us.
+        hw.track_read(h.addr(), 8)?;
+        let guard = crossbeam_epoch::pin();
+        match hw_examine_and_clean(h, obj.data_words(), false, core, &guard) {
+            HwCheck::Clean => {}
+            HwCheck::ConflictWithSoftware => return Err(hw.explicit_abort()),
+        }
+        // If the examine step repaired the object (restore/deflate), the
+        // repair stores are ordinary coherence traffic; charge them so
+        // other cores' transactions observe the conflict.
+        // (The repairs are idempotent and only touch settled state, so
+        // they are safe to publish even if we later abort.)
+        let n = T::n_words();
+        let mut buf = vec![0u64; n];
+        for (i, w) in obj.data_words().iter().enumerate() {
+            buf[i] = hw.read_word(w, obj.data_addr() + i * 8)?;
+        }
+        Ok(T::decode(&buf))
+    }
+
+    fn hw_write_obj<T: TmData>(
+        &self,
+        hw: &mut HwTxn,
+        core: usize,
+        obj: &Arc<NZObject<T>>,
+        v: &T,
+    ) -> Result<(), HwAbort> {
+        let h = obj.header();
+        hw.track_write(h.addr(), 8)?;
+        let guard = crossbeam_epoch::pin();
+        match hw_examine_and_clean(h, obj.data_words(), true, core, &guard) {
+            HwCheck::Clean => {}
+            HwCheck::ConflictWithSoftware => return Err(hw.explicit_abort()),
+        }
+        let n = T::n_words();
+        let mut buf = vec![0u64; n];
+        v.encode(&mut buf);
+        for (i, w) in obj.data_words().iter().enumerate() {
+            hw.buffered_store(w, obj.data_addr() + i * 8, buf[i])?;
+        }
+        Ok(())
+    }
+}
+
+/// A hybrid transaction: hardware attempt or software fallback.
+pub enum HybridTx<'a> {
+    Hw { sys: &'a NztmHybrid, hw: &'a mut HwTxn, core: usize },
+    Sw { sys: &'a NztmHybrid, tx: &'a mut NzTx<SimPlatform, nztm_core::Nonblocking> },
+}
+
+impl TmSys for NztmHybrid {
+    type Obj<T: TmData> = Arc<NZObject<T>>;
+    type Tx<'t> = HybridTx<'t>;
+
+    fn alloc<T: TmData>(&self, init: T) -> Self::Obj<T> {
+        self.stm.new_obj(init)
+    }
+
+    fn peek<T: TmData>(obj: &Self::Obj<T>) -> T {
+        obj.read_untracked()
+    }
+
+    fn execute<R>(&self, f: &mut dyn FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R {
+        let core = self.platform.core_id();
+        let max_hw = self.cfg.retries_factor * self.platform.n_cores();
+        let stats = unsafe { self.stats.get(core) };
+
+        let mut attempts = 0;
+        while attempts < max_hw {
+            attempts += 1;
+            let outcome = self.htm.attempt(|hw| {
+                let mut tx = HybridTx::Hw { sys: self, hw, core };
+                match f(&mut tx) {
+                    Ok(v) => Ok(v),
+                    Err(_) => Err(HwAbort),
+                }
+            });
+            match outcome {
+                Ok(v) => {
+                    stats.commits += 1;
+                    stats.htm_commits += 1;
+                    if attempts > 1 {
+                        stats.txns_with_aborts += 1;
+                    }
+                    return v;
+                }
+                Err(reason) => {
+                    stats.htm_aborts += 1;
+                    match reason {
+                        CpsReason::Conflict => stats.htm_conflict_aborts += 1,
+                        CpsReason::Capacity => stats.htm_capacity_aborts += 1,
+                        CpsReason::Other => stats.htm_other_aborts += 1,
+                        CpsReason::Explicit => stats.htm_conflict_aborts += 1,
+                    }
+                    if !reason.hw_retry_worthwhile() {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Software fallback: this logical transaction aborted in hardware
+        // at least once (the embedded STM separately counts software
+        // retries of its own).
+        stats.fallbacks += 1;
+        if attempts > 0 {
+            stats.txns_with_aborts += 1;
+        }
+        self.stm.run(|tx| {
+            let mut htx = HybridTx::Sw { sys: self, tx };
+            f(&mut htx)
+        })
+    }
+
+    fn read<T: TmData>(tx: &mut Self::Tx<'_>, obj: &Self::Obj<T>) -> Result<T, Abort> {
+        match tx {
+            HybridTx::Hw { sys, hw, core } => sys
+                .hw_read_obj(hw, *core, obj)
+                .map_err(|HwAbort| Abort(AbortCause::Requested)),
+            HybridTx::Sw { tx, .. } => tx.read(obj),
+        }
+    }
+
+    fn write<T: TmData>(tx: &mut Self::Tx<'_>, obj: &Self::Obj<T>, v: &T) -> Result<(), Abort> {
+        match tx {
+            HybridTx::Hw { sys, hw, core } => sys
+                .hw_write_obj(hw, *core, obj, v)
+                .map_err(|HwAbort| Abort(AbortCause::Requested)),
+            HybridTx::Sw { tx, .. } => tx.write(obj, v),
+        }
+    }
+
+    fn stats(&self) -> TmStats {
+        let mut total = TmStats::default();
+        for tid in 0..self.stats.len() {
+            let s = unsafe { self.stats.get(tid) };
+            total.merge(s);
+        }
+        // Software-path commits/aborts come from the embedded STM.
+        total.merge(&self.stm.stats());
+        total
+    }
+
+    fn reset_stats(&self) {
+        for tid in 0..self.stats.len() {
+            let s = unsafe { self.stats.get(tid) };
+            *s = TmStats::default();
+        }
+        self.stm.reset_stats();
+    }
+
+    fn name(&self) -> &'static str {
+        "NZTM"
+    }
+}
+
+/// Assert the configuration invariant at construction sites.
+pub fn assert_visible_reads(read_mode: ReadMode) {
+    assert_eq!(
+        read_mode,
+        ReadMode::Visible,
+        "NZTM's hardware path requires visible software readers (§2.4)"
+    );
+}
+
+// Suppress the unused-import lint for AccessKind (used in doc examples).
+const _: Option<AccessKind> = None;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::besteffort::AtmtpConfig;
+    use nztm_core::cm::KarmaDeadlock;
+    use nztm_core::NzConfig;
+    use nztm_sim::{CacheConfig, CostModel, Machine, MachineConfig};
+
+    fn setup(cores: usize) -> (Arc<Machine>, Arc<SimPlatform>, Arc<NztmHybrid>) {
+        let m = Machine::new(MachineConfig {
+            n_cores: cores,
+            costs: CostModel::default(),
+            l1: CacheConfig::tiny(1024, 4),
+            l2: CacheConfig::tiny(8192, 8),
+            max_cycles: 2_000_000_000,
+        });
+        let p = SimPlatform::new(Arc::clone(&m));
+        let stm = Nzstm::new(
+            Arc::clone(&p),
+            Arc::new(KarmaDeadlock::default()),
+            NzConfig::default(),
+        );
+        let htm = BestEffortHtm::new(
+            Arc::clone(&p),
+            AtmtpConfig { spurious_num: 0, ..AtmtpConfig::default() },
+        );
+        htm.install();
+        let hy = NztmHybrid::new(stm, htm, HybridConfig::default());
+        (m, p, hy)
+    }
+
+    #[test]
+    fn uncontended_transactions_commit_in_hardware() {
+        let (m, _p, hy) = setup(1);
+        let o = hy.alloc(10u64);
+        let (h2, o2) = (Arc::clone(&hy), Arc::clone(&o));
+        m.run(vec![Box::new(move || {
+            for _ in 0..50 {
+                h2.execute(&mut |tx| {
+                    let v = NztmHybrid::read(tx, &o2)?;
+                    NztmHybrid::write(tx, &o2, &(v + 1))
+                });
+            }
+        })]);
+        assert_eq!(o.read_untracked(), 60);
+        let st = hy.stats();
+        assert_eq!(st.htm_commits, 50, "all hardware, no fallback: {st:?}");
+        assert_eq!(st.fallbacks, 0);
+        hy.htm().uninstall();
+    }
+
+    #[test]
+    fn concurrent_increments_conserve() {
+        let (m, _p, hy) = setup(4);
+        let o = hy.alloc(0u64);
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..4)
+            .map(|_| {
+                let hy = Arc::clone(&hy);
+                let o = Arc::clone(&o);
+                Box::new(move || {
+                    for _ in 0..100 {
+                        hy.execute(&mut |tx| {
+                            let v = NztmHybrid::read(tx, &o)?;
+                            NztmHybrid::write(tx, &o, &(v + 1))
+                        });
+                    }
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        m.run(bodies);
+        assert_eq!(o.read_untracked(), 400);
+        let st = hy.stats();
+        assert_eq!(st.commits, 400);
+        hy.htm().uninstall();
+    }
+
+    #[test]
+    fn capacity_overflow_falls_back_to_software() {
+        let (m, p, _) = setup(1);
+        let stm = Nzstm::new(
+            Arc::clone(&p),
+            Arc::new(KarmaDeadlock::default()),
+            NzConfig::default(),
+        );
+        let htm = BestEffortHtm::new(
+            Arc::clone(&p),
+            AtmtpConfig { store_buffer_entries: 8, spurious_num: 0, ..AtmtpConfig::default() },
+        );
+        htm.install();
+        let hy = NztmHybrid::new(stm, htm, HybridConfig::default());
+        let objs: Arc<Vec<_>> = Arc::new((0..32).map(|i| hy.alloc(i as u64)).collect());
+        let (h2, o2) = (Arc::clone(&hy), Arc::clone(&objs));
+        m.run(vec![Box::new(move || {
+            h2.execute(&mut |tx| {
+                for o in o2.iter() {
+                    let v = NztmHybrid::read(tx, o)?;
+                    NztmHybrid::write(tx, o, &(v + 1))?;
+                }
+                Ok(())
+            });
+        })]);
+        let st = hy.stats();
+        assert_eq!(st.fallbacks, 1, "store-buffer overflow must fall back: {st:?}");
+        assert!(st.htm_capacity_aborts >= 1);
+        assert_eq!(objs[31].read_untracked(), 32);
+        hy.htm().uninstall();
+    }
+
+    #[test]
+    fn hardware_repairs_aborted_software_state() {
+        // Build an object owned by an aborted (acknowledged) software
+        // transaction with a stale in-place value and a valid backup —
+        // the state a crashed-and-aborted writer leaves behind — and let
+        // a hardware transaction repair and read it.
+        use nztm_core::{TxnDesc, WordBuf};
+        let (m, _p, hy) = setup(1);
+        let o = hy.alloc(5u64);
+        {
+            let g = crossbeam_epoch::pin();
+            let dead = Arc::new(TxnDesc::new(0, 1));
+            assert!(o.header().cas_owner_to_txn(0, &dead, &g));
+            let backup = WordBuf::from_words(o.data_words()); // 5
+            assert!(o.header().cas_backup(0, Some(&backup), &g));
+            o.data_words()[0].store(999, std::sync::atomic::Ordering::SeqCst); // dirty
+            dead.request_abort();
+            dead.acknowledge_abort();
+        }
+        let (h2, o2) = (Arc::clone(&hy), Arc::clone(&o));
+        m.run(vec![Box::new(move || {
+            let v = h2.execute(&mut |tx| NztmHybrid::read(tx, &o2));
+            assert_eq!(v, 5, "hardware path restored the backup");
+        })]);
+        let st = hy.stats();
+        assert_eq!(st.htm_commits, 1);
+        assert_eq!(st.fallbacks, 0);
+        // Owner was erased so later hardware transactions skip the checks.
+        let g = crossbeam_epoch::pin();
+        assert!(matches!(o.header().owner(&g), nztm_core::object::OwnerRef::None));
+        hy.htm().uninstall();
+    }
+}

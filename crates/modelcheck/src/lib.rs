@@ -1,0 +1,31 @@
+//! # nztm-modelcheck — explicit-state model checking for NZSTM (§3)
+//!
+//! The paper: "we created a model of the algorithm in Promela and
+//! mechanically checked various useful properties of it using SPIN …
+//! complete state-space searches for up to three concurrent threads,
+//! each thread accessing up to three objects … all code paths are taken
+//! at least once, no deadlocks occur, and no cycles (livelock) occur."
+//!
+//! SPIN is external tooling; this crate substitutes a small explicit-
+//! state checker written directly in Rust:
+//!
+//! * [`checker`] — a generic exhaustive-DFS engine over interleavings of
+//!   atomic steps, with hashed state deduplication, deadlock detection,
+//!   terminal-state property checks, and transition-coverage reporting.
+//! * [`model`] — a Promela-style model of the NZSTM protocol: the
+//!   Status+AbortNowPlease word, exclusive acquisition with backup and
+//!   lazy restore, the abort-request handshake, inflation past
+//!   unresponsive owners, deflation, and commit — plus a *blocking*
+//!   variant (BZSTM) and a *crash* action that makes a thread
+//!   permanently unresponsive.
+//!
+//! The headline result the paper's §3 claims — and tests here verify —
+//! is exactly the nonblocking property: with a crashed (unresponsive)
+//! owner, the **blocking model deadlocks** and the **NZSTM model does
+//! not**, while both are serializable when everyone is responsive.
+
+pub mod checker;
+pub mod model;
+
+pub use checker::{CheckOutcome, Checker, Model};
+pub use model::{NzModel, NzModelConfig, ProtocolMode};

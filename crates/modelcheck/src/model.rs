@@ -1,0 +1,537 @@
+//! A Promela-style model of the NZSTM protocol (§2.2–§2.3), checked
+//! exhaustively by [`crate::checker`].
+//!
+//! The model captures the protocol's essential atoms at the granularity
+//! the paper's SPIN model used: the Status+AbortNowPlease word, the
+//! owner word with its two interpretations, backup creation *as a
+//! separate step* from acquisition (so the "became unresponsive in the
+//! process of acquiring" footnote-1 case is reachable), lazy restore,
+//! the abort-request/acknowledge handshake, **late writes** (a requested
+//! transaction may still store before acknowledging — the hazard the
+//! whole design revolves around), inflation, SCSS stealing, and commit.
+//! Each thread runs one transaction that increments a fixed list of
+//! objects; threads may **crash** (become permanently unresponsive)
+//! while holding objects.
+//!
+//! The central invariant is checked on **every reachable state**: each
+//! object's *logical value* — derived exactly as the algorithm derives
+//! it (locator new/old by owner status; else backup under a live or
+//! aborted owner; else the in-place data) — equals the number of
+//! committed transactions that wrote it. For this increment workload
+//! that is serializability, strengthened to hold at every commit
+//! linearization point.
+//!
+//! Expected verdicts (asserted by the crate's tests):
+//!
+//! * all three modes are serializable and deadlock-free without crashes;
+//! * with a crashed owner, `Blocking` **deadlocks** while `Nzstm` and
+//!   `Scss` still reach valid end states with no deadlock — the paper's
+//!   nonblocking claim;
+//! * turning off SCSS store pairing (`scss_pairing = false`) makes the
+//!   checker find a serializability violation — i.e. the model is
+//!   strong enough to catch the bug the mechanism exists to prevent.
+
+use crate::checker::Model;
+
+/// Which protocol variant to model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolMode {
+    /// §2.2: wait indefinitely for abort acknowledgements.
+    Blocking,
+    /// §2.3.1: inflate past unresponsive owners.
+    Nzstm,
+    /// §2.3.2: SCSS-paired stores; steal after the barrier.
+    Scss,
+}
+
+/// Generation of a descriptor referenced by an owner word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Gen {
+    /// The thread's current attempt (descriptor possibly still Active).
+    Current,
+    OldCommitted,
+    OldAborted,
+}
+
+/// The owner word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Owner {
+    None,
+    Txn { tid: u8, gen: Gen },
+    /// Inflated: locator owner + the unresponsive transaction's thread
+    /// (`victim`) whose acknowledgement enables deflation.
+    Loc { tid: u8, gen: Gen, victim: u8, victim_acked: bool },
+}
+
+/// One transactional object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Obj {
+    pub owner: Owner,
+    pub data: u8,
+    pub backup: Option<u8>,
+    pub loc_old: u8,
+    pub loc_new: u8,
+}
+
+/// Thread execution status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TStatus {
+    Active { anp: bool },
+    Committed,
+    /// Acknowledged abort, about to retry (transient).
+    Aborted,
+    /// Exceeded the retry bound and stopped. Keeps the state space
+    /// finite — mirroring the paper's observation that livelocking
+    /// retries never revisit a state because descriptors are fresh.
+    GaveUp,
+}
+
+/// Program counter within the current attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pc {
+    /// Examine object `op`'s owner and try to acquire.
+    Acquire,
+    /// Create the backup copy (separate step: crashing here makes the
+    /// footnote-1 no-backup inflation path reachable).
+    MakeBackup,
+    /// Waiting for an acknowledgement from the requested owner.
+    AwaitAck,
+    /// Perform the in-place (or locator) write for object `op`.
+    Write,
+    /// Attempt to commit.
+    Commit,
+}
+
+/// One thread's state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Thr {
+    pub status: TStatus,
+    pub pc: Pc,
+    /// Index into this thread's write list.
+    pub op: u8,
+    pub attempt: u8,
+    pub crashed: bool,
+    /// Whether the current op's acquisition went through a locator.
+    pub via_locator: bool,
+}
+
+/// Full system state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct NzState {
+    pub objs: Vec<Obj>,
+    pub thr: Vec<Thr>,
+}
+
+/// Model configuration.
+#[derive(Clone, Debug)]
+pub struct NzModelConfig {
+    pub mode: ProtocolMode,
+    /// Per-thread write lists (each thread runs one transaction that
+    /// increments these objects in order).
+    pub writes: Vec<Vec<u8>>,
+    /// Thread allowed to crash (at any Active point), if any.
+    pub crash_tid: Option<u8>,
+    /// Retry bound per thread.
+    pub max_attempts: u8,
+    /// Whether SCSS stores are paired with the AbortNowPlease check.
+    /// `false` exists only to demonstrate the checker catches the
+    /// resulting lost-update bug.
+    pub scss_pairing: bool,
+}
+
+impl NzModelConfig {
+    pub fn new(mode: ProtocolMode, writes: Vec<Vec<u8>>) -> Self {
+        NzModelConfig { mode, writes, crash_tid: None, max_attempts: 3, scss_pairing: true }
+    }
+
+    pub fn with_crash(mut self, tid: u8) -> Self {
+        self.crash_tid = Some(tid);
+        self
+    }
+
+    pub fn n_objs(&self) -> usize {
+        1 + self.writes.iter().flatten().copied().max().unwrap_or(0) as usize
+    }
+}
+
+/// The NZSTM protocol model.
+pub struct NzModel {
+    pub cfg: NzModelConfig,
+}
+
+/// All transition labels (for coverage reports).
+pub const ALL_LABELS: &[&str] = &[
+    "acquire",
+    "make-backup",
+    "restore-and-adopt",
+    "request-abort",
+    "ack-observed",
+    "inflate",
+    "acquire-locator",
+    "request-abort-locator",
+    "scss-steal",
+    "write",
+    "write-locator",
+    "late-write",
+    "scss-late-store-fails",
+    "deflate",
+    "commit",
+    "abort-ack",
+    "retry",
+    "give-up",
+    "crash",
+];
+
+impl NzModel {
+    /// The object's logical value, derived the way the algorithm does.
+    fn logical(&self, o: &Obj) -> u8 {
+        match o.owner {
+            Owner::Loc { gen, .. } => {
+                if gen == Gen::OldCommitted {
+                    o.loc_new
+                } else {
+                    o.loc_old
+                }
+            }
+            Owner::Txn { gen: Gen::OldCommitted, .. } | Owner::None => o.data,
+            Owner::Txn { .. } => o.backup.unwrap_or(o.data),
+        }
+    }
+
+    /// Settle all owner-word references to `tid`'s current attempt (the
+    /// model's stand-in for the descriptor's status-word transition).
+    fn settle(st: &mut NzState, tid: u8, committed: bool) {
+        let gen = if committed { Gen::OldCommitted } else { Gen::OldAborted };
+        for o in &mut st.objs {
+            match &mut o.owner {
+                Owner::Txn { tid: t, gen: g } if *t == tid && *g == Gen::Current => *g = gen,
+                Owner::Loc { tid: t, gen: g, .. } if *t == tid && *g == Gen::Current => *g = gen,
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Model for NzModel {
+    type State = NzState;
+    type Label = &'static str;
+
+    fn initial(&self) -> NzState {
+        NzState {
+            objs: vec![
+                Obj { owner: Owner::None, data: 0, backup: None, loc_old: 0, loc_new: 0 };
+                self.cfg.n_objs()
+            ],
+            thr: vec![
+                Thr {
+                    status: TStatus::Active { anp: false },
+                    pc: Pc::Acquire,
+                    op: 0,
+                    attempt: 1,
+                    crashed: false,
+                    via_locator: false,
+                };
+                self.cfg.writes.len()
+            ],
+        }
+    }
+
+    fn step(&self, s: &NzState) -> Vec<(&'static str, NzState)> {
+        let mut out = Vec::new();
+        for tid in 0..s.thr.len() as u8 {
+            self.thread_steps(s, tid, &mut out);
+        }
+        out
+    }
+
+    fn is_valid_end(&self, s: &NzState) -> bool {
+        s.thr
+            .iter()
+            .all(|t| matches!(t.status, TStatus::Committed | TStatus::GaveUp) || t.crashed)
+    }
+
+    fn check_invariant(&self, s: &NzState) -> Result<(), String> {
+        for (i, o) in s.objs.iter().enumerate() {
+            let committed_writes = self
+                .cfg
+                .writes
+                .iter()
+                .enumerate()
+                .filter(|(t, ws)| {
+                    s.thr[*t].status == TStatus::Committed && ws.contains(&(i as u8))
+                })
+                .count() as u8;
+            let logical = self.logical(o);
+            if logical != committed_writes {
+                return Err(format!(
+                    "object {i}: logical value {logical} != {committed_writes} committed writes"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl NzModel {
+    #[allow(clippy::too_many_lines)]
+    fn thread_steps(&self, s: &NzState, tid: u8, out: &mut Vec<(&'static str, NzState)>) {
+        let t = s.thr[tid as usize];
+        if t.crashed || matches!(t.status, TStatus::Committed | TStatus::GaveUp) {
+            return;
+        }
+
+        // Crash: enabled for the configured thread at any active point.
+        if self.cfg.crash_tid == Some(tid) && matches!(t.status, TStatus::Active { .. }) {
+            let mut n = s.clone();
+            n.thr[tid as usize].crashed = true;
+            out.push(("crash", n));
+        }
+
+        let writes = &self.cfg.writes[tid as usize];
+        let oi = writes.get(t.op as usize).copied().unwrap_or(0) as usize;
+
+        // A transaction whose AbortNowPlease flag is set may still issue
+        // its pending store (a *late write*) before acknowledging — the
+        // hazard window between the request and the acknowledgement.
+        if let TStatus::Active { anp: true } = t.status {
+            if t.pc == Pc::Write {
+                let mut n = s.clone();
+                let label;
+                if self.cfg.mode == ProtocolMode::Scss && self.cfg.scss_pairing {
+                    // SCSS pairs the store with the ANP check: it fails.
+                    label = "scss-late-store-fails";
+                } else if t.via_locator {
+                    // Our store targets *our* locator's private new-data
+                    // buffer. If our locator is still installed, that is
+                    // the object's loc_new; if it was replaced (a
+                    // competitor acquired past us), the buffer is
+                    // unreachable garbage and the store hits nothing the
+                    // system can observe.
+                    if matches!(s.objs[oi].owner, Owner::Loc { tid: lt, gen: Gen::Current, .. } if lt == tid)
+                    {
+                        n.objs[oi].loc_new = s.objs[oi].loc_new.wrapping_add(1);
+                    }
+                    label = "late-write";
+                } else {
+                    // In-place late write: lands in `data`, which is
+                    // exactly why waiters must await the ack (blocking),
+                    // inflate (NZSTM), or pair stores (SCSS).
+                    n.objs[oi].data = s.objs[oi].data.wrapping_add(1);
+                    label = "late-write";
+                }
+                let nt = &mut n.thr[tid as usize];
+                nt.op += 1;
+                nt.via_locator = false;
+                nt.pc = if (nt.op as usize) < writes.len() { Pc::Acquire } else { Pc::Commit };
+                out.push((label, n));
+            }
+            // Acknowledge the abort.
+            let mut n = s.clone();
+            Self::settle(&mut n, tid, false);
+            for o in &mut n.objs {
+                if let Owner::Loc { victim, victim_acked, .. } = &mut o.owner {
+                    if *victim == tid {
+                        *victim_acked = true;
+                    }
+                }
+            }
+            n.thr[tid as usize].status = TStatus::Aborted;
+            out.push(("abort-ack", n));
+            return;
+        }
+
+        // Retry / give up after an acknowledged abort.
+        if t.status == TStatus::Aborted {
+            if t.attempt < self.cfg.max_attempts {
+                let mut n = s.clone();
+                let nt = &mut n.thr[tid as usize];
+                nt.status = TStatus::Active { anp: false };
+                nt.pc = Pc::Acquire;
+                nt.op = 0;
+                nt.attempt += 1;
+                nt.via_locator = false;
+                out.push(("retry", n));
+            } else {
+                let mut n = s.clone();
+                n.thr[tid as usize].status = TStatus::GaveUp;
+                out.push(("give-up", n));
+            }
+            return;
+        }
+
+        let o = s.objs[oi];
+        match t.pc {
+            Pc::Acquire => match o.owner {
+                Owner::None | Owner::Txn { gen: Gen::OldCommitted, .. } => {
+                    let mut n = s.clone();
+                    n.objs[oi].owner = Owner::Txn { tid, gen: Gen::Current };
+                    n.objs[oi].backup = None;
+                    n.thr[tid as usize].pc = Pc::MakeBackup;
+                    n.thr[tid as usize].via_locator = false;
+                    out.push(("acquire", n));
+                }
+                Owner::Txn { gen: Gen::OldAborted, .. } => {
+                    let mut n = s.clone();
+                    if let Some(b) = o.backup {
+                        // Lazy restore; the restored backup is adopted as
+                        // our own (§2.2).
+                        n.objs[oi].data = b;
+                        n.objs[oi].owner = Owner::Txn { tid, gen: Gen::Current };
+                        n.thr[tid as usize].pc = Pc::Write;
+                        n.thr[tid as usize].via_locator = false;
+                        out.push(("restore-and-adopt", n));
+                    } else {
+                        n.objs[oi].owner = Owner::Txn { tid, gen: Gen::Current };
+                        n.thr[tid as usize].pc = Pc::MakeBackup;
+                        n.thr[tid as usize].via_locator = false;
+                        out.push(("acquire", n));
+                    }
+                }
+                Owner::Txn { tid: other, gen: Gen::Current } => {
+                    debug_assert_ne!(other, tid, "self-owned object mid-acquire");
+                    let mut n = s.clone();
+                    if let TStatus::Active { anp: false } = s.thr[other as usize].status {
+                        n.thr[other as usize].status = TStatus::Active { anp: true };
+                    }
+                    n.thr[tid as usize].pc = Pc::AwaitAck;
+                    out.push(("request-abort", n));
+                }
+                Owner::Loc { tid: lt, gen, victim, victim_acked } => {
+                    debug_assert_eq!(
+                        self.cfg.mode,
+                        ProtocolMode::Nzstm,
+                        "only NZSTM inflates"
+                    );
+                    if gen == Gen::Current && lt != tid {
+                        if let TStatus::Active { anp: false } = s.thr[lt as usize].status {
+                            // Live locator owner: request its abort.
+                            let mut n = s.clone();
+                            n.thr[lt as usize].status = TStatus::Active { anp: true };
+                            out.push(("request-abort-locator", n));
+                        } else {
+                            // ANP'd: as good as aborted — its stores land
+                            // in its private new buffer. Replace the
+                            // locator (DSTM), carrying the victim.
+                            let mut n = s.clone();
+                            let value = o.loc_old;
+                            n.objs[oi].owner =
+                                Owner::Loc { tid, gen: Gen::Current, victim, victim_acked };
+                            n.objs[oi].loc_old = value;
+                            n.objs[oi].loc_new = value;
+                            n.thr[tid as usize].pc = Pc::Write;
+                            n.thr[tid as usize].via_locator = true;
+                            out.push(("acquire-locator", n));
+                        }
+                    } else if gen != Gen::Current {
+                        let value = if gen == Gen::OldCommitted { o.loc_new } else { o.loc_old };
+                        if victim_acked {
+                            // Deflate (§2.3.1, collapsed to the observable
+                            // atom): backup := valid data, owner := our
+                            // transaction in place, data := valid.
+                            let mut n = s.clone();
+                            n.objs[oi].owner = Owner::Txn { tid, gen: Gen::Current };
+                            n.objs[oi].backup = Some(value);
+                            n.objs[oi].data = value;
+                            n.thr[tid as usize].pc = Pc::Write;
+                            n.thr[tid as usize].via_locator = false;
+                            out.push(("deflate", n));
+                        } else {
+                            let mut n = s.clone();
+                            n.objs[oi].owner =
+                                Owner::Loc { tid, gen: Gen::Current, victim, victim_acked };
+                            n.objs[oi].loc_old = value;
+                            n.objs[oi].loc_new = value;
+                            n.thr[tid as usize].pc = Pc::Write;
+                            n.thr[tid as usize].via_locator = true;
+                            out.push(("acquire-locator", n));
+                        }
+                    }
+                    // gen == Current && lt == tid cannot happen: our pc
+                    // would be Write, not Acquire.
+                }
+            },
+            Pc::MakeBackup => {
+                let mut n = s.clone();
+                n.objs[oi].backup = Some(o.data);
+                n.thr[tid as usize].pc = Pc::Write;
+                out.push(("make-backup", n));
+            }
+            Pc::AwaitAck => match o.owner {
+                // §2.3.1 pre-CAS check: "the unresponsive transaction is
+                // still unresponsive" — the owner must be Active with its
+                // AbortNowPlease set. A Current owner that is *not* ANP'd
+                // is a fresh, healthy attempt of the same thread (our
+                // victim acknowledged and retried); re-examine instead.
+                Owner::Txn { tid: other, gen: Gen::Current }
+                    if other != tid
+                        && matches!(
+                            s.thr[other as usize].status,
+                            TStatus::Active { anp: true }
+                        ) =>
+                {
+                    match self.cfg.mode {
+                        ProtocolMode::Blocking => { /* blocked until the ack */ }
+                        ProtocolMode::Nzstm => {
+                            // Inflate: old data = the victim's backup, or
+                            // the raw data if it never installed one
+                            // (footnote 1).
+                            let mut n = s.clone();
+                            let old = o.backup.unwrap_or(o.data);
+                            n.objs[oi].owner = Owner::Loc {
+                                tid,
+                                gen: Gen::Current,
+                                victim: other,
+                                victim_acked: false,
+                            };
+                            n.objs[oi].loc_old = old;
+                            n.objs[oi].loc_new = old;
+                            n.thr[tid as usize].pc = Pc::Write;
+                            n.thr[tid as usize].via_locator = true;
+                            out.push(("inflate", n));
+                        }
+                        ProtocolMode::Scss => {
+                            // Barrier + steal: future victim stores fail.
+                            let mut n = s.clone();
+                            if let Some(b) = o.backup {
+                                n.objs[oi].data = b;
+                                n.objs[oi].owner = Owner::Txn { tid, gen: Gen::Current };
+                                n.thr[tid as usize].pc = Pc::Write;
+                            } else {
+                                n.objs[oi].owner = Owner::Txn { tid, gen: Gen::Current };
+                                n.thr[tid as usize].pc = Pc::MakeBackup;
+                            }
+                            n.thr[tid as usize].via_locator = false;
+                            out.push(("scss-steal", n));
+                        }
+                    }
+                }
+                _ => {
+                    let mut n = s.clone();
+                    n.thr[tid as usize].pc = Pc::Acquire;
+                    out.push(("ack-observed", n));
+                }
+            },
+            Pc::Write => {
+                let mut n = s.clone();
+                let label = if t.via_locator {
+                    n.objs[oi].loc_new = o.loc_new + 1;
+                    "write-locator"
+                } else {
+                    n.objs[oi].data = o.data + 1;
+                    "write"
+                };
+                let nt = &mut n.thr[tid as usize];
+                nt.op += 1;
+                nt.via_locator = false;
+                nt.pc = if (nt.op as usize) < writes.len() { Pc::Acquire } else { Pc::Commit };
+                out.push((label, n));
+            }
+            Pc::Commit => {
+                let mut n = s.clone();
+                Self::settle(&mut n, tid, true);
+                n.thr[tid as usize].status = TStatus::Committed;
+                out.push(("commit", n));
+            }
+        }
+    }
+}

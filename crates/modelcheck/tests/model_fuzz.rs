@@ -1,0 +1,62 @@
+//! Property-based model checking: random small protocol configurations
+//! must all verify. This widens §3's hand-picked configurations to a
+//! fuzzed family (still exhaustively checked per configuration).
+
+use nztm_modelcheck::model::NzModelConfig;
+use nztm_modelcheck::{Checker, NzModel, ProtocolMode};
+use proptest::prelude::*;
+
+fn arb_writes() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    // 2 threads, each writing 1-2 of 2 objects, arbitrary order, no
+    // duplicate objects within a transaction.
+    proptest::collection::vec(
+        prop_oneof![
+            Just(vec![0u8]),
+            Just(vec![1u8]),
+            Just(vec![0u8, 1u8]),
+            Just(vec![1u8, 0u8]),
+        ],
+        2..=2,
+    )
+}
+
+fn arb_mode() -> impl Strategy<Value = ProtocolMode> {
+    prop_oneof![
+        Just(ProtocolMode::Blocking),
+        Just(ProtocolMode::Nzstm),
+        Just(ProtocolMode::Scss),
+    ]
+}
+
+proptest! {
+    // Each case is a full exhaustive model check; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Without crashes, every mode × write-list combination is
+    /// serializable and deadlock-free.
+    #[test]
+    fn random_configs_verify(mode in arb_mode(), writes in arb_writes()) {
+        let mut cfg = NzModelConfig::new(mode, writes);
+        cfg.max_attempts = 2;
+        let out = Checker::default().run(&NzModel { cfg });
+        prop_assert!(out.violation.is_none(), "violation: {:?}", out.violation);
+        prop_assert_eq!(out.deadlocks, 0);
+        prop_assert!(out.end_states > 0);
+    }
+
+    /// With a crashing thread, the nonblocking modes stay deadlock-free
+    /// and serializable (the blocking mode is covered by the directed
+    /// tests — it deadlocks by design).
+    #[test]
+    fn random_crash_configs_stay_nonblocking(
+        mode in prop_oneof![Just(ProtocolMode::Nzstm), Just(ProtocolMode::Scss)],
+        writes in arb_writes(),
+        crash in 0u8..2,
+    ) {
+        let mut cfg = NzModelConfig::new(mode, writes).with_crash(crash);
+        cfg.max_attempts = 2;
+        let out = Checker::default().run(&NzModel { cfg });
+        prop_assert!(out.violation.is_none(), "violation: {:?}", out.violation);
+        prop_assert_eq!(out.deadlocks, 0, "nonblocking mode deadlocked");
+    }
+}

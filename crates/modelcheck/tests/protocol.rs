@@ -1,0 +1,162 @@
+//! Reproduction of the paper's §3 model-checking results (experiment S8
+//! in DESIGN.md): exhaustive state-space search of the NZSTM protocol
+//! for small configurations — serializability, deadlock freedom, the
+//! nonblocking property under a crashed transaction, and code-path
+//! coverage. Also includes the mutation check: removing SCSS's
+//! store/flag pairing must produce a detectable serializability
+//! violation.
+
+use nztm_modelcheck::model::{NzModelConfig, ALL_LABELS};
+use nztm_modelcheck::{Checker, NzModel, ProtocolMode};
+
+fn check(cfg: NzModelConfig) -> nztm_modelcheck::CheckOutcome<&'static str> {
+    Checker::default().run(&NzModel { cfg })
+}
+
+/// Lower the retry bound for the larger configurations: state counts grow
+/// roughly geometrically in `max_attempts`, and two retries already
+/// exercise every path (the paper hit SPIN's limits the same way at four
+/// threads).
+fn small(mut cfg: NzModelConfig) -> NzModelConfig {
+    cfg.max_attempts = 2;
+    cfg
+}
+
+// ---------------------------------------------------------------------
+// Serializability + deadlock freedom, no crashes
+// ---------------------------------------------------------------------
+
+#[test]
+fn two_threads_one_object_all_modes() {
+    for mode in [ProtocolMode::Blocking, ProtocolMode::Nzstm, ProtocolMode::Scss] {
+        let out = check(NzModelConfig::new(mode, vec![vec![0], vec![0]]));
+        assert!(out.passed(), "{mode:?}: {:?} deadlocks, violation {:?}", out.deadlocks, out.violation);
+        assert!(out.end_states > 0);
+    }
+}
+
+#[test]
+fn two_threads_two_objects_opposite_order() {
+    // The classic deadlock-shaped workload: T0 writes [0,1], T1 [1,0].
+    for mode in [ProtocolMode::Blocking, ProtocolMode::Nzstm, ProtocolMode::Scss] {
+        let out = check(NzModelConfig::new(mode, vec![vec![0, 1], vec![1, 0]]));
+        assert!(
+            out.passed(),
+            "{mode:?}: deadlocks={} violation={:?}",
+            out.deadlocks,
+            out.violation
+        );
+    }
+}
+
+#[test]
+fn three_threads_three_objects_nzstm() {
+    // The paper's exhaustive bound: three threads, three objects.
+    let out = check(small(NzModelConfig::new(
+        ProtocolMode::Nzstm,
+        vec![vec![0, 1], vec![1, 2], vec![2, 0]],
+    )));
+    assert!(out.passed(), "deadlocks={} violation={:?}", out.deadlocks, out.violation);
+    assert!(out.states > 10_000, "nontrivial state space: {}", out.states);
+}
+
+#[test]
+fn three_threads_three_objects_blocking_and_scss() {
+    for mode in [ProtocolMode::Blocking, ProtocolMode::Scss] {
+        let out = check(small(NzModelConfig::new(mode, vec![vec![0, 1], vec![1, 2], vec![2, 0]])));
+        assert!(out.passed(), "{mode:?}: {:?}", out.violation);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The nonblocking property (the paper's core claim)
+// ---------------------------------------------------------------------
+
+#[test]
+fn blocking_deadlocks_under_a_crashed_owner() {
+    let out = check(NzModelConfig::new(ProtocolMode::Blocking, vec![vec![0], vec![0]]).with_crash(0));
+    assert!(out.deadlocks > 0, "a crashed owner must deadlock the blocking protocol");
+    assert!(out.violation.is_none(), "but never corrupt data: {:?}", out.violation);
+}
+
+#[test]
+fn nzstm_is_nonblocking_under_a_crashed_owner() {
+    let out = check(NzModelConfig::new(ProtocolMode::Nzstm, vec![vec![0], vec![0]]).with_crash(0));
+    assert!(out.passed(), "deadlocks={} violation={:?}", out.deadlocks, out.violation);
+    assert!(out.end_states > 0, "the survivor must be able to finish");
+    assert!(out.covered.contains("inflate"), "progress requires inflation");
+}
+
+#[test]
+fn scss_is_nonblocking_under_a_crashed_owner() {
+    let out = check(NzModelConfig::new(ProtocolMode::Scss, vec![vec![0], vec![0]]).with_crash(0));
+    assert!(out.passed(), "deadlocks={} violation={:?}", out.deadlocks, out.violation);
+    assert!(out.covered.contains("scss-steal"));
+    assert!(!out.covered.contains("inflate"), "SCSS never inflates");
+}
+
+#[test]
+fn nzstm_nonblocking_with_crash_and_two_survivors() {
+    let out = check(small(
+        NzModelConfig::new(ProtocolMode::Nzstm, vec![vec![0, 1], vec![0], vec![1, 0]])
+            .with_crash(0),
+    ));
+    assert!(out.passed(), "deadlocks={} violation={:?}", out.deadlocks, out.violation);
+}
+
+// ---------------------------------------------------------------------
+// Deflation and locator paths
+// ---------------------------------------------------------------------
+
+#[test]
+fn nzstm_covers_inflation_locator_acquire_and_deflation() {
+    // Three threads on one object with retries: inflation (past an
+    // unresponsive-but-eventually-acking owner), locator-to-locator
+    // acquisition, and deflation after the victim acknowledges.
+    let out = check(small(NzModelConfig::new(
+        ProtocolMode::Nzstm,
+        vec![vec![0], vec![0], vec![0]],
+    )));
+    assert!(out.passed(), "{:?}", out.violation);
+    for label in ["inflate", "acquire-locator", "deflate", "restore-and-adopt", "late-write"] {
+        assert!(out.covered.contains(label), "path {label:?} never exercised");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coverage (the paper: "all code paths are taken at least once")
+// ---------------------------------------------------------------------
+
+#[test]
+fn all_protocol_paths_covered_across_configurations() {
+    let mut covered = std::collections::HashSet::new();
+    let configs = [
+        NzModelConfig::new(ProtocolMode::Blocking, vec![vec![0, 1], vec![1, 0]]),
+        small(NzModelConfig::new(ProtocolMode::Nzstm, vec![vec![0], vec![0], vec![0]])),
+        NzModelConfig::new(ProtocolMode::Nzstm, vec![vec![0, 1], vec![1, 0]]).with_crash(0),
+        NzModelConfig::new(ProtocolMode::Scss, vec![vec![0], vec![0]]).with_crash(0),
+        NzModelConfig::new(ProtocolMode::Scss, vec![vec![0, 1], vec![1, 0]]),
+    ];
+    for cfg in configs {
+        let out = check(cfg);
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        covered.extend(out.covered);
+    }
+    let missing: Vec<_> = ALL_LABELS.iter().filter(|l| !covered.contains(**l)).collect();
+    assert!(missing.is_empty(), "unreached protocol paths: {missing:?}");
+}
+
+// ---------------------------------------------------------------------
+// Mutation: the checker must catch the bug SCSS pairing prevents
+// ---------------------------------------------------------------------
+
+#[test]
+fn unpaired_scss_stores_break_serializability() {
+    let mut cfg = NzModelConfig::new(ProtocolMode::Scss, vec![vec![0], vec![0]]);
+    cfg.scss_pairing = false;
+    let out = check(cfg);
+    assert!(
+        out.violation.is_some(),
+        "without store/flag pairing a late write must corrupt the logical value"
+    );
+}

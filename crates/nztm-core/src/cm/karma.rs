@@ -1,0 +1,115 @@
+//! The paper's default contention manager: Karma priorities + LogTM-style
+//! deadlock detection (§4.3).
+
+use super::{ContentionManager, Resolution};
+use crate::txn::TxnDesc;
+
+/// Karma variant with deadlock detection.
+///
+/// * Priority = number of objects acquired in this attempt
+///   ([`TxnDesc::priority`]).
+/// * A transaction that detects a conflict with a **higher-or-equal**
+///   priority peer raises its waiting flag (done by the engine) and
+///   waits until the peer is done.
+/// * A transaction that detects a conflict with a **lower** priority peer
+///   whose waiting flag is raised infers a potential cycle and requests
+///   the peer's abort.
+/// * Regardless of priority, a timeout eventually triggers an abort
+///   request, guaranteeing the blocking STM cannot hang on a
+///   lost-in-space peer forever and bounding convoys in the nonblocking
+///   one.
+#[derive(Debug)]
+pub struct KarmaDeadlock {
+    /// Spin steps before the timeout escape hatch triggers.
+    pub timeout: u64,
+}
+
+impl Default for KarmaDeadlock {
+    fn default() -> Self {
+        // A few hundred spin steps ≈ a few microseconds native, a few
+        // thousand cycles simulated: long enough that short transactions
+        // finish, short enough that convoys stay bounded.
+        KarmaDeadlock { timeout: 256 }
+    }
+}
+
+impl ContentionManager for KarmaDeadlock {
+    fn resolve(&self, me: &TxnDesc, other: &TxnDesc, waited: u64) -> Resolution {
+        if waited >= self.timeout {
+            return Resolution::RequestAbort;
+        }
+        let my_prio = me.priority();
+        let their_prio = other.priority();
+        if my_prio > their_prio && other.is_waiting() {
+            // I am the high-priority transaction TH; the low-priority TL
+            // is itself stalled on someone — potential cycle.
+            Resolution::RequestAbort
+        } else {
+            Resolution::Wait
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "karma-deadlock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_prio(thread: u32, prio: u64) -> TxnDesc {
+        let d = TxnDesc::new(thread, 0);
+        for _ in 0..prio {
+            d.gained_object();
+        }
+        d
+    }
+
+    #[test]
+    fn low_priority_waits_for_high() {
+        let cm = KarmaDeadlock::default();
+        let lo = with_prio(0, 1);
+        let hi = with_prio(1, 5);
+        assert_eq!(cm.resolve(&lo, &hi, 0), Resolution::Wait);
+    }
+
+    #[test]
+    fn high_priority_waits_for_non_stalled_low() {
+        // "transactions do not abort the other transaction unless a
+        // timeout is triggered" — even with higher priority, if the peer
+        // is not stalled we wait.
+        let cm = KarmaDeadlock::default();
+        let hi = with_prio(0, 5);
+        let lo = with_prio(1, 1);
+        assert_eq!(cm.resolve(&hi, &lo, 0), Resolution::Wait);
+    }
+
+    #[test]
+    fn high_priority_breaks_potential_cycle() {
+        let cm = KarmaDeadlock::default();
+        let hi = with_prio(0, 5);
+        let lo = with_prio(1, 1);
+        lo.set_waiting(true);
+        assert_eq!(cm.resolve(&hi, &lo, 0), Resolution::RequestAbort);
+    }
+
+    #[test]
+    fn equal_priority_stalled_peer_is_not_aborted() {
+        // The rule requires strictly higher priority.
+        let cm = KarmaDeadlock::default();
+        let a = with_prio(0, 2);
+        let b = with_prio(1, 2);
+        b.set_waiting(true);
+        assert_eq!(cm.resolve(&a, &b, 0), Resolution::Wait);
+    }
+
+    #[test]
+    fn timeout_triggers_request() {
+        let cm = KarmaDeadlock { timeout: 10 };
+        let a = with_prio(0, 0);
+        let b = with_prio(1, 9);
+        assert_eq!(cm.resolve(&a, &b, 9), Resolution::Wait);
+        assert_eq!(cm.resolve(&a, &b, 10), Resolution::RequestAbort);
+    }
+}

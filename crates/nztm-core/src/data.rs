@@ -1,0 +1,300 @@
+//! Transactional object data: typed values over in-place word arrays.
+//!
+//! The paper stores object data "in place" at a fixed offset from the
+//! object header (Figure 1), and sizes hardware write-buffer entries at
+//! one word ("each entry represents a single store and is typically one
+//! word", §4.1). We mirror that: an object's data is an inline array of
+//! `AtomicU64` words embedded directly in the [`NZObject`]
+//! (crate::object::NZObject) — *zero* levels of indirection — and a
+//! [`TmData`] implementation translates a typed Rust value to and from
+//! those words.
+//!
+//! Using atomic words for the data field is the Rust-sound rendering of
+//! the C original's plain stores: concurrent transactions may race on the
+//! data words (a "late write" from a not-yet-acknowledged aborter, a
+//! doomed reader's load), and every such race is benign **only** because
+//! the algorithm validates before exposing a value. `Relaxed` atomic
+//! accesses give exactly those semantics without undefined behaviour.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An inline array of data words. Implemented for `[AtomicU64; N]`.
+///
+/// This is an associated-type workaround for the lack of
+/// `[AtomicU64; T::WORDS]` on stable Rust: each `TmData` type names its
+/// own concrete array type, so the storage is still embedded inline in
+/// the object with no indirection.
+pub trait WordArray: Send + Sync + 'static {
+    const LEN: usize;
+    fn new_zeroed() -> Self;
+    fn words(&self) -> &[AtomicU64];
+}
+
+macro_rules! impl_word_array {
+    ($($n:literal),* $(,)?) => {$(
+        impl WordArray for [AtomicU64; $n] {
+            const LEN: usize = $n;
+            fn new_zeroed() -> Self {
+                std::array::from_fn(|_| AtomicU64::new(0))
+            }
+            fn words(&self) -> &[AtomicU64] {
+                self
+            }
+        }
+    )*};
+}
+
+impl_word_array!(
+    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25,
+    26, 27, 28, 29, 30, 31, 32, 40, 48, 56, 64, 128
+);
+
+/// A value that can live in a transactional object.
+///
+/// `encode`/`decode` must round-trip: `decode(encode(v)) == v`. The word
+/// count is fixed per type (`Words::LEN`), mirroring the paper's
+/// fixed-size `Data` field per object.
+pub trait TmData: Clone + Send + Sync + 'static {
+    /// Inline storage: `[AtomicU64; N]` for the N words this type needs.
+    type Words: WordArray;
+
+    /// Write this value into `out` (length `Self::Words::LEN`).
+    fn encode(&self, out: &mut [u64]);
+
+    /// Reconstruct a value from `words` (length `Self::Words::LEN`).
+    fn decode(words: &[u64]) -> Self;
+
+    /// Number of data words.
+    fn n_words() -> usize {
+        Self::Words::LEN
+    }
+}
+
+/// Read all data words into a stack buffer (racy snapshot; caller must
+/// validate afterwards).
+pub fn snapshot_words(src: &[AtomicU64], dst: &mut [u64]) {
+    debug_assert_eq!(src.len(), dst.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = s.load(Ordering::Relaxed);
+    }
+}
+
+/// Store a buffer of plain words into atomic words.
+pub fn write_words(dst: &[AtomicU64], src: &[u64]) {
+    debug_assert_eq!(src.len(), dst.len());
+    for (d, s) in dst.iter().zip(src) {
+        d.store(*s, Ordering::Relaxed);
+    }
+}
+
+/// Copy atomic words to atomic words (backup creation / restoration).
+pub fn copy_words(dst: &[AtomicU64], src: &[AtomicU64]) {
+    debug_assert_eq!(src.len(), dst.len());
+    for (d, s) in dst.iter().zip(src) {
+        d.store(s.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TmData for primitives
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tmdata_prim {
+    ($($t:ty => $to:expr, $from:expr);* $(;)?) => {$(
+        impl TmData for $t {
+            type Words = [AtomicU64; 1];
+            fn encode(&self, out: &mut [u64]) {
+                out[0] = ($to)(*self);
+            }
+            fn decode(words: &[u64]) -> Self {
+                ($from)(words[0])
+            }
+        }
+    )*};
+}
+
+impl_tmdata_prim! {
+    u64 => |v| v, |w| w;
+    i64 => |v: i64| v as u64, |w: u64| w as i64;
+    u32 => |v: u32| v as u64, |w: u64| w as u32;
+    i32 => |v: i32| v as u32 as u64, |w: u64| w as u32 as i32;
+    f64 => f64::to_bits, f64::from_bits;
+    bool => |v: bool| v as u64, |w: u64| w != 0;
+    usize => |v: usize| v as u64, |w: u64| w as usize;
+}
+
+impl TmData for (u64, u64) {
+    type Words = [AtomicU64; 2];
+    fn encode(&self, out: &mut [u64]) {
+        out[0] = self.0;
+        out[1] = self.1;
+    }
+    fn decode(words: &[u64]) -> Self {
+        (words[0], words[1])
+    }
+}
+
+/// Implements [`TmData`] for a struct whose fields each encode as one
+/// word. Usage:
+///
+/// ```
+/// use nztm_core::tm_data_struct;
+/// #[derive(Clone, Debug, PartialEq)]
+/// pub struct Node { pub key: u64, pub next: u64 }
+/// tm_data_struct!(Node { key: u64, next: u64 });
+/// ```
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __count_words {
+    () => { 0usize };
+    ($head:ident $($tail:ident)*) => { 1usize + $crate::__count_words!($($tail)*) };
+}
+
+#[macro_export]
+macro_rules! tm_data_struct {
+    ($name:ident { $($field:ident : $fty:ty),* $(,)? }) => {
+        impl $crate::data::TmData for $name {
+            type Words =
+                [std::sync::atomic::AtomicU64; { $crate::__count_words!($($field)*) }];
+            fn encode(&self, out: &mut [u64]) {
+                let mut _i = 0;
+                $(
+                    out[_i] = $crate::data::FieldWord::to_word(self.$field);
+                    _i += 1;
+                )*
+            }
+            fn decode(words: &[u64]) -> Self {
+                let mut _i = 0;
+                $name {
+                    $($field: {
+                        let w = words[_i];
+                        _i += 1;
+                        <$fty as $crate::data::FieldWord>::from_word(w)
+                    },)*
+                }
+            }
+        }
+    };
+}
+
+/// Field-level single-word codec used by [`tm_data_struct!`].
+pub trait FieldWord: Copy {
+    fn to_word(self) -> u64;
+    fn from_word(w: u64) -> Self;
+}
+
+macro_rules! impl_field_word {
+    ($($t:ty => $to:expr, $from:expr);* $(;)?) => {$(
+        impl FieldWord for $t {
+            fn to_word(self) -> u64 { ($to)(self) }
+            fn from_word(w: u64) -> Self { ($from)(w) }
+        }
+    )*};
+}
+
+impl_field_word! {
+    u64 => |v| v, |w| w;
+    i64 => |v: i64| v as u64, |w: u64| w as i64;
+    u32 => |v: u32| v as u64, |w: u64| w as u32;
+    i32 => |v: i32| v as u32 as u64, |w: u64| w as u32 as i32;
+    u16 => |v: u16| v as u64, |w: u64| w as u16;
+    u8 => |v: u8| v as u64, |w: u64| w as u8;
+    f64 => f64::to_bits, f64::from_bits;
+    bool => |v: bool| v as u64, |w: u64| w != 0;
+    usize => |v: usize| v as u64, |w: u64| w as usize;
+}
+
+impl<T: FieldWord> FieldWord for Option<T> {
+    fn to_word(self) -> u64 {
+        // Tag in the top bit: Option<T> fields must fit 63 bits.
+        match self {
+            None => 0,
+            Some(v) => v.to_word() | (1 << 63),
+        }
+    }
+    fn from_word(w: u64) -> Self {
+        if w == 0 {
+            None
+        } else {
+            Some(T::from_word(w & !(1 << 63)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        fn rt<T: TmData + PartialEq + std::fmt::Debug>(v: T) {
+            let mut buf = vec![0u64; T::n_words()];
+            v.encode(&mut buf);
+            assert_eq!(T::decode(&buf), v);
+        }
+        rt(42u64);
+        rt(-17i64);
+        rt(3.25f64);
+        rt(true);
+        rt(false);
+        rt((7u64, 9u64));
+        rt(123usize);
+        rt(-5i32);
+    }
+
+    #[test]
+    fn word_array_lens() {
+        assert_eq!(<[AtomicU64; 4] as WordArray>::LEN, 4);
+        let a = <[AtomicU64; 4] as WordArray>::new_zeroed();
+        assert!(a.words().iter().all(|w| w.load(Ordering::Relaxed) == 0));
+    }
+
+    #[test]
+    fn snapshot_and_write_round_trip() {
+        let atomics = <[AtomicU64; 4] as WordArray>::new_zeroed();
+        write_words(atomics.words(), &[1, 2, 3, 4]);
+        let mut out = [0u64; 4];
+        snapshot_words(atomics.words(), &mut out);
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn copy_words_copies() {
+        let a = <[AtomicU64; 3] as WordArray>::new_zeroed();
+        let b = <[AtomicU64; 3] as WordArray>::new_zeroed();
+        write_words(a.words(), &[9, 8, 7]);
+        copy_words(b.words(), a.words());
+        let mut out = [0u64; 3];
+        snapshot_words(b.words(), &mut out);
+        assert_eq!(out, [9, 8, 7]);
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Demo {
+        key: u64,
+        next: Option<u32>,
+        live: bool,
+    }
+    tm_data_struct!(Demo { key: u64, next: Option<u32>, live: bool });
+
+    #[test]
+    fn struct_macro_round_trips() {
+        let v = Demo { key: 77, next: Some(3), live: true };
+        let mut buf = vec![0u64; Demo::n_words()];
+        v.encode(&mut buf);
+        assert_eq!(Demo::decode(&buf), v);
+        assert_eq!(Demo::n_words(), 3);
+
+        let v2 = Demo { key: 0, next: None, live: false };
+        v2.encode(&mut buf);
+        assert_eq!(Demo::decode(&buf), v2);
+    }
+
+    #[test]
+    fn option_field_zero_value_round_trips() {
+        // Some(0) must not collide with None.
+        let w = Option::<u32>::to_word(Some(0));
+        assert_eq!(Option::<u32>::from_word(w), Some(0));
+        assert_eq!(Option::<u32>::from_word(Option::<u32>::to_word(None)), None);
+    }
+}

@@ -1,0 +1,1136 @@
+//! The NZSTM engine: one algorithm, three compile-time modes.
+//!
+//! * [`Blocking`] — **BZSTM** (§2.2 + §4.3 "BZSTM"): conflicts are
+//!   resolved by requesting the peer's abort and *waiting indefinitely*
+//!   for the acknowledgement. Objects are never inflated, and — because
+//!   the mode is a compile-time policy — the generated code contains no
+//!   inflation-tag checks at all, which is exactly the difference the
+//!   paper measures as BZSTM's 2–5% edge over NZSTM (§4.4.2).
+//! * [`Nonblocking`] — **NZSTM** (§2.3.1): same algorithm, but a bounded
+//!   *patience* while waiting for an acknowledgement; when exhausted, the
+//!   object is inflated into a DSTM-style locator and the obstruction-free
+//!   DSTM rules take over until the object can be deflated.
+//! * [`ScssMode`] — **NZSTM+SCSS** (§2.3.2): every store to in-place data
+//!   is paired with a check of the writer's own AbortNowPlease flag inside
+//!   a short atomic section (the Single-Compare Single-Store). No
+//!   locators, no inflation: an unresponsive victim's late stores are
+//!   guaranteed to fail, so the requester may proceed immediately after a
+//!   one-shot barrier.
+//!
+//! The write path is **eager and in place**: an acquiring transaction
+//! backs up the object's data words into a pool buffer and then mutates
+//! the object directly; aborts are undone *lazily* by the next acquirer
+//! restoring the backup (§2.2). Reads are **visible** by default (a
+//! per-object reader bitmap, as in the paper's experiments) with an
+//! invisible-read + commit-time-validation mode as an extension.
+
+use crate::cm::{ContentionManager, Resolution};
+use crate::data::TmData;
+use crate::locator::Locator;
+use crate::object::{NZObject, NzObjAny, OwnerRef, WordBuf};
+use crate::registry::ThreadRegistry;
+use crate::stats::TmStats;
+use crate::txn::{Abort, AbortCause, Status, TxnDesc};
+use crate::util::{Backoff, PerCore};
+use crossbeam_epoch::Guard;
+use nztm_sim::{AccessKind, DetRng, Platform};
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Compile-time selection of the engine variant.
+pub trait ModePolicy: Send + Sync + 'static {
+    /// Give up waiting for an abort acknowledgement after `patience`
+    /// steps (inflate / SCSS-barrier). `false` = BZSTM.
+    const NONBLOCKING: bool;
+    /// Pair every data store with an AbortNowPlease check (SCSS).
+    const SCSS: bool;
+    const NAME: &'static str;
+}
+
+/// BZSTM: the blocking base algorithm of §2.2.
+pub struct Blocking;
+impl ModePolicy for Blocking {
+    const NONBLOCKING: bool = false;
+    const SCSS: bool = false;
+    const NAME: &'static str = "BZSTM";
+}
+
+/// NZSTM: nonblocking via inflation (§2.3.1).
+pub struct Nonblocking;
+impl ModePolicy for Nonblocking {
+    const NONBLOCKING: bool = true;
+    const SCSS: bool = false;
+    const NAME: &'static str = "NZSTM";
+}
+
+/// NZSTM+SCSS: nonblocking via Single-Compare Single-Store (§2.3.2).
+pub struct ScssMode;
+impl ModePolicy for ScssMode {
+    const NONBLOCKING: bool = true;
+    const SCSS: bool = true;
+    const NAME: &'static str = "SCSS";
+}
+
+/// How transactional reads are tracked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Per-object reader bitmap; writers request readers' aborts. The
+    /// paper's configuration ("NZSTM software transactions with visible
+    /// reads").
+    Visible,
+    /// Record per-object versions, validate at commit (extension).
+    Invisible,
+}
+
+/// Engine tuning knobs.
+#[derive(Clone, Debug)]
+pub struct NzConfig {
+    /// Spin steps to wait for an abort acknowledgement before declaring
+    /// the victim unresponsive (ignored by `Blocking`).
+    pub patience: u64,
+    pub read_mode: ReadMode,
+    /// Extra cycles charged per SCSS store on simulated platforms (models
+    /// the short hardware transaction's latency).
+    pub scss_cycles: u64,
+}
+
+impl Default for NzConfig {
+    fn default() -> Self {
+        NzConfig { patience: 128, read_mode: ReadMode::Visible, scss_cycles: 25 }
+    }
+}
+
+/// Where a write-set entry's speculative data lives.
+enum WriteTarget {
+    /// Normal case: data in place; `backup_raw` identifies our backup
+    /// buffer for commit-time reclamation.
+    InPlace { backup_raw: u64 },
+    /// Object is inflated and we own it through this locator; writes go
+    /// to its `new_data`.
+    Inflated { loc: Arc<Locator> },
+}
+
+struct WriteEntry {
+    obj: Arc<dyn NzObjAny>,
+    target: WriteTarget,
+}
+
+struct ReadEntry {
+    obj: Arc<dyn NzObjAny>,
+    /// Version observed (invisible mode); unused in visible mode.
+    version: u64,
+}
+
+/// Pool of backup buffers, keyed by word count. Buffers are reclaimed at
+/// commit (take-back from the object) and reused by later acquisitions —
+/// the thread-local reuse the paper credits for NZSTM's cache behaviour
+/// in kmeans (§4.4.2).
+#[derive(Default)]
+struct BackupPool {
+    by_len: HashMap<usize, Vec<Arc<WordBuf>>>,
+}
+
+impl BackupPool {
+    fn take(&mut self, len: usize) -> Option<Arc<WordBuf>> {
+        self.by_len.get_mut(&len)?.pop()
+    }
+
+    fn put(&mut self, buf: Arc<WordBuf>) {
+        let v = self.by_len.entry(buf.len()).or_default();
+        if v.len() < 64 {
+            v.push(buf);
+        }
+    }
+}
+
+struct ThreadCtx {
+    current: Option<Arc<TxnDesc>>,
+    serial: u64,
+    read_set: Vec<ReadEntry>,
+    write_set: Vec<WriteEntry>,
+    pool: BackupPool,
+    rng: DetRng,
+    backoff: Backoff,
+    stats: TmStats,
+    /// Scratch encode/decode buffer, reused across operations.
+    scratch: Vec<u64>,
+}
+
+impl ThreadCtx {
+    fn new(tid: usize) -> Self {
+        ThreadCtx {
+            current: None,
+            serial: 0,
+            read_set: Vec::with_capacity(64),
+            write_set: Vec::with_capacity(64),
+            pool: BackupPool::default(),
+            rng: DetRng::new(0x5EED_0000 + tid as u64),
+            backoff: Backoff::new(),
+            stats: TmStats::default(),
+            scratch: Vec::with_capacity(64),
+        }
+    }
+}
+
+/// Outcome of conflict resolution against one peer transaction.
+enum ConflictOutcome {
+    /// The conflict no longer exists (peer settled, or ownership changed).
+    Settled,
+    /// The peer was asked to abort and did not acknowledge within the
+    /// patience budget (only produced when `M::NONBLOCKING`).
+    Unresponsive,
+}
+
+/// The NZSTM/BZSTM/SCSS engine. See module docs.
+pub struct NzStm<P: Platform, M: ModePolicy> {
+    platform: Arc<P>,
+    cm: Arc<dyn ContentionManager>,
+    registry: ThreadRegistry,
+    threads: PerCore<ThreadCtx>,
+    cfg: NzConfig,
+    _mode: PhantomData<M>,
+}
+
+impl<P: Platform, M: ModePolicy> NzStm<P, M> {
+    pub fn new(platform: Arc<P>, cm: Arc<dyn ContentionManager>, cfg: NzConfig) -> Arc<Self> {
+        let n = platform.n_cores();
+        Arc::new(NzStm {
+            platform,
+            cm,
+            registry: ThreadRegistry::new(n),
+            threads: PerCore::new(n, ThreadCtx::new),
+            cfg,
+            _mode: PhantomData,
+        })
+    }
+
+    pub fn with_defaults(platform: Arc<P>) -> Arc<Self> {
+        NzStm::new(platform, Arc::new(crate::cm::KarmaDeadlock::default()), NzConfig::default())
+    }
+
+    pub fn platform(&self) -> &Arc<P> {
+        &self.platform
+    }
+
+    pub fn mode_name(&self) -> &'static str {
+        M::NAME
+    }
+
+    /// The configured read-tracking mode.
+    pub fn read_mode(&self) -> ReadMode {
+        self.cfg.read_mode
+    }
+
+    /// Allocate a transactional object.
+    pub fn new_obj<T: TmData>(&self, init: T) -> Arc<NZObject<T>> {
+        NZObject::new(init)
+    }
+
+    /// Merge per-thread statistics.
+    ///
+    /// Must only be called while no transactions are in flight (between
+    /// runs); per-thread slots are read without synchronization.
+    pub fn stats(&self) -> TmStats {
+        let mut total = TmStats::default();
+        for tid in 0..self.threads.len() {
+            // Safety: quiescence contract above.
+            let ctx = unsafe { self.threads.get(tid) };
+            total.merge(&ctx.stats);
+        }
+        total
+    }
+
+    /// Reset per-thread statistics (e.g. after warmup).
+    pub fn reset_stats(&self) {
+        for tid in 0..self.threads.len() {
+            let ctx = unsafe { self.threads.get(tid) };
+            ctx.stats = TmStats::default();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction lifecycle
+    // ------------------------------------------------------------------
+
+    /// Execute `f` as a transaction, retrying until it commits. Returns
+    /// `f`'s result from the committed attempt.
+    pub fn run<R>(&self, mut f: impl FnMut(&mut NzTx<P, M>) -> Result<R, Abort>) -> R {
+        let tid = self.platform.core_id();
+        // Safety: `tid` is the calling thread's own core id.
+        let ctx = unsafe { self.threads.get(tid) };
+        let mut had_abort = false;
+        loop {
+            self.begin(ctx, tid);
+            let mut tx =
+                NzTx { sys: self as *const NzStm<P, M>, ctx: ctx as *mut ThreadCtx, tid };
+            match f(&mut tx) {
+                Ok(r) => {
+                    if self.commit(ctx, tid) {
+                        ctx.backoff.reset();
+                        if had_abort {
+                            ctx.stats.txns_with_aborts += 1;
+                        }
+                        return r;
+                    }
+                    had_abort = true;
+                }
+                Err(Abort(cause)) => {
+                    self.abort_txn(ctx, tid, cause);
+                    had_abort = true;
+                }
+            }
+            // Randomized exponential backoff between attempts breaks the
+            // symmetric-retry livelock obstruction-freedom permits.
+            let steps = ctx.backoff.steps(ctx.rng.next_u64());
+            for _ in 0..steps {
+                self.platform.spin_wait();
+            }
+        }
+    }
+
+    fn begin(&self, ctx: &mut ThreadCtx, tid: usize) {
+        ctx.serial += 1;
+        // A fresh descriptor per attempt (§2.2); Arc because object owner
+        // fields and the registry take strong counts.
+        let desc = Arc::new(TxnDesc::new(tid as u32, ctx.serial));
+        let guard = crossbeam_epoch::pin();
+        self.registry.publish(tid, &desc, &guard);
+        self.platform.mem(self.registry.slot_addr(tid), 8, AccessKind::Write);
+        ctx.current = Some(desc);
+        ctx.read_set.clear();
+        ctx.write_set.clear();
+    }
+
+    fn me(ctx: &ThreadCtx) -> &Arc<TxnDesc> {
+        ctx.current.as_ref().expect("no transaction in flight")
+    }
+
+    /// Abort if our own AbortNowPlease flag is set.
+    fn validate(&self, ctx: &ThreadCtx) -> Result<(), Abort> {
+        let me = Self::me(ctx);
+        self.platform.mem_nb(me.addr(), 8, AccessKind::Read);
+        if me.abort_requested() {
+            Err(Abort(AbortCause::Requested))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn commit(&self, ctx: &mut ThreadCtx, tid: usize) -> bool {
+        let me = Arc::clone(Self::me(ctx));
+
+        // Invisible-read extension: validate the read set. Serialization
+        // point is this validation; our own writes are protected by
+        // ownership until the status CAS below. Objects we later acquired
+        // for writing were already validated *at acquire time* (their
+        // version necessarily moved when we bumped it ourselves), so they
+        // are recognized by ownership and skipped here.
+        if self.cfg.read_mode == ReadMode::Invisible {
+            let guard = crossbeam_epoch::pin();
+            for r in &ctx.read_set {
+                let h = r.obj.header();
+                self.platform.mem(h.addr(), 8, AccessKind::Read);
+                let ok = match h.owner(&guard) {
+                    OwnerRef::None => h.version() == r.version,
+                    OwnerRef::Txn(t, _) => {
+                        std::ptr::eq(t, Arc::as_ptr(&me))
+                            || (t.status() != Status::Active && h.version() == r.version)
+                    }
+                    OwnerRef::Inflated(l, _) => std::ptr::eq(l.owner(), Arc::as_ptr(&me)),
+                };
+                if !ok {
+                    drop(guard);
+                    self.abort_txn(ctx, tid, AbortCause::Validation);
+                    return false;
+                }
+            }
+        }
+
+        self.platform.mem(me.addr(), 8, AccessKind::Rmw);
+        if me.try_commit() {
+            self.cleanup_after_commit(ctx, tid);
+            ctx.stats.commits += 1;
+            true
+        } else {
+            // AbortNowPlease arrived before the commit CAS.
+            self.abort_txn(ctx, tid, AbortCause::Requested);
+            false
+        }
+    }
+
+    fn cleanup_after_commit(&self, ctx: &mut ThreadCtx, tid: usize) {
+        // Reclaim our backup buffers into the thread-local pool
+        // ("thread-local memory for backups ... reused after successful
+        // transactions", §4.4.2). The CAS-take fails harmlessly if a
+        // faster acquirer already replaced the buffer.
+        for w in ctx.write_set.drain(..) {
+            if let WriteTarget::InPlace { backup_raw } = w.target {
+                self.platform.mem_nb(w.obj.header().addr(), 8, AccessKind::Rmw);
+                if let Some(buf) = w.obj.header().take_backup(backup_raw) {
+                    ctx.pool.put(buf);
+                }
+            }
+        }
+        self.clear_reader_bits(ctx, tid);
+    }
+
+    fn abort_txn(&self, ctx: &mut ThreadCtx, tid: usize, cause: AbortCause) {
+        let me = Self::me(ctx);
+        self.platform.mem(me.addr(), 8, AccessKind::Rmw);
+        // Acknowledge: after this we never touch object data again; data
+        // we wrote is restored lazily by the next acquirer (§2.2).
+        me.acknowledge_abort();
+        self.clear_reader_bits(ctx, tid);
+        ctx.write_set.clear();
+        match cause {
+            AbortCause::Requested => ctx.stats.aborts_requested += 1,
+            AbortCause::SelfAbort => ctx.stats.aborts_self += 1,
+            AbortCause::Validation => ctx.stats.aborts_validation += 1,
+            AbortCause::Explicit => ctx.stats.aborts_explicit += 1,
+        }
+    }
+
+    fn clear_reader_bits(&self, ctx: &mut ThreadCtx, tid: usize) {
+        if self.cfg.read_mode == ReadMode::Visible {
+            for r in ctx.read_set.drain(..) {
+                self.platform.mem_nb(r.obj.header().addr(), 8, AccessKind::Rmw);
+                r.obj.header().remove_reader(tid);
+            }
+        } else {
+            ctx.read_set.clear();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Conflict resolution
+    // ------------------------------------------------------------------
+
+    /// Resolve a conflict with `other`, the active transaction behind the
+    /// owner word value `raw` of header `h`.
+    ///
+    /// `await_ack` distinguishes in-place owners (whose late writes land
+    /// in the shared data — we must wait for the acknowledgement) from
+    /// locator owners (whose late writes land in their private `new_data`
+    /// — once AbortNowPlease is set they are as good as aborted).
+    fn resolve_conflict(
+        &self,
+        ctx: &mut ThreadCtx,
+        h: &crate::object::NZHeader,
+        raw: u64,
+        other: &TxnDesc,
+        await_ack: bool,
+    ) -> Result<ConflictOutcome, Abort> {
+        let me = Arc::clone(Self::me(ctx));
+        ctx.stats.conflicts += 1;
+        let mut waited = 0u64;
+        loop {
+            self.validate(ctx)?;
+            self.platform.mem(other.addr(), 8, AccessKind::Read);
+            if other.status() != Status::Active || h.owner_raw() != raw {
+                me.set_waiting(false);
+                return Ok(ConflictOutcome::Settled);
+            }
+            match self.cm.resolve(&me, other, waited) {
+                Resolution::Wait => {
+                    // Raise the deadlock-detection flag while stalled
+                    // ("TL raises a flag and waits until TH is done").
+                    me.set_waiting(true);
+                    self.platform.spin_wait();
+                    ctx.stats.wait_steps += 1;
+                    waited += 1;
+                }
+                Resolution::AbortSelf => {
+                    me.set_waiting(false);
+                    return Err(Abort(AbortCause::SelfAbort));
+                }
+                Resolution::RequestAbort => {
+                    me.set_waiting(false);
+                    ctx.stats.abort_requests_sent += 1;
+                    self.platform.mem(other.addr(), 8, AccessKind::Rmw);
+                    if other.request_abort() != Status::Active {
+                        // Peer settled before the request landed.
+                        return Ok(ConflictOutcome::Settled);
+                    }
+                    // Per §2.2, confirm we have not been asked to abort
+                    // ourselves after requesting the peer's abort.
+                    self.validate(ctx)?;
+                    if !await_ack {
+                        // Locator owner: its commit is now impossible and
+                        // its stores are private. Proceed immediately.
+                        return Ok(ConflictOutcome::Settled);
+                    }
+                    // Wait for the acknowledgement (Status = Aborted).
+                    let mut acked_wait = 0u64;
+                    loop {
+                        self.platform.mem(other.addr(), 8, AccessKind::Read);
+                        if other.status() != Status::Active {
+                            return Ok(ConflictOutcome::Settled);
+                        }
+                        self.validate(ctx)?;
+                        if M::NONBLOCKING && acked_wait >= self.cfg.patience {
+                            if M::SCSS {
+                                // One-shot barrier: after this, any
+                                // in-flight SCSS store by the victim has
+                                // completed and all future ones fail.
+                                self.platform.work(self.cfg.scss_cycles);
+                                other.with_scss_lock(|| {});
+                                return Ok(ConflictOutcome::Settled);
+                            }
+                            return Ok(ConflictOutcome::Unresponsive);
+                        }
+                        self.platform.spin_wait();
+                        ctx.stats.wait_steps += 1;
+                        acked_wait += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Request aborts of all visible readers of `h` other than ourselves.
+    /// Readers need no acknowledgement: once AbortNowPlease is set they
+    /// can never commit, and they perform no stores.
+    fn request_readers(&self, ctx: &mut ThreadCtx, h: &crate::object::NZHeader, tid: usize, guard: &Guard) -> Result<(), Abort> {
+        if self.cfg.read_mode != ReadMode::Visible {
+            return Ok(());
+        }
+        self.platform.mem(h.addr(), 8, AccessKind::Read);
+        let mut mask = h.readers() & !(1u64 << tid);
+        let me = Arc::as_ptr(Self::me(ctx));
+        while mask != 0 {
+            let t = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            self.platform.mem(self.registry.slot_addr(t), 8, AccessKind::Read);
+            if let Some(d) = self.registry.current(t, guard) {
+                if !std::ptr::eq(d, me) && d.status() == Status::Active {
+                    self.platform.mem(d.addr(), 8, AccessKind::Rmw);
+                    d.request_abort();
+                    ctx.stats.abort_requests_sent += 1;
+                }
+            }
+        }
+        self.validate(ctx)
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Acquire `obj` for writing; returns the index of its write-set entry.
+    fn acquire_write(&self, ctx: &mut ThreadCtx, tid: usize, obj: &Arc<dyn NzObjAny>) -> Result<usize, Abort> {
+        self.validate(ctx)?;
+        let me_ptr = Arc::as_ptr(Self::me(ctx));
+
+        // Already acquired? (Write sets are small; linear scan.)
+        if let Some(i) = ctx
+            .write_set
+            .iter()
+            .position(|w| std::ptr::eq(w.obj.header(), obj.header()))
+        {
+            return Ok(i);
+        }
+
+        // Invisible-read upgrade hazard: if we previously read this
+        // object, its version must still be what we read, or our earlier
+        // read is stale (lost update). Validated *here* — not at commit —
+        // because our own acquisition is about to bump the version.
+        let read_version = if self.cfg.read_mode == ReadMode::Invisible {
+            ctx.read_set
+                .iter()
+                .find(|r| std::ptr::eq(r.obj.header(), obj.header()))
+                .map(|r| r.version)
+        } else {
+            None
+        };
+
+        let h = obj.header();
+        loop {
+            let guard = crossbeam_epoch::pin();
+            self.platform.mem(h.addr(), 8, AccessKind::Read);
+            if M::NONBLOCKING {
+                // The inflation-tag test on the owner word: the extra
+                // instruction BZSTM compiles away (§4.4.2's 2–5%).
+                self.platform.work(1);
+            }
+            let owner_snapshot = h.owner(&guard);
+            // Check the version *after* loading the owner word: any later
+            // foreign acquisition changes the owner word and fails our
+            // CAS, so passing here + CAS success ⇒ no intervening bump
+            // (the epoch pin rules out owner-word ABA).
+            if let Some(v) = read_version {
+                if h.version() != v {
+                    return Err(Abort(AbortCause::Validation));
+                }
+            }
+            match owner_snapshot {
+                OwnerRef::None => {
+                    if self.try_install(ctx, tid, obj, 0, false, &guard)? {
+                        return Ok(ctx.write_set.len() - 1);
+                    }
+                }
+                OwnerRef::Txn(t, raw) => {
+                    let (st, anp) = t.state_snapshot();
+                    match st {
+                        Status::Active => {
+                            assert!(
+                                !std::ptr::eq(t, me_ptr),
+                                "active self-owned object must already be in the write set"
+                            );
+                            if M::SCSS && anp {
+                                // A previous requester already set
+                                // AbortNowPlease and barriered (or will);
+                                // barrier ourselves and steal: every
+                                // further SCSS store by the victim fails.
+                                self.platform.work(self.cfg.scss_cycles);
+                                t.with_scss_lock(|| {});
+                                if self.try_install(ctx, tid, obj, raw, true, &guard)? {
+                                    return Ok(ctx.write_set.len() - 1);
+                                }
+                                continue;
+                            }
+                            match self.resolve_conflict(ctx, h, raw, t, true)? {
+                                ConflictOutcome::Settled => continue,
+                                ConflictOutcome::Unresponsive => {
+                                    debug_assert!(M::NONBLOCKING && !M::SCSS);
+                                    self.inflate(ctx, tid, obj, raw, t, &guard)?;
+                                    // Owner word is (likely) a locator now;
+                                    // next iteration takes the inflated path.
+                                    continue;
+                                }
+                            }
+                        }
+                        _ => {
+                            // Settled owner (or our own settled descriptor
+                            // from an earlier attempt): restore if it
+                            // aborted, then steal.
+                            let aborted = st == Status::Aborted;
+                            if self.try_install(ctx, tid, obj, raw, aborted, &guard)? {
+                                return Ok(ctx.write_set.len() - 1);
+                            }
+                        }
+                    }
+                }
+                OwnerRef::Inflated(loc, raw) => {
+                    assert!(
+                        M::NONBLOCKING && !M::SCSS,
+                        "{} must never see an inflated object",
+                        M::NAME
+                    );
+                    if self.acquire_inflated(ctx, tid, obj, loc, raw, &guard)? {
+                        return Ok(ctx.write_set.len() - 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// CAS ourselves into the owner word (normal, non-inflated path) and
+    /// do the post-acquisition work: version bump, reader aborts,
+    /// restore-or-backup, final validation.
+    fn try_install(
+        &self,
+        ctx: &mut ThreadCtx,
+        tid: usize,
+        obj: &Arc<dyn NzObjAny>,
+        expected_raw: u64,
+        prev_aborted: bool,
+        guard: &Guard,
+    ) -> Result<bool, Abort> {
+        let me = Arc::clone(Self::me(ctx));
+        self.platform.mem(obj.header().addr(), 8, AccessKind::Rmw);
+        if !obj.header().cas_owner_to_txn(expected_raw, &me, guard) {
+            return Ok(false);
+        }
+        let h = obj.header();
+        h.bump_version();
+        Self::me(ctx).gained_object();
+        ctx.stats.acquires += 1;
+
+        // Visible readers must be told to abort *before* we mutate data.
+        self.request_readers(ctx, h, tid, guard)?;
+
+        let n = obj.data_words().len();
+        let backup_raw;
+        let existing = h
+            .backup(guard)
+            .filter(|(b, _)| b.usable_as_backup(guard));
+        if prev_aborted && existing.is_some() {
+            // Previous owner aborted with a (usable) backup in place:
+            // restore it (lazy undo), and adopt that same buffer as our
+            // own backup — it already holds the pre-transaction value
+            // (§2.2). Adoption (installer := us) happens *before* the
+            // restore copy so that if we abort mid-restore, the buffer
+            // still reads as usable for the next acquirer.
+            let (b, braw) = existing.expect("checked above");
+            b.set_installer(&me, guard);
+            self.platform.mem_nb(b.addr(), n * 8, AccessKind::Read);
+            self.platform.mem_nb(obj.data_addr(), n * 8, AccessKind::Write);
+            self.store_words(ctx, &me, obj.data_words(), b.words());
+            backup_raw = braw;
+        } else {
+            // Create a backup copy of the (valid) current data.
+            let buf = match ctx.pool.take(n) {
+                Some(b) => {
+                    ctx.stats.backup_reused += 1;
+                    b
+                }
+                None => {
+                    ctx.stats.backup_alloc += 1;
+                    WordBuf::zeroed(n)
+                }
+            };
+            buf.set_installer(&me, guard);
+            self.platform.mem_nb(obj.data_addr(), n * 8, AccessKind::Read);
+            self.platform.mem_nb(buf.addr(), n * 8, AccessKind::Write);
+            crate::data::copy_words(buf.words(), obj.data_words());
+            // Install; retry against racing commit-time take-backs.
+            loop {
+                let cur = h.backup_raw();
+                if h.cas_backup(cur, Some(&buf), guard) {
+                    break;
+                }
+            }
+            backup_raw = h.backup_raw();
+        }
+
+        // Final validation (§2.2): if we have been asked to abort, we must
+        // not proceed — the object stays owned by our (aborting)
+        // transaction and the next acquirer will restore the backup.
+        ctx.write_set
+            .push(WriteEntry { obj: Arc::clone(obj), target: WriteTarget::InPlace { backup_raw } });
+        self.validate(ctx)?;
+        Ok(true)
+    }
+
+    /// Store `src` into `dst` (in-place data words), SCSS-wrapping each
+    /// word store in SCSS mode.
+    fn store_words(&self, ctx: &mut ThreadCtx, me: &Arc<TxnDesc>, dst: &[std::sync::atomic::AtomicU64], src: &[std::sync::atomic::AtomicU64]) {
+        if M::SCSS {
+            for (d, s) in dst.iter().zip(src) {
+                let v = s.load(std::sync::atomic::Ordering::Relaxed);
+                // Failure is detected by the *next* validate; stores after
+                // AbortNowPlease simply do not happen.
+                let _ = self.scss_store(ctx, me, d, v);
+            }
+        } else {
+            for (d, s) in dst.iter().zip(src) {
+                d.store(s.load(std::sync::atomic::Ordering::Relaxed), std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The Single-Compare Single-Store: atomically { if my AbortNowPlease
+    /// is clear, store }. Returns whether the store happened.
+    fn scss_store(
+        &self,
+        ctx: &mut ThreadCtx,
+        me: &Arc<TxnDesc>,
+        word: &std::sync::atomic::AtomicU64,
+        value: u64,
+    ) -> bool {
+        ctx.stats.scss_stores += 1;
+        self.platform.work(self.cfg.scss_cycles);
+        let ok = me.with_scss_lock(|| {
+            if me.abort_requested() {
+                false
+            } else {
+                word.store(value, std::sync::atomic::Ordering::Relaxed);
+                true
+            }
+        });
+        if !ok {
+            ctx.stats.scss_failures += 1;
+        }
+        ok
+    }
+
+    // ------------------------------------------------------------------
+    // Inflation / deflation (NZSTM only)
+    // ------------------------------------------------------------------
+
+    /// Inflate `obj` past the unresponsive transaction `unresp` (§2.3.1).
+    /// On success we own the object through a fresh locator.
+    fn inflate(
+        &self,
+        ctx: &mut ThreadCtx,
+        tid: usize,
+        obj: &Arc<dyn NzObjAny>,
+        unresp_raw: u64,
+        unresp: &TxnDesc,
+        guard: &Guard,
+    ) -> Result<(), Abort> {
+        // Pre-CAS checks (§2.3.1): we are active with no pending abort
+        // request; the unresponsive transaction is still unresponsive;
+        // the owner word is unchanged (enforced by the CAS itself).
+        self.validate(ctx)?;
+        if unresp.status() != Status::Active {
+            return Ok(()); // it finally acknowledged; retry normally
+        }
+
+        let me = Arc::clone(Self::me(ctx));
+        let h = obj.header();
+        let n = obj.data_words().len();
+
+        // Old data: the unresponsive transaction's backup (pre-transaction
+        // value), or a fresh copy of the in-place data if it never
+        // installed one (footnote 1: it was still acquiring).
+        let old = match h.backup_arc(guard).filter(|b| b.usable_as_backup(guard)) {
+            Some(b) => b,
+            None => {
+                self.platform.mem_nb(obj.data_addr(), n * 8, AccessKind::Read);
+                WordBuf::from_words(obj.data_words())
+            }
+        };
+        let new = WordBuf::from_words(old.words());
+        self.platform.mem_nb(new.addr(), n * 8, AccessKind::Write);
+
+        let unresp_arc = unsafe {
+            // Safety: `unresp_raw` was loaded under `guard`; the field's
+            // strong count cannot be released before the pin ends.
+            std::sync::Arc::increment_strong_count(unresp as *const TxnDesc);
+            Arc::from_raw(unresp as *const TxnDesc)
+        };
+        let loc = Arc::new(Locator::new(Arc::clone(&me), unresp_arc, old, new));
+
+        self.platform.mem(h.addr(), 8, AccessKind::Rmw);
+        if h.cas_owner_to_locator(unresp_raw, &loc, guard) {
+            ctx.stats.inflations += 1;
+            h.bump_version();
+            me.gained_object();
+            ctx.stats.acquires += 1;
+            self.request_readers(ctx, h, tid, guard)?;
+            ctx.write_set
+                .push(WriteEntry { obj: Arc::clone(obj), target: WriteTarget::Inflated { loc } });
+            self.validate(ctx)?;
+        }
+        // On CAS failure someone else moved first; the caller retries.
+        Ok(())
+    }
+
+    /// Acquire an inflated object via the DSTM rules (§2.3.1), deflating
+    /// it afterwards if the unresponsive transaction has acknowledged.
+    fn acquire_inflated(
+        &self,
+        ctx: &mut ThreadCtx,
+        tid: usize,
+        obj: &Arc<dyn NzObjAny>,
+        loc: &Locator,
+        raw: u64,
+        guard: &Guard,
+    ) -> Result<bool, Abort> {
+        let me = Arc::clone(Self::me(ctx));
+        let h = obj.header();
+
+        let (st, anp) = loc.owner().state_snapshot();
+        if st == Status::Active && !anp && !std::ptr::eq(loc.owner(), Arc::as_ptr(&me)) {
+            // Live locator owner: contention management. Locator owners
+            // need no acknowledgement (their stores are private), so
+            // `await_ack = false`.
+            match self.resolve_conflict(ctx, h, raw, loc.owner(), false)? {
+                ConflictOutcome::Settled => return Ok(false), // re-examine
+                ConflictOutcome::Unresponsive => unreachable!("no ack needed for locator owners"),
+            }
+        }
+        if std::ptr::eq(loc.owner(), Arc::as_ptr(&me)) {
+            // Already ours through this locator (caller keeps write-set
+            // entries in sync, so this is a stale retry).
+            return Ok(false);
+        }
+
+        // DSTM acquire: value = new if committed else old; build our
+        // replacement locator, carrying the aborted-transaction identity.
+        let value_buf = loc.current_data();
+        let n = value_buf.len();
+        let new = WordBuf::from_words(value_buf.words());
+        self.platform.mem_nb(value_buf.addr(), n * 8, AccessKind::Read);
+        self.platform.mem_nb(new.addr(), n * 8, AccessKind::Write);
+        let mine = Arc::new(Locator::new(
+            Arc::clone(&me),
+            Arc::clone(loc.aborted_txn_arc()),
+            Arc::clone(value_buf),
+            new,
+        ));
+
+        self.platform.mem(h.addr(), 8, AccessKind::Rmw);
+        if !h.cas_owner_to_locator(raw, &mine, guard) {
+            return Ok(false);
+        }
+        h.bump_version();
+        me.gained_object();
+        ctx.stats.acquires += 1;
+        self.request_readers(ctx, h, tid, guard)?;
+
+        // Deflation (§2.3.1): once the unresponsive transaction has
+        // acknowledged, restore in-place operation.
+        if mine.deflatable() {
+            self.validate(ctx)?;
+            // Exact owner-word value of *our* locator. (Reading the field
+            // back instead would race with a competitor that has already
+            // requested our abort and replaced our locator — locator
+            // owners get no acknowledgement grace.)
+            let my_loc_raw = (Arc::as_ptr(&mine) as u64) | 1;
+            // 1. Backup := the valid data (our locator's old data),
+            //    installed under our identity.
+            mine.old_data().set_installer(&me, guard);
+            loop {
+                let cur = h.backup_raw();
+                self.platform.mem(h.addr(), 8, AccessKind::Rmw);
+                if h.cas_backup(cur, Some(mine.old_data()), guard) {
+                    break;
+                }
+            }
+            // 2. Owner := our transaction (untagged — deflated).
+            self.platform.mem(h.addr(), 8, AccessKind::Rmw);
+            if !h.cas_owner_to_txn(my_loc_raw, &me, guard) {
+                // A competitor requested our abort and replaced our
+                // locator before we could deflate. Keep the locator entry;
+                // validation will observe the AbortNowPlease shortly.
+                ctx.write_set.push(WriteEntry {
+                    obj: Arc::clone(obj),
+                    target: WriteTarget::Inflated { loc: mine },
+                });
+                self.validate(ctx)?;
+                return Ok(true);
+            }
+            // 3. Copy the backup back into the in-place data.
+            self.platform.mem_nb(obj.data_addr(), n * 8, AccessKind::Write);
+            self.store_words(ctx, &me, obj.data_words(), mine.old_data().words());
+            ctx.stats.deflations += 1;
+            ctx.write_set.push(WriteEntry {
+                obj: Arc::clone(obj),
+                target: WriteTarget::InPlace { backup_raw: h.backup_raw() },
+            });
+        } else {
+            ctx.write_set
+                .push(WriteEntry { obj: Arc::clone(obj), target: WriteTarget::Inflated { loc: mine } });
+        }
+        self.validate(ctx)?;
+        Ok(true)
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    fn read_value<T: TmData>(
+        &self,
+        ctx: &mut ThreadCtx,
+        tid: usize,
+        obj: &Arc<NZObject<T>>,
+    ) -> Result<T, Abort> {
+        self.validate(ctx)?;
+        ctx.stats.reads += 1;
+        let me_ptr = Arc::as_ptr(Self::me(ctx));
+        let h = obj.header();
+        let n = T::n_words();
+        let visible = self.cfg.read_mode == ReadMode::Visible;
+        let mut registered = false;
+
+        loop {
+            let guard = crossbeam_epoch::pin();
+            if visible && !registered {
+                // Register *before* examining the owner so any later
+                // writer is guaranteed to see us.
+                self.platform.mem(h.addr(), 8, AccessKind::Rmw);
+                h.add_reader(tid);
+                let any: Arc<dyn NzObjAny> = obj.clone();
+                ctx.read_set.push(ReadEntry { obj: any, version: 0 });
+                registered = true;
+            }
+
+            self.platform.mem(h.addr(), 8, AccessKind::Read);
+            if M::NONBLOCKING {
+                self.platform.work(1); // inflation-tag test (see acquire)
+            }
+            let v1 = h.version();
+            let o1 = h.owner_raw();
+            // Classify and pick the buffer holding the logical value.
+            enum Src<'g> {
+                Data,
+                Buf(&'g WordBuf),
+            }
+            let src = match h.owner(&guard) {
+                OwnerRef::None => Src::Data,
+                OwnerRef::Txn(t, raw) => {
+                    if std::ptr::eq(t, me_ptr) {
+                        // Our own eager in-place writes.
+                        Src::Data
+                    } else {
+                        match t.state_snapshot() {
+                            (Status::Committed, _) => Src::Data,
+                            (Status::Aborted, _) => match h
+                                .backup(&guard)
+                                .filter(|(b, _)| b.usable_as_backup(&guard))
+                            {
+                                Some((b, _)) => Src::Buf(b),
+                                None => Src::Data,
+                            },
+                            (Status::Active, anp) => {
+                                if M::SCSS && anp {
+                                    // SCSS: an ANP'd owner is as good as
+                                    // aborted once barriered — its stores
+                                    // can no longer land.
+                                    self.platform.work(self.cfg.scss_cycles);
+                                    t.with_scss_lock(|| {});
+                                    match h
+                                        .backup(&guard)
+                                        .filter(|(b, _)| b.usable_as_backup(&guard))
+                                    {
+                                        Some((b, _)) => Src::Buf(b),
+                                        None => Src::Data,
+                                    }
+                                } else {
+                                    match self.resolve_conflict(ctx, h, raw, t, true)? {
+                                        ConflictOutcome::Settled => continue,
+                                        ConflictOutcome::Unresponsive => {
+                                            debug_assert!(M::NONBLOCKING && !M::SCSS);
+                                            // Nonblocking read past an
+                                            // unresponsive owner: inflate
+                                            // (becoming the owner) and read
+                                            // our locator's data.
+                                            let any: Arc<dyn NzObjAny> = obj.clone();
+                                            self.inflate(ctx, tid, &any, raw, t, &guard)?;
+                                            continue;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                OwnerRef::Inflated(loc, raw) => {
+                    if !M::NONBLOCKING || M::SCSS {
+                        unreachable!("{} must never see an inflated object", M::NAME);
+                    }
+                    if std::ptr::eq(loc.owner(), me_ptr) {
+                        Src::Buf(loc.new_data().as_ref())
+                    } else {
+                        let (st, anp) = loc.owner().state_snapshot();
+                        if st == Status::Active && !anp {
+                            match self.resolve_conflict(ctx, h, raw, loc.owner(), false)? {
+                                ConflictOutcome::Settled => continue,
+                                ConflictOutcome::Unresponsive => continue,
+                            }
+                        }
+                        Src::Buf(loc.current_data().as_ref())
+                    }
+                }
+            };
+
+            // Decode (racy snapshot), then re-validate.
+            ctx.scratch.clear();
+            ctx.scratch.resize(n, 0);
+            match src {
+                Src::Data => {
+                    self.platform.mem_nb(obj.data_addr(), n * 8, AccessKind::Read);
+                    crate::data::snapshot_words(obj.data_words(), &mut ctx.scratch);
+                }
+                Src::Buf(b) => {
+                    self.platform.mem_nb(b.addr(), n * 8, AccessKind::Read);
+                    crate::data::snapshot_words(b.words(), &mut ctx.scratch);
+                }
+            }
+            self.platform.mem(h.addr(), 8, AccessKind::Read);
+            if h.owner_raw() != o1 || h.version() != v1 {
+                continue; // somebody moved underneath us; retry
+            }
+            self.validate(ctx)?;
+            let value = T::decode(&ctx.scratch);
+            if !visible {
+                let any: Arc<dyn NzObjAny> = obj.clone();
+                ctx.read_set.push(ReadEntry { obj: any, version: v1 });
+            }
+            return Ok(value);
+        }
+    }
+
+    fn write_value<T: TmData>(
+        &self,
+        ctx: &mut ThreadCtx,
+        tid: usize,
+        obj: &Arc<NZObject<T>>,
+        value: &T,
+    ) -> Result<(), Abort> {
+        let any: Arc<dyn NzObjAny> = obj.clone();
+        let idx = self.acquire_write(ctx, tid, &any)?;
+        let n = T::n_words();
+        ctx.scratch.clear();
+        ctx.scratch.resize(n, 0);
+        value.encode(&mut ctx.scratch);
+        let me = Arc::clone(Self::me(ctx));
+        match &ctx.write_set[idx].target {
+            WriteTarget::InPlace { .. } => {
+                self.platform.mem_nb(obj.data_addr(), n * 8, AccessKind::Write);
+                if M::SCSS {
+                    // Dirty-word write-back: an SCSS whose store would not
+                    // change the word is skipped — semantically identical
+                    // (the paired check guards *changes*) and essential
+                    // because whole-object writes would otherwise multiply
+                    // the per-store hardware-transaction cost the paper
+                    // measures per *mutated field* (§2.3.2/§4.4.2).
+                    let scratch = std::mem::take(&mut ctx.scratch);
+                    for (d, v) in obj.data_words().iter().zip(&scratch) {
+                        if d.load(std::sync::atomic::Ordering::Relaxed) != *v {
+                            let _ = self.scss_store(ctx, &me, d, *v);
+                        }
+                    }
+                    ctx.scratch = scratch;
+                } else {
+                    crate::data::write_words(obj.data_words(), &ctx.scratch);
+                }
+            }
+            WriteTarget::Inflated { loc } => {
+                let buf = Arc::clone(loc.new_data());
+                self.platform.mem_nb(buf.addr(), n * 8, AccessKind::Write);
+                crate::data::write_words(buf.words(), &ctx.scratch);
+            }
+        }
+        self.validate(ctx)
+    }
+}
+
+/// An in-flight transaction handle. Carries no lifetime (it holds raw
+/// pointers into the engine and this thread's context) so wrapper
+/// systems — the NZTM hybrid — can embed it in their own transaction
+/// types; it is only ever constructed by [`NzStm::run`], is `!Send`, and
+/// must not outlive the `run` closure that received it.
+pub struct NzTx<P: Platform, M: ModePolicy> {
+    sys: *const NzStm<P, M>,
+    ctx: *mut ThreadCtx,
+    tid: usize,
+}
+
+impl<P: Platform, M: ModePolicy> NzTx<P, M> {
+    /// Transactionally read `obj`'s current value.
+    pub fn read<T: TmData>(&mut self, obj: &Arc<NZObject<T>>) -> Result<T, Abort> {
+        let tid = self.tid;
+        // Safety: `sys` outlives the closure; `ctx` is this thread's slot.
+        let (sys, ctx) = unsafe { (&*self.sys, &mut *self.ctx) };
+        sys.read_value(ctx, tid, obj)
+    }
+
+    /// Transactionally overwrite `obj` with `value`.
+    pub fn write<T: TmData>(&mut self, obj: &Arc<NZObject<T>>, value: &T) -> Result<(), Abort> {
+        let tid = self.tid;
+        // Safety: as in `read`.
+        let (sys, ctx) = unsafe { (&*self.sys, &mut *self.ctx) };
+        sys.write_value(ctx, tid, obj, value)
+    }
+
+    /// Read-modify-write convenience.
+    pub fn update<T: TmData>(
+        &mut self,
+        obj: &Arc<NZObject<T>>,
+        f: impl FnOnce(&mut T),
+    ) -> Result<(), Abort> {
+        let mut v = self.read(obj)?;
+        f(&mut v);
+        self.write(obj, &v)
+    }
+
+    /// Explicitly abort this attempt (it will be retried).
+    pub fn abort(&mut self) -> Abort {
+        Abort(AbortCause::Explicit)
+    }
+}

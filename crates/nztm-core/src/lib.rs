@@ -1,0 +1,79 @@
+//! # nztm-core — Nonblocking Zero-indirection Transactional Memory
+//!
+//! A Rust implementation of the transactional-memory family from
+//! *"NZTM: Nonblocking Zero-indirection Transactional Memory"*
+//! (Tabba, Moir, Goodman, Hay, Wang — SPAA 2009):
+//!
+//! * [`Bzstm`] — the blocking base STM (§2.2): object data **in place**,
+//!   metadata collocated with data, eager writes with lazily-restored
+//!   backup copies, and the polite AbortNowPlease handshake.
+//! * [`Nzstm`] — the paper's headline contribution (§2.3.1): the same
+//!   zero-indirection common case, made **obstruction-free** by inflating
+//!   an object into a DSTM-style locator only when a conflicting
+//!   transaction is unresponsive, and deflating it back afterwards.
+//! * [`NzstmScss`] — the §2.3.2 variant: nonblocking with **no** locator
+//!   machinery at all, by pairing every data store with a check of the
+//!   writer's own AbortNowPlease flag (Single-Compare Single-Store,
+//!   emulated as a short atomic section).
+//! * [`hybrid`] — hooks for the NZTM hybrid (§2.4), used by the
+//!   `nztm-htm` crate's best-effort hardware path.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nztm_core::Nzstm;
+//! use nztm_sim::Native;
+//! use std::sync::Arc;
+//!
+//! let platform = Native::new(1);
+//! platform.register_thread();
+//! let stm = Nzstm::with_defaults(Arc::clone(&platform));
+//!
+//! let account = stm.new_obj(100u64);
+//! let r = stm.run(|tx| {
+//!     let v = tx.read(&account)?;
+//!     tx.write(&account, &(v + 23))?;
+//!     Ok(v)
+//! });
+//! assert_eq!(r, 100);
+//! assert_eq!(account.read_untracked(), 123);
+//! ```
+//!
+//! All engines are generic over [`nztm_sim::Platform`], so the same code
+//! runs on real threads ([`nztm_sim::Native`]) or on the deterministic
+//! simulated multiprocessor ([`nztm_sim::SimPlatform`]) used to reproduce
+//! the paper's simulator experiments.
+
+pub mod cm;
+pub mod data;
+pub mod engine;
+pub mod hybrid;
+pub mod locator;
+pub mod object;
+pub mod registry;
+pub mod runtime;
+pub mod stats;
+pub mod txn;
+pub mod util;
+
+pub use data::{FieldWord, TmData, WordArray};
+pub use engine::{Blocking, ModePolicy, Nonblocking, NzConfig, NzStm, NzTx, ReadMode, ScssMode};
+pub use object::{NZObject, NzObjAny, WordBuf};
+pub use runtime::{Handle, ObjPool, TmSys};
+pub use stats::TmStats;
+pub use txn::{Abort, AbortCause, Status, TxnDesc};
+
+use nztm_sim::Platform;
+
+/// The blocking base STM of §2.2 ("BZSTM" in the paper's evaluation).
+pub type Bzstm<P> = NzStm<P, Blocking>;
+/// The nonblocking zero-indirection STM of §2.3.1.
+pub type Nzstm<P> = NzStm<P, Nonblocking>;
+/// The SCSS variant of §2.3.2.
+pub type NzstmScss<P> = NzStm<P, ScssMode>;
+
+/// Convenience constructor matching the paper's default configuration
+/// (visible reads, Karma + deadlock-detection contention management).
+pub fn nzstm_default<P: Platform>(platform: std::sync::Arc<P>) -> std::sync::Arc<Nzstm<P>> {
+    Nzstm::with_defaults(platform)
+}

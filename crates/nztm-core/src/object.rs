@@ -1,0 +1,676 @@
+//! The `NZObject`: collocated metadata + in-place data (paper Figure 1).
+//!
+//! Layout, in declaration order (all inline, no indirection to reach the
+//! data):
+//!
+//! ```text
+//! +-----------------+  \
+//! | Owner (tagged)  |   |
+//! | Backup Data ptr |   |  metadata words
+//! | Readers bitmap  |   |
+//! | Version         |  /
+//! | Data word 0     |  \
+//! | ...             |   |  data, in place, at a fixed offset
+//! | Data word N-1   |  /
+//! +-----------------+
+//! ```
+//!
+//! * **Owner** — `0` when unowned; a pointer to the last acquiring
+//!   [`TxnDesc`] when the low bit is clear; a pointer to a
+//!   [`Locator`](crate::locator::Locator) with the low bit set when the
+//!   object has been *inflated* (paper Figure 2: "The Owner's low order
+//!   bit indicates how the object is interpreted").
+//! * **Backup Data** — points to the backup copy created by the last
+//!   acquiring writer; restored lazily if that writer aborted. Backup
+//!   buffers come from a per-thread pool and are reclaimed by successful
+//!   committers, reproducing the cache-locality property of §4.4.2.
+//! * **Readers** — visible-reader bitmap (one bit per thread, ≤ 64
+//!   threads), the read-sharing mechanism referenced in §2/§2.4.
+//! * **Version** — bumped on each exclusive acquisition; only consumed by
+//!   the invisible-reader *extension*, ignored by the paper's algorithms.
+//! * **Clone()** — the paper stores a clone-function pointer; in Rust the
+//!   role is played by the `TmData` impl, monomorphized away.
+//!
+//! ## Pointer discipline
+//!
+//! The owner and backup words hold raw pointers that each carry one
+//! strong `Arc` count. Whoever removes a pointer from a field (CAS)
+//! becomes responsible for that count and **defers** the drop through
+//! `crossbeam-epoch`, so any thread that loaded the pointer under an
+//! epoch pin can still dereference it safely. This is the Rust-sound
+//! replacement for the C original's leak-or-GC discipline.
+
+use crate::data::{TmData, WordArray};
+use crate::locator::Locator;
+use crate::txn::TxnDesc;
+use crossbeam_epoch::Guard;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A reference-counted buffer of atomic words (backup copies, locator
+/// old/new data). Contents are mutated only by the buffer's current
+/// logical owner; stale readers may race on the words (benign — they
+/// validate afterwards).
+///
+/// The word storage is 64-byte aligned and padded to whole cache lines,
+/// so a buffer never shares a host line with another allocation — the
+/// property the simulator's deterministic line translation relies on.
+pub struct WordBuf {
+    ptr: std::ptr::NonNull<AtomicU64>,
+    len: usize,
+    synth: usize,
+    /// Raw pointer (one strong `Arc` count) to the transaction that
+    /// *installed* this buffer as an object's backup; 0 = none. Needed
+    /// to close a subtle stale-backup race: after a committed owner's
+    /// backup-detach races with a new acquirer, the backup field can
+    /// transiently point at a buffer whose contents predate the
+    /// committed value. The rule (`usable_as_backup`): a backup may be
+    /// restored **only if its installer did not commit** — a committed
+    /// installer's value lives in the in-place data, making the buffer
+    /// stale; an active or aborted installer's buffer holds the
+    /// pre-transaction (still logical) value.
+    installer: AtomicU64,
+}
+
+unsafe impl Send for WordBuf {}
+unsafe impl Sync for WordBuf {}
+
+impl WordBuf {
+    fn layout(len: usize) -> std::alloc::Layout {
+        let bytes = (len.max(1) * 8).next_multiple_of(64);
+        std::alloc::Layout::from_size_align(bytes, 64).expect("valid WordBuf layout")
+    }
+
+    pub fn zeroed(len: usize) -> Arc<Self> {
+        // Safety: AtomicU64 is valid when zero-initialized.
+        let ptr = unsafe { std::alloc::alloc_zeroed(Self::layout(len)) } as *mut AtomicU64;
+        let ptr = std::ptr::NonNull::new(ptr).expect("WordBuf allocation failed");
+        Arc::new(WordBuf {
+            ptr,
+            len,
+            synth: nztm_sim::synth_alloc(len.max(1) * 8),
+            installer: AtomicU64::new(0),
+        })
+    }
+
+    pub fn from_words(src: &[AtomicU64]) -> Arc<Self> {
+        let buf = Self::zeroed(src.len());
+        crate::data::copy_words(buf.words(), src);
+        buf
+    }
+
+    pub fn words(&self) -> &[AtomicU64] {
+        // Safety: `ptr` is valid for `len` zero-initialized atomics for
+        // the lifetime of `self`.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Synthetic address used for cache-model charging.
+    pub fn addr(&self) -> usize {
+        self.synth
+    }
+
+    /// Record `me` as this buffer's installer (adopting the buffer as
+    /// `me`'s backup). Swaps in a fresh strong count; the displaced
+    /// installer's count is released through the epoch because stale
+    /// readers may be dereferencing it concurrently.
+    pub fn set_installer(&self, me: &Arc<TxnDesc>, guard: &Guard) {
+        let new_raw = Arc::into_raw(Arc::clone(me)) as u64;
+        let old = self.installer.swap(new_raw, Ordering::SeqCst);
+        if old != 0 {
+            let ptr = old as *const TxnDesc;
+            unsafe {
+                guard.defer_unchecked(move || drop(Arc::from_raw(ptr)));
+            }
+        }
+    }
+
+    /// The installer's current status, if an installer is recorded.
+    /// Requires an epoch pin (the installer count may be swapped out and
+    /// deferred concurrently).
+    pub fn installer_status(&self, _guard: &Guard) -> Option<crate::txn::Status> {
+        let raw = self.installer.load(Ordering::SeqCst);
+        if raw == 0 {
+            None
+        } else {
+            Some(unsafe { &*(raw as *const TxnDesc) }.status())
+        }
+    }
+
+    /// Whether this buffer may be restored as a backup: its installer
+    /// must not have committed (see the `installer` field docs).
+    pub fn usable_as_backup(&self, guard: &Guard) -> bool {
+        !matches!(self.installer_status(guard), Some(crate::txn::Status::Committed))
+    }
+}
+
+impl Drop for WordBuf {
+    fn drop(&mut self) {
+        let raw = *self.installer.get_mut();
+        if raw != 0 {
+            unsafe { drop(Arc::from_raw(raw as *const TxnDesc)) };
+        }
+        unsafe { std::alloc::dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.len)) };
+    }
+}
+
+/// What the owner word currently holds. Borrowed views are valid for the
+/// lifetime of the epoch guard they were loaded under.
+pub enum OwnerRef<'g> {
+    /// Unowned (`NULL` owner).
+    None,
+    /// Owned by a transaction; `raw` is the exact word value for CAS.
+    Txn(&'g TxnDesc, u64),
+    /// Inflated; `raw` is the exact word value for CAS (tag bit set).
+    Inflated(&'g Locator, u64),
+}
+
+const INFLATED_TAG: u64 = 1;
+
+/// The metadata head shared by every `NZObject<T>` (type-erased view).
+pub struct NZHeader {
+    owner: AtomicU64,
+    backup: AtomicU64,
+    readers: AtomicU64,
+    version: AtomicU64,
+    /// Synthetic base address of the whole object: the four metadata
+    /// words occupy `[synth, synth+32)` and the in-place data starts at
+    /// `synth + 32` — so small objects' metadata and data share one
+    /// cache line, the collocation property of Figure 1.
+    synth: usize,
+}
+
+impl Default for NZHeader {
+    fn default() -> Self {
+        NZHeader::with_synth(nztm_sim::synth_alloc(64))
+    }
+}
+
+impl NZHeader {
+    /// Build a header whose synthetic object base is `synth`.
+    pub fn with_synth(synth: usize) -> Self {
+        NZHeader {
+            owner: AtomicU64::new(0),
+            backup: AtomicU64::new(0),
+            readers: AtomicU64::new(0),
+            version: AtomicU64::new(0),
+            synth,
+        }
+    }
+}
+
+impl NZHeader {
+    /// Synthetic address of the owner word (cache-model charging: the
+    /// metadata words share the object's first line with the first data
+    /// words — collocation is the point).
+    pub fn addr(&self) -> usize {
+        self.synth
+    }
+
+    /// Synthetic address of the in-place data (fixed offset 32 from the
+    /// object base).
+    pub fn data_synth(&self) -> usize {
+        self.synth + 32
+    }
+
+    // ---- owner word ------------------------------------------------------
+
+    /// Load the owner word and classify it.
+    ///
+    /// The `_guard` parameter enforces that the caller holds an epoch pin
+    /// for as long as the returned references are used.
+    pub fn owner<'g>(&self, _guard: &'g Guard) -> OwnerRef<'g> {
+        let raw = self.owner.load(Ordering::SeqCst);
+        if raw == 0 {
+            OwnerRef::None
+        } else if raw & INFLATED_TAG != 0 {
+            let ptr = (raw & !INFLATED_TAG) as *const Locator;
+            OwnerRef::Inflated(unsafe { &*ptr }, raw)
+        } else {
+            OwnerRef::Txn(unsafe { &*(raw as *const TxnDesc) }, raw)
+        }
+    }
+
+    /// Raw owner word (for equality re-validation).
+    pub fn owner_raw(&self) -> u64 {
+        self.owner.load(Ordering::SeqCst)
+    }
+
+    /// CAS the owner word from `expected` to a transaction pointer,
+    /// transferring one strong count of `new` into the field on success
+    /// and deferring destruction of whatever `expected` referenced.
+    pub fn cas_owner_to_txn(&self, expected: u64, new: &Arc<TxnDesc>, guard: &Guard) -> bool {
+        let new_raw = Arc::into_raw(Arc::clone(new)) as u64;
+        debug_assert_eq!(new_raw & 0b111, 0, "descriptor under-aligned");
+        self.cas_owner_raw(expected, new_raw, guard)
+    }
+
+    /// CAS the owner word from `expected` to a locator pointer (tag bit
+    /// set — the object becomes *inflated*).
+    pub fn cas_owner_to_locator(&self, expected: u64, new: &Arc<Locator>, guard: &Guard) -> bool {
+        let new_raw = Arc::into_raw(Arc::clone(new)) as u64;
+        debug_assert_eq!(new_raw & 0b111, 0, "locator under-aligned");
+        self.cas_owner_raw(expected, new_raw | INFLATED_TAG, guard)
+    }
+
+    /// CAS the owner word to NULL (used by the hybrid's hardware path to
+    /// erase settled owners, §2.4).
+    pub fn cas_owner_to_null(&self, expected: u64, guard: &Guard) -> bool {
+        self.cas_owner_raw(expected, 0, guard)
+    }
+
+    fn cas_owner_raw(&self, expected: u64, new_raw: u64, guard: &Guard) -> bool {
+        match self.owner.compare_exchange(expected, new_raw, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => {
+                defer_drop_owner_word(expected, guard);
+                true
+            }
+            Err(_) => {
+                // We still hold the strong count we minted for `new_raw`;
+                // release it (nothing ever saw the pointer).
+                drop_owner_word_now(new_raw);
+                false
+            }
+        }
+    }
+
+    // ---- backup word -------------------------------------------------------
+
+    /// Load the backup buffer, if any. Valid while the guard is held.
+    pub fn backup<'g>(&self, _guard: &'g Guard) -> Option<(&'g WordBuf, u64)> {
+        let raw = self.backup.load(Ordering::SeqCst);
+        if raw == 0 {
+            None
+        } else {
+            Some((unsafe { &*(raw as *const WordBuf) }, raw))
+        }
+    }
+
+    pub fn backup_raw(&self) -> u64 {
+        self.backup.load(Ordering::SeqCst)
+    }
+
+    /// Clone the backup buffer's `Arc`, if installed.
+    ///
+    /// Sound because the field's strong count cannot be released before
+    /// the guard's pin ends (destruction is deferred through the same
+    /// epoch), so the count is ≥ 1 while we increment it.
+    pub fn backup_arc(&self, _guard: &Guard) -> Option<Arc<WordBuf>> {
+        let raw = self.backup.load(Ordering::SeqCst);
+        if raw == 0 {
+            None
+        } else {
+            let ptr = raw as *const WordBuf;
+            unsafe {
+                Arc::increment_strong_count(ptr);
+                Some(Arc::from_raw(ptr))
+            }
+        }
+    }
+
+    /// CAS the backup word, deferring destruction of the displaced buffer.
+    /// On success the field owns one strong count of `new`.
+    pub fn cas_backup(&self, expected: u64, new: Option<&Arc<WordBuf>>, guard: &Guard) -> bool {
+        let new_raw = match new {
+            Some(b) => Arc::into_raw(Arc::clone(b)) as u64,
+            None => 0,
+        };
+        match self.backup.compare_exchange(expected, new_raw, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => {
+                if expected != 0 {
+                    let ptr = expected as *const WordBuf;
+                    unsafe {
+                        guard.defer_unchecked(move || drop(Arc::from_raw(ptr)));
+                    }
+                }
+                true
+            }
+            Err(_) => {
+                if new_raw != 0 {
+                    unsafe { drop(Arc::from_raw(new_raw as *const WordBuf)) };
+                }
+                false
+            }
+        }
+    }
+
+    /// Detach the backup buffer *without* dropping it, returning the
+    /// owned `Arc` to the caller (commit-time reclamation into the
+    /// thread-local pool, §4.4.2). Fails if the field changed.
+    pub fn take_backup(&self, expected: u64) -> Option<Arc<WordBuf>> {
+        if expected == 0 {
+            return None;
+        }
+        if self
+            .backup
+            .compare_exchange(expected, 0, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            Some(unsafe { Arc::from_raw(expected as *const WordBuf) })
+        } else {
+            None
+        }
+    }
+
+    // ---- readers bitmap ----------------------------------------------------
+
+    /// Register thread `tid` as a visible reader. Returns the previous mask.
+    pub fn add_reader(&self, tid: usize) -> u64 {
+        self.readers.fetch_or(1 << tid, Ordering::SeqCst)
+    }
+
+    /// Deregister thread `tid`.
+    pub fn remove_reader(&self, tid: usize) {
+        self.readers.fetch_and(!(1 << tid), Ordering::SeqCst);
+    }
+
+    /// Current visible-reader mask.
+    pub fn readers(&self) -> u64 {
+        self.readers.load(Ordering::SeqCst)
+    }
+
+    // ---- version (invisible-reader extension) --------------------------------
+
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    pub fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+impl Drop for NZHeader {
+    fn drop(&mut self) {
+        // Objects are dropped only when their pool/structure is dropped,
+        // after all transactions finished; reclaim synchronously.
+        drop_owner_word_now(*self.owner.get_mut());
+        let b = *self.backup.get_mut();
+        if b != 0 {
+            unsafe { drop(Arc::from_raw(b as *const WordBuf)) };
+        }
+    }
+}
+
+fn defer_drop_owner_word(raw: u64, guard: &Guard) {
+    if raw == 0 {
+        return;
+    }
+    unsafe {
+        if raw & INFLATED_TAG != 0 {
+            let ptr = (raw & !INFLATED_TAG) as *const Locator;
+            guard.defer_unchecked(move || drop(Arc::from_raw(ptr)));
+        } else {
+            let ptr = raw as *const TxnDesc;
+            guard.defer_unchecked(move || drop(Arc::from_raw(ptr)));
+        }
+    }
+}
+
+fn drop_owner_word_now(raw: u64) {
+    if raw == 0 {
+        return;
+    }
+    unsafe {
+        if raw & INFLATED_TAG != 0 {
+            drop(Arc::from_raw((raw & !INFLATED_TAG) as *const Locator));
+        } else {
+            drop(Arc::from_raw(raw as *const TxnDesc));
+        }
+    }
+}
+
+/// A transactional object: header + in-place data words.
+///
+/// 64-byte aligned: the header words and the first data words share the
+/// object's first cache line (collocation, Figure 1), and distinct
+/// objects never share a line (determinism + the paper's padding).
+#[repr(align(64))]
+pub struct NZObject<T: TmData> {
+    header: NZHeader,
+    data: T::Words,
+}
+
+impl<T: TmData> NZObject<T> {
+    pub fn new(init: T) -> Arc<Self> {
+        let base = nztm_sim::synth_alloc(32 + T::n_words() * 8);
+        let obj: NZObject<T> =
+            NZObject { header: NZHeader::with_synth(base), data: T::Words::new_zeroed() };
+        let mut buf = vec![0u64; T::n_words()];
+        init.encode(&mut buf);
+        crate::data::write_words(obj.data.words(), &buf);
+        Arc::new(obj)
+    }
+
+    pub fn header(&self) -> &NZHeader {
+        &self.header
+    }
+
+    /// In-place data words.
+    pub fn data_words(&self) -> &[AtomicU64] {
+        self.data.words()
+    }
+
+    /// Synthetic address of the first data word (cache charging).
+    pub fn data_addr(&self) -> usize {
+        self.header.data_synth()
+    }
+
+    /// Non-transactional read of the object's **logical** value, derived
+    /// exactly as the algorithm derives it: the locator's current buffer
+    /// when inflated; the backup under a live or (usably) aborted owner;
+    /// otherwise the in-place data. Only safe to *trust* when no
+    /// transactions are running (setup/verification) — e.g. at the end
+    /// of a run, an object still owned by an aborted transaction holds
+    /// dirty in-place words whose undo is pending lazy restore.
+    pub fn read_untracked(&self) -> T {
+        let guard = crossbeam_epoch::pin();
+        let mut buf = vec![0u64; T::n_words()];
+        match self.header.owner(&guard) {
+            OwnerRef::Inflated(loc, _) => {
+                crate::data::snapshot_words(loc.current_data().words(), &mut buf);
+            }
+            OwnerRef::Txn(t, _) if t.status() != crate::txn::Status::Committed => {
+                match self.header.backup(&guard).filter(|(b, _)| b.usable_as_backup(&guard)) {
+                    Some((b, _)) => crate::data::snapshot_words(b.words(), &mut buf),
+                    None => crate::data::snapshot_words(self.data.words(), &mut buf),
+                }
+            }
+            _ => crate::data::snapshot_words(self.data.words(), &mut buf),
+        }
+        T::decode(&buf)
+    }
+}
+
+/// Type-erased view of an `NZObject<T>`, stored in transaction read/write
+/// sets.
+pub trait NzObjAny: Send + Sync {
+    fn header(&self) -> &NZHeader;
+    fn data_words(&self) -> &[AtomicU64];
+    fn data_addr(&self) -> usize;
+}
+
+impl<T: TmData> NzObjAny for NZObject<T> {
+    fn header(&self) -> &NZHeader {
+        &self.header
+    }
+    fn data_words(&self) -> &[AtomicU64] {
+        self.data.words()
+    }
+    fn data_addr(&self) -> usize {
+        self.header.data_synth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::Status;
+
+    fn desc() -> Arc<TxnDesc> {
+        Arc::new(TxnDesc::new(0, 0))
+    }
+
+    #[test]
+    fn new_object_is_unowned_and_holds_init() {
+        let o = NZObject::new(42u64);
+        let g = crossbeam_epoch::pin();
+        assert!(matches!(o.header().owner(&g), OwnerRef::None));
+        assert_eq!(o.read_untracked(), 42);
+        assert_eq!(o.header().readers(), 0);
+    }
+
+    #[test]
+    fn cas_owner_installs_and_reads_back() {
+        let o = NZObject::new(1u64);
+        let d = desc();
+        let g = crossbeam_epoch::pin();
+        assert!(o.header().cas_owner_to_txn(0, &d, &g));
+        match o.header().owner(&g) {
+            OwnerRef::Txn(t, _) => {
+                assert_eq!(t.status(), Status::Active);
+                assert!(std::ptr::eq(t, Arc::as_ptr(&d).cast()));
+            }
+            _ => panic!("expected txn owner"),
+        }
+    }
+
+    #[test]
+    fn cas_owner_fails_on_stale_expected() {
+        let o = NZObject::new(1u64);
+        let d1 = desc();
+        let d2 = desc();
+        let g = crossbeam_epoch::pin();
+        assert!(o.header().cas_owner_to_txn(0, &d1, &g));
+        assert!(!o.header().cas_owner_to_txn(0, &d2, &g), "stale expected must fail");
+        // d2's refcount was not leaked: dropping d2 here must free it
+        // (checked by loom-free logic: strong count back to 1).
+        assert_eq!(Arc::strong_count(&d2), 1);
+    }
+
+    #[test]
+    fn owner_replacement_keeps_old_alive_until_epoch() {
+        let o = NZObject::new(1u64);
+        let d1 = desc();
+        let d2 = desc();
+        let g = crossbeam_epoch::pin();
+        assert!(o.header().cas_owner_to_txn(0, &d1, &g));
+        let raw1 = o.header().owner_raw();
+        assert!(o.header().cas_owner_to_txn(raw1, &d2, &g));
+        // d1's field count is deferred, not dropped: still ≥ 2 in the
+        // worst case, and definitely not 0 — we can still use d1.
+        assert_eq!(d1.status(), Status::Active);
+        match o.header().owner(&g) {
+            OwnerRef::Txn(t, _) => assert!(std::ptr::eq(t, Arc::as_ptr(&d2).cast())),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn locator_tagging_round_trips() {
+        let o = NZObject::new(5u64);
+        let d = desc();
+        let aborted = desc();
+        let g = crossbeam_epoch::pin();
+        let old = WordBuf::from_words(o.data_words());
+        let new = WordBuf::from_words(o.data_words());
+        let loc = Arc::new(Locator::new(Arc::clone(&d), Arc::clone(&aborted), old, new));
+        assert!(o.header().cas_owner_to_locator(0, &loc, &g));
+        match o.header().owner(&g) {
+            OwnerRef::Inflated(l, raw) => {
+                assert_eq!(raw & 1, 1, "tag bit set");
+                assert!(std::ptr::eq(l.owner(), Arc::as_ptr(&d).cast()));
+            }
+            _ => panic!("expected inflated"),
+        }
+    }
+
+    #[test]
+    fn backup_install_take_cycle() {
+        let o = NZObject::new(7u64);
+        let g = crossbeam_epoch::pin();
+        let buf = WordBuf::from_words(o.data_words());
+        assert!(o.header().cas_backup(0, Some(&buf), &g));
+        let raw = o.header().backup_raw();
+        assert_ne!(raw, 0);
+        let (b, braw) = o.header().backup(&g).unwrap();
+        assert_eq!(braw, raw);
+        assert_eq!(b.words()[0].load(Ordering::Relaxed), 7);
+        // Take it back (commit-time reclamation).
+        let taken = o.header().take_backup(raw).unwrap();
+        assert_eq!(taken.words()[0].load(Ordering::Relaxed), 7);
+        assert!(o.header().backup(&g).is_none());
+        // Second take fails.
+        assert!(o.header().take_backup(raw).is_none());
+    }
+
+    #[test]
+    fn reader_bitmap_set_clear() {
+        let o = NZObject::new(0u64);
+        let h = o.header();
+        assert_eq!(h.add_reader(3), 0);
+        assert_eq!(h.add_reader(5), 1 << 3);
+        assert_eq!(h.readers(), (1 << 3) | (1 << 5));
+        h.remove_reader(3);
+        assert_eq!(h.readers(), 1 << 5);
+        h.remove_reader(5);
+        assert_eq!(h.readers(), 0);
+    }
+
+    #[test]
+    fn version_bumps() {
+        let o = NZObject::new(0u64);
+        assert_eq!(o.header().version(), 0);
+        o.header().bump_version();
+        o.header().bump_version();
+        assert_eq!(o.header().version(), 2);
+    }
+
+    #[test]
+    fn data_is_at_fixed_offset_after_header() {
+        // Zero indirection: the synthetic data address sits at a fixed
+        // offset from the header, on the same cache line for small
+        // objects (collocation, Figure 1).
+        let o = NZObject::new(9u64);
+        assert_eq!(o.data_addr(), o.header().addr() + 32);
+        assert_eq!(o.data_addr() >> 6, o.header().addr() >> 6, "same line");
+        // And the host layout is genuinely inline: the data array lives
+        // inside the object allocation.
+        let base = &*o as *const NZObject<u64> as usize;
+        let host_data = o.data_words().as_ptr() as usize;
+        assert!(host_data > base && host_data - base < std::mem::size_of::<NZObject<u64>>());
+    }
+
+    #[test]
+    fn header_drop_releases_owner_and_backup() {
+        let d = desc();
+        {
+            let o = NZObject::new(1u64);
+            let g = crossbeam_epoch::pin();
+            assert!(o.header().cas_owner_to_txn(0, &d, &g));
+            let buf = WordBuf::from_words(o.data_words());
+            assert!(o.header().cas_backup(0, Some(&buf), &g));
+            drop(o);
+        }
+        // The object's strong count on d was released synchronously.
+        assert_eq!(Arc::strong_count(&d), 1);
+    }
+
+    #[test]
+    fn wordbuf_from_words_copies() {
+        let o = NZObject::new(11u64);
+        let b = WordBuf::from_words(o.data_words());
+        o.data_words()[0].store(99, Ordering::Relaxed);
+        assert_eq!(b.words()[0].load(Ordering::Relaxed), 11, "backup is a copy");
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! Backend-independent transactional interface.
+//!
+//! The paper evaluates seven systems over the same benchmarks. To make
+//! that possible here, all workloads are written against [`TmSys`] — an
+//! object-granular transactional interface in the style of DSTM's
+//! programming model (which the paper's C model derives from) — and every
+//! engine in this workspace (BZSTM, NZSTM, SCSS, DSTM, DSTM2-SF, the
+//! global lock, and the hybrid) implements it.
+//!
+//! [`ObjPool`] and [`Handle`] provide the standard object-based-STM idiom
+//! for linked data structures: objects live in a pool owned by the data
+//! structure and reference each other by pool index (a `Handle`), which
+//! encodes as a single data word. This avoids embedding raw pointers in
+//! transactional data — the C original leaks or garbage-collects; a pool
+//! is the Rust-sound equivalent with the same cache behaviour.
+
+use crate::data::{FieldWord, TmData};
+use crate::engine::{ModePolicy, NzStm, NzTx};
+use crate::object::NZObject;
+use crate::stats::TmStats;
+use crate::txn::Abort;
+use nztm_sim::Platform;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Object-granular transactional system: the common interface of every
+/// TM implementation in this workspace.
+pub trait TmSys: Send + Sync + Sized + 'static {
+    /// Container type for a transactional object holding a `T`.
+    type Obj<T: TmData>: Send + Sync + 'static;
+    /// In-flight transaction handle.
+    type Tx<'t>;
+
+    /// Allocate a transactional object.
+    fn alloc<T: TmData>(&self, init: T) -> Self::Obj<T>;
+
+    /// Non-transactional read (setup / post-run verification only).
+    fn peek<T: TmData>(obj: &Self::Obj<T>) -> T;
+
+    /// Run `f` as a transaction, retrying until it commits.
+    fn execute<R>(&self, f: &mut dyn FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R;
+
+    /// Transactional read.
+    fn read<T: TmData>(tx: &mut Self::Tx<'_>, obj: &Self::Obj<T>) -> Result<T, Abort>;
+
+    /// Transactional overwrite.
+    fn write<T: TmData>(tx: &mut Self::Tx<'_>, obj: &Self::Obj<T>, v: &T) -> Result<(), Abort>;
+
+    /// Merged statistics (call only while quiescent).
+    fn stats(&self) -> TmStats;
+
+    /// Reset statistics (call only while quiescent).
+    fn reset_stats(&self);
+
+    /// Human-readable system name ("NZSTM", "BZSTM", ...).
+    fn name(&self) -> &'static str;
+}
+
+impl<P: Platform, M: ModePolicy> TmSys for NzStm<P, M> {
+    type Obj<T: TmData> = Arc<NZObject<T>>;
+    type Tx<'t> = NzTx<P, M>;
+
+    fn alloc<T: TmData>(&self, init: T) -> Self::Obj<T> {
+        self.new_obj(init)
+    }
+
+    fn peek<T: TmData>(obj: &Self::Obj<T>) -> T {
+        obj.read_untracked()
+    }
+
+    fn execute<R>(&self, f: &mut dyn FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R {
+        self.run(|tx| f(tx))
+    }
+
+    fn read<T: TmData>(tx: &mut Self::Tx<'_>, obj: &Self::Obj<T>) -> Result<T, Abort> {
+        tx.read(obj)
+    }
+
+    fn write<T: TmData>(tx: &mut Self::Tx<'_>, obj: &Self::Obj<T>, v: &T) -> Result<(), Abort> {
+        tx.write(obj, v)
+    }
+
+    fn stats(&self) -> TmStats {
+        NzStm::stats(self)
+    }
+
+    fn reset_stats(&self) {
+        NzStm::reset_stats(self)
+    }
+
+    fn name(&self) -> &'static str {
+        self.mode_name()
+    }
+}
+
+/// A typed index into an [`ObjPool`]. Encodes as one data word, so linked
+/// data structures can store references to other transactional objects
+/// inside their transactional data.
+pub struct Handle<T>(u32, PhantomData<fn() -> T>);
+
+impl<T> Handle<T> {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl<T> Clone for Handle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Handle<T> {}
+impl<T> PartialEq for Handle<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl<T> Eq for Handle<T> {}
+impl<T> std::fmt::Debug for Handle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Handle({})", self.0)
+    }
+}
+impl<T> std::hash::Hash for Handle<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl<T: 'static> FieldWord for Handle<T> {
+    fn to_word(self) -> u64 {
+        self.0 as u64
+    }
+    fn from_word(w: u64) -> Self {
+        Handle(w as u32, PhantomData)
+    }
+}
+
+/// A fixed-capacity, append-only pool of transactional objects, owned by
+/// a data structure. Allocation is lock-free (bump index + per-slot
+/// `OnceLock`); lookup is wait-free.
+pub struct ObjPool<S: TmSys, T: TmData> {
+    slots: Box<[OnceLock<S::Obj<T>>]>,
+    next: AtomicUsize,
+}
+
+impl<S: TmSys, T: TmData> ObjPool<S, T> {
+    /// Create a pool able to hold `capacity` objects.
+    pub fn new(capacity: usize) -> Self {
+        ObjPool {
+            slots: (0..capacity).map(|_| OnceLock::new()).collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Allocate a fresh object initialized to `init`.
+    ///
+    /// Allocation happens *outside* transactional control (as in DSTM-era
+    /// benchmarks): an object allocated by an attempt that later aborts is
+    /// simply garbage in the pool.
+    pub fn alloc(&self, sys: &S, init: T) -> Handle<T> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            i < self.slots.len(),
+            "ObjPool capacity {} exhausted — size the pool for the workload",
+            self.slots.len()
+        );
+        let obj = sys.alloc(init);
+        self.slots[i]
+            .set(obj)
+            .unwrap_or_else(|_| unreachable!("slot {i} double-initialized"));
+        Handle(i as u32, PhantomData)
+    }
+
+    /// Look up a handle.
+    pub fn get(&self, h: Handle<T>) -> &S::Obj<T> {
+        self.slots[h.index()].get().expect("dangling handle: slot never allocated")
+    }
+
+    /// Number of objects allocated so far.
+    pub fn len(&self) -> usize {
+        self.next.load(Ordering::Relaxed).min(self.slots.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Nonblocking;
+    use nztm_sim::Native;
+
+    type Sys = NzStm<Native, Nonblocking>;
+
+    fn sys() -> Arc<Sys> {
+        let p = Native::new(1);
+        p.register_thread();
+        NzStm::with_defaults(p)
+    }
+
+    #[test]
+    fn handle_encodes_as_word() {
+        let h = Handle::<u64>(7, PhantomData);
+        assert_eq!(h.to_word(), 7);
+        assert_eq!(Handle::<u64>::from_word(7), h);
+        assert_eq!(h.index(), 7);
+    }
+
+    #[test]
+    fn option_handle_round_trips() {
+        let h: Option<Handle<u64>> = Some(Handle(0, PhantomData));
+        let w = h.to_word();
+        assert_eq!(Option::<Handle<u64>>::from_word(w), h);
+        assert_eq!(Option::<Handle<u64>>::from_word(Option::<Handle<u64>>::to_word(None)), None);
+    }
+
+    #[test]
+    fn pool_alloc_get_round_trip() {
+        let s = sys();
+        let pool: ObjPool<Sys, u64> = ObjPool::new(4);
+        let a = pool.alloc(&s, 11);
+        let b = pool.alloc(&s, 22);
+        assert_ne!(a, b);
+        assert_eq!(Sys::peek(pool.get(a)), 11);
+        assert_eq!(Sys::peek(pool.get(b)), 22);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn pool_overflow_panics() {
+        let s = sys();
+        let pool: ObjPool<Sys, u64> = ObjPool::new(1);
+        pool.alloc(&s, 1);
+        pool.alloc(&s, 2);
+    }
+
+    #[test]
+    fn tmsys_round_trip_through_trait() {
+        let s = sys();
+        let obj = s.alloc(5u64);
+        let got = s.execute(&mut |tx| {
+            let v = Sys::read(tx, &obj)?;
+            Sys::write(tx, &obj, &(v * 2))?;
+            Ok(v)
+        });
+        assert_eq!(got, 5);
+        assert_eq!(Sys::peek(&obj), 10);
+        assert_eq!(s.stats().commits, 1);
+        assert_eq!(s.name(), "NZSTM");
+    }
+}

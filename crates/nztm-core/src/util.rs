@@ -1,0 +1,145 @@
+//! Small concurrency utilities shared by the STM engines.
+
+use crossbeam_utils::CachePadded;
+use std::cell::UnsafeCell;
+
+/// Per-core mutable slots.
+///
+/// Each participating thread owns exactly one slot, indexed by its
+/// platform core id, so mutable access without synchronization is sound as
+/// long as the caller upholds the contract: **a slot is only ever accessed
+/// from the thread whose core id it belongs to.** The accessor is `unsafe`
+/// to make that contract explicit at every use site; all call sites in
+/// this workspace derive the index from `Platform::core_id()` of the
+/// calling thread.
+///
+/// Slots are cache-padded so per-thread counters never false-share.
+pub struct PerCore<T> {
+    slots: Vec<CachePadded<UnsafeCell<T>>>,
+}
+
+unsafe impl<T: Send> Sync for PerCore<T> {}
+unsafe impl<T: Send> Send for PerCore<T> {}
+
+impl<T> PerCore<T> {
+    pub fn new(n: usize, mut init: impl FnMut(usize) -> T) -> Self {
+        PerCore { slots: (0..n).map(|i| CachePadded::new(UnsafeCell::new(init(i)))).collect() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Mutable access to slot `id`.
+    ///
+    /// # Safety
+    /// The caller must guarantee `id` is the calling thread's own core id
+    /// (or that no other thread can access slot `id` concurrently).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get(&self, id: usize) -> &mut T {
+        &mut *self.slots[id].get()
+    }
+
+    /// Iterate all slots. Only sound when no thread is mutating any slot
+    /// (e.g. after a run completes); hence `&mut self`.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots.iter_mut().map(|c| c.get_mut())
+    }
+}
+
+/// Exponential randomized backoff used between transaction retries.
+///
+/// The paper's contention managers separate *policy* (who aborts) from
+/// *mechanism*; backoff is the mechanism that breaks symmetric retry races
+/// in an obstruction-free system.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    attempt: u32,
+    cap: u32,
+}
+
+impl Backoff {
+    pub fn new() -> Self {
+        Backoff { attempt: 0, cap: 16 }
+    }
+
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Number of spin-wait steps to take before the next retry, given a
+    /// random word. Grows 2^attempt up to the cap.
+    pub fn steps(&mut self, random: u64) -> u64 {
+        let exp = self.attempt.min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        let window = 1u64 << exp.min(16);
+        random % window
+    }
+
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percore_slots_are_independent() {
+        let pc = PerCore::new(4, |i| i * 10);
+        unsafe {
+            *pc.get(2) += 1;
+            assert_eq!(*pc.get(0), 0);
+            assert_eq!(*pc.get(2), 21);
+        }
+    }
+
+    #[test]
+    fn percore_iter_mut_visits_all() {
+        let mut pc = PerCore::new(3, |i| i);
+        let sum: usize = pc.iter_mut().map(|v| *v).sum();
+        assert_eq!(sum, 3);
+    }
+
+    #[test]
+    fn backoff_windows_grow() {
+        let mut b = Backoff::new();
+        // With random = u64::MAX the step count is window - 1: strictly
+        // nondecreasing windows.
+        let s1 = b.steps(u64::MAX);
+        let s2 = b.steps(u64::MAX);
+        let s3 = b.steps(u64::MAX);
+        assert!(s1 <= s2 && s2 <= s3);
+        assert_eq!(s1, 0); // first window is 1
+    }
+
+    #[test]
+    fn backoff_reset_restarts() {
+        let mut b = Backoff::new();
+        for _ in 0..10 {
+            b.steps(7);
+        }
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let mut b = Backoff::new();
+        for _ in 0..100 {
+            b.steps(u64::MAX);
+        }
+        assert!(b.steps(u64::MAX) < (1 << 17));
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests (proptest) on the core data layer and the
+//! single-threaded transactional semantics.
+
+use nztm_core::data::TmData;
+use nztm_core::{tm_data_struct, Nzstm, TmSys};
+use nztm_sim::Native;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn sys() -> Arc<Nzstm<Native>> {
+    let p = Native::new(1);
+    p.register_thread_as(0);
+    Nzstm::with_defaults(p)
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Mixed {
+    a: u64,
+    b: i64,
+    c: bool,
+    d: Option<u32>,
+    e: f64,
+}
+tm_data_struct!(Mixed { a: u64, b: i64, c: bool, d: Option<u32>, e: f64 });
+
+fn arb_mixed() -> impl Strategy<Value = Mixed> {
+    (
+        any::<u64>(),
+        any::<i64>(),
+        any::<bool>(),
+        proptest::option::of(any::<u32>()),
+        any::<f64>().prop_filter("NaN breaks PartialEq", |f| !f.is_nan()),
+    )
+        .prop_map(|(a, b, c, d, e)| Mixed { a, b, c, d, e })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode/decode is the identity for arbitrary field values.
+    #[test]
+    fn tm_data_round_trips(v in arb_mixed()) {
+        let mut buf = vec![0u64; Mixed::n_words()];
+        v.encode(&mut buf);
+        prop_assert_eq!(Mixed::decode(&buf), v);
+    }
+
+    /// A written value is exactly what a later transaction reads, for
+    /// arbitrary values (no truncation through the word encoding).
+    #[test]
+    fn stm_write_read_identity(v in arb_mixed(), w in arb_mixed()) {
+        let s = sys();
+        let obj = s.new_obj(v.clone());
+        prop_assert_eq!(s.run(|tx| tx.read(&obj)), v);
+        s.run(|tx| tx.write(&obj, &w));
+        prop_assert_eq!(s.run(|tx| tx.read(&obj)), w.clone());
+        prop_assert_eq!(obj.read_untracked(), w);
+    }
+
+    /// An aborted attempt leaves no trace: after N explicit aborts the
+    /// committed value reflects only the committed writes.
+    #[test]
+    fn aborted_attempts_invisible(init in any::<u64>(), bump in 1..1000u64, aborts in 1usize..5) {
+        let s = sys();
+        let obj = s.new_obj(init);
+        let mut remaining = aborts;
+        s.run(|tx| {
+            tx.write(&obj, &(init.wrapping_add(bump)))?;
+            if remaining > 0 {
+                remaining -= 1;
+                return Err(tx.abort());
+            }
+            Ok(())
+        });
+        prop_assert_eq!(obj.read_untracked(), init.wrapping_add(bump));
+        prop_assert_eq!(s.stats().aborts_explicit as usize, aborts);
+    }
+}
+
+mod sequences {
+    use super::*;
+    use nztm_workloads_free::*;
+
+    /// Minimal inline sorted-list (decoupled from the workloads crate to
+    /// keep this a *core* property: arbitrary interleavings of reads and
+    /// whole-object writes behave like a sequential store).
+    mod nztm_workloads_free {
+        use super::*;
+
+        #[derive(Clone, Copy, Debug)]
+        pub enum Op {
+            Write(usize, u64),
+            Read(usize),
+        }
+
+        pub fn arb_ops(n_objs: usize) -> impl Strategy<Value = Vec<Op>> {
+            proptest::collection::vec(
+                prop_oneof![
+                    (0..n_objs, any::<u64>()).prop_map(|(i, v)| Op::Write(i, v)),
+                    (0..n_objs).prop_map(Op::Read),
+                ],
+                1..120,
+            )
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Single-threaded transactional execution of arbitrary op
+        /// sequences matches a plain array ("sequential specification").
+        #[test]
+        fn matches_sequential_spec(ops in arb_ops(6)) {
+            let s = sys();
+            let objs: Vec<_> = (0..6).map(|i| s.new_obj(i as u64)).collect();
+            let mut spec: Vec<u64> = (0..6).map(|i| i as u64).collect();
+            for op in ops {
+                match op {
+                    Op::Write(i, v) => {
+                        s.run(|tx| tx.write(&objs[i], &v));
+                        spec[i] = v;
+                    }
+                    Op::Read(i) => {
+                        let got = s.run(|tx| tx.read(&objs[i]));
+                        prop_assert_eq!(got, spec[i]);
+                    }
+                }
+            }
+            for (i, o) in objs.iter().enumerate() {
+                prop_assert_eq!(o.read_untracked(), spec[i]);
+            }
+        }
+
+        /// Multi-object transactions are all-or-nothing under random
+        /// abort points.
+        #[test]
+        fn multi_object_atomicity(
+            writes in proptest::collection::vec((0..4usize, any::<u64>()), 1..8),
+            abort_first in any::<bool>(),
+        ) {
+            let s = sys();
+            let objs: Vec<_> = (0..4).map(|_| s.new_obj(0u64)).collect();
+            let mut first = abort_first;
+            s.run(|tx| {
+                for (i, v) in &writes {
+                    tx.write(&objs[*i], v)?;
+                }
+                if first {
+                    first = false;
+                    return Err(tx.abort());
+                }
+                Ok(())
+            });
+            // Final state equals applying all writes in order, once.
+            let mut spec = [0u64; 4];
+            for (i, v) in &writes {
+                spec[*i] = *v;
+            }
+            for (i, o) in objs.iter().enumerate() {
+                prop_assert_eq!(o.read_untracked(), spec[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Regression tests for the stale-backup race.
+//!
+//! Scenario: owner P commits but its commit-time backup detach has not
+//! yet executed when the next acquirer V wins the owner CAS; V then
+//! aborts (or stalls) before refreshing the backup field. The field now
+//! pairs `owner = V (aborted/unresponsive)` with `backup = B_P`, whose
+//! contents predate P's committed value. A naive restore of B_P would
+//! silently discard P's committed update.
+//!
+//! The fix: every backup buffer records its installer; a buffer is
+//! restorable only while its installer has not committed
+//! ([`WordBuf::usable_as_backup`]). These tests build the racy states
+//! directly from the public primitives and check every consumer of the
+//! backup field (engine restore via acquire, engine read path, hybrid
+//! hardware repair).
+
+use nztm_core::hybrid::{hw_examine_and_clean, HwCheck};
+use nztm_core::{NZObject, Nzstm, TxnDesc, WordBuf};
+use nztm_sim::Native;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Build the racy state: object value committed as 42 by P (backup still
+/// attached, holding the stale pre-P value 10), then owner stolen by V
+/// which aborted without installing its own backup.
+fn racy_object() -> (Arc<NZObject<u64>>, Arc<TxnDesc>, Arc<TxnDesc>) {
+    let obj = NZObject::new(10u64);
+    let g = crossbeam_epoch::pin();
+
+    // P acquires, installs a backup of the old value, writes 42, commits
+    // — but "stalls" before detaching the backup.
+    let p_txn = Arc::new(TxnDesc::new(0, 1));
+    assert!(obj.header().cas_owner_to_txn(0, &p_txn, &g));
+    let b_p = WordBuf::from_words(obj.data_words()); // holds 10
+    b_p.set_installer(&p_txn, &g);
+    assert!(obj.header().cas_backup(0, Some(&b_p), &g));
+    obj.data_words()[0].store(42, Ordering::SeqCst);
+    assert!(p_txn.try_commit());
+    // (No take_backup: the detach is what the race delays.)
+
+    // V steals ownership from the committed P, then aborts before
+    // touching the backup field.
+    let v_txn = Arc::new(TxnDesc::new(1, 1));
+    let p_raw = obj.header().owner_raw();
+    assert!(obj.header().cas_owner_to_txn(p_raw, &v_txn, &g));
+    v_txn.request_abort();
+    v_txn.acknowledge_abort();
+
+    (obj, p_txn, v_txn)
+}
+
+#[test]
+fn stale_backup_is_flagged_unusable() {
+    let (obj, _p, _v) = racy_object();
+    let g = crossbeam_epoch::pin();
+    let (b, _) = obj.header().backup(&g).expect("backup still attached");
+    assert!(
+        !b.usable_as_backup(&g),
+        "a backup whose installer committed must be unusable"
+    );
+}
+
+#[test]
+fn hardware_repair_keeps_committed_value() {
+    let (obj, _p, _v) = racy_object();
+    let g = crossbeam_epoch::pin();
+    // The hardware path sees owner = V (aborted) with a backup attached;
+    // restoring it would resurrect 10. It must keep 42.
+    assert_eq!(
+        hw_examine_and_clean(obj.header(), obj.data_words(), true, 5, &g),
+        HwCheck::Clean
+    );
+    assert_eq!(obj.read_untracked(), 42, "P's committed value must survive");
+}
+
+#[test]
+fn software_acquire_keeps_committed_value() {
+    let (obj, _p, _v) = racy_object();
+    // A fresh software transaction acquiring the object must not restore
+    // the stale buffer either.
+    let platform = Native::new(1);
+    platform.register_thread_as(0);
+    let stm = Nzstm::with_defaults(platform);
+    // Note: the object was built outside this STM instance, but both
+    // operate on the same NZObject primitives.
+    let got = stm.run(|tx| {
+        let v = tx.read(&obj)?;
+        tx.write(&obj, &(v + 1))?;
+        Ok(v)
+    });
+    assert_eq!(got, 42, "read must see the committed value, not the stale backup");
+    assert_eq!(obj.read_untracked(), 43);
+}
+
+#[test]
+fn software_read_keeps_committed_value() {
+    let (obj, _p, _v) = racy_object();
+    let platform = Native::new(1);
+    platform.register_thread_as(0);
+    let stm = Nzstm::with_defaults(platform);
+    assert_eq!(stm.run(|tx| tx.read(&obj)), 42);
+}
+
+/// Contrast case: when the previous owner genuinely aborted with its own
+/// backup, restore must still happen (the rule must not be over-broad).
+#[test]
+fn aborted_owners_backup_is_still_restored() {
+    let obj = NZObject::new(10u64);
+    let g = crossbeam_epoch::pin();
+    let p_txn = Arc::new(TxnDesc::new(0, 1));
+    assert!(obj.header().cas_owner_to_txn(0, &p_txn, &g));
+    let b_p = WordBuf::from_words(obj.data_words()); // 10
+    b_p.set_installer(&p_txn, &g);
+    assert!(obj.header().cas_backup(0, Some(&b_p), &g));
+    obj.data_words()[0].store(999, Ordering::SeqCst); // dirty speculative
+    p_txn.request_abort();
+    p_txn.acknowledge_abort();
+    drop(g);
+
+    let platform = Native::new(1);
+    platform.register_thread_as(0);
+    let stm = Nzstm::with_defaults(platform);
+    assert_eq!(stm.run(|tx| tx.read(&obj)), 10, "aborted writer's dirt must not leak");
+    let g = crossbeam_epoch::pin();
+    let (b, _) = obj.header().backup(&g).expect("attached");
+    assert!(b.usable_as_backup(&g));
+}

@@ -1,0 +1,52 @@
+//! # nztm-sim — deterministic cooperative multiprocessor simulator
+//!
+//! The NZTM paper (SPAA 2009) evaluates its software path on a real Sun Rock
+//! machine and its hybrid/HTM path on Virtutech Simics with University of
+//! Wisconsin GEMS memory models (plus Sun's ATMTP best-effort HTM timing
+//! model). Neither is available: Rock was cancelled before release and
+//! Simics/GEMS is a proprietary full-system simulator. This crate is the
+//! substitute substrate: a **deterministic, cooperative, logical-clock
+//! multiprocessor** with a private-L1 / shared-L2 cache model and a cycle
+//! cost model.
+//!
+//! ## How it works
+//!
+//! * Each simulated core is backed by a real OS thread, but **exactly one
+//!   core is runnable at a time**. Control is handed off at *yield points*;
+//!   between yield points a core merely accumulates cycles on its private
+//!   logical clock.
+//! * At a yield point the scheduler transfers control to the runnable core
+//!   with the **minimum logical clock** (ties broken by core id), the
+//!   classic discrete-event rule full-system simulators use to interleave
+//!   processors. This makes every run fully deterministic given its seed
+//!   while still exercising genuinely concurrent protocol interleavings.
+//! * Memory accesses are charged through a [`cache::CacheSystem`]: per-core
+//!   set-associative L1s (paper configuration: 256 KB), a shared L2 and a
+//!   flat memory behind it, kept coherent with an MSI directory. Evictions
+//!   are reported to the caller so the HTM layer can model
+//!   read-set-capacity aborts exactly the way ATMTP ties them to L1
+//!   geometry.
+//! * All of this is reached through the [`platform::Platform`] trait. STM
+//!   code written against `Platform` runs unmodified on the
+//!   [`platform::Native`] implementation (real threads, wall-clock time,
+//!   no cost model) — that is the "Rock machine" configuration of Figure 4
+//!   — or on [`SimPlatform`] — the "simulator" configuration of Figure 3.
+//!
+//! ## Determinism contract
+//!
+//! Given the same core count, configuration, and workload seeds, a run
+//! produces bit-identical logical clocks and statistics. The scheduler
+//! never consults wall-clock time and the only scheduling input is the
+//! logical clock vector.
+
+pub mod cache;
+pub mod costs;
+pub mod platform;
+pub mod rng;
+pub mod sched;
+
+pub use cache::{AccessKind, CacheConfig, CacheSystem, LineAddr, MissLevel};
+pub use costs::CostModel;
+pub use platform::{synth_alloc, Native, Platform, SimPlatform};
+pub use rng::DetRng;
+pub use sched::{Machine, MachineConfig, RunReport, SnoopFn};

@@ -1,0 +1,517 @@
+//! Cooperative min-clock scheduler.
+//!
+//! Each simulated core is an OS thread, but exactly one core holds the
+//! *run token* at any time. Cores accumulate cycles on a private pending
+//! counter; at a yield point the pending cycles are published and the run
+//! token is handed to the runnable core with the smallest published clock
+//! (ties broken by core id). This is the standard discrete-event rule for
+//! interleaving processors in a full-system simulator and makes every run
+//! deterministic.
+//!
+//! A useful consequence: **any real memory operations a core performs
+//! between two yield points are atomic with respect to all other simulated
+//! cores**. The HTM substrates and the SCSS primitive exploit this — a
+//! "short hardware transaction" on the simulated platform is simply a
+//! sequence of operations with no intervening yield.
+
+use crate::cache::{AccessKind, CacheConfig, CacheStats, CacheSystem};
+use crate::costs::CostModel;
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    /// Core id of the current thread within its machine (usize::MAX when
+    /// the thread is not a simulated core).
+    static CORE_ID: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// Cycles accumulated since the last publish.
+    static PENDING: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Machine configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    pub n_cores: usize,
+    pub costs: CostModel,
+    pub l1: CacheConfig,
+    pub l2: CacheConfig,
+    /// Watchdog: a core whose clock passes this bound panics the run.
+    /// Guards against genuine livelock in a buggy protocol under test.
+    pub max_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The paper's simulated-machine configuration (§4.1) for `n` cores.
+    pub fn paper(n: usize) -> Self {
+        MachineConfig {
+            n_cores: n,
+            costs: CostModel::default(),
+            l1: CacheConfig::paper_l1(),
+            l2: CacheConfig::paper_l2(),
+            max_cycles: u64::MAX,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CoreState {
+    Runnable,
+    Done,
+}
+
+struct SchedState {
+    clocks: Vec<u64>,
+    state: Vec<CoreState>,
+    current: usize,
+}
+
+impl SchedState {
+    /// Runnable core with minimum clock; ties broken by core id.
+    fn next_core(&self) -> Option<usize> {
+        self.state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == CoreState::Runnable)
+            .min_by_key(|(i, _)| (self.clocks[*i], *i))
+            .map(|(i, _)| i)
+    }
+}
+
+/// A simulated multiprocessor. Create one per run, spawn core bodies with
+/// [`Machine::run`].
+pub struct Machine {
+    sched: Mutex<SchedState>,
+    cv: Condvar,
+    cache: Mutex<CacheSystem>,
+    cfg: MachineConfig,
+    /// Count of yields, for diagnostics.
+    yields: AtomicU64,
+    /// Host-line → synthetic-line translation. Host heap addresses vary
+    /// from run to run (allocator state, ASLR); assigning synthetic lines
+    /// in first-access order makes the cache model — and therefore the
+    /// whole simulation — deterministic, provided objects do not share
+    /// host cache lines (the STM types are 64-byte aligned/padded for
+    /// exactly this reason).
+    line_map: Mutex<std::collections::HashMap<u64, u64>>,
+    next_line: AtomicU64,
+    /// Coherence snoop: invoked for every memory access (after line
+    /// translation) with `(core, synthetic_line, is_write)`. The HTM
+    /// substrate registers one to detect conflicts between emulated
+    /// hardware transactions and ordinary (software) memory traffic —
+    /// the property §2.4 relies on ("a subsequent conflict ... will
+    /// modify data that the hardware transaction has accessed, thereby
+    /// aborting the hardware transaction").
+    ///
+    /// Contract: the callback must not recurse into `mem_access*`.
+    snoop: Mutex<Option<Arc<SnoopFn>>>,
+}
+
+/// Snoop callback type; see [`Machine::set_snoop`].
+pub type SnoopFn = dyn Fn(usize, u64, bool) + Send + Sync;
+
+/// Final state of a run: per-core logical clocks and cache statistics.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-core finishing clock (cycles).
+    pub clocks: Vec<u64>,
+    /// Makespan — the largest finishing clock; the paper's "elapsed
+    /// simulated machine cycles to complete the benchmark".
+    pub makespan: u64,
+    /// Per-core cache counters.
+    pub cache: Vec<CacheStats>,
+    /// Total scheduler handoffs (diagnostic).
+    pub yields: u64,
+}
+
+impl Machine {
+    pub fn new(cfg: MachineConfig) -> Arc<Self> {
+        let cache = CacheSystem::new(cfg.n_cores, cfg.l1.clone(), cfg.l2.clone(), cfg.costs.clone());
+        Arc::new(Machine {
+            sched: Mutex::new(SchedState {
+                clocks: vec![0; cfg.n_cores],
+                state: vec![CoreState::Runnable; cfg.n_cores],
+                current: 0,
+            }),
+            cv: Condvar::new(),
+            cache: Mutex::new(cache),
+            cfg,
+            yields: AtomicU64::new(0),
+            line_map: Mutex::new(std::collections::HashMap::new()),
+            next_line: AtomicU64::new(16), // skip "NULL page" lines
+            snoop: Mutex::new(None),
+        })
+    }
+
+    /// Install (or clear) the coherence snoop. See the field docs.
+    pub fn set_snoop(&self, f: Option<Arc<SnoopFn>>) {
+        *self.snoop.lock() = f;
+    }
+
+    fn run_snoop(&self, core: usize, synth_addr: u64, kind: AccessKind) {
+        let snoop = self.snoop.lock().clone();
+        if let Some(s) = snoop {
+            s(core, synth_addr >> crate::cache::LINE_SHIFT, kind.is_write());
+        }
+    }
+
+    /// Translate a host byte address to a synthetic byte address with a
+    /// stable line mapping (see `line_map`). Public because the HTM
+    /// substrate keys its conflict tables in the translated space (the
+    /// same space the snoop reports and eviction results use).
+    pub fn translate(&self, addr: usize) -> u64 {
+        let line = addr as u64 >> crate::cache::LINE_SHIFT;
+        let offset = addr as u64 & (crate::cache::LINE_BYTES - 1);
+        let mut map = self.line_map.lock();
+        let synth = *map
+            .entry(line)
+            .or_insert_with(|| self.next_line.fetch_add(1, Ordering::Relaxed));
+        (synth << crate::cache::LINE_SHIFT) | offset
+    }
+
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Run one body per core to completion and return the report.
+    ///
+    /// Panics in a body are propagated (the run is torn down and the panic
+    /// re-raised), so assertion failures inside simulated code surface as
+    /// ordinary test failures.
+    pub fn run(self: &Arc<Self>, bodies: Vec<Box<dyn FnOnce() + Send>>) -> RunReport {
+        assert_eq!(bodies.len(), self.cfg.n_cores, "one body per core");
+        // Reset scheduler state so a Machine can host sequential runs.
+        {
+            let mut s = self.sched.lock();
+            s.clocks.iter_mut().for_each(|c| *c = 0);
+            s.state.iter_mut().for_each(|st| *st = CoreState::Runnable);
+            s.current = 0;
+        }
+
+        let handles: Vec<_> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(id, body)| {
+                let m = Arc::clone(self);
+                std::thread::Builder::new()
+                    .name(format!("simcore-{id}"))
+                    .spawn(move || {
+                        CORE_ID.with(|c| c.set(id));
+                        PENDING.with(|p| p.set(0));
+                        m.wait_for_token(id);
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+                        m.finish(id);
+                        CORE_ID.with(|c| c.set(usize::MAX));
+                        if let Err(p) = result {
+                            std::panic::resume_unwind(p);
+                        }
+                    })
+                    .expect("spawn simulated core")
+            })
+            .collect();
+
+        let mut panicked = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                panicked = Some(p);
+            }
+        }
+        if let Some(p) = panicked {
+            std::panic::resume_unwind(p);
+        }
+
+        let s = self.sched.lock();
+        let cache = self.cache.lock();
+        RunReport {
+            clocks: s.clocks.clone(),
+            makespan: s.clocks.iter().copied().max().unwrap_or(0),
+            cache: cache.stats.clone(),
+            yields: self.yields.load(Ordering::Relaxed),
+        }
+    }
+
+    fn wait_for_token(&self, id: usize) {
+        let mut s = self.sched.lock();
+        while s.current != id {
+            self.cv.wait(&mut s);
+        }
+    }
+
+    fn finish(&self, id: usize) {
+        let pending = PENDING.with(|p| p.take());
+        let mut s = self.sched.lock();
+        s.clocks[id] += pending;
+        s.state[id] = CoreState::Done;
+        if let Some(next) = s.next_core() {
+            s.current = next;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Current core id; panics when called off a simulated core thread.
+    pub fn core_id(&self) -> usize {
+        let id = CORE_ID.with(|c| c.get());
+        assert!(id != usize::MAX, "not on a simulated core thread");
+        id
+    }
+
+    /// Charge straight-line compute to the calling core.
+    pub fn work(&self, cycles: u64) {
+        PENDING.with(|p| p.set(p.get() + cycles));
+    }
+
+    /// Publish pending cycles and hand the run token to the minimum-clock
+    /// runnable core (possibly this one).
+    pub fn yield_now(&self) {
+        let id = self.core_id();
+        let pending = PENDING.with(|p| p.take());
+        let mut s = self.sched.lock();
+        s.clocks[id] += pending;
+        if s.clocks[id] > self.cfg.max_cycles {
+            panic!(
+                "sim watchdog: core {id} passed {} cycles — livelock or runaway workload",
+                self.cfg.max_cycles
+            );
+        }
+        let next = s.next_core().expect("current core is runnable");
+        if next != id {
+            self.yields.fetch_add(1, Ordering::Relaxed);
+            s.current = next;
+            self.cv.notify_all();
+            while s.current != id {
+                self.cv.wait(&mut s);
+            }
+        }
+    }
+
+    /// Charge a memory access for the calling core and yield.
+    ///
+    /// Returns the cache result so HTM layers can observe evictions.
+    pub fn mem_access(&self, addr: usize, kind: AccessKind) -> crate::cache::AccessResult {
+        let id = self.core_id();
+        let synth = self.translate(addr);
+        let res = { self.cache.lock().access(id, synth, kind) };
+        self.run_snoop(id, synth, kind);
+        self.work(res.latency);
+        self.yield_now();
+        res
+    }
+
+    /// Charge a memory access **without yielding** — used inside emulated
+    /// hardware atomicity (SCSS, HTM commit) where the whole sequence must
+    /// execute without interleaving.
+    pub fn mem_access_atomic(&self, addr: usize, kind: AccessKind) -> crate::cache::AccessResult {
+        let id = self.core_id();
+        let synth = self.translate(addr);
+        let res = { self.cache.lock().access(id, synth, kind) };
+        self.run_snoop(id, synth, kind);
+        self.work(res.latency);
+        res
+    }
+
+    /// Logical time of the calling core (published + pending cycles).
+    pub fn now(&self) -> u64 {
+        let id = self.core_id();
+        let published = self.sched.lock().clocks[id];
+        published + PENDING.with(|p| p.get())
+    }
+
+    /// Direct access to the cache system (for HTM capacity bookkeeping).
+    pub fn with_cache<R>(&self, f: impl FnOnce(&mut CacheSystem) -> R) -> R {
+        f(&mut self.cache.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering as O};
+
+    fn tiny_machine(n: usize) -> Arc<Machine> {
+        Machine::new(MachineConfig {
+            n_cores: n,
+            costs: CostModel::uniform(),
+            l1: CacheConfig::tiny(64, 4),
+            l2: CacheConfig::tiny(1024, 8),
+            max_cycles: 10_000_000,
+        })
+    }
+
+    #[test]
+    fn single_core_runs_to_completion() {
+        let m = tiny_machine(1);
+        let mc = Arc::clone(&m);
+        let r = m.run(vec![Box::new(move || {
+            mc.work(100);
+            mc.yield_now();
+            mc.work(23);
+        })]);
+        assert_eq!(r.clocks[0], 123);
+        assert_eq!(r.makespan, 123);
+    }
+
+    #[test]
+    fn min_clock_core_runs_first() {
+        // Core 0 charges a lot, then both append to a log; the low-clock
+        // core must interleave ahead.
+        let m = tiny_machine(2);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (m0, m1) = (Arc::clone(&m), Arc::clone(&m));
+        let (l0, l1) = (Arc::clone(&log), Arc::clone(&log));
+        m.run(vec![
+            Box::new(move || {
+                m0.work(1000);
+                m0.yield_now(); // hand off to core 1 (clock 0 < 1000)
+                l0.lock().push(0u32);
+            }),
+            Box::new(move || {
+                m1.work(1);
+                m1.yield_now();
+                l1.lock().push(1u32);
+            }),
+        ]);
+        assert_eq!(*log.lock(), vec![1, 0]);
+    }
+
+    #[test]
+    fn deterministic_interleaving() {
+        let order = |_: ()| {
+            let m = tiny_machine(3);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..3)
+                .map(|i| {
+                    let m = Arc::clone(&m);
+                    let log = Arc::clone(&log);
+                    Box::new(move || {
+                        for step in 0..5u64 {
+                            m.work((i as u64 + 1) * 7 + step);
+                            m.yield_now();
+                            log.lock().push(i);
+                        }
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            m.run(bodies);
+            let v = log.lock().clone();
+            v
+        };
+        assert_eq!(order(()), order(()));
+    }
+
+    #[test]
+    fn atomicity_between_yields() {
+        // A core that increments a shared counter twice without yielding
+        // can never expose an odd value to the other core.
+        let m = tiny_machine(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let odd_seen = Arc::new(AtomicUsize::new(0));
+        let (m0, m1) = (Arc::clone(&m), Arc::clone(&m));
+        let (c0, c1) = (Arc::clone(&counter), Arc::clone(&counter));
+        let odd = Arc::clone(&odd_seen);
+        m.run(vec![
+            Box::new(move || {
+                for _ in 0..100 {
+                    c0.fetch_add(1, O::SeqCst);
+                    c0.fetch_add(1, O::SeqCst);
+                    m0.work(3);
+                    m0.yield_now();
+                }
+            }),
+            Box::new(move || {
+                for _ in 0..100 {
+                    if c1.load(O::SeqCst) % 2 == 1 {
+                        odd.fetch_add(1, O::SeqCst);
+                    }
+                    m1.work(2);
+                    m1.yield_now();
+                }
+            }),
+        ]);
+        assert_eq!(odd_seen.load(O::SeqCst), 0);
+    }
+
+    #[test]
+    fn mem_access_charges_latency() {
+        let m = Machine::new(MachineConfig {
+            n_cores: 1,
+            costs: CostModel::default(),
+            l1: CacheConfig::tiny(64, 4),
+            l2: CacheConfig::tiny(1024, 8),
+            max_cycles: u64::MAX,
+        });
+        let mc = Arc::clone(&m);
+        let r = m.run(vec![Box::new(move || {
+            mc.mem_access(0x1000, AccessKind::Read); // memory: 200
+            mc.mem_access(0x1000, AccessKind::Read); // L1 hit: 1
+        })]);
+        assert_eq!(r.clocks[0], 201);
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog")]
+    fn watchdog_fires() {
+        let m = Machine::new(MachineConfig {
+            n_cores: 1,
+            costs: CostModel::uniform(),
+            l1: CacheConfig::tiny(64, 4),
+            l2: CacheConfig::tiny(1024, 8),
+            max_cycles: 1000,
+        });
+        let mc = Arc::clone(&m);
+        m.run(vec![Box::new(move || loop {
+            mc.work(100);
+            mc.yield_now();
+        })]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner panic")]
+    fn body_panics_propagate() {
+        let m = tiny_machine(2);
+        let mc = Arc::clone(&m);
+        m.run(vec![
+            Box::new(move || {
+                mc.work(1);
+                mc.yield_now();
+                panic!("inner panic");
+            }),
+            Box::new(|| {}),
+        ]);
+    }
+
+    #[test]
+    fn machine_is_reusable() {
+        let m = tiny_machine(1);
+        for _ in 0..3 {
+            let mc = Arc::clone(&m);
+            let r = m.run(vec![Box::new(move || {
+                mc.work(10);
+            })]);
+            assert_eq!(r.clocks[0], 10);
+        }
+    }
+
+    #[test]
+    fn spin_waiter_lets_peer_progress() {
+        // Core 0 spins until core 1 sets a flag; the scheduler must let
+        // core 1 run even though core 0 never blocks.
+        let m = tiny_machine(2);
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (m0, m1) = (Arc::clone(&m), Arc::clone(&m));
+        let (f0, f1) = (Arc::clone(&flag), Arc::clone(&flag));
+        let r = m.run(vec![
+            Box::new(move || {
+                while f0.load(O::SeqCst) == 0 {
+                    m0.work(5);
+                    m0.yield_now();
+                }
+            }),
+            Box::new(move || {
+                m1.work(500);
+                m1.yield_now();
+                f1.store(1, O::SeqCst);
+            }),
+        ]);
+        assert!(r.clocks[0] >= 500, "spinner waited for the peer's clock");
+    }
+}

@@ -1,0 +1,178 @@
+//! `linkedlist`: concurrent set as a single sorted singly-linked list.
+//!
+//! The classic worst case for object-based TM: every operation traverses
+//! (and with visible readers, *registers on*) a prefix of the list, so
+//! transactions conflict on the hot head nodes and abort rates are the
+//! highest of the microbenchmarks (§4.4.1 reports ~19% at 15 processors
+//! under the high-contention mix).
+
+use crate::set::TmSet;
+use nztm_core::txn::Abort;
+use nztm_core::{tm_data_struct, Handle, ObjPool, TmSys};
+
+/// A list node. `next` is `None` at the tail.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node {
+    pub key: u64,
+    pub next: Option<Handle<Node>>,
+}
+tm_data_struct!(Node { key: u64, next: Option<Handle<Node>> });
+
+/// Sorted singly-linked-list set.
+pub struct LinkedListSet<S: TmSys> {
+    pool: ObjPool<S, Node>,
+    /// Sentinel head with key `u64::MIN`-like semantics: it is never
+    /// matched and never removed, so traversal always starts at a stable
+    /// object.
+    head: Handle<Node>,
+}
+
+impl<S: TmSys> LinkedListSet<S> {
+    /// Create a list able to hold `capacity` node allocations over its
+    /// lifetime (inserts allocate; deletes unlink without reclaiming, as
+    /// in the GC'd DSTM-era originals).
+    pub fn new(sys: &S, capacity: usize) -> Self {
+        let pool = ObjPool::new(capacity + 1);
+        let head = pool.alloc(sys, Node { key: 0, next: None });
+        LinkedListSet { pool, head }
+    }
+
+    /// Walk to the last node with `node.key < key` (starting from the
+    /// sentinel), returning `(prev_handle, prev_node)`.
+    fn find_prev(
+        &self,
+        tx: &mut S::Tx<'_>,
+        key: u64,
+    ) -> Result<(Handle<Node>, Node), Abort> {
+        let mut prev_h = self.head;
+        let mut prev = S::read(tx, self.pool.get(prev_h))?;
+        while let Some(cur_h) = prev.next {
+            let cur = S::read(tx, self.pool.get(cur_h))?;
+            if cur.key >= key {
+                break;
+            }
+            prev_h = cur_h;
+            prev = cur;
+        }
+        Ok((prev_h, prev))
+    }
+}
+
+impl<S: TmSys> TmSet<S> for LinkedListSet<S> {
+    fn insert_tx(&self, sys: &S, tx: &mut S::Tx<'_>, key: u64) -> Result<bool, Abort> {
+        let (prev_h, prev) = self.find_prev(tx, key)?;
+        if let Some(cur_h) = prev.next {
+            let cur = S::read(tx, self.pool.get(cur_h))?;
+            if cur.key == key {
+                return Ok(false);
+            }
+        }
+        // Allocate outside transactional control, then link. An aborted
+        // attempt leaks the node into the pool, as in the originals.
+        let node = self.pool.alloc(sys, Node { key, next: prev.next });
+        S::write(tx, self.pool.get(prev_h), &Node { key: prev.key, next: Some(node) })?;
+        Ok(true)
+    }
+
+    fn delete_tx(&self, _sys: &S, tx: &mut S::Tx<'_>, key: u64) -> Result<bool, Abort> {
+        let (prev_h, prev) = self.find_prev(tx, key)?;
+        if let Some(cur_h) = prev.next {
+            let cur = S::read(tx, self.pool.get(cur_h))?;
+            if cur.key == key {
+                S::write(tx, self.pool.get(prev_h), &Node { key: prev.key, next: cur.next })?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    fn contains_tx(&self, _sys: &S, tx: &mut S::Tx<'_>, key: u64) -> Result<bool, Abort> {
+        let (_, prev) = self.find_prev(tx, key)?;
+        if let Some(cur_h) = prev.next {
+            let cur = S::read(tx, self.pool.get(cur_h))?;
+            Ok(cur.key == key)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn elements(&self, _sys: &S) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = S::peek(self.pool.get(self.head)).next;
+        while let Some(h) = cur {
+            let n = S::peek(self.pool.get(h));
+            out.push(n.key);
+            cur = n.next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::{check_against_reference, populate, Contention};
+    use nztm_core::Nzstm;
+    use nztm_sim::Native;
+    use std::sync::Arc;
+
+    type Sys = Nzstm<Native>;
+
+    fn sys() -> Arc<Sys> {
+        let p = Native::new(1);
+        p.register_thread();
+        Nzstm::with_defaults(p)
+    }
+
+    #[test]
+    fn node_encoding_round_trips() {
+        use nztm_core::data::TmData;
+        let n = Node { key: 7, next: None };
+        let mut buf = vec![0u64; Node::n_words()];
+        n.encode(&mut buf);
+        assert_eq!(Node::decode(&buf), n);
+    }
+
+    #[test]
+    fn insert_lookup_delete_sorted() {
+        let s = sys();
+        let list = LinkedListSet::new(&*s, 64);
+        assert!(list.insert(&*s, 5));
+        assert!(list.insert(&*s, 2));
+        assert!(list.insert(&*s, 9));
+        assert!(!list.insert(&*s, 5), "duplicate rejected");
+        assert!(list.contains(&*s, 2));
+        assert!(!list.contains(&*s, 3));
+        assert_eq!(list.elements(&*s), vec![2, 5, 9]);
+        assert!(list.delete(&*s, 5));
+        assert!(!list.delete(&*s, 5));
+        assert_eq!(list.elements(&*s), vec![2, 9]);
+    }
+
+    #[test]
+    fn boundary_keys() {
+        let s = sys();
+        let list = LinkedListSet::new(&*s, 64);
+        assert!(list.insert(&*s, 0), "key 0 must work despite the sentinel");
+        assert!(list.contains(&*s, 0));
+        assert!(list.insert(&*s, crate::set::KEY_RANGE - 1));
+        assert_eq!(list.elements(&*s), vec![0, crate::set::KEY_RANGE - 1]);
+        assert!(list.delete(&*s, 0));
+        assert_eq!(list.elements(&*s), vec![crate::set::KEY_RANGE - 1]);
+    }
+
+    #[test]
+    fn matches_reference_model() {
+        let s = sys();
+        let list = LinkedListSet::new(&*s, 4_096);
+        check_against_reference(&list, &*s, 42, 2_000, Contention::High);
+    }
+
+    #[test]
+    fn populate_reaches_half_occupancy() {
+        let s = sys();
+        let list = LinkedListSet::new(&*s, 4_096);
+        populate(&list, &*s, 9);
+        assert_eq!(list.elements(&*s).len() as u64, crate::set::KEY_RANGE / 2);
+    }
+}

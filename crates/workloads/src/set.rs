@@ -1,0 +1,179 @@
+//! Concurrent-set workload definitions (§4.2).
+//!
+//! All three microbenchmarks expose the same transactional set interface
+//! and are driven by the same operation mix: threads randomly insert,
+//! delete, or look up keys in `0..=255`; the low-contention mix is
+//! 1:1:8 (insert:delete:lookup) and the high-contention mix 1:1:1.
+
+use nztm_core::txn::Abort;
+use nztm_core::TmSys;
+use nztm_sim::DetRng;
+
+/// Keys are drawn uniformly from `0..KEY_RANGE` ("the range of 0 to
+/// 255").
+pub const KEY_RANGE: u64 = 256;
+
+/// The paper's two operation mixes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Contention {
+    /// 1:1:8 insert:delete:lookup.
+    Low,
+    /// 1:1:1 insert:delete:lookup.
+    High,
+}
+
+impl Contention {
+    pub fn name(self) -> &'static str {
+        match self {
+            Contention::Low => "low",
+            Contention::High => "high",
+        }
+    }
+}
+
+/// One set operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SetOp {
+    Insert(u64),
+    Delete(u64),
+    Lookup(u64),
+}
+
+impl SetOp {
+    /// Draw the next operation of the mix.
+    pub fn draw(rng: &mut DetRng, contention: Contention) -> SetOp {
+        let key = rng.next_below(KEY_RANGE);
+        let r = match contention {
+            Contention::Low => rng.next_below(10),
+            Contention::High => rng.next_below(3),
+        };
+        match (contention, r) {
+            (Contention::Low, 0) | (Contention::High, 0) => SetOp::Insert(key),
+            (Contention::Low, 1) | (Contention::High, 1) => SetOp::Delete(key),
+            _ => SetOp::Lookup(key),
+        }
+    }
+}
+
+/// A transactional set over system `S`. Each method runs as (part of) a
+/// transaction; the `tx` variants compose into larger transactions
+/// (vacation uses them), the plain variants are whole transactions.
+pub trait TmSet<S: TmSys>: Send + Sync {
+    /// Insert inside an enclosing transaction.
+    fn insert_tx(&self, sys: &S, tx: &mut S::Tx<'_>, key: u64) -> Result<bool, Abort>;
+    /// Delete inside an enclosing transaction.
+    fn delete_tx(&self, sys: &S, tx: &mut S::Tx<'_>, key: u64) -> Result<bool, Abort>;
+    /// Lookup inside an enclosing transaction.
+    fn contains_tx(&self, sys: &S, tx: &mut S::Tx<'_>, key: u64) -> Result<bool, Abort>;
+
+    /// Insert as a standalone transaction. Returns whether the key was new.
+    fn insert(&self, sys: &S, key: u64) -> bool {
+        sys.execute(&mut |tx| self.insert_tx(sys, tx, key))
+    }
+
+    /// Delete as a standalone transaction. Returns whether the key existed.
+    fn delete(&self, sys: &S, key: u64) -> bool {
+        sys.execute(&mut |tx| self.delete_tx(sys, tx, key))
+    }
+
+    /// Lookup as a standalone transaction.
+    fn contains(&self, sys: &S, key: u64) -> bool {
+        sys.execute(&mut |tx| self.contains_tx(sys, tx, key))
+    }
+
+    /// Execute one drawn operation as a transaction.
+    fn apply(&self, sys: &S, op: SetOp) -> bool {
+        match op {
+            SetOp::Insert(k) => self.insert(sys, k),
+            SetOp::Delete(k) => self.delete(sys, k),
+            SetOp::Lookup(k) => self.contains(sys, k),
+        }
+    }
+
+    /// Snapshot of the set contents, single-threaded (verification).
+    fn elements(&self, sys: &S) -> Vec<u64>;
+}
+
+/// Populate a set to 50% occupancy deterministically (standard setup for
+/// the microbenchmarks: start at steady state).
+pub fn populate<S: TmSys>(set: &(impl TmSet<S> + ?Sized), sys: &S, seed: u64) {
+    let mut rng = DetRng::new(seed);
+    let mut inserted = 0;
+    while inserted < KEY_RANGE / 2 {
+        if set.insert(sys, rng.next_below(KEY_RANGE)) {
+            inserted += 1;
+        }
+    }
+}
+
+/// Model-based checking: apply the same deterministic operation stream to
+/// the transactional set and to a reference `BTreeSet`, comparing every
+/// result. Used by each implementation's tests.
+pub fn check_against_reference<S: TmSys>(
+    set: &(impl TmSet<S> + ?Sized),
+    sys: &S,
+    seed: u64,
+    ops: usize,
+    contention: Contention,
+) {
+    let mut reference = std::collections::BTreeSet::new();
+    let mut rng = DetRng::new(seed);
+    for i in 0..ops {
+        let op = SetOp::draw(&mut rng, contention);
+        let got = set.apply(sys, op);
+        let expect = match op {
+            SetOp::Insert(k) => reference.insert(k),
+            SetOp::Delete(k) => reference.remove(&k),
+            SetOp::Lookup(k) => reference.contains(&k),
+        };
+        assert_eq!(got, expect, "op {i} = {op:?} diverged from reference");
+    }
+    let elems = set.elements(sys);
+    let expect: Vec<u64> = reference.into_iter().collect();
+    assert_eq!(elems, expect, "final contents diverged");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_ratios_are_roughly_right() {
+        let mut rng = DetRng::new(5);
+        let mut counts = [0u64; 3];
+        for _ in 0..30_000 {
+            match SetOp::draw(&mut rng, Contention::Low) {
+                SetOp::Insert(_) => counts[0] += 1,
+                SetOp::Delete(_) => counts[1] += 1,
+                SetOp::Lookup(_) => counts[2] += 1,
+            }
+        }
+        // 1:1:8
+        assert!((2_400..3_600).contains(&counts[0]), "{counts:?}");
+        assert!((2_400..3_600).contains(&counts[1]), "{counts:?}");
+        assert!((22_000..26_000).contains(&counts[2]), "{counts:?}");
+
+        let mut counts = [0u64; 3];
+        for _ in 0..30_000 {
+            match SetOp::draw(&mut rng, Contention::High) {
+                SetOp::Insert(_) => counts[0] += 1,
+                SetOp::Delete(_) => counts[1] += 1,
+                SetOp::Lookup(_) => counts[2] += 1,
+            }
+        }
+        // 1:1:1
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        let mut rng = DetRng::new(6);
+        for _ in 0..10_000 {
+            let (SetOp::Insert(k) | SetOp::Delete(k) | SetOp::Lookup(k)) =
+                SetOp::draw(&mut rng, Contention::High);
+            assert!(k < KEY_RANGE);
+        }
+    }
+}

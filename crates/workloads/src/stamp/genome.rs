@@ -1,0 +1,292 @@
+//! STAMP `genome` port: gene sequencing by overlap assembly.
+//!
+//! The original reconstructs a genome from random segments in three
+//! phases: (1) deduplicate segments in a transactional hash set, (2)
+//! match segment suffixes against segment prefixes (largest overlap
+//! first) and link matches, (3) serially thread the links into the
+//! reconstructed sequence. "genome does not have many conflicting
+//! transactions" (§4.4.1) — transactions are short inserts/claims spread
+//! over a large table.
+//!
+//! This port generates a deterministic synthetic genome over {A,C,G,T}
+//! (substituting STAMP's input generator), cuts it into overlapping
+//! segments that pack into one `u64` (2 bits/base), and preserves the
+//! transaction pattern: hash-set dedup inserts in phase 1, claim-style
+//! link transactions in phase 2.
+
+use crate::set::TmSet;
+use nztm_core::tm_data_struct;
+use nztm_core::TmSys;
+use nztm_sim::DetRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Segment length in bases (packs into u64 at 2 bits/base).
+pub const SEG_LEN: usize = 16;
+
+/// Configuration.
+#[derive(Clone, Debug)]
+pub struct GenomeConfig {
+    /// Genome length in bases.
+    pub genome_len: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl GenomeConfig {
+    pub fn small() -> Self {
+        GenomeConfig { genome_len: 512, seed: 0x47454E4F } // "GENO"
+    }
+}
+
+/// A segment-chain entry: one unique segment, its successor link, and a
+/// claimed flag used during matching.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SegEntry {
+    /// Packed segment (2 bits per base).
+    pub seg: u64,
+    /// Index (into the unique-segment table) of the segment that follows
+    /// this one in the reconstruction; `u64::MAX` = unlinked.
+    pub next: u64,
+    /// Whether some predecessor already claimed this segment as its
+    /// successor (each segment may have at most one predecessor).
+    pub claimed: bool,
+}
+tm_data_struct!(SegEntry { seg: u64, next: u64, claimed: bool });
+
+fn pack(bases: &[u8]) -> u64 {
+    bases.iter().fold(0u64, |acc, b| (acc << 2) | u64::from(*b & 3))
+}
+
+/// The benchmark: input genome, segment table, and the transactional
+/// structures.
+pub struct Genome<S: TmSys> {
+    pub cfg: GenomeConfig,
+    /// The true genome (for final verification).
+    pub genome: Vec<u8>,
+    /// All segments in presentation order (with duplicates, shuffled) —
+    /// the "input file".
+    pub segments: Vec<u64>,
+    /// Phase-1 output: transactional dedup set keyed by packed segment.
+    pub dedup: crate::hashtable::HashTableSet<S>,
+    /// Unique segments in discovery order, as transactional entries.
+    pub entries: Vec<S::Obj<SegEntry>>,
+    /// seg -> entry index (built serially after phase 1; a
+    /// non-transactional index, as STAMP builds its phase-2 hash table
+    /// single-threaded between phases).
+    pub index: std::collections::HashMap<u64, usize>,
+    /// Work cursor for phase 2 (non-transactional work distribution).
+    cursor: AtomicUsize,
+}
+
+impl<S: TmSys> Genome<S> {
+    pub fn new(sys: &S, cfg: GenomeConfig) -> Self {
+        let mut rng = DetRng::new(cfg.seed);
+        let genome: Vec<u8> = (0..cfg.genome_len).map(|_| (rng.next_below(4)) as u8).collect();
+        // Segments: every position (sliding window), duplicated ~2x and
+        // deterministically shuffled.
+        let n_segs = cfg.genome_len - SEG_LEN + 1;
+        let mut segments: Vec<u64> =
+            (0..n_segs).map(|i| pack(&genome[i..i + SEG_LEN])).collect();
+        let dup: Vec<u64> =
+            (0..n_segs).map(|_| segments[rng.next_below(n_segs as u64) as usize]).collect();
+        segments.extend(dup);
+        // Fisher-Yates with the deterministic rng.
+        for i in (1..segments.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            segments.swap(i, j);
+        }
+        Genome {
+            dedup: crate::hashtable::HashTableSet::new(sys, segments.len() * 4 + 1024),
+            cfg,
+            genome,
+            segments,
+            entries: Vec::new(),
+            index: std::collections::HashMap::new(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Phase 1 (parallel): thread `tid` of `threads` deduplicates its
+    /// stripe of the segment stream via transactional set inserts.
+    /// Returns the number of segments this thread inserted first.
+    pub fn dedup_phase(&self, sys: &S, tid: usize, threads: usize) -> u64 {
+        let mut inserted = 0;
+        for idx in (tid..self.segments.len()).step_by(threads) {
+            if self.dedup.insert(sys, self.segments[idx]) {
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
+    /// Between phases (serial): materialize unique segments as entries
+    /// and build the prefix index.
+    pub fn build_entries(&mut self, sys: &S) {
+        let uniques = self.dedup.elements(sys);
+        self.entries = uniques
+            .iter()
+            .map(|&seg| sys.alloc(SegEntry { seg, next: u64::MAX, claimed: false }))
+            .collect();
+        self.index = uniques.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        self.cursor.store(0, Ordering::Relaxed);
+    }
+
+    /// Phase 2 (parallel): link each segment to the unique segment whose
+    /// prefix equals its suffix at overlap `SEG_LEN - 1` — claiming the
+    /// successor transactionally so each segment gains at most one
+    /// predecessor.
+    ///
+    /// Returns the number of links made by this thread.
+    pub fn link_phase(&self, sys: &S, _tid: usize, _threads: usize) -> u64 {
+        let mut links = 0;
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.entries.len() {
+                break;
+            }
+            let me_obj = &self.entries[i];
+            let me = S::peek(me_obj);
+            // Successor candidates: drop my first base, append each base.
+            let suffix = me.seg & ((1u64 << (2 * (SEG_LEN - 1))) - 1);
+            for b in 0..4u64 {
+                let cand = (suffix << 2) | b;
+                if cand == me.seg {
+                    continue; // self-loop
+                }
+                let Some(&j) = self.index.get(&cand) else { continue };
+                let cand_obj = &self.entries[j];
+                let claimed = sys.execute(&mut |tx| {
+                    let mut c = S::read(tx, cand_obj)?;
+                    if c.claimed {
+                        return Ok(false);
+                    }
+                    let mut m = S::read(tx, me_obj)?;
+                    if m.next != u64::MAX {
+                        return Ok(true); // we already linked on a retry
+                    }
+                    c.claimed = true;
+                    m.next = j as u64;
+                    S::write(tx, cand_obj, &c)?;
+                    S::write(tx, me_obj, &m)?;
+                    Ok(true)
+                });
+                if claimed {
+                    links += 1;
+                    break;
+                }
+            }
+        }
+        links
+    }
+
+    /// Phase 3 (serial): walk each chain and verify no cycles formed.
+    /// Returns the length in bases of the longest reconstructed contig.
+    pub fn reconstruct(&self, sys: &S) -> usize {
+        let _ = sys;
+        let n = self.entries.len();
+        let mut best = 0;
+        for i in 0..n {
+            let e = S::peek(&self.entries[i]);
+            if e.claimed {
+                continue; // not a chain head
+            }
+            let mut len_bases = SEG_LEN;
+            let mut cur = e;
+            let mut steps = 0;
+            while cur.next != u64::MAX && steps <= n {
+                cur = S::peek(&self.entries[cur.next as usize]);
+                len_bases += 1;
+                steps += 1;
+            }
+            assert!(steps <= n, "cycle in segment chain");
+            best = best.max(len_bases);
+        }
+        best
+    }
+
+    /// True number of distinct segments (phase-1 verification).
+    pub fn expected_unique(&self) -> usize {
+        let mut set: Vec<u64> = self.segments.clone();
+        set.sort_unstable();
+        set.dedup();
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nztm_core::Nzstm;
+    use nztm_sim::Native;
+    use std::sync::Arc;
+
+    type Sys = Nzstm<Native>;
+
+    #[test]
+    fn pack_is_positional() {
+        assert_ne!(pack(&[0, 1, 2, 3]), pack(&[3, 2, 1, 0]));
+        assert_eq!(pack(&[0, 0, 0, 1]), 1);
+        assert_eq!(pack(&[1, 0, 0, 0]), 1 << 6);
+    }
+
+    #[test]
+    fn single_thread_full_pipeline() {
+        let p = Native::new(1);
+        p.register_thread_as(0);
+        let s: Arc<Sys> = Nzstm::with_defaults(p);
+        let mut g = Genome::new(&*s, GenomeConfig { genome_len: 128, seed: 7 });
+        let inserted = g.dedup_phase(&*s, 0, 1);
+        assert_eq!(inserted as usize, g.expected_unique());
+        g.build_entries(&*s);
+        g.link_phase(&*s, 0, 1);
+        let contig = g.reconstruct(&*s);
+        assert!(contig >= 64, "contig too short: {contig}");
+    }
+
+    #[test]
+    fn claims_are_exclusive_across_threads() {
+        let threads = 4;
+        let p = Native::new(threads);
+        let s: Arc<Sys> = Nzstm::with_defaults(Arc::clone(&p));
+        p.register_thread_as(0);
+        let mut g = Genome::new(&*s, GenomeConfig { genome_len: 256, seed: 3 });
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let p = Arc::clone(&p);
+                let s = Arc::clone(&s);
+                let g = &g;
+                scope.spawn(move || {
+                    p.register_thread_as(tid);
+                    g.dedup_phase(&*s, tid, threads);
+                });
+            }
+        });
+        p.register_thread_as(0);
+        assert_eq!(g.dedup.elements(&*s).len(), g.expected_unique());
+        g.build_entries(&*s);
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let p = Arc::clone(&p);
+                let s = Arc::clone(&s);
+                let g = &g;
+                scope.spawn(move || {
+                    p.register_thread_as(tid);
+                    g.link_phase(&*s, tid, threads);
+                });
+            }
+        });
+        p.register_thread_as(0);
+        // Every entry has at most one predecessor.
+        let mut pred_count = std::collections::HashMap::new();
+        for e in &g.entries {
+            let v = Sys::peek(e);
+            if v.next != u64::MAX {
+                *pred_count.entry(v.next).or_insert(0) += 1;
+            }
+        }
+        for (j, c) in pred_count {
+            assert_eq!(c, 1, "entry {j} has {c} predecessors");
+        }
+        g.reconstruct(&*s); // asserts acyclic
+    }
+}

@@ -1,0 +1,253 @@
+//! STAMP `kmeans` port.
+//!
+//! K-means clustering: each iteration, threads partition the points,
+//! compute each point's nearest center (pure computation — "only about
+//! 10% of the workload is transactional", §4.4.1), and transactionally
+//! accumulate the point into the new-center accumulator for that
+//! cluster. Centers are recomputed serially between iterations.
+//!
+//! Contention follows STAMP/Minh et al.: the *low*-contention
+//! configuration uses more clusters (40) than the *high* one (15), so
+//! fewer threads collide on the same accumulator. The accumulator object
+//! is [`DIMS`] sums plus a count — 13 words ≈ the 100-byte object whose
+//! cache behaviour drives the paper's §4.4.2 kmeans analysis (NZSTM's
+//! pooled thread-local backups vs DSTM2-SF's collocated shadows).
+
+use nztm_core::data::TmData;
+use nztm_core::TmSys;
+use nztm_sim::DetRng;
+use std::sync::atomic::AtomicU64;
+
+/// Point/center dimensionality: 12 × f64 + count = 104 bytes, matching
+/// the paper's "size of the main transactional object in kmeans, without
+/// metadata, is 100 bytes".
+pub const DIMS: usize = 12;
+
+/// Cluster-center accumulator: the transactional object of kmeans.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CenterAcc {
+    pub count: u64,
+    pub sum: [f64; DIMS],
+}
+
+impl CenterAcc {
+    pub fn zero() -> Self {
+        CenterAcc { count: 0, sum: [0.0; DIMS] }
+    }
+}
+
+impl TmData for CenterAcc {
+    type Words = [AtomicU64; DIMS + 1];
+
+    fn encode(&self, out: &mut [u64]) {
+        out[0] = self.count;
+        for (o, s) in out[1..].iter_mut().zip(&self.sum) {
+            *o = s.to_bits();
+        }
+    }
+
+    fn decode(words: &[u64]) -> Self {
+        let mut sum = [0.0; DIMS];
+        for (s, w) in sum.iter_mut().zip(&words[1..]) {
+            *s = f64::from_bits(*w);
+        }
+        CenterAcc { count: words[0], sum }
+    }
+}
+
+/// Benchmark parameters.
+#[derive(Clone, Debug)]
+pub struct KmeansConfig {
+    /// Number of clusters: 40 (low contention) or 15 (high), after
+    /// Minh et al.'s -m40/-m15 split.
+    pub clusters: usize,
+    /// Number of points.
+    pub points: usize,
+    /// K-means iterations to run.
+    pub iterations: usize,
+    /// Input-generation seed (substitutes STAMP's input files).
+    pub seed: u64,
+    /// Cycles of non-transactional distance computation charged per
+    /// point (the ~90% non-transactional fraction on the simulator).
+    pub compute_cycles: u64,
+}
+
+const KM_SEED: u64 = 0x4B4D_4541;
+
+impl KmeansConfig {
+    pub fn low(points: usize, iterations: usize) -> Self {
+        KmeansConfig { clusters: 40, points, iterations, seed: KM_SEED, compute_cycles: 120 }
+    }
+
+    pub fn high(points: usize, iterations: usize) -> Self {
+        KmeansConfig { clusters: 15, points, iterations, seed: KM_SEED, compute_cycles: 120 }
+    }
+}
+
+/// Shared benchmark state.
+pub struct Kmeans<S: TmSys> {
+    pub cfg: KmeansConfig,
+    /// Input points (read-only after generation).
+    pub points: Vec<[f64; DIMS]>,
+    /// Current centers (stable within an iteration; updated serially
+    /// between iterations, as in STAMP).
+    pub centers: parking_lot::RwLock<Vec<[f64; DIMS]>>,
+    /// Transactional accumulators for the next centers.
+    pub accs: Vec<S::Obj<CenterAcc>>,
+}
+
+impl<S: TmSys> Kmeans<S> {
+    pub fn new(sys: &S, cfg: KmeansConfig) -> Self {
+        let mut rng = DetRng::new(cfg.seed);
+        let points: Vec<[f64; DIMS]> =
+            (0..cfg.points).map(|_| std::array::from_fn(|_| rng.next_f64())).collect();
+        // Initial centers: the first K points (STAMP's convention).
+        let centers: Vec<[f64; DIMS]> = points.iter().take(cfg.clusters).copied().collect();
+        let accs = (0..cfg.clusters).map(|_| sys.alloc(CenterAcc::zero())).collect();
+        Kmeans { cfg, points, centers: parking_lot::RwLock::new(centers), accs }
+    }
+
+    fn nearest(centers: &[[f64; DIMS]], p: &[f64; DIMS]) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in centers.iter().enumerate() {
+            let d: f64 = c.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// One thread's share of one assignment phase: points
+    /// `tid, tid+threads, ...` (striped partition). `work` charges the
+    /// non-transactional compute on the executing platform.
+    pub fn assign_phase(&self, sys: &S, tid: usize, threads: usize, work: impl Fn(u64)) {
+        let centers = self.centers.read().clone();
+        for idx in (tid..self.points.len()).step_by(threads) {
+            let p = &self.points[idx];
+            work(self.cfg.compute_cycles);
+            let k = Self::nearest(&centers, p);
+            sys.execute(&mut |tx| {
+                let mut acc = S::read(tx, &self.accs[k])?;
+                acc.count += 1;
+                for (s, v) in acc.sum.iter_mut().zip(p) {
+                    *s += v;
+                }
+                S::write(tx, &self.accs[k], &acc)
+            });
+        }
+    }
+
+    /// Serial between-iterations step: fold accumulators into centers and
+    /// reset them. Returns the total points accumulated (conservation
+    /// invariant: must equal `cfg.points`).
+    pub fn recompute_centers(&self, sys: &S) -> u64 {
+        let mut centers = self.centers.write();
+        let mut total = 0;
+        for (k, acc_obj) in self.accs.iter().enumerate() {
+            let acc = sys.execute(&mut |tx| {
+                let a = S::read(tx, acc_obj)?;
+                S::write(tx, acc_obj, &CenterAcc::zero())?;
+                Ok(a)
+            });
+            total += acc.count;
+            if acc.count > 0 {
+                for (c, s) in centers[k].iter_mut().zip(&acc.sum) {
+                    *c = s / acc.count as f64;
+                }
+            }
+        }
+        total
+    }
+
+    /// Reference (serial, non-transactional) accumulation for the current
+    /// centers — used by tests to check the transactional result.
+    pub fn reference_accumulation(&self) -> Vec<CenterAcc> {
+        let centers = self.centers.read().clone();
+        let mut accs: Vec<CenterAcc> = (0..self.cfg.clusters).map(|_| CenterAcc::zero()).collect();
+        for p in &self.points {
+            let k = Self::nearest(&centers, p);
+            accs[k].count += 1;
+            for (s, v) in accs[k].sum.iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        accs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nztm_core::Nzstm;
+    use nztm_sim::Native;
+    use std::sync::Arc;
+
+    type Sys = Nzstm<Native>;
+
+    #[test]
+    fn center_acc_round_trips() {
+        let mut a = CenterAcc::zero();
+        a.count = 3;
+        a.sum[0] = 1.5;
+        a.sum[DIMS - 1] = -2.25;
+        let mut buf = vec![0u64; CenterAcc::n_words()];
+        a.encode(&mut buf);
+        assert_eq!(CenterAcc::decode(&buf), a);
+        assert_eq!(CenterAcc::n_words(), 13, "~100-byte object");
+    }
+
+    #[test]
+    fn low_and_high_cluster_counts() {
+        assert_eq!(KmeansConfig::low(10, 1).clusters, 40);
+        assert_eq!(KmeansConfig::high(10, 1).clusters, 15);
+    }
+
+    #[test]
+    fn single_thread_matches_reference() {
+        let p = Native::new(1);
+        p.register_thread();
+        let s: Arc<Sys> = Nzstm::with_defaults(p);
+        let km = Kmeans::new(
+            &*s,
+            KmeansConfig { clusters: 5, points: 200, iterations: 1, seed: 9, compute_cycles: 0 },
+        );
+        let reference = km.reference_accumulation();
+        km.assign_phase(&*s, 0, 1, |_| {});
+        for (k, r) in reference.iter().enumerate() {
+            let got = Sys::peek(&km.accs[k]);
+            assert_eq!(got.count, r.count, "cluster {k} count");
+            for (a, b) in got.sum.iter().zip(&r.sum) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+        assert_eq!(km.recompute_centers(&*s), 200);
+    }
+
+    #[test]
+    fn multithreaded_conserves_points() {
+        let p = Native::new(4);
+        let s: Arc<Sys> = Nzstm::with_defaults(Arc::clone(&p));
+        let km = Arc::new(Kmeans::new(
+            &*s,
+            KmeansConfig { clusters: 15, points: 1000, iterations: 2, seed: 2, compute_cycles: 0 },
+        ));
+        for _ in 0..2 {
+            std::thread::scope(|scope| {
+                for tid in 0..4 {
+                    let p = Arc::clone(&p);
+                    let s = Arc::clone(&s);
+                    let km = Arc::clone(&km);
+                    scope.spawn(move || {
+                        p.register_thread_as(tid);
+                        km.assign_phase(&*s, tid, 4, |_| {});
+                    });
+                }
+            });
+            p.register_thread_as(0);
+            assert_eq!(km.recompute_centers(&*s), 1000, "every point accumulated exactly once");
+        }
+    }
+}

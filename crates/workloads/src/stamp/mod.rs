@@ -1,0 +1,13 @@
+//! Ports of the three STAMP benchmarks the paper uses (§4.2): kmeans,
+//! genome, and vacation — at reduced scale, parameterized for the
+//! low/high-contention split of Minh et al.
+//!
+//! STAMP ships as C programs reading input files; these ports generate
+//! equivalent synthetic inputs deterministically and preserve each
+//! benchmark's *transaction pattern* (transaction length, read/write-set
+//! size and shape, conflict structure), which is all the paper's
+//! evaluation consumes.
+
+pub mod genome;
+pub mod kmeans;
+pub mod vacation;

@@ -1,0 +1,395 @@
+//! STAMP `vacation` port: a travel-reservation database.
+//!
+//! "vacation, a benchmark that uses linked list and red-black tree data
+//! structures ... vacation's transactions are significantly bigger, in
+//! terms of runtime and size of the read and write sets, than all other
+//! benchmarks" (§4.4.1). The database keeps three resource tables (cars,
+//! flights, rooms), each indexed by a transactional red-black tree, plus
+//! customer records. Transactions:
+//!
+//! * **MakeReservation** — query several random resources through the
+//!   tree index, pick the cheapest available of each type, reserve it
+//!   and record it on the customer (one big read-mostly transaction with
+//!   a few writes);
+//! * **DeleteCustomer** — release all of a customer's reservations;
+//! * **UpdateTables** — a manager adds/removes resources (tree
+//!   insert/delete).
+//!
+//! Contention parameters follow Minh et al.: *low* ≈ (2 queries/txn,
+//! 90% span, 98% user txns), *high* ≈ (4 queries/txn, 60% span, 90%
+//! user transactions), at reduced table sizes.
+
+use crate::redblack::RedBlackSet;
+use crate::set::TmSet;
+use nztm_core::data::TmData;
+use nztm_core::TmSys;
+use nztm_sim::DetRng;
+use std::sync::atomic::AtomicU64;
+
+/// Resource kinds.
+pub const KINDS: usize = 3; // car, flight, room
+
+/// A reservable resource: capacity, current usage, price.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Resource {
+    pub total: u64,
+    pub used: u64,
+    pub price: u64,
+}
+nztm_core::tm_data_struct!(Resource { total: u64, used: u64, price: u64 });
+
+/// Max reservations a customer record can hold.
+pub const CUST_SLOTS: usize = 8;
+
+/// A customer record: reservation count, total price paid, and the
+/// (kind, id) of each held reservation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Customer {
+    pub count: u64,
+    pub price: u64,
+    /// Packed reservations: `kind << 32 | id + 1`; 0 = empty slot.
+    pub slots: [u64; CUST_SLOTS],
+}
+
+impl Customer {
+    pub fn empty() -> Self {
+        Customer { count: 0, price: 0, slots: [0; CUST_SLOTS] }
+    }
+}
+
+impl TmData for Customer {
+    type Words = [AtomicU64; 2 + CUST_SLOTS];
+
+    fn encode(&self, out: &mut [u64]) {
+        out[0] = self.count;
+        out[1] = self.price;
+        out[2..].copy_from_slice(&self.slots);
+    }
+
+    fn decode(words: &[u64]) -> Self {
+        let mut slots = [0; CUST_SLOTS];
+        slots.copy_from_slice(&words[2..]);
+        Customer { count: words[0], price: words[1], slots }
+    }
+}
+
+/// Configuration.
+#[derive(Clone, Debug)]
+pub struct VacationConfig {
+    /// Resources per table.
+    pub relations: usize,
+    /// Customers.
+    pub customers: usize,
+    /// Queries per reservation transaction (STAMP `-n`).
+    pub queries_per_txn: usize,
+    /// Percentage of the id space each transaction may touch (`-q`).
+    pub query_span_pct: u64,
+    /// Percentage of transactions that are user (reservation/cancel)
+    /// transactions rather than table updates (`-u`).
+    pub user_pct: u64,
+    pub seed: u64,
+}
+
+impl VacationConfig {
+    pub fn low(relations: usize, customers: usize) -> Self {
+        VacationConfig {
+            relations,
+            customers,
+            queries_per_txn: 2,
+            query_span_pct: 90,
+            user_pct: 98,
+            seed: 0x56414341, // "VACA"
+        }
+    }
+
+    pub fn high(relations: usize, customers: usize) -> Self {
+        VacationConfig {
+            relations,
+            customers,
+            queries_per_txn: 4,
+            query_span_pct: 60,
+            user_pct: 90,
+            seed: 0x56414341,
+        }
+    }
+}
+
+/// The database.
+pub struct Vacation<S: TmSys> {
+    pub cfg: VacationConfig,
+    /// One RB-tree index per resource kind (ids currently on offer).
+    pub indices: Vec<RedBlackSet<S>>,
+    /// Resource records, `resources[kind][id]`.
+    pub resources: Vec<Vec<S::Obj<Resource>>>,
+    /// Customer records.
+    pub customers: Vec<S::Obj<Customer>>,
+}
+
+impl<S: TmSys> Vacation<S> {
+    /// Build and populate the database (serial).
+    pub fn new(sys: &S, cfg: VacationConfig) -> Self {
+        let mut rng = DetRng::new(cfg.seed);
+        let mut indices = Vec::new();
+        let mut resources = Vec::new();
+        for _ in 0..KINDS {
+            // Tree capacity: initial ids + later UpdateTables inserts
+            // (every attempt allocates).
+            let idx = RedBlackSet::new(sys, cfg.relations * 64 + 4096);
+            let recs: Vec<S::Obj<Resource>> = (0..cfg.relations)
+                .map(|_| {
+                    sys.alloc(Resource {
+                        total: 2 + rng.next_below(4),
+                        used: 0,
+                        price: 50 + rng.next_below(450),
+                    })
+                })
+                .collect();
+            for id in 0..cfg.relations {
+                idx.insert(sys, id as u64);
+            }
+            indices.push(idx);
+            resources.push(recs);
+        }
+        let customers = (0..cfg.customers).map(|_| sys.alloc(Customer::empty())).collect();
+        Vacation { cfg, indices, resources, customers }
+    }
+
+    /// One client transaction; `rng` drives the choice. Returns which
+    /// kind of transaction ran (for statistics).
+    pub fn one_transaction(&self, sys: &S, rng: &mut DetRng) -> &'static str {
+        let r = rng.next_below(100);
+        if r < self.cfg.user_pct {
+            if r < self.cfg.user_pct / 10 {
+                self.delete_customer(sys, rng);
+                "delete-customer"
+            } else {
+                self.make_reservation(sys, rng);
+                "make-reservation"
+            }
+        } else {
+            self.update_tables(sys, rng);
+            "update-tables"
+        }
+    }
+
+    /// Query `queries_per_txn` random resources (tree lookup + record
+    /// read), then reserve the cheapest available one and charge the
+    /// customer — all in one transaction. Returns the committed
+    /// reservation `(kind, id, customer, slot)` if one was made.
+    pub fn make_reservation(
+        &self,
+        sys: &S,
+        rng: &mut DetRng,
+    ) -> Option<(usize, u64, usize, usize)> {
+        let span = (self.cfg.relations as u64 * self.cfg.query_span_pct / 100).max(1);
+        let base = rng.next_below(self.cfg.relations as u64 - span + 1);
+        let cust_i = rng.next_below(self.cfg.customers as u64) as usize;
+        let queries: Vec<(usize, u64)> = (0..self.cfg.queries_per_txn)
+            .map(|_| (rng.next_below(KINDS as u64) as usize, base + rng.next_below(span)))
+            .collect();
+        let cust = &self.customers[cust_i];
+
+        sys.execute(&mut |tx| {
+            // Query phase: tree lookups + record reads; remember the
+            // cheapest available resource seen.
+            let mut best: Option<(usize, u64, u64)> = None; // kind, id, price
+            for &(kind, id) in &queries {
+                if !self.indices[kind].contains_tx(sys, tx, id)? {
+                    continue;
+                }
+                let res = S::read(tx, &self.resources[kind][id as usize])?;
+                if res.used < res.total
+                    && best.map_or(true, |(_, _, p)| res.price < p)
+                {
+                    best = Some((kind, id, res.price));
+                }
+            }
+            // Reserve phase.
+            if let Some((kind, id, price)) = best {
+                let mut c = S::read(tx, cust)?;
+                let Some(slot) = c.slots.iter().position(|s| *s == 0) else {
+                    return Ok(None); // customer full; no reservation
+                };
+                let robj = &self.resources[kind][id as usize];
+                let mut res = S::read(tx, robj)?;
+                if res.used >= res.total {
+                    return Ok(None);
+                }
+                res.used += 1;
+                c.slots[slot] = ((kind as u64) << 32) | (id + 1);
+                c.count += 1;
+                c.price += price;
+                S::write(tx, robj, &res)?;
+                S::write(tx, cust, &c)?;
+                return Ok(Some((kind, id, cust_i, slot)));
+            }
+            Ok(None)
+        })
+    }
+
+    /// Release all of one customer's reservations. Returns the customer
+    /// index and the released `(kind, id)` pairs of the committed run.
+    pub fn delete_customer(
+        &self,
+        sys: &S,
+        rng: &mut DetRng,
+    ) -> (usize, Vec<(usize, u64)>) {
+        let cust_i = rng.next_below(self.cfg.customers as u64) as usize;
+        let cust = &self.customers[cust_i];
+        let released = sys.execute(&mut |tx| {
+            let c = S::read(tx, cust)?;
+            let mut released = Vec::new();
+            for s in c.slots {
+                if s == 0 {
+                    continue;
+                }
+                let kind = (s >> 32) as usize;
+                let id = (s & 0xFFFF_FFFF) - 1;
+                let robj = &self.resources[kind][id as usize];
+                let mut res = S::read(tx, robj)?;
+                debug_assert!(res.used > 0);
+                res.used = res.used.saturating_sub(1);
+                S::write(tx, robj, &res)?;
+                released.push((kind, id));
+            }
+            S::write(tx, cust, &Customer::empty())?;
+            Ok(released)
+        });
+        (cust_i, released)
+    }
+
+    /// Manager transaction: remove a random id from one index, or re-add
+    /// a previously removed one (tree delete/insert).
+    pub fn update_tables(&self, sys: &S, rng: &mut DetRng) {
+        let kind = rng.next_below(KINDS as u64) as usize;
+        let id = rng.next_below(self.cfg.relations as u64);
+        let add = rng.chance(1, 2);
+        sys.execute(&mut |tx| {
+            if add {
+                self.indices[kind].insert_tx(sys, tx, id)?;
+            } else {
+                self.indices[kind].delete_tx(sys, tx, id)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Conservation check (quiescent): every resource's `used` equals the
+    /// number of customer slots holding it, and `used <= total`.
+    pub fn check_conservation(&self, sys: &S) {
+        let _ = sys;
+        let mut held = vec![vec![0u64; self.cfg.relations]; KINDS];
+        let mut total_price_paid = 0u64;
+        for c in &self.customers {
+            let cu = S::peek(c);
+            let mut nonzero = 0;
+            for s in cu.slots {
+                if s != 0 {
+                    let kind = (s >> 32) as usize;
+                    let id = ((s & 0xFFFF_FFFF) - 1) as usize;
+                    held[kind][id] += 1;
+                    nonzero += 1;
+                }
+            }
+            assert_eq!(nonzero, cu.count, "customer slot count matches");
+            total_price_paid += cu.price;
+        }
+        let mut total_used = 0;
+        for kind in 0..KINDS {
+            for (id, robj) in self.resources[kind].iter().enumerate() {
+                let r = S::peek(robj);
+                assert!(r.used <= r.total, "overbooked resource {kind}/{id}");
+                assert_eq!(r.used, held[kind][id], "resource {kind}/{id} usage conserved");
+                total_used += r.used;
+            }
+        }
+        // Price is only paid for held reservations.
+        if total_used == 0 {
+            assert_eq!(total_price_paid, 0);
+        }
+        // Index trees still satisfy their invariants.
+        for idx in &self.indices {
+            idx.check_invariants(sys);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nztm_core::Nzstm;
+    use nztm_sim::Native;
+    use std::sync::Arc;
+
+    type Sys = Nzstm<Native>;
+
+    #[test]
+    fn customer_round_trips() {
+        let mut c = Customer::empty();
+        c.count = 2;
+        c.price = 300;
+        c.slots[0] = (1 << 32) | 5;
+        c.slots[7] = (2 << 32) | 1;
+        let mut buf = vec![0u64; Customer::n_words()];
+        c.encode(&mut buf);
+        assert_eq!(Customer::decode(&buf), c);
+    }
+
+    #[test]
+    fn single_thread_mixed_transactions() {
+        let p = Native::new(1);
+        p.register_thread_as(0);
+        let s: Arc<Sys> = Nzstm::with_defaults(p);
+        let v = Vacation::new(&*s, VacationConfig::high(32, 16));
+        let mut rng = DetRng::new(99);
+        for _ in 0..500 {
+            v.one_transaction(&*s, &mut rng);
+        }
+        v.check_conservation(&*s);
+    }
+
+    #[test]
+    fn multithreaded_conservation() {
+        let threads = 4;
+        let p = Native::new(threads);
+        let s: Arc<Sys> = Nzstm::with_defaults(Arc::clone(&p));
+        p.register_thread_as(0);
+        let v = Arc::new(Vacation::new(&*s, VacationConfig::high(32, 16)));
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let p = Arc::clone(&p);
+                let s = Arc::clone(&s);
+                let v = Arc::clone(&v);
+                scope.spawn(move || {
+                    p.register_thread_as(tid);
+                    let mut rng = DetRng::new(7).split(tid as u64);
+                    for _ in 0..300 {
+                        v.one_transaction(&*s, &mut rng);
+                    }
+                });
+            }
+        });
+        p.register_thread_as(0);
+        v.check_conservation(&*s);
+    }
+
+    #[test]
+    fn reservation_respects_capacity() {
+        let p = Native::new(1);
+        p.register_thread_as(0);
+        let s: Arc<Sys> = Nzstm::with_defaults(p);
+        let v = Vacation::new(&*s, VacationConfig::low(4, 64));
+        let mut rng = DetRng::new(1);
+        for _ in 0..2_000 {
+            v.make_reservation(&*s, &mut rng);
+        }
+        v.check_conservation(&*s);
+        // Every resource must be at (not beyond) capacity now.
+        for kind in 0..KINDS {
+            for robj in &v.resources[kind] {
+                let r = Sys::peek(robj);
+                assert!(r.used <= r.total);
+            }
+        }
+    }
+}

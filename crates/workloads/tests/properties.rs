@@ -1,0 +1,93 @@
+//! Property-based workload tests: randomized operation streams against
+//! the reference model, across data structures and backends, plus STAMP
+//! invariants under random seeds.
+
+use nztm_core::{Bzstm, Nzstm, TmSys};
+use nztm_dstm::{Dstm, ShadowStm};
+use nztm_sim::{DetRng, Native};
+use nztm_workloads::hashtable::HashTableSet;
+use nztm_workloads::linkedlist::LinkedListSet;
+use nztm_workloads::redblack::RedBlackSet;
+use nztm_workloads::set::{check_against_reference, Contention, TmSet};
+use nztm_workloads::stamp::vacation::{Vacation, VacationConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn nz() -> Arc<Nzstm<Native>> {
+    let p = Native::new(1);
+    p.register_thread_as(0);
+    Nzstm::with_defaults(p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Red-black tree: arbitrary seeds, reference equivalence and the
+    /// color/height invariants hold after every stream.
+    #[test]
+    fn redblack_random_streams(seed in any::<u64>(), ops in 200usize..800) {
+        let s = nz();
+        let t = RedBlackSet::new(&*s, ops * 2 + 512);
+        check_against_reference(&t, &*s, seed, ops, Contention::High);
+        t.check_invariants(&*s);
+    }
+
+    /// Linked list: arbitrary seeds and both contention mixes.
+    #[test]
+    fn linkedlist_random_streams(seed in any::<u64>(), high in any::<bool>()) {
+        let s = nz();
+        let t = LinkedListSet::new(&*s, 2_048);
+        let c = if high { Contention::High } else { Contention::Low };
+        check_against_reference(&t, &*s, seed, 500, c);
+    }
+
+    /// Hash table over the DSTM baseline (locator indirection).
+    #[test]
+    fn hashtable_on_dstm_random_streams(seed in any::<u64>()) {
+        let p = Native::new(1);
+        p.register_thread_as(0);
+        let s = Dstm::with_defaults(p);
+        let t = HashTableSet::new(&*s, 2_048);
+        check_against_reference(&t, &*s, seed, 500, Contention::Low);
+    }
+
+    /// Red-black tree over DSTM2-SF (shadow copies) and BZSTM: the same
+    /// streams must produce identical sets on every backend.
+    #[test]
+    fn backends_agree_on_random_streams(seed in any::<u64>()) {
+        fn run<S: TmSys>(s: &S, seed: u64) -> Vec<u64> {
+            let t = RedBlackSet::new(s, 2_048);
+            check_against_reference(&t, s, seed, 400, Contention::High);
+            t.check_invariants(s);
+            t.elements(s)
+        }
+        let p = Native::new(1);
+        p.register_thread_as(0);
+        let a = run(&*Nzstm::with_defaults(Arc::clone(&p)), seed);
+        let p = Native::new(1);
+        p.register_thread_as(0);
+        let b = run(&*Bzstm::with_defaults(Arc::clone(&p)), seed);
+        let p = Native::new(1);
+        p.register_thread_as(0);
+        let c = run(&*ShadowStm::with_defaults(Arc::clone(&p)), seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+
+    /// Vacation conserves its bookkeeping for arbitrary seeds and both
+    /// parameterizations.
+    #[test]
+    fn vacation_conservation_random(seed in any::<u64>(), high in any::<bool>()) {
+        let p = Native::new(1);
+        p.register_thread_as(0);
+        let s = Nzstm::with_defaults(p);
+        let mut cfg = if high { VacationConfig::high(16, 8) } else { VacationConfig::low(16, 8) };
+        cfg.seed = seed;
+        let v = Vacation::new(&*s, cfg);
+        let mut rng = DetRng::new(seed ^ 1);
+        for _ in 0..300 {
+            v.one_transaction(&*s, &mut rng);
+        }
+        v.check_conservation(&*s);
+    }
+}

@@ -1,0 +1,148 @@
+//! The paper's motivating scenario (§1): "it is unacceptable for an
+//! interrupt handler to be blocked by the thread it has interrupted."
+//!
+//! ```text
+//! cargo run --release --example interrupt
+//! ```
+//!
+//! A low-priority "application thread" starts a transaction on a shared
+//! device queue and is then *preempted indefinitely* mid-transaction
+//! (simulated with a stall). A high-priority "interrupt handler" must
+//! still get through.
+//!
+//! * Under **BZSTM** (blocking) the handler would spin until the
+//!   preempted thread resumes — here we give it a deadline and show it
+//!   misses it.
+//! * Under **NZSTM** the handler requests the abort, waits out the
+//!   patience budget, **inflates** the queue object past the
+//!   unresponsive owner, and completes immediately.
+
+use nztm_core::{tm_data_struct, Bzstm, NzConfig, NzStm, Nzstm};
+use nztm_sim::Native;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Debug, PartialEq)]
+struct DeviceQueue {
+    head: u64,
+    tail: u64,
+    irq_events_logged: u64,
+}
+tm_data_struct!(DeviceQueue { head: u64, tail: u64, irq_events_logged: u64 });
+
+/// Returns (handler latency, inflations) for the given engine mode.
+fn scenario<M: nztm_core::ModePolicy>(
+    label: &str,
+    handler_deadline: Duration,
+) -> (Option<Duration>, u64) {
+    let platform = Native::new(2);
+    let stm: Arc<NzStm<Native, M>> = NzStm::new(
+        Arc::clone(&platform),
+        Arc::new(nztm_core::cm::KarmaDeadlock::default()),
+        NzConfig { patience: 100, ..NzConfig::default() },
+    );
+    let queue = stm.new_obj(DeviceQueue { head: 0, tail: 0, irq_events_logged: 0 });
+
+    let preempted = Arc::new(AtomicBool::new(false));
+    let resume = Arc::new(AtomicBool::new(false));
+    let handler_latency = Arc::new(parking_lot::Mutex::new(None::<Duration>));
+
+    std::thread::scope(|scope| {
+        // The application thread: acquires the queue, then gets
+        // "preempted" (stalls inside its transaction).
+        {
+            let platform = Arc::clone(&platform);
+            let stm = Arc::clone(&stm);
+            let queue = Arc::clone(&queue);
+            let preempted = Arc::clone(&preempted);
+            let resume = Arc::clone(&resume);
+            scope.spawn(move || {
+                platform.register_thread_as(0);
+                let mut first = true;
+                stm.run(|tx| {
+                    tx.update(&queue, |q| q.tail += 1)?;
+                    if first {
+                        first = false;
+                        preempted.store(true, Ordering::SeqCst);
+                        while !resume.load(Ordering::SeqCst) {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                    Ok(())
+                });
+            });
+        }
+
+        // The interrupt handler: must log an event *now*.
+        {
+            let platform = Arc::clone(&platform);
+            let stm = Arc::clone(&stm);
+            let queue = Arc::clone(&queue);
+            let preempted = Arc::clone(&preempted);
+            let resume = Arc::clone(&resume);
+            let latency_out = Arc::clone(&handler_latency);
+            scope.spawn(move || {
+                platform.register_thread_as(1);
+                while !preempted.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+                let t0 = Instant::now();
+                let done = Arc::new(AtomicBool::new(false));
+                // Run the handler transaction with a watchdog: blocking
+                // engines would spin forever, so give up at the deadline.
+                let d2 = Arc::clone(&done);
+                let r2 = Arc::clone(&resume);
+                let watchdog = std::thread::spawn(move || {
+                    std::thread::sleep(handler_deadline);
+                    if !d2.load(Ordering::SeqCst) {
+                        // Deadline missed: un-preempt the app thread so
+                        // the demo terminates.
+                        r2.store(true, Ordering::SeqCst);
+                        true
+                    } else {
+                        false
+                    }
+                });
+                stm.run(|tx| tx.update(&queue, |q| q.irq_events_logged += 1));
+                done.store(true, Ordering::SeqCst);
+                let missed = watchdog.join().unwrap();
+                if !missed {
+                    *latency_out.lock() = Some(t0.elapsed());
+                }
+                resume.store(true, Ordering::SeqCst);
+            });
+        }
+    });
+
+    let stats = stm.stats();
+    let lat = *handler_latency.lock();
+    match lat {
+        Some(d) => println!(
+            "{label:<8} handler latency: {:>10.3?}   (inflations: {})",
+            d, stats.inflations
+        ),
+        None => println!(
+            "{label:<8} handler MISSED its {:?} deadline — blocked by the preempted thread",
+            handler_deadline
+        ),
+    }
+    (lat, stats.inflations)
+}
+
+fn main() {
+    println!("Interrupt-handler scenario: a preempted transaction holds the device queue.\n");
+    let deadline = Duration::from_millis(250);
+
+    let (nz_latency, nz_inflations) = scenario::<nztm_core::Nonblocking>("NZSTM", deadline);
+    let (bz_latency, _) = scenario::<nztm_core::Blocking>("BZSTM", deadline);
+
+    println!();
+    assert!(nz_latency.is_some(), "NZSTM handler must meet its deadline");
+    assert!(nz_inflations > 0, "progress came from inflating past the preempted owner");
+    assert!(bz_latency.is_none(), "BZSTM handler blocks on the preempted thread");
+    println!("NZSTM is nonblocking: the handler inflated past the unresponsive owner.");
+    println!("BZSTM is blocking: the handler could only wait. (§1, §2.3)");
+    // Quiet unused-import warnings on some toolchains.
+    let _ = (Nzstm::<Native>::with_defaults, Bzstm::<Native>::with_defaults);
+}

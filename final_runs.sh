@@ -1,0 +1,33 @@
+#!/bin/bash
+# Final sequential runs: figures + required test/bench tee outputs.
+cd /root/repo
+set -x
+
+echo "=== rebuild release bins + examples ==="
+cargo build --release -p nztm-bench --bins --examples 2>&1 | tail -2
+
+echo "=== fig3 quick (sole runner) ==="
+timeout 3000 target/release/fig3 --json results_fig3_quick.json > fig3_quick.txt 2> fig3_quick.log
+echo "fig3 rc=$?"
+
+echo "=== fig4 native full ==="
+timeout 2400 target/release/fig4 --full --json results_fig4_native.json > fig4_native.txt 2> fig4_native.log
+echo "fig4n rc=$?"
+
+echo "=== fig4 simulated (deterministic) ==="
+timeout 3000 target/release/fig4 --sim --threads 1,2,4,8 --json results_fig4_sim.json > fig4_sim.txt 2> fig4_sim.log
+echo "fig4s rc=$?"
+
+echo "=== workspace tests (tee) ==="
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | grep -E "test result|error|FAILED" | tail -30
+
+echo "=== workspace benches (tee) ==="
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | tail -5
+
+echo "=== ALL DONE ==="
+
+echo "=== examples smoke ==="
+timeout 300 target/release/examples/quickstart > example_quickstart.txt 2>&1; echo "quickstart rc=$?"
+timeout 300 target/release/examples/interrupt > example_interrupt.txt 2>&1; echo "interrupt rc=$?"
+timeout 600 target/release/examples/hybrid > example_hybrid.txt 2>&1; echo "hybrid rc=$?"
+timeout 600 target/release/examples/concurrent_set > example_concurrent_set.txt 2>&1; echo "concurrent_set rc=$?"

@@ -1,0 +1,174 @@
+//! Cross-crate integration: every TM system in the workspace runs the
+//! same workloads through the same `TmSys` interface and produces
+//! reference-correct results.
+//!
+//! This is the linchpin of the reproduction: Figures 3 and 4 compare
+//! seven systems, which is only meaningful if all seven implement the
+//! same semantics. Each test drives a deterministic single-threaded
+//! operation stream against a `BTreeSet` reference (so divergence
+//! pinpoints the faulty backend), then a concurrent smoke run.
+
+use nztm_core::cm::KarmaDeadlock;
+use nztm_core::{Bzstm, NzConfig, Nzstm, NzstmScss, ReadMode, TmSys};
+use nztm_dstm::{Dstm, GlobalLockTm, ShadowStm};
+use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, LogTmSe, NztmHybrid};
+use nztm_sim::{DetRng, Machine, MachineConfig, Native, SimPlatform};
+use nztm_workloads::hashtable::HashTableSet;
+use nztm_workloads::linkedlist::LinkedListSet;
+use nztm_workloads::redblack::RedBlackSet;
+use nztm_workloads::set::{check_against_reference, Contention, SetOp, TmSet};
+use std::sync::Arc;
+
+const REF_OPS: usize = 1_200;
+
+fn reference_all_sets<S: TmSys>(sys: &S) {
+    let ll = LinkedListSet::new(sys, REF_OPS * 2 + 512);
+    check_against_reference(&ll, sys, 31, REF_OPS, Contention::High);
+    let rb = RedBlackSet::new(sys, REF_OPS * 2 + 512);
+    check_against_reference(&rb, sys, 32, REF_OPS, Contention::High);
+    rb.check_invariants(sys);
+    let ht = HashTableSet::new(sys, REF_OPS * 2 + 512);
+    check_against_reference(&ht, sys, 33, REF_OPS, Contention::Low);
+}
+
+#[test]
+fn nzstm_matches_reference() {
+    let p = Native::new(1);
+    p.register_thread_as(0);
+    reference_all_sets(&*Nzstm::with_defaults(p));
+}
+
+#[test]
+fn nzstm_invisible_reads_match_reference() {
+    let p = Native::new(1);
+    p.register_thread_as(0);
+    let s = Nzstm::new(
+        Arc::clone(&p),
+        Arc::new(KarmaDeadlock::default()),
+        NzConfig { read_mode: ReadMode::Invisible, ..NzConfig::default() },
+    );
+    reference_all_sets(&*s);
+}
+
+#[test]
+fn bzstm_matches_reference() {
+    let p = Native::new(1);
+    p.register_thread_as(0);
+    reference_all_sets(&*Bzstm::with_defaults(p));
+}
+
+#[test]
+fn scss_matches_reference() {
+    let p = Native::new(1);
+    p.register_thread_as(0);
+    reference_all_sets(&*NzstmScss::with_defaults(p));
+}
+
+#[test]
+fn dstm_matches_reference() {
+    let p = Native::new(1);
+    p.register_thread_as(0);
+    reference_all_sets(&*Dstm::with_defaults(p));
+}
+
+#[test]
+fn shadow_matches_reference() {
+    let p = Native::new(1);
+    p.register_thread_as(0);
+    reference_all_sets(&*ShadowStm::with_defaults(p));
+}
+
+#[test]
+fn global_lock_matches_reference() {
+    let p = Native::new(1);
+    p.register_thread_as(0);
+    reference_all_sets(&*GlobalLockTm::new(p));
+}
+
+#[test]
+fn logtm_matches_reference_on_sim() {
+    let m = Machine::new(MachineConfig::paper(1));
+    let p = SimPlatform::new(Arc::clone(&m));
+    let s = LogTmSe::new(p);
+    let s2 = Arc::clone(&s);
+    m.run(vec![Box::new(move || {
+        let ll = LinkedListSet::new(&*s2, 2_048);
+        check_against_reference(&ll, &*s2, 31, 300, Contention::High);
+        let rb = RedBlackSet::new(&*s2, 2_048);
+        check_against_reference(&rb, &*s2, 32, 300, Contention::High);
+        rb.check_invariants(&*s2);
+    })]);
+}
+
+#[test]
+fn hybrid_matches_reference_on_sim() {
+    let m = Machine::new(MachineConfig::paper(1));
+    let p = SimPlatform::new(Arc::clone(&m));
+    let stm = Nzstm::new(Arc::clone(&p), Arc::new(KarmaDeadlock::default()), NzConfig::default());
+    let htm = BestEffortHtm::new(Arc::clone(&p), AtmtpConfig::default());
+    htm.install();
+    let hy = NztmHybrid::new(stm, htm, HybridConfig::default());
+    let hy2 = Arc::clone(&hy);
+    m.run(vec![Box::new(move || {
+        let ll = LinkedListSet::new(&*hy2, 2_048);
+        check_against_reference(&ll, &*hy2, 31, 300, Contention::High);
+        let ht = HashTableSet::new(&*hy2, 2_048);
+        check_against_reference(&ht, &*hy2, 33, 300, Contention::Low);
+    })]);
+    let st = hy.stats();
+    assert!(st.htm_commits > 0, "the hybrid's hardware path must carry load: {st:?}");
+    hy.htm().uninstall();
+}
+
+/// Concurrent agreement: four threads apply disjoint deterministic
+/// streams; the final set contents must be identical across backends
+/// because the streams commute at the set level (each thread owns a
+/// disjoint key range).
+#[test]
+fn concurrent_disjoint_streams_agree_across_backends() {
+    fn run<S: TmSys>(sys: Arc<S>, p: Arc<Native>) -> Vec<u64> {
+        let set = Arc::new(RedBlackSet::new(&*sys, 80_000));
+        std::thread::scope(|scope| {
+            for tid in 0..4usize {
+                let sys = Arc::clone(&sys);
+                let set = Arc::clone(&set);
+                let p = Arc::clone(&p);
+                scope.spawn(move || {
+                    p.register_thread_as(tid);
+                    let mut rng = DetRng::new(tid as u64 + 1);
+                    // Keys restricted to this thread's 64-key stripe.
+                    for _ in 0..2_000 {
+                        let op = SetOp::draw(&mut rng, Contention::High);
+                        let stripe = |k: u64| (tid as u64) * 64 + (k % 64);
+                        match op {
+                            SetOp::Insert(k) => {
+                                set.insert(&*sys, stripe(k));
+                            }
+                            SetOp::Delete(k) => {
+                                set.delete(&*sys, stripe(k));
+                            }
+                            SetOp::Lookup(k) => {
+                                set.contains(&*sys, stripe(k));
+                            }
+                        };
+                    }
+                });
+            }
+        });
+        p.register_thread_as(0);
+        set.check_invariants(&*sys);
+        set.elements(&*sys)
+    }
+
+    let p = Native::new(4);
+    let a = run(Nzstm::with_defaults(Arc::clone(&p)), Arc::clone(&p));
+    let p = Native::new(4);
+    let b = run(Bzstm::with_defaults(Arc::clone(&p)), Arc::clone(&p));
+    let p = Native::new(4);
+    let c = run(NzstmScss::with_defaults(Arc::clone(&p)), Arc::clone(&p));
+    let p = Native::new(4);
+    let d = run(ShadowStm::with_defaults(Arc::clone(&p)), Arc::clone(&p));
+    assert_eq!(a, b, "NZSTM vs BZSTM");
+    assert_eq!(a, c, "NZSTM vs SCSS");
+    assert_eq!(a, d, "NZSTM vs DSTM2-SF");
+}
