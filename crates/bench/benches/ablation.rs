@@ -10,17 +10,19 @@
 //!   before inflating (the cost knob behind §2.3.1's "resorting to
 //!   indirection only when … unresponsive").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nztm_bench::microbench::bench_runs;
 use nztm_core::cm::{Aggressive, ContentionManager, Greedy, KarmaDeadlock, Polite, Timestamp};
 use nztm_core::{NzConfig, Nzstm, ReadMode};
 use nztm_sim::{DetRng, Native};
-use nztm_workloads::linkedlist::LinkedListSet;
 use nztm_workloads::hashtable::HashTableSet;
+use nztm_workloads::linkedlist::LinkedListSet;
 use nztm_workloads::set::{Contention, SetOp, TmSet};
 use std::sync::Arc;
 
 const THREADS: usize = 4;
 const OPS: u64 = 800;
+const SAMPLES: usize = 10;
+const ITERS: u64 = 3;
 
 /// Run a 4-thread set workload once; returns wall time.
 fn run_once<T: TmSet<Nzstm<Native>> + 'static>(
@@ -47,8 +49,7 @@ fn run_once<T: TmSet<Nzstm<Native>> + 'static>(
     start.elapsed()
 }
 
-fn cm_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cm-linkedlist-high");
+fn cm_ablation() {
     let cms: Vec<(&str, Arc<dyn ContentionManager>)> = vec![
         ("karma-deadlock", Arc::new(KarmaDeadlock::default())),
         ("aggressive", Arc::new(Aggressive)),
@@ -57,80 +58,68 @@ fn cm_ablation(c: &mut Criterion) {
         ("greedy", Arc::new(Greedy)),
     ];
     for (name, cm) in cms {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
-            b.iter_custom(|iters| {
-                let mut total = std::time::Duration::ZERO;
-                for _ in 0..iters {
-                    let p = Native::new(THREADS);
-                    let s = Nzstm::new(Arc::clone(&p), Arc::clone(&cm), NzConfig::default());
-                    let set = Arc::new(LinkedListSet::new(
-                        &*s,
-                        (THREADS as u64 * OPS * 3) as usize + 1024,
-                    ));
-                    total += run_once(s, p, set, Contention::High);
-                }
-                total
-            })
+        bench_runs("cm-linkedlist-high", name, SAMPLES, ITERS, |iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                let p = Native::new(THREADS);
+                let s = Nzstm::new(Arc::clone(&p), Arc::clone(&cm), NzConfig::default());
+                let set = Arc::new(LinkedListSet::new(
+                    &*s,
+                    (THREADS as u64 * OPS * 3) as usize + 1024,
+                ));
+                total += run_once(s, p, set, Contention::High);
+            }
+            total
         });
     }
-    g.finish();
 }
 
-fn read_mode_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("readmode-hashtable-low");
+fn read_mode_ablation() {
     for (name, mode) in [("visible", ReadMode::Visible), ("invisible", ReadMode::Invisible)] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
-            b.iter_custom(|iters| {
-                let mut total = std::time::Duration::ZERO;
-                for _ in 0..iters {
-                    let p = Native::new(THREADS);
-                    let s = Nzstm::new(
-                        Arc::clone(&p),
-                        Arc::new(KarmaDeadlock::default()),
-                        NzConfig { read_mode: mode, ..NzConfig::default() },
-                    );
-                    let set = Arc::new(HashTableSet::new(
-                        &*s,
-                        (THREADS as u64 * OPS * 3) as usize + 1024,
-                    ));
-                    total += run_once(s, p, set, Contention::Low);
-                }
-                total
-            })
+        bench_runs("readmode-hashtable-low", name, SAMPLES, ITERS, |iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                let p = Native::new(THREADS);
+                let s = Nzstm::new(
+                    Arc::clone(&p),
+                    Arc::new(KarmaDeadlock::default()),
+                    NzConfig { read_mode: mode, ..NzConfig::default() },
+                );
+                let set = Arc::new(HashTableSet::new(
+                    &*s,
+                    (THREADS as u64 * OPS * 3) as usize + 1024,
+                ));
+                total += run_once(s, p, set, Contention::Low);
+            }
+            total
         });
     }
-    g.finish();
 }
 
-fn patience_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("patience-linkedlist-high");
+fn patience_ablation() {
     for patience in [8u64, 128, 2048] {
-        g.bench_with_input(BenchmarkId::from_parameter(patience), &(), |b, ()| {
-            b.iter_custom(|iters| {
-                let mut total = std::time::Duration::ZERO;
-                for _ in 0..iters {
-                    let p = Native::new(THREADS);
-                    let s = Nzstm::new(
-                        Arc::clone(&p),
-                        Arc::new(KarmaDeadlock::default()),
-                        NzConfig { patience, ..NzConfig::default() },
-                    );
-                    let set = Arc::new(LinkedListSet::new(
-                        &*s,
-                        (THREADS as u64 * OPS * 3) as usize + 1024,
-                    ));
-                    total += run_once(s, p, set, Contention::High);
-                }
-                total
-            })
+        bench_runs("patience-linkedlist-high", &patience.to_string(), SAMPLES, ITERS, |iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                let p = Native::new(THREADS);
+                let s = Nzstm::new(
+                    Arc::clone(&p),
+                    Arc::new(KarmaDeadlock::default()),
+                    NzConfig { patience, ..NzConfig::default() },
+                );
+                let set = Arc::new(LinkedListSet::new(
+                    &*s,
+                    (THREADS as u64 * OPS * 3) as usize + 1024,
+                ));
+                total += run_once(s, p, set, Contention::High);
+            }
+            total
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = ablations;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = cm_ablation, read_mode_ablation, patience_ablation
+fn main() {
+    cm_ablation();
+    read_mode_ablation();
+    patience_ablation();
 }
-criterion_main!(ablations);

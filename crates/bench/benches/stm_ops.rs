@@ -1,83 +1,70 @@
-//! Criterion micro-benchmarks: single-thread per-operation costs of
-//! every software TM in the workspace.
+//! Micro-benchmarks: single-thread per-operation costs of every software
+//! TM in the workspace.
 //!
 //! These are the "inherent overhead" numbers behind §4.4.2's
 //! within-10% claims: an uncontended read-modify-write transaction, a
 //! read-only transaction, and a bigger 8-object transaction, for NZSTM,
 //! BZSTM, SCSS, DSTM, DSTM2-SF, and the global lock.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nztm_bench::microbench::bench;
 use nztm_core::{Bzstm, Nzstm, NzstmScss, TmSys};
 use nztm_dstm::{Dstm, GlobalLockTm, ShadowStm};
 use nztm_sim::Native;
 use std::sync::Arc;
 
-fn bench_system<S: TmSys>(c: &mut Criterion, name: &str, sys: Arc<S>) {
+fn bench_system<S: TmSys>(name: &str, sys: Arc<S>) {
     let obj = sys.alloc(0u64);
     let objs: Vec<_> = (0..8).map(|i| sys.alloc(i as u64)).collect();
 
-    let mut g = c.benchmark_group("txn");
-    g.bench_with_input(BenchmarkId::new("rmw1", name), &(), |b, ()| {
-        b.iter(|| {
-            sys.execute(&mut |tx| {
-                let v = S::read(tx, &obj)?;
-                S::write(tx, &obj, &(v + 1))
-            })
-        })
+    bench("txn", &format!("rmw1/{name}"), || {
+        sys.execute(&mut |tx| {
+            let v = S::read(tx, &obj)?;
+            S::write(tx, &obj, &(v + 1))
+        });
     });
-    g.bench_with_input(BenchmarkId::new("read1", name), &(), |b, ()| {
-        b.iter(|| sys.execute(&mut |tx| S::read(tx, &obj)))
+    bench("txn", &format!("read1/{name}"), || {
+        let _ = sys.execute(&mut |tx| S::read(tx, &obj));
     });
-    g.bench_with_input(BenchmarkId::new("rmw8", name), &(), |b, ()| {
-        b.iter(|| {
-            sys.execute(&mut |tx| {
-                for o in &objs {
-                    let v = S::read(tx, o)?;
-                    S::write(tx, o, &(v + 1))?;
-                }
-                Ok(())
-            })
-        })
+    bench("txn", &format!("rmw8/{name}"), || {
+        sys.execute(&mut |tx| {
+            for o in &objs {
+                let v = S::read(tx, o)?;
+                S::write(tx, o, &(v + 1))?;
+            }
+            Ok(())
+        });
     });
-    g.finish();
 }
 
-fn benches(c: &mut Criterion) {
+fn main() {
     {
         let p = Native::new(1);
         p.register_thread_as(0);
-        bench_system(c, "NZSTM", Nzstm::with_defaults(p));
+        bench_system("NZSTM", Nzstm::with_defaults(p));
     }
     {
         let p = Native::new(1);
         p.register_thread_as(0);
-        bench_system(c, "BZSTM", Bzstm::with_defaults(p));
+        bench_system("BZSTM", Bzstm::with_defaults(p));
     }
     {
         let p = Native::new(1);
         p.register_thread_as(0);
-        bench_system(c, "SCSS", NzstmScss::with_defaults(p));
+        bench_system("SCSS", NzstmScss::with_defaults(p));
     }
     {
         let p = Native::new(1);
         p.register_thread_as(0);
-        bench_system(c, "DSTM", Dstm::with_defaults(p));
+        bench_system("DSTM", Dstm::with_defaults(p));
     }
     {
         let p = Native::new(1);
         p.register_thread_as(0);
-        bench_system(c, "DSTM2-SF", ShadowStm::with_defaults(p));
+        bench_system("DSTM2-SF", ShadowStm::with_defaults(p));
     }
     {
         let p = Native::new(1);
         p.register_thread_as(0);
-        bench_system(c, "GlobalLock", GlobalLockTm::new(p));
+        bench_system("GlobalLock", GlobalLockTm::new(p));
     }
 }
-
-criterion_group! {
-    name = ops;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = benches
-}
-criterion_main!(ops);

@@ -57,7 +57,7 @@ fn main() {
         "hybridlog" => {
             // Like "hybrid", but with host-side event logging to localize
             // conservation failures.
-            use nztm_core::TmSys;
+            
             use nztm_sim::DetRng;
             use nztm_workloads::stamp::vacation::Vacation;
             let stm = Nzstm::new(
@@ -69,8 +69,8 @@ fn main() {
             htm.install();
             let s = NztmHybrid::new(stm, htm, HybridConfig::default());
             // Setup on core 0.
-            let slot: Arc<parking_lot::Mutex<Option<Vacation<NztmHybrid>>>> =
-                Arc::new(parking_lot::Mutex::new(None));
+            let slot: Arc<nztm_sim::sync::Mutex<Option<Vacation<NztmHybrid>>>> =
+                Arc::new(nztm_sim::sync::Mutex::new(None));
             {
                 let (s2, slot2, cfg2) = (Arc::clone(&s), Arc::clone(&slot), cfg.clone());
                 let mut bodies: Vec<Box<dyn FnOnce() + Send>> =
@@ -81,8 +81,8 @@ fn main() {
                 machine.run(bodies);
             }
             let v = Arc::new(slot.lock().take().unwrap());
-            type Log = parking_lot::Mutex<Vec<String>>;
-            let log: Arc<Log> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            type Log = nztm_sim::sync::Mutex<Vec<String>>;
+            let log: Arc<Log> = Arc::new(nztm_sim::sync::Mutex::new(Vec::new()));
             let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..cores)
                 .map(|tid| {
                     let v = Arc::clone(&v);

@@ -1,0 +1,87 @@
+//! Criterion-free micro-benchmark harness.
+//!
+//! Wall-clock timing with warmup and median-of-samples reporting —
+//! enough to compare per-operation TM costs within the workspace without
+//! an external benchmarking framework. Output format is one line per
+//! benchmark: `<group>/<name>  <median> ns/op  (n=<samples>)`.
+
+use std::time::{Duration, Instant};
+
+/// Time `f` (one op per call): warm up, then sample `samples` batches of
+/// `batch` calls and report the median per-op cost.
+pub fn bench(group: &str, name: &str, mut f: impl FnMut()) {
+    const WARMUP: Duration = Duration::from_millis(100);
+    const SAMPLES: usize = 15;
+
+    // Warmup + batch-size calibration: grow the batch until one batch
+    // takes ≥ ~1ms, so timer overhead stays negligible.
+    let mut batch: u64 = 1;
+    let warm_start = Instant::now();
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let d = t.elapsed();
+        if d >= Duration::from_millis(1) || batch >= 1 << 20 {
+            if warm_start.elapsed() >= WARMUP {
+                break;
+            }
+        } else {
+            batch *= 2;
+        }
+    }
+
+    let mut per_op: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.total_cmp(b));
+    let median = per_op[per_op.len() / 2];
+    println!("{group}/{name}  {median:>10.1} ns/op  (n={SAMPLES}, batch={batch})");
+}
+
+/// Time a whole-run benchmark: `f(iters)` must perform `iters` runs and
+/// return the total elapsed time. Reports the median per-run cost over
+/// `samples` samples of `iters_per_sample` runs each.
+pub fn bench_runs(
+    group: &str,
+    name: &str,
+    samples: usize,
+    iters_per_sample: u64,
+    mut f: impl FnMut(u64) -> Duration,
+) {
+    // One warmup run.
+    let _ = f(1);
+    let mut per_run: Vec<f64> = (0..samples.max(1))
+        .map(|_| f(iters_per_sample).as_nanos() as f64 / iters_per_sample.max(1) as f64)
+        .collect();
+    per_run.sort_by(|a, b| a.total_cmp(b));
+    let median = per_run[per_run.len() / 2];
+    println!(
+        "{group}/{name}  {:>10.3} ms/run  (n={}, iters={iters_per_sample})",
+        median / 1e6,
+        samples.max(1)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_reports_without_panicking() {
+        bench_runs("t", "noop", 3, 2, |iters| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(0u64);
+            }
+            t.elapsed()
+        });
+    }
+}

@@ -1,10 +1,10 @@
 //! Figure output: the same rows/series the paper plots, as text tables
-//! and machine-readable JSON.
-
-use serde::Serialize;
+//! and machine-readable JSON (hand-rolled writer — the schema is four
+//! nested structs; a serialization framework would be the only external
+//! dependency in the workspace).
 
 /// One measured cell.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Cell {
     pub threads: usize,
     /// Raw throughput (ops per cycle or per nanosecond).
@@ -20,25 +20,75 @@ pub struct Cell {
 }
 
 /// One line in a sub-plot: a system measured across thread counts.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     pub system: String,
     pub cells: Vec<Cell>,
 }
 
 /// One sub-plot (a workload) of a figure.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Panel {
     pub workload: String,
     pub series: Vec<Series>,
 }
 
 /// A whole figure.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct FigureReport {
     pub figure: String,
     pub normalization: String,
     pub panels: Vec<Panel>,
+}
+
+/// Minimal JSON string escaping (the only non-trivial JSON the writer
+/// needs; all other values are numbers).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number: finite floats print as-is; non-finite map to null (JSON
+/// has no NaN/Inf).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+impl Cell {
+    fn to_json(&self, out: &mut String, indent: &str) {
+        use std::fmt::Write;
+        write!(
+            out,
+            "{indent}{{ \"threads\": {}, \"raw\": {}, \"norm\": {}, \"commits\": {}, \
+             \"aborts\": {}, \"abort_rate\": {}, \"htm_share\": {}, \"inflations\": {} }}",
+            self.threads,
+            json_f64(self.raw),
+            json_f64(self.norm),
+            self.commits,
+            self.aborts,
+            json_f64(self.abort_rate),
+            json_f64(self.htm_share),
+            self.inflations
+        )
+        .unwrap();
+    }
 }
 
 impl FigureReport {
@@ -78,7 +128,34 @@ impl FigureReport {
     }
 
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serializes")
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "{{").unwrap();
+        writeln!(out, "  \"figure\": {},", json_str(&self.figure)).unwrap();
+        writeln!(out, "  \"normalization\": {},", json_str(&self.normalization)).unwrap();
+        writeln!(out, "  \"panels\": [").unwrap();
+        for (pi, p) in self.panels.iter().enumerate() {
+            writeln!(out, "    {{").unwrap();
+            writeln!(out, "      \"workload\": {},", json_str(&p.workload)).unwrap();
+            writeln!(out, "      \"series\": [").unwrap();
+            for (si, s) in p.series.iter().enumerate() {
+                writeln!(out, "        {{").unwrap();
+                writeln!(out, "          \"system\": {},", json_str(&s.system)).unwrap();
+                writeln!(out, "          \"cells\": [").unwrap();
+                for (ci, c) in s.cells.iter().enumerate() {
+                    c.to_json(&mut out, "            ");
+                    writeln!(out, "{}", if ci + 1 < s.cells.len() { "," } else { "" }).unwrap();
+                }
+                writeln!(out, "          ]").unwrap();
+                writeln!(out, "        }}{}", if si + 1 < p.series.len() { "," } else { "" })
+                    .unwrap();
+            }
+            writeln!(out, "      ]").unwrap();
+            writeln!(out, "    }}{}", if pi + 1 < self.panels.len() { "," } else { "" }).unwrap();
+        }
+        writeln!(out, "  ]").unwrap();
+        write!(out, "}}").unwrap();
+        out
     }
 }
 
@@ -119,9 +196,21 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trips_structurally() {
+    fn json_contains_structure() {
         let j = demo().to_json();
-        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
-        assert_eq!(v["panels"][0]["series"][0]["cells"][0]["threads"], 1);
+        assert!(j.contains("\"figure\": \"Figure X\""));
+        assert!(j.contains("\"workload\": \"demo-w\""));
+        assert!(j.contains("\"threads\": 1"));
+        assert!(j.contains("\"commits\": 10"));
+        // Balanced braces/brackets — cheap structural sanity.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_strings_and_nonfinite() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(2.5), "2.5");
     }
 }

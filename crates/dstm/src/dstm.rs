@@ -16,7 +16,7 @@
 //! without any inflation machinery, and what it pays for with
 //! indirection.
 
-use crossbeam_epoch::Guard;
+use nztm_epoch::Guard;
 use nztm_core::cm::{ContentionManager, KarmaDeadlock, Resolution};
 use nztm_core::data::{snapshot_words, write_words, TmData};
 use nztm_core::registry::ThreadRegistry;
@@ -129,7 +129,7 @@ impl<T: TmData> DstmObject<T> {
 
     /// Non-transactional read of the logical value (setup/verification).
     pub fn read_untracked(&self) -> T {
-        let guard = crossbeam_epoch::pin();
+        let guard = nztm_epoch::pin();
         let (loc, _) = self.header.locator(&guard);
         let mut scratch = vec![0u64; T::n_words()];
         snapshot_words(loc.current().words(), &mut scratch);
@@ -232,7 +232,7 @@ impl<P: Platform> Dstm<P> {
     fn begin(&self, ctx: &mut ThreadCtx, tid: usize) {
         ctx.serial += 1;
         let desc = Arc::new(TxnDesc::new(tid as u32, ctx.serial));
-        let guard = crossbeam_epoch::pin();
+        let guard = nztm_epoch::pin();
         self.registry.publish(tid, &desc, &guard);
         self.platform.mem(self.registry.slot_addr(tid), 8, AccessKind::Write);
         ctx.current = Some(desc);
@@ -361,7 +361,7 @@ impl<P: Platform> Dstm<P> {
             return Ok(i);
         }
         loop {
-            let guard = crossbeam_epoch::pin();
+            let guard = nztm_epoch::pin();
             // Two dependent loads to reach the data: start word, then the
             // locator, then (below) the buffer.
             self.platform.mem(h.addr(), 8, AccessKind::Read);
@@ -409,7 +409,7 @@ impl<P: Platform> Dstm<P> {
         let n = T::n_words();
         let mut registered = false;
         loop {
-            let guard = crossbeam_epoch::pin();
+            let guard = nztm_epoch::pin();
             if !registered {
                 self.platform.mem(h.addr(), 8, AccessKind::Rmw);
                 h.readers.fetch_or(1u64 << tid, Ordering::SeqCst);

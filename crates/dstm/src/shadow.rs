@@ -15,7 +15,7 @@
 //! NZSTM"), so the measured differences against [`crate::Dstm`]-style
 //! systems and BZSTM come down to layout, exactly as in the paper.
 
-use crossbeam_epoch::Guard;
+use nztm_epoch::Guard;
 use nztm_core::cm::{ContentionManager, KarmaDeadlock, Resolution};
 use nztm_core::data::{copy_words, snapshot_words, write_words, TmData, WordArray};
 use nztm_core::registry::ThreadRegistry;
@@ -120,7 +120,7 @@ impl<T: TmData> ShadowObject<T> {
     }
 
     pub fn read_untracked(&self) -> T {
-        let guard = crossbeam_epoch::pin();
+        let guard = nztm_epoch::pin();
         let mut scratch = vec![0u64; T::n_words()];
         let src = match self.header.owner_desc(&guard) {
             Some((d, _)) if d.status() == Status::Aborted && self.shadow_usable(&guard) => {
@@ -270,7 +270,7 @@ impl<P: Platform> ShadowStm<P> {
     fn begin(&self, ctx: &mut ThreadCtx, tid: usize) {
         ctx.serial += 1;
         let desc = Arc::new(TxnDesc::new(tid as u32, ctx.serial));
-        let guard = crossbeam_epoch::pin();
+        let guard = nztm_epoch::pin();
         self.registry.publish(tid, &desc, &guard);
         self.platform.mem(self.registry.slot_addr(tid), 8, AccessKind::Write);
         ctx.current = Some(desc);
@@ -399,7 +399,7 @@ impl<P: Platform> ShadowStm<P> {
             return Ok(());
         }
         loop {
-            let guard = crossbeam_epoch::pin();
+            let guard = nztm_epoch::pin();
             self.platform.mem(h.addr(), 8, AccessKind::Read);
             let (prev_aborted, raw) = match h.owner_desc(&guard) {
                 None => (false, 0),
@@ -456,7 +456,7 @@ impl<P: Platform> ShadowStm<P> {
         let n = T::n_words();
         let mut registered = false;
         loop {
-            let guard = crossbeam_epoch::pin();
+            let guard = nztm_epoch::pin();
             if !registered {
                 self.platform.mem(h.addr(), 8, AccessKind::Rmw);
                 h.readers.fetch_or(1u64 << tid, Ordering::SeqCst);

@@ -192,7 +192,7 @@ fn dstm_locator_replacement_is_linearizable() {
     let p = Native::new(2);
     let s = Dstm::with_defaults(Arc::clone(&p));
     let obj = s.alloc(0u64);
-    let pairs = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let pairs = Arc::new(nztm_sim::sync::Mutex::new(Vec::new()));
     std::thread::scope(|scope| {
         {
             let (p, s, obj) = (Arc::clone(&p), Arc::clone(&s), Arc::clone(&obj));

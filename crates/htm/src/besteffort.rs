@@ -19,7 +19,7 @@
 use crate::cps::CpsReason;
 use nztm_core::util::PerCore;
 use nztm_sim::{AccessKind, DetRng, Machine, Platform, SimPlatform};
-use parking_lot::Mutex;
+use nztm_sim::sync::Mutex;
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -86,7 +86,7 @@ impl NztmHybrid {
         // The metadata line joins the hardware read set: any later
         // software acquisition (a CAS on the owner word) dooms us.
         hw.track_read(h.addr(), 8)?;
-        let guard = crossbeam_epoch::pin();
+        let guard = nztm_epoch::pin();
         match hw_examine_and_clean(h, obj.data_words(), false, core, &guard) {
             HwCheck::Clean => {}
             HwCheck::ConflictWithSoftware => return Err(hw.explicit_abort()),
@@ -113,7 +113,7 @@ impl NztmHybrid {
     ) -> Result<(), HwAbort> {
         let h = obj.header();
         hw.track_write(h.addr(), 8)?;
-        let guard = crossbeam_epoch::pin();
+        let guard = nztm_epoch::pin();
         match hw_examine_and_clean(h, obj.data_words(), true, core, &guard) {
             HwCheck::Clean => {}
             HwCheck::ConflictWithSoftware => return Err(hw.explicit_abort()),
@@ -370,7 +370,7 @@ mod tests {
         let (m, _p, hy) = setup(1);
         let o = hy.alloc(5u64);
         {
-            let g = crossbeam_epoch::pin();
+            let g = nztm_epoch::pin();
             let dead = Arc::new(TxnDesc::new(0, 1));
             assert!(o.header().cas_owner_to_txn(0, &dead, &g));
             let backup = WordBuf::from_words(o.data_words()); // 5
@@ -388,7 +388,7 @@ mod tests {
         assert_eq!(st.htm_commits, 1);
         assert_eq!(st.fallbacks, 0);
         // Owner was erased so later hardware transactions skip the checks.
-        let g = crossbeam_epoch::pin();
+        let g = nztm_epoch::pin();
         assert!(matches!(o.header().owner(&g), nztm_core::object::OwnerRef::None));
         hy.htm().uninstall();
     }

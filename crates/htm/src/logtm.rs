@@ -26,8 +26,8 @@ use nztm_core::txn::Abort;
 use nztm_core::util::PerCore;
 use nztm_core::TmSys;
 use nztm_sim::{AccessKind, DetRng, Machine, Platform, SimPlatform};
-use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use nztm_sim::sync::Mutex;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 

@@ -1,62 +1,74 @@
-//! Property-based model checking: random small protocol configurations
+//! Randomized model checking: random small protocol configurations
 //! must all verify. This widens §3's hand-picked configurations to a
-//! fuzzed family (still exhaustively checked per configuration).
+//! seeded-random family (still exhaustively checked per configuration).
 
 use nztm_modelcheck::model::NzModelConfig;
 use nztm_modelcheck::{Checker, NzModel, ProtocolMode};
-use proptest::prelude::*;
 
-fn arb_writes() -> impl Strategy<Value = Vec<Vec<u8>>> {
+/// SplitMix64 — inlined so this crate keeps zero dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+fn arb_writes(rng: &mut Rng) -> Vec<Vec<u8>> {
     // 2 threads, each writing 1-2 of 2 objects, arbitrary order, no
     // duplicate objects within a transaction.
-    proptest::collection::vec(
-        prop_oneof![
-            Just(vec![0u8]),
-            Just(vec![1u8]),
-            Just(vec![0u8, 1u8]),
-            Just(vec![1u8, 0u8]),
-        ],
-        2..=2,
-    )
+    let choices: [&[u8]; 4] = [&[0], &[1], &[0, 1], &[1, 0]];
+    (0..2).map(|_| choices[rng.below(4) as usize].to_vec()).collect()
 }
 
-fn arb_mode() -> impl Strategy<Value = ProtocolMode> {
-    prop_oneof![
-        Just(ProtocolMode::Blocking),
-        Just(ProtocolMode::Nzstm),
-        Just(ProtocolMode::Scss),
-    ]
+fn arb_mode(rng: &mut Rng) -> ProtocolMode {
+    match rng.below(3) {
+        0 => ProtocolMode::Blocking,
+        1 => ProtocolMode::Nzstm,
+        _ => ProtocolMode::Scss,
+    }
 }
 
-proptest! {
+/// Without crashes, every mode × write-list combination is
+/// serializable and deadlock-free.
+#[test]
+fn random_configs_verify() {
     // Each case is a full exhaustive model check; keep the count modest.
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Without crashes, every mode × write-list combination is
-    /// serializable and deadlock-free.
-    #[test]
-    fn random_configs_verify(mode in arb_mode(), writes in arb_writes()) {
+    let mut rng = Rng(0xF022_0001);
+    for case in 0..24 {
+        let mode = arb_mode(&mut rng);
+        let writes = arb_writes(&mut rng);
         let mut cfg = NzModelConfig::new(mode, writes);
         cfg.max_attempts = 2;
         let out = Checker::default().run(&NzModel { cfg });
-        prop_assert!(out.violation.is_none(), "violation: {:?}", out.violation);
-        prop_assert_eq!(out.deadlocks, 0);
-        prop_assert!(out.end_states > 0);
+        assert!(out.violation.is_none(), "case {case}: violation: {:?}", out.violation);
+        assert_eq!(out.deadlocks, 0, "case {case}");
+        assert!(out.end_states > 0, "case {case}");
     }
+}
 
-    /// With a crashing thread, the nonblocking modes stay deadlock-free
-    /// and serializable (the blocking mode is covered by the directed
-    /// tests — it deadlocks by design).
-    #[test]
-    fn random_crash_configs_stay_nonblocking(
-        mode in prop_oneof![Just(ProtocolMode::Nzstm), Just(ProtocolMode::Scss)],
-        writes in arb_writes(),
-        crash in 0u8..2,
-    ) {
+/// With a crashing thread, the nonblocking modes stay deadlock-free
+/// and serializable (the blocking mode is covered by the directed
+/// tests — it deadlocks by design).
+#[test]
+fn random_crash_configs_stay_nonblocking() {
+    let mut rng = Rng(0xF022_0002);
+    for case in 0..24 {
+        let mode = if rng.below(2) == 0 { ProtocolMode::Nzstm } else { ProtocolMode::Scss };
+        let writes = arb_writes(&mut rng);
+        let crash = rng.below(2) as u8;
         let mut cfg = NzModelConfig::new(mode, writes).with_crash(crash);
         cfg.max_attempts = 2;
         let out = Checker::default().run(&NzModel { cfg });
-        prop_assert!(out.violation.is_none(), "violation: {:?}", out.violation);
-        prop_assert_eq!(out.deadlocks, 0, "nonblocking mode deadlocked");
+        assert!(out.violation.is_none(), "case {case}: violation: {:?}", out.violation);
+        assert_eq!(out.deadlocks, 0, "case {case}: nonblocking mode deadlocked");
     }
 }

@@ -32,7 +32,7 @@ use crate::registry::ThreadRegistry;
 use crate::stats::TmStats;
 use crate::txn::{Abort, AbortCause, Status, TxnDesc};
 use crate::util::{Backoff, PerCore};
-use crossbeam_epoch::Guard;
+use nztm_epoch::Guard;
 use nztm_sim::{AccessKind, DetRng, Platform};
 use std::collections::HashMap;
 use std::marker::PhantomData;
@@ -93,11 +93,23 @@ pub struct NzConfig {
     /// Extra cycles charged per SCSS store on simulated platforms (models
     /// the short hardware transaction's latency).
     pub scss_cycles: u64,
+    /// TEST-ONLY fault injection (`sanitize` builds): requesters force
+    /// the victim's `Status = Aborted` instead of waiting for the
+    /// acknowledgement — the §2.2 handshake violation the sanitizer
+    /// exists to catch.
+    #[cfg(feature = "sanitize")]
+    pub inject_handshake_bug: bool,
 }
 
 impl Default for NzConfig {
     fn default() -> Self {
-        NzConfig { patience: 128, read_mode: ReadMode::Visible, scss_cycles: 25 }
+        NzConfig {
+            patience: 128,
+            read_mode: ReadMode::Visible,
+            scss_cycles: 25,
+            #[cfg(feature = "sanitize")]
+            inject_handshake_bug: false,
+        }
     }
 }
 
@@ -155,6 +167,10 @@ struct ThreadCtx {
     stats: TmStats,
     /// Scratch encode/decode buffer, reused across operations.
     scratch: Vec<u64>,
+    /// Per-thread sanitizer pause stream, keyed by the schedule
+    /// generation that derived it (re-split on `set_schedule`).
+    #[cfg(feature = "sanitize")]
+    san_rng: Option<(u64, DetRng)>,
 }
 
 impl ThreadCtx {
@@ -169,6 +185,8 @@ impl ThreadCtx {
             backoff: Backoff::new(),
             stats: TmStats::default(),
             scratch: Vec::with_capacity(64),
+            #[cfg(feature = "sanitize")]
+            san_rng: None,
         }
     }
 }
@@ -189,6 +207,8 @@ pub struct NzStm<P: Platform, M: ModePolicy> {
     registry: ThreadRegistry,
     threads: PerCore<ThreadCtx>,
     cfg: NzConfig,
+    #[cfg(feature = "sanitize")]
+    san: crate::sanitizer::Sanitizer,
     _mode: PhantomData<M>,
 }
 
@@ -201,6 +221,8 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             registry: ThreadRegistry::new(n),
             threads: PerCore::new(n, ThreadCtx::new),
             cfg,
+            #[cfg(feature = "sanitize")]
+            san: crate::sanitizer::Sanitizer::new(),
             _mode: PhantomData,
         })
     }
@@ -249,6 +271,46 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         }
     }
 
+    /// This engine's protocol sanitizer (see [`crate::sanitizer`]).
+    #[cfg(feature = "sanitize")]
+    pub fn sanitizer(&self) -> &crate::sanitizer::Sanitizer {
+        &self.san
+    }
+
+    /// A hooked protocol decision point: log the step and inject a
+    /// schedule-seeded pause (0..=max_pause `spin_wait`s) drawn from this
+    /// thread's deterministic stream. On the simulated platform this
+    /// deterministically reshapes the interleaving; on native threads it
+    /// injects jitter exactly where the protocol races live.
+    #[cfg(feature = "sanitize")]
+    fn san_point(&self, ctx: &mut ThreadCtx, tid: usize, point: crate::sanitizer::Point) {
+        let generation = self.san.generation();
+        if generation == 0 {
+            return;
+        }
+        self.san.log_step(tid as u32, point);
+        let max_pause = self.san.max_pause();
+        if max_pause == 0 {
+            return;
+        }
+        let rng = match &mut ctx.san_rng {
+            Some((g, rng)) if *g == generation => rng,
+            slot => {
+                *slot = Some((generation, DetRng::new(self.san.schedule_seed()).split(tid as u64)));
+                &mut slot.as_mut().expect("just set").1
+            }
+        };
+        let pause = rng.next_u64() % (max_pause + 1);
+        for _ in 0..pause {
+            self.platform.spin_wait();
+        }
+    }
+
+    /// No-op twin so call sites need no `cfg` of their own.
+    #[cfg(not(feature = "sanitize"))]
+    #[inline(always)]
+    fn san_point(&self, _ctx: &mut ThreadCtx, _tid: usize, _point: crate::sanitizer::Point) {}
+
     // ------------------------------------------------------------------
     // Transaction lifecycle
     // ------------------------------------------------------------------
@@ -294,9 +356,11 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         // A fresh descriptor per attempt (§2.2); Arc because object owner
         // fields and the registry take strong counts.
         let desc = Arc::new(TxnDesc::new(tid as u32, ctx.serial));
-        let guard = crossbeam_epoch::pin();
+        let guard = nztm_epoch::pin();
         self.registry.publish(tid, &desc, &guard);
         self.platform.mem(self.registry.slot_addr(tid), 8, AccessKind::Write);
+        #[cfg(feature = "sanitize")]
+        self.san.txn_begin(Arc::as_ptr(&desc) as u64, tid as u32, ctx.serial);
         ctx.current = Some(desc);
         ctx.read_set.clear();
         ctx.write_set.clear();
@@ -327,7 +391,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         // version necessarily moved when we bumped it ourselves), so they
         // are recognized by ownership and skipped here.
         if self.cfg.read_mode == ReadMode::Invisible {
-            let guard = crossbeam_epoch::pin();
+            let guard = nztm_epoch::pin();
             for r in &ctx.read_set {
                 let h = r.obj.header();
                 self.platform.mem(h.addr(), 8, AccessKind::Read);
@@ -347,8 +411,11 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             }
         }
 
+        self.san_point(ctx, tid, crate::sanitizer::Point::CommitCas);
         self.platform.mem(me.addr(), 8, AccessKind::Rmw);
         if me.try_commit() {
+            #[cfg(feature = "sanitize")]
+            self.san.commit_ok(Arc::as_ptr(&me) as u64, tid as u32);
             self.cleanup_after_commit(ctx, tid);
             ctx.stats.commits += 1;
             true
@@ -376,7 +443,13 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
     }
 
     fn abort_txn(&self, ctx: &mut ThreadCtx, tid: usize, cause: AbortCause) {
-        let me = Self::me(ctx);
+        let me = Arc::clone(Self::me(ctx));
+        self.san_point(ctx, tid, crate::sanitizer::Point::AbortAck);
+        // The `ack` hook fires *before* the status CAS so that any peer
+        // observing `Status = Aborted` is guaranteed to find the victim's
+        // acknowledgement already recorded.
+        #[cfg(feature = "sanitize")]
+        self.san.ack(Arc::as_ptr(&me) as u64, tid as u32);
         self.platform.mem(me.addr(), 8, AccessKind::Rmw);
         // Acknowledge: after this we never touch object data again; data
         // we wrote is restored lazily by the next acquirer (§2.2).
@@ -427,6 +500,11 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         loop {
             self.validate(ctx)?;
             self.platform.mem(other.addr(), 8, AccessKind::Read);
+            #[cfg(feature = "sanitize")]
+            {
+                let (st, anp) = other.state_snapshot();
+                self.san.observed_peer(raw, st, anp);
+            }
             if other.status() != Status::Active || h.owner_raw() != raw {
                 me.set_waiting(false);
                 return Ok(ConflictOutcome::Settled);
@@ -447,8 +525,20 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                 Resolution::RequestAbort => {
                     me.set_waiting(false);
                     ctx.stats.abort_requests_sent += 1;
+                    self.san_point(ctx, me.thread as usize, crate::sanitizer::Point::AnpSet);
                     self.platform.mem(other.addr(), 8, AccessKind::Rmw);
-                    if other.request_abort() != Status::Active {
+                    let prev = other.request_abort();
+                    #[cfg(feature = "sanitize")]
+                    self.san.anp_set(raw, prev == Status::Active);
+                    #[cfg(feature = "sanitize")]
+                    if self.cfg.inject_handshake_bug && prev == Status::Active {
+                        // FAULT INJECTION: force the victim's status from
+                        // the requester's thread — the rule-3 bug the
+                        // sanitizer must catch (no hook fires; detection
+                        // must be structural, via `observed_peer`).
+                        other.force_abort_injected();
+                    }
+                    if prev != Status::Active {
                         // Peer settled before the request landed.
                         return Ok(ConflictOutcome::Settled);
                     }
@@ -461,9 +551,15 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                         return Ok(ConflictOutcome::Settled);
                     }
                     // Wait for the acknowledgement (Status = Aborted).
+                    self.san_point(ctx, me.thread as usize, crate::sanitizer::Point::AwaitAck);
                     let mut acked_wait = 0u64;
                     loop {
                         self.platform.mem(other.addr(), 8, AccessKind::Read);
+                        #[cfg(feature = "sanitize")]
+                        {
+                            let (st, anp) = other.state_snapshot();
+                            self.san.observed_peer(raw, st, anp);
+                        }
                         if other.status() != Status::Active {
                             return Ok(ConflictOutcome::Settled);
                         }
@@ -504,8 +600,14 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             self.platform.mem(self.registry.slot_addr(t), 8, AccessKind::Read);
             if let Some(d) = self.registry.current(t, guard) {
                 if !std::ptr::eq(d, me) && d.status() == Status::Active {
+                    // A live writer-reader conflict, resolved by request.
+                    ctx.stats.conflicts += 1;
+                    self.san_point(ctx, tid, crate::sanitizer::Point::AnpSet);
                     self.platform.mem(d.addr(), 8, AccessKind::Rmw);
-                    d.request_abort();
+                    let _prev = d.request_abort();
+                    #[cfg(feature = "sanitize")]
+                    self.san
+                        .anp_set(d as *const TxnDesc as u64, _prev == Status::Active);
                     ctx.stats.abort_requests_sent += 1;
                 }
             }
@@ -546,7 +648,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
 
         let h = obj.header();
         loop {
-            let guard = crossbeam_epoch::pin();
+            let guard = nztm_epoch::pin();
             self.platform.mem(h.addr(), 8, AccessKind::Read);
             if M::NONBLOCKING {
                 // The inflation-tag test on the owner word: the extra
@@ -638,11 +740,26 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         guard: &Guard,
     ) -> Result<bool, Abort> {
         let me = Arc::clone(Self::me(ctx));
+        self.san_point(ctx, tid, crate::sanitizer::Point::OwnerCas);
         self.platform.mem(obj.header().addr(), 8, AccessKind::Rmw);
         if !obj.header().cas_owner_to_txn(expected_raw, &me, guard) {
             return Ok(false);
         }
         let h = obj.header();
+        #[cfg(feature = "sanitize")]
+        {
+            // Safety: `expected_raw` was loaded under `guard`, so the
+            // descriptor it names (if any) is still live here.
+            let prev_state = (expected_raw != 0)
+                .then(|| unsafe { &*(expected_raw as *const TxnDesc) }.state_snapshot());
+            self.san.owner_cas_txn(
+                h.addr(),
+                Arc::as_ptr(&me) as u64,
+                expected_raw,
+                prev_state,
+                M::SCSS,
+            );
+        }
         h.bump_version();
         Self::me(ctx).gained_object();
         ctx.stats.acquires += 1;
@@ -651,23 +768,39 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         self.request_readers(ctx, h, tid, guard)?;
 
         let n = obj.data_words().len();
-        let backup_raw;
         let existing = h
             .backup(guard)
-            .filter(|(b, _)| b.usable_as_backup(guard));
-        if prev_aborted && existing.is_some() {
+            .filter(|(b, _)| prev_aborted && b.usable_as_backup(guard));
+        let backup_raw = if let Some((b, braw)) = existing {
             // Previous owner aborted with a (usable) backup in place:
             // restore it (lazy undo), and adopt that same buffer as our
             // own backup — it already holds the pre-transaction value
             // (§2.2). Adoption (installer := us) happens *before* the
             // restore copy so that if we abort mid-restore, the buffer
             // still reads as usable for the next acquirer.
-            let (b, braw) = existing.expect("checked above");
             b.set_installer(&me, guard);
+            self.san_point(ctx, tid, crate::sanitizer::Point::Restore);
             self.platform.mem_nb(b.addr(), n * 8, AccessKind::Read);
             self.platform.mem_nb(obj.data_addr(), n * 8, AccessKind::Write);
+            #[cfg(feature = "sanitize")]
+            let scss_failures_before = ctx.stats.scss_failures;
             self.store_words(ctx, &me, obj.data_words(), b.words());
-            backup_raw = braw;
+            #[cfg(feature = "sanitize")]
+            {
+                // The restore must reproduce the pre-transaction bytes —
+                // unless SCSS skipped stores because our own abort was
+                // requested mid-restore (the next acquirer redoes it).
+                let complete = ctx.stats.scss_failures == scss_failures_before;
+                let mut now = vec![0u64; n];
+                crate::data::snapshot_words(obj.data_words(), &mut now);
+                self.san.restored(h.addr(), &now, complete);
+                // The adopted buffer remains the undo source and still
+                // holds the pre-transaction contents.
+                let mut pre = vec![0u64; n];
+                crate::data::snapshot_words(b.words(), &mut pre);
+                self.san.backup_recorded(h.addr(), pre);
+            }
+            braw
         } else {
             // Create a backup copy of the (valid) current data.
             let buf = match ctx.pool.take(n) {
@@ -684,6 +817,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             self.platform.mem_nb(obj.data_addr(), n * 8, AccessKind::Read);
             self.platform.mem_nb(buf.addr(), n * 8, AccessKind::Write);
             crate::data::copy_words(buf.words(), obj.data_words());
+            self.san_point(ctx, tid, crate::sanitizer::Point::BackupInstall);
             // Install; retry against racing commit-time take-backs.
             loop {
                 let cur = h.backup_raw();
@@ -691,8 +825,14 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                     break;
                 }
             }
-            backup_raw = h.backup_raw();
-        }
+            #[cfg(feature = "sanitize")]
+            {
+                let mut pre = vec![0u64; n];
+                crate::data::snapshot_words(buf.words(), &mut pre);
+                self.san.backup_recorded(h.addr(), pre);
+            }
+            h.backup_raw()
+        };
 
         // Final validation (§2.2): if we have been asked to abort, we must
         // not proceed — the object stays owned by our (aborting)
@@ -793,8 +933,17 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         };
         let loc = Arc::new(Locator::new(Arc::clone(&me), unresp_arc, old, new));
 
+        self.san_point(ctx, tid, crate::sanitizer::Point::Inflate);
         self.platform.mem(h.addr(), 8, AccessKind::Rmw);
         if h.cas_owner_to_locator(unresp_raw, &loc, guard) {
+            #[cfg(feature = "sanitize")]
+            self.san.inflated(
+                h.addr(),
+                (Arc::as_ptr(&loc) as u64) | crate::object::INFLATED_TAG,
+                Arc::as_ptr(&me) as u64,
+                unresp_raw,
+                unresp.state_snapshot(),
+            );
             ctx.stats.inflations += 1;
             h.bump_version();
             me.gained_object();
@@ -852,10 +1001,17 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             new,
         ));
 
+        self.san_point(ctx, tid, crate::sanitizer::Point::OwnerCas);
         self.platform.mem(h.addr(), 8, AccessKind::Rmw);
         if !h.cas_owner_to_locator(raw, &mine, guard) {
             return Ok(false);
         }
+        #[cfg(feature = "sanitize")]
+        self.san.locator_replaced(
+            h.addr(),
+            (Arc::as_ptr(&mine) as u64) | crate::object::INFLATED_TAG,
+            raw,
+        );
         h.bump_version();
         me.gained_object();
         ctx.stats.acquires += 1;
@@ -873,6 +1029,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             // 1. Backup := the valid data (our locator's old data),
             //    installed under our identity.
             mine.old_data().set_installer(&me, guard);
+            self.san_point(ctx, tid, crate::sanitizer::Point::BackupInstall);
             loop {
                 let cur = h.backup_raw();
                 self.platform.mem(h.addr(), 8, AccessKind::Rmw);
@@ -880,7 +1037,14 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                     break;
                 }
             }
+            #[cfg(feature = "sanitize")]
+            {
+                let mut pre = vec![0u64; n];
+                crate::data::snapshot_words(mine.old_data().words(), &mut pre);
+                self.san.backup_recorded(h.addr(), pre);
+            }
             // 2. Owner := our transaction (untagged — deflated).
+            self.san_point(ctx, tid, crate::sanitizer::Point::DeflateCas);
             self.platform.mem(h.addr(), 8, AccessKind::Rmw);
             if !h.cas_owner_to_txn(my_loc_raw, &me, guard) {
                 // A competitor requested our abort and replaced our
@@ -893,9 +1057,26 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                 self.validate(ctx)?;
                 return Ok(true);
             }
+            #[cfg(feature = "sanitize")]
+            self.san.deflated(
+                h.addr(),
+                Arc::as_ptr(&me) as u64,
+                my_loc_raw,
+                mine.aborted_txn().status(),
+            );
             // 3. Copy the backup back into the in-place data.
+            self.san_point(ctx, tid, crate::sanitizer::Point::Restore);
             self.platform.mem_nb(obj.data_addr(), n * 8, AccessKind::Write);
+            #[cfg(feature = "sanitize")]
+            let scss_failures_before = ctx.stats.scss_failures;
             self.store_words(ctx, &me, obj.data_words(), mine.old_data().words());
+            #[cfg(feature = "sanitize")]
+            {
+                let complete = ctx.stats.scss_failures == scss_failures_before;
+                let mut now = vec![0u64; n];
+                crate::data::snapshot_words(obj.data_words(), &mut now);
+                self.san.restored(h.addr(), &now, complete);
+            }
             ctx.stats.deflations += 1;
             ctx.write_set.push(WriteEntry {
                 obj: Arc::clone(obj),
@@ -928,7 +1109,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         let mut registered = false;
 
         loop {
-            let guard = crossbeam_epoch::pin();
+            let guard = nztm_epoch::pin();
             if visible && !registered {
                 // Register *before* examining the owner so any later
                 // writer is guaranteed to see us.
@@ -1061,6 +1242,9 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         let me = Arc::clone(Self::me(ctx));
         match &ctx.write_set[idx].target {
             WriteTarget::InPlace { .. } => {
+                #[cfg(feature = "sanitize")]
+                self.san
+                    .eager_write(obj.header().addr(), obj.header().backup_raw());
                 self.platform.mem_nb(obj.data_addr(), n * 8, AccessKind::Write);
                 if M::SCSS {
                     // Dirty-word write-back: an SCSS whose store would not

@@ -33,7 +33,7 @@
 use crate::data::copy_words;
 use crate::object::NZHeader;
 use crate::txn::Status;
-use crossbeam_epoch::Guard;
+use nztm_epoch::Guard;
 use std::sync::atomic::AtomicU64;
 
 /// Result of examining an object's metadata from the hardware path.
@@ -125,7 +125,7 @@ mod tests {
     #[test]
     fn clean_object_passes() {
         let o = NZObject::new(1u64);
-        let g = crossbeam_epoch::pin();
+        let g = nztm_epoch::pin();
         assert_eq!(
             hw_examine_and_clean(o.header(), o.data_words(), true, 0, &g),
             HwCheck::Clean
@@ -136,7 +136,7 @@ mod tests {
     fn active_owner_conflicts() {
         let o = NZObject::new(1u64);
         let d = desc();
-        let g = crossbeam_epoch::pin();
+        let g = nztm_epoch::pin();
         o.header().cas_owner_to_txn(0, &d, &g);
         assert_eq!(
             hw_examine_and_clean(o.header(), o.data_words(), false, 0, &g),
@@ -148,7 +148,7 @@ mod tests {
     fn committed_owner_is_erased() {
         let o = NZObject::new(1u64);
         let d = desc();
-        let g = crossbeam_epoch::pin();
+        let g = nztm_epoch::pin();
         o.header().cas_owner_to_txn(0, &d, &g);
         d.try_commit();
         assert_eq!(
@@ -162,7 +162,7 @@ mod tests {
     fn aborted_owner_restores_backup() {
         let o = NZObject::new(10u64);
         let d = desc();
-        let g = crossbeam_epoch::pin();
+        let g = nztm_epoch::pin();
         o.header().cas_owner_to_txn(0, &d, &g);
         let backup = WordBuf::from_words(o.data_words()); // backup = 10
         o.header().cas_backup(0, Some(&backup), &g);
@@ -180,7 +180,7 @@ mod tests {
     #[test]
     fn software_readers_block_hw_writers_only() {
         let o = NZObject::new(1u64);
-        let g = crossbeam_epoch::pin();
+        let g = nztm_epoch::pin();
         o.header().add_reader(3);
         assert_eq!(
             hw_examine_and_clean(o.header(), o.data_words(), true, 0, &g),
@@ -205,7 +205,7 @@ mod tests {
         let o = NZObject::new(5u64);
         let owner = desc();
         let unresp = desc();
-        let g = crossbeam_epoch::pin();
+        let g = nztm_epoch::pin();
         let old = WordBuf::from_words(o.data_words());
         let new = WordBuf::from_words(o.data_words());
         new.words()[0].store(42, Ordering::Relaxed);

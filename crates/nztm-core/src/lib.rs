@@ -52,6 +52,7 @@ pub mod locator;
 pub mod object;
 pub mod registry;
 pub mod runtime;
+pub mod sanitizer;
 pub mod stats;
 pub mod txn;
 pub mod util;

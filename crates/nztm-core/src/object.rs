@@ -43,7 +43,7 @@
 use crate::data::{TmData, WordArray};
 use crate::locator::Locator;
 use crate::txn::TxnDesc;
-use crossbeam_epoch::Guard;
+use nztm_epoch::Guard;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -173,7 +173,8 @@ pub enum OwnerRef<'g> {
     Inflated(&'g Locator, u64),
 }
 
-const INFLATED_TAG: u64 = 1;
+/// Low bit of the owner word marking a locator (inflated) pointer.
+pub(crate) const INFLATED_TAG: u64 = 1;
 
 /// The metadata head shared by every `NZObject<T>` (type-erased view).
 pub struct NZHeader {
@@ -472,7 +473,7 @@ impl<T: TmData> NZObject<T> {
     /// of a run, an object still owned by an aborted transaction holds
     /// dirty in-place words whose undo is pending lazy restore.
     pub fn read_untracked(&self) -> T {
-        let guard = crossbeam_epoch::pin();
+        let guard = nztm_epoch::pin();
         let mut buf = vec![0u64; T::n_words()];
         match self.header.owner(&guard) {
             OwnerRef::Inflated(loc, _) => {
@@ -522,7 +523,7 @@ mod tests {
     #[test]
     fn new_object_is_unowned_and_holds_init() {
         let o = NZObject::new(42u64);
-        let g = crossbeam_epoch::pin();
+        let g = nztm_epoch::pin();
         assert!(matches!(o.header().owner(&g), OwnerRef::None));
         assert_eq!(o.read_untracked(), 42);
         assert_eq!(o.header().readers(), 0);
@@ -532,7 +533,7 @@ mod tests {
     fn cas_owner_installs_and_reads_back() {
         let o = NZObject::new(1u64);
         let d = desc();
-        let g = crossbeam_epoch::pin();
+        let g = nztm_epoch::pin();
         assert!(o.header().cas_owner_to_txn(0, &d, &g));
         match o.header().owner(&g) {
             OwnerRef::Txn(t, _) => {
@@ -548,7 +549,7 @@ mod tests {
         let o = NZObject::new(1u64);
         let d1 = desc();
         let d2 = desc();
-        let g = crossbeam_epoch::pin();
+        let g = nztm_epoch::pin();
         assert!(o.header().cas_owner_to_txn(0, &d1, &g));
         assert!(!o.header().cas_owner_to_txn(0, &d2, &g), "stale expected must fail");
         // d2's refcount was not leaked: dropping d2 here must free it
@@ -561,7 +562,7 @@ mod tests {
         let o = NZObject::new(1u64);
         let d1 = desc();
         let d2 = desc();
-        let g = crossbeam_epoch::pin();
+        let g = nztm_epoch::pin();
         assert!(o.header().cas_owner_to_txn(0, &d1, &g));
         let raw1 = o.header().owner_raw();
         assert!(o.header().cas_owner_to_txn(raw1, &d2, &g));
@@ -579,7 +580,7 @@ mod tests {
         let o = NZObject::new(5u64);
         let d = desc();
         let aborted = desc();
-        let g = crossbeam_epoch::pin();
+        let g = nztm_epoch::pin();
         let old = WordBuf::from_words(o.data_words());
         let new = WordBuf::from_words(o.data_words());
         let loc = Arc::new(Locator::new(Arc::clone(&d), Arc::clone(&aborted), old, new));
@@ -596,7 +597,7 @@ mod tests {
     #[test]
     fn backup_install_take_cycle() {
         let o = NZObject::new(7u64);
-        let g = crossbeam_epoch::pin();
+        let g = nztm_epoch::pin();
         let buf = WordBuf::from_words(o.data_words());
         assert!(o.header().cas_backup(0, Some(&buf), &g));
         let raw = o.header().backup_raw();
@@ -654,7 +655,7 @@ mod tests {
         let d = desc();
         {
             let o = NZObject::new(1u64);
-            let g = crossbeam_epoch::pin();
+            let g = nztm_epoch::pin();
             assert!(o.header().cas_owner_to_txn(0, &d, &g));
             let buf = WordBuf::from_words(o.data_words());
             assert!(o.header().cas_backup(0, Some(&buf), &g));

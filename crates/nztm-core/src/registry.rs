@@ -19,7 +19,7 @@
 //! spurious abort request. That costs a retry, never safety.
 
 use crate::txn::TxnDesc;
-use crossbeam_epoch::Guard;
+use nztm_epoch::Guard;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -93,7 +93,7 @@ mod tests {
     #[test]
     fn empty_slot_yields_none() {
         let r = ThreadRegistry::new(4);
-        let g = crossbeam_epoch::pin();
+        let g = nztm_epoch::pin();
         assert!(r.current(2, &g).is_none());
         assert_eq!(r.len(), 4);
     }
@@ -102,7 +102,7 @@ mod tests {
     fn publish_then_read_back() {
         let r = ThreadRegistry::new(2);
         let d = Arc::new(TxnDesc::new(1, 7));
-        let g = crossbeam_epoch::pin();
+        let g = nztm_epoch::pin();
         r.publish(1, &d, &g);
         let cur = r.current(1, &g).unwrap();
         assert_eq!(cur.serial, 7);
@@ -114,7 +114,7 @@ mod tests {
         let r = ThreadRegistry::new(1);
         let d1 = Arc::new(TxnDesc::new(0, 1));
         let d2 = Arc::new(TxnDesc::new(0, 2));
-        let g = crossbeam_epoch::pin();
+        let g = nztm_epoch::pin();
         r.publish(0, &d1, &g);
         r.publish(0, &d2, &g);
         assert_eq!(r.current(0, &g).unwrap().serial, 2);
@@ -127,7 +127,7 @@ mod tests {
         let d = Arc::new(TxnDesc::new(0, 1));
         {
             let r = ThreadRegistry::new(1);
-            let g = crossbeam_epoch::pin();
+            let g = nztm_epoch::pin();
             r.publish(0, &d, &g);
             drop(r);
         }

@@ -213,6 +213,29 @@ impl TxnDesc {
         self.waiting_flag.load(Ordering::SeqCst) != 0
     }
 
+    /// TEST-ONLY fault injection (`sanitize` builds): set `Status =
+    /// Aborted` *from a requester's thread*, violating the §2.2 rule that
+    /// only the victim acknowledges. Exists solely so the sanitizer's
+    /// structural detection of exactly this bug can be exercised
+    /// (`NzConfig::inject_handshake_bug`).
+    #[cfg(feature = "sanitize")]
+    pub(crate) fn force_abort_injected(&self) {
+        loop {
+            let cur = self.state.load(Ordering::SeqCst);
+            if decode_status(cur) != Status::Active {
+                return;
+            }
+            let new = (cur & !STATUS_MASK) | ST_ABORTED;
+            if self
+                .state
+                .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
     // -- SCSS support -----------------------------------------------------
 
     /// Run `f` under this descriptor's SCSS lock (native emulation of the

@@ -1,7 +1,37 @@
 //! Small concurrency utilities shared by the STM engines.
 
-use crossbeam_utils::CachePadded;
 use std::cell::UnsafeCell;
+
+/// Pads and aligns a value to 128 bytes (two 64-byte lines: adjacent-line
+/// prefetchers pull pairs) so neighbouring slots never false-share.
+#[repr(align(128))]
+#[derive(Default)]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
 
 /// Per-core mutable slots.
 ///

@@ -249,7 +249,7 @@ fn nzstm_inflates_past_unresponsive_transaction() {
     // 100 start, +50 increments, and the final retried write of 111
     // ordering-dependent — just check conservation-ish bounds.
     let v = obj.read_untracked();
-    assert!(v == 161 || v == 111 + 50 || v >= 111, "final value plausible: {v}");
+    assert!(v >= 111, "final value plausible: {v}");
     assert!(st.aborts_requested > 0, "the unresponsive victim must have aborted");
 }
 
@@ -435,5 +435,5 @@ fn descriptor_churn_is_reclamation_safe() {
         }
     });
     let total: u64 = objs.iter().map(|o| o.read_untracked()).sum();
-    assert_eq!(total, (0 + 1 + 2 + 3) + THREADS as u64 * 3_000);
+    assert_eq!(total, (1 + 2 + 3) + THREADS as u64 * 3_000);
 }

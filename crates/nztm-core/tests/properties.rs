@@ -1,10 +1,14 @@
-//! Property-based tests (proptest) on the core data layer and the
+//! Randomized property tests on the core data layer and the
 //! single-threaded transactional semantics.
+//!
+//! Formerly proptest-based; now driven by the workspace's own seeded
+//! `DetRng` so the whole test suite builds with no external crates. Every
+//! case derives from a fixed seed — failures reproduce exactly, and the
+//! printed seed pins the offending case.
 
 use nztm_core::data::TmData;
-use nztm_core::{tm_data_struct, Nzstm, TmSys};
-use nztm_sim::Native;
-use proptest::prelude::*;
+use nztm_core::{tm_data_struct, Nzstm};
+use nztm_sim::{DetRng, Native};
 use std::sync::Arc;
 
 fn sys() -> Arc<Nzstm<Native>> {
@@ -23,44 +27,61 @@ struct Mixed {
 }
 tm_data_struct!(Mixed { a: u64, b: i64, c: bool, d: Option<u32>, e: f64 });
 
-fn arb_mixed() -> impl Strategy<Value = Mixed> {
-    (
-        any::<u64>(),
-        any::<i64>(),
-        any::<bool>(),
-        proptest::option::of(any::<u32>()),
-        any::<f64>().prop_filter("NaN breaks PartialEq", |f| !f.is_nan()),
-    )
-        .prop_map(|(a, b, c, d, e)| Mixed { a, b, c, d, e })
+fn arb_mixed(rng: &mut DetRng) -> Mixed {
+    let e = loop {
+        let bits = rng.next_u64();
+        let f = f64::from_bits(bits);
+        if !f.is_nan() {
+            break f; // NaN breaks PartialEq
+        }
+    };
+    Mixed {
+        a: rng.next_u64(),
+        b: rng.next_u64() as i64,
+        c: rng.chance(1, 2),
+        d: if rng.chance(1, 2) { Some(rng.next_u64() as u32) } else { None },
+        e,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// encode/decode is the identity for arbitrary field values.
-    #[test]
-    fn tm_data_round_trips(v in arb_mixed()) {
+/// encode/decode is the identity for arbitrary field values.
+#[test]
+fn tm_data_round_trips() {
+    let mut rng = DetRng::new(0xDA7A_0001);
+    for case in 0..256 {
+        let v = arb_mixed(&mut rng);
         let mut buf = vec![0u64; Mixed::n_words()];
         v.encode(&mut buf);
-        prop_assert_eq!(Mixed::decode(&buf), v);
+        assert_eq!(Mixed::decode(&buf), v, "case {case}");
     }
+}
 
-    /// A written value is exactly what a later transaction reads, for
-    /// arbitrary values (no truncation through the word encoding).
-    #[test]
-    fn stm_write_read_identity(v in arb_mixed(), w in arb_mixed()) {
+/// A written value is exactly what a later transaction reads, for
+/// arbitrary values (no truncation through the word encoding).
+#[test]
+fn stm_write_read_identity() {
+    let mut rng = DetRng::new(0xDA7A_0002);
+    for case in 0..256 {
+        let v = arb_mixed(&mut rng);
+        let w = arb_mixed(&mut rng);
         let s = sys();
         let obj = s.new_obj(v.clone());
-        prop_assert_eq!(s.run(|tx| tx.read(&obj)), v);
+        assert_eq!(s.run(|tx| tx.read(&obj)), v, "case {case}");
         s.run(|tx| tx.write(&obj, &w));
-        prop_assert_eq!(s.run(|tx| tx.read(&obj)), w.clone());
-        prop_assert_eq!(obj.read_untracked(), w);
+        assert_eq!(s.run(|tx| tx.read(&obj)), w.clone(), "case {case}");
+        assert_eq!(obj.read_untracked(), w, "case {case}");
     }
+}
 
-    /// An aborted attempt leaves no trace: after N explicit aborts the
-    /// committed value reflects only the committed writes.
-    #[test]
-    fn aborted_attempts_invisible(init in any::<u64>(), bump in 1..1000u64, aborts in 1usize..5) {
+/// An aborted attempt leaves no trace: after N explicit aborts the
+/// committed value reflects only the committed writes.
+#[test]
+fn aborted_attempts_invisible() {
+    let mut rng = DetRng::new(0xDA7A_0003);
+    for case in 0..256 {
+        let init = rng.next_u64();
+        let bump = rng.range_inclusive(1, 999);
+        let aborts = rng.range_inclusive(1, 4) as usize;
         let s = sys();
         let obj = s.new_obj(init);
         let mut remaining = aborts;
@@ -72,45 +93,40 @@ proptest! {
             }
             Ok(())
         });
-        prop_assert_eq!(obj.read_untracked(), init.wrapping_add(bump));
-        prop_assert_eq!(s.stats().aborts_explicit as usize, aborts);
+        assert_eq!(obj.read_untracked(), init.wrapping_add(bump), "case {case}");
+        assert_eq!(s.stats().aborts_explicit as usize, aborts, "case {case}");
     }
 }
 
 mod sequences {
     use super::*;
-    use nztm_workloads_free::*;
 
-    /// Minimal inline sorted-list (decoupled from the workloads crate to
-    /// keep this a *core* property: arbitrary interleavings of reads and
-    /// whole-object writes behave like a sequential store).
-    mod nztm_workloads_free {
-        use super::*;
-
-        #[derive(Clone, Copy, Debug)]
-        pub enum Op {
-            Write(usize, u64),
-            Read(usize),
-        }
-
-        pub fn arb_ops(n_objs: usize) -> impl Strategy<Value = Vec<Op>> {
-            proptest::collection::vec(
-                prop_oneof![
-                    (0..n_objs, any::<u64>()).prop_map(|(i, v)| Op::Write(i, v)),
-                    (0..n_objs).prop_map(Op::Read),
-                ],
-                1..120,
-            )
-        }
+    #[derive(Clone, Copy, Debug)]
+    enum Op {
+        Write(usize, u64),
+        Read(usize),
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    fn arb_ops(rng: &mut DetRng, n_objs: usize) -> Vec<Op> {
+        let len = rng.range_inclusive(1, 119) as usize;
+        (0..len)
+            .map(|_| {
+                if rng.chance(1, 2) {
+                    Op::Write(rng.next_below(n_objs as u64) as usize, rng.next_u64())
+                } else {
+                    Op::Read(rng.next_below(n_objs as u64) as usize)
+                }
+            })
+            .collect()
+    }
 
-        /// Single-threaded transactional execution of arbitrary op
-        /// sequences matches a plain array ("sequential specification").
-        #[test]
-        fn matches_sequential_spec(ops in arb_ops(6)) {
+    /// Single-threaded transactional execution of arbitrary op
+    /// sequences matches a plain array ("sequential specification").
+    #[test]
+    fn matches_sequential_spec() {
+        let mut rng = DetRng::new(0xDA7A_0004);
+        for case in 0..64 {
+            let ops = arb_ops(&mut rng, 6);
             let s = sys();
             let objs: Vec<_> = (0..6).map(|i| s.new_obj(i as u64)).collect();
             let mut spec: Vec<u64> = (0..6).map(|i| i as u64).collect();
@@ -122,22 +138,27 @@ mod sequences {
                     }
                     Op::Read(i) => {
                         let got = s.run(|tx| tx.read(&objs[i]));
-                        prop_assert_eq!(got, spec[i]);
+                        assert_eq!(got, spec[i], "case {case}");
                     }
                 }
             }
             for (i, o) in objs.iter().enumerate() {
-                prop_assert_eq!(o.read_untracked(), spec[i]);
+                assert_eq!(o.read_untracked(), spec[i], "case {case}");
             }
         }
+    }
 
-        /// Multi-object transactions are all-or-nothing under random
-        /// abort points.
-        #[test]
-        fn multi_object_atomicity(
-            writes in proptest::collection::vec((0..4usize, any::<u64>()), 1..8),
-            abort_first in any::<bool>(),
-        ) {
+    /// Multi-object transactions are all-or-nothing under random
+    /// abort points.
+    #[test]
+    fn multi_object_atomicity() {
+        let mut rng = DetRng::new(0xDA7A_0005);
+        for case in 0..64 {
+            let n_writes = rng.range_inclusive(1, 7) as usize;
+            let writes: Vec<(usize, u64)> = (0..n_writes)
+                .map(|_| (rng.next_below(4) as usize, rng.next_u64()))
+                .collect();
+            let abort_first = rng.chance(1, 2);
             let s = sys();
             let objs: Vec<_> = (0..4).map(|_| s.new_obj(0u64)).collect();
             let mut first = abort_first;
@@ -157,7 +178,7 @@ mod sequences {
                 spec[*i] = *v;
             }
             for (i, o) in objs.iter().enumerate() {
-                prop_assert_eq!(o.read_untracked(), spec[i]);
+                assert_eq!(o.read_untracked(), spec[i], "case {case}");
             }
         }
     }

@@ -25,7 +25,7 @@ use std::sync::Arc;
 /// which aborted without installing its own backup.
 fn racy_object() -> (Arc<NZObject<u64>>, Arc<TxnDesc>, Arc<TxnDesc>) {
     let obj = NZObject::new(10u64);
-    let g = crossbeam_epoch::pin();
+    let g = nztm_epoch::pin();
 
     // P acquires, installs a backup of the old value, writes 42, commits
     // — but "stalls" before detaching the backup.
@@ -52,7 +52,7 @@ fn racy_object() -> (Arc<NZObject<u64>>, Arc<TxnDesc>, Arc<TxnDesc>) {
 #[test]
 fn stale_backup_is_flagged_unusable() {
     let (obj, _p, _v) = racy_object();
-    let g = crossbeam_epoch::pin();
+    let g = nztm_epoch::pin();
     let (b, _) = obj.header().backup(&g).expect("backup still attached");
     assert!(
         !b.usable_as_backup(&g),
@@ -63,7 +63,7 @@ fn stale_backup_is_flagged_unusable() {
 #[test]
 fn hardware_repair_keeps_committed_value() {
     let (obj, _p, _v) = racy_object();
-    let g = crossbeam_epoch::pin();
+    let g = nztm_epoch::pin();
     // The hardware path sees owner = V (aborted) with a backup attached;
     // restoring it would resurrect 10. It must keep 42.
     assert_eq!(
@@ -106,7 +106,7 @@ fn software_read_keeps_committed_value() {
 #[test]
 fn aborted_owners_backup_is_still_restored() {
     let obj = NZObject::new(10u64);
-    let g = crossbeam_epoch::pin();
+    let g = nztm_epoch::pin();
     let p_txn = Arc::new(TxnDesc::new(0, 1));
     assert!(obj.header().cas_owner_to_txn(0, &p_txn, &g));
     let b_p = WordBuf::from_words(obj.data_words()); // 10
@@ -121,7 +121,7 @@ fn aborted_owners_backup_is_still_restored() {
     platform.register_thread_as(0);
     let stm = Nzstm::with_defaults(platform);
     assert_eq!(stm.run(|tx| tx.read(&obj)), 10, "aborted writer's dirt must not leak");
-    let g = crossbeam_epoch::pin();
+    let g = nztm_epoch::pin();
     let (b, _) = obj.header().backup(&g).expect("attached");
     assert!(b.usable_as_backup(&g));
 }

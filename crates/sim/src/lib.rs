@@ -44,6 +44,7 @@ pub mod costs;
 pub mod platform;
 pub mod rng;
 pub mod sched;
+pub mod sync;
 
 pub use cache::{AccessKind, CacheConfig, CacheSystem, LineAddr, MissLevel};
 pub use costs::CostModel;

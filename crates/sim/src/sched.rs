@@ -16,7 +16,7 @@
 
 use crate::cache::{AccessKind, CacheConfig, CacheStats, CacheSystem};
 use crate::costs::CostModel;
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -105,6 +105,12 @@ pub struct Machine {
     ///
     /// Contract: the callback must not recurse into `mem_access*`.
     snoop: Mutex<Option<Arc<SnoopFn>>>,
+    /// Run-token handoff trace (`None` until [`Machine::enable_trace`]):
+    /// one `(clock, core)` record per context switch, in switch order.
+    /// Because the scheduler is deterministic, two runs of the same
+    /// bodies must produce byte-identical traces — the replay check used
+    /// by the protocol sanitizer's stress harness.
+    trace: Mutex<Option<Vec<(u64, u32)>>>,
 }
 
 /// Snoop callback type; see [`Machine::set_snoop`].
@@ -140,7 +146,27 @@ impl Machine {
             line_map: Mutex::new(std::collections::HashMap::new()),
             next_line: AtomicU64::new(16), // skip "NULL page" lines
             snoop: Mutex::new(None),
+            trace: Mutex::new(None),
         })
+    }
+
+    /// Start recording the run-token handoff schedule (cleared and
+    /// re-armed at the start of each [`Machine::run`]).
+    pub fn enable_trace(&self) {
+        *self.trace.lock() = Some(Vec::new());
+    }
+
+    /// The handoff trace of the last (or in-progress) run; `None` unless
+    /// [`Machine::enable_trace`] was called. Each record is `(publishing
+    /// core's clock at the switch, core the token moved to)`.
+    pub fn schedule_trace(&self) -> Option<Vec<(u64, u32)>> {
+        self.trace.lock().clone()
+    }
+
+    fn record_switch(&self, clock: u64, to: usize) {
+        if let Some(t) = self.trace.lock().as_mut() {
+            t.push((clock, to as u32));
+        }
     }
 
     /// Install (or clear) the coherence snoop. See the field docs.
@@ -186,6 +212,9 @@ impl Machine {
             s.clocks.iter_mut().for_each(|c| *c = 0);
             s.state.iter_mut().for_each(|st| *st = CoreState::Runnable);
             s.current = 0;
+        }
+        if let Some(t) = self.trace.lock().as_mut() {
+            t.clear();
         }
 
         let handles: Vec<_> = bodies
@@ -243,6 +272,7 @@ impl Machine {
         s.clocks[id] += pending;
         s.state[id] = CoreState::Done;
         if let Some(next) = s.next_core() {
+            self.record_switch(s.clocks[id], next);
             s.current = next;
             self.cv.notify_all();
         }
@@ -276,6 +306,7 @@ impl Machine {
         let next = s.next_core().expect("current core is runnable");
         if next != id {
             self.yields.fetch_add(1, Ordering::Relaxed);
+            self.record_switch(s.clocks[id], next);
             s.current = next;
             self.cv.notify_all();
             while s.current != id {
@@ -489,6 +520,46 @@ mod tests {
             })]);
             assert_eq!(r.clocks[0], 10);
         }
+    }
+
+    #[test]
+    fn schedule_trace_is_replayable() {
+        let run_once = || {
+            let m = tiny_machine(3);
+            m.enable_trace();
+            let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..3)
+                .map(|i| {
+                    let m = Arc::clone(&m);
+                    Box::new(move || {
+                        for step in 0..6u64 {
+                            m.work((i as u64 + 1) * 5 + step * 3);
+                            m.yield_now();
+                        }
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            m.run(bodies);
+            m.schedule_trace().expect("trace enabled")
+        };
+        let a = run_once();
+        let b = run_once();
+        assert!(!a.is_empty(), "multi-core run must context-switch");
+        assert_eq!(a, b, "same bodies, byte-identical handoff schedule");
+    }
+
+    #[test]
+    fn trace_disabled_by_default_and_reset_between_runs() {
+        let m = tiny_machine(1);
+        let mc = Arc::clone(&m);
+        m.run(vec![Box::new(move || mc.work(1))]);
+        assert!(m.schedule_trace().is_none());
+        m.enable_trace();
+        let mc = Arc::clone(&m);
+        m.run(vec![Box::new(move || mc.work(1))]);
+        let first = m.schedule_trace().expect("armed");
+        let mc = Arc::clone(&m);
+        m.run(vec![Box::new(move || mc.work(1))]);
+        assert_eq!(m.schedule_trace().expect("still armed"), first);
     }
 
     #[test]

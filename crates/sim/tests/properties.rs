@@ -1,32 +1,26 @@
-//! Property-based tests for the simulator substrate: the cache model's
-//! structural invariants and the deterministic RNG's distributional
-//! sanity, under arbitrary access sequences.
+//! Randomized property tests for the simulator substrate: the cache
+//! model's structural invariants and the deterministic RNG's
+//! distributional sanity, under seeded-random access sequences.
 
 use nztm_sim::{AccessKind, CacheConfig, CacheSystem, CostModel, DetRng, MissLevel};
-use proptest::prelude::*;
 
-fn arb_kind() -> impl Strategy<Value = AccessKind> {
-    prop_oneof![
-        Just(AccessKind::Read),
-        Just(AccessKind::Write),
-        Just(AccessKind::Rmw),
-    ]
+fn arb_kind(rng: &mut DetRng) -> AccessKind {
+    match rng.next_below(3) {
+        0 => AccessKind::Read,
+        1 => AccessKind::Write,
+        _ => AccessKind::Rmw,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Structural cache invariants under arbitrary access streams:
-    /// latency is always one of the modelled levels (plus optional CAS
-    /// and upgrade costs), an immediate re-access by the same core hits
-    /// L1, and per-core stats only grow.
-    #[test]
-    fn cache_invariants(
-        accesses in proptest::collection::vec(
-            (0..4usize, 0u64..64, arb_kind()),
-            1..300,
-        )
-    ) {
+/// Structural cache invariants under arbitrary access streams:
+/// latency is always one of the modelled levels (plus optional CAS
+/// and upgrade costs), an immediate re-access by the same core hits
+/// L1, and per-core stats only grow.
+#[test]
+fn cache_invariants() {
+    let mut rng = DetRng::new(0xCAC4E01);
+    for case in 0..128 {
+        let n_accesses = rng.range_inclusive(1, 299);
         let costs = CostModel::default();
         let mut sys = CacheSystem::new(
             4,
@@ -34,7 +28,10 @@ proptest! {
             CacheConfig::tiny(256, 4),
             costs.clone(),
         );
-        for (core, line, kind) in accesses {
+        for _ in 0..n_accesses {
+            let core = rng.next_below(4) as usize;
+            let line = rng.next_below(64);
+            let kind = arb_kind(&mut rng);
             let addr = line << 6;
             let r = sys.access(core, addr, kind);
             // Latency decomposes into modelled components.
@@ -45,69 +42,86 @@ proptest! {
                 MissLevel::Remote => costs.l2_hit + costs.remote_transfer,
             };
             let cas = if kind == AccessKind::Rmw { costs.cas } else { 0 };
-            prop_assert!(
+            assert!(
                 r.latency == base + cas || r.latency == base + cas + costs.remote_transfer,
-                "latency {} not decomposable (level {:?})",
+                "case {case}: latency {} not decomposable (level {:?})",
                 r.latency,
                 r.level
             );
-            prop_assert_eq!(r.line.0, line, "translated line mismatch");
+            assert_eq!(r.line.0, line, "case {case}: translated line mismatch");
 
             // Immediate same-core re-read is an L1 hit with permissions.
             let again = sys.access(core, addr, AccessKind::Read);
-            prop_assert_eq!(again.level, MissLevel::L1);
+            assert_eq!(again.level, MissLevel::L1, "case {case}");
         }
     }
+}
 
-    /// The same access stream against two fresh cache systems produces
-    /// identical results (the cache model itself is deterministic).
-    #[test]
-    fn cache_is_deterministic(
-        accesses in proptest::collection::vec(
-            (0..2usize, 0u64..32, arb_kind()),
-            1..200,
-        )
-    ) {
-        let mk = || CacheSystem::new(
-            2,
-            CacheConfig::tiny(16, 2),
-            CacheConfig::tiny(128, 4),
-            CostModel::default(),
-        );
+/// The same access stream against two fresh cache systems produces
+/// identical results (the cache model itself is deterministic).
+#[test]
+fn cache_is_deterministic() {
+    let mut rng = DetRng::new(0xCAC4E02);
+    for case in 0..128 {
+        let n_accesses = rng.range_inclusive(1, 199);
+        let mk = || {
+            CacheSystem::new(
+                2,
+                CacheConfig::tiny(16, 2),
+                CacheConfig::tiny(128, 4),
+                CostModel::default(),
+            )
+        };
         let mut a = mk();
         let mut b = mk();
-        for (core, line, kind) in accesses {
+        for _ in 0..n_accesses {
+            let core = rng.next_below(2) as usize;
+            let line = rng.next_below(32);
+            let kind = arb_kind(&mut rng);
             let ra = a.access(core, line << 6, kind);
             let rb = b.access(core, line << 6, kind);
-            prop_assert_eq!(ra.latency, rb.latency);
-            prop_assert_eq!(ra.level, rb.level);
-            prop_assert_eq!(ra.evicted, rb.evicted);
+            assert_eq!(ra.latency, rb.latency, "case {case}");
+            assert_eq!(ra.level, rb.level, "case {case}");
+            assert_eq!(ra.evicted, rb.evicted, "case {case}");
         }
     }
+}
 
-    /// DetRng: bounded draws respect bounds, and the stream is a pure
-    /// function of the seed.
-    #[test]
-    fn rng_bounds_and_determinism(seed in any::<u64>(), bound in 1u64..1_000_000) {
+/// DetRng: bounded draws respect bounds, and the stream is a pure
+/// function of the seed.
+#[test]
+fn rng_bounds_and_determinism() {
+    let mut meta = DetRng::new(0xCAC4E03);
+    for _ in 0..128 {
+        let seed = meta.next_u64();
+        let bound = meta.range_inclusive(1, 999_999);
         let mut a = DetRng::new(seed);
         let mut b = DetRng::new(seed);
         for _ in 0..100 {
             let x = a.next_below(bound);
-            prop_assert!(x < bound);
-            prop_assert_eq!(x, b.next_below(bound));
+            assert!(x < bound);
+            assert_eq!(x, b.next_below(bound));
         }
     }
+}
 
-    /// Split streams never collide in their first draws for distinct
-    /// stream ids (collision would correlate workload threads).
-    #[test]
-    fn rng_split_streams_distinct(seed in any::<u64>(), i in 0u64..64, j in 0u64..64) {
-        prop_assume!(i != j);
+/// Split streams never collide in their first draws for distinct
+/// stream ids (collision would correlate workload threads).
+#[test]
+fn rng_split_streams_distinct() {
+    let mut meta = DetRng::new(0xCAC4E04);
+    for _ in 0..128 {
+        let seed = meta.next_u64();
+        let i = meta.next_below(64);
+        let j = meta.next_below(64);
+        if i == j {
+            continue;
+        }
         let root = DetRng::new(seed);
         let mut a = root.split(i);
         let mut b = root.split(j);
         // Not a hard guarantee of SplitMix — but a 64-bit collision in
         // the first draw would be a red flag; treat as property.
-        prop_assert_ne!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), b.next_u64(), "seed {seed}, streams {i}/{j}");
     }
 }

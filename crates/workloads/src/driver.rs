@@ -49,7 +49,7 @@ impl SetBenchConfig {
     /// allocation rate (every attempt of every insert allocates).
     fn pool_capacity(&self) -> usize {
         (crate::set::KEY_RANGE as usize)
-            + (self.threads as usize * self.ops_per_thread as usize * 2)
+            + (self.threads * self.ops_per_thread as usize * 2)
             + 1024
     }
 }
@@ -185,89 +185,6 @@ pub fn run_set_sim<S: TmSys>(
         ops: done_ops.load(Ordering::Relaxed),
         elapsed: report.makespan,
         stats: sys.stats(),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use nztm_core::cm::KarmaDeadlock;
-    use nztm_core::{NzConfig, Nzstm};
-    use nztm_sim::{CacheConfig, CostModel, MachineConfig};
-
-    fn sim(cores: usize) -> (Arc<Machine>, Arc<SimPlatform>) {
-        let m = Machine::new(MachineConfig {
-            n_cores: cores,
-            costs: CostModel::default(),
-            l1: CacheConfig::tiny(2048, 4),
-            l2: CacheConfig::tiny(16384, 8),
-            max_cycles: 4_000_000_000,
-        });
-        let p = SimPlatform::new(Arc::clone(&m));
-        (m, p)
-    }
-
-    #[test]
-    fn native_hashtable_benchmark_runs() {
-        let p = Native::new(2);
-        let s = Nzstm::with_defaults(Arc::clone(&p));
-        let cfg = SetBenchConfig {
-            kind: SetKind::HashTable,
-            contention: Contention::Low,
-            threads: 2,
-            ops_per_thread: 300,
-            seed: 11,
-        };
-        let r = run_set_native(&p, &s, &cfg);
-        assert_eq!(r.ops, 600);
-        assert!(r.stats.commits >= 600, "each op commits at least one txn");
-        assert!(r.elapsed > 0);
-    }
-
-    #[test]
-    fn sim_linkedlist_benchmark_is_deterministic() {
-        let run = || {
-            let (m, p) = sim(3);
-            let s = Nzstm::new(
-                Arc::clone(&p),
-                Arc::new(KarmaDeadlock::default()),
-                NzConfig::default(),
-            );
-            let cfg = SetBenchConfig {
-                kind: SetKind::LinkedList,
-                contention: Contention::High,
-                threads: 3,
-                ops_per_thread: 40,
-                seed: 5,
-            };
-            let r = run_set_sim(&m, &p, &s, &cfg);
-            (r.ops, r.elapsed, r.stats.commits, r.stats.aborts())
-        };
-        let a = run();
-        let b = run();
-        assert_eq!(a, b, "simulated benchmark must be deterministic");
-        assert_eq!(a.0, 120);
-    }
-
-    #[test]
-    fn sim_redblack_benchmark_runs() {
-        let (m, p) = sim(2);
-        let s = Nzstm::new(
-            Arc::clone(&p),
-            Arc::new(KarmaDeadlock::default()),
-            NzConfig::default(),
-        );
-        let cfg = SetBenchConfig {
-            kind: SetKind::RedBlack,
-            contention: Contention::Low,
-            threads: 2,
-            ops_per_thread: 50,
-            seed: 3,
-        };
-        let r = run_set_sim(&m, &p, &s, &cfg);
-        assert_eq!(r.ops, 100);
-        assert!(r.elapsed > 0);
-        assert!(r.throughput() > 0.0);
     }
 }
 
@@ -460,8 +377,8 @@ pub fn run_vacation_sim<S: TmSys>(
     // Setup runs transactions (tree inserts), so it must execute on a
     // simulated core: an unmeasured phase with core 0 building the DB.
     let v = {
-        let slot: Arc<parking_lot::Mutex<Option<Vacation<S>>>> =
-            Arc::new(parking_lot::Mutex::new(None));
+        let slot: Arc<nztm_sim::sync::Mutex<Option<Vacation<S>>>> =
+            Arc::new(nztm_sim::sync::Mutex::new(None));
         let slot2 = Arc::clone(&slot);
         let sys2 = Arc::clone(sys);
         let cfg2 = cfg.clone();
@@ -530,5 +447,88 @@ pub fn run_vacation_native<S: TmSys>(
         ops: threads as u64 * txns_per_thread,
         elapsed: start.elapsed().as_nanos() as u64,
         stats: sys.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nztm_core::cm::KarmaDeadlock;
+    use nztm_core::{NzConfig, Nzstm};
+    use nztm_sim::{CacheConfig, CostModel, MachineConfig};
+
+    fn sim(cores: usize) -> (Arc<Machine>, Arc<SimPlatform>) {
+        let m = Machine::new(MachineConfig {
+            n_cores: cores,
+            costs: CostModel::default(),
+            l1: CacheConfig::tiny(2048, 4),
+            l2: CacheConfig::tiny(16384, 8),
+            max_cycles: 4_000_000_000,
+        });
+        let p = SimPlatform::new(Arc::clone(&m));
+        (m, p)
+    }
+
+    #[test]
+    fn native_hashtable_benchmark_runs() {
+        let p = Native::new(2);
+        let s = Nzstm::with_defaults(Arc::clone(&p));
+        let cfg = SetBenchConfig {
+            kind: SetKind::HashTable,
+            contention: Contention::Low,
+            threads: 2,
+            ops_per_thread: 300,
+            seed: 11,
+        };
+        let r = run_set_native(&p, &s, &cfg);
+        assert_eq!(r.ops, 600);
+        assert!(r.stats.commits >= 600, "each op commits at least one txn");
+        assert!(r.elapsed > 0);
+    }
+
+    #[test]
+    fn sim_linkedlist_benchmark_is_deterministic() {
+        let run = || {
+            let (m, p) = sim(3);
+            let s = Nzstm::new(
+                Arc::clone(&p),
+                Arc::new(KarmaDeadlock::default()),
+                NzConfig::default(),
+            );
+            let cfg = SetBenchConfig {
+                kind: SetKind::LinkedList,
+                contention: Contention::High,
+                threads: 3,
+                ops_per_thread: 40,
+                seed: 5,
+            };
+            let r = run_set_sim(&m, &p, &s, &cfg);
+            (r.ops, r.elapsed, r.stats.commits, r.stats.aborts())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "simulated benchmark must be deterministic");
+        assert_eq!(a.0, 120);
+    }
+
+    #[test]
+    fn sim_redblack_benchmark_runs() {
+        let (m, p) = sim(2);
+        let s = Nzstm::new(
+            Arc::clone(&p),
+            Arc::new(KarmaDeadlock::default()),
+            NzConfig::default(),
+        );
+        let cfg = SetBenchConfig {
+            kind: SetKind::RedBlack,
+            contention: Contention::Low,
+            threads: 2,
+            ops_per_thread: 50,
+            seed: 3,
+        };
+        let r = run_set_sim(&m, &p, &s, &cfg);
+        assert_eq!(r.ops, 100);
+        assert!(r.elapsed > 0);
+        assert!(r.throughput() > 0.0);
     }
 }

@@ -20,6 +20,7 @@
 //! NZTM hybrid, on either the native or the simulated platform.
 
 pub mod driver;
+pub mod harness;
 pub mod hashtable;
 pub mod linkedlist;
 pub mod redblack;

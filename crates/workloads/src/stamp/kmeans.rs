@@ -91,7 +91,7 @@ pub struct Kmeans<S: TmSys> {
     pub points: Vec<[f64; DIMS]>,
     /// Current centers (stable within an iteration; updated serially
     /// between iterations, as in STAMP).
-    pub centers: parking_lot::RwLock<Vec<[f64; DIMS]>>,
+    pub centers: nztm_sim::sync::RwLock<Vec<[f64; DIMS]>>,
     /// Transactional accumulators for the next centers.
     pub accs: Vec<S::Obj<CenterAcc>>,
 }
@@ -104,7 +104,7 @@ impl<S: TmSys> Kmeans<S> {
         // Initial centers: the first K points (STAMP's convention).
         let centers: Vec<[f64; DIMS]> = points.iter().take(cfg.clusters).copied().collect();
         let accs = (0..cfg.clusters).map(|_| sys.alloc(CenterAcc::zero())).collect();
-        Kmeans { cfg, points, centers: parking_lot::RwLock::new(centers), accs }
+        Kmeans { cfg, points, centers: nztm_sim::sync::RwLock::new(centers), accs }
     }
 
     fn nearest(centers: &[[f64; DIMS]], p: &[f64; DIMS]) -> usize {

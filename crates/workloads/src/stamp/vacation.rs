@@ -199,7 +199,7 @@ impl<S: TmSys> Vacation<S> {
                 }
                 let res = S::read(tx, &self.resources[kind][id as usize])?;
                 if res.used < res.total
-                    && best.map_or(true, |(_, _, p)| res.price < p)
+                    && best.is_none_or(|(_, _, p)| res.price < p)
                 {
                     best = Some((kind, id, res.price));
                 }
@@ -295,11 +295,11 @@ impl<S: TmSys> Vacation<S> {
             total_price_paid += cu.price;
         }
         let mut total_used = 0;
-        for kind in 0..KINDS {
-            for (id, robj) in self.resources[kind].iter().enumerate() {
+        for (kind, (resources, held)) in self.resources.iter().zip(&held).enumerate() {
+            for (id, robj) in resources.iter().enumerate() {
                 let r = S::peek(robj);
                 assert!(r.used <= r.total, "overbooked resource {kind}/{id}");
-                assert_eq!(r.used, held[kind][id], "resource {kind}/{id} usage conserved");
+                assert_eq!(r.used, held[id], "resource {kind}/{id} usage conserved");
                 total_used += r.used;
             }
         }

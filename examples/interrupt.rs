@@ -46,7 +46,7 @@ fn scenario<M: nztm_core::ModePolicy>(
 
     let preempted = Arc::new(AtomicBool::new(false));
     let resume = Arc::new(AtomicBool::new(false));
-    let handler_latency = Arc::new(parking_lot::Mutex::new(None::<Duration>));
+    let handler_latency = Arc::new(nztm_sim::sync::Mutex::new(None::<Duration>));
 
     std::thread::scope(|scope| {
         // The application thread: acquires the queue, then gets

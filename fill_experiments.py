@@ -1,15 +1,20 @@
 #!/usr/bin/env python3
-"""Fill EXPERIMENTS.md placeholders from harness output files."""
+"""Fill EXPERIMENTS.md placeholders from harness output files.
+
+Run artifacts live under results/ (see run_pipeline.sh). A placeholder
+whose data file is missing is left in place so a later run can fill it;
+the script never writes "pending" text over a marker.
+"""
 import json
 import re
-import sys
 
 root = "/root/repo/"
+results = root + "results/"
 
 
-def load(p):
+def load(p, base=None):
     try:
-        return open(root + p).read()
+        return open((base or results) + p).read()
     except OSError:
         return ""
 
@@ -19,7 +24,7 @@ def fig_table(json_path, workloads, threads):
     try:
         fig = json.loads(load(json_path))
     except json.JSONDecodeError:
-        return "(run pending — regenerate with the harness)"
+        return None
     lines = []
     for p in fig["panels"]:
         if workloads and p["workload"] not in workloads:
@@ -39,52 +44,89 @@ def fig_table(json_path, workloads, threads):
     return "\n".join(lines)
 
 
-exp = load("EXPERIMENTS.md")
+def fill(exp, marker, text):
+    """Replace marker iff we actually have text for it."""
+    return exp.replace(marker, text) if text else exp
+
+
+exp = load("EXPERIMENTS.md", base=root)
 
 fig3 = fig_table(
     "results_fig3_quick.json",
     ["hashtable-low", "linkedlist-high", "kmeans-high", "vacation-high"],
     [1, 3, 7, 15],
 )
-exp = exp.replace("<!-- FIG3_RESULTS -->", fig3 + "\n\n(All 11 panels: `fig3_quick.txt`.)")
+exp = fill(
+    exp,
+    "<!-- FIG3_RESULTS -->",
+    fig3 and fig3 + "\n\n(All 11 panels: `results/fig3_quick.txt`.)",
+)
 
 fig4 = fig_table(
     "results_fig4_sim.json",
     ["hashtable-low", "kmeans-high", "redblack-low"],
     [1, 2, 4, 8],
 )
-exp = exp.replace(
+exp = fill(
+    exp,
     "<!-- FIG4_RESULTS -->",
-    "*Simulated-cycle variant (`fig4 --sim`, deterministic):*\n"
+    fig4
+    and "*Simulated-cycle variant (`fig4 --sim`, deterministic):*\n"
     + fig4
-    + "\n\n(All panels: `fig4_sim.txt`; the native wall-clock variant is in "
-    "`fig4_native.txt` — indicative only on this single-CPU host.)",
+    + "\n\n(All panels: `results/fig4_sim.txt`; the native wall-clock variant"
+    " is in `results/fig4_native.txt` — indicative only on this single-CPU"
+    " host.)",
 )
 
 # Scalar claims from stats outputs.
-stats_all = load("stats_output.txt") + load("stats_s3456.txt") + load("stats_s45.txt") + load("stats_s127.txt")
-
-
-def grab(pattern, default="(see stats_output.txt)"):
-    m = re.search(pattern, stats_all)
-    return m.group(1).strip() if m else default
-
-
-exp = exp.replace("<!-- S1 -->", grab(r"== S1.*?\nmeasured: (.*?)\n", "see stats_s127.txt").replace("|", "/"))
-exp = exp.replace(
-    "<!-- S2 -->",
-    "; ".join(re.findall(r"measured (linkedlist-high\s+\S+%|redblack-high\s+\S+%)", stats_all))
-    or grab(r"== S2.*?\n(measured.*?)\npaper", "see stats_s127.txt").replace("\n", "; ").replace("|", "/"),
+stats_all = (
+    load("stats_output.txt")
+    + load("stats_s3456.txt")
+    + load("stats_s45.txt")
+    + load("stats_s127.txt")
 )
-exp = exp.replace("<!-- S3 -->", grab(r"== S3.*?\nmeasured: (.*?)\n", "see stats_s3456.txt").replace("|", "/"))
-s4 = "; ".join(re.findall(r"measured (\S+)\s+BZSTM/NZSTM gap (\S+)", stats_all and load("stats_s45.txt") or stats_all) and
-               [f"{a}: {b}" for a, b in re.findall(r"measured (\S+)\s+BZSTM/NZSTM gap (\S+)", load("stats_s45.txt") or stats_all)])
-exp = exp.replace("<!-- S4 -->", s4 or "see stats_s45.txt")
-s5 = "; ".join(f"{a}: {b}" for a, b in re.findall(r"measured (\S+)\s+SCSS/NZSTM throughput ratio (\S+)", load("stats_s45.txt") or stats_all))
-exp = exp.replace("<!-- S5 -->", s5 or "see stats_s45.txt")
-s6 = "; ".join(f"{a}: {b}" for a, b in re.findall(r"measured (\S+)\s+NZSTM/DSTM2-SF throughput ratio (\S+)", stats_all))
-exp = exp.replace("<!-- S6 -->", s6 or "see stats_s3456.txt")
-exp = exp.replace("<!-- S7 -->", grab(r"== S7.*?\nmeasured: (.*?)\n", "see stats_s127.txt").replace("|", "/"))
+
+
+def grab(pattern):
+    m = re.search(pattern, stats_all, re.DOTALL)
+    return m.group(1).strip() if m else None
+
+
+exp = fill(exp, "<!-- S1 -->", (grab(r"== S1.*?\nmeasured: (.*?)\n") or "").replace("|", "/"))
+exp = fill(
+    exp,
+    "<!-- S2 -->",
+    "; ".join(
+        f"{a}: {b}"
+        for a, b in re.findall(r"measured (linkedlist-high|redblack-high)\s+abort rate (\S+%)", stats_all)
+    ),
+)
+exp = fill(exp, "<!-- S3 -->", (grab(r"== S3.*?\nmeasured: (.*?)\n") or "").replace("|", "/"))
+# S4/S5: prefer the dedicated (later, corrected) stats_s45 run over the
+# combined stats_output capture.
+s45 = load("stats_s45.txt") or stats_all
+exp = fill(
+    exp,
+    "<!-- S4 -->",
+    "; ".join(f"{a}: {b}" for a, b in re.findall(r"measured (\S+)\s+BZSTM/NZSTM gap (\S+)", s45)),
+)
+exp = fill(
+    exp,
+    "<!-- S5 -->",
+    "; ".join(
+        f"{a}: {b}" for a, b in re.findall(r"measured (\S+)\s+SCSS/NZSTM throughput ratio (\S+)", s45)
+    ),
+)
+exp = fill(
+    exp,
+    "<!-- S6 -->",
+    "; ".join(
+        f"{a}: {b}"
+        for a, b in re.findall(r"measured (\S+)\s+NZSTM/DSTM2-SF throughput ratio (\S+)", stats_all)
+    ),
+)
+exp = fill(exp, "<!-- S7 -->", (grab(r"== S7.*?\nmeasured: (.*?)\n") or "").replace("|", "/"))
 
 open(root + "EXPERIMENTS.md", "w").write(exp)
-print("EXPERIMENTS.md filled")
+remaining = re.findall(r"<!-- [A-Z0-9_]+ -->", exp)
+print(f"EXPERIMENTS.md filled; placeholders left: {remaining or 'none'}")

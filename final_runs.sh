@@ -1,21 +1,22 @@
 #!/bin/bash
 # Final sequential runs: figures + required test/bench tee outputs.
 cd /root/repo
+mkdir -p results
 set -x
 
 echo "=== rebuild release bins + examples ==="
 cargo build --release -p nztm-bench --bins --examples 2>&1 | tail -2
 
 echo "=== fig3 quick (sole runner) ==="
-timeout 3000 target/release/fig3 --json results_fig3_quick.json > fig3_quick.txt 2> fig3_quick.log
+timeout 3000 target/release/fig3 --json results/results_fig3_quick.json > results/fig3_quick.txt 2> results/fig3_quick.log
 echo "fig3 rc=$?"
 
 echo "=== fig4 native full ==="
-timeout 2400 target/release/fig4 --full --json results_fig4_native.json > fig4_native.txt 2> fig4_native.log
+timeout 2400 target/release/fig4 --full --json results/results_fig4_native.json > results/fig4_native.txt 2> results/fig4_native.log
 echo "fig4n rc=$?"
 
 echo "=== fig4 simulated (deterministic) ==="
-timeout 3000 target/release/fig4 --sim --threads 1,2,4,8 --json results_fig4_sim.json > fig4_sim.txt 2> fig4_sim.log
+timeout 3000 target/release/fig4 --sim --threads 1,2,4,8 --json results/results_fig4_sim.json > results/fig4_sim.txt 2> results/fig4_sim.log
 echo "fig4s rc=$?"
 
 echo "=== workspace tests (tee) ==="

@@ -2,6 +2,7 @@
 # Sequential build + test + figure pipeline (single CPU: avoid parallel cargo).
 set -x
 cd /root/repo
+mkdir -p results
 
 echo "=== build all (debug + release) ==="
 cargo build --workspace 2>&1 | tail -2
@@ -13,15 +14,15 @@ cargo test -p nztm-core --test properties --test engine_edges 2>&1 | grep -E 'te
 cargo test -p nztm-modelcheck --release --test model_fuzz 2>&1 | grep -E 'test result|FAILED'
 
 echo "=== fig3 (full quick run) ==="
-timeout 3000 target/release/fig3 --json results_fig3_quick.json > fig3_quick.txt 2> fig3_quick.log
+timeout 3000 target/release/fig3 --json results/results_fig3_quick.json > results/fig3_quick.txt 2> results/fig3_quick.log
 echo "fig3 rc=$?"
 
 echo "=== fig4 (full quick run) ==="
-timeout 3000 target/release/fig4 --json results_fig4_quick.json > fig4_quick.txt 2> fig4_quick.log
+timeout 3000 target/release/fig4 --json results/results_fig4_quick.json > results/fig4_quick.txt 2> results/fig4_quick.log
 echo "fig4 rc=$?"
 
 echo "=== stats (S1-S7) ==="
-timeout 2400 target/release/stats > stats_output.txt 2>&1
+timeout 2400 target/release/stats > results/stats_output.txt 2>&1
 echo "stats rc=$?"
 
 echo "=== pipeline done ==="

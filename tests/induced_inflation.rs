@@ -3,7 +3,7 @@
 //! ordinary benchmark executions inflation never happens.
 
 use nztm_core::cm::KarmaDeadlock;
-use nztm_core::{NzConfig, Nzstm, TmSys};
+use nztm_core::{NzConfig, Nzstm};
 use nztm_sim::{DetRng, Machine, MachineConfig, Native, Platform, SimPlatform};
 use nztm_workloads::linkedlist::LinkedListSet;
 use nztm_workloads::set::{Contention, SetOp, TmSet};
