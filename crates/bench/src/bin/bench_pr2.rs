@@ -1,0 +1,92 @@
+//! `bench_pr2` — hot-path throughput matrix and regression gate.
+//!
+//! ```text
+//! bench_pr2 run   [--quick] [--out PATH]
+//! bench_pr2 check --baseline PATH --current PATH [--tolerance 0.15]
+//! ```
+//!
+//! `run` measures the three hot-path workloads (read-heavy,
+//! write-heavy, transfer) for BZSTM/NZSTM/SCSS (native threads) and the
+//! NZTM hybrid (simulator) at 1/4/8 threads, prints the table, and
+//! writes the JSON report. `check` compares two reports on
+//! calibration-normalized throughput and exits nonzero if any
+//! workload's geometric mean regressed beyond the tolerance.
+
+use nztm_bench::hotpath::{check_reports, parse_report, run_matrix, HotScale};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  bench_pr2 run [--quick] [--out PATH]\n  \
+         bench_pr2 check --baseline PATH --current PATH [--tolerance 0.15]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = flag_value(args, "--out");
+    let (mode, scale) = if quick {
+        ("quick", HotScale::quick())
+    } else {
+        ("full", HotScale::full())
+    };
+    let report = run_matrix(mode, &scale, true);
+    println!("{}", report.render_text());
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    } else {
+        println!("{}", report.to_json());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let (Some(base_path), Some(cur_path)) =
+        (flag_value(args, "--baseline"), flag_value(args, "--current"))
+    else {
+        return usage();
+    };
+    let tolerance: f64 = match flag_value(args, "--tolerance").unwrap_or("0.15").parse() {
+        Ok(t) => t,
+        Err(_) => return usage(),
+    };
+    let load = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}"))
+            .and_then(|s| parse_report(&s).map_err(|e| format!("parsing {path}: {e}")))
+    };
+    let (base, cur) = match (load(base_path), load(cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = check_reports(&base, &cur, tolerance);
+    println!("{}", outcome.report);
+    if outcome.ok {
+        println!("bench gate: OK (tolerance {:.0}%)", tolerance * 100.0);
+        ExitCode::SUCCESS
+    } else {
+        println!("bench gate: FAILED (tolerance {:.0}%)", tolerance * 100.0);
+        ExitCode::FAILURE
+    }
+}

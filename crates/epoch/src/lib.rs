@@ -39,12 +39,41 @@ struct Participant {
 /// pointers, so they are not `Send`; executing them on another thread is
 /// exactly what epoch reclamation makes sound (the pointer is unlinked
 /// and unreachable by the time the closure runs).
+///
+/// The `Fn` variant is the allocation-free fast path: the STM engines
+/// defer millions of `Arc`-count releases, and boxing a closure for each
+/// would put a heap allocation on the transactional fast path. A plain
+/// `(fn ptr, word)` pair covers every such site.
+enum DeferredOp {
+    Boxed(Box<dyn FnOnce()>),
+    Fn { f: unsafe fn(u64), arg: u64 },
+}
+
 struct Deferred {
     epoch: usize,
-    run: Box<dyn FnOnce()>,
+    op: DeferredOp,
+}
+
+impl Deferred {
+    fn run(self) {
+        match self.op {
+            DeferredOp::Boxed(f) => f(),
+            // Safety: the `defer_fn` caller vouched for (f, arg) being
+            // runnable once the epoch condition holds — same contract as
+            // `defer_unchecked`.
+            DeferredOp::Fn { f, arg } => unsafe { f(arg) },
+        }
+    }
 }
 
 unsafe impl Send for Deferred {}
+
+/// Collect (advance the epoch + free old garbage) every this many
+/// outermost unpins per thread. Collection takes two global mutexes; at
+/// interval 1 that cost lands on every transactional operation. The
+/// interval only delays *reclamation*, never safety — and `flush()`
+/// still collects eagerly for quiescent teardown/tests.
+const COLLECT_INTERVAL: u64 = 32;
 
 struct Global {
     epoch: AtomicUsize,
@@ -105,7 +134,8 @@ impl Global {
             let mut ready = Vec::new();
             g.retain_mut(|d| {
                 if d.epoch + 2 <= ge {
-                    ready.push(Deferred { epoch: d.epoch, run: std::mem::replace(&mut d.run, Box::new(|| {})) });
+                    let op = std::mem::replace(&mut d.op, DeferredOp::Boxed(Box::new(|| {})));
+                    ready.push(Deferred { epoch: d.epoch, op });
                     false
                 } else {
                     true
@@ -115,7 +145,7 @@ impl Global {
         };
         let freed = !ready.is_empty();
         for d in ready {
-            (d.run)();
+            d.run();
         }
         freed
     }
@@ -124,6 +154,8 @@ impl Global {
 struct Handle {
     participant: Arc<Participant>,
     depth: Cell<usize>,
+    /// Outermost-unpin counter driving the throttled collect.
+    unpins: Cell<u64>,
 }
 
 impl Drop for Handle {
@@ -140,7 +172,7 @@ thread_local! {
             active: AtomicBool::new(true),
         });
         lock(&global().participants).push(Arc::clone(&p));
-        Handle { participant: p, depth: Cell::new(0) }
+        Handle { participant: p, depth: Cell::new(0), unpins: Cell::new(0) }
     };
 }
 
@@ -194,7 +226,22 @@ impl Guard {
         // validity the caller vouches for (that is this fn's contract), and
         // everything they borrow otherwise must in fact be 'static.
         let run: Box<dyn FnOnce()> = unsafe { std::mem::transmute(run) };
-        lock(&g.garbage).push(Deferred { epoch, run });
+        lock(&g.garbage).push(Deferred { epoch, op: DeferredOp::Boxed(run) });
+    }
+
+    /// Allocation-free variant of [`Guard::defer_unchecked`]: defer
+    /// `f(arg)` until no pinned thread can still hold pointers it frees.
+    /// No boxing — the pair is stored inline in the garbage list.
+    ///
+    /// # Safety
+    /// Same contract as [`Guard::defer_unchecked`]: once two epoch
+    /// advances have happened, calling `f(arg)` must be sound. `arg` is
+    /// typically a raw pointer smuggled as a word (e.g. an `Arc` count to
+    /// release); `f` must tolerate running on any thread.
+    pub unsafe fn defer_fn(&self, f: unsafe fn(u64), arg: u64) {
+        let g = global();
+        let epoch = g.epoch.load(Ordering::SeqCst);
+        lock(&g.garbage).push(Deferred { epoch, op: DeferredOp::Fn { f, arg } });
     }
 
     /// Compatibility no-op (crossbeam's `Guard::flush`).
@@ -209,7 +256,11 @@ impl Drop for Guard {
             h.depth.set(d - 1);
             if d == 1 {
                 h.participant.local.store(0, Ordering::SeqCst);
-                global().collect();
+                let n = h.unpins.get().wrapping_add(1);
+                h.unpins.set(n);
+                if n % COLLECT_INTERVAL == 0 {
+                    global().collect();
+                }
             }
         });
     }
@@ -243,6 +294,23 @@ mod tests {
         }
         flush();
         assert_eq!(RAN.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn defer_fn_releases_arc_count_without_boxing() {
+        unsafe fn release(arg: u64) {
+            unsafe { drop(Arc::from_raw(arg as *const u64)) };
+        }
+        let held = Arc::new(7u64);
+        let raw = Arc::into_raw(Arc::clone(&held));
+        {
+            let g = pin();
+            unsafe { g.defer_fn(release, raw as u64) };
+            flush();
+            assert_eq!(Arc::strong_count(&held), 2, "deferred while pinned");
+        }
+        flush();
+        assert_eq!(Arc::strong_count(&held), 1);
     }
 
     #[test]

@@ -27,16 +27,33 @@
 use crate::cm::{ContentionManager, Resolution};
 use crate::data::TmData;
 use crate::locator::Locator;
-use crate::object::{NZObject, NzObjAny, OwnerRef, WordBuf};
+use crate::object::{NZHeader, NZObject, NzObjAny, OwnerRef, WordBuf};
 use crate::registry::ThreadRegistry;
 use crate::stats::TmStats;
 use crate::txn::{Abort, AbortCause, Status, TxnDesc};
-use crate::util::{Backoff, PerCore};
+use crate::util::{Backoff, InlineVec, PerCore, SlotIndex};
 use nztm_epoch::Guard;
 use nztm_sim::{AccessKind, DetRng, Platform};
-use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::sync::Arc;
+
+/// Increment a hot-path statistics counter. Compiled to nothing without
+/// the `stats` feature (tier-1 builds keep it on; a bench profile can
+/// build `--no-default-features` to strip per-access increments).
+/// Lifecycle counters (commits, aborts, inflations, HTM outcomes) are
+/// incremented directly — they are consumed by harnesses and policies.
+macro_rules! hot_stat {
+    ($ctx:expr, $field:ident) => {{
+        // No-op borrow so call sites type-check identically without the
+        // feature (and `ctx` parameters stay "used").
+        let _ = &$ctx.stats.$field;
+        #[cfg(feature = "stats")]
+        {
+            $ctx.stats.$field += 1;
+        }
+    }};
+}
 
 /// Compile-time selection of the engine variant.
 pub trait ModePolicy: Send + Sync + 'static {
@@ -134,33 +151,114 @@ struct ReadEntry {
     version: u64,
 }
 
-/// Pool of backup buffers, keyed by word count. Buffers are reclaimed at
-/// commit (take-back from the object) and reused by later acquisitions —
-/// the thread-local reuse the paper credits for NZSTM's cache behaviour
-/// in kmeans (§4.4.2).
-#[derive(Default)]
+/// Per-thread pool of backup buffers in power-of-two **size classes**
+/// (class `c` holds buffers of capacity exactly `2^c` words). Buffers are
+/// reclaimed at commit (take-back from the object) and reused by later
+/// acquisitions — the thread-local reuse the paper credits for NZSTM's
+/// cache behaviour in kmeans (§4.4.2). Size classes (instead of the old
+/// exact-length `HashMap`) make every lookup a pop from an array slot and
+/// let one warm buffer serve every object length in its class, so
+/// `backup_alloc` reaches ~0 after warmup.
+///
+/// ## Invariant: no pooled buffer has a *live* installer
+///
+/// Buffers enter the pool exclusively via commit-time `take_backup`,
+/// where the installer is the committing transaction itself — so every
+/// pooled buffer's installer is **Committed**. It stays that way while
+/// pooled: the pooled buffer's own strong count on the installer pins it
+/// (a committed descriptor is never recycled while referenced), and
+/// `set_installer` is only called on buffers being adopted or installed,
+/// never on detached ones. Debug builds assert the invariant on both
+/// `put` and `take`.
 struct BackupPool {
-    by_len: HashMap<usize, Vec<Arc<WordBuf>>>,
+    classes: [Vec<Arc<WordBuf>>; BackupPool::N_CLASSES],
+}
+
+impl Default for BackupPool {
+    fn default() -> Self {
+        BackupPool { classes: std::array::from_fn(|_| Vec::new()) }
+    }
 }
 
 impl BackupPool {
+    /// Largest pooled class: 2^15 words (256 KiB). Larger buffers are
+    /// simply not pooled (no paper workload comes close).
+    const N_CLASSES: usize = 16;
+    /// Bounded depth per class.
+    const DEPTH: usize = 64;
+
+    fn class_of(len: usize) -> usize {
+        WordBuf::cap_for(len).trailing_zeros() as usize
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_check(buf: &WordBuf, op: &str) {
+        let g = nztm_epoch::pin();
+        assert!(
+            !matches!(buf.installer_status(&g), Some(Status::Active)),
+            "backup pool {op}: buffer has a live installer"
+        );
+    }
+
     fn take(&mut self, len: usize) -> Option<Arc<WordBuf>> {
-        self.by_len.get_mut(&len)?.pop()
+        let c = Self::class_of(len);
+        let buf = self.classes.get_mut(c)?.pop()?;
+        debug_assert_eq!(buf.cap(), 1 << c);
+        #[cfg(debug_assertions)]
+        Self::debug_check(&buf, "take");
+        if buf.len() != len {
+            buf.set_len(len);
+        }
+        Some(buf)
     }
 
     fn put(&mut self, buf: Arc<WordBuf>) {
-        let v = self.by_len.entry(buf.len()).or_default();
-        if v.len() < 64 {
-            v.push(buf);
+        #[cfg(debug_assertions)]
+        Self::debug_check(&buf, "put");
+        let c = buf.cap().trailing_zeros() as usize;
+        if let Some(v) = self.classes.get_mut(c) {
+            if v.len() < Self::DEPTH {
+                v.push(buf);
+            }
         }
     }
 }
 
+/// Depth bound of the per-thread descriptor free list. Must comfortably
+/// exceed the number of attempts whose deferred releases (registry slot,
+/// owner words, installer fields) can still be in flight through the
+/// epoch's throttled collection, so recycling reaches a steady state.
+const DESC_POOL_DEPTH: usize = 64;
+/// How many free-list candidates `begin` probes for sole ownership.
+const DESC_SCAN: usize = 4;
+/// Probing starts only once the list holds this many retirees, so the
+/// front candidate is at least `DESC_MIN` attempts old — comfortably past
+/// the epoch-drain lag of its deferred references (registry slot ~1
+/// attempt + collect interval; owner words: until the object's next
+/// acquisition). Costs nothing at steady state; it only delays the very
+/// first recycling hits after startup.
+const DESC_MIN: usize = 32;
+
+/// Inline capacity of the read/write sets (entries beyond this spill to
+/// the heap once, then reuse the spill capacity).
+const INLINE_SET: usize = 8;
+
 struct ThreadCtx {
     current: Option<Arc<TxnDesc>>,
     serial: u64,
-    read_set: Vec<ReadEntry>,
-    write_set: Vec<WriteEntry>,
+    read_set: InlineVec<ReadEntry, INLINE_SET>,
+    write_set: InlineVec<WriteEntry, INLINE_SET>,
+    /// Header address → read_set slot: O(1) re-read dedup.
+    read_index: SlotIndex,
+    /// Header address → write_set slot: O(1) already-acquired checks.
+    write_index: SlotIndex,
+    /// Retired descriptors awaiting recycling (oldest first). A candidate
+    /// is reused only when `Arc::get_mut` proves sole ownership — the
+    /// ABA-freedom argument lives in `txn.rs`'s module docs. Candidates
+    /// that fail the probe (still referenced by an owner word of an
+    /// object not yet re-acquired) rotate to the back so they cannot
+    /// clog the scan window.
+    free_descs: VecDeque<Arc<TxnDesc>>,
     pool: BackupPool,
     rng: DetRng,
     backoff: Backoff,
@@ -178,8 +276,11 @@ impl ThreadCtx {
         ThreadCtx {
             current: None,
             serial: 0,
-            read_set: Vec::with_capacity(64),
-            write_set: Vec::with_capacity(64),
+            read_set: InlineVec::new(),
+            write_set: InlineVec::new(),
+            read_index: SlotIndex::new(),
+            write_index: SlotIndex::new(),
+            free_descs: VecDeque::with_capacity(DESC_POOL_DEPTH),
             pool: BackupPool::default(),
             rng: DetRng::new(0x5EED_0000 + tid as u64),
             backoff: Backoff::new(),
@@ -189,6 +290,22 @@ impl ThreadCtx {
             san_rng: None,
         }
     }
+}
+
+/// Index key for the access-set maps: the header's host address (stable
+/// while any set entry holds the object's `Arc`).
+#[inline]
+fn header_key(h: &NZHeader) -> u64 {
+    h as *const NZHeader as u64
+}
+
+/// Append a write-set entry and index it by header address. Every
+/// write-set push goes through here so `write_index` never goes stale.
+#[inline]
+fn push_write(ctx: &mut ThreadCtx, entry: WriteEntry) {
+    let key = header_key(entry.obj.header());
+    ctx.write_index.insert(key, ctx.write_set.len() as u32);
+    ctx.write_set.push(entry);
 }
 
 /// Outcome of conflict resolution against one peer transaction.
@@ -353,9 +470,47 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
 
     fn begin(&self, ctx: &mut ThreadCtx, tid: usize) {
         ctx.serial += 1;
-        // A fresh descriptor per attempt (§2.2); Arc because object owner
-        // fields and the registry take strong counts.
-        let desc = Arc::new(TxnDesc::new(tid as u32, ctx.serial));
+        // Retire the previous attempt's descriptor to the free list; it
+        // becomes recyclable once every shared reference (registry slot,
+        // owner words, installer fields) has drained through the epoch.
+        if let Some(prev) = ctx.current.take() {
+            if ctx.free_descs.len() < DESC_POOL_DEPTH {
+                ctx.free_descs.push_back(prev);
+            }
+        }
+        // A logically fresh descriptor per attempt (§2.2); Arc because
+        // object owner fields and the registry take strong counts.
+        // Physically, probe the oldest few retirees for sole ownership
+        // (`Arc::get_mut`: strong == 1, weak == 0) and recycle in place —
+        // the gate that makes owner-word ABA impossible (see txn.rs,
+        // "Recycling and the ABA argument"). Failed probes rotate to the
+        // back: a descriptor pinned by a rarely-rewritten object's owner
+        // word must not block the ones behind it.
+        let mut recycled = None;
+        let probes = if ctx.free_descs.len() >= DESC_MIN { DESC_SCAN } else { 0 };
+        for _ in 0..probes {
+            let Some(front) = ctx.free_descs.front_mut() else { break };
+            if Arc::get_mut(front).is_some() {
+                let mut d = ctx.free_descs.pop_front().expect("front exists");
+                Arc::get_mut(&mut d)
+                    .expect("sole ownership verified above")
+                    .reset_for_attempt(tid as u32, ctx.serial);
+                recycled = Some(d);
+                break;
+            }
+            let d = ctx.free_descs.pop_front().expect("front exists");
+            ctx.free_descs.push_back(d);
+        }
+        let desc = match recycled {
+            Some(d) => {
+                hot_stat!(ctx, descriptor_reused);
+                d
+            }
+            None => {
+                hot_stat!(ctx, descriptor_alloc);
+                Arc::new(TxnDesc::new(tid as u32, ctx.serial))
+            }
+        };
         let guard = nztm_epoch::pin();
         self.registry.publish(tid, &desc, &guard);
         self.platform.mem(self.registry.slot_addr(tid), 8, AccessKind::Write);
@@ -364,6 +519,8 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         ctx.current = Some(desc);
         ctx.read_set.clear();
         ctx.write_set.clear();
+        ctx.read_index.clear();
+        ctx.write_index.clear();
     }
 
     fn me(ctx: &ThreadCtx) -> &Arc<TxnDesc> {
@@ -392,7 +549,9 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         // are recognized by ownership and skipped here.
         if self.cfg.read_mode == ReadMode::Invisible {
             let guard = nztm_epoch::pin();
-            for r in &ctx.read_set {
+            let mut valid = true;
+            for i in 0..ctx.read_set.len() {
+                let r = ctx.read_set.get(i).expect("index in range");
                 let h = r.obj.header();
                 self.platform.mem(h.addr(), 8, AccessKind::Read);
                 let ok = match h.owner(&guard) {
@@ -404,10 +563,14 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                     OwnerRef::Inflated(l, _) => std::ptr::eq(l.owner(), Arc::as_ptr(&me)),
                 };
                 if !ok {
-                    drop(guard);
-                    self.abort_txn(ctx, tid, AbortCause::Validation);
-                    return false;
+                    valid = false;
+                    break;
                 }
+            }
+            drop(guard);
+            if !valid {
+                self.abort_txn(ctx, tid, AbortCause::Validation);
+                return false;
             }
         }
 
@@ -431,7 +594,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         // ("thread-local memory for backups ... reused after successful
         // transactions", §4.4.2). The CAS-take fails harmlessly if a
         // faster acquirer already replaced the buffer.
-        for w in ctx.write_set.drain(..) {
+        while let Some(w) = ctx.write_set.pop() {
             if let WriteTarget::InPlace { backup_raw } = w.target {
                 self.platform.mem_nb(w.obj.header().addr(), 8, AccessKind::Rmw);
                 if let Some(buf) = w.obj.header().take_backup(backup_raw) {
@@ -466,7 +629,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
 
     fn clear_reader_bits(&self, ctx: &mut ThreadCtx, tid: usize) {
         if self.cfg.read_mode == ReadMode::Visible {
-            for r in ctx.read_set.drain(..) {
+            while let Some(r) = ctx.read_set.pop() {
                 self.platform.mem_nb(r.obj.header().addr(), 8, AccessKind::Rmw);
                 r.obj.header().remove_reader(tid);
             }
@@ -495,7 +658,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         await_ack: bool,
     ) -> Result<ConflictOutcome, Abort> {
         let me = Arc::clone(Self::me(ctx));
-        ctx.stats.conflicts += 1;
+        hot_stat!(ctx, conflicts);
         let mut waited = 0u64;
         loop {
             self.validate(ctx)?;
@@ -515,7 +678,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                     // ("TL raises a flag and waits until TH is done").
                     me.set_waiting(true);
                     self.platform.spin_wait();
-                    ctx.stats.wait_steps += 1;
+                    hot_stat!(ctx, wait_steps);
                     waited += 1;
                 }
                 Resolution::AbortSelf => {
@@ -576,7 +739,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                             return Ok(ConflictOutcome::Unresponsive);
                         }
                         self.platform.spin_wait();
-                        ctx.stats.wait_steps += 1;
+                        hot_stat!(ctx, wait_steps);
                         acked_wait += 1;
                     }
                 }
@@ -601,7 +764,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             if let Some(d) = self.registry.current(t, guard) {
                 if !std::ptr::eq(d, me) && d.status() == Status::Active {
                     // A live writer-reader conflict, resolved by request.
-                    ctx.stats.conflicts += 1;
+                    hot_stat!(ctx, conflicts);
                     self.san_point(ctx, tid, crate::sanitizer::Point::AnpSet);
                     self.platform.mem(d.addr(), 8, AccessKind::Rmw);
                     let _prev = d.request_abort();
@@ -623,31 +786,29 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
     fn acquire_write(&self, ctx: &mut ThreadCtx, tid: usize, obj: &Arc<dyn NzObjAny>) -> Result<usize, Abort> {
         self.validate(ctx)?;
         let me_ptr = Arc::as_ptr(Self::me(ctx));
-
-        // Already acquired? (Write sets are small; linear scan.)
-        if let Some(i) = ctx
-            .write_set
-            .iter()
-            .position(|w| std::ptr::eq(w.obj.header(), obj.header()))
-        {
-            return Ok(i);
-        }
+        let h = obj.header();
+        let key = header_key(h);
 
         // Invisible-read upgrade hazard: if we previously read this
         // object, its version must still be what we read, or our earlier
         // read is stale (lost update). Validated *here* — not at commit —
         // because our own acquisition is about to bump the version.
         let read_version = if self.cfg.read_mode == ReadMode::Invisible {
-            ctx.read_set
-                .iter()
-                .find(|r| std::ptr::eq(r.obj.header(), obj.header()))
-                .map(|r| r.version)
+            ctx.read_index.get(key).and_then(|s| ctx.read_set.get(s as usize)).map(|r| r.version)
         } else {
             None
         };
 
-        let h = obj.header();
         loop {
+            // Already acquired? O(1) via the write index. Checked *inside*
+            // the retry loop: `inflate` and `acquire_inflated` push the
+            // entry themselves and fall through to the next iteration, so
+            // this check is also the loop's success exit for those paths
+            // (when it sat outside the loop, a post-inflation iteration
+            // could spin forever on an object it already owned).
+            if let Some(i) = ctx.write_index.get(key) {
+                return Ok(i as usize);
+            }
             let guard = nztm_epoch::pin();
             self.platform.mem(h.addr(), 8, AccessKind::Read);
             if M::NONBLOCKING {
@@ -762,7 +923,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         }
         h.bump_version();
         Self::me(ctx).gained_object();
-        ctx.stats.acquires += 1;
+        hot_stat!(ctx, acquires);
 
         // Visible readers must be told to abort *before* we mutate data.
         self.request_readers(ctx, h, tid, guard)?;
@@ -805,11 +966,11 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             // Create a backup copy of the (valid) current data.
             let buf = match ctx.pool.take(n) {
                 Some(b) => {
-                    ctx.stats.backup_reused += 1;
+                    hot_stat!(ctx, backup_reused);
                     b
                 }
                 None => {
-                    ctx.stats.backup_alloc += 1;
+                    hot_stat!(ctx, backup_alloc);
                     WordBuf::zeroed(n)
                 }
             };
@@ -837,8 +998,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         // Final validation (§2.2): if we have been asked to abort, we must
         // not proceed — the object stays owned by our (aborting)
         // transaction and the next acquirer will restore the backup.
-        ctx.write_set
-            .push(WriteEntry { obj: Arc::clone(obj), target: WriteTarget::InPlace { backup_raw } });
+        push_write(ctx, WriteEntry { obj: Arc::clone(obj), target: WriteTarget::InPlace { backup_raw } });
         self.validate(ctx)?;
         Ok(true)
     }
@@ -869,7 +1029,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         word: &std::sync::atomic::AtomicU64,
         value: u64,
     ) -> bool {
-        ctx.stats.scss_stores += 1;
+        hot_stat!(ctx, scss_stores);
         self.platform.work(self.cfg.scss_cycles);
         let ok = me.with_scss_lock(|| {
             if me.abort_requested() {
@@ -880,7 +1040,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             }
         });
         if !ok {
-            ctx.stats.scss_failures += 1;
+            hot_stat!(ctx, scss_failures);
         }
         ok
     }
@@ -947,10 +1107,9 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             ctx.stats.inflations += 1;
             h.bump_version();
             me.gained_object();
-            ctx.stats.acquires += 1;
+            hot_stat!(ctx, acquires);
             self.request_readers(ctx, h, tid, guard)?;
-            ctx.write_set
-                .push(WriteEntry { obj: Arc::clone(obj), target: WriteTarget::Inflated { loc } });
+            push_write(ctx, WriteEntry { obj: Arc::clone(obj), target: WriteTarget::Inflated { loc } });
             self.validate(ctx)?;
         }
         // On CAS failure someone else moved first; the caller retries.
@@ -1014,7 +1173,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         );
         h.bump_version();
         me.gained_object();
-        ctx.stats.acquires += 1;
+        hot_stat!(ctx, acquires);
         self.request_readers(ctx, h, tid, guard)?;
 
         // Deflation (§2.3.1): once the unresponsive transaction has
@@ -1050,7 +1209,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                 // A competitor requested our abort and replaced our
                 // locator before we could deflate. Keep the locator entry;
                 // validation will observe the AbortNowPlease shortly.
-                ctx.write_set.push(WriteEntry {
+                push_write(ctx, WriteEntry {
                     obj: Arc::clone(obj),
                     target: WriteTarget::Inflated { loc: mine },
                 });
@@ -1078,13 +1237,12 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                 self.san.restored(h.addr(), &now, complete);
             }
             ctx.stats.deflations += 1;
-            ctx.write_set.push(WriteEntry {
+            push_write(ctx, WriteEntry {
                 obj: Arc::clone(obj),
                 target: WriteTarget::InPlace { backup_raw: h.backup_raw() },
             });
         } else {
-            ctx.write_set
-                .push(WriteEntry { obj: Arc::clone(obj), target: WriteTarget::Inflated { loc: mine } });
+            push_write(ctx, WriteEntry { obj: Arc::clone(obj), target: WriteTarget::Inflated { loc: mine } });
         }
         self.validate(ctx)?;
         Ok(true)
@@ -1101,23 +1259,25 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         obj: &Arc<NZObject<T>>,
     ) -> Result<T, Abort> {
         self.validate(ctx)?;
-        ctx.stats.reads += 1;
+        hot_stat!(ctx, reads);
         let me_ptr = Arc::as_ptr(Self::me(ctx));
         let h = obj.header();
+        let key = header_key(h);
         let n = T::n_words();
         let visible = self.cfg.read_mode == ReadMode::Visible;
-        let mut registered = false;
 
         loop {
             let guard = nztm_epoch::pin();
-            if visible && !registered {
+            if visible && ctx.read_index.get(key).is_none() {
                 // Register *before* examining the owner so any later
-                // writer is guaranteed to see us.
+                // writer is guaranteed to see us. The index dedups
+                // re-reads: one entry (and one `Arc` clone) per object
+                // per transaction, however many times it is read.
                 self.platform.mem(h.addr(), 8, AccessKind::Rmw);
                 h.add_reader(tid);
                 let any: Arc<dyn NzObjAny> = obj.clone();
+                ctx.read_index.insert(key, ctx.read_set.len() as u32);
                 ctx.read_set.push(ReadEntry { obj: any, version: 0 });
-                registered = true;
             }
 
             self.platform.mem(h.addr(), 8, AccessKind::Read);
@@ -1208,8 +1368,22 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                     crate::data::snapshot_words(obj.data_words(), &mut ctx.scratch);
                 }
                 Src::Buf(b) => {
+                    // Clamped copy rather than `snapshot_words`: `b` may
+                    // be a backup buffer that raced a commit-time
+                    // take-back into another thread's pool and was
+                    // resized for reuse (size-class pools recycle without
+                    // waiting on reader pins). The contents are then
+                    // garbage, which is fine — the o1/v1 revalidation
+                    // below rejects the snapshot — but the *length* must
+                    // not be trusted to still match `n`.
                     self.platform.mem_nb(b.addr(), n * 8, AccessKind::Read);
-                    crate::data::snapshot_words(b.words(), &mut ctx.scratch);
+                    let words = b.words();
+                    for (i, slot) in ctx.scratch.iter_mut().enumerate() {
+                        *slot = match words.get(i) {
+                            Some(w) => w.load(std::sync::atomic::Ordering::Relaxed),
+                            None => 0,
+                        };
+                    }
                 }
             }
             self.platform.mem(h.addr(), 8, AccessKind::Read);
@@ -1218,8 +1392,9 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             }
             self.validate(ctx)?;
             let value = T::decode(&ctx.scratch);
-            if !visible {
+            if !visible && ctx.read_index.get(key).is_none() {
                 let any: Arc<dyn NzObjAny> = obj.clone();
+                ctx.read_index.insert(key, ctx.read_set.len() as u32);
                 ctx.read_set.push(ReadEntry { obj: any, version: v1 });
             }
             return Ok(value);
@@ -1233,14 +1408,26 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         obj: &Arc<NZObject<T>>,
         value: &T,
     ) -> Result<(), Abort> {
-        let any: Arc<dyn NzObjAny> = obj.clone();
-        let idx = self.acquire_write(ctx, tid, &any)?;
+        // Fast path: already acquired — no `Arc` clone, no owner-word
+        // traffic, just an index hit and a self-validation. The clone for
+        // the write-set entry happens at most once per object, inside
+        // `acquire_write`.
+        let idx = match ctx.write_index.get(header_key(obj.header())) {
+            Some(i) => {
+                self.validate(ctx)?;
+                i as usize
+            }
+            None => {
+                let any: Arc<dyn NzObjAny> = obj.clone();
+                self.acquire_write(ctx, tid, &any)?
+            }
+        };
         let n = T::n_words();
         ctx.scratch.clear();
         ctx.scratch.resize(n, 0);
         value.encode(&mut ctx.scratch);
         let me = Arc::clone(Self::me(ctx));
-        match &ctx.write_set[idx].target {
+        match &ctx.write_set.get(idx).expect("indexed write entry").target {
             WriteTarget::InPlace { .. } => {
                 #[cfg(feature = "sanitize")]
                 self.san
@@ -1316,5 +1503,119 @@ impl<P: Platform, M: ModePolicy> NzTx<P, M> {
     /// Explicitly abort this attempt (it will be retried).
     pub fn abort(&mut self) -> Abort {
         Abort(AbortCause::Explicit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed_desc() -> Arc<TxnDesc> {
+        let d = Arc::new(TxnDesc::new(0, 1));
+        assert!(d.try_commit());
+        d
+    }
+
+    fn aborted_desc() -> Arc<TxnDesc> {
+        let d = Arc::new(TxnDesc::new(0, 1));
+        d.acknowledge_abort();
+        d
+    }
+
+    fn pooled_buf(len: usize, installer: Option<&Arc<TxnDesc>>) -> Arc<WordBuf> {
+        let buf = WordBuf::zeroed(len);
+        if let Some(d) = installer {
+            let g = nztm_epoch::pin();
+            buf.set_installer(d, &g);
+        }
+        buf
+    }
+
+    #[test]
+    fn backup_pool_classes_round_trip() {
+        let mut pool = BackupPool::default();
+        let d = committed_desc();
+        for len in 1..=20usize {
+            pool.put(pooled_buf(len, Some(&d)));
+        }
+        // A take for length 9 may be served by any capacity-16 buffer
+        // (lengths 9..=16 share the class); the pool resizes it.
+        let b = pool.take(9).expect("class 16 is populated");
+        assert_eq!(b.len(), 9);
+        assert_eq!(b.cap(), 16);
+        // Every pooled length round-trips with a power-of-two capacity.
+        for len in [1usize, 2, 3, 7, 8] {
+            let b = pool.take(len).expect("small classes are populated");
+            assert_eq!(b.len(), len);
+            assert_eq!(b.cap(), WordBuf::cap_for(len));
+            assert!(b.cap().is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn backup_pool_depth_is_bounded() {
+        let mut pool = BackupPool::default();
+        for _ in 0..(BackupPool::DEPTH + 40) {
+            pool.put(pooled_buf(4, None));
+        }
+        let mut takes = 0;
+        while pool.take(4).is_some() {
+            takes += 1;
+        }
+        assert_eq!(takes, BackupPool::DEPTH, "pool depth must be bounded");
+    }
+
+    /// Property test (seeded, deterministic): however put/take interleave
+    /// across lengths and settled installer states, the pool never hands
+    /// out a buffer whose installer is a live (Active) transaction, and
+    /// always hands out the exact requested length in the right class.
+    #[test]
+    fn backup_pool_never_hands_out_live_installer_property() {
+        let mut rng = DetRng::new(0xB00F);
+        let mut pool = BackupPool::default();
+        let committed = committed_desc();
+        let aborted = aborted_desc();
+        let mut in_pool = 0usize;
+        for _ in 0..2000 {
+            let len = 1 + rng.next_below(64) as usize;
+            if rng.chance(1, 2) {
+                let installer = match rng.next_below(3) {
+                    0 => None,
+                    1 => Some(&committed),
+                    _ => Some(&aborted),
+                };
+                pool.put(pooled_buf(len, installer));
+                in_pool += 1;
+            } else if let Some(b) = pool.take(len) {
+                in_pool -= 1;
+                assert_eq!(b.len(), len);
+                assert_eq!(b.cap(), WordBuf::cap_for(len));
+                let g = nztm_epoch::pin();
+                assert!(
+                    !matches!(b.installer_status(&g), Some(Status::Active)),
+                    "pool handed out a buffer with a live installer"
+                );
+            }
+        }
+        // Sanity: the interleaving actually exercised both operations.
+        assert!(in_pool < 2000);
+        nztm_epoch::flush();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "live installer")]
+    fn backup_pool_rejects_live_installer_in_debug() {
+        let active = Arc::new(TxnDesc::new(0, 1)); // Status::Active
+        let mut pool = BackupPool::default();
+        pool.put(pooled_buf(2, Some(&active)));
+    }
+
+    #[test]
+    fn backup_pool_class_of_matches_cap_for() {
+        for len in 1..200usize {
+            let c = BackupPool::class_of(len);
+            assert_eq!(1usize << c, WordBuf::cap_for(len));
+        }
     }
 }

@@ -44,8 +44,23 @@ use crate::data::{TmData, WordArray};
 use crate::locator::Locator;
 use crate::txn::TxnDesc;
 use nztm_epoch::Guard;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+// Monomorphic release functions for the epoch's allocation-free
+// `defer_fn` path: the argument is a raw pointer (one strong count)
+// smuggled as a word. These run on the hot path's behalf millions of
+// times; boxing a closure for each would reintroduce a per-access heap
+// allocation.
+pub(crate) unsafe fn release_txn_arc(arg: u64) {
+    unsafe { drop(Arc::from_raw(arg as *const TxnDesc)) };
+}
+pub(crate) unsafe fn release_locator_arc(arg: u64) {
+    unsafe { drop(Arc::from_raw(arg as *const Locator)) };
+}
+pub(crate) unsafe fn release_wordbuf_arc(arg: u64) {
+    unsafe { drop(Arc::from_raw(arg as *const WordBuf)) };
+}
 
 /// A reference-counted buffer of atomic words (backup copies, locator
 /// old/new data). Contents are mutated only by the buffer's current
@@ -57,7 +72,16 @@ use std::sync::Arc;
 /// property the simulator's deterministic line translation relies on.
 pub struct WordBuf {
     ptr: std::ptr::NonNull<AtomicU64>,
-    len: usize,
+    /// Allocated capacity in words: a power of two, ≥ 8 (one cache
+    /// line). Capacity — not length — determines the allocation layout
+    /// and the engine pool's size class, so a recycled buffer can serve
+    /// any object whose word count fits the class.
+    cap: usize,
+    /// Current logical length, ≤ `cap`. Atomic because an epoch-pinned
+    /// *stale* reader may still call `words()` while the pool resizes a
+    /// recycled buffer for its next life; the reader's slice stays within
+    /// `cap` either way, and its contents are discarded by revalidation.
+    len: AtomicUsize,
     synth: usize,
     /// Raw pointer (one strong `Arc` count) to the transaction that
     /// *installed* this buffer as an object's backup; 0 = none. Needed
@@ -76,19 +100,27 @@ unsafe impl Send for WordBuf {}
 unsafe impl Sync for WordBuf {}
 
 impl WordBuf {
-    fn layout(len: usize) -> std::alloc::Layout {
-        let bytes = (len.max(1) * 8).next_multiple_of(64);
-        std::alloc::Layout::from_size_align(bytes, 64).expect("valid WordBuf layout")
+    /// Word capacity backing a buffer of logical length `len`: next power
+    /// of two, floored at 8 words (one 64-byte line). Power-of-two
+    /// capacities are what make the engine's size-class pool exact.
+    pub fn cap_for(len: usize) -> usize {
+        len.max(1).next_power_of_two().max(8)
+    }
+
+    fn layout(cap: usize) -> std::alloc::Layout {
+        std::alloc::Layout::from_size_align(cap * 8, 64).expect("valid WordBuf layout")
     }
 
     pub fn zeroed(len: usize) -> Arc<Self> {
+        let cap = Self::cap_for(len);
         // Safety: AtomicU64 is valid when zero-initialized.
-        let ptr = unsafe { std::alloc::alloc_zeroed(Self::layout(len)) } as *mut AtomicU64;
+        let ptr = unsafe { std::alloc::alloc_zeroed(Self::layout(cap)) } as *mut AtomicU64;
         let ptr = std::ptr::NonNull::new(ptr).expect("WordBuf allocation failed");
         Arc::new(WordBuf {
             ptr,
-            len,
-            synth: nztm_sim::synth_alloc(len.max(1) * 8),
+            cap,
+            len: AtomicUsize::new(len),
+            synth: nztm_sim::synth_alloc(cap * 8),
             installer: AtomicU64::new(0),
         })
     }
@@ -100,17 +132,36 @@ impl WordBuf {
     }
 
     pub fn words(&self) -> &[AtomicU64] {
-        // Safety: `ptr` is valid for `len` zero-initialized atomics for
+        // The length is loaded once, so the slice is internally
+        // consistent and bounded by `cap` even if a pool resize races
+        // (see the `len` field docs).
+        let len = self.len.load(Ordering::Relaxed);
+        debug_assert!(len <= self.cap);
+        // Safety: `ptr` is valid for `cap ≥ len` initialized atomics for
         // the lifetime of `self`.
-        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), len) }
     }
 
     pub fn len(&self) -> usize {
-        self.len
+        self.len.load(Ordering::Relaxed)
     }
 
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
+    }
+
+    /// Allocated capacity in words (power of two, ≥ 8).
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Retarget a recycled buffer to logical length `len` (≤ `cap`).
+    /// Called by the engine's size-class pool when handing the buffer to
+    /// a new backup of a different word count; contents are overwritten
+    /// by the subsequent copy before the buffer is published.
+    pub(crate) fn set_len(&self, len: usize) {
+        assert!(len <= self.cap, "set_len beyond capacity");
+        self.len.store(len, Ordering::Relaxed);
     }
 
     /// Synthetic address used for cache-model charging.
@@ -126,10 +177,7 @@ impl WordBuf {
         let new_raw = Arc::into_raw(Arc::clone(me)) as u64;
         let old = self.installer.swap(new_raw, Ordering::SeqCst);
         if old != 0 {
-            let ptr = old as *const TxnDesc;
-            unsafe {
-                guard.defer_unchecked(move || drop(Arc::from_raw(ptr)));
-            }
+            unsafe { guard.defer_fn(release_txn_arc, old) };
         }
     }
 
@@ -158,7 +206,7 @@ impl Drop for WordBuf {
         if raw != 0 {
             unsafe { drop(Arc::from_raw(raw as *const TxnDesc)) };
         }
-        unsafe { std::alloc::dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.len)) };
+        unsafe { std::alloc::dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.cap)) };
     }
 }
 
@@ -327,10 +375,7 @@ impl NZHeader {
         match self.backup.compare_exchange(expected, new_raw, Ordering::SeqCst, Ordering::SeqCst) {
             Ok(_) => {
                 if expected != 0 {
-                    let ptr = expected as *const WordBuf;
-                    unsafe {
-                        guard.defer_unchecked(move || drop(Arc::from_raw(ptr)));
-                    }
+                    unsafe { guard.defer_fn(release_wordbuf_arc, expected) };
                 }
                 true
             }
@@ -407,11 +452,9 @@ fn defer_drop_owner_word(raw: u64, guard: &Guard) {
     }
     unsafe {
         if raw & INFLATED_TAG != 0 {
-            let ptr = (raw & !INFLATED_TAG) as *const Locator;
-            guard.defer_unchecked(move || drop(Arc::from_raw(ptr)));
+            guard.defer_fn(release_locator_arc, raw & !INFLATED_TAG);
         } else {
-            let ptr = raw as *const TxnDesc;
-            guard.defer_unchecked(move || drop(Arc::from_raw(ptr)));
+            guard.defer_fn(release_txn_arc, raw);
         }
     }
 }
@@ -663,6 +706,24 @@ mod tests {
         }
         // The object's strong count on d was released synchronously.
         assert_eq!(Arc::strong_count(&d), 1);
+    }
+
+    #[test]
+    fn wordbuf_capacity_is_a_pow2_size_class() {
+        let b = WordBuf::zeroed(1);
+        assert_eq!((b.len(), b.cap()), (1, 8), "min class is one line");
+        let b = WordBuf::zeroed(9);
+        assert_eq!((b.len(), b.cap()), (9, 16));
+        b.set_len(3);
+        assert_eq!(b.words().len(), 3);
+        b.set_len(16);
+        assert_eq!(b.words().len(), 16, "resizable up to cap");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn wordbuf_set_len_beyond_cap_panics() {
+        WordBuf::zeroed(4).set_len(9);
     }
 
     #[test]

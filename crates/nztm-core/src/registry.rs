@@ -19,12 +19,18 @@
 //! spurious abort request. That costs a retry, never safety.
 
 use crate::txn::TxnDesc;
+use crate::util::CachePadded;
 use nztm_epoch::Guard;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 pub struct ThreadRegistry {
-    slots: Vec<AtomicU64>,
+    /// One padded slot per thread. Each thread *swaps* its own slot on
+    /// every transaction begin; without padding, eight slots share a host
+    /// cache line and every begin invalidates seven other threads' lines
+    /// (classic false sharing — the synthetic model already charged each
+    /// slot as its own line, the host layout now matches it).
+    slots: Vec<CachePadded<AtomicU64>>,
     /// Synthetic base; each slot is charged as its own cache line.
     synth: usize,
 }
@@ -33,7 +39,7 @@ impl ThreadRegistry {
     pub fn new(n_threads: usize) -> Self {
         assert!(n_threads <= 64, "reader bitmaps are 64 bits wide");
         ThreadRegistry {
-            slots: (0..n_threads).map(|_| AtomicU64::new(0)).collect(),
+            slots: (0..n_threads).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
             synth: nztm_sim::synth_alloc(n_threads.max(1) * 64),
         }
     }
@@ -51,10 +57,8 @@ impl ThreadRegistry {
         let new_raw = Arc::into_raw(Arc::clone(desc)) as u64;
         let old = self.slots[tid].swap(new_raw, Ordering::SeqCst);
         if old != 0 {
-            let ptr = old as *const TxnDesc;
-            unsafe {
-                guard.defer_unchecked(move || drop(Arc::from_raw(ptr)));
-            }
+            // Allocation-free defer: publish runs once per attempt.
+            unsafe { guard.defer_fn(crate::object::release_txn_arc, old) };
         }
     }
 

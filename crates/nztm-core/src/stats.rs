@@ -8,6 +8,14 @@
 //! contention on counters), and merged after a run.
 
 /// Per-thread counters, merged into a run-wide [`TmStats`] report.
+///
+/// The struct shape is unconditional, but the *hot-path* counters (reads,
+/// acquires, pool traffic, SCSS stores, wait steps, conflicts, descriptor
+/// recycling) are only incremented when the `stats` cargo feature is on —
+/// tier-1 builds keep it on (default), while a bench profile can build
+/// `--no-default-features` to strip even those per-access increments.
+/// Lifecycle counters (commits, aborts, inflations, HTM outcomes) are
+/// always maintained: harnesses and retry policies consume them.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TmStats {
     /// Committed transactions.
@@ -38,6 +46,10 @@ pub struct TmStats {
     pub backup_reused: u64,
     /// Backup buffers freshly allocated.
     pub backup_alloc: u64,
+    /// Transaction descriptors recycled from the thread-local free list.
+    pub descriptor_reused: u64,
+    /// Transaction descriptors freshly heap-allocated.
+    pub descriptor_alloc: u64,
     /// SCSS-wrapped stores executed.
     pub scss_stores: u64,
     /// SCSS stores that failed (own AbortNowPlease observed).
@@ -122,6 +134,8 @@ impl TmStats {
             acquires,
             backup_reused,
             backup_alloc,
+            descriptor_reused,
+            descriptor_alloc,
             scss_stores,
             scss_failures,
             htm_commits,
