@@ -1,0 +1,48 @@
+//! Replay a failure artifact produced by `nztm-check`.
+//!
+//! ```text
+//! check_replay results/nztm_check_linearizability_NZSTM_transfer_seed1_len12.txt
+//! ```
+//!
+//! Exit status: 0 if the artifact's failure reproduces, 1 if the run
+//! passes or fails differently, 2 on usage or parse errors.
+
+use nztm_check::{read_artifact, replay};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = match (args.next(), args.next()) {
+        (Some(p), None) => p,
+        _ => {
+            eprintln!("usage: check_replay <artifact.txt>");
+            std::process::exit(2);
+        }
+    };
+    let art = match read_artifact(std::path::Path::new(&path)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("check_replay: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "replaying {} {} ({} forced choices), expecting {}",
+        art.cfg.backend.name(),
+        art.cfg.workload.name(),
+        art.choices.len(),
+        art.kind
+    );
+    match replay(&art) {
+        Ok(rep) if rep.reproduced => {
+            println!("REPRODUCED: {} — {}", rep.kind, rep.detail);
+        }
+        Ok(rep) => {
+            println!("NOT reproduced: got {} — {}", rep.kind, rep.detail);
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("check_replay: {e}");
+            std::process::exit(2);
+        }
+    }
+}

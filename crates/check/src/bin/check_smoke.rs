@@ -1,0 +1,152 @@
+//! Time-boxed exploration driver for CI (`check-smoke` job).
+//!
+//! Fixed seeds, a wall-clock budget, and a fail-fast contract: on the
+//! first judged failure the shrunk artifact is written under `--out`
+//! (default `results/`) and the process exits nonzero. The campaign
+//! interleaves, per backend: a small bounded-exhaustive sweep, a
+//! random-walk fuzzing block, and the targeted adversarial presets.
+//!
+//! ```text
+//! check_smoke [--budget-secs 120] [--out results]
+//! ```
+
+use nztm_check::{
+    explore_exhaustive, explore_random, shrink, write_artifact, Artifact, Backend,
+    CheckConfig, ExploreReport, Failure, BACKENDS,
+};
+use std::time::Instant;
+
+struct Campaign {
+    start: Instant,
+    budget_secs: u64,
+    out_dir: std::path::PathBuf,
+    schedules: u64,
+    stages: u64,
+}
+
+impl Campaign {
+    fn over_budget(&self) -> bool {
+        self.start.elapsed().as_secs() >= self.budget_secs
+    }
+
+    /// Run one stage unless the budget is gone; on failure, shrink,
+    /// write the artifact and exit nonzero.
+    fn stage(
+        &mut self,
+        name: &str,
+        base: &CheckConfig,
+        explore: impl FnOnce(&CheckConfig) -> ExploreReport,
+    ) {
+        if self.over_budget() {
+            println!("[skip] {name}: budget exhausted");
+            return;
+        }
+        let t = Instant::now();
+        let report = explore(base);
+        self.schedules += report.schedules;
+        self.stages += 1;
+        println!(
+            "[{:>5.1}s] {name}: {} schedules ({} distinct), {} inflations, {} aborts in {:.1}s",
+            self.start.elapsed().as_secs_f64(),
+            report.schedules,
+            report.distinct,
+            report.inflations,
+            report.aborts,
+            t.elapsed().as_secs_f64(),
+        );
+        if let Some(failure) = report.failure {
+            self.fail(name, base, failure);
+        }
+    }
+
+    fn fail(&mut self, name: &str, base: &CheckConfig, failure: Failure) -> ! {
+        eprintln!("FAILURE in {name}: {} — {}", failure.kind, failure.detail);
+        eprintln!("shrinking {} forced choices...", failure.choices.len());
+        let small = shrink(base, &failure);
+        let art = Artifact::new(base, &small);
+        match write_artifact(&self.out_dir, &art) {
+            Ok(path) => eprintln!(
+                "artifact ({} choices) written to {}\nreplay with: check_replay {}",
+                art.choices.len(),
+                path.display(),
+                path.display()
+            ),
+            Err(e) => eprintln!("could not write artifact: {e}"),
+        }
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let mut budget_secs = 120u64;
+    let mut out_dir = std::path::PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--budget-secs" => {
+                budget_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--budget-secs needs a number"));
+            }
+            "--out" => {
+                out_dir = args.next().map(Into::into).unwrap_or_else(|| usage("--out needs a path"));
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let mut c = Campaign {
+        start: Instant::now(),
+        budget_secs,
+        out_dir,
+        schedules: 0,
+        stages: 0,
+    };
+    println!(
+        "nztm-check smoke: budget {budget_secs}s, artifacts to {} (sanitize: {})",
+        c.out_dir.display(),
+        cfg!(feature = "sanitize"),
+    );
+
+    for backend in BACKENDS {
+        let name = backend.name();
+        c.stage(&format!("{name} exhaustive transfer"), &CheckConfig::transfer(backend), |b| {
+            explore_exhaustive(b, 7, 1_200)
+        });
+        c.stage(&format!("{name} random transfer"), &CheckConfig::transfer(backend), |b| {
+            explore_random(b, 250, 4)
+        });
+        c.stage(&format!("{name} abort storm"), &CheckConfig::abort_storm(backend), |b| {
+            explore_random(b, 150, 4)
+        });
+        c.stage(&format!("{name} pause owner"), &CheckConfig::pause_owner(backend), |b| {
+            explore_random(b, 60, 8)
+        });
+        if backend == Backend::Nzstm || backend == Backend::Scss {
+            c.stage(&format!("{name} crash owner"), &CheckConfig::crash_owner(backend), |b| {
+                explore_exhaustive(b, 4, 60)
+            });
+        }
+        #[cfg(feature = "sanitize")]
+        {
+            let mut yp = CheckConfig::transfer(backend);
+            yp.yield_points = true;
+            c.stage(&format!("{name} yield-point exhaustive"), &yp, |b| {
+                explore_exhaustive(b, 6, 600)
+            });
+        }
+    }
+
+    println!(
+        "smoke PASS: {} stages, {} schedules in {:.1}s",
+        c.stages,
+        c.schedules,
+        c.start.elapsed().as_secs_f64()
+    );
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("check_smoke: {msg}\nusage: check_smoke [--budget-secs N] [--out DIR]");
+    std::process::exit(2);
+}

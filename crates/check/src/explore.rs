@@ -1,0 +1,207 @@
+//! Schedule exploration: random-walk fuzzing, bounded-exhaustive
+//! enumeration, and the shared run judge.
+//!
+//! Bounded-exhaustive enumeration is the stateless-DFS scheme of
+//! CHESS-style model checkers: run a forced choice prefix to completion
+//! under the default (min-clock) continuation, then branch a child for
+//! every *alternative* runnable core at every decision index past the
+//! prefix (up to `depth`). Each complete run corresponds to exactly one
+//! choice sequence, so every executed schedule is distinct and the whole
+//! tree of the first `depth` decisions is covered without duplicates.
+
+use crate::harness::{run_config, CheckConfig, RunOutcome, Workload};
+use crate::lin::{linearizable, BankSpec, CounterSpec};
+use nztm_sim::SchedPolicy;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Why a run was rejected.
+#[derive(Clone, Debug)]
+pub enum CheckError {
+    Lin(String),
+    Sanitizer(String),
+    Conservation(String),
+    Watchdog,
+}
+
+impl CheckError {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CheckError::Lin(_) => "linearizability",
+            CheckError::Sanitizer(_) => "sanitizer",
+            CheckError::Conservation(_) => "conservation",
+            CheckError::Watchdog => "watchdog",
+        }
+    }
+
+    pub fn detail(&self) -> String {
+        match self {
+            CheckError::Lin(d) | CheckError::Sanitizer(d) | CheckError::Conservation(d) => {
+                d.clone()
+            }
+            CheckError::Watchdog => "simulator watchdog (livelock or deadlock)".into(),
+        }
+    }
+}
+
+/// Judge one run: watchdog, then history linearizability, then value
+/// conservation, then sanitizer findings. Linearizability is checked
+/// before sanitizer findings so an end-to-end data corruption is
+/// reported as such even when the invariant mirror also flagged it.
+pub fn judge(cfg: &CheckConfig, out: &RunOutcome) -> Result<(), CheckError> {
+    if out.watchdog {
+        return Err(CheckError::Watchdog);
+    }
+    assert!(
+        out.crashed_ops <= usize::from(cfg.crash_tid.is_some()),
+        "only the crashed thread may leave a pending operation"
+    );
+    match cfg.workload {
+        Workload::Transfer => {
+            let spec = BankSpec { accounts: cfg.objects, initial: cfg.initial };
+            linearizable(&spec, &out.ops).map_err(|e| CheckError::Lin(e.0))?;
+            if !out.final_values.is_empty() {
+                let total: u64 = out.final_values.iter().sum();
+                let expect = cfg.initial * cfg.objects as u64;
+                if total != expect {
+                    return Err(CheckError::Conservation(format!(
+                        "final balances {:?} sum to {total}, expected {expect}",
+                        out.final_values
+                    )));
+                }
+            }
+        }
+        Workload::Increment => {
+            let spec = CounterSpec { objects: cfg.objects };
+            linearizable(&spec, &out.ops).map_err(|e| CheckError::Lin(e.0))?;
+        }
+    }
+    if !out.violations.is_empty() {
+        return Err(CheckError::Sanitizer(out.violations.join("; ")));
+    }
+    Ok(())
+}
+
+/// A failing schedule, as found (pre-shrink): the forced-choice prefix
+/// that reproduces it under `SchedPolicy::Replay`.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub kind: String,
+    pub detail: String,
+    pub choices: Vec<u32>,
+}
+
+/// Aggregate exploration statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreReport {
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Distinct full decision traces observed (equals `schedules` for
+    /// bounded-exhaustive enumeration; asserted by the tier-1 test).
+    pub distinct: u64,
+    /// Sum of engine inflations across all runs.
+    pub inflations: u64,
+    /// Sum of engine aborts across all runs.
+    pub aborts: u64,
+    /// First failure, if any (exploration stops there).
+    pub failure: Option<Failure>,
+}
+
+fn trace_hash(out: &RunOutcome) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for d in &out.decisions {
+        h ^= u64::from(d.chosen) | (u64::from(d.runnable) << 32);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Bounded-exhaustive enumeration of the first `depth` scheduling
+/// decisions, with a custom judge.
+pub fn explore_exhaustive_with(
+    base: &CheckConfig,
+    depth: usize,
+    limit: u64,
+    judge_fn: impl Fn(&CheckConfig, &RunOutcome) -> Result<(), CheckError>,
+) -> ExploreReport {
+    let mut report = ExploreReport::default();
+    let mut seen = HashSet::new();
+    let mut stack: Vec<Vec<u32>> = vec![Vec::new()];
+    while let Some(prefix) = stack.pop() {
+        if report.schedules >= limit {
+            break;
+        }
+        let mut cfg = base.clone();
+        cfg.policy = SchedPolicy::Replay { choices: Arc::new(prefix.clone()) };
+        let out = run_config(&cfg);
+        report.schedules += 1;
+        report.inflations += out.stats.inflations;
+        // The hybrid backend's contention aborts land on the HTM side.
+        report.aborts += out.stats.aborts() + out.stats.htm_aborts;
+        if seen.insert(trace_hash(&out)) {
+            report.distinct += 1;
+        }
+        if let Err(e) = judge_fn(&cfg, &out) {
+            report.failure =
+                Some(Failure { kind: e.kind().into(), detail: e.detail(), choices: prefix });
+            break;
+        }
+        // Branch a child for every alternative runnable core at every
+        // decision past the prefix; the child's prefix replays the
+        // parent's actual choices up to the deviation point.
+        for i in prefix.len()..depth.min(out.decisions.len()) {
+            let d = out.decisions[i];
+            for c in 0..32u32 {
+                if d.runnable & (1 << c) != 0 && c != d.chosen {
+                    let mut child: Vec<u32> =
+                        out.decisions[..i].iter().map(|x| x.chosen).collect();
+                    child.push(c);
+                    stack.push(child);
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Bounded-exhaustive enumeration under the standard [`judge`].
+pub fn explore_exhaustive(base: &CheckConfig, depth: usize, limit: u64) -> ExploreReport {
+    explore_exhaustive_with(base, depth, limit, judge)
+}
+
+/// Seeded random-walk schedule fuzzing with a custom judge: `n_seeds`
+/// runs under [`SchedPolicy::Random`] with PCT-style priority
+/// perturbation. A failure's choices are the run's full recorded
+/// decision trace, which replays it exactly.
+pub fn explore_random_with(
+    base: &CheckConfig,
+    n_seeds: u64,
+    change_denom: u64,
+    judge_fn: impl Fn(&CheckConfig, &RunOutcome) -> Result<(), CheckError>,
+) -> ExploreReport {
+    let mut report = ExploreReport::default();
+    let mut seen = HashSet::new();
+    for i in 0..n_seeds {
+        let sched_seed = base.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1);
+        let mut cfg = base.clone();
+        cfg.policy = SchedPolicy::Random { seed: sched_seed, change_denom };
+        let out = run_config(&cfg);
+        report.schedules += 1;
+        report.inflations += out.stats.inflations;
+        report.aborts += out.stats.aborts() + out.stats.htm_aborts;
+        if seen.insert(trace_hash(&out)) {
+            report.distinct += 1;
+        }
+        if let Err(e) = judge_fn(&cfg, &out) {
+            let choices = out.decisions.iter().map(|d| d.chosen).collect();
+            report.failure = Some(Failure { kind: e.kind().into(), detail: e.detail(), choices });
+            break;
+        }
+    }
+    report
+}
+
+/// Seeded random-walk fuzzing under the standard [`judge`].
+pub fn explore_random(base: &CheckConfig, n_seeds: u64, change_denom: u64) -> ExploreReport {
+    explore_random_with(base, n_seeds, change_denom, judge)
+}

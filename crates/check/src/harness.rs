@@ -1,0 +1,513 @@
+//! Backend-generic run harness: one `CheckConfig` in, one `RunOutcome`
+//! out, on a fresh deterministic machine every time.
+//!
+//! Every run builds a fresh [`Machine`] + engine, so identical configs
+//! (including the schedule policy) reproduce identical decision traces,
+//! histories and statistics — across processes, which is what makes
+//! failure artifacts replayable by `check_replay`.
+
+use nztm_core::cm::KarmaDeadlock;
+use nztm_core::{Blocking, ModePolicy, Nonblocking, NzConfig, NzStm, ScssMode, TmStats, TmSys};
+use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, NztmHybrid};
+use nztm_sim::sync::Mutex;
+use nztm_sim::{Decision, DetRng, Machine, MachineConfig, Platform, SchedPolicy, SimPlatform};
+use nztm_workloads::history::{complete_ops, HistOp, HistRet, HistoryLog, OpRecord};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The four systems under check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    Bzstm,
+    Nzstm,
+    Scss,
+    Hybrid,
+}
+
+/// All four backends, in presentation order.
+pub const BACKENDS: [Backend; 4] = [Backend::Bzstm, Backend::Nzstm, Backend::Scss, Backend::Hybrid];
+
+impl Backend {
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Bzstm => "BZSTM",
+            Backend::Nzstm => "NZSTM",
+            Backend::Scss => "SCSS",
+            Backend::Hybrid => "HYBRID",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Backend> {
+        BACKENDS.iter().copied().find(|b| b.name() == s)
+    }
+}
+
+/// The workload shape a run executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Bank transfers: each op moves one unit between two random
+    /// accounts when the source has funds (checked by [`crate::lin::BankSpec`]).
+    Transfer,
+    /// Each thread increments each object once, rotated by thread id —
+    /// the §3 model's counter workload (checked by [`crate::lin::CounterSpec`]).
+    Increment,
+}
+
+impl Workload {
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Transfer => "transfer",
+            Workload::Increment => "increment",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Workload> {
+        [Workload::Transfer, Workload::Increment].into_iter().find(|w| w.name() == s)
+    }
+}
+
+/// One fully-specified run.
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    pub backend: Backend,
+    pub workload: Workload,
+    pub threads: usize,
+    pub objects: usize,
+    pub ops_per_thread: usize,
+    /// Initial per-account balance (transfer workload only).
+    pub initial: u64,
+    /// Engine patience before declaring an owner unresponsive.
+    pub patience: u64,
+    /// Workload seed (operation draws).
+    pub seed: u64,
+    /// Schedule policy for the run.
+    pub policy: SchedPolicy,
+    pub max_cycles: u64,
+    /// This thread abandons its first operation mid-transaction with
+    /// the descriptor left `Active` (crashed owner, §3). NzStm modes only.
+    pub crash_tid: Option<usize>,
+    /// `(tid, cycles)`: the thread stalls that long inside its first
+    /// transaction after acquiring (pause-owner-then-inflate).
+    pub stall: Option<(usize, u64)>,
+    /// Seeded protocol fault (requires the `sanitize` feature).
+    pub inject_handshake_bug: bool,
+    /// Sanitizer pause schedule `(seed, max_pause)` (requires `sanitize`).
+    pub pause: Option<(u64, u64)>,
+    /// Arm protocol-edge yield points (sanitizer schedule with a zero
+    /// pause budget; requires `sanitize`).
+    pub yield_points: bool,
+}
+
+impl CheckConfig {
+    /// The §3-scale transfer config: 3 threads × 2 accounts.
+    pub fn transfer(backend: Backend) -> Self {
+        CheckConfig {
+            backend,
+            workload: Workload::Transfer,
+            threads: 3,
+            objects: 2,
+            ops_per_thread: 2,
+            initial: 2,
+            patience: 16,
+            seed: 1,
+            policy: SchedPolicy::MinClock,
+            max_cycles: 20_000_000,
+            crash_tid: None,
+            stall: None,
+            inject_handshake_bug: false,
+            pause: None,
+            yield_points: false,
+        }
+    }
+
+    /// The §3 model's counter workload: every thread increments every
+    /// object once.
+    pub fn increment(backend: Backend, threads: usize, objects: usize) -> Self {
+        CheckConfig {
+            workload: Workload::Increment,
+            threads,
+            objects,
+            ops_per_thread: objects,
+            ..CheckConfig::transfer(backend)
+        }
+    }
+
+    /// Targeted adversary: thread 0 stalls mid-transaction long past the
+    /// patience bound, so survivors must inflate past it (§2.3.1).
+    pub fn pause_owner(backend: Backend) -> Self {
+        CheckConfig {
+            stall: Some((0, 400_000)),
+            patience: 16,
+            ..CheckConfig::transfer(backend)
+        }
+    }
+
+    /// Targeted adversary: thread 0 crashes mid-transaction, holding its
+    /// acquisitions forever (§3's crashed-owner counterexample class).
+    pub fn crash_owner(backend: Backend) -> Self {
+        CheckConfig {
+            crash_tid: Some(0),
+            patience: 16,
+            max_cycles: 2_000_000,
+            ..CheckConfig::increment(backend, 3, 2)
+        }
+    }
+
+    /// Targeted adversary: minimal patience and maximal contention, so
+    /// the abort handshake runs constantly.
+    pub fn abort_storm(backend: Backend) -> Self {
+        CheckConfig {
+            patience: 2,
+            ops_per_thread: 4,
+            ..CheckConfig::transfer(backend)
+        }
+    }
+
+    /// Whether this configuration needs the `sanitize` feature compiled in.
+    pub fn requires_sanitize(&self) -> bool {
+        self.inject_handshake_bug || self.pause.is_some() || self.yield_points
+    }
+}
+
+/// Everything one run produced.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Completed operations, paired invocation/response.
+    pub ops: Vec<OpRecord>,
+    /// Invocations with no response (only the crashed thread's).
+    pub crashed_ops: usize,
+    /// The full scheduling-decision trace.
+    pub decisions: Vec<Decision>,
+    /// Final object values from the quiescent `ReadAll` (empty if the
+    /// run died on the watchdog).
+    pub final_values: Vec<u64>,
+    pub stats: TmStats,
+    /// Sanitizer violations (always empty without the feature).
+    pub violations: Vec<String>,
+    /// The run tripped the simulator watchdog (livelock/deadlock).
+    pub watchdog: bool,
+}
+
+/// Run one configuration on a fresh machine.
+pub fn run_config(cfg: &CheckConfig) -> RunOutcome {
+    #[cfg(not(feature = "sanitize"))]
+    assert!(
+        !cfg.requires_sanitize(),
+        "config needs fault injection / pause schedules / protocol-edge yield \
+         points: rebuild nztm-check with --features sanitize"
+    );
+    match cfg.backend {
+        Backend::Bzstm => run_on_mode::<Blocking>(cfg),
+        Backend::Nzstm => run_on_mode::<Nonblocking>(cfg),
+        Backend::Scss => run_on_mode::<ScssMode>(cfg),
+        Backend::Hybrid => run_hybrid(cfg),
+    }
+}
+
+fn new_machine(cfg: &CheckConfig) -> (Arc<Machine>, Arc<SimPlatform>) {
+    let machine =
+        Machine::new(MachineConfig { max_cycles: cfg.max_cycles, ..MachineConfig::paper(cfg.threads) });
+    machine.set_policy(cfg.policy.clone());
+    machine.enable_decisions();
+    let platform = SimPlatform::new(Arc::clone(&machine));
+    (machine, platform)
+}
+
+fn nz_config(cfg: &CheckConfig) -> NzConfig {
+    #[cfg_attr(not(feature = "sanitize"), allow(unused_mut))]
+    let mut nzc = NzConfig { patience: cfg.patience, ..NzConfig::default() };
+    #[cfg(feature = "sanitize")]
+    {
+        nzc.inject_handshake_bug = cfg.inject_handshake_bug;
+    }
+    nzc
+}
+
+#[cfg(feature = "sanitize")]
+fn arm_sanitizer<P: nztm_sim::Platform, M: ModePolicy>(stm: &NzStm<P, M>, cfg: &CheckConfig) {
+    if let Some((seed, max_pause)) = cfg.pause {
+        stm.sanitizer().set_schedule(seed, max_pause);
+    } else if cfg.yield_points || cfg.inject_handshake_bug {
+        // A zero pause budget turns every protocol edge into a pure
+        // scheduling decision (see NzStm::san_point).
+        stm.sanitizer().set_schedule(cfg.seed, 0);
+    }
+}
+
+#[cfg(feature = "sanitize")]
+fn collect_violations<P: nztm_sim::Platform, M: ModePolicy>(stm: &NzStm<P, M>) -> Vec<String> {
+    stm.sanitizer().violations().iter().map(|v| format!("{}: {}", v.rule, v.detail)).collect()
+}
+
+#[cfg(not(feature = "sanitize"))]
+fn collect_violations<P: nztm_sim::Platform, M: ModePolicy>(_stm: &NzStm<P, M>) -> Vec<String> {
+    Vec::new()
+}
+
+/// The thread that performs the quiescent `ReadAll` snapshot.
+fn reader_tid(cfg: &CheckConfig) -> usize {
+    if cfg.crash_tid == Some(0) {
+        1
+    } else {
+        0
+    }
+}
+
+/// Worker body shared by every backend (crash bodies are NzStm-specific,
+/// see `crash_body`).
+#[allow(clippy::too_many_arguments)]
+fn worker_body<S: TmSys>(
+    sys: Arc<S>,
+    platform: Arc<SimPlatform>,
+    objs: Arc<Vec<S::Obj<u64>>>,
+    log: Arc<HistoryLog>,
+    done: Arc<AtomicUsize>,
+    finals: Arc<Mutex<Vec<u64>>>,
+    cfg: CheckConfig,
+    tid: usize,
+) -> Box<dyn FnOnce() + Send> {
+    Box::new(move || {
+        let mut rng = DetRng::new(cfg.seed).split(tid as u64);
+        let n = objs.len();
+        let mut stall_left = match cfg.stall {
+            Some((t, cycles)) if t == tid => Some(cycles),
+            _ => None,
+        };
+        for i in 0..cfg.ops_per_thread {
+            match cfg.workload {
+                Workload::Transfer => {
+                    let from = rng.next_below(n as u64) as usize;
+                    let mut to = rng.next_below(n as u64) as usize;
+                    if to == from {
+                        to = (to + 1) % n;
+                    }
+                    log.invoke(tid as u32, HistOp::Transfer { from: from as u32, to: to as u32 });
+                    let ok = sys.execute(&mut |tx| {
+                        let a = S::read(tx, &objs[from])?;
+                        let b = S::read(tx, &objs[to])?;
+                        if a > 0 {
+                            S::write(tx, &objs[from], &(a - 1))?;
+                            // Stall while *owning* `from` (reads may be
+                            // invisible; only a write pins ownership that
+                            // survivors must inflate past).
+                            if let Some(cycles) = stall_left.take() {
+                                platform.work(cycles);
+                                platform.yield_now();
+                            }
+                            S::write(tx, &objs[to], &(b + 1))?;
+                            Ok(true)
+                        } else {
+                            Ok(false)
+                        }
+                    });
+                    log.ret(tid as u32, HistRet::Bool(ok));
+                }
+                Workload::Increment => {
+                    let obj = (tid + i) % n;
+                    log.invoke(tid as u32, HistOp::Increment { obj: obj as u32 });
+                    sys.execute(&mut |tx| {
+                        let v = S::read(tx, &objs[obj])?;
+                        S::write(tx, &objs[obj], &(v + 1))?;
+                        if let Some(cycles) = stall_left.take() {
+                            platform.work(cycles);
+                            platform.yield_now();
+                        }
+                        Ok(())
+                    });
+                    log.ret(tid as u32, HistRet::Unit);
+                }
+            }
+        }
+        done.fetch_add(1, Ordering::SeqCst);
+        if tid == reader_tid(&cfg) {
+            // Wait for quiescence, then snapshot every object inside one
+            // transaction — the history's final, authoritative read.
+            while done.load(Ordering::SeqCst) < cfg.threads {
+                platform.spin_wait();
+            }
+            log.invoke(tid as u32, HistOp::ReadAll);
+            let vals = sys.execute(&mut |tx| {
+                let mut v = Vec::with_capacity(n);
+                for o in objs.iter() {
+                    v.push(S::read(tx, o)?);
+                }
+                Ok(v)
+            });
+            log.ret(tid as u32, HistRet::Values(vals.clone()));
+            *finals.lock() = vals;
+        }
+    })
+}
+
+/// Crash body: performs the thread's first operation via
+/// [`NzStm::run_until_crash`], abandoning the attempt with its
+/// acquisitions held forever, then retires.
+fn crash_body<M: ModePolicy>(
+    stm: Arc<NzStm<SimPlatform, M>>,
+    objs: Arc<Vec<std::sync::Arc<nztm_core::NZObject<u64>>>>,
+    log: Arc<HistoryLog>,
+    done: Arc<AtomicUsize>,
+    cfg: CheckConfig,
+    tid: usize,
+) -> Box<dyn FnOnce() + Send> {
+    Box::new(move || {
+        let mut rng = DetRng::new(cfg.seed).split(tid as u64);
+        let n = objs.len();
+        match cfg.workload {
+            Workload::Transfer => {
+                let from = rng.next_below(n as u64) as usize;
+                let mut to = rng.next_below(n as u64) as usize;
+                if to == from {
+                    to = (to + 1) % n;
+                }
+                log.invoke(tid as u32, HistOp::Transfer { from: from as u32, to: to as u32 });
+                stm.run_until_crash(|tx| {
+                    let a = tx.read(&objs[from])?;
+                    let b = tx.read(&objs[to])?;
+                    if a > 0 {
+                        tx.write(&objs[from], &(a - 1))?;
+                        tx.write(&objs[to], &(b + 1))?;
+                    }
+                    Ok(None::<bool>)
+                });
+            }
+            Workload::Increment => {
+                let obj = tid % n;
+                log.invoke(tid as u32, HistOp::Increment { obj: obj as u32 });
+                stm.run_until_crash(|tx| {
+                    let v = tx.read(&objs[obj])?;
+                    tx.write(&objs[obj], &(v + 1))?;
+                    Ok(None::<()>)
+                });
+            }
+        }
+        done.fetch_add(1, Ordering::SeqCst);
+    })
+}
+
+/// Run the bodies, mapping a watchdog panic to an outcome instead of
+/// unwinding (a crashed owner under BZSTM *must* end there).
+fn run_bodies(machine: &Arc<Machine>, bodies: Vec<Box<dyn FnOnce() + Send>>) -> bool {
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        machine.run(bodies);
+    }));
+    match res {
+        Ok(()) => false,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                .unwrap_or("");
+            if msg.contains("watchdog") {
+                true
+            } else {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+fn outcome(
+    machine: &Arc<Machine>,
+    log: &HistoryLog,
+    finals: &Mutex<Vec<u64>>,
+    stats: TmStats,
+    violations: Vec<String>,
+    watchdog: bool,
+) -> RunOutcome {
+    let (ops, crashed_ops) = complete_ops(&log.events());
+    RunOutcome {
+        ops,
+        crashed_ops,
+        decisions: machine.decisions().unwrap_or_default(),
+        final_values: finals.lock().clone(),
+        stats,
+        violations,
+        watchdog,
+    }
+}
+
+fn run_on_mode<M: ModePolicy>(cfg: &CheckConfig) -> RunOutcome {
+    let (machine, platform) = new_machine(cfg);
+    let stm: Arc<NzStm<SimPlatform, M>> =
+        NzStm::new(Arc::clone(&platform), Arc::new(KarmaDeadlock::default()), nz_config(cfg));
+    #[cfg(feature = "sanitize")]
+    arm_sanitizer(&stm, cfg);
+    let init = match cfg.workload {
+        Workload::Transfer => cfg.initial,
+        Workload::Increment => 0,
+    };
+    let objs = Arc::new((0..cfg.objects).map(|_| stm.new_obj(init)).collect::<Vec<_>>());
+    let log = Arc::new(HistoryLog::new());
+    let done = Arc::new(AtomicUsize::new(0));
+    let finals = Arc::new(Mutex::new(Vec::new()));
+    let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..cfg.threads)
+        .map(|tid| {
+            if cfg.crash_tid == Some(tid) {
+                crash_body(
+                    Arc::clone(&stm),
+                    Arc::clone(&objs),
+                    Arc::clone(&log),
+                    Arc::clone(&done),
+                    cfg.clone(),
+                    tid,
+                )
+            } else {
+                worker_body(
+                    Arc::clone(&stm),
+                    Arc::clone(&platform),
+                    Arc::clone(&objs),
+                    Arc::clone(&log),
+                    Arc::clone(&done),
+                    Arc::clone(&finals),
+                    cfg.clone(),
+                    tid,
+                )
+            }
+        })
+        .collect();
+    let watchdog = run_bodies(&machine, bodies);
+    outcome(&machine, &log, &finals, stm.stats(), collect_violations(&stm), watchdog)
+}
+
+fn run_hybrid(cfg: &CheckConfig) -> RunOutcome {
+    assert!(cfg.crash_tid.is_none(), "crash bodies are NzStm-specific");
+    let (machine, platform) = new_machine(cfg);
+    let stm = NzStm::<SimPlatform, Nonblocking>::new(
+        Arc::clone(&platform),
+        Arc::new(KarmaDeadlock::default()),
+        nz_config(cfg),
+    );
+    #[cfg(feature = "sanitize")]
+    arm_sanitizer(&stm, cfg);
+    let htm = BestEffortHtm::new(Arc::clone(&platform), AtmtpConfig::default());
+    htm.install();
+    let hybrid = NztmHybrid::new(Arc::clone(&stm), Arc::clone(&htm), HybridConfig::default());
+    let init = match cfg.workload {
+        Workload::Transfer => cfg.initial,
+        Workload::Increment => 0,
+    };
+    let objs = Arc::new((0..cfg.objects).map(|_| hybrid.alloc(init)).collect::<Vec<_>>());
+    let log = Arc::new(HistoryLog::new());
+    let done = Arc::new(AtomicUsize::new(0));
+    let finals = Arc::new(Mutex::new(Vec::new()));
+    let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..cfg.threads)
+        .map(|tid| {
+            worker_body(
+                Arc::clone(&hybrid),
+                Arc::clone(&platform),
+                Arc::clone(&objs),
+                Arc::clone(&log),
+                Arc::clone(&done),
+                Arc::clone(&finals),
+                cfg.clone(),
+                tid,
+            )
+        })
+        .collect();
+    let watchdog = run_bodies(&machine, bodies);
+    let out = outcome(&machine, &log, &finals, hybrid.stats(), collect_violations(&stm), watchdog);
+    htm.uninstall();
+    out
+}

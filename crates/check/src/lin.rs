@@ -1,0 +1,256 @@
+//! Wing–Gong-style linearizability checking.
+//!
+//! A recorded history (see [`nztm_workloads::history`]) is linearizable
+//! iff there is a permutation of its completed operations that (a)
+//! respects real-time order — an operation that returned before another
+//! was invoked must precede it — and (b) is accepted by a sequential
+//! specification with exactly the recorded return values. The checker is
+//! the classic Wing–Gong permutation search, memoized on the pair
+//! (set of linearized operations, specification state): two search paths
+//! that linearized the same subset and reached the same abstract state
+//! are interchangeable, which is what keeps the search tractable.
+//!
+//! Histories here are small (tens of operations), so the linearized set
+//! is a `u64` bitmask.
+
+use nztm_workloads::history::{HistOp, HistRet, OpRecord};
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// A sequential specification.
+pub trait SeqSpec {
+    type State: Clone + Eq + Hash;
+    fn init(&self) -> Self::State;
+    /// Apply `op` to `st`; return the successor state and the return
+    /// value the specification mandates.
+    fn apply(&self, st: &Self::State, op: &HistOp) -> (Self::State, HistRet);
+}
+
+/// A bank of `accounts` accounts, each starting at `initial`.
+/// `Transfer{from,to}` moves one unit and returns `Bool(true)` iff the
+/// source balance is positive; `ReadAll` snapshots every balance.
+pub struct BankSpec {
+    pub accounts: usize,
+    pub initial: u64,
+}
+
+impl SeqSpec for BankSpec {
+    type State = Vec<u64>;
+
+    fn init(&self) -> Vec<u64> {
+        vec![self.initial; self.accounts]
+    }
+
+    fn apply(&self, st: &Vec<u64>, op: &HistOp) -> (Vec<u64>, HistRet) {
+        match op {
+            HistOp::Transfer { from, to } => {
+                let (from, to) = (*from as usize, *to as usize);
+                let mut st = st.clone();
+                if st[from] > 0 {
+                    st[from] -= 1;
+                    st[to] += 1;
+                    (st, HistRet::Bool(true))
+                } else {
+                    (st, HistRet::Bool(false))
+                }
+            }
+            HistOp::ReadAll => (st.clone(), HistRet::Values(st.clone())),
+            other => panic!("BankSpec cannot apply {other:?}"),
+        }
+    }
+}
+
+/// An array of `objects` counters starting at zero. `Increment{obj}`
+/// adds one and returns `Unit`; `ReadAll` snapshots every counter.
+pub struct CounterSpec {
+    pub objects: usize,
+}
+
+impl SeqSpec for CounterSpec {
+    type State = Vec<u64>;
+
+    fn init(&self) -> Vec<u64> {
+        vec![0; self.objects]
+    }
+
+    fn apply(&self, st: &Vec<u64>, op: &HistOp) -> (Vec<u64>, HistRet) {
+        match op {
+            HistOp::Increment { obj } => {
+                let mut st = st.clone();
+                st[*obj as usize] += 1;
+                (st, HistRet::Unit)
+            }
+            HistOp::ReadAll => (st.clone(), HistRet::Values(st.clone())),
+            other => panic!("CounterSpec cannot apply {other:?}"),
+        }
+    }
+}
+
+/// Membership of a single set key: `Insert` returns whether the key was
+/// absent, `Delete` whether it was present, `Contains` whether it is
+/// present. Used through the per-key decomposition in
+/// [`check_set_history`].
+pub struct KeySpec {
+    pub initially_present: bool,
+}
+
+impl SeqSpec for KeySpec {
+    type State = bool;
+
+    fn init(&self) -> bool {
+        self.initially_present
+    }
+
+    fn apply(&self, st: &bool, op: &HistOp) -> (bool, HistRet) {
+        match op {
+            HistOp::Insert(_) => (true, HistRet::Bool(!*st)),
+            HistOp::Delete(_) => (false, HistRet::Bool(*st)),
+            HistOp::Contains(_) => (*st, HistRet::Bool(*st)),
+            other => panic!("KeySpec cannot apply {other:?}"),
+        }
+    }
+}
+
+/// A failed linearizability check.
+#[derive(Clone, Debug)]
+pub struct LinError(pub String);
+
+impl std::fmt::Display for LinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Wing–Gong search over the completed operations of one history.
+pub fn linearizable<S: SeqSpec>(spec: &S, ops: &[OpRecord]) -> Result<(), LinError> {
+    assert!(ops.len() <= 64, "history too large for the bitmask checker");
+    let n = ops.len();
+    if n == 0 {
+        return Ok(());
+    }
+    let full: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
+    let mut visited: HashSet<(u64, S::State)> = HashSet::new();
+    let mut stack = vec![(0u64, spec.init())];
+    while let Some((taken, st)) = stack.pop() {
+        if taken == full {
+            return Ok(());
+        }
+        if !visited.insert((taken, st.clone())) {
+            continue;
+        }
+        // An op may linearize next only if no *untaken* op returned
+        // before it was invoked. Log positions are unique, so comparing
+        // against the minimum untaken return index is exact.
+        let frontier = ops
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| taken & (1 << i) == 0)
+            .map(|(_, o)| o.return_at)
+            .min()
+            .expect("taken != full");
+        for (i, o) in ops.iter().enumerate() {
+            if taken & (1 << i) != 0 || o.invoke_at > frontier {
+                continue;
+            }
+            let (st2, ret) = spec.apply(&st, &o.op);
+            if ret == o.ret {
+                stack.push((taken | (1 << i), st2));
+            }
+        }
+    }
+    Err(LinError(format!(
+        "no linearization of {n} ops exists; history: {:?}",
+        ops.iter().map(|o| (o.tid, &o.op, &o.ret)).collect::<Vec<_>>()
+    )))
+}
+
+/// Check a set history by per-key decomposition (linearizability is
+/// compositional: a history over independent keys is linearizable iff
+/// each key's subhistory is).
+pub fn check_set_history(
+    ops: &[OpRecord],
+    initially_present: &HashSet<u64>,
+) -> Result<(), LinError> {
+    let keys: HashSet<u64> = ops.iter().filter_map(|o| o.op.set_key()).collect();
+    for key in keys {
+        let sub: Vec<OpRecord> =
+            ops.iter().filter(|o| o.op.set_key() == Some(key)).cloned().collect();
+        let spec = KeySpec { initially_present: initially_present.contains(&key) };
+        linearizable(&spec, &sub)
+            .map_err(|e| LinError(format!("key {key}: {e}")))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tid: u32, op: HistOp, ret: HistRet, invoke_at: u64, return_at: u64) -> OpRecord {
+        OpRecord { tid, op, ret, invoke_at, return_at }
+    }
+
+    #[test]
+    fn sequential_bank_history_passes() {
+        let spec = BankSpec { accounts: 2, initial: 1 };
+        let ops = vec![
+            rec(0, HistOp::Transfer { from: 0, to: 1 }, HistRet::Bool(true), 0, 1),
+            rec(1, HistOp::Transfer { from: 0, to: 1 }, HistRet::Bool(false), 2, 3),
+            rec(0, HistOp::ReadAll, HistRet::Values(vec![0, 2]), 4, 5),
+        ];
+        linearizable(&spec, &ops).unwrap();
+    }
+
+    #[test]
+    fn overlapping_ops_may_reorder() {
+        // Both transfers overlap; only one can succeed from a 1-unit
+        // account, and either order is a valid linearization.
+        let spec = BankSpec { accounts: 2, initial: 1 };
+        let ops = vec![
+            rec(0, HistOp::Transfer { from: 0, to: 1 }, HistRet::Bool(false), 0, 3),
+            rec(1, HistOp::Transfer { from: 0, to: 1 }, HistRet::Bool(true), 1, 2),
+        ];
+        linearizable(&spec, &ops).unwrap();
+    }
+
+    #[test]
+    fn lost_update_is_rejected() {
+        // Two sequential successful transfers out of a 1-unit account:
+        // the second *observed* the first's debit undone. Not linearizable.
+        let spec = BankSpec { accounts: 2, initial: 1 };
+        let ops = vec![
+            rec(0, HistOp::Transfer { from: 0, to: 1 }, HistRet::Bool(true), 0, 1),
+            rec(1, HistOp::Transfer { from: 0, to: 1 }, HistRet::Bool(true), 2, 3),
+        ];
+        assert!(linearizable(&spec, &ops).is_err());
+    }
+
+    #[test]
+    fn real_time_order_is_respected() {
+        // A read that completed *before* the only successful transfer
+        // began must not observe its effect.
+        let spec = BankSpec { accounts: 2, initial: 1 };
+        let ops = vec![
+            rec(0, HistOp::ReadAll, HistRet::Values(vec![0, 2]), 0, 1),
+            rec(1, HistOp::Transfer { from: 0, to: 1 }, HistRet::Bool(true), 2, 3),
+        ];
+        assert!(linearizable(&spec, &ops).is_err());
+    }
+
+    #[test]
+    fn set_decomposition_checks_each_key() {
+        let ops = vec![
+            rec(0, HistOp::Insert(3), HistRet::Bool(true), 0, 1),
+            rec(1, HistOp::Contains(7), HistRet::Bool(false), 2, 3),
+            rec(1, HistOp::Contains(3), HistRet::Bool(true), 4, 5),
+            rec(0, HistOp::Delete(3), HistRet::Bool(true), 6, 7),
+        ];
+        check_set_history(&ops, &HashSet::new()).unwrap();
+        // A contains that "sees" a never-inserted key fails on that key.
+        let bad = vec![rec(0, HistOp::Contains(9), HistRet::Bool(true), 0, 1)];
+        let err = check_set_history(&bad, &HashSet::new()).unwrap_err();
+        assert!(err.0.contains("key 9"));
+        // ... but passes if the key was initially present.
+        check_set_history(&bad, &HashSet::from([9])).unwrap();
+    }
+}

@@ -1,0 +1,107 @@
+//! Modelcheck ⇄ real-engine agreement (satellite 4).
+//!
+//! `crates/modelcheck` explores the §3 Promela-style abstract model and
+//! proves, among other things, that a crashed owner deadlocks the
+//! Blocking variant but not Nzstm / Nzstm+SCSS, and that the abort
+//! handshake race resolves safely. These tests reach the *equivalent
+//! terminal states on the real engine* under bounded-exhaustive
+//! schedule enumeration, so the abstract verdicts and the concrete
+//! implementation can't silently drift apart.
+
+use nztm_check::{explore_exhaustive_with, judge, Backend, CheckConfig, CheckError};
+
+/// Crashed owner, nonblocking modes: every explored schedule terminates,
+/// is linearizable, and reaches the model's terminal state — both
+/// counters incremented once per *surviving* thread (threads 1 and 2;
+/// the crashed thread's in-flight increment must be invisible). NZSTM
+/// gets there by inflating past the dead owner (§2.3.1); SCSS aborts it
+/// directly with safe concurrent status stores (§2.3.2).
+#[test]
+fn crashed_owner_is_tolerated_by_nonblocking_modes() {
+    for backend in [Backend::Nzstm, Backend::Scss] {
+        let base = CheckConfig::crash_owner(backend);
+        let scss_stores = std::cell::Cell::new(0u64);
+        let report = explore_exhaustive_with(&base, 5, 60, |cfg, out| {
+            scss_stores.set(scss_stores.get() + out.stats.scss_stores);
+            judge(cfg, out)?;
+            // 3 threads, crash_tid 0, ops_per_thread == objects == 2:
+            // survivors contribute exactly 2 increments per object.
+            if out.final_values != vec![2, 2] {
+                return Err(CheckError::Conservation(format!(
+                    "terminal state {:?}, model says [2, 2]",
+                    out.final_values
+                )));
+            }
+            Ok(())
+        });
+        assert!(report.failure.is_none(), "{}: {:?}", backend.name(), report.failure);
+        assert_eq!(report.schedules, 60, "{}", backend.name());
+        match backend {
+            Backend::Nzstm => assert!(
+                report.inflations > 0,
+                "NZSTM: some schedule must inflate past the crashed owner"
+            ),
+            _ => assert!(
+                scss_stores.get() > 0,
+                "SCSS: safe stores must have aborted the crashed owner"
+            ),
+        }
+    }
+}
+
+/// Crashed owner, Blocking variant: the model deadlocks, and so must the
+/// real engine — every explored schedule ends on the simulator watchdog
+/// with the survivors stuck behind the dead owner.
+#[test]
+fn crashed_owner_deadlocks_blocking_mode() {
+    let mut base = CheckConfig::crash_owner(Backend::Bzstm);
+    // Every run burns the full cycle budget spinning; keep it small so
+    // a handful of schedules stays cheap. A live run of this workload
+    // finishes well under 100k cycles, so 400k only traps deadlocks.
+    base.max_cycles = 400_000;
+    let report = explore_exhaustive_with(&base, 2, 6, |_cfg, out| {
+        if out.watchdog {
+            Ok(())
+        } else {
+            Err(CheckError::Conservation(format!(
+                "BZSTM survived a crashed owner (finals {:?}) — the §3 model \
+                 says the Blocking variant deadlocks",
+                out.final_values
+            )))
+        }
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.schedules > 0, "explored at least one schedule");
+}
+
+/// Abort-handshake race: both threads run transfers spanning the same
+/// two accounts with hair-trigger patience, so abort requests fly in
+/// both directions. The model says the handshake always resolves; the
+/// real engine must terminate on every explored schedule with a
+/// linearizable history and the money conserved, on every mode.
+#[test]
+fn abort_handshake_race_reaches_model_terminal_state() {
+    for backend in [Backend::Bzstm, Backend::Nzstm, Backend::Scss] {
+        let mut base = CheckConfig::transfer(backend);
+        base.threads = 2;
+        base.ops_per_thread = 3;
+        base.patience = 2; // hair-trigger handshake
+        let requests = std::cell::Cell::new(0u64);
+        let report = explore_exhaustive_with(&base, 8, 400, |cfg, out| {
+            requests.set(requests.get() + out.stats.abort_requests_sent);
+            judge(cfg, out)
+        });
+        assert!(report.failure.is_none(), "{}: {:?}", backend.name(), report.failure);
+        assert_eq!(report.distinct, report.schedules, "{}", backend.name());
+        assert!(
+            requests.get() > 0,
+            "{}: the race must actually exercise the abort handshake",
+            backend.name()
+        );
+        assert!(
+            report.aborts > 0,
+            "{}: some schedule must resolve the race by aborting",
+            backend.name()
+        );
+    }
+}

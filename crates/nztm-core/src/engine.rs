@@ -408,6 +408,11 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         self.san.log_step(tid as u32, point);
         let max_pause = self.san.max_pause();
         if max_pause == 0 {
+            // Armed with a zero pause budget: a pure yield-point
+            // annotation. Every protocol edge becomes a scheduling
+            // decision for an installed `SchedPolicy` (nztm-check's
+            // exploration modes) without charging simulated time.
+            self.platform.yield_now();
             return;
         }
         let rng = match &mut ctx.san_rng {
@@ -461,6 +466,47 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             }
             // Randomized exponential backoff between attempts breaks the
             // symmetric-retry livelock obstruction-freedom permits.
+            let steps = ctx.backoff.steps(ctx.rng.next_u64());
+            for _ in 0..steps {
+                self.platform.spin_wait();
+            }
+        }
+    }
+
+    /// Testing support: execute `f` as transaction attempts exactly like
+    /// [`NzStm::run`], except that an attempt returning `Ok(None)`
+    /// **crashes** — it is abandoned in place, with the descriptor left
+    /// `Active` forever and any acquired ownerships still installed, and
+    /// no further attempts are made (returns `None`). This is the
+    /// real-engine analogue of the §3 model's crashed-owner action: the
+    /// nonblocking modes must commit past the corpse by inflating
+    /// (§2.3.1), while BZSTM, by design, waits forever.
+    ///
+    /// The crashed attempt never reaches its commit CAS, so its eager
+    /// writes must be invisible to every later transaction (the backup
+    /// restore / locator old-data path guarantees this); `nztm-check`
+    /// asserts exactly that.
+    pub fn run_until_crash<R>(
+        &self,
+        mut f: impl FnMut(&mut NzTx<P, M>) -> Result<Option<R>, Abort>,
+    ) -> Option<R> {
+        let tid = self.platform.core_id();
+        // Safety: `tid` is the calling thread's own core id.
+        let ctx = unsafe { self.threads.get(tid) };
+        loop {
+            self.begin(ctx, tid);
+            let mut tx =
+                NzTx { sys: self as *const NzStm<P, M>, ctx: ctx as *mut ThreadCtx, tid };
+            match f(&mut tx) {
+                Ok(Some(r)) => {
+                    if self.commit(ctx, tid) {
+                        ctx.backoff.reset();
+                        return Some(r);
+                    }
+                }
+                Ok(None) => return None,
+                Err(Abort(cause)) => self.abort_txn(ctx, tid, cause),
+            }
             let steps = ctx.backoff.steps(ctx.rng.next_u64());
             for _ in 0..steps {
                 self.platform.spin_wait();
@@ -1429,6 +1475,12 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         let me = Arc::clone(Self::me(ctx));
         match &ctx.write_set.get(idx).expect("indexed write entry").target {
             WriteTarget::InPlace { .. } => {
+                // Yield-point annotation modeling preemption between the
+                // last validation and the in-place store — the window the
+                // §2.2 acknowledgement handshake exists to protect
+                // (deliberately *not* re-validated after; `sanitize`
+                // builds only, no-op otherwise).
+                self.san_point(ctx, tid, crate::sanitizer::Point::EagerWrite);
                 #[cfg(feature = "sanitize")]
                 self.san
                     .eager_write(obj.header().addr(), obj.header().backup_raw());

@@ -78,6 +78,8 @@ pub enum Point {
     BackupInstall,
     /// About to restore an aborted owner's backup into the data.
     Restore,
+    /// About to store eagerly into in-place data (post-validation).
+    EagerWrite,
 }
 
 impl Point {
@@ -92,6 +94,7 @@ impl Point {
             Point::DeflateCas => "deflate-cas",
             Point::BackupInstall => "backup-install",
             Point::Restore => "restore",
+            Point::EagerWrite => "eager-write",
         }
     }
 }

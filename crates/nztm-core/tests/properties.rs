@@ -183,3 +183,68 @@ mod sequences {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Backoff (§2.2: randomized exponential backoff between abort retries)
+// ---------------------------------------------------------------------------
+
+use nztm_core::util::Backoff;
+
+/// The wait window doubles per attempt but never exceeds 2^12 = 4096
+/// steps, for arbitrary entropy streams.
+#[test]
+fn backoff_window_doubles_and_caps() {
+    let mut rng = DetRng::new(0xBAC0_0001);
+    for case in 0..64 {
+        let mut bo = Backoff::new();
+        for attempt in 0..40u32 {
+            let window = 1u64 << attempt.min(Backoff::CAP_EXP);
+            let s = bo.steps(rng.next_u64());
+            assert!(s < window, "case {case}, attempt {attempt}: {s} >= {window}");
+            assert!(s < 4096, "case {case}: window escaped the cap");
+        }
+    }
+}
+
+/// Attempts count monotonically (saturating) and `reset` restarts the
+/// schedule: the first post-reset window is 2^0, i.e. zero steps.
+#[test]
+fn backoff_attempt_counting_and_reset() {
+    let mut rng = DetRng::new(0xBAC0_0002);
+    let mut bo = Backoff::new();
+    for i in 0..100 {
+        assert_eq!(bo.attempt(), i);
+        bo.steps(rng.next_u64());
+    }
+    bo.reset();
+    assert_eq!(bo.attempt(), 0);
+    assert_eq!(bo.steps(rng.next_u64()), 0, "first window is a single step");
+    assert_eq!(bo.attempt(), 1);
+}
+
+/// Given the same entropy sequence, two instances produce identical
+/// step sequences (replayability); the re-seeding actually consumes the
+/// entropy, so a different sequence diverges once windows are wide.
+#[test]
+fn backoff_is_deterministic_in_its_entropy() {
+    let mut meta = DetRng::new(0xBAC0_0003);
+    for case in 0..32 {
+        let seed = meta.next_u64();
+        let mut ra = DetRng::new(seed);
+        let mut rb = DetRng::new(seed);
+        let mut a = Backoff::new();
+        let mut b = Backoff::new();
+        for step in 0..64 {
+            assert_eq!(a.steps(ra.next_u64()), b.steps(rb.next_u64()), "case {case}, step {step}");
+        }
+
+        let mut c = Backoff::new();
+        let mut d = Backoff::new();
+        let mut rc = DetRng::new(seed);
+        let mut rd = DetRng::new(seed ^ 0xDEAD_BEEF);
+        let diverged = (0..64).filter(|_| c.steps(rc.next_u64()) != d.steps(rd.next_u64())).count();
+        // The first attempts share tiny windows; wide-window attempts
+        // must split on different entropy well over half the time.
+        assert!(diverged > 32, "case {case}: only {diverged}/64 draws diverged");
+    }
+}

@@ -50,4 +50,4 @@ pub use cache::{AccessKind, CacheConfig, CacheSystem, LineAddr, MissLevel};
 pub use costs::CostModel;
 pub use platform::{synth_alloc, Native, Platform, SimPlatform};
 pub use rng::DetRng;
-pub use sched::{Machine, MachineConfig, RunReport, SnoopFn};
+pub use sched::{Decision, Machine, MachineConfig, RunReport, SchedPolicy, SnoopFn};

@@ -16,6 +16,7 @@
 
 use crate::cache::{AccessKind, CacheConfig, CacheStats, CacheSystem};
 use crate::costs::CostModel;
+use crate::rng::DetRng;
 use crate::sync::{Condvar, Mutex};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,10 +61,55 @@ enum CoreState {
     Done,
 }
 
+/// How the run token is handed off at scheduling decision points
+/// ([`Machine::yield_now`] and core completion).
+#[derive(Clone, Debug)]
+pub enum SchedPolicy {
+    /// Deterministic min-clock rule (the default; see module docs).
+    MinClock,
+    /// Seeded PCT-style random walk: every core carries a random
+    /// priority and the highest-priority runnable core runs. At each
+    /// decision the yielding core's priority is re-drawn with
+    /// probability `1/change_denom`, so one seed explores both long
+    /// uninterrupted strides and tight alternations. An anti-starvation
+    /// guard reshuffles all priorities if one core monopolises the
+    /// token, so spin-wait loops cannot trip the watchdog.
+    Random { seed: u64, change_denom: u64 },
+    /// Force the first `choices.len()` decisions to the given core ids
+    /// (a forced choice is ignored when that core is not runnable),
+    /// then continue with the min-clock rule. Used by bounded-exhaustive
+    /// schedule exploration and failure replay (`nztm-check`).
+    Replay { choices: Arc<Vec<u32>> },
+}
+
+/// One scheduling decision, recorded when [`Machine::enable_decisions`]
+/// is armed: the core that received the token and the set of cores that
+/// were runnable at that instant (bitmask over core ids; recording
+/// requires `n_cores <= 32`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decision {
+    pub chosen: u32,
+    pub runnable: u32,
+}
+
+/// Consecutive decisions for the same core under `Random` before the
+/// anti-starvation reshuffle kicks in.
+const STREAK_MAX: u32 = 256;
+
 struct SchedState {
     clocks: Vec<u64>,
     state: Vec<CoreState>,
     current: usize,
+    policy: SchedPolicy,
+    /// Random-policy state (rebuilt at the start of every run).
+    rng: DetRng,
+    priorities: Vec<u64>,
+    streak_core: usize,
+    streak_len: u32,
+    /// Decisions consumed so far (indexes `Replay` choices).
+    cursor: usize,
+    /// Decision trace; `None` until [`Machine::enable_decisions`].
+    decisions: Option<Vec<Decision>>,
 }
 
 impl SchedState {
@@ -75,6 +121,100 @@ impl SchedState {
             .filter(|(_, s)| **s == CoreState::Runnable)
             .min_by_key(|(i, _)| (self.clocks[*i], *i))
             .map(|(i, _)| i)
+    }
+
+    fn runnable_mask(&self) -> u32 {
+        let mut m = 0u32;
+        for (i, s) in self.state.iter().enumerate().take(32) {
+            if *s == CoreState::Runnable {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+
+    /// Re-derive all per-run policy state so a Machine can host
+    /// sequential runs with reproducible schedules.
+    fn reset_policy(&mut self) {
+        let n = self.state.len();
+        let seed = match &self.policy {
+            SchedPolicy::Random { seed, .. } => *seed,
+            _ => 0,
+        };
+        self.rng = DetRng::new(seed ^ 0x5EED_0DD5_0C4E_D001);
+        self.priorities = (0..n).map(|_| self.rng.next_u64()).collect();
+        self.streak_core = usize::MAX;
+        self.streak_len = 0;
+        self.cursor = 0;
+        if let Some(d) = self.decisions.as_mut() {
+            d.clear();
+        }
+    }
+
+    /// Pick the next token holder under the installed policy. `leaving`
+    /// is the core handing off (`None` when it just finished). Records
+    /// the decision when tracing is armed and advances the cursor.
+    fn pick_next(&mut self, leaving: Option<usize>) -> Option<usize> {
+        let chosen = match self.policy.clone() {
+            SchedPolicy::MinClock => self.next_core(),
+            SchedPolicy::Random { change_denom, .. } => {
+                let denom = change_denom.max(1);
+                if let Some(l) = leaving {
+                    if self.rng.chance(1, denom) {
+                        self.priorities[l] = self.rng.next_u64();
+                    }
+                }
+                let pick = self
+                    .state
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| **s == CoreState::Runnable)
+                    .max_by_key(|(i, _)| (self.priorities[*i], *i))
+                    .map(|(i, _)| i);
+                match pick {
+                    Some(c) if c == self.streak_core => {
+                        self.streak_len += 1;
+                        if self.streak_len >= STREAK_MAX {
+                            // Anti-starvation: reshuffle every priority and
+                            // fall back to the fair min-clock rule for this
+                            // one decision (a spinner's clock only grows, so
+                            // min-clock favours its starved peers).
+                            for p in self.priorities.iter_mut() {
+                                *p = self.rng.next_u64();
+                            }
+                            self.streak_len = 0;
+                            self.streak_core = usize::MAX;
+                            self.next_core()
+                        } else {
+                            pick
+                        }
+                    }
+                    Some(c) => {
+                        self.streak_core = c;
+                        self.streak_len = 1;
+                        pick
+                    }
+                    None => None,
+                }
+            }
+            SchedPolicy::Replay { choices } => match choices.get(self.cursor).copied() {
+                Some(c)
+                    if (c as usize) < self.state.len()
+                        && self.state[c as usize] == CoreState::Runnable =>
+                {
+                    Some(c as usize)
+                }
+                _ => self.next_core(),
+            },
+        };
+        if let Some(c) = chosen {
+            let runnable = self.runnable_mask();
+            if let Some(ds) = self.decisions.as_mut() {
+                ds.push(Decision { chosen: c as u32, runnable });
+            }
+            self.cursor += 1;
+        }
+        chosen
     }
 }
 
@@ -138,6 +278,13 @@ impl Machine {
                 clocks: vec![0; cfg.n_cores],
                 state: vec![CoreState::Runnable; cfg.n_cores],
                 current: 0,
+                policy: SchedPolicy::MinClock,
+                rng: DetRng::new(0),
+                priorities: vec![0; cfg.n_cores],
+                streak_core: usize::MAX,
+                streak_len: 0,
+                cursor: 0,
+                decisions: None,
             }),
             cv: Condvar::new(),
             cache: Mutex::new(cache),
@@ -167,6 +314,36 @@ impl Machine {
         if let Some(t) = self.trace.lock().as_mut() {
             t.push((clock, to as u32));
         }
+    }
+
+    /// Install a scheduling policy for subsequent runs (policy state is
+    /// re-derived at the start of every [`Machine::run`], so the same
+    /// machine + policy replays the same schedule).
+    pub fn set_policy(&self, policy: SchedPolicy) {
+        if !matches!(policy, SchedPolicy::MinClock) {
+            assert!(self.cfg.n_cores <= 32, "schedule policies support at most 32 cores");
+        }
+        let mut s = self.sched.lock();
+        s.policy = policy;
+        s.reset_policy();
+    }
+
+    /// The currently installed scheduling policy.
+    pub fn policy(&self) -> SchedPolicy {
+        self.sched.lock().policy.clone()
+    }
+
+    /// Start recording one [`Decision`] per scheduling decision (cleared
+    /// and re-armed at the start of each run).
+    pub fn enable_decisions(&self) {
+        assert!(self.cfg.n_cores <= 32, "decision recording supports at most 32 cores");
+        self.sched.lock().decisions = Some(Vec::new());
+    }
+
+    /// The decision trace of the last (or in-progress) run; `None`
+    /// unless [`Machine::enable_decisions`] was called.
+    pub fn decisions(&self) -> Option<Vec<Decision>> {
+        self.sched.lock().decisions.clone()
     }
 
     /// Install (or clear) the coherence snoop. See the field docs.
@@ -212,6 +389,7 @@ impl Machine {
             s.clocks.iter_mut().for_each(|c| *c = 0);
             s.state.iter_mut().for_each(|st| *st = CoreState::Runnable);
             s.current = 0;
+            s.reset_policy();
         }
         if let Some(t) = self.trace.lock().as_mut() {
             t.clear();
@@ -271,7 +449,7 @@ impl Machine {
         let mut s = self.sched.lock();
         s.clocks[id] += pending;
         s.state[id] = CoreState::Done;
-        if let Some(next) = s.next_core() {
+        if let Some(next) = s.pick_next(None) {
             self.record_switch(s.clocks[id], next);
             s.current = next;
             self.cv.notify_all();
@@ -303,7 +481,7 @@ impl Machine {
                 self.cfg.max_cycles
             );
         }
-        let next = s.next_core().expect("current core is runnable");
+        let next = s.pick_next(Some(id)).expect("current core is runnable");
         if next != id {
             self.yields.fetch_add(1, Ordering::Relaxed);
             self.record_switch(s.clocks[id], next);
@@ -560,6 +738,125 @@ mod tests {
         let mc = Arc::clone(&m);
         m.run(vec![Box::new(move || mc.work(1))]);
         assert_eq!(m.schedule_trace().expect("still armed"), first);
+    }
+
+    type LoggedBodies = (Vec<Box<dyn FnOnce() + Send>>, Arc<Mutex<Vec<usize>>>);
+
+    fn logged_bodies(m: &Arc<Machine>, n: usize) -> LoggedBodies {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..n)
+            .map(|i| {
+                let m = Arc::clone(m);
+                let log = Arc::clone(&log);
+                Box::new(move || {
+                    for step in 0..4u64 {
+                        m.work((i as u64 + 1) * 7 + step);
+                        m.yield_now();
+                        log.lock().push(i);
+                    }
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        (bodies, log)
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_and_seed_sensitive() {
+        let order = |seed: u64| {
+            let m = tiny_machine(3);
+            m.set_policy(SchedPolicy::Random { seed, change_denom: 4 });
+            let (bodies, log) = logged_bodies(&m, 3);
+            m.run(bodies);
+            let v = log.lock().clone();
+            v
+        };
+        assert_eq!(order(7), order(7), "same seed, same schedule");
+        let distinct = (0..16).map(order).collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 1, "different seeds must explore different schedules");
+    }
+
+    #[test]
+    fn random_policy_does_not_starve_spinners_out() {
+        // Same shape as spin_waiter_lets_peer_progress, under Random:
+        // the anti-starvation reshuffle must eventually run core 1.
+        for seed in 0..8 {
+            let m = tiny_machine(2);
+            m.set_policy(SchedPolicy::Random { seed, change_denom: 64 });
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (m0, m1) = (Arc::clone(&m), Arc::clone(&m));
+            let (f0, f1) = (Arc::clone(&flag), Arc::clone(&flag));
+            m.run(vec![
+                Box::new(move || {
+                    while f0.load(O::SeqCst) == 0 {
+                        m0.work(5);
+                        m0.yield_now();
+                    }
+                }),
+                Box::new(move || {
+                    m1.work(500);
+                    m1.yield_now();
+                    f1.store(1, O::SeqCst);
+                }),
+            ]);
+        }
+    }
+
+    #[test]
+    fn decisions_record_chosen_and_runnable() {
+        let m = tiny_machine(2);
+        m.enable_decisions();
+        let (bodies, _log) = logged_bodies(&m, 2);
+        m.run(bodies);
+        let ds = m.decisions().expect("armed");
+        assert!(!ds.is_empty());
+        for d in &ds {
+            assert!(d.runnable & (1 << d.chosen) != 0, "chosen core was runnable: {d:?}");
+        }
+        // Early decisions see both cores runnable.
+        assert_eq!(ds[0].runnable, 0b11);
+    }
+
+    #[test]
+    fn replay_of_recorded_decisions_reproduces_the_run() {
+        // Record a random-walk run, then force its full decision list
+        // under Replay: the interleaving must be identical.
+        let m = tiny_machine(3);
+        m.enable_decisions();
+        m.set_policy(SchedPolicy::Random { seed: 42, change_denom: 3 });
+        let (bodies, log) = logged_bodies(&m, 3);
+        m.run(bodies);
+        let recorded = m.decisions().expect("armed");
+        let first = log.lock().clone();
+
+        let m2 = tiny_machine(3);
+        m2.enable_decisions();
+        let choices: Vec<u32> = recorded.iter().map(|d| d.chosen).collect();
+        m2.set_policy(SchedPolicy::Replay { choices: Arc::new(choices) });
+        let (bodies, log2) = logged_bodies(&m2, 3);
+        m2.run(bodies);
+        assert_eq!(*log2.lock(), first, "forced replay reproduces the interleaving");
+        assert_eq!(m2.decisions().expect("armed"), recorded);
+    }
+
+    #[test]
+    fn replay_prefix_falls_back_to_min_clock() {
+        // An empty prefix is exactly the min-clock schedule.
+        let run = |policy: Option<SchedPolicy>| {
+            let m = tiny_machine(3);
+            if let Some(p) = policy {
+                m.set_policy(p);
+            }
+            let (bodies, log) = logged_bodies(&m, 3);
+            m.run(bodies);
+            let v = log.lock().clone();
+            v
+        };
+        let baseline = run(None);
+        let empty = run(Some(SchedPolicy::Replay { choices: Arc::new(Vec::new()) }));
+        assert_eq!(empty, baseline);
+        // A non-runnable forced choice is ignored, not an error.
+        let bogus = run(Some(SchedPolicy::Replay { choices: Arc::new(vec![31; 4]) }));
+        assert_eq!(bogus, baseline);
     }
 
     #[test]

@@ -125,3 +125,57 @@ fn rng_split_streams_distinct() {
         assert_ne!(a.next_u64(), b.next_u64(), "seed {seed}, streams {i}/{j}");
     }
 }
+
+/// `split` is a pure function of the parent's state: the same stream id
+/// yields an identical child stream no matter how many times it is
+/// derived, and deriving (or draining) one child leaves siblings
+/// untouched.
+#[test]
+fn rng_split_is_pure() {
+    let mut meta = DetRng::new(0xCAC4E05);
+    for case in 0..64 {
+        let seed = meta.next_u64();
+        let i = meta.next_below(1_000);
+        let root = DetRng::new(seed);
+        let mut a = root.split(i);
+        let mut sibling = root.split(i + 1);
+        for _ in 0..32 {
+            sibling.next_u64(); // draining a sibling must not matter
+        }
+        let mut b = root.split(i);
+        for draw in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64(), "case {case}, draw {draw}");
+        }
+    }
+}
+
+/// Sibling streams are statistically independent: XORing their outputs
+/// leaves roughly balanced bits (a correlated pair would zero out or
+/// saturate the difference), and bounded draws agree no more often than
+/// chance.
+#[test]
+fn rng_split_streams_uncorrelated() {
+    let mut meta = DetRng::new(0xCAC4E06);
+    for case in 0..16 {
+        let seed = meta.next_u64();
+        let root = DetRng::new(seed);
+        let mut a = root.split(1);
+        let mut b = root.split(2);
+
+        const DRAWS: usize = 256;
+        let mut diff_bits = 0u32;
+        for _ in 0..DRAWS {
+            diff_bits += (a.next_u64() ^ b.next_u64()).count_ones();
+        }
+        let total = (DRAWS * 64) as f64;
+        let frac = f64::from(diff_bits) / total;
+        // Binomial(16384, 1/2): 0.45..0.55 is > 12 sigma of slack.
+        assert!((0.45..=0.55).contains(&frac), "case {case}: xor bit fraction {frac}");
+
+        let mut a = root.split(1);
+        let mut b = root.split(2);
+        let matches = (0..1_000).filter(|_| a.next_below(16) == b.next_below(16)).count();
+        // Expected 62.5 matches; 200 would mean heavy correlation.
+        assert!(matches < 200, "case {case}: {matches}/1000 bounded draws agree");
+    }
+}

@@ -1,0 +1,182 @@
+//! History-recording adapters for linearizability checking (`nztm-check`).
+//!
+//! A [`HistoryLog`] is a shared append-only event log. Workload adapters
+//! append an [`HistEvent::Invoke`] immediately before starting an
+//! operation's transaction and an [`HistEvent::Return`] immediately after
+//! it commits. On the cooperative simulator every append happens while
+//! the appending core holds the run token, so the log order is a
+//! deterministic total order consistent with real time: if op A's
+//! `Return` precedes op B's `Invoke` in the log, A really finished before
+//! B began, and a linearizability checker must respect that precedence.
+
+use crate::set::{SetOp, TmSet};
+use nztm_core::TmSys;
+use nztm_sim::sync::Mutex;
+
+/// An operation as it appears in a recorded history.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HistOp {
+    Insert(u64),
+    Delete(u64),
+    Contains(u64),
+    /// Move one unit from account `from` to `to` if `from` has funds.
+    Transfer { from: u32, to: u32 },
+    /// Atomic snapshot of all account balances / object values.
+    ReadAll,
+    /// Add one to object `obj`.
+    Increment { obj: u32 },
+}
+
+impl HistOp {
+    /// The set key this operation touches, when it is a set operation.
+    pub fn set_key(&self) -> Option<u64> {
+        match self {
+            HistOp::Insert(k) | HistOp::Delete(k) | HistOp::Contains(k) => Some(*k),
+            _ => None,
+        }
+    }
+}
+
+/// The value an operation returned.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HistRet {
+    Bool(bool),
+    Unit,
+    Values(Vec<u64>),
+}
+
+/// One event in the shared log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HistEvent {
+    Invoke { tid: u32, op: HistOp },
+    Return { tid: u32, ret: HistRet },
+}
+
+/// A shared, append-only operation history.
+#[derive(Default)]
+pub struct HistoryLog {
+    events: Mutex<Vec<HistEvent>>,
+}
+
+impl HistoryLog {
+    pub fn new() -> Self {
+        HistoryLog::default()
+    }
+
+    /// Record the start of `op` on thread `tid`.
+    pub fn invoke(&self, tid: u32, op: HistOp) {
+        self.events.lock().push(HistEvent::Invoke { tid, op });
+    }
+
+    /// Record the completion of `tid`'s pending operation.
+    pub fn ret(&self, tid: u32, ret: HistRet) {
+        self.events.lock().push(HistEvent::Return { tid, ret });
+    }
+
+    /// Snapshot of the event log, in append order.
+    pub fn events(&self) -> Vec<HistEvent> {
+        self.events.lock().clone()
+    }
+
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+/// A completed operation paired with its log positions.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    pub tid: u32,
+    pub op: HistOp,
+    pub ret: HistRet,
+    /// Index of the invocation event in the log.
+    pub invoke_at: u64,
+    /// Index of the response event in the log.
+    pub return_at: u64,
+}
+
+/// Pair invocations with responses (threads have at most one operation
+/// in flight). Returns the completed records plus the number of
+/// unmatched invocations — nonzero only when a thread crashed
+/// mid-operation, in which case the crashed attempt never committed and
+/// the history must linearize *without* it.
+pub fn complete_ops(events: &[HistEvent]) -> (Vec<OpRecord>, usize) {
+    let mut pending: std::collections::HashMap<u32, (HistOp, u64)> = Default::default();
+    let mut ops = Vec::new();
+    for (idx, ev) in events.iter().enumerate() {
+        match ev {
+            HistEvent::Invoke { tid, op } => {
+                let prev = pending.insert(*tid, (op.clone(), idx as u64));
+                assert!(prev.is_none(), "thread {tid} has two operations in flight");
+            }
+            HistEvent::Return { tid, ret } => {
+                let (op, invoke_at) = pending
+                    .remove(tid)
+                    .unwrap_or_else(|| panic!("thread {tid} returned without an invocation"));
+                ops.push(OpRecord {
+                    tid: *tid,
+                    op,
+                    ret: ret.clone(),
+                    invoke_at,
+                    return_at: idx as u64,
+                });
+            }
+        }
+    }
+    (ops, pending.len())
+}
+
+/// Run one set operation as its own transaction, recording invocation
+/// and response around it.
+pub fn recorded_set_op<S: TmSys>(
+    set: &impl TmSet<S>,
+    sys: &S,
+    log: &HistoryLog,
+    tid: u32,
+    op: SetOp,
+) -> bool {
+    let (hist_op, run): (HistOp, &dyn Fn() -> bool) = match op {
+        SetOp::Insert(k) => (HistOp::Insert(k), &move || set.insert(sys, k)),
+        SetOp::Delete(k) => (HistOp::Delete(k), &move || set.delete(sys, k)),
+        SetOp::Lookup(k) => (HistOp::Contains(k), &move || set.contains(sys, k)),
+    };
+    log.invoke(tid, hist_op);
+    let r = run();
+    log.ret(tid, HistRet::Bool(r));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_ops_pairs_in_log_order() {
+        let log = HistoryLog::new();
+        log.invoke(0, HistOp::Insert(3));
+        log.invoke(1, HistOp::Contains(3));
+        log.ret(1, HistRet::Bool(false));
+        log.ret(0, HistRet::Bool(true));
+        let (ops, pending) = complete_ops(&log.events());
+        assert_eq!(pending, 0);
+        assert_eq!(ops.len(), 2);
+        // Thread 1's op returned first.
+        assert_eq!(ops[0].tid, 1);
+        assert_eq!(ops[0].invoke_at, 1);
+        assert_eq!(ops[0].return_at, 2);
+        assert_eq!(ops[1].tid, 0);
+        assert_eq!(ops[1].invoke_at, 0);
+        assert_eq!(ops[1].return_at, 3);
+    }
+
+    #[test]
+    fn crashed_invocation_is_counted_not_paired() {
+        let log = HistoryLog::new();
+        log.invoke(0, HistOp::Transfer { from: 0, to: 1 });
+        log.invoke(1, HistOp::ReadAll);
+        log.ret(1, HistRet::Values(vec![1, 1]));
+        let (ops, pending) = complete_ops(&log.events());
+        assert_eq!(ops.len(), 1);
+        assert_eq!(pending, 1);
+    }
+}

@@ -22,6 +22,7 @@
 pub mod driver;
 pub mod harness;
 pub mod hashtable;
+pub mod history;
 pub mod linkedlist;
 pub mod redblack;
 pub mod set;

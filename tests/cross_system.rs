@@ -14,6 +14,7 @@ use nztm_dstm::{Dstm, GlobalLockTm, ShadowStm};
 use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, LogTmSe, NztmHybrid};
 use nztm_sim::{DetRng, Machine, MachineConfig, Native, SimPlatform};
 use nztm_workloads::hashtable::HashTableSet;
+use nztm_workloads::history::{complete_ops, recorded_set_op, HistOp, HistRet, HistoryLog};
 use nztm_workloads::linkedlist::LinkedListSet;
 use nztm_workloads::redblack::RedBlackSet;
 use nztm_workloads::set::{check_against_reference, Contention, SetOp, TmSet};
@@ -171,4 +172,91 @@ fn concurrent_disjoint_streams_agree_across_backends() {
     assert_eq!(a, b, "NZSTM vs BZSTM");
     assert_eq!(a, c, "NZSTM vs SCSS");
     assert_eq!(a, d, "NZSTM vs DSTM2-SF");
+}
+
+/// Differential cross-backend check on the deterministic simulator:
+/// identical seeded disjoint-stripe streams must yield both the same
+/// final set contents *and* the same committed-operation multiset
+/// (op, return value, per thread) on BZSTM, NZSTM, NZSTM+SCSS and the
+/// hybrid. Disjoint key stripes make each thread's committed results a
+/// pure function of its own stream, so the multiset is
+/// schedule-independent and any divergence is a backend bug.
+#[test]
+fn committed_op_multisets_agree_across_backends() {
+    type OpSummary = (u32, HistOp, HistRet);
+
+    fn stream_bodies<S: TmSys>(
+        sys: &Arc<S>,
+        set: &Arc<HashTableSet<S>>,
+        log: &Arc<HistoryLog>,
+        threads: usize,
+    ) -> Vec<Box<dyn FnOnce() + Send>> {
+        (0..threads)
+            .map(|tid| {
+                let sys = Arc::clone(sys);
+                let set = Arc::clone(set);
+                let log = Arc::clone(log);
+                Box::new(move || {
+                    let mut rng = DetRng::new(7).split(tid as u64);
+                    for _ in 0..120 {
+                        let op = SetOp::draw(&mut rng, Contention::High);
+                        let stripe = |k: u64| (tid as u64) * 64 + (k % 64);
+                        let op = match op {
+                            SetOp::Insert(k) => SetOp::Insert(stripe(k)),
+                            SetOp::Delete(k) => SetOp::Delete(stripe(k)),
+                            SetOp::Lookup(k) => SetOp::Lookup(stripe(k)),
+                        };
+                        recorded_set_op(&*set, &*sys, &log, tid as u32, op);
+                    }
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect()
+    }
+
+    fn summarize(log: &HistoryLog) -> Vec<OpSummary> {
+        let (ops, pending) = complete_ops(&log.events());
+        assert_eq!(pending, 0, "no thread crashed");
+        let mut v: Vec<OpSummary> =
+            ops.into_iter().map(|o| (o.tid, o.op, o.ret)).collect();
+        v.sort(); // multiset comparison: order by (tid, op, ret)
+        v
+    }
+
+    fn run_stm<S: TmSys>(sys: Arc<S>, machine: Arc<Machine>) -> (Vec<u64>, Vec<OpSummary>) {
+        let set = Arc::new(HashTableSet::new(&*sys, 4 * 64));
+        let log = Arc::new(HistoryLog::new());
+        machine.run(stream_bodies(&sys, &set, &log, 3));
+        (set.elements(&*sys), summarize(&log))
+    }
+
+    let sim = || {
+        let machine = Machine::new(MachineConfig::paper(3));
+        let platform = SimPlatform::new(Arc::clone(&machine));
+        (machine, platform)
+    };
+
+    let (machine, platform) = sim();
+    let bz = run_stm(Bzstm::with_defaults(Arc::clone(&platform)), machine);
+    let (machine, platform) = sim();
+    let nz = run_stm(Nzstm::with_defaults(Arc::clone(&platform)), machine);
+    let (machine, platform) = sim();
+    let sc = run_stm(NzstmScss::with_defaults(Arc::clone(&platform)), machine);
+
+    let (machine, platform) = sim();
+    let stm = Nzstm::new(Arc::clone(&platform), Arc::new(KarmaDeadlock::default()), NzConfig::default());
+    let htm = BestEffortHtm::new(Arc::clone(&platform), AtmtpConfig::default());
+    htm.install();
+    let hybrid = NztmHybrid::new(stm, htm, HybridConfig::default());
+    let set = Arc::new(HashTableSet::new(&*hybrid, 4 * 64));
+    let log = Arc::new(HistoryLog::new());
+    machine.run(stream_bodies(&hybrid, &set, &log, 3));
+    let hy = (set.elements(&*hybrid), summarize(&log));
+    hybrid.htm().uninstall();
+
+    assert_eq!(bz.0, nz.0, "final contents: BZSTM vs NZSTM");
+    assert_eq!(bz.0, sc.0, "final contents: BZSTM vs SCSS");
+    assert_eq!(bz.0, hy.0, "final contents: BZSTM vs hybrid");
+    assert_eq!(bz.1, nz.1, "committed ops: BZSTM vs NZSTM");
+    assert_eq!(bz.1, sc.1, "committed ops: BZSTM vs SCSS");
+    assert_eq!(bz.1, hy.1, "committed ops: BZSTM vs hybrid");
 }
