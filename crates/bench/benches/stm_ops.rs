@@ -17,16 +17,16 @@ fn bench_system<S: TmSys>(name: &str, sys: Arc<S>) {
     let objs: Vec<_> = (0..8).map(|i| sys.alloc(i as u64)).collect();
 
     bench("txn", &format!("rmw1/{name}"), || {
-        sys.execute(&mut |tx| {
+        sys.execute(|tx| {
             let v = S::read(tx, &obj)?;
             S::write(tx, &obj, &(v + 1))
         });
     });
     bench("txn", &format!("read1/{name}"), || {
-        let _ = sys.execute(&mut |tx| S::read(tx, &obj));
+        let _ = sys.execute(|tx| S::read(tx, &obj));
     });
     bench("txn", &format!("rmw8/{name}"), || {
-        sys.execute(&mut |tx| {
+        sys.execute(|tx| {
             for o in &objs {
                 let v = S::read(tx, o)?;
                 S::write(tx, o, &(v + 1))?;

@@ -1,8 +1,8 @@
 //! `bench_pr2` — hot-path throughput matrix and regression gate.
 //!
 //! ```text
-//! bench_pr2 run   [--quick] [--out PATH]
-//! bench_pr2 check --baseline PATH --current PATH [--tolerance 0.15]
+//! bench_pr2 run   [--quick] [--repeat N] [--out PATH]
+//! bench_pr2 check --baseline PATH --current PATH [--tolerance 0.15] [--raw]
 //! ```
 //!
 //! `run` measures the three hot-path workloads (read-heavy,
@@ -12,13 +12,15 @@
 //! calibration-normalized throughput and exits nonzero if any
 //! workload's geometric mean regressed beyond the tolerance.
 
-use nztm_bench::hotpath::{check_reports, parse_report, run_matrix, HotScale};
+use nztm_bench::hotpath::{check_reports_with, parse_report, run_matrix_best_of, HotScale};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  bench_pr2 run [--quick] [--out PATH]\n  \
-         bench_pr2 check --baseline PATH --current PATH [--tolerance 0.15]"
+        "usage:\n  bench_pr2 run [--quick] [--repeat N] [--out PATH]\n  \
+         bench_pr2 check --baseline PATH --current PATH [--tolerance 0.15] [--raw]\n\n\
+         --raw gates on plain ops/s (same-machine A/B runs) instead of\n\
+         calibration-normalized throughput (cross-machine baselines)."
     );
     ExitCode::FAILURE
 }
@@ -39,12 +41,18 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 fn cmd_run(args: &[String]) -> ExitCode {
     let quick = args.iter().any(|a| a == "--quick");
     let out = flag_value(args, "--out");
+    // Best-of-N per cell; filters machine-load spikes for tight-
+    // tolerance comparisons.
+    let repeat: usize = match flag_value(args, "--repeat").unwrap_or("1").parse() {
+        Ok(n) if n >= 1 => n,
+        _ => return usage(),
+    };
     let (mode, scale) = if quick {
         ("quick", HotScale::quick())
     } else {
         ("full", HotScale::full())
     };
-    let report = run_matrix(mode, &scale, true);
+    let report = run_matrix_best_of(mode, &scale, true, repeat);
     println!("{}", report.render_text());
     if let Some(path) = out {
         if let Err(e) = std::fs::write(path, report.to_json()) {
@@ -80,7 +88,8 @@ fn cmd_check(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let outcome = check_reports(&base, &cur, tolerance);
+    let raw = args.iter().any(|a| a == "--raw");
+    let outcome = check_reports_with(&base, &cur, tolerance, raw);
     println!("{}", outcome.report);
     if outcome.ok {
         println!("bench gate: OK (tolerance {:.0}%)", tolerance * 100.0);

@@ -141,7 +141,7 @@ fn main() {
                     let obj = Arc::clone(&obj);
                     Box::new(move || {
                         for _ in 0..per {
-                            s.execute(&mut |tx| {
+                            s.execute(|tx| {
                                 let v = NztmHybrid::read(tx, &obj)?;
                                 NztmHybrid::write(tx, &obj, &(v + 1))
                             });
@@ -152,7 +152,7 @@ fn main() {
             machine.run(bodies);
             let expect = cores as u64 * per;
             let got = obj.read_untracked();
-            println!("counter: got={got} expect={expect} stats={:?}", s.stats());
+            println!("counter: got={got} expect={expect} stats={:?}", s.stats_snapshot());
             assert_eq!(got, expect, "LOST UPDATES");
             s.htm().uninstall();
             return;

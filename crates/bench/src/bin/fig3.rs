@@ -57,6 +57,7 @@ fn main() {
                     },
                     htm_share: st.htm_commit_share(),
                     inflations: st.inflations,
+                    hotspots: r.hotspots.clone(),
                 });
                 eprintln!(
                     "[fig3]   {:<11} t={:<2} cycles={:<12} commits={}",

@@ -69,6 +69,7 @@ fn main() {
                     abort_rate: st.abort_rate(),
                     htm_share: 0.0,
                     inflations: st.inflations,
+                    hotspots: r.hotspots.clone(),
                 });
                 eprintln!(
                     "[fig4]   {:<9} t={:<2} ns={:<13} commits={} aborts={}",

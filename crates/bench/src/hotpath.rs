@@ -148,7 +148,7 @@ impl<S: TmSys> OpDriver<S> {
                 let n = self.objects.len() as u64;
                 if rng.chance(1, 16) {
                     let obj = &self.objects[rng.next_below(n) as usize];
-                    sys.execute(&mut |tx| {
+                    sys.execute(|tx| {
                         let v = S::read(tx, obj)?;
                         S::write(tx, obj, &v.wrapping_add(1))
                     });
@@ -157,7 +157,7 @@ impl<S: TmSys> OpDriver<S> {
                     for i in &mut idx {
                         *i = rng.next_below(n);
                     }
-                    let sum = sys.execute(&mut |tx| {
+                    let sum = sys.execute(|tx| {
                         let mut acc = 0u64;
                         for &i in &idx {
                             acc = acc.wrapping_add(S::read(tx, &self.objects[i as usize])?);
@@ -173,7 +173,7 @@ impl<S: TmSys> OpDriver<S> {
                 for i in &mut idx {
                     *i = rng.next_below(n);
                 }
-                sys.execute(&mut |tx| {
+                sys.execute(|tx| {
                     for &i in &idx {
                         let obj = &self.objects[i as usize];
                         let v = S::read(tx, obj)?;
@@ -242,7 +242,7 @@ fn native_sample_timed<S: TmSys>(
     if let Some(bank) = &driver.bank {
         bank.assert_conserved();
     }
-    let st = sys.stats();
+    let st = sys.stats_snapshot();
     CellTiming {
         ops: ops_per_thread * threads as u64,
         elapsed_ns: elapsed_ns.max(1),
@@ -260,6 +260,9 @@ fn run_native_cell<S: TmSys>(
     let platform = Native::new(threads.max(1));
     platform.register_thread_as(0);
     let sys = sys_of(&platform);
+    if crate::suite::trace_requested() {
+        sys.set_tracing(true);
+    }
     let driver = Arc::new(OpDriver::new(&*sys, workload));
     let ops_per_thread = (scale.native_ops / threads as u64).max(1);
     let mut best: Option<CellTiming> = None;
@@ -292,6 +295,9 @@ fn run_hybrid_cell(workload: HotWorkload, threads: usize, scale: &HotScale) -> C
     let htm = BestEffortHtm::new(Arc::clone(&platform), AtmtpConfig::default());
     htm.install();
     let sys = NztmHybrid::new(stm, htm, HybridConfig::default());
+    if crate::suite::trace_requested() {
+        sys.set_tracing(true);
+    }
 
     // Setup on core 0 (allocation charges the simulated cache model).
     let driver: Arc<OpDriver<NztmHybrid>> = {
@@ -334,7 +340,7 @@ fn run_hybrid_cell(workload: HotWorkload, threads: usize, scale: &HotScale) -> C
     if let Some(bank) = &driver.bank {
         bank.assert_conserved();
     }
-    let st = sys.stats();
+    let st = sys.stats_snapshot();
     sys.htm().uninstall();
     CellTiming {
         ops: ops_per_thread * threads as u64,
@@ -403,6 +409,40 @@ pub fn run_matrix(mode: &str, scale: &HotScale, progress: bool) -> HotReport {
         }
     }
     HotReport { mode: mode.to_string(), calibration_mops, cells }
+}
+
+/// Run the matrix `repeat` times and keep each cell's best run (and the
+/// best calibration rate). Best-of-N filters transient load spikes on a
+/// shared machine, which single runs can't — use it when the comparison
+/// tolerance is tighter than the run-to-run noise (e.g. the trace-
+/// feature overhead gate).
+pub fn run_matrix_best_of(
+    mode: &str,
+    scale: &HotScale,
+    progress: bool,
+    repeat: usize,
+) -> HotReport {
+    let mut best = run_matrix(mode, scale, progress);
+    for round in 1..repeat.max(1) {
+        if progress {
+            eprintln!("-- best-of round {} --", round + 1);
+        }
+        let next = run_matrix(mode, scale, progress);
+        best.calibration_mops = best.calibration_mops.max(next.calibration_mops);
+        for (b, n) in best.cells.iter_mut().zip(next.cells) {
+            debug_assert_eq!((&b.workload, &b.system, b.threads), (&n.workload, &n.system, n.threads));
+            if n.ops_per_sec > b.ops_per_sec {
+                *b = n;
+            }
+        }
+        // Normalize every kept cell against the single best calibration
+        // so `norm` stays one consistent machine-speed reference.
+        let cal = best.calibration_mops * 1e6;
+        for b in best.cells.iter_mut() {
+            b.norm = b.ops_per_sec / cal;
+        }
+    }
+    best
 }
 
 fn json_f64(v: f64) -> String {
@@ -564,14 +604,31 @@ pub struct CheckOutcome {
 /// failing the build, while a real hot-path regression — which shows up
 /// across cells — still does.
 pub fn check_reports(baseline: &HotReport, current: &HotReport, tolerance: f64) -> CheckOutcome {
+    check_reports_with(baseline, current, tolerance, false)
+}
+
+/// Like [`check_reports`], but with a choice of gate metric: `raw`
+/// compares plain ops/s instead of calibration-normalized throughput.
+/// Use raw for back-to-back A/B runs on the *same* machine (e.g. the
+/// trace-feature overhead gate), where a load spike during one run's
+/// calibration loop would otherwise dominate the comparison; keep the
+/// normalized metric when the baseline comes from a different machine.
+pub fn check_reports_with(
+    baseline: &HotReport,
+    current: &HotReport,
+    tolerance: f64,
+    raw: bool,
+) -> CheckOutcome {
     use std::fmt::Write;
     let mut out = String::new();
     let mut workload_speedup = Vec::new();
     let mut ok = true;
     writeln!(
         out,
-        "baseline calibration {:.1} Mops, current {:.1} Mops (gate on normalized throughput)",
-        baseline.calibration_mops, current.calibration_mops
+        "baseline calibration {:.1} Mops, current {:.1} Mops (gate on {} throughput)",
+        baseline.calibration_mops,
+        current.calibration_mops,
+        if raw { "raw" } else { "normalized" }
     )
     .unwrap();
     for &w in WORKLOADS {
@@ -583,10 +640,12 @@ pub fn check_reports(baseline: &HotReport, current: &HotReport, tolerance: f64) 
                 let (Some(b), Some(c)) = (baseline.cell(w, s, t), current.cell(w, s, t)) else {
                     continue;
                 };
-                if !(b.norm > 0.0 && c.norm > 0.0) {
+                let (bv, cv) =
+                    if raw { (b.ops_per_sec, c.ops_per_sec) } else { (b.norm, c.norm) };
+                if !(bv > 0.0 && cv > 0.0) {
                     continue;
                 }
-                let ratio = c.norm / b.norm;
+                let ratio = cv / bv;
                 log_sum += ratio.ln();
                 n += 1;
                 writeln!(

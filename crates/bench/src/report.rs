@@ -3,6 +3,8 @@
 //! nested structs; a serialization framework would be the only external
 //! dependency in the workspace).
 
+use nztm_core::ObjectHeat;
+
 /// One measured cell.
 #[derive(Clone, Debug)]
 pub struct Cell {
@@ -17,6 +19,10 @@ pub struct Cell {
     /// Hardware-commit share (hybrid systems; 0 otherwise).
     pub htm_share: f64,
     pub inflations: u64,
+    /// Per-object contention attribution from the flight recorder
+    /// (empty unless built with `--features trace` and tracing armed,
+    /// e.g. `NZTM_BENCH_TRACE=1`).
+    pub hotspots: Vec<ObjectHeat>,
 }
 
 /// One line in a sub-plot: a system measured across thread counts.
@@ -77,7 +83,7 @@ impl Cell {
         write!(
             out,
             "{indent}{{ \"threads\": {}, \"raw\": {}, \"norm\": {}, \"commits\": {}, \
-             \"aborts\": {}, \"abort_rate\": {}, \"htm_share\": {}, \"inflations\": {} }}",
+             \"aborts\": {}, \"abort_rate\": {}, \"htm_share\": {}, \"inflations\": {}",
             self.threads,
             json_f64(self.raw),
             json_f64(self.norm),
@@ -88,6 +94,25 @@ impl Cell {
             self.inflations
         )
         .unwrap();
+        if !self.hotspots.is_empty() {
+            write!(out, ", \"hotspots\": [").unwrap();
+            for (i, h) in self.hotspots.iter().enumerate() {
+                write!(
+                    out,
+                    "{}{{ \"addr\": {}, \"conflicts\": {}, \"waits\": {}, \
+                     \"inflations\": {}, \"acquires\": {} }}",
+                    if i > 0 { ", " } else { "" },
+                    h.addr,
+                    h.conflicts,
+                    h.waits,
+                    h.inflations,
+                    h.acquires
+                )
+                .unwrap();
+            }
+            write!(out, "]").unwrap();
+        }
+        write!(out, " }}").unwrap();
     }
 }
 
@@ -122,6 +147,24 @@ impl FigureReport {
                     write!(out, "{:>8.1}%", c.abort_rate * 100.0).unwrap();
                 }
                 writeln!(out).unwrap();
+            }
+            // Per-object contention attribution from the flight
+            // recorder, taken at each system's highest thread count
+            // (present only when tracing was armed).
+            for s in &p.series {
+                let Some(c) = s.cells.last().filter(|c| !c.hotspots.is_empty()) else {
+                    continue;
+                };
+                writeln!(out, "  hottest objects, {} @ {} threads:", s.system, c.threads)
+                    .unwrap();
+                for h in &c.hotspots {
+                    writeln!(
+                        out,
+                        "    obj@{:#x}: {} conflicts, {} waits, {} inflations, {} acquires",
+                        h.addr, h.conflicts, h.waits, h.inflations, h.acquires
+                    )
+                    .unwrap();
+                }
             }
         }
         out
@@ -180,6 +223,14 @@ mod tests {
                         abort_rate: 1.0 / 11.0,
                         htm_share: 0.0,
                         inflations: 0,
+                        hotspots: vec![ObjectHeat {
+                            addr: 0x40,
+                            conflicts: 3,
+                            waits: 2,
+                            inflations: 1,
+                            deflations: 0,
+                            acquires: 7,
+                        }],
                     }],
                 }],
             }],
@@ -193,6 +244,8 @@ mod tests {
         assert!(r.contains("SYS"));
         assert!(r.contains("1.00"));
         assert!(r.contains("9.1%"));
+        assert!(r.contains("hottest objects, SYS @ 1 threads:"));
+        assert!(r.contains("obj@0x40: 3 conflicts"));
     }
 
     #[test]
@@ -202,6 +255,7 @@ mod tests {
         assert!(j.contains("\"workload\": \"demo-w\""));
         assert!(j.contains("\"threads\": 1"));
         assert!(j.contains("\"commits\": 10"));
+        assert!(j.contains("\"hotspots\": [{ \"addr\": 64, \"conflicts\": 3"));
         // Balanced braces/brackets — cheap structural sanity.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());

@@ -110,6 +110,13 @@ impl WorkloadScale {
     }
 }
 
+/// Whether bench cells should arm the engine flight recorder
+/// (`NZTM_BENCH_TRACE=1`). With the `trace` cargo feature off,
+/// `set_tracing` is a no-op and reports simply carry no hotspots.
+pub fn trace_requested() -> bool {
+    std::env::var_os("NZTM_BENCH_TRACE").is_some_and(|v| v == "1")
+}
+
 /// Run one workload on the simulated machine with system `sys`.
 pub fn run_workload_sim<S: TmSys>(
     machine: &Arc<Machine>,
@@ -118,6 +125,9 @@ pub fn run_workload_sim<S: TmSys>(
     w: Workload,
     scale: &WorkloadScale,
 ) -> BenchResult {
+    if trace_requested() {
+        sys.set_tracing(true);
+    }
     let threads = machine.config().n_cores;
     let set = |kind, contention| SetBenchConfig {
         kind,
@@ -188,6 +198,9 @@ pub fn run_workload_native<S: TmSys>(
     threads: usize,
     scale: &WorkloadScale,
 ) -> BenchResult {
+    if trace_requested() {
+        sys.set_tracing(true);
+    }
     let set = |kind, contention| SetBenchConfig {
         kind,
         contention,

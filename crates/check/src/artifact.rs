@@ -182,6 +182,9 @@ pub fn from_text(text: &str) -> Result<Artifact, String> {
         inject_handshake_bug: get("inject_handshake_bug")? == "true",
         pause: pair("pause")?,
         yield_points: get("yield_points")? == "true",
+        // Tracing is a replay-time choice, not part of the failure
+        // identity, so it is never serialized.
+        trace: false,
     };
     Ok(Artifact { cfg, kind: get("kind")?, detail: get("detail")?, choices })
 }

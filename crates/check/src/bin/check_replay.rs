@@ -2,22 +2,44 @@
 //!
 //! ```text
 //! check_replay results/nztm_check_linearizability_NZSTM_transfer_seed1_len12.txt
+//! check_replay --timeline artifact.txt
+//! check_replay --perfetto trace.json artifact.txt
 //! ```
+//!
+//! `--timeline` re-runs the schedule with the engine flight recorder
+//! armed and prints an annotated timeline naming the conflicting
+//! transactions and objects. `--perfetto <out.json>` additionally
+//! writes the trace in Chrome `trace_event` format (load it at
+//! <https://ui.perfetto.dev>). Both need the binary built with
+//! `--features trace` to capture events.
 //!
 //! Exit status: 0 if the artifact's failure reproduces, 1 if the run
 //! passes or fails differently, 2 on usage or parse errors.
 
-use nztm_check::{read_artifact, replay};
+use nztm_check::{read_artifact, render_artifact, replay};
+
+fn usage() -> ! {
+    eprintln!("usage: check_replay [--timeline] [--perfetto <out.json>] <artifact.txt>");
+    std::process::exit(2);
+}
 
 fn main() {
+    let mut timeline = false;
+    let mut perfetto: Option<String> = None;
+    let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let path = match (args.next(), args.next()) {
-        (Some(p), None) => p,
-        _ => {
-            eprintln!("usage: check_replay <artifact.txt>");
-            std::process::exit(2);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--timeline" => timeline = true,
+            "--perfetto" => match args.next() {
+                Some(p) => perfetto = Some(p),
+                None => usage(),
+            },
+            _ if path.is_none() => path = Some(arg),
+            _ => usage(),
         }
-    };
+    }
+    let Some(path) = path else { usage() };
     let art = match read_artifact(std::path::Path::new(&path)) {
         Ok(a) => a,
         Err(e) => {
@@ -32,17 +54,50 @@ fn main() {
         art.choices.len(),
         art.kind
     );
-    match replay(&art) {
-        Ok(rep) if rep.reproduced => {
-            println!("REPRODUCED: {} — {}", rep.kind, rep.detail);
+    let reproduced = if timeline || perfetto.is_some() {
+        match render_artifact(&art) {
+            Ok(rep) => {
+                if timeline {
+                    print!("{}", rep.timeline);
+                }
+                if let Some(out) = perfetto {
+                    match std::fs::write(&out, rep.outcome.trace.to_chrome_trace()) {
+                        Ok(()) => println!("wrote Chrome trace to {out}"),
+                        Err(e) => {
+                            eprintln!("check_replay: write {out}: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                if rep.reproduced {
+                    println!("REPRODUCED: {} — {}", rep.kind, rep.detail);
+                } else {
+                    println!("NOT reproduced: got {} — {}", rep.kind, rep.detail);
+                }
+                rep.reproduced
+            }
+            Err(e) => {
+                eprintln!("check_replay: {e}");
+                std::process::exit(2);
+            }
         }
-        Ok(rep) => {
-            println!("NOT reproduced: got {} — {}", rep.kind, rep.detail);
-            std::process::exit(1);
+    } else {
+        match replay(&art) {
+            Ok(rep) => {
+                if rep.reproduced {
+                    println!("REPRODUCED: {} — {}", rep.kind, rep.detail);
+                } else {
+                    println!("NOT reproduced: got {} — {}", rep.kind, rep.detail);
+                }
+                rep.reproduced
+            }
+            Err(e) => {
+                eprintln!("check_replay: {e}");
+                std::process::exit(2);
+            }
         }
-        Err(e) => {
-            eprintln!("check_replay: {e}");
-            std::process::exit(2);
-        }
+    };
+    if !reproduced {
+        std::process::exit(1);
     }
 }

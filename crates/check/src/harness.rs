@@ -96,6 +96,11 @@ pub struct CheckConfig {
     /// Arm protocol-edge yield points (sanitizer schedule with a zero
     /// pause budget; requires `sanitize`).
     pub yield_points: bool,
+    /// Arm the engine flight recorder and collect a merged event trace
+    /// in [`RunOutcome::trace`] (needs the `trace` cargo feature to
+    /// capture anything). Not part of the artifact text format — replay
+    /// tooling sets it ad hoc when rendering timelines.
+    pub trace: bool,
 }
 
 impl CheckConfig {
@@ -117,6 +122,7 @@ impl CheckConfig {
             inject_handshake_bug: false,
             pause: None,
             yield_points: false,
+            trace: false,
         }
     }
 
@@ -186,6 +192,12 @@ pub struct RunOutcome {
     pub violations: Vec<String>,
     /// The run tripped the simulator watchdog (livelock/deadlock).
     pub watchdog: bool,
+    /// Merged flight-recorder trace with scheduler decisions interleaved
+    /// (empty unless [`CheckConfig::trace`] and the `trace` feature).
+    pub trace: nztm_core::Trace,
+    /// Object addresses in allocation order — `obj_addrs[i]` is the
+    /// trace-event address of workload object `i`.
+    pub obj_addrs: Vec<u64>,
 }
 
 /// Run one configuration on a fresh machine.
@@ -282,7 +294,7 @@ fn worker_body<S: TmSys>(
                         to = (to + 1) % n;
                     }
                     log.invoke(tid as u32, HistOp::Transfer { from: from as u32, to: to as u32 });
-                    let ok = sys.execute(&mut |tx| {
+                    let ok = sys.execute(|tx| {
                         let a = S::read(tx, &objs[from])?;
                         let b = S::read(tx, &objs[to])?;
                         if a > 0 {
@@ -305,7 +317,7 @@ fn worker_body<S: TmSys>(
                 Workload::Increment => {
                     let obj = (tid + i) % n;
                     log.invoke(tid as u32, HistOp::Increment { obj: obj as u32 });
-                    sys.execute(&mut |tx| {
+                    sys.execute(|tx| {
                         let v = S::read(tx, &objs[obj])?;
                         S::write(tx, &objs[obj], &(v + 1))?;
                         if let Some(cycles) = stall_left.take() {
@@ -326,7 +338,7 @@ fn worker_body<S: TmSys>(
                 platform.spin_wait();
             }
             log.invoke(tid as u32, HistOp::ReadAll);
-            let vals = sys.execute(&mut |tx| {
+            let vals = sys.execute(|tx| {
                 let mut v = Vec::with_capacity(n);
                 for o in objs.iter() {
                     v.push(S::read(tx, o)?);
@@ -408,6 +420,7 @@ fn run_bodies(machine: &Arc<Machine>, bodies: Vec<Box<dyn FnOnce() + Send>>) -> 
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn outcome(
     machine: &Arc<Machine>,
     log: &HistoryLog,
@@ -415,16 +428,26 @@ fn outcome(
     stats: TmStats,
     violations: Vec<String>,
     watchdog: bool,
+    mut trace: nztm_core::Trace,
+    obj_addrs: Vec<u64>,
 ) -> RunOutcome {
     let (ops, crashed_ops) = complete_ops(&log.events());
+    let decisions = machine.decisions().unwrap_or_default();
+    if !trace.is_empty() {
+        // Decision clocks live in the same logical-cycle domain as the
+        // engine events, so the scheduler timeline interleaves exactly.
+        trace.merge_schedule(decisions.iter().map(|d| (d.clock, d.chosen)));
+    }
     RunOutcome {
         ops,
         crashed_ops,
-        decisions: machine.decisions().unwrap_or_default(),
+        decisions,
         final_values: finals.lock().clone(),
         stats,
         violations,
         watchdog,
+        trace,
+        obj_addrs,
     }
 }
 
@@ -439,6 +462,10 @@ fn run_on_mode<M: ModePolicy>(cfg: &CheckConfig) -> RunOutcome {
         Workload::Increment => 0,
     };
     let objs = Arc::new((0..cfg.objects).map(|_| stm.new_obj(init)).collect::<Vec<_>>());
+    let obj_addrs: Vec<u64> = objs.iter().map(|o| o.header().addr() as u64).collect();
+    if cfg.trace {
+        stm.set_tracing(true);
+    }
     let log = Arc::new(HistoryLog::new());
     let done = Arc::new(AtomicUsize::new(0));
     let finals = Arc::new(Mutex::new(Vec::new()));
@@ -468,7 +495,17 @@ fn run_on_mode<M: ModePolicy>(cfg: &CheckConfig) -> RunOutcome {
         })
         .collect();
     let watchdog = run_bodies(&machine, bodies);
-    outcome(&machine, &log, &finals, stm.stats(), collect_violations(&stm), watchdog)
+    let trace = if cfg.trace { stm.take_trace() } else { nztm_core::Trace::default() };
+    outcome(
+        &machine,
+        &log,
+        &finals,
+        stm.stats_snapshot(),
+        collect_violations(&stm),
+        watchdog,
+        trace,
+        obj_addrs,
+    )
 }
 
 fn run_hybrid(cfg: &CheckConfig) -> RunOutcome {
@@ -489,6 +526,10 @@ fn run_hybrid(cfg: &CheckConfig) -> RunOutcome {
         Workload::Increment => 0,
     };
     let objs = Arc::new((0..cfg.objects).map(|_| hybrid.alloc(init)).collect::<Vec<_>>());
+    let obj_addrs: Vec<u64> = objs.iter().map(|o| o.header().addr() as u64).collect();
+    if cfg.trace {
+        hybrid.set_tracing(true);
+    }
     let log = Arc::new(HistoryLog::new());
     let done = Arc::new(AtomicUsize::new(0));
     let finals = Arc::new(Mutex::new(Vec::new()));
@@ -507,7 +548,17 @@ fn run_hybrid(cfg: &CheckConfig) -> RunOutcome {
         })
         .collect();
     let watchdog = run_bodies(&machine, bodies);
-    let out = outcome(&machine, &log, &finals, hybrid.stats(), collect_violations(&stm), watchdog);
+    let trace = if cfg.trace { hybrid.take_trace() } else { nztm_core::Trace::default() };
+    let out = outcome(
+        &machine,
+        &log,
+        &finals,
+        hybrid.stats_snapshot(),
+        collect_violations(&stm),
+        watchdog,
+        trace,
+        obj_addrs,
+    );
     htm.uninstall();
     out
 }

@@ -33,8 +33,10 @@ pub mod artifact;
 pub mod explore;
 pub mod harness;
 pub mod lin;
+pub mod timeline;
 
 pub use artifact::{replay, read_artifact, shrink, write_artifact, Artifact, ReplayReport};
+pub use timeline::{render_artifact, render_timeline, TimelineReport};
 pub use explore::{
     explore_exhaustive, explore_exhaustive_with, explore_random, explore_random_with, judge,
     CheckError, ExploreReport, Failure,

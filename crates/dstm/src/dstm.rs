@@ -20,7 +20,7 @@ use nztm_epoch::Guard;
 use nztm_core::cm::{ContentionManager, KarmaDeadlock, Resolution};
 use nztm_core::data::{snapshot_words, write_words, TmData};
 use nztm_core::registry::ThreadRegistry;
-use nztm_core::stats::TmStats;
+use nztm_core::stats::{ThreadStats, TmStats};
 use nztm_core::txn::{Abort, AbortCause, Status, TxnDesc};
 use nztm_core::util::{Backoff, PerCore};
 use nztm_core::{TmSys, WordBuf};
@@ -165,12 +165,12 @@ struct ThreadCtx {
     read_set: Vec<ReadEntry>,
     rng: DetRng,
     backoff: Backoff,
-    stats: TmStats,
+    stats: Arc<ThreadStats>,
     scratch: Vec<u64>,
 }
 
 impl ThreadCtx {
-    fn new(tid: usize) -> Self {
+    fn new(tid: usize, stats: Arc<ThreadStats>) -> Self {
         ThreadCtx {
             current: None,
             serial: 0,
@@ -178,7 +178,7 @@ impl ThreadCtx {
             read_set: Vec::with_capacity(64),
             rng: DetRng::new(0xD5D5_0000 + tid as u64),
             backoff: Backoff::new(),
-            stats: TmStats::default(),
+            stats,
             scratch: Vec::with_capacity(64),
         }
     }
@@ -190,16 +190,24 @@ pub struct Dstm<P: Platform> {
     cm: Arc<dyn ContentionManager>,
     registry: ThreadRegistry,
     threads: PerCore<ThreadCtx>,
+    /// Shared view of the per-thread counters (single-writer atomics),
+    /// so snapshots never alias the owners' `&mut ThreadCtx`.
+    thread_stats: Box<[Arc<ThreadStats>]>,
 }
 
 impl<P: Platform> Dstm<P> {
     pub fn new(platform: Arc<P>, cm: Arc<dyn ContentionManager>) -> Arc<Self> {
         let n = platform.n_cores();
+        let thread_stats: Box<[Arc<ThreadStats>]> =
+            (0..n).map(|_| Arc::new(ThreadStats::default())).collect();
         Arc::new(Dstm {
             platform,
             cm,
             registry: ThreadRegistry::new(n),
-            threads: PerCore::new(n, ThreadCtx::new),
+            threads: PerCore::new(n, |tid| {
+                ThreadCtx::new(tid, Arc::clone(&thread_stats[tid]))
+            }),
+            thread_stats,
         })
     }
 
@@ -260,7 +268,7 @@ impl<P: Platform> Dstm<P> {
         if me.try_commit() {
             self.clear_reader_bits(ctx, tid);
             ctx.write_set.clear();
-            ctx.stats.commits += 1;
+            ctx.stats.commits.bump();
             true
         } else {
             self.abort_txn(ctx, tid, AbortCause::Requested);
@@ -275,10 +283,10 @@ impl<P: Platform> Dstm<P> {
         self.clear_reader_bits(ctx, tid);
         ctx.write_set.clear();
         match cause {
-            AbortCause::Requested => ctx.stats.aborts_requested += 1,
-            AbortCause::SelfAbort => ctx.stats.aborts_self += 1,
-            AbortCause::Validation => ctx.stats.aborts_validation += 1,
-            AbortCause::Explicit => ctx.stats.aborts_explicit += 1,
+            AbortCause::Requested => ctx.stats.aborts_requested.bump(),
+            AbortCause::SelfAbort => ctx.stats.aborts_self.bump(),
+            AbortCause::Validation => ctx.stats.aborts_validation.bump(),
+            AbortCause::Explicit => ctx.stats.aborts_explicit.bump(),
         }
     }
 
@@ -295,7 +303,7 @@ impl<P: Platform> Dstm<P> {
     /// for an acknowledgement (see module docs).
     fn resolve(&self, ctx: &mut ThreadCtx, owner: &TxnDesc) -> Result<(), Abort> {
         let me = Arc::clone(Self::me(ctx));
-        ctx.stats.conflicts += 1;
+        ctx.stats.conflicts.bump();
         let mut waited = 0u64;
         loop {
             self.validate(ctx)?;
@@ -308,7 +316,7 @@ impl<P: Platform> Dstm<P> {
                 Resolution::Wait => {
                     me.set_waiting(true);
                     self.platform.spin_wait();
-                    ctx.stats.wait_steps += 1;
+                    ctx.stats.wait_steps.bump();
                     waited += 1;
                 }
                 Resolution::AbortSelf => {
@@ -317,7 +325,7 @@ impl<P: Platform> Dstm<P> {
                 }
                 Resolution::RequestAbort => {
                     me.set_waiting(false);
-                    ctx.stats.abort_requests_sent += 1;
+                    ctx.stats.abort_requests_sent.bump();
                     self.platform.mem(owner.addr(), 8, AccessKind::Rmw);
                     owner.request_abort();
                     self.validate(ctx)?;
@@ -339,7 +347,7 @@ impl<P: Platform> Dstm<P> {
                 if !std::ptr::eq(d, me) && d.status() == Status::Active {
                     self.platform.mem(d.addr(), 8, AccessKind::Rmw);
                     d.request_abort();
-                    ctx.stats.abort_requests_sent += 1;
+                    ctx.stats.abort_requests_sent.bump();
                 }
             }
         }
@@ -386,7 +394,7 @@ impl<P: Platform> Dstm<P> {
             self.platform.mem(h.addr(), 8, AccessKind::Rmw);
             if h.cas_locator(raw, &mine, &guard) {
                 me.gained_object();
-                ctx.stats.acquires += 1;
+                ctx.stats.acquires.bump();
                 self.request_readers(ctx, h, tid, &guard)?;
                 let keepalive: Arc<dyn Send + Sync> = obj.clone();
                 ctx.write_set.push(WriteEntry { header: h, loc: mine, keepalive });
@@ -403,7 +411,7 @@ impl<P: Platform> Dstm<P> {
         obj: &Arc<DstmObject<T>>,
     ) -> Result<T, Abort> {
         self.validate(ctx)?;
-        ctx.stats.reads += 1;
+        ctx.stats.reads.bump();
         let me_ptr = Arc::as_ptr(Self::me(ctx));
         let h = &obj.header;
         let n = T::n_words();
@@ -497,8 +505,8 @@ impl<P: Platform> TmSys for Dstm<P> {
         obj.read_untracked()
     }
 
-    fn execute<R>(&self, f: &mut dyn FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R {
-        self.run(|tx| f(tx))
+    fn execute<R>(&self, f: impl FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R {
+        self.run(f)
     }
 
     fn read<T: TmData>(tx: &mut Self::Tx<'_>, obj: &Self::Obj<T>) -> Result<T, Abort> {
@@ -509,19 +517,13 @@ impl<P: Platform> TmSys for Dstm<P> {
         tx.write(obj, v)
     }
 
-    fn stats(&self) -> TmStats {
-        let mut total = TmStats::default();
-        for tid in 0..self.threads.len() {
-            let ctx = unsafe { self.threads.get(tid) };
-            total.merge(&ctx.stats);
-        }
-        total
+    fn stats_snapshot(&self) -> TmStats {
+        ThreadStats::merge_all(self.thread_stats.iter().map(Arc::as_ref))
     }
 
     fn reset_stats(&self) {
-        for tid in 0..self.threads.len() {
-            let ctx = unsafe { self.threads.get(tid) };
-            ctx.stats = TmStats::default();
+        for s in self.thread_stats.iter() {
+            s.reset();
         }
     }
 
@@ -564,7 +566,7 @@ mod tests {
         });
         assert_eq!(r, 1);
         assert_eq!(o.read_untracked(), 10);
-        assert_eq!(s.stats().commits, 1);
+        assert_eq!(s.stats_snapshot().commits, 1);
     }
 
     #[test]
@@ -594,7 +596,7 @@ mod tests {
         });
         assert_eq!(o.read_untracked(), 99);
         assert_eq!(attempts, 2);
-        let st = s.stats();
+        let st = s.stats_snapshot();
         assert_eq!(st.aborts_explicit, 1);
         assert_eq!(st.commits, 1);
     }

@@ -12,7 +12,7 @@
 //! lock-based baselines actually used.
 
 use nztm_core::data::{snapshot_words, write_words, TmData, WordArray};
-use nztm_core::stats::TmStats;
+use nztm_core::stats::{ThreadStats, TmStats};
 use nztm_core::txn::Abort;
 use nztm_core::util::PerCore;
 use nztm_core::TmSys;
@@ -46,7 +46,7 @@ impl<T: TmData> PlainObject<T> {
 }
 
 struct ThreadCtx {
-    stats: TmStats,
+    stats: Arc<ThreadStats>,
     scratch: Vec<u64>,
 }
 
@@ -56,16 +56,25 @@ pub struct GlobalLockTm<P: Platform> {
     lock: AtomicU64,
     lock_synth: usize,
     threads: PerCore<ThreadCtx>,
+    /// Shared view of the per-thread counters (single-writer atomics),
+    /// so snapshots never alias the owners' `&mut ThreadCtx`.
+    thread_stats: Box<[Arc<ThreadStats>]>,
 }
 
 impl<P: Platform> GlobalLockTm<P> {
     pub fn new(platform: Arc<P>) -> Arc<Self> {
         let n = platform.n_cores();
+        let thread_stats: Box<[Arc<ThreadStats>]> =
+            (0..n).map(|_| Arc::new(ThreadStats::default())).collect();
         Arc::new(GlobalLockTm {
             platform,
             lock: AtomicU64::new(0),
             lock_synth: nztm_sim::synth_alloc(64),
-            threads: PerCore::new(n, |_| ThreadCtx { stats: TmStats::default(), scratch: Vec::new() }),
+            threads: PerCore::new(n, |tid| ThreadCtx {
+                stats: Arc::clone(&thread_stats[tid]),
+                scratch: Vec::new(),
+            }),
+            thread_stats,
         })
     }
 
@@ -104,7 +113,7 @@ impl<P: Platform> GlobalLockTm<P> {
         let mut tx = GlockTx { sys: self, ctx };
         let r = f(&mut tx);
         self.release();
-        ctx.stats.commits += 1;
+        ctx.stats.commits.bump();
         match r {
             Ok(v) => v,
             Err(_) => unreachable!("global-lock transactions cannot abort"),
@@ -126,7 +135,7 @@ impl<'s, P: Platform> GlockTx<'s, P> {
     pub fn read<T: TmData>(&mut self, obj: &Arc<PlainObject<T>>) -> Result<T, Abort> {
         let sys = self.sys;
         let ctx = self.ctx();
-        ctx.stats.reads += 1;
+        ctx.stats.reads.bump();
         let n = T::n_words();
         ctx.scratch.clear();
         ctx.scratch.resize(n, 0);
@@ -138,7 +147,7 @@ impl<'s, P: Platform> GlockTx<'s, P> {
     pub fn write<T: TmData>(&mut self, obj: &Arc<PlainObject<T>>, v: &T) -> Result<(), Abort> {
         let sys = self.sys;
         let ctx = self.ctx();
-        ctx.stats.acquires += 1;
+        ctx.stats.acquires.bump();
         let n = T::n_words();
         ctx.scratch.clear();
         ctx.scratch.resize(n, 0);
@@ -161,8 +170,8 @@ impl<P: Platform> TmSys for GlobalLockTm<P> {
         obj.read_untracked()
     }
 
-    fn execute<R>(&self, f: &mut dyn FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R {
-        self.run(|tx| f(tx))
+    fn execute<R>(&self, f: impl FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R {
+        self.run(f)
     }
 
     fn read<T: TmData>(tx: &mut Self::Tx<'_>, obj: &Self::Obj<T>) -> Result<T, Abort> {
@@ -173,19 +182,13 @@ impl<P: Platform> TmSys for GlobalLockTm<P> {
         tx.write(obj, v)
     }
 
-    fn stats(&self) -> TmStats {
-        let mut total = TmStats::default();
-        for tid in 0..self.threads.len() {
-            let ctx = unsafe { self.threads.get(tid) };
-            total.merge(&ctx.stats);
-        }
-        total
+    fn stats_snapshot(&self) -> TmStats {
+        ThreadStats::merge_all(self.thread_stats.iter().map(Arc::as_ref))
     }
 
     fn reset_stats(&self) {
-        for tid in 0..self.threads.len() {
-            let ctx = unsafe { self.threads.get(tid) };
-            ctx.stats = TmStats::default();
+        for s in self.thread_stats.iter() {
+            s.reset();
         }
     }
 
@@ -212,7 +215,7 @@ mod tests {
         });
         assert_eq!(v, 1);
         assert_eq!(o.read_untracked(), 2);
-        assert_eq!(s.stats().commits, 1);
+        assert_eq!(s.stats_snapshot().commits, 1);
     }
 
     #[test]
@@ -240,7 +243,7 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(o.read_untracked(), 20_000);
-        assert_eq!(s.stats().commits, 20_000);
-        assert_eq!(s.stats().aborts(), 0);
+        assert_eq!(s.stats_snapshot().commits, 20_000);
+        assert_eq!(s.stats_snapshot().aborts(), 0);
     }
 }

@@ -19,7 +19,7 @@ use nztm_epoch::Guard;
 use nztm_core::cm::{ContentionManager, KarmaDeadlock, Resolution};
 use nztm_core::data::{copy_words, snapshot_words, write_words, TmData, WordArray};
 use nztm_core::registry::ThreadRegistry;
-use nztm_core::stats::TmStats;
+use nztm_core::stats::{ThreadStats, TmStats};
 use nztm_core::txn::{Abort, AbortCause, Status, TxnDesc};
 use nztm_core::util::{Backoff, PerCore};
 use nztm_core::TmSys;
@@ -203,12 +203,12 @@ struct ThreadCtx {
     read_set: Vec<Arc<dyn ShadowAny>>,
     rng: DetRng,
     backoff: Backoff,
-    stats: TmStats,
+    stats: Arc<ThreadStats>,
     scratch: Vec<u64>,
 }
 
 impl ThreadCtx {
-    fn new(tid: usize) -> Self {
+    fn new(tid: usize, stats: Arc<ThreadStats>) -> Self {
         ThreadCtx {
             current: None,
             serial: 0,
@@ -216,7 +216,7 @@ impl ThreadCtx {
             read_set: Vec::with_capacity(64),
             rng: DetRng::new(0x5AD0_0000 + tid as u64),
             backoff: Backoff::new(),
-            stats: TmStats::default(),
+            stats,
             scratch: Vec::with_capacity(64),
         }
     }
@@ -228,16 +228,24 @@ pub struct ShadowStm<P: Platform> {
     cm: Arc<dyn ContentionManager>,
     registry: ThreadRegistry,
     threads: PerCore<ThreadCtx>,
+    /// Shared view of the per-thread counters (single-writer atomics),
+    /// so snapshots never alias the owners' `&mut ThreadCtx`.
+    thread_stats: Box<[Arc<ThreadStats>]>,
 }
 
 impl<P: Platform> ShadowStm<P> {
     pub fn new(platform: Arc<P>, cm: Arc<dyn ContentionManager>) -> Arc<Self> {
         let n = platform.n_cores();
+        let thread_stats: Box<[Arc<ThreadStats>]> =
+            (0..n).map(|_| Arc::new(ThreadStats::default())).collect();
         Arc::new(ShadowStm {
             platform,
             cm,
             registry: ThreadRegistry::new(n),
-            threads: PerCore::new(n, ThreadCtx::new),
+            threads: PerCore::new(n, |tid| {
+                ThreadCtx::new(tid, Arc::clone(&thread_stats[tid]))
+            }),
+            thread_stats,
         })
     }
 
@@ -298,7 +306,7 @@ impl<P: Platform> ShadowStm<P> {
         if me.try_commit() {
             ctx.write_set.clear();
             self.clear_reader_bits(ctx, tid);
-            ctx.stats.commits += 1;
+            ctx.stats.commits.bump();
             true
         } else {
             self.abort_txn(ctx, tid, AbortCause::Requested);
@@ -313,10 +321,10 @@ impl<P: Platform> ShadowStm<P> {
         self.clear_reader_bits(ctx, tid);
         ctx.write_set.clear();
         match cause {
-            AbortCause::Requested => ctx.stats.aborts_requested += 1,
-            AbortCause::SelfAbort => ctx.stats.aborts_self += 1,
-            AbortCause::Validation => ctx.stats.aborts_validation += 1,
-            AbortCause::Explicit => ctx.stats.aborts_explicit += 1,
+            AbortCause::Requested => ctx.stats.aborts_requested.bump(),
+            AbortCause::SelfAbort => ctx.stats.aborts_self.bump(),
+            AbortCause::Validation => ctx.stats.aborts_validation.bump(),
+            AbortCause::Explicit => ctx.stats.aborts_explicit.bump(),
         }
     }
 
@@ -331,7 +339,7 @@ impl<P: Platform> ShadowStm<P> {
     /// (indefinitely) for the acknowledgement.
     fn resolve(&self, ctx: &mut ThreadCtx, h: &ShadowHeader, raw: u64, other: &TxnDesc) -> Result<(), Abort> {
         let me = Arc::clone(Self::me(ctx));
-        ctx.stats.conflicts += 1;
+        ctx.stats.conflicts.bump();
         let mut waited = 0u64;
         loop {
             self.validate(ctx)?;
@@ -344,7 +352,7 @@ impl<P: Platform> ShadowStm<P> {
                 Resolution::Wait => {
                     me.set_waiting(true);
                     self.platform.spin_wait();
-                    ctx.stats.wait_steps += 1;
+                    ctx.stats.wait_steps.bump();
                     waited += 1;
                 }
                 Resolution::AbortSelf => {
@@ -353,7 +361,7 @@ impl<P: Platform> ShadowStm<P> {
                 }
                 Resolution::RequestAbort => {
                     me.set_waiting(false);
-                    ctx.stats.abort_requests_sent += 1;
+                    ctx.stats.abort_requests_sent.bump();
                     self.platform.mem(other.addr(), 8, AccessKind::Rmw);
                     other.request_abort();
                     self.validate(ctx)?;
@@ -365,7 +373,7 @@ impl<P: Platform> ShadowStm<P> {
                         }
                         self.validate(ctx)?;
                         self.platform.spin_wait();
-                        ctx.stats.wait_steps += 1;
+                        ctx.stats.wait_steps.bump();
                     }
                 }
             }
@@ -384,7 +392,7 @@ impl<P: Platform> ShadowStm<P> {
                 if !std::ptr::eq(d, me) && d.status() == Status::Active {
                     self.platform.mem(d.addr(), 8, AccessKind::Rmw);
                     d.request_abort();
-                    ctx.stats.abort_requests_sent += 1;
+                    ctx.stats.abort_requests_sent.bump();
                 }
             }
         }
@@ -421,7 +429,7 @@ impl<P: Platform> ShadowStm<P> {
                 continue;
             }
             me.gained_object();
-            ctx.stats.acquires += 1;
+            ctx.stats.acquires.bump();
             self.request_readers(ctx, h, tid, &guard)?;
 
             let n = obj.data_words().len();
@@ -450,7 +458,7 @@ impl<P: Platform> ShadowStm<P> {
 
     fn read_value<T: TmData>(&self, ctx: &mut ThreadCtx, tid: usize, obj: &Arc<ShadowObject<T>>) -> Result<T, Abort> {
         self.validate(ctx)?;
-        ctx.stats.reads += 1;
+        ctx.stats.reads.bump();
         let me_ptr = Arc::as_ptr(Self::me(ctx));
         let h = &obj.header;
         let n = T::n_words();
@@ -556,8 +564,8 @@ impl<P: Platform> TmSys for ShadowStm<P> {
         obj.read_untracked()
     }
 
-    fn execute<R>(&self, f: &mut dyn FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R {
-        self.run(|tx| f(tx))
+    fn execute<R>(&self, f: impl FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R {
+        self.run(f)
     }
 
     fn read<T: TmData>(tx: &mut Self::Tx<'_>, obj: &Self::Obj<T>) -> Result<T, Abort> {
@@ -568,19 +576,13 @@ impl<P: Platform> TmSys for ShadowStm<P> {
         tx.write(obj, v)
     }
 
-    fn stats(&self) -> TmStats {
-        let mut total = TmStats::default();
-        for tid in 0..self.threads.len() {
-            let ctx = unsafe { self.threads.get(tid) };
-            total.merge(&ctx.stats);
-        }
-        total
+    fn stats_snapshot(&self) -> TmStats {
+        ThreadStats::merge_all(self.thread_stats.iter().map(Arc::as_ref))
     }
 
     fn reset_stats(&self) {
-        for tid in 0..self.threads.len() {
-            let ctx = unsafe { self.threads.get(tid) };
-            ctx.stats = TmStats::default();
+        for s in self.thread_stats.iter() {
+            s.reset();
         }
     }
 
@@ -627,7 +629,7 @@ mod tests {
         assert_eq!(o.read_untracked(), 20);
         // The aborted write of 999 never became the logical value: peek
         // between attempts would have returned 10 via the shadow.
-        assert_eq!(s.stats().aborts_explicit, 1);
+        assert_eq!(s.stats_snapshot().aborts_explicit, 1);
     }
 
     #[test]

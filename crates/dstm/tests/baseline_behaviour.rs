@@ -101,7 +101,7 @@ fn dstm_progresses_past_stalled_owner() {
             });
         }
     });
-    let st = s.stats();
+    let st = s.stats_snapshot();
     assert!(st.abort_requests_sent > 0, "{st:?}");
 }
 
@@ -125,7 +125,7 @@ fn shadow_read_sees_pre_abort_value() {
         }
     });
     assert_eq!(obj.read_untracked(), 1_000);
-    assert_eq!(s.stats().aborts_explicit, 1);
+    assert_eq!(s.stats_snapshot().aborts_explicit, 1);
 }
 
 #[test]
@@ -177,7 +177,7 @@ fn global_lock_has_no_aborts_ever() {
         }
     });
     assert_eq!(obj.read_untracked(), 10_000);
-    let st = s.stats();
+    let st = s.stats_snapshot();
     assert_eq!(st.aborts(), 0);
     assert_eq!(st.commits, 10_000);
 }

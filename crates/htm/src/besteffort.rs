@@ -40,7 +40,7 @@ pub struct HwAbort;
 /// ATMTP configuration (§4.1 defaults).
 #[derive(Clone, Debug)]
 pub struct AtmtpConfig {
-    /// Write-buffer capacity; "the size of the ATMTP write buffer [is]
+    /// Write-buffer capacity; "the size of the ATMTP write buffer \[is\]
     /// 256 entries; each entry represents a single store and is
     /// typically one word".
     pub store_buffer_entries: usize,

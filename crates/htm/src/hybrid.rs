@@ -23,9 +23,9 @@ use crate::besteffort::{BestEffortHtm, HwAbort, HwTxn};
 use crate::cps::CpsReason;
 use nztm_core::data::TmData;
 use nztm_core::hybrid::{hw_examine_and_clean, HwCheck};
-use nztm_core::stats::TmStats;
+use nztm_core::stats::{ThreadStats, TmStats};
+use nztm_core::trace::Trace;
 use nztm_core::txn::{Abort, AbortCause};
-use nztm_core::util::PerCore;
 use nztm_core::{NZObject, NzTx, Nzstm, ReadMode, TmSys};
 use nztm_sim::{AccessKind, Platform, SimPlatform};
 use std::sync::Arc;
@@ -50,7 +50,15 @@ pub struct NztmHybrid {
     htm: Arc<BestEffortHtm>,
     platform: Arc<SimPlatform>,
     cfg: HybridConfig,
-    stats: PerCore<TmStats>,
+    /// Hardware-path counters, one cache-line-isolated cell per core;
+    /// single-writer atomics, so snapshots need no quiescence.
+    stats: Box<[ThreadStats]>,
+    /// Flight-recorder rings for hardware-path events (the software
+    /// fallback records into the embedded STM's own rings).
+    #[cfg(feature = "trace")]
+    rings: nztm_core::util::PerCore<nztm_core::trace::TraceRing>,
+    #[cfg(feature = "trace")]
+    trace_on: std::sync::atomic::AtomicBool,
 }
 
 impl NztmHybrid {
@@ -65,8 +73,39 @@ impl NztmHybrid {
         assert_visible_reads(stm.read_mode());
         let platform = Arc::clone(stm.platform());
         let n = platform.n_cores();
-        Arc::new(NztmHybrid { stm, htm, platform, cfg, stats: PerCore::new(n, |_| TmStats::default()) })
+        #[cfg(feature = "trace")]
+        let trace_on = std::sync::atomic::AtomicBool::new(stm.tracing_enabled());
+        Arc::new(NztmHybrid {
+            stm,
+            htm,
+            platform,
+            cfg,
+            stats: (0..n).map(|_| ThreadStats::default()).collect(),
+            #[cfg(feature = "trace")]
+            rings: nztm_core::util::PerCore::new(n, |_| {
+                nztm_core::trace::TraceRing::new(1 << 16)
+            }),
+            #[cfg(feature = "trace")]
+            trace_on,
+        })
     }
+
+    /// Record a hardware-path flight-recorder event (no-op without the
+    /// `trace` feature or while disarmed).
+    #[cfg(feature = "trace")]
+    fn trace_hw(&self, core: usize, kind: nztm_core::trace::EventKind, a: u64, b: u64) {
+        if self.trace_on.load(std::sync::atomic::Ordering::Relaxed) {
+            let clock = self.platform.now();
+            // Safety: `core` is the calling thread's own core id
+            // (single-writer ring).
+            let ring = unsafe { self.rings.get(core) };
+            ring.record(clock, core as u16, kind, a, b);
+        }
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    fn trace_hw(&self, _core: usize, _kind: nztm_core::trace::EventKind, _a: u64, _b: u64) {}
 
     pub fn stm(&self) -> &Arc<Nzstm<SimPlatform>> {
         &self.stm
@@ -146,14 +185,15 @@ impl TmSys for NztmHybrid {
         obj.read_untracked()
     }
 
-    fn execute<R>(&self, f: &mut dyn FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R {
+    fn execute<R>(&self, mut f: impl FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R {
         let core = self.platform.core_id();
         let max_hw = self.cfg.retries_factor * self.platform.n_cores();
-        let stats = unsafe { self.stats.get(core) };
+        let stats = &self.stats[core];
 
-        let mut attempts = 0;
-        while attempts < max_hw {
+        let mut attempts = 0u64;
+        while (attempts as usize) < max_hw {
             attempts += 1;
+            self.trace_hw(core, nztm_core::trace::EventKind::HtmAttempt, attempts - 1, 0);
             let outcome = self.htm.attempt(|hw| {
                 let mut tx = HybridTx::Hw { sys: self, hw, core };
                 match f(&mut tx) {
@@ -163,21 +203,35 @@ impl TmSys for NztmHybrid {
             });
             match outcome {
                 Ok(v) => {
-                    stats.commits += 1;
-                    stats.htm_commits += 1;
+                    stats.commits.bump();
+                    stats.htm_commits.bump();
                     if attempts > 1 {
-                        stats.txns_with_aborts += 1;
+                        stats.txns_with_aborts.bump();
                     }
+                    self.trace_hw(core, nztm_core::trace::EventKind::HtmCommit, attempts - 1, 0);
                     return v;
                 }
                 Err(reason) => {
-                    stats.htm_aborts += 1;
-                    match reason {
-                        CpsReason::Conflict => stats.htm_conflict_aborts += 1,
-                        CpsReason::Capacity => stats.htm_capacity_aborts += 1,
-                        CpsReason::Other => stats.htm_other_aborts += 1,
-                        CpsReason::Explicit => stats.htm_conflict_aborts += 1,
-                    }
+                    stats.htm_aborts.bump();
+                    let cps_class = match reason {
+                        CpsReason::Conflict => {
+                            stats.htm_conflict_aborts.bump();
+                            0
+                        }
+                        CpsReason::Capacity => {
+                            stats.htm_capacity_aborts.bump();
+                            1
+                        }
+                        CpsReason::Other => {
+                            stats.htm_other_aborts.bump();
+                            2
+                        }
+                        CpsReason::Explicit => {
+                            stats.htm_conflict_aborts.bump();
+                            3
+                        }
+                    };
+                    self.trace_hw(core, nztm_core::trace::EventKind::HtmAbort, attempts - 1, cps_class);
                     if !reason.hw_retry_worthwhile() {
                         break;
                     }
@@ -188,10 +242,11 @@ impl TmSys for NztmHybrid {
         // Software fallback: this logical transaction aborted in hardware
         // at least once (the embedded STM separately counts software
         // retries of its own).
-        stats.fallbacks += 1;
+        stats.fallbacks.bump();
         if attempts > 0 {
-            stats.txns_with_aborts += 1;
+            stats.txns_with_aborts.bump();
         }
+        self.trace_hw(core, nztm_core::trace::EventKind::HtmFallback, attempts, 0);
         self.stm.run(|tx| {
             let mut htx = HybridTx::Sw { sys: self, tx };
             f(&mut htx)
@@ -216,23 +271,38 @@ impl TmSys for NztmHybrid {
         }
     }
 
-    fn stats(&self) -> TmStats {
-        let mut total = TmStats::default();
-        for tid in 0..self.stats.len() {
-            let s = unsafe { self.stats.get(tid) };
-            total.merge(s);
-        }
-        // Software-path commits/aborts come from the embedded STM.
-        total.merge(&self.stm.stats());
+    fn stats_snapshot(&self) -> TmStats {
+        // Hardware-path counters live here; software-path commits/aborts
+        // come from the embedded STM.
+        let mut total = ThreadStats::merge_all(self.stats.iter());
+        total.merge(&self.stm.stats_snapshot());
         total
     }
 
     fn reset_stats(&self) {
-        for tid in 0..self.stats.len() {
-            let s = unsafe { self.stats.get(tid) };
-            *s = TmStats::default();
+        for s in self.stats.iter() {
+            s.reset();
         }
         self.stm.reset_stats();
+    }
+
+    fn set_tracing(&self, on: bool) {
+        #[cfg(feature = "trace")]
+        self.trace_on.store(on, std::sync::atomic::Ordering::Relaxed);
+        self.stm.set_tracing(on);
+    }
+
+    fn take_trace(&self) -> Trace {
+        let mut trace = self.stm.take_trace();
+        #[cfg(feature = "trace")]
+        for core in 0..self.platform.n_cores() {
+            // Safety: quiescent-only contract of `take_trace` — no core is
+            // running transactions while we drain.
+            let ring = unsafe { self.rings.get(core) };
+            trace.overwritten += ring.drain_into(&mut trace.events);
+        }
+        trace.sort();
+        trace
     }
 
     fn name(&self) -> &'static str {
@@ -290,14 +360,14 @@ mod tests {
         let (h2, o2) = (Arc::clone(&hy), Arc::clone(&o));
         m.run(vec![Box::new(move || {
             for _ in 0..50 {
-                h2.execute(&mut |tx| {
+                h2.execute(|tx| {
                     let v = NztmHybrid::read(tx, &o2)?;
                     NztmHybrid::write(tx, &o2, &(v + 1))
                 });
             }
         })]);
         assert_eq!(o.read_untracked(), 60);
-        let st = hy.stats();
+        let st = hy.stats_snapshot();
         assert_eq!(st.htm_commits, 50, "all hardware, no fallback: {st:?}");
         assert_eq!(st.fallbacks, 0);
         hy.htm().uninstall();
@@ -313,7 +383,7 @@ mod tests {
                 let o = Arc::clone(&o);
                 Box::new(move || {
                     for _ in 0..100 {
-                        hy.execute(&mut |tx| {
+                        hy.execute(|tx| {
                             let v = NztmHybrid::read(tx, &o)?;
                             NztmHybrid::write(tx, &o, &(v + 1))
                         });
@@ -323,7 +393,7 @@ mod tests {
             .collect();
         m.run(bodies);
         assert_eq!(o.read_untracked(), 400);
-        let st = hy.stats();
+        let st = hy.stats_snapshot();
         assert_eq!(st.commits, 400);
         hy.htm().uninstall();
     }
@@ -345,7 +415,7 @@ mod tests {
         let objs: Arc<Vec<_>> = Arc::new((0..32).map(|i| hy.alloc(i as u64)).collect());
         let (h2, o2) = (Arc::clone(&hy), Arc::clone(&objs));
         m.run(vec![Box::new(move || {
-            h2.execute(&mut |tx| {
+            h2.execute(|tx| {
                 for o in o2.iter() {
                     let v = NztmHybrid::read(tx, o)?;
                     NztmHybrid::write(tx, o, &(v + 1))?;
@@ -353,7 +423,7 @@ mod tests {
                 Ok(())
             });
         })]);
-        let st = hy.stats();
+        let st = hy.stats_snapshot();
         assert_eq!(st.fallbacks, 1, "store-buffer overflow must fall back: {st:?}");
         assert!(st.htm_capacity_aborts >= 1);
         assert_eq!(objs[31].read_untracked(), 32);
@@ -381,10 +451,10 @@ mod tests {
         }
         let (h2, o2) = (Arc::clone(&hy), Arc::clone(&o));
         m.run(vec![Box::new(move || {
-            let v = h2.execute(&mut |tx| NztmHybrid::read(tx, &o2));
+            let v = h2.execute(|tx| NztmHybrid::read(tx, &o2));
             assert_eq!(v, 5, "hardware path restored the backup");
         })]);
-        let st = hy.stats();
+        let st = hy.stats_snapshot();
         assert_eq!(st.htm_commits, 1);
         assert_eq!(st.fallbacks, 0);
         // Owner was erased so later hardware transactions skip the checks.

@@ -21,7 +21,7 @@
 
 use crate::signatures::{Signature, SignatureKind};
 use nztm_core::data::{snapshot_words, write_words, TmData, WordArray};
-use nztm_core::stats::TmStats;
+use nztm_core::stats::{ThreadStats, TmStats};
 use nztm_core::txn::Abort;
 use nztm_core::util::PerCore;
 use nztm_core::TmSys;
@@ -65,7 +65,6 @@ struct CoreTxn {
     undo: Vec<(usize, usize, u64)>,
     rng: DetRng,
     backoff: nztm_core::util::Backoff,
-    stats: TmStats,
     scratch: Vec<u64>,
 }
 
@@ -77,7 +76,6 @@ impl CoreTxn {
             undo: Vec::new(),
             rng: DetRng::new(0x106_0000 + tid as u64),
             backoff: nztm_core::util::Backoff::new(),
-            stats: TmStats::default(),
             scratch: Vec::new(),
         }
     }
@@ -108,6 +106,8 @@ pub struct LogTmSe {
     sigs: Mutex<Vec<SigPair>>,
     shared: Vec<CoreShared>,
     cores: PerCore<CoreTxn>,
+    /// Single-writer per-core counters, readable without quiescence.
+    stats: Box<[ThreadStats]>,
     ts_counter: AtomicU64,
     kind: SignatureKind,
 }
@@ -137,6 +137,7 @@ impl LogTmSe {
                 })
                 .collect(),
             cores: PerCore::new(n, CoreTxn::new),
+            stats: (0..n).map(|_| ThreadStats::default()).collect(),
             ts_counter: AtomicU64::new(1),
             kind,
         })
@@ -202,8 +203,7 @@ impl LogTmSe {
                 }
             }
             self.platform.spin_wait();
-            let st = unsafe { self.cores.get(core) };
-            st.stats.wait_steps += 1;
+            self.stats[core].wait_steps.bump();
         }
     }
 
@@ -220,8 +220,8 @@ impl LogTmSe {
         }
         st.undo.clear();
         self.release(core);
-        st.stats.htm_aborts += 1;
-        st.stats.htm_conflict_aborts += 1;
+        self.stats[core].htm_aborts.bump();
+        self.stats[core].htm_conflict_aborts.bump();
     }
 
     fn release(&self, core: usize) {
@@ -266,7 +266,7 @@ pub struct LogTx<'s> {
 impl<'s> LogTx<'s> {
     pub fn read<T: TmData>(&mut self, obj: &Arc<LogObject<T>>) -> Result<T, Abort> {
         let st = unsafe { self.sys.cores.get(self.core) };
-        st.stats.reads += 1;
+        self.sys.stats[self.core].reads.bump();
         self.sys.access_object(self.core, obj.synth, T::n_words() * 8, false)?;
         let mut scratch = std::mem::take(&mut st.scratch);
         scratch.clear();
@@ -279,7 +279,7 @@ impl<'s> LogTx<'s> {
 
     pub fn write<T: TmData>(&mut self, obj: &Arc<LogObject<T>>, v: &T) -> Result<(), Abort> {
         let st = unsafe { self.sys.cores.get(self.core) };
-        st.stats.acquires += 1;
+        self.sys.stats[self.core].acquires.bump();
         self.sys.access_object(self.core, obj.synth, T::n_words() * 8, true)?;
         let mut scratch = std::mem::take(&mut st.scratch);
         scratch.clear();
@@ -309,7 +309,7 @@ impl TmSys for LogTmSe {
         obj.read_untracked()
     }
 
-    fn execute<R>(&self, f: &mut dyn FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R {
+    fn execute<R>(&self, mut f: impl FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R {
         let core = self.platform.core_id();
         let st = unsafe { self.cores.get(core) };
         assert!(!st.active, "LogTM transactions do not nest");
@@ -333,8 +333,8 @@ impl TmSys for LogTmSe {
                         self.platform.work(self.machine().config().costs.htm_commit);
                         st.undo.clear();
                         self.release(core);
-                        st.stats.commits += 1;
-                        st.stats.htm_commits += 1;
+                        self.stats[core].commits.bump();
+                        self.stats[core].htm_commits.bump();
                         st.active = false;
                         st.backoff.reset();
                         return v;
@@ -360,19 +360,13 @@ impl TmSys for LogTmSe {
         tx.write(obj, v)
     }
 
-    fn stats(&self) -> TmStats {
-        let mut total = TmStats::default();
-        for tid in 0..self.cores.len() {
-            let ctx = unsafe { self.cores.get(tid) };
-            total.merge(&ctx.stats);
-        }
-        total
+    fn stats_snapshot(&self) -> TmStats {
+        ThreadStats::merge_all(self.stats.iter())
     }
 
     fn reset_stats(&self) {
-        for tid in 0..self.cores.len() {
-            let ctx = unsafe { self.cores.get(tid) };
-            ctx.stats = TmStats::default();
+        for s in self.stats.iter() {
+            s.reset();
         }
     }
 
@@ -420,7 +414,7 @@ mod tests {
         let o = l.alloc(5u64);
         let (l2, o2) = (Arc::clone(&l), Arc::clone(&o));
         m.run(vec![Box::new(move || {
-            let v = l2.execute(&mut |tx| {
+            let v = l2.execute(|tx| {
                 let v = tx.read(&o2)?;
                 tx.write(&o2, &(v + 1))?;
                 Ok(v)
@@ -428,7 +422,7 @@ mod tests {
             assert_eq!(v, 5);
         })]);
         assert_eq!(o.read_untracked(), 6);
-        assert_eq!(l.stats().htm_commits, 1);
+        assert_eq!(l.stats_snapshot().htm_commits, 1);
     }
 
     #[test]
@@ -441,7 +435,7 @@ mod tests {
                 let o = Arc::clone(&o);
                 Box::new(move || {
                     for _ in 0..100 {
-                        l.execute(&mut |tx| {
+                        l.execute(|tx| {
                             let v = tx.read(&o)?;
                             tx.write(&o, &(v + 1))
                         });
@@ -451,7 +445,7 @@ mod tests {
             .collect();
         m.run(bodies);
         assert_eq!(o.read_untracked(), 400);
-        let st = l.stats();
+        let st = l.stats_snapshot();
         assert_eq!(st.htm_commits, 400);
     }
 
@@ -471,7 +465,7 @@ mod tests {
                         if a == b {
                             continue;
                         }
-                        l.execute(&mut |tx| {
+                        l.execute(|tx| {
                             let va = tx.read(&accounts[a])?;
                             let vb = tx.read(&accounts[b])?;
                             if va > 0 {
@@ -496,7 +490,7 @@ mod tests {
         let objs: Arc<Vec<_>> = Arc::new((0..600).map(|i| l.alloc(i as u64)).collect());
         let (l2, o2) = (Arc::clone(&l), Arc::clone(&objs));
         m.run(vec![Box::new(move || {
-            l2.execute(&mut |tx| {
+            l2.execute(|tx| {
                 for o in o2.iter() {
                     let v = tx.read(o)?;
                     tx.write(o, &(v + 1))?;
@@ -505,7 +499,7 @@ mod tests {
             });
         })]);
         assert_eq!(objs[599].read_untracked(), 600);
-        assert_eq!(l.stats().htm_aborts, 0, "nothing to abort single-threaded");
+        assert_eq!(l.stats_snapshot().htm_aborts, 0, "nothing to abort single-threaded");
     }
 
     #[test]
@@ -519,7 +513,7 @@ mod tests {
                     let o = Arc::clone(&o);
                     Box::new(move || {
                         for _ in 0..50 {
-                            l.execute(&mut |tx| {
+                            l.execute(|tx| {
                                 let v = tx.read(&o)?;
                                 tx.write(&o, &(v + 1))
                             });
@@ -528,7 +522,7 @@ mod tests {
                 })
                 .collect();
             let r = m.run(bodies);
-            (r.makespan, l.stats().htm_aborts)
+            (r.makespan, l.stats_snapshot().htm_aborts)
         };
         assert_eq!(run(), run());
     }
@@ -561,7 +555,7 @@ mod signature_ablation_tests {
                 let objs = Arc::clone(&objs);
                 Box::new(move || {
                     for round in 0..30 {
-                        l.execute(&mut |tx| {
+                        l.execute(|tx| {
                             for o in &objs[tid] {
                                 let v = tx.read(o)?;
                                 tx.write(o, &(v + 1))?;
@@ -574,7 +568,7 @@ mod signature_ablation_tests {
             })
             .collect();
         let r = m.run(bodies);
-        let st = l.stats();
+        let st = l.stats_snapshot();
         // Correctness regardless of signature kind.
         for (c, per_core) in objs.iter().enumerate() {
             for (i, o) in per_core.iter().enumerate() {

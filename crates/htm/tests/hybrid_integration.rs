@@ -37,7 +37,7 @@ fn hardware_and_software_transactions_interoperate() {
                 for _ in 0..120 {
                     if tid % 2 == 0 {
                         // Hybrid path (hardware first).
-                        hy.execute(&mut |tx| {
+                        hy.execute(|tx| {
                             let v = NztmHybrid::read(tx, &obj)?;
                             NztmHybrid::write(tx, &obj, &(v + 1))
                         });
@@ -51,7 +51,7 @@ fn hardware_and_software_transactions_interoperate() {
         .collect();
     m.run(bodies);
     assert_eq!(obj.read_untracked(), 480, "no lost updates across paths");
-    let st = hy.stats();
+    let st = hy.stats_snapshot();
     assert!(st.htm_commits > 0, "hardware carried some load: {st:?}");
     hy.htm().uninstall();
 }
@@ -77,7 +77,7 @@ fn hw_writers_respect_sw_readers_consistency() {
             let obj = Arc::clone(&obj);
             Box::new(move || {
                 for i in 1..=300u64 {
-                    hy.execute(&mut |tx| NztmHybrid::write(tx, &obj, &Pair { a: i, b: i }));
+                    hy.execute(|tx| NztmHybrid::write(tx, &obj, &Pair { a: i, b: i }));
                 }
             })
         },
@@ -113,13 +113,13 @@ fn other_aborts_skip_hardware_retries() {
     let (h2, o2) = (Arc::clone(&hy), Arc::clone(&obj));
     m.run(vec![Box::new(move || {
         for _ in 0..60 {
-            h2.execute(&mut |tx| {
+            h2.execute(|tx| {
                 let v = NztmHybrid::read(tx, &o2)?;
                 NztmHybrid::write(tx, &o2, &(v + 1))
             });
         }
     })]);
-    let st = hy.stats();
+    let st = hy.stats_snapshot();
     assert_eq!(obj.read_untracked(), 60);
     assert!(st.htm_other_aborts > 0, "{st:?}");
     assert!(st.fallbacks > 0, "environmental aborts must fall back: {st:?}");
@@ -143,7 +143,7 @@ fn hybrid_runs_are_deterministic() {
                     let mut rng = DetRng::new(77).split(tid as u64);
                     for _ in 0..100 {
                         let i = rng.next_below(8) as usize;
-                        hy.execute(&mut |tx| {
+                        hy.execute(|tx| {
                             let v = NztmHybrid::read(tx, &objs[i])?;
                             NztmHybrid::write(tx, &objs[i], &(v + 1))
                         });
@@ -152,7 +152,7 @@ fn hybrid_runs_are_deterministic() {
             })
             .collect();
         let r = m.run(bodies);
-        let st = hy.stats();
+        let st = hy.stats_snapshot();
         hy.htm().uninstall();
         (r.makespan, st.htm_commits, st.htm_aborts, st.fallbacks)
     }
@@ -179,7 +179,7 @@ fn big_read_sets_fall_back() {
     let objs: Arc<Vec<_>> = Arc::new((0..200).map(|i| hy.alloc(i as u64)).collect());
     let (h2, o2) = (Arc::clone(&hy), Arc::clone(&objs));
     m.run(vec![Box::new(move || {
-        let total = h2.execute(&mut |tx| {
+        let total = h2.execute(|tx| {
             let mut sum = 0u64;
             for o in o2.iter() {
                 sum += NztmHybrid::read(tx, o)?;
@@ -188,7 +188,7 @@ fn big_read_sets_fall_back() {
         });
         assert_eq!(total, (0..200u64).sum::<u64>());
     })]);
-    let st = hy.stats();
+    let st = hy.stats_snapshot();
     assert!(st.htm_capacity_aborts > 0, "{st:?}");
     assert_eq!(st.fallbacks, 1, "{st:?}");
     hy.htm().uninstall();

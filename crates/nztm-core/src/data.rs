@@ -4,8 +4,8 @@
 //! object header (Figure 1), and sizes hardware write-buffer entries at
 //! one word ("each entry represents a single store and is typically one
 //! word", §4.1). We mirror that: an object's data is an inline array of
-//! `AtomicU64` words embedded directly in the [`NZObject`]
-//! (crate::object::NZObject) — *zero* levels of indirection — and a
+//! `AtomicU64` words embedded directly in the
+//! [`NZObject`](crate::object::NZObject) — *zero* levels of indirection — and a
 //! [`TmData`] implementation translates a typed Rust value to and from
 //! those words.
 //!

@@ -29,7 +29,8 @@ use crate::data::TmData;
 use crate::locator::Locator;
 use crate::object::{NZHeader, NZObject, NzObjAny, OwnerRef, WordBuf};
 use crate::registry::ThreadRegistry;
-use crate::stats::TmStats;
+use crate::stats::{ThreadStats, TmStats};
+use crate::trace::Trace;
 use crate::txn::{Abort, AbortCause, Status, TxnDesc};
 use crate::util::{Backoff, InlineVec, PerCore, SlotIndex};
 use nztm_epoch::Guard;
@@ -43,6 +44,10 @@ use std::sync::Arc;
 /// build `--no-default-features` to strip per-access increments).
 /// Lifecycle counters (commits, aborts, inflations, HTM outcomes) are
 /// incremented directly — they are consumed by harnesses and policies.
+///
+/// Counters are single-writer atomic cells ([`ThreadStats`]): the bump is
+/// an ordinary unlocked add, but any thread may read a snapshot mid-run
+/// ([`NzStm::stats_snapshot`]).
 macro_rules! hot_stat {
     ($ctx:expr, $field:ident) => {{
         // No-op borrow so call sites type-check identically without the
@@ -50,7 +55,25 @@ macro_rules! hot_stat {
         let _ = &$ctx.stats.$field;
         #[cfg(feature = "stats")]
         {
-            $ctx.stats.$field += 1;
+            $ctx.stats.$field.bump();
+        }
+    }};
+}
+
+/// Record a flight-recorder event ([`crate::trace`]). Compiled to nothing
+/// without the `trace` feature; with it, recording still requires runtime
+/// arming ([`NzStm::set_tracing`]) and costs one relaxed load when
+/// disarmed. The payload expressions are not evaluated unless armed.
+macro_rules! trace_evt {
+    ($sys:expr, $ctx:expr, $tid:expr, $kind:ident, $a:expr, $b:expr) => {{
+        #[cfg(feature = "trace")]
+        if $sys.trace_on.load(std::sync::atomic::Ordering::Relaxed) {
+            let clock = $sys.platform.now();
+            $ctx.ring.record(clock, $tid as u16, crate::trace::EventKind::$kind, $a, $b);
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = $tid;
         }
     }};
 }
@@ -100,6 +123,24 @@ pub enum ReadMode {
     Invisible,
 }
 
+/// Flight-recorder knobs (see [`crate::trace`]). The struct is always
+/// present so configurations are feature-independent; without the `trace`
+/// cargo feature it is inert (the hooks are compiled out).
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Arm event recording at construction. Can be toggled later via
+    /// [`NzStm::set_tracing`].
+    pub enabled: bool,
+    /// Per-thread ring capacity in events (overwrite-oldest beyond this).
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { enabled: false, capacity: 1 << 16 }
+    }
+}
+
 /// Engine tuning knobs.
 #[derive(Clone, Debug)]
 pub struct NzConfig {
@@ -110,6 +151,8 @@ pub struct NzConfig {
     /// Extra cycles charged per SCSS store on simulated platforms (models
     /// the short hardware transaction's latency).
     pub scss_cycles: u64,
+    /// Flight-recorder configuration (inert without the `trace` feature).
+    pub trace: TraceConfig,
     /// TEST-ONLY fault injection (`sanitize` builds): requesters force
     /// the victim's `Status = Aborted` instead of waiting for the
     /// acknowledgement — the §2.2 handshake violation the sanitizer
@@ -124,6 +167,7 @@ impl Default for NzConfig {
             patience: 128,
             read_mode: ReadMode::Visible,
             scss_cycles: 25,
+            trace: TraceConfig::default(),
             #[cfg(feature = "sanitize")]
             inject_handshake_bug: false,
         }
@@ -262,9 +306,15 @@ struct ThreadCtx {
     pool: BackupPool,
     rng: DetRng,
     backoff: Backoff,
-    stats: TmStats,
+    /// This thread's live counters. The `Arc` is shared with the
+    /// engine-level [`NzStm::thread_stats`] list so any thread can
+    /// snapshot mid-run; only this thread writes (single-writer cells).
+    stats: Arc<ThreadStats>,
     /// Scratch encode/decode buffer, reused across operations.
     scratch: Vec<u64>,
+    /// Flight-recorder ring (single-writer; drained quiescently).
+    #[cfg(feature = "trace")]
+    ring: crate::trace::TraceRing,
     /// Per-thread sanitizer pause stream, keyed by the schedule
     /// generation that derived it (re-split on `set_schedule`).
     #[cfg(feature = "sanitize")]
@@ -272,7 +322,9 @@ struct ThreadCtx {
 }
 
 impl ThreadCtx {
-    fn new(tid: usize) -> Self {
+    fn new(tid: usize, stats: Arc<ThreadStats>, trace_capacity: usize) -> Self {
+        #[cfg(not(feature = "trace"))]
+        let _ = trace_capacity;
         ThreadCtx {
             current: None,
             serial: 0,
@@ -284,8 +336,10 @@ impl ThreadCtx {
             pool: BackupPool::default(),
             rng: DetRng::new(0x5EED_0000 + tid as u64),
             backoff: Backoff::new(),
-            stats: TmStats::default(),
+            stats,
             scratch: Vec::with_capacity(64),
+            #[cfg(feature = "trace")]
+            ring: crate::trace::TraceRing::new(trace_capacity),
             #[cfg(feature = "sanitize")]
             san_rng: None,
         }
@@ -323,27 +377,47 @@ pub struct NzStm<P: Platform, M: ModePolicy> {
     cm: Arc<dyn ContentionManager>,
     registry: ThreadRegistry,
     threads: PerCore<ThreadCtx>,
+    /// Per-thread counter cells, shared with each `ThreadCtx`. Read side
+    /// of [`NzStm::stats_snapshot`] — safe to merge at any time.
+    thread_stats: Box<[Arc<ThreadStats>]>,
     cfg: NzConfig,
+    /// Runtime arming flag for the flight recorder.
+    #[cfg(feature = "trace")]
+    trace_on: std::sync::atomic::AtomicBool,
     #[cfg(feature = "sanitize")]
     san: crate::sanitizer::Sanitizer,
     _mode: PhantomData<M>,
 }
 
 impl<P: Platform, M: ModePolicy> NzStm<P, M> {
+    /// Assemble an engine from parts. Prefer [`crate::NzBuilder`], which
+    /// names the knobs and picks paper defaults for the rest.
     pub fn new(platform: Arc<P>, cm: Arc<dyn ContentionManager>, cfg: NzConfig) -> Arc<Self> {
         let n = platform.n_cores();
+        let thread_stats: Box<[Arc<ThreadStats>]> =
+            (0..n).map(|_| Arc::new(ThreadStats::default())).collect();
+        let trace_capacity = cfg.trace.capacity;
+        #[cfg(feature = "trace")]
+        let trace_on = std::sync::atomic::AtomicBool::new(cfg.trace.enabled);
         Arc::new(NzStm {
             platform,
             cm,
             registry: ThreadRegistry::new(n),
-            threads: PerCore::new(n, ThreadCtx::new),
+            threads: PerCore::new(n, |tid| {
+                ThreadCtx::new(tid, Arc::clone(&thread_stats[tid]), trace_capacity)
+            }),
+            thread_stats,
             cfg,
+            #[cfg(feature = "trace")]
+            trace_on,
             #[cfg(feature = "sanitize")]
             san: crate::sanitizer::Sanitizer::new(),
             _mode: PhantomData,
         })
     }
 
+    /// Paper defaults (visible reads, Karma + deadlock-detection CM) —
+    /// equivalent to `NzBuilder::new(platform).build()`.
     pub fn with_defaults(platform: Arc<P>) -> Arc<Self> {
         NzStm::new(platform, Arc::new(crate::cm::KarmaDeadlock::default()), NzConfig::default())
     }
@@ -366,26 +440,69 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         NZObject::new(init)
     }
 
-    /// Merge per-thread statistics.
-    ///
-    /// Must only be called while no transactions are in flight (between
-    /// runs); per-thread slots are read without synchronization.
+    /// Merge per-thread statistics into a report. Safe to call from any
+    /// thread at any time, including mid-run: the per-thread cells are
+    /// single-writer atomics, so a snapshot is always well-defined (it
+    /// may be mid-transaction, e.g. counting a begin whose commit hasn't
+    /// landed yet).
+    pub fn stats_snapshot(&self) -> TmStats {
+        ThreadStats::merge_all(self.thread_stats.iter().map(Arc::as_ref))
+    }
+
+    /// Deprecated name for [`NzStm::stats_snapshot`].
+    #[deprecated(note = "renamed to `stats_snapshot` (safe to call at any time)")]
     pub fn stats(&self) -> TmStats {
-        let mut total = TmStats::default();
-        for tid in 0..self.threads.len() {
-            // Safety: quiescence contract above.
-            let ctx = unsafe { self.threads.get(tid) };
-            total.merge(&ctx.stats);
-        }
-        total
+        self.stats_snapshot()
     }
 
     /// Reset per-thread statistics (e.g. after warmup).
+    ///
+    /// Quiescent-only for exactness: an increment racing with the reset
+    /// can be lost (the owner's read-add-store may span the zeroing).
+    /// Call between runs, not during one.
     pub fn reset_stats(&self) {
-        for tid in 0..self.threads.len() {
-            let ctx = unsafe { self.threads.get(tid) };
-            ctx.stats = TmStats::default();
+        for ts in self.thread_stats.iter() {
+            ts.reset();
         }
+    }
+
+    /// Arm or disarm flight-recorder event capture. Without the `trace`
+    /// cargo feature this is a no-op (the hooks are compiled out).
+    pub fn set_tracing(&self, on: bool) {
+        #[cfg(feature = "trace")]
+        self.trace_on.store(on, std::sync::atomic::Ordering::Relaxed);
+        #[cfg(not(feature = "trace"))]
+        let _ = on;
+    }
+
+    /// True when event capture is armed (always false without the
+    /// `trace` feature).
+    pub fn tracing_enabled(&self) -> bool {
+        #[cfg(feature = "trace")]
+        {
+            self.trace_on.load(std::sync::atomic::Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "trace"))]
+        false
+    }
+
+    /// Drain every thread's event ring into one merged, time-ordered
+    /// [`Trace`], resetting the rings.
+    ///
+    /// Must only be called while no transactions are in flight (between
+    /// runs): rings are single-writer and read here without
+    /// synchronization. Returns an empty trace without the `trace`
+    /// feature.
+    pub fn take_trace(&self) -> Trace {
+        let mut trace = Trace::default();
+        #[cfg(feature = "trace")]
+        for tid in 0..self.threads.len() {
+            // Safety: quiescence contract above.
+            let ctx = unsafe { self.threads.get(tid) };
+            trace.overwritten += ctx.ring.drain_into(&mut trace.events);
+        }
+        trace.sort();
+        trace
     }
 
     /// This engine's protocol sanitizer (see [`crate::sanitizer`]).
@@ -453,7 +570,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                     if self.commit(ctx, tid) {
                         ctx.backoff.reset();
                         if had_abort {
-                            ctx.stats.txns_with_aborts += 1;
+                            ctx.stats.txns_with_aborts.bump();
                         }
                         return r;
                     }
@@ -562,6 +679,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         self.platform.mem(self.registry.slot_addr(tid), 8, AccessKind::Write);
         #[cfg(feature = "sanitize")]
         self.san.txn_begin(Arc::as_ptr(&desc) as u64, tid as u32, ctx.serial);
+        trace_evt!(self, ctx, tid, TxnBegin, ctx.serial, 0);
         ctx.current = Some(desc);
         ctx.read_set.clear();
         ctx.write_set.clear();
@@ -626,7 +744,8 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             #[cfg(feature = "sanitize")]
             self.san.commit_ok(Arc::as_ptr(&me) as u64, tid as u32);
             self.cleanup_after_commit(ctx, tid);
-            ctx.stats.commits += 1;
+            ctx.stats.commits.bump();
+            trace_evt!(self, ctx, tid, TxnCommit, ctx.serial, 0);
             true
         } else {
             // AbortNowPlease arrived before the commit CAS.
@@ -666,11 +785,12 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         self.clear_reader_bits(ctx, tid);
         ctx.write_set.clear();
         match cause {
-            AbortCause::Requested => ctx.stats.aborts_requested += 1,
-            AbortCause::SelfAbort => ctx.stats.aborts_self += 1,
-            AbortCause::Validation => ctx.stats.aborts_validation += 1,
-            AbortCause::Explicit => ctx.stats.aborts_explicit += 1,
+            AbortCause::Requested => ctx.stats.aborts_requested.bump(),
+            AbortCause::SelfAbort => ctx.stats.aborts_self.bump(),
+            AbortCause::Validation => ctx.stats.aborts_validation.bump(),
+            AbortCause::Explicit => ctx.stats.aborts_explicit.bump(),
         }
+        trace_evt!(self, ctx, tid, TxnAbort, ctx.serial, cause.code());
     }
 
     fn clear_reader_bits(&self, ctx: &mut ThreadCtx, tid: usize) {
@@ -705,7 +825,17 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
     ) -> Result<ConflictOutcome, Abort> {
         let me = Arc::clone(Self::me(ctx));
         hot_stat!(ctx, conflicts);
+        trace_evt!(
+            self,
+            ctx,
+            me.thread,
+            Conflict,
+            h.addr() as u64,
+            crate::trace::pack_txn(other.thread as usize, other.serial)
+        );
         let mut waited = 0u64;
+        #[cfg(feature = "trace")]
+        let mut traced_wait = false;
         loop {
             self.validate(ctx)?;
             self.platform.mem(other.addr(), 8, AccessKind::Read);
@@ -720,6 +850,18 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             }
             match self.cm.resolve(&me, other, waited) {
                 Resolution::Wait => {
+                    #[cfg(feature = "trace")]
+                    if !traced_wait {
+                        traced_wait = true;
+                        trace_evt!(
+                            self,
+                            ctx,
+                            me.thread,
+                            Wait,
+                            h.addr() as u64,
+                            crate::trace::pack_txn(other.thread as usize, other.serial)
+                        );
+                    }
                     // Raise the deadlock-detection flag while stalled
                     // ("TL raises a flag and waits until TH is done").
                     me.set_waiting(true);
@@ -733,7 +875,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                 }
                 Resolution::RequestAbort => {
                     me.set_waiting(false);
-                    ctx.stats.abort_requests_sent += 1;
+                    ctx.stats.abort_requests_sent.bump();
                     self.san_point(ctx, me.thread as usize, crate::sanitizer::Point::AnpSet);
                     self.platform.mem(other.addr(), 8, AccessKind::Rmw);
                     let prev = other.request_abort();
@@ -811,13 +953,21 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                 if !std::ptr::eq(d, me) && d.status() == Status::Active {
                     // A live writer-reader conflict, resolved by request.
                     hot_stat!(ctx, conflicts);
+                    trace_evt!(
+                        self,
+                        ctx,
+                        tid,
+                        Conflict,
+                        h.addr() as u64,
+                        crate::trace::pack_txn(t, d.serial)
+                    );
                     self.san_point(ctx, tid, crate::sanitizer::Point::AnpSet);
                     self.platform.mem(d.addr(), 8, AccessKind::Rmw);
                     let _prev = d.request_abort();
                     #[cfg(feature = "sanitize")]
                     self.san
                         .anp_set(d as *const TxnDesc as u64, _prev == Status::Active);
-                    ctx.stats.abort_requests_sent += 1;
+                    ctx.stats.abort_requests_sent.bump();
                 }
             }
         }
@@ -970,6 +1120,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         h.bump_version();
         Self::me(ctx).gained_object();
         hot_stat!(ctx, acquires);
+        trace_evt!(self, ctx, tid, Acquire, h.addr() as u64, ctx.serial);
 
         // Visible readers must be told to abort *before* we mutate data.
         self.request_readers(ctx, h, tid, guard)?;
@@ -990,14 +1141,14 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             self.platform.mem_nb(b.addr(), n * 8, AccessKind::Read);
             self.platform.mem_nb(obj.data_addr(), n * 8, AccessKind::Write);
             #[cfg(feature = "sanitize")]
-            let scss_failures_before = ctx.stats.scss_failures;
+            let scss_failures_before = ctx.stats.scss_failures.get();
             self.store_words(ctx, &me, obj.data_words(), b.words());
             #[cfg(feature = "sanitize")]
             {
                 // The restore must reproduce the pre-transaction bytes —
                 // unless SCSS skipped stores because our own abort was
                 // requested mid-restore (the next acquirer redoes it).
-                let complete = ctx.stats.scss_failures == scss_failures_before;
+                let complete = ctx.stats.scss_failures.get() == scss_failures_before;
                 let mut now = vec![0u64; n];
                 crate::data::snapshot_words(obj.data_words(), &mut now);
                 self.san.restored(h.addr(), &now, complete);
@@ -1088,6 +1239,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         if !ok {
             hot_stat!(ctx, scss_failures);
         }
+        trace_evt!(self, ctx, me.thread, ScssStore, ok as u64, ctx.serial);
         ok
     }
 
@@ -1150,10 +1302,19 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                 unresp_raw,
                 unresp.state_snapshot(),
             );
-            ctx.stats.inflations += 1;
+            ctx.stats.inflations.bump();
+            trace_evt!(
+                self,
+                ctx,
+                tid,
+                Inflate,
+                h.addr() as u64,
+                crate::trace::pack_txn(unresp.thread as usize, unresp.serial)
+            );
             h.bump_version();
             me.gained_object();
             hot_stat!(ctx, acquires);
+            trace_evt!(self, ctx, tid, Acquire, h.addr() as u64, ctx.serial);
             self.request_readers(ctx, h, tid, guard)?;
             push_write(ctx, WriteEntry { obj: Arc::clone(obj), target: WriteTarget::Inflated { loc } });
             self.validate(ctx)?;
@@ -1220,6 +1381,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         h.bump_version();
         me.gained_object();
         hot_stat!(ctx, acquires);
+        trace_evt!(self, ctx, tid, Acquire, h.addr() as u64, ctx.serial);
         self.request_readers(ctx, h, tid, guard)?;
 
         // Deflation (§2.3.1): once the unresponsive transaction has
@@ -1273,16 +1435,17 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             self.san_point(ctx, tid, crate::sanitizer::Point::Restore);
             self.platform.mem_nb(obj.data_addr(), n * 8, AccessKind::Write);
             #[cfg(feature = "sanitize")]
-            let scss_failures_before = ctx.stats.scss_failures;
+            let scss_failures_before = ctx.stats.scss_failures.get();
             self.store_words(ctx, &me, obj.data_words(), mine.old_data().words());
             #[cfg(feature = "sanitize")]
             {
-                let complete = ctx.stats.scss_failures == scss_failures_before;
+                let complete = ctx.stats.scss_failures.get() == scss_failures_before;
                 let mut now = vec![0u64; n];
                 crate::data::snapshot_words(obj.data_words(), &mut now);
                 self.san.restored(h.addr(), &now, complete);
             }
-            ctx.stats.deflations += 1;
+            ctx.stats.deflations.bump();
+            trace_evt!(self, ctx, tid, Deflate, h.addr() as u64, ctx.serial);
             push_write(ctx, WriteEntry {
                 obj: Arc::clone(obj),
                 target: WriteTarget::InPlace { backup_raw: h.backup_raw() },

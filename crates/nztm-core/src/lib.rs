@@ -20,14 +20,16 @@
 //!
 //! ## Quick start
 //!
+//! Engines are constructed through [`NzBuilder`] (paper defaults:
+//! visible reads, Karma + deadlock-detection contention management):
+//!
 //! ```
-//! use nztm_core::Nzstm;
+//! use nztm_core::NzBuilder;
 //! use nztm_sim::Native;
-//! use std::sync::Arc;
 //!
 //! let platform = Native::new(1);
 //! platform.register_thread();
-//! let stm = Nzstm::with_defaults(Arc::clone(&platform));
+//! let stm = NzBuilder::new(platform).build_nzstm();
 //!
 //! let account = stm.new_obj(100u64);
 //! let r = stm.run(|tx| {
@@ -39,11 +41,20 @@
 //! assert_eq!(account.read_untracked(), 123);
 //! ```
 //!
+//! ## Observability
+//!
+//! Every engine exposes merged statistics via
+//! [`TmSys::stats_snapshot`] (safe at any
+//! time) and, when built with the non-default `trace` cargo feature, a
+//! [flight recorder](trace) of per-thread transaction events that
+//! exports to JSON-lines and Chrome `trace_event` format (Perfetto).
+//!
 //! All engines are generic over [`nztm_sim::Platform`], so the same code
 //! runs on real threads ([`nztm_sim::Native`]) or on the deterministic
 //! simulated multiprocessor ([`nztm_sim::SimPlatform`]) used to reproduce
 //! the paper's simulator experiments.
 
+pub mod builder;
 pub mod cm;
 pub mod data;
 pub mod engine;
@@ -54,14 +65,19 @@ pub mod registry;
 pub mod runtime;
 pub mod sanitizer;
 pub mod stats;
+pub mod trace;
 pub mod txn;
 pub mod util;
 
+pub use builder::{BackendKind, NzBuilder};
 pub use data::{FieldWord, TmData, WordArray};
-pub use engine::{Blocking, ModePolicy, Nonblocking, NzConfig, NzStm, NzTx, ReadMode, ScssMode};
+pub use engine::{
+    Blocking, ModePolicy, Nonblocking, NzConfig, NzStm, NzTx, ReadMode, ScssMode, TraceConfig,
+};
 pub use object::{NZObject, NzObjAny, WordBuf};
 pub use runtime::{Handle, ObjPool, TmSys};
-pub use stats::TmStats;
+pub use stats::{ThreadStats, TmStats};
+pub use trace::{EventKind, ObjectHeat, Trace, TraceEvent};
 pub use txn::{Abort, AbortCause, Status, TxnDesc};
 
 use nztm_sim::Platform;
@@ -75,6 +91,7 @@ pub type NzstmScss<P> = NzStm<P, ScssMode>;
 
 /// Convenience constructor matching the paper's default configuration
 /// (visible reads, Karma + deadlock-detection contention management).
+#[deprecated(note = "use `NzBuilder::new(platform).build_nzstm()`")]
 pub fn nzstm_default<P: Platform>(platform: std::sync::Arc<P>) -> std::sync::Arc<Nzstm<P>> {
-    Nzstm::with_defaults(platform)
+    NzBuilder::new(platform).build_nzstm()
 }

@@ -17,7 +17,7 @@
 //!
 //! * **Owner** — `0` when unowned; a pointer to the last acquiring
 //!   [`TxnDesc`] when the low bit is clear; a pointer to a
-//!   [`Locator`](crate::locator::Locator) with the low bit set when the
+//!   [`Locator`] with the low bit set when the
 //!   object has been *inflated* (paper Figure 2: "The Owner's low order
 //!   bit indicates how the object is interpreted").
 //! * **Backup Data** — points to the backup copy created by the last

@@ -18,6 +18,7 @@ use crate::data::{FieldWord, TmData};
 use crate::engine::{ModePolicy, NzStm, NzTx};
 use crate::object::NZObject;
 use crate::stats::TmStats;
+use crate::trace::Trace;
 use crate::txn::Abort;
 use nztm_sim::Platform;
 use std::marker::PhantomData;
@@ -26,6 +27,13 @@ use std::sync::{Arc, OnceLock};
 
 /// Object-granular transactional system: the common interface of every
 /// TM implementation in this workspace.
+///
+/// Besides the transactional operations, `TmSys` is the workspace's
+/// *observability surface*: [`TmSys::stats_snapshot`] merges per-thread
+/// counters at any time, and [`TmSys::set_tracing`]/[`TmSys::take_trace`]
+/// drive the flight recorder ([`crate::trace`]) on engines that record
+/// events (BZSTM/NZSTM/SCSS and the hybrid; reference systems keep the
+/// no-op defaults).
 pub trait TmSys: Send + Sync + Sized + 'static {
     /// Container type for a transactional object holding a `T`.
     type Obj<T: TmData>: Send + Sync + 'static;
@@ -39,7 +47,10 @@ pub trait TmSys: Send + Sync + Sized + 'static {
     fn peek<T: TmData>(obj: &Self::Obj<T>) -> T;
 
     /// Run `f` as a transaction, retrying until it commits.
-    fn execute<R>(&self, f: &mut dyn FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R;
+    ///
+    /// Takes the closure by value (like `NzStm::run`); `&mut closure`
+    /// still works since `&mut F: FnMut` when `F: FnMut`.
+    fn execute<R>(&self, f: impl FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R;
 
     /// Transactional read.
     fn read<T: TmData>(tx: &mut Self::Tx<'_>, obj: &Self::Obj<T>) -> Result<T, Abort>;
@@ -47,11 +58,31 @@ pub trait TmSys: Send + Sync + Sized + 'static {
     /// Transactional overwrite.
     fn write<T: TmData>(tx: &mut Self::Tx<'_>, obj: &Self::Obj<T>, v: &T) -> Result<(), Abort>;
 
-    /// Merged statistics (call only while quiescent).
-    fn stats(&self) -> TmStats;
+    /// Merged statistics. Safe to call from any thread at any time —
+    /// implementations merge single-writer per-thread counters on read.
+    fn stats_snapshot(&self) -> TmStats;
 
-    /// Reset statistics (call only while quiescent).
+    /// Deprecated name for [`TmSys::stats_snapshot`].
+    #[deprecated(note = "renamed to `stats_snapshot` (safe to call at any time)")]
+    fn stats(&self) -> TmStats {
+        self.stats_snapshot()
+    }
+
+    /// Reset statistics. Quiescent-only for exactness: increments racing
+    /// with the reset can be lost.
     fn reset_stats(&self);
+
+    /// Arm or disarm flight-recorder event capture. Default: no-op (for
+    /// systems without a recorder, or with the `trace` feature off).
+    fn set_tracing(&self, on: bool) {
+        let _ = on;
+    }
+
+    /// Drain and merge the per-thread event rings (quiescent-only).
+    /// Default: an empty trace.
+    fn take_trace(&self) -> Trace {
+        Trace::default()
+    }
 
     /// Human-readable system name ("NZSTM", "BZSTM", ...).
     fn name(&self) -> &'static str;
@@ -69,8 +100,8 @@ impl<P: Platform, M: ModePolicy> TmSys for NzStm<P, M> {
         obj.read_untracked()
     }
 
-    fn execute<R>(&self, f: &mut dyn FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R {
-        self.run(|tx| f(tx))
+    fn execute<R>(&self, f: impl FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R {
+        self.run(f)
     }
 
     fn read<T: TmData>(tx: &mut Self::Tx<'_>, obj: &Self::Obj<T>) -> Result<T, Abort> {
@@ -81,12 +112,20 @@ impl<P: Platform, M: ModePolicy> TmSys for NzStm<P, M> {
         tx.write(obj, v)
     }
 
-    fn stats(&self) -> TmStats {
-        NzStm::stats(self)
+    fn stats_snapshot(&self) -> TmStats {
+        NzStm::stats_snapshot(self)
     }
 
     fn reset_stats(&self) {
         NzStm::reset_stats(self)
+    }
+
+    fn set_tracing(&self, on: bool) {
+        NzStm::set_tracing(self, on)
+    }
+
+    fn take_trace(&self) -> Trace {
+        NzStm::take_trace(self)
     }
 
     fn name(&self) -> &'static str {
@@ -248,14 +287,30 @@ mod tests {
     fn tmsys_round_trip_through_trait() {
         let s = sys();
         let obj = s.alloc(5u64);
-        let got = s.execute(&mut |tx| {
+        let got = s.execute(|tx| {
             let v = Sys::read(tx, &obj)?;
             Sys::write(tx, &obj, &(v * 2))?;
             Ok(v)
         });
         assert_eq!(got, 5);
         assert_eq!(Sys::peek(&obj), 10);
-        assert_eq!(s.stats().commits, 1);
+        assert_eq!(s.stats_snapshot().commits, 1);
         assert_eq!(s.name(), "NZSTM");
+    }
+
+    #[test]
+    fn mut_closure_still_accepted_by_execute() {
+        // `&mut F` is itself `FnMut`, so pre-redesign call sites that
+        // passed `&mut |tx| ...` keep compiling.
+        let s = sys();
+        let obj = s.alloc(1u64);
+        let mut f = |tx: &mut <Sys as TmSys>::Tx<'_>| {
+            let v = Sys::read(tx, &obj)?;
+            Sys::write(tx, &obj, &(v + 1))?;
+            Ok(())
+        };
+        s.execute(&mut f);
+        s.execute(f);
+        assert_eq!(Sys::peek(&obj), 3);
     }
 }

@@ -35,7 +35,7 @@
 //!
 //! [`Sanitizer::set_schedule`] arms a seeded perturbator: at every hooked
 //! decision point the engine draws a pause length from a per-thread
-//! [`DetRng`] stream split from the schedule seed, and spins that many
+//! [`DetRng`](nztm_sim::DetRng) stream split from the schedule seed, and spins that many
 //! `spin_wait` steps. On the simulated platform this deterministically
 //! reshapes the interleaving (same seed ⇒ byte-identical decision log);
 //! on native threads it injects real jitter at exactly the points where

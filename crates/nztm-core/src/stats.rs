@@ -6,6 +6,16 @@
 //! transactions run successfully in hardware". Every counter needed to
 //! regenerate those claims is collected here, per thread (no cross-thread
 //! contention on counters), and merged after a run.
+//!
+//! Counters live in per-thread [`ThreadStats`] cells: each counter is an
+//! `AtomicU64` that only its owning thread writes (a plain
+//! load-add-store, never an atomic RMW, so the increment compiles to the
+//! same unlocked add a `u64 += 1` would). Because the cells are atomics,
+//! any thread may *read* them at any time — [`crate::TmSys::stats_snapshot`]
+//! merges a consistent-enough view mid-run without the quiescence
+//! requirement that `reset_stats` keeps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-thread counters, merged into a run-wide [`TmStats`] report.
 ///
@@ -149,6 +159,141 @@ impl TmStats {
     }
 }
 
+/// A single-writer statistics counter.
+///
+/// Exactly one thread (the owner) may call [`Counter::bump`]/[`Counter::add`];
+/// any thread may call [`Counter::get`]. The increment is a relaxed
+/// load + store rather than `fetch_add`, which the owner-only contract
+/// makes exact and which compiles to an ordinary unlocked add — keeping
+/// the hot path as cheap as the plain `u64` it replaces.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Owner-only: add one.
+    #[inline(always)]
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    /// Owner-only: add `n`.
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        let v = self.0.load(Ordering::Relaxed);
+        self.0.store(v.wrapping_add(n), Ordering::Relaxed);
+    }
+
+    /// Any thread: read the current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counter. Increments racing with a reset may be lost;
+    /// call only while the owner is quiescent if exactness matters.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+macro_rules! for_each_stat {
+    ($m:ident) => {
+        $m!(
+            commits,
+            aborts_requested,
+            aborts_self,
+            aborts_validation,
+            aborts_explicit,
+            abort_requests_sent,
+            wait_steps,
+            conflicts,
+            inflations,
+            deflations,
+            reads,
+            acquires,
+            backup_reused,
+            backup_alloc,
+            descriptor_reused,
+            descriptor_alloc,
+            scss_stores,
+            scss_failures,
+            htm_commits,
+            htm_aborts,
+            htm_conflict_aborts,
+            htm_capacity_aborts,
+            htm_other_aborts,
+            fallbacks,
+            txns_with_aborts,
+        );
+    };
+}
+
+/// One thread's live counters (same fields as [`TmStats`]).
+///
+/// The owning thread bumps; any thread snapshots via [`ThreadStats::load`].
+/// Cache-line aligned so two threads' cells never share a line.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct ThreadStats {
+    pub commits: Counter,
+    pub aborts_requested: Counter,
+    pub aborts_self: Counter,
+    pub aborts_validation: Counter,
+    pub aborts_explicit: Counter,
+    pub abort_requests_sent: Counter,
+    pub wait_steps: Counter,
+    pub conflicts: Counter,
+    pub inflations: Counter,
+    pub deflations: Counter,
+    pub reads: Counter,
+    pub acquires: Counter,
+    pub backup_reused: Counter,
+    pub backup_alloc: Counter,
+    pub descriptor_reused: Counter,
+    pub descriptor_alloc: Counter,
+    pub scss_stores: Counter,
+    pub scss_failures: Counter,
+    pub htm_commits: Counter,
+    pub htm_aborts: Counter,
+    pub htm_conflict_aborts: Counter,
+    pub htm_capacity_aborts: Counter,
+    pub htm_other_aborts: Counter,
+    pub fallbacks: Counter,
+    pub txns_with_aborts: Counter,
+}
+
+impl ThreadStats {
+    /// Snapshot the live counters into a plain [`TmStats`] report. Safe
+    /// to call from any thread at any time.
+    pub fn load(&self) -> TmStats {
+        let mut out = TmStats::default();
+        macro_rules! read {
+            ($($f:ident),* $(,)?) => { $( out.$f = self.$f.get(); )* };
+        }
+        for_each_stat!(read);
+        out
+    }
+
+    /// Zero every counter. Exact only while the owning thread is
+    /// quiescent — see [`Counter::reset`].
+    pub fn reset(&self) {
+        macro_rules! zero {
+            ($($f:ident),* $(,)?) => { $( self.$f.reset(); )* };
+        }
+        for_each_stat!(zero);
+    }
+
+    /// Merge the per-thread cells of `threads` into one report. Safe to
+    /// call from any thread at any time.
+    pub fn merge_all<'a>(threads: impl IntoIterator<Item = &'a ThreadStats>) -> TmStats {
+        let mut out = TmStats::default();
+        for t in threads {
+            out.merge(&t.load());
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +332,30 @@ mod tests {
     fn htm_share() {
         let s = TmStats { commits: 4, htm_commits: 3, ..Default::default() };
         assert!((s.htm_commit_share() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thread_stats_round_trip_and_reset() {
+        let t = ThreadStats::default();
+        t.commits.bump();
+        t.commits.bump();
+        t.reads.add(7);
+        let snap = t.load();
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.reads, 7);
+        t.reset();
+        assert_eq!(t.load(), TmStats::default());
+    }
+
+    #[test]
+    fn merge_all_sums_threads() {
+        let a = ThreadStats::default();
+        let b = ThreadStats::default();
+        a.commits.bump();
+        b.commits.add(3);
+        b.inflations.bump();
+        let m = ThreadStats::merge_all([&a, &b]);
+        assert_eq!(m.commits, 4);
+        assert_eq!(m.inflations, 1);
     }
 }

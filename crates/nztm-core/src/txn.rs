@@ -44,7 +44,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Transaction status, two bits of [`TxnDesc::state`].
+/// Transaction status, two bits of the [`TxnDesc`] state word.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Status {
     Active,
@@ -83,10 +83,60 @@ pub enum AbortCause {
     Explicit,
 }
 
+impl AbortCause {
+    /// Stable numeric code, used in flight-recorder event records.
+    pub fn code(self) -> u64 {
+        match self {
+            AbortCause::Requested => 0,
+            AbortCause::SelfAbort => 1,
+            AbortCause::Validation => 2,
+            AbortCause::Explicit => 3,
+        }
+    }
+
+    /// Inverse of [`AbortCause::code`]; `None` for unknown codes.
+    pub fn from_code(code: u64) -> Option<AbortCause> {
+        Some(match code {
+            0 => AbortCause::Requested,
+            1 => AbortCause::SelfAbort,
+            2 => AbortCause::Validation,
+            3 => AbortCause::Explicit,
+            _ => return None,
+        })
+    }
+
+    /// Short human-readable name (`requested`, `self`, `validation`,
+    /// `explicit`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortCause::Requested => "requested",
+            AbortCause::SelfAbort => "self",
+            AbortCause::Validation => "validation",
+            AbortCause::Explicit => "explicit",
+        }
+    }
+}
+
 /// The `Abort` error: unwinds a transaction attempt back to the retry
 /// loop. Carried by `Result` through user transaction code.
+///
+/// Carries its [`AbortCause`] so callers learn *why* an attempt aborted
+/// from the error itself instead of diffing statistics counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Abort(pub AbortCause);
+
+impl Abort {
+    /// Why the attempt aborted.
+    pub fn cause(&self) -> AbortCause {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Abort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transaction aborted ({})", self.0.name())
+    }
+}
 
 /// A transaction descriptor (the paper's `Transaction`).
 ///

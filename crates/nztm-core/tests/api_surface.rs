@@ -1,0 +1,119 @@
+//! Public-API snapshot: a source-scan guard over `nztm-core`'s exported
+//! surface. Any addition, removal, or signature change to a `pub` item
+//! shows up as a diff against the committed snapshot, so API changes are
+//! deliberate and reviewable rather than accidental.
+//!
+//! On an intended change, bless the new surface with:
+//!
+//! ```text
+//! UPDATE_API_SURFACE=1 cargo test -p nztm-core --test api_surface
+//! ```
+//!
+//! (A source scan, not a compiled reflection dump, so it needs no
+//! external tooling; the normalization below keeps it stable across
+//! rustfmt wrapping.)
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<_> =
+        std::fs::read_dir(dir).unwrap().map(|e| e.unwrap().path()).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            rs_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// One normalized line per public item: `file: signature`. Signatures
+/// are cut at the body/terminator and whitespace-collapsed, so
+/// reformatting does not churn the snapshot; generics, argument types,
+/// and return types do.
+fn scan_surface(src: &Path) -> String {
+    let mut files = Vec::new();
+    rs_files(src, &mut files);
+    let mut items: Vec<String> = Vec::new();
+    for path in &files {
+        let rel = path.strip_prefix(src).unwrap().display().to_string();
+        let text = std::fs::read_to_string(path).unwrap();
+        let mut lines = text.lines();
+        while let Some(line) = lines.next() {
+            let t = line.trim_start();
+            // Exported items only: `pub`, not `pub(crate)`/`pub(super)`.
+            if !t.starts_with("pub ") {
+                continue;
+            }
+            // Items inside #[cfg(test)] modules never ship; the
+            // convention here keeps test modules at the end of the file
+            // under `mod tests`, which is not `pub`, so no filtering is
+            // needed beyond the `pub ` prefix.
+            let mut sig = String::from(t);
+            // Pull in continuation lines until the signature closes (a
+            // trailing comma means a public struct field — complete).
+            while !sig.contains('{')
+                && !sig.contains(';')
+                && !sig.trim_end().ends_with(')')
+                && !sig.trim_end().ends_with(',')
+            {
+                match lines.next() {
+                    Some(l) => {
+                        sig.push(' ');
+                        sig.push_str(l.trim());
+                    }
+                    None => break,
+                }
+            }
+            let cut = sig.find(['{', ';']).unwrap_or(sig.len());
+            let sig: String =
+                sig[..cut].split_whitespace().collect::<Vec<_>>().join(" ");
+            let sig = sig.trim_end_matches(',').to_string();
+            if sig == "pub" || sig.is_empty() {
+                continue;
+            }
+            items.push(format!("{rel}: {sig}"));
+        }
+    }
+    items.sort();
+    items.dedup();
+    let mut out = String::new();
+    for i in items {
+        let _ = writeln!(out, "{i}");
+    }
+    out
+}
+
+#[test]
+fn public_api_surface_matches_snapshot() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let surface = scan_surface(&manifest.join("src"));
+    let snapshot_path = manifest.join("tests/api_surface.txt");
+    if std::env::var_os("UPDATE_API_SURFACE").is_some() {
+        std::fs::write(&snapshot_path, &surface).unwrap();
+        return;
+    }
+    let snapshot = std::fs::read_to_string(&snapshot_path).unwrap_or_default();
+    if surface != snapshot {
+        let new: Vec<&str> = surface.lines().collect();
+        let old: Vec<&str> = snapshot.lines().collect();
+        let mut diff = String::new();
+        for l in &old {
+            if !new.contains(l) {
+                let _ = writeln!(diff, "- {l}");
+            }
+        }
+        for l in &new {
+            if !old.contains(l) {
+                let _ = writeln!(diff, "+ {l}");
+            }
+        }
+        panic!(
+            "nztm-core public API changed:\n{diff}\n\
+             If intended, bless with:\n  \
+             UPDATE_API_SURFACE=1 cargo test -p nztm-core --test api_surface"
+        );
+    }
+}

@@ -60,7 +60,7 @@ fn counter_increments<M: ModePolicy + 'static>() {
         }
     });
     assert_eq!(counter.read_untracked(), THREADS as u64 * INCS);
-    let st = s.stats();
+    let st = s.stats_snapshot();
     assert_eq!(st.commits, THREADS as u64 * INCS);
 }
 
@@ -241,7 +241,7 @@ fn nzstm_inflates_past_unresponsive_transaction() {
         }
     });
 
-    let st = s.stats();
+    let st = s.stats_snapshot();
     assert!(st.inflations > 0, "progress required inflation: {st:?}");
     assert!(st.deflations > 0, "object must deflate once the victim acknowledged: {st:?}");
     // The stalled transaction was asked to abort, acknowledged, retried,
@@ -293,7 +293,7 @@ fn scss_progresses_past_unresponsive_transaction_without_inflation() {
         }
     });
 
-    let st = s.stats();
+    let st = s.stats_snapshot();
     assert_eq!(st.inflations, 0, "SCSS never inflates");
     assert!(st.scss_stores > 0, "all in-place stores go through SCSS");
     assert!(
@@ -334,7 +334,7 @@ fn bzstm_waits_out_a_slow_transaction() {
         }
     });
 
-    let st = s.stats();
+    let st = s.stats_snapshot();
     assert_eq!(st.inflations, 0, "BZSTM never inflates");
     assert_eq!(st.commits, 2);
     let v = obj.read_untracked();
@@ -355,7 +355,7 @@ fn read_only_transactions_never_abort() {
             assert_eq!(v, 7);
         }
     });
-    let st = s.stats();
+    let st = s.stats_snapshot();
     assert_eq!(st.aborts(), 0);
     assert_eq!(st.commits, THREADS as u64 * 2_000);
     assert_eq!(st.conflicts, 0);
@@ -373,7 +373,7 @@ fn update_and_trait_surface() {
 
     // Trait surface.
     let obj2 = TmSys::alloc(&*s, 1u64);
-    let r = s.execute(&mut |tx| {
+    let r = s.execute(|tx| {
         let v = <NzStm<Native, Nonblocking> as TmSys>::read(tx, &obj2)?;
         <NzStm<Native, Nonblocking> as TmSys>::write(tx, &obj2, &(v + 1))?;
         Ok(v)

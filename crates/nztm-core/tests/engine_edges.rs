@@ -42,7 +42,7 @@ fn read_then_write_upgrade() {
         Ok(())
     });
     assert_eq!(obj.read_untracked(), 20);
-    assert_eq!(s.stats().commits, 1);
+    assert_eq!(s.stats_snapshot().commits, 1);
 }
 
 #[test]
@@ -96,7 +96,7 @@ fn read_own_write_through_locator() {
             rel.store(true, Ordering::SeqCst);
         });
     });
-    let st = s.stats();
+    let st = s.stats_snapshot();
     assert!(st.inflations > 0, "scenario must exercise the locator path: {st:?}");
 }
 
@@ -108,7 +108,7 @@ fn backup_pool_reuse_kicks_in() {
     for i in 0..50u64 {
         s.run(|tx| tx.write(&obj, &i));
     }
-    let st = s.stats();
+    let st = s.stats_snapshot();
     // First acquisition allocates; later ones reuse the committed-and-
     // reclaimed buffer (§4.4.2's thread-local backup pooling).
     assert_eq!(st.backup_alloc, 1, "{st:?}");
@@ -174,7 +174,7 @@ fn scss_charges_every_word_store() {
     nztm_core::tm_data_struct!(Wide { a: u64, b: u64, c: u64 });
     let obj = s.new_obj(Wide { a: 0, b: 0, c: 0 });
     s.run(|tx| tx.write(&obj, &Wide { a: 1, b: 2, c: 3 }));
-    let st = s.stats();
+    let st = s.stats_snapshot();
     assert_eq!(st.scss_stores, 3, "one SCSS per word (§2.3.2): {st:?}");
     assert_eq!(st.scss_failures, 0);
 }
@@ -214,10 +214,10 @@ fn stats_reset_zeroes_counters() {
     p.register_thread_as(0);
     let obj = s.new_obj(0u64);
     s.run(|tx| tx.write(&obj, &1));
-    assert_eq!(s.stats().commits, 1);
+    assert_eq!(s.stats_snapshot().commits, 1);
     s.reset_stats();
-    assert_eq!(s.stats().commits, 0);
-    assert_eq!(s.stats().acquires, 0);
+    assert_eq!(s.stats_snapshot().commits, 0);
+    assert_eq!(s.stats_snapshot().acquires, 0);
 }
 
 #[test]

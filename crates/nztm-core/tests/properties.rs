@@ -94,7 +94,7 @@ fn aborted_attempts_invisible() {
             Ok(())
         });
         assert_eq!(obj.read_untracked(), init.wrapping_add(bump), "case {case}");
-        assert_eq!(s.stats().aborts_explicit as usize, aborts, "case {case}");
+        assert_eq!(s.stats_snapshot().aborts_explicit as usize, aborts, "case {case}");
     }
 }
 

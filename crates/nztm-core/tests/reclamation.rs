@@ -153,7 +153,7 @@ fn inflate_deflate_churn_reclaims_buffers_and_descriptors() {
         }
         drop(g);
 
-        let st = stm.stats();
+        let st = stm.stats_snapshot();
         assert_eq!(st.inflations, st.deflations, "every inflation must deflate");
         total_inflations = st.inflations;
     }

@@ -49,7 +49,7 @@ fn steady_state_attempts_allocate_nothing() {
     stm.reset_stats();
 
     drive(&stm, &objs, 500, 0);
-    let st = stm.stats();
+    let st = stm.stats_snapshot();
     assert_eq!(st.commits, 500, "uncontended single-thread run must commit every attempt");
     assert_eq!(st.descriptor_alloc, 0, "steady state must recycle every descriptor");
     assert_eq!(st.backup_alloc, 0, "steady state must reuse every backup buffer");
@@ -91,7 +91,7 @@ fn descriptor_referenced_by_owner_word_is_never_recycled() {
 
     #[cfg(feature = "stats")]
     assert!(
-        stm.stats().descriptor_reused > 100,
+        stm.stats_snapshot().descriptor_reused > 100,
         "churn must actually recycle descriptors for this test to mean anything"
     );
 
@@ -140,7 +140,7 @@ fn recycling_keeps_counters_correct_under_contention() {
     });
 
     assert_eq!(shared.read_untracked(), (THREADS * TXNS) as u64, "lost updates");
-    let st = stm.stats();
+    let st = stm.stats_snapshot();
     assert_eq!(st.commits, (THREADS * TXNS) as u64);
     #[cfg(feature = "stats")]
     {

@@ -302,7 +302,7 @@ fn induced_inflation_and_deflation_pass_the_sanitizer() {
     }
     machine.run(bodies);
 
-    let st = stm.stats();
+    let st = stm.stats_snapshot();
     assert!(st.inflations > 0, "scenario must exercise inflation: {st:?}");
     assert!(st.deflations > 0, "and deflation: {st:?}");
     let v = stm.sanitizer().violations();
@@ -356,6 +356,6 @@ fn abort_heavy_churn_keeps_restore_invariant() {
     });
     let v = stm.sanitizer().violations();
     assert!(v.is_empty(), "{v:?}\n{}", stm.sanitizer().replay_dump());
-    let st = stm.stats();
+    let st = stm.stats_snapshot();
     assert!(st.aborts() > 0, "churn must actually abort: {st:?}");
 }

@@ -3,7 +3,7 @@
 //! This stands in for the GEMS memory models the paper runs on. The model
 //! is a *timing* model only — data always lives in real host memory; the
 //! cache tracks which 64-byte lines are resident where, and charges
-//! latencies from the [`CostModel`](crate::costs::CostModel).
+//! latencies from the [`CostModel`].
 //!
 //! Why it matters for the reproduction:
 //!

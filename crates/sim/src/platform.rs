@@ -8,7 +8,7 @@
 //!   free. This is the "Rock machine" configuration used for Figure 4:
 //!   the STM algorithms execute with genuine hardware concurrency.
 //! * [`SimPlatform`] — the deterministic simulated multiprocessor
-//!   ([`Machine`](crate::sched::Machine)): hooks charge cycles, memory
+//!   ([`Machine`]): hooks charge cycles, memory
 //!   accesses go through the cache model, and yields drive the cooperative
 //!   scheduler. This is the "Simics/GEMS" configuration used for Figure 3.
 //!
@@ -29,7 +29,7 @@ use std::time::Instant;
 /// they vary with ASLR and allocator state, and freed lines get recycled
 /// at different times in different runs. Instead, every charged object
 /// takes a unique, never-recycled synthetic line range at construction;
-/// [`Machine`](crate::sched::Machine) then maps those lines densely in
+/// [`Machine`] then maps those lines densely in
 /// first-access order, making cache behaviour a pure function of the
 /// simulated execution.
 static SYNTH_NEXT_LINE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(16);

@@ -90,6 +90,10 @@ pub enum SchedPolicy {
 pub struct Decision {
     pub chosen: u32,
     pub runnable: u32,
+    /// The chosen core's logical clock when it received the token — the
+    /// same clock domain `SimPlatform::now()` exposes, so decision
+    /// traces correlate with engine flight-recorder events.
+    pub clock: u64,
 }
 
 /// Consecutive decisions for the same core under `Random` before the
@@ -210,7 +214,7 @@ impl SchedState {
         if let Some(c) = chosen {
             let runnable = self.runnable_mask();
             if let Some(ds) = self.decisions.as_mut() {
-                ds.push(Decision { chosen: c as u32, runnable });
+                ds.push(Decision { chosen: c as u32, runnable, clock: self.clocks[c] });
             }
             self.cursor += 1;
         }

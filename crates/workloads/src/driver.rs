@@ -11,7 +11,7 @@ use crate::hashtable::HashTableSet;
 use crate::linkedlist::LinkedListSet;
 use crate::redblack::RedBlackSet;
 use crate::set::{populate, Contention, SetOp, TmSet};
-use nztm_core::{TmStats, TmSys};
+use nztm_core::{ObjectHeat, TmStats, TmSys};
 use nztm_sim::{DetRng, Machine, Native, Platform, SimPlatform};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -63,6 +63,18 @@ pub struct BenchResult {
     pub elapsed: u64,
     /// Merged TM statistics over the measured phase.
     pub stats: TmStats,
+    /// The hottest objects by contention (empty unless the system was
+    /// built with the `trace` feature and tracing armed before the run).
+    pub hotspots: Vec<ObjectHeat>,
+}
+
+/// Hotspots retained per run report.
+pub const MAX_HOTSPOTS: usize = 8;
+
+/// Drain the system's flight recorder (quiescent at the end of a
+/// measured phase) into a per-object contention ranking.
+fn take_hotspots<S: TmSys>(sys: &S) -> Vec<ObjectHeat> {
+    sys.take_trace().hottest_objects(MAX_HOTSPOTS)
 }
 
 impl BenchResult {
@@ -134,7 +146,7 @@ pub fn run_set_native<S: TmSys>(
         barrier.wait();
     });
     let elapsed = start.elapsed().as_nanos() as u64;
-    BenchResult { ops: done_ops.load(Ordering::Relaxed), elapsed, stats: sys.stats() }
+    BenchResult { ops: done_ops.load(Ordering::Relaxed), elapsed, stats: sys.stats_snapshot(), hotspots: take_hotspots(&**sys) }
 }
 
 /// Run on the simulated machine; returns cycle-based results (Figure 3
@@ -184,7 +196,8 @@ pub fn run_set_sim<S: TmSys>(
     BenchResult {
         ops: done_ops.load(Ordering::Relaxed),
         elapsed: report.makespan,
-        stats: sys.stats(),
+        stats: sys.stats_snapshot(),
+        hotspots: take_hotspots(&**sys),
     }
 }
 
@@ -236,7 +249,7 @@ pub fn run_kmeans_sim<S: TmSys>(
         elapsed += machine.run(bodies).makespan;
         ops += points;
     }
-    BenchResult { ops, elapsed, stats: sys.stats() }
+    BenchResult { ops, elapsed, stats: sys.stats_snapshot(), hotspots: take_hotspots(&**sys) }
 }
 
 /// Run kmeans natively (wall clock).
@@ -268,7 +281,7 @@ pub fn run_kmeans_native<S: TmSys>(
         assert_eq!(km.recompute_centers(&**sys), cfg.points as u64);
         ops += cfg.points as u64;
     }
-    BenchResult { ops, elapsed: start.elapsed().as_nanos() as u64, stats: sys.stats() }
+    BenchResult { ops, elapsed: start.elapsed().as_nanos() as u64, stats: sys.stats_snapshot(), hotspots: take_hotspots(&**sys) }
 }
 
 /// Run genome on the simulator: parallel dedup, serial entry build (host
@@ -315,7 +328,7 @@ pub fn run_genome_sim<S: TmSys>(
     elapsed += machine.run(bodies).makespan;
     ga.reconstruct(&**sys); // asserts acyclic chains
 
-    BenchResult { ops: ga.segments.len() as u64 + n_entries, elapsed, stats: sys.stats() }
+    BenchResult { ops: ga.segments.len() as u64 + n_entries, elapsed, stats: sys.stats_snapshot(), hotspots: take_hotspots(&**sys) }
 }
 
 /// Run genome natively.
@@ -360,7 +373,8 @@ pub fn run_genome_native<S: TmSys>(
     BenchResult {
         ops: g.segments.len() as u64 + n_entries,
         elapsed: start.elapsed().as_nanos() as u64,
-        stats: sys.stats(),
+        stats: sys.stats_snapshot(),
+        hotspots: take_hotspots(&**sys),
     }
 }
 
@@ -410,7 +424,8 @@ pub fn run_vacation_sim<S: TmSys>(
     BenchResult {
         ops: threads as u64 * txns_per_thread,
         elapsed: report.makespan,
-        stats: sys.stats(),
+        stats: sys.stats_snapshot(),
+        hotspots: take_hotspots(&**sys),
     }
 }
 
@@ -446,7 +461,8 @@ pub fn run_vacation_native<S: TmSys>(
     BenchResult {
         ops: threads as u64 * txns_per_thread,
         elapsed: start.elapsed().as_nanos() as u64,
-        stats: sys.stats(),
+        stats: sys.stats_snapshot(),
+        hotspots: take_hotspots(&**sys),
     }
 }
 

@@ -44,7 +44,7 @@ impl<S: TmSys> TransferBank<S> {
     /// (1 in 8) a read-only audit of every account.
     pub fn one_op(&self, sys: &S, rng: &mut DetRng) {
         if rng.chance(1, 8) {
-            let total = sys.execute(&mut |tx| {
+            let total = sys.execute(|tx| {
                 let mut sum = 0u64;
                 for a in &self.accounts {
                     sum += S::read(tx, a)?;
@@ -62,7 +62,7 @@ impl<S: TmSys> TransferBank<S> {
         }
         let amount = rng.next_u64() % 5;
         let (from, to) = (&self.accounts[from as usize], &self.accounts[to as usize]);
-        sys.execute(&mut |tx| {
+        sys.execute(|tx| {
             let f = S::read(tx, from)?;
             let t = S::read(tx, to)?;
             let moved = amount.min(f);
@@ -138,7 +138,7 @@ pub fn stress_native<S: TmSys>(platform: &Arc<Native>, sys: &Arc<S>, cfg: &Stres
     });
     platform.register_thread_as(0);
     bank.assert_conserved();
-    sys.stats()
+    sys.stats_snapshot()
 }
 
 /// Run the transfer-bank stress on the simulated machine (one thread per
@@ -184,7 +184,7 @@ pub fn stress_sim<S: TmSys>(
         .collect();
     let report = machine.run(bodies);
     bank.assert_conserved();
-    (sys.stats(), report)
+    (sys.stats_snapshot(), report)
 }
 
 #[cfg(test)]

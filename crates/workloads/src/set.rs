@@ -68,17 +68,17 @@ pub trait TmSet<S: TmSys>: Send + Sync {
 
     /// Insert as a standalone transaction. Returns whether the key was new.
     fn insert(&self, sys: &S, key: u64) -> bool {
-        sys.execute(&mut |tx| self.insert_tx(sys, tx, key))
+        sys.execute(|tx| self.insert_tx(sys, tx, key))
     }
 
     /// Delete as a standalone transaction. Returns whether the key existed.
     fn delete(&self, sys: &S, key: u64) -> bool {
-        sys.execute(&mut |tx| self.delete_tx(sys, tx, key))
+        sys.execute(|tx| self.delete_tx(sys, tx, key))
     }
 
     /// Lookup as a standalone transaction.
     fn contains(&self, sys: &S, key: u64) -> bool {
-        sys.execute(&mut |tx| self.contains_tx(sys, tx, key))
+        sys.execute(|tx| self.contains_tx(sys, tx, key))
     }
 
     /// Execute one drawn operation as a transaction.

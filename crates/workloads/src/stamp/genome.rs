@@ -155,7 +155,7 @@ impl<S: TmSys> Genome<S> {
                 }
                 let Some(&j) = self.index.get(&cand) else { continue };
                 let cand_obj = &self.entries[j];
-                let claimed = sys.execute(&mut |tx| {
+                let claimed = sys.execute(|tx| {
                     let mut c = S::read(tx, cand_obj)?;
                     if c.claimed {
                         return Ok(false);

@@ -129,7 +129,7 @@ impl<S: TmSys> Kmeans<S> {
             let p = &self.points[idx];
             work(self.cfg.compute_cycles);
             let k = Self::nearest(&centers, p);
-            sys.execute(&mut |tx| {
+            sys.execute(|tx| {
                 let mut acc = S::read(tx, &self.accs[k])?;
                 acc.count += 1;
                 for (s, v) in acc.sum.iter_mut().zip(p) {
@@ -147,7 +147,7 @@ impl<S: TmSys> Kmeans<S> {
         let mut centers = self.centers.write();
         let mut total = 0;
         for (k, acc_obj) in self.accs.iter().enumerate() {
-            let acc = sys.execute(&mut |tx| {
+            let acc = sys.execute(|tx| {
                 let a = S::read(tx, acc_obj)?;
                 S::write(tx, acc_obj, &CenterAcc::zero())?;
                 Ok(a)

@@ -189,7 +189,7 @@ impl<S: TmSys> Vacation<S> {
             .collect();
         let cust = &self.customers[cust_i];
 
-        sys.execute(&mut |tx| {
+        sys.execute(|tx| {
             // Query phase: tree lookups + record reads; remember the
             // cheapest available resource seen.
             let mut best: Option<(usize, u64, u64)> = None; // kind, id, price
@@ -236,7 +236,7 @@ impl<S: TmSys> Vacation<S> {
     ) -> (usize, Vec<(usize, u64)>) {
         let cust_i = rng.next_below(self.cfg.customers as u64) as usize;
         let cust = &self.customers[cust_i];
-        let released = sys.execute(&mut |tx| {
+        let released = sys.execute(|tx| {
             let c = S::read(tx, cust)?;
             let mut released = Vec::new();
             for s in c.slots {
@@ -264,7 +264,7 @@ impl<S: TmSys> Vacation<S> {
         let kind = rng.next_below(KINDS as u64) as usize;
         let id = rng.next_below(self.cfg.relations as u64);
         let add = rng.chance(1, 2);
-        sys.execute(&mut |tx| {
+        sys.execute(|tx| {
             if add {
                 self.indices[kind].insert_tx(sys, tx, id)?;
             } else {

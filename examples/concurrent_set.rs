@@ -47,7 +47,7 @@ fn run_backend<S: TmSys>(name: &str, sys: Arc<S>, platform: Arc<Native>) -> Vec<
     platform.register_thread_as(0);
     set.check_invariants(&*sys);
     let elems = set.elements(&*sys);
-    let stats = sys.stats();
+    let stats = sys.stats_snapshot();
     println!(
         "{name:<10} {:>8.1} ops/ms   commits={:<7} aborts={:<6} ({:>5.2}%)  final |set|={}",
         (THREADS as u64 * OPS_PER_THREAD) as f64 / elapsed.as_millis().max(1) as f64,

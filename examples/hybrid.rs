@@ -36,7 +36,7 @@ fn build(cores: usize, store_buffer: usize) -> (Arc<Machine>, Arc<NztmHybrid>) {
 }
 
 fn report(label: &str, hy: &NztmHybrid, cycles: u64) {
-    let st = hy.stats();
+    let st = hy.stats_snapshot();
     println!(
         "{label:<28} cycles={cycles:<11} commits={:<6} hw-share={:>5.1}%  hw-aborts={} (conflict {} / capacity {} / other {})  fallbacks={}",
         st.commits,
@@ -62,7 +62,7 @@ fn main() {
                     let mut rng = DetRng::new(1).split(tid as u64);
                     for _ in 0..200 {
                         let i = rng.next_below(64) as usize;
-                        hy.execute(&mut |tx| {
+                        hy.execute(|tx| {
                             let v = NztmHybrid::read(tx, &objs[i])?;
                             NztmHybrid::write(tx, &objs[i], &(v + 1))
                         });
@@ -85,7 +85,7 @@ fn main() {
                 let objs = Arc::clone(&objs);
                 Box::new(move || {
                     for _ in 0..10 {
-                        hy.execute(&mut |tx| {
+                        hy.execute(|tx| {
                             for o in objs.iter() {
                                 let v = NztmHybrid::read(tx, o)?;
                                 NztmHybrid::write(tx, o, &(v + 1))?;
@@ -98,7 +98,7 @@ fn main() {
             .collect();
         let r = machine.run(bodies);
         report("2: store-buffer overflow", &hy, r.makespan);
-        assert!(hy.stats().fallbacks > 0, "capacity aborts must fall back to software");
+        assert!(hy.stats_snapshot().fallbacks > 0, "capacity aborts must fall back to software");
         hy.htm().uninstall();
     }
 
@@ -114,7 +114,7 @@ fn main() {
                     let mut rng = DetRng::new(3).split(tid as u64);
                     for _ in 0..150 {
                         let i = rng.next_below(2) as usize;
-                        hy.execute(&mut |tx| {
+                        hy.execute(|tx| {
                             let v = NztmHybrid::read(tx, &hot[i])?;
                             NztmHybrid::write(tx, &hot[i], &(v + 1))
                         });

@@ -115,7 +115,7 @@ fn scenario<M: nztm_core::ModePolicy>(
         }
     });
 
-    let stats = stm.stats();
+    let stats = stm.stats_snapshot();
     let lat = *handler_latency.lock();
     match lat {
         Some(d) => println!(

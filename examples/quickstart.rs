@@ -62,7 +62,7 @@ fn main() {
 
     // 5. Verify and report.
     let total: u64 = accounts.iter().map(|a| a.read_untracked()).sum();
-    let stats = stm.stats();
+    let stats = stm.stats_snapshot();
     println!("accounts:          {ACCOUNTS}");
     println!("total balance:     {total} (expected {})", ACCOUNTS as u64 * INITIAL);
     println!("commits:           {}", stats.commits);

@@ -1,0 +1,191 @@
+//! Trait-level `TmSys` conformance suite.
+//!
+//! One battery of observable-behaviour checks — execute/retry semantics,
+//! closure-state persistence, explicit aborts with [`AbortCause`], stats
+//! snapshot/reset contracts, and the tracing endpoints — run against
+//! every `TmSys` implementation in the workspace. `cross_system.rs`
+//! checks that the backends compute the same *results*; this file checks
+//! that they honour the same *interface contract*, so a new backend (or
+//! an API change) that silently diverges fails here by name.
+
+use nztm_core::cm::KarmaDeadlock;
+use nztm_core::{
+    Abort, AbortCause, Bzstm, NzBuilder, NzConfig, Nzstm, NzstmScss, ReadMode, TmSys,
+};
+use nztm_dstm::{Dstm, GlobalLockTm, ShadowStm};
+use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, LogTmSe, NztmHybrid};
+use nztm_sim::{Machine, MachineConfig, Native, SimPlatform};
+use std::sync::Arc;
+
+/// What a backend opts out of; the battery adapts rather than failing.
+#[derive(Clone, Copy)]
+struct Caps {
+    /// The closure may return `Err(Abort)` and the system aborts the
+    /// attempt and retries. `GlobalLockTm` cannot abort by construction,
+    /// so it opts out.
+    explicit_abort: bool,
+    /// The engine has a flight recorder (BZSTM/NZSTM/SCSS/hybrid);
+    /// reference systems keep the no-op tracing defaults.
+    records_events: bool,
+}
+
+const ENGINE: Caps = Caps { explicit_abort: true, records_events: true };
+const REFERENCE: Caps = Caps { explicit_abort: true, records_events: false };
+const NO_ABORT: Caps = Caps { explicit_abort: false, records_events: false };
+
+fn battery<S: TmSys>(sys: &S, caps: Caps) {
+    let who = sys.name();
+    assert!(!who.is_empty(), "name() must be non-empty");
+
+    // execute returns the closure's value; committed writes are visible.
+    let a = sys.alloc(10u64);
+    let b = sys.alloc(32u64);
+    let got = sys.execute(|tx| {
+        let x = S::read(tx, &a)?;
+        let y = S::read(tx, &b)?;
+        S::write(tx, &a, &(x + y))?;
+        Ok(x + y)
+    });
+    assert_eq!(got, 42, "{who}: execute returns the closure's value");
+    assert_eq!(S::peek(&a), 42, "{who}: committed write visible");
+    assert_eq!(S::peek(&b), 32, "{who}: untouched object unchanged");
+
+    // execute takes `impl FnMut`: captured state survives across
+    // attempts (and by-value passing works without `&mut`).
+    let mut calls = 0u32;
+    sys.execute(|tx| {
+        calls += 1;
+        let v = S::read(tx, &a)?;
+        S::write(tx, &a, &(v + 1))?;
+        Ok(())
+    });
+    assert!(calls >= 1, "{who}: closure ran");
+    assert_eq!(S::peek(&a), 43, "{who}: exactly one committed increment");
+
+    // Explicit abort: `Err(Abort(Explicit))` aborts the attempt, the
+    // system retries, and no partial effects of aborted attempts leak.
+    if caps.explicit_abort {
+        let mut attempts = 0u32;
+        let v = sys.execute(|tx| {
+            attempts += 1;
+            let v = S::read(tx, &a)?;
+            S::write(tx, &a, &(v + 100))?;
+            if attempts < 3 {
+                return Err(Abort(AbortCause::Explicit));
+            }
+            Ok(v)
+        });
+        assert!(attempts >= 3, "{who}: explicitly aborted attempts retry");
+        assert_eq!(v, 43, "{who}: aborted attempts leave no trace");
+        assert_eq!(S::peek(&a), 143, "{who}: only the committed attempt wrote");
+        let st = sys.stats_snapshot();
+        // HTM-first systems surface the aborted attempts as hardware
+        // aborts; software systems as AbortCause-keyed counts.
+        assert!(st.aborts() + st.htm_aborts >= 2, "{who}: explicit aborts counted: {st:?}");
+    }
+
+    // Stats: snapshot is callable anytime and monotone between commits;
+    // reset (quiescent here) zeroes the counters.
+    let s1 = sys.stats_snapshot();
+    assert!(s1.commits >= 2, "{who}: commits counted: {s1:?}");
+    sys.execute(|tx| S::read(tx, &a).map(|_| ()));
+    let s2 = sys.stats_snapshot();
+    assert!(s2.commits > s1.commits, "{who}: commits monotone");
+    sys.reset_stats();
+    assert_eq!(sys.stats_snapshot().commits, 0, "{who}: reset zeroes");
+
+    // Tracing endpoints exist on every impl. The drained trace is
+    // well-formed; a drain is destructive (second drain is empty); and
+    // engines with a recorder actually capture events when the `trace`
+    // feature is compiled in.
+    sys.set_tracing(true);
+    sys.execute(|tx| {
+        let v = S::read(tx, &a)?;
+        S::write(tx, &a, &(v + 1))?;
+        Ok(())
+    });
+    sys.set_tracing(false);
+    let t = sys.take_trace();
+    t.check_well_formed().unwrap_or_else(|e| panic!("{who}: malformed trace: {e}"));
+    if cfg!(feature = "trace") && caps.records_events {
+        assert!(!t.is_empty(), "{who}: recorder armed but no events");
+    } else if !cfg!(feature = "trace") {
+        assert!(t.is_empty(), "{who}: trace feature off yet events appeared");
+    }
+    assert!(sys.take_trace().is_empty(), "{who}: drain is destructive");
+}
+
+fn native1() -> Arc<Native> {
+    let p = Native::new(1);
+    p.register_thread_as(0);
+    p
+}
+
+#[test]
+fn conformance_bzstm() {
+    battery(&*NzBuilder::new(native1()).build_bzstm(), ENGINE);
+}
+
+#[test]
+fn conformance_nzstm() {
+    battery(&*NzBuilder::new(native1()).build_nzstm(), ENGINE);
+}
+
+#[test]
+fn conformance_nzstm_invisible_reads() {
+    battery(&*NzBuilder::new(native1()).read_mode(ReadMode::Invisible).build_nzstm(), ENGINE);
+}
+
+#[test]
+fn conformance_scss() {
+    battery(&*NzBuilder::new(native1()).build_scss(), ENGINE);
+}
+
+#[test]
+fn conformance_pre_builder_constructors_still_work() {
+    // The pre-builder construction paths keep working (the deprecated
+    // `nzstm_default` shim and the plain `with_defaults` constructors)
+    // and behave like the builder's output.
+    #[allow(deprecated)]
+    battery(&*nztm_core::nzstm_default(native1()), ENGINE);
+    battery(&*Bzstm::with_defaults(native1()), ENGINE);
+    battery(&*NzstmScss::with_defaults(native1()), ENGINE);
+}
+
+#[test]
+fn conformance_dstm() {
+    battery(&*Dstm::with_defaults(native1()), REFERENCE);
+}
+
+#[test]
+fn conformance_shadow() {
+    battery(&*ShadowStm::with_defaults(native1()), REFERENCE);
+}
+
+#[test]
+fn conformance_global_lock() {
+    battery(&*GlobalLockTm::new(native1()), NO_ABORT);
+}
+
+#[test]
+fn conformance_logtm_on_sim() {
+    let m = Machine::new(MachineConfig::paper(1));
+    let p = SimPlatform::new(Arc::clone(&m));
+    let s = LogTmSe::new(p);
+    let s2 = Arc::clone(&s);
+    m.run(vec![Box::new(move || battery(&*s2, REFERENCE))]);
+}
+
+#[test]
+fn conformance_hybrid_on_sim() {
+    let m = Machine::new(MachineConfig::paper(1));
+    let p = SimPlatform::new(Arc::clone(&m));
+    let stm =
+        Nzstm::new(Arc::clone(&p), Arc::new(KarmaDeadlock::default()), NzConfig::default());
+    let htm = BestEffortHtm::new(Arc::clone(&p), AtmtpConfig::default());
+    htm.install();
+    let hy = NztmHybrid::new(stm, htm, HybridConfig::default());
+    let hy2 = Arc::clone(&hy);
+    m.run(vec![Box::new(move || battery(&*hy2, ENGINE))]);
+    hy.htm().uninstall();
+}

@@ -116,7 +116,7 @@ fn hybrid_matches_reference_on_sim() {
         let ht = HashTableSet::new(&*hy2, 2_048);
         check_against_reference(&ht, &*hy2, 33, 300, Contention::Low);
     })]);
-    let st = hy.stats();
+    let st = hy.stats_snapshot();
     assert!(st.htm_commits > 0, "the hybrid's hardware path must carry load: {st:?}");
     hy.htm().uninstall();
 }

@@ -32,7 +32,7 @@ fn inflation_not_observed_in_ordinary_runs() {
             });
         }
     });
-    let st = s.stats();
+    let st = s.stats_snapshot();
     assert_eq!(st.inflations, 0, "responsive threads must never trigger inflation: {st:?}");
     assert!(st.conflicts > 0, "the run must actually have contention");
 }
@@ -92,7 +92,7 @@ fn inflation_induced_on_simulator() {
     }
     machine.run(bodies);
 
-    let st = stm.stats();
+    let st = stm.stats_snapshot();
     assert!(st.inflations > 0, "survivors had to inflate: {st:?}");
     assert!(st.deflations > 0, "and deflate once the victim acknowledged: {st:?}");
     assert_eq!(st.commits, 1 + 50, "everyone eventually commits");
@@ -137,7 +137,7 @@ fn induced_inflation_is_deterministic() {
                 }
             }),
         ]);
-        let st = stm.stats();
+        let st = stm.stats_snapshot();
         (report.makespan, st.inflations, st.deflations)
     }
     let a = run();
