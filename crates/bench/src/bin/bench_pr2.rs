@@ -17,8 +17,10 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  bench_pr2 run [--quick] [--repeat N] [--out PATH]\n  \
+        "usage:\n  bench_pr2 run [--quick] [--repeat N] [--scaling] [--out PATH]\n  \
          bench_pr2 check --baseline PATH --current PATH [--tolerance 0.15] [--raw]\n\n\
+         --scaling appends the NZSTM thread-scaling sweep (1..128 threads,\n\
+         crossing the striped-reader-indicator boundary at 64).\n\
          --raw gates on plain ops/s (same-machine A/B runs) instead of\n\
          calibration-normalized throughput (cross-machine baselines)."
     );
@@ -40,6 +42,7 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 fn cmd_run(args: &[String]) -> ExitCode {
     let quick = args.iter().any(|a| a == "--quick");
+    let scaling = args.iter().any(|a| a == "--scaling");
     let out = flag_value(args, "--out");
     // Best-of-N per cell; filters machine-load spikes for tight-
     // tolerance comparisons.
@@ -52,7 +55,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     } else {
         ("full", HotScale::full())
     };
-    let report = run_matrix_best_of(mode, &scale, true, repeat);
+    let report = run_matrix_best_of(mode, &scale, true, repeat, scaling);
     println!("{}", report.render_text());
     if let Some(path) = out {
         if let Err(e) = std::fs::write(path, report.to_json()) {

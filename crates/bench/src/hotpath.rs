@@ -35,6 +35,19 @@ pub const WORKLOADS: &[&str] = &["read-heavy", "write-heavy", "transfer"];
 pub const SYSTEMS: &[&str] = &["BZSTM", "NZSTM", "SCSS", "HYBRID"];
 pub const THREADS: &[usize] = &[1, 4, 8];
 
+/// Scaling-sweep dimension (`bench_pr2 run --scaling`): NZSTM on native
+/// threads across thread counts that cross the 64-thread flat reader-
+/// bitmap boundary. `scale-read-mostly` reuses the read-heavy op mix
+/// (visible-reader registration dominates); `scale-mixed` reuses the
+/// transfer bank (conflicting read/write).
+pub const SCALING_WORKLOADS: &[&str] = &["scale-read-mostly", "scale-mixed"];
+pub const SCALING_SYSTEM: &str = "NZSTM";
+pub const SCALING_THREADS: &[usize] = &[1, 4, 16, 64, 128];
+/// Scaling cells past this thread count are reported but never gated:
+/// 128 threads oversubscribe every CI runner, so their wall-clock is
+/// dominated by the host scheduler, not the STM hot path.
+pub const SCALING_GATE_MAX_THREADS: usize = 64;
+
 const N_OBJECTS: usize = 256;
 const N_ACCOUNTS: usize = 64;
 
@@ -115,9 +128,9 @@ enum HotWorkload {
 impl HotWorkload {
     fn from_name(s: &str) -> HotWorkload {
         match s {
-            "read-heavy" => HotWorkload::ReadHeavy,
+            "read-heavy" | "scale-read-mostly" => HotWorkload::ReadHeavy,
             "write-heavy" => HotWorkload::WriteHeavy,
-            "transfer" => HotWorkload::Transfer,
+            "transfer" | "scale-mixed" => HotWorkload::Transfer,
             other => panic!("unknown workload {other:?}"),
         }
     }
@@ -376,35 +389,46 @@ fn run_cell(workload: &str, system: &str, threads: usize, scale: &HotScale) -> C
     }
 }
 
-/// Run the full matrix and assemble the report.
-pub fn run_matrix(mode: &str, scale: &HotScale, progress: bool) -> HotReport {
+/// Run the full matrix and assemble the report. With `scaling`, the
+/// NZSTM scaling sweep (see [`SCALING_WORKLOADS`]) is appended.
+pub fn run_matrix(mode: &str, scale: &HotScale, progress: bool, scaling: bool) -> HotReport {
     let calibration_mops = calibrate();
     let mut cells = Vec::new();
+    let mut measure = |w: &str, s: &str, t: usize| {
+        let timing = run_cell(w, s, t, scale);
+        let secs = timing.elapsed_ns as f64 / 1e9;
+        let ops_per_sec = timing.ops as f64 / secs;
+        let norm = ops_per_sec / (calibration_mops * 1e6);
+        if progress {
+            eprintln!(
+                "{w:<16} {s:<7} t={t}  {:>12.0} ops/s  norm={norm:.6}  \
+                 commits={} aborts={}",
+                ops_per_sec, timing.commits, timing.aborts
+            );
+        }
+        cells.push(HotCell {
+            workload: w.to_string(),
+            system: s.to_string(),
+            threads: t,
+            ops: timing.ops,
+            elapsed_ns: timing.elapsed_ns,
+            ops_per_sec,
+            norm,
+            commits: timing.commits,
+            aborts: timing.aborts,
+        });
+    };
     for &w in WORKLOADS {
         for &s in SYSTEMS {
             for &t in THREADS {
-                let timing = run_cell(w, s, t, scale);
-                let secs = timing.elapsed_ns as f64 / 1e9;
-                let ops_per_sec = timing.ops as f64 / secs;
-                let norm = ops_per_sec / (calibration_mops * 1e6);
-                if progress {
-                    eprintln!(
-                        "{w:<12} {s:<7} t={t}  {:>12.0} ops/s  norm={norm:.6}  \
-                         commits={} aborts={}",
-                        ops_per_sec, timing.commits, timing.aborts
-                    );
-                }
-                cells.push(HotCell {
-                    workload: w.to_string(),
-                    system: s.to_string(),
-                    threads: t,
-                    ops: timing.ops,
-                    elapsed_ns: timing.elapsed_ns,
-                    ops_per_sec,
-                    norm,
-                    commits: timing.commits,
-                    aborts: timing.aborts,
-                });
+                measure(w, s, t);
+            }
+        }
+    }
+    if scaling {
+        for &w in SCALING_WORKLOADS {
+            for &t in SCALING_THREADS {
+                measure(w, SCALING_SYSTEM, t);
             }
         }
     }
@@ -421,13 +445,14 @@ pub fn run_matrix_best_of(
     scale: &HotScale,
     progress: bool,
     repeat: usize,
+    scaling: bool,
 ) -> HotReport {
-    let mut best = run_matrix(mode, scale, progress);
+    let mut best = run_matrix(mode, scale, progress, scaling);
     for round in 1..repeat.max(1) {
         if progress {
             eprintln!("-- best-of round {} --", round + 1);
         }
-        let next = run_matrix(mode, scale, progress);
+        let next = run_matrix(mode, scale, progress, scaling);
         best.calibration_mops = best.calibration_mops.max(next.calibration_mops);
         for (b, n) in best.cells.iter_mut().zip(next.cells) {
             debug_assert_eq!((&b.workload, &b.system, b.threads), (&n.workload, &n.system, n.threads));
@@ -504,6 +529,24 @@ impl HotReport {
                 write!(out, "{s:<8}").unwrap();
                 for &t in THREADS {
                     match self.cell(w, s, t) {
+                        Some(c) => write!(out, "{:>14.0}", c.ops_per_sec).unwrap(),
+                        None => write!(out, "{:>14}", "-").unwrap(),
+                    }
+                }
+                writeln!(out).unwrap();
+            }
+        }
+        if self.cells.iter().any(|c| SCALING_WORKLOADS.contains(&c.workload.as_str())) {
+            writeln!(out, "\n--- scaling sweep, {SCALING_SYSTEM} (ops/s) ---").unwrap();
+            write!(out, "{:<18}", "workload").unwrap();
+            for t in SCALING_THREADS {
+                write!(out, "{t:>14}").unwrap();
+            }
+            writeln!(out).unwrap();
+            for &w in SCALING_WORKLOADS {
+                write!(out, "{w:<18}").unwrap();
+                for &t in SCALING_THREADS {
+                    match self.cell(w, SCALING_SYSTEM, t) {
                         Some(c) => write!(out, "{:>14.0}", c.ops_per_sec).unwrap(),
                         None => write!(out, "{:>14}", "-").unwrap(),
                     }
@@ -671,6 +714,61 @@ pub fn check_reports_with(
         .unwrap();
         workload_speedup.push((w.to_string(), geomean));
     }
+    // Scaling sweep: the ≤64-thread read-mostly cells ride the same
+    // gate — they run in the flat reader-indicator mode, whose traffic
+    // is bit-identical to the pre-striping bitmap, so a regression here
+    // means the striping refactor leaked cost into the common case.
+    // Cells past SCALING_GATE_MAX_THREADS and the mixed sweep are
+    // reported for trend-watching only. An old baseline without scaling
+    // cells simply has no matched cells and gates nothing.
+    for &w in SCALING_WORKLOADS {
+        let gated = w == "scale-read-mostly";
+        let mut log_sum = 0.0f64;
+        let mut n = 0u32;
+        let mut any = false;
+        for &t in SCALING_THREADS {
+            let (Some(b), Some(c)) =
+                (baseline.cell(w, SCALING_SYSTEM, t), current.cell(w, SCALING_SYSTEM, t))
+            else {
+                continue;
+            };
+            let (bv, cv) = if raw { (b.ops_per_sec, c.ops_per_sec) } else { (b.norm, c.norm) };
+            if !(bv > 0.0 && cv > 0.0) {
+                continue;
+            }
+            if !any {
+                writeln!(out, "\n--- {w} ---").unwrap();
+                any = true;
+            }
+            let ratio = cv / bv;
+            let in_gate = gated && t <= SCALING_GATE_MAX_THREADS;
+            if in_gate {
+                log_sum += ratio.ln();
+                n += 1;
+            }
+            writeln!(
+                out,
+                "  {SCALING_SYSTEM:<7} t={t:<3}  {:>12.0} -> {:>12.0} ops/s   x{ratio:.2}{}",
+                b.ops_per_sec,
+                c.ops_per_sec,
+                if in_gate { "" } else { "   (not gated)" }
+            )
+            .unwrap();
+        }
+        if n == 0 {
+            continue;
+        }
+        let geomean = (log_sum / n as f64).exp();
+        let pass = geomean >= 1.0 - tolerance;
+        ok &= pass;
+        writeln!(
+            out,
+            "  geomean x{geomean:.3} (t<={SCALING_GATE_MAX_THREADS})  {}",
+            if pass { "OK" } else { "REGRESSION (below tolerance)" }
+        )
+        .unwrap();
+        workload_speedup.push((w.to_string(), geomean));
+    }
     CheckOutcome { report: out, workload_speedup, ok }
 }
 
@@ -738,6 +836,56 @@ mod tests {
         }
         let out = check_reports(&base, &cur, 0.15);
         assert!(out.ok, "{}", out.report);
+    }
+
+    fn demo_scaling_cells(scale: f64) -> Vec<HotCell> {
+        let mut cells = Vec::new();
+        for &w in SCALING_WORKLOADS {
+            for &t in SCALING_THREADS {
+                let ops_per_sec = 1e6 * scale * (t as f64).min(8.0);
+                cells.push(HotCell {
+                    workload: w.into(),
+                    system: SCALING_SYSTEM.into(),
+                    threads: t,
+                    ops: 1000,
+                    elapsed_ns: 1_000_000,
+                    ops_per_sec,
+                    norm: ops_per_sec / 100e6,
+                    commits: 1000,
+                    aborts: 3,
+                });
+            }
+        }
+        cells
+    }
+
+    #[test]
+    fn scaling_gate_covers_read_mostly_up_to_64_threads() {
+        let mut base = demo_report(1.0);
+        base.cells.extend(demo_scaling_cells(1.0));
+        // A slowdown confined to the ungated cells (128 threads, or the
+        // mixed sweep) must pass.
+        let mut cur = demo_report(1.0);
+        cur.cells.extend(demo_scaling_cells(1.0).into_iter().map(|mut c| {
+            if c.threads > SCALING_GATE_MAX_THREADS || c.workload == "scale-mixed" {
+                c.ops_per_sec *= 0.4;
+                c.norm *= 0.4;
+            }
+            c
+        }));
+        let out = check_reports(&base, &cur, 0.15);
+        assert!(out.ok, "{}", out.report);
+        // A slowdown in the gated scale-read-mostly cells must fail.
+        let mut cur2 = demo_report(1.0);
+        cur2.cells.extend(demo_scaling_cells(0.5));
+        let out2 = check_reports(&base, &cur2, 0.15);
+        assert!(!out2.ok, "{}", out2.report);
+        assert!(out2.report.contains("scale-read-mostly"));
+        // A baseline from before the sweep existed has no matched
+        // scaling cells and gates nothing there.
+        let old = demo_report(1.0);
+        let out3 = check_reports(&old, &cur2, 0.15);
+        assert!(out3.ok, "{}", out3.report);
     }
 
     #[test]

@@ -91,13 +91,14 @@ pub fn to_text(art: &Artifact) -> String {
         art.choices.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
     format!(
         "nztm-check failure artifact v1\n\
-         backend={}\nworkload={}\nthreads={}\nobjects={}\nops_per_thread={}\n\
+         backend={}\nworkload={}\nthreads={}\nhw_cores={}\nobjects={}\nops_per_thread={}\n\
          initial={}\npatience={}\nseed={}\nmax_cycles={}\ncrash_tid={}\nstall={}\n\
          inject_handshake_bug={}\npause={}\nyield_points={}\n\
          kind={}\ndetail={}\nchoices={}\n",
         c.backend.name(),
         c.workload.name(),
         c.threads,
+        c.hw_cores,
         c.objects,
         c.ops_per_thread,
         c.initial,
@@ -170,6 +171,11 @@ pub fn from_text(text: &str) -> Result<Artifact, String> {
         backend,
         workload,
         threads: num("threads")? as usize,
+        // Absent in artifacts written before oversubscription existed:
+        // those ran on dedicated machines.
+        hw_cores: fields.get("hw_cores").map_or(Ok(0), |v| {
+            v.parse().map_err(|e| format!("field hw_cores: {e}"))
+        })? as usize,
         objects: num("objects")? as usize,
         ops_per_thread: num("ops_per_thread")? as usize,
         initial: num("initial")?,
@@ -253,6 +259,7 @@ mod tests {
             crash_tid: Some(2),
             stall: Some((1, 5000)),
             pause: Some((9, 4)),
+            hw_cores: 2,
             ..CheckConfig::transfer(Backend::Scss)
         };
         let art = Artifact {
@@ -267,6 +274,24 @@ mod tests {
         assert_eq!(back.cfg.crash_tid, Some(2));
         assert_eq!(back.cfg.stall, Some((1, 5000)));
         assert_eq!(back.cfg.pause, Some((9, 4)));
+        assert_eq!(back.cfg.hw_cores, 2);
+    }
+
+    #[test]
+    fn artifacts_without_hw_cores_parse_as_dedicated() {
+        let art = Artifact {
+            cfg: CheckConfig::transfer(Backend::Nzstm),
+            kind: "sanitizer".into(),
+            detail: "d".into(),
+            choices: vec![1],
+        };
+        let text = to_text(&art)
+            .lines()
+            .filter(|l| !l.starts_with("hw_cores="))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.cfg.hw_cores, 0, "pre-oversubscription artifacts ran dedicated");
     }
 
     #[test]

@@ -7,8 +7,15 @@
 //! random-walk fuzzing block, and the targeted adversarial presets.
 //!
 //! ```text
-//! check_smoke [--budget-secs 120] [--out results]
+//! check_smoke [--budget-secs 120] [--out results] [--deep]
 //! ```
+//!
+//! `--deep` appends the nightly campaign: deeper bounded-exhaustive
+//! enumeration, long PCT-style random blocks, bounded-exhaustive at a
+//! higher thread count, and wide abort storms past the 64-thread flat
+//! reader-bitmap boundary on an oversubscribed machine. The wall-clock
+//! budget still applies — stages that don't fit are skipped, not
+//! overrun — so the nightly job sets `--budget-secs` to its time box.
 
 use nztm_check::{
     explore_exhaustive, explore_random, shrink, write_artifact, Artifact, Backend,
@@ -80,6 +87,7 @@ impl Campaign {
 fn main() {
     let mut budget_secs = 120u64;
     let mut out_dir = std::path::PathBuf::from("results");
+    let mut deep = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -92,6 +100,7 @@ fn main() {
             "--out" => {
                 out_dir = args.next().map(Into::into).unwrap_or_else(|| usage("--out needs a path"));
             }
+            "--deep" => deep = true,
             other => usage(&format!("unknown argument {other:?}")),
         }
     }
@@ -104,7 +113,8 @@ fn main() {
         stages: 0,
     };
     println!(
-        "nztm-check smoke: budget {budget_secs}s, artifacts to {} (sanitize: {})",
+        "nztm-check {}: budget {budget_secs}s, artifacts to {} (sanitize: {})",
+        if deep { "deep" } else { "smoke" },
         c.out_dir.display(),
         cfg!(feature = "sanitize"),
     );
@@ -138,8 +148,54 @@ fn main() {
         }
     }
 
+    if deep {
+        // The wide storms run first: they are the coverage the smoke pass
+        // lacks entirely (past the 64-thread flat reader-bitmap boundary,
+        // multiplexed onto 8 simulated cores, so every visible read lands
+        // in the striped indicator while token oversubscription shuffles
+        // which contexts make progress). The hybrid backend stays on
+        // narrow machines — its HTM model is tuned for them.
+        for backend in BACKENDS {
+            if backend == Backend::Hybrid {
+                continue;
+            }
+            let name = backend.name();
+            for threads in [68usize, 96, 128] {
+                c.stage(
+                    &format!("{name} wide abort storm x{threads}"),
+                    &CheckConfig::abort_storm_wide(backend, threads),
+                    |b| explore_random(b, 25, 4),
+                );
+            }
+        }
+        for backend in BACKENDS {
+            let name = backend.name();
+            // Deeper enumeration of the §3 transfer config than the smoke
+            // pass affords: two more forced decisions, 16x the schedule cap.
+            c.stage(&format!("{name} deep exhaustive transfer"), &CheckConfig::transfer(backend), |b| {
+                explore_exhaustive(b, 9, 20_000)
+            });
+            // Long PCT-style random-walk block (priority-perturbed seeds).
+            c.stage(&format!("{name} deep random transfer"), &CheckConfig::transfer(backend), |b| {
+                explore_random(b, 2_000, 4)
+            });
+            // Bounded-exhaustive at a higher thread count: more runnable
+            // cores per decision, so the branching factor — not the depth —
+            // carries the coverage.
+            let six = CheckConfig {
+                threads: 6,
+                objects: 3,
+                ..CheckConfig::transfer(backend)
+            };
+            c.stage(&format!("{name} exhaustive 6-thread transfer"), &six, |b| {
+                explore_exhaustive(b, 5, 4_000)
+            });
+        }
+    }
+
     println!(
-        "smoke PASS: {} stages, {} schedules in {:.1}s",
+        "{} PASS: {} stages, {} schedules in {:.1}s",
+        if deep { "deep" } else { "smoke" },
         c.stages,
         c.schedules,
         c.start.elapsed().as_secs_f64()
@@ -147,6 +203,6 @@ fn main() {
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("check_smoke: {msg}\nusage: check_smoke [--budget-secs N] [--out DIR]");
+    eprintln!("check_smoke: {msg}\nusage: check_smoke [--budget-secs N] [--out DIR] [--deep]");
     std::process::exit(2);
 }

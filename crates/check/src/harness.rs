@@ -72,6 +72,11 @@ pub struct CheckConfig {
     pub backend: Backend,
     pub workload: Workload,
     pub threads: usize,
+    /// Physical cores backing the simulated contexts (0 = dedicated, one
+    /// core per thread). Setting this below `threads` makes the simulated
+    /// machine oversubscribed: token handoffs charge a context-switch
+    /// penalty (see [`nztm_sim::MachineConfig::hw_cores`]).
+    pub hw_cores: usize,
     pub objects: usize,
     pub ops_per_thread: usize,
     /// Initial per-account balance (transfer workload only).
@@ -110,6 +115,7 @@ impl CheckConfig {
             backend,
             workload: Workload::Transfer,
             threads: 3,
+            hw_cores: 0,
             objects: 2,
             ops_per_thread: 2,
             initial: 2,
@@ -169,6 +175,24 @@ impl CheckConfig {
         }
     }
 
+    /// Wide abort storm: `threads` contexts (possibly past the 64-bit
+    /// flat reader-bitmap limit, exercising the striped indicator) on an
+    /// oversubscribed 8-core machine, minimal patience, one transfer per
+    /// thread. Judged by conservation past 64 history ops (see
+    /// [`crate::explore::judge`]).
+    pub fn abort_storm_wide(backend: Backend, threads: usize) -> Self {
+        CheckConfig {
+            threads,
+            hw_cores: 8,
+            objects: 4,
+            ops_per_thread: 1,
+            patience: 2,
+            initial: 4,
+            max_cycles: 400_000_000,
+            ..CheckConfig::transfer(backend)
+        }
+    }
+
     /// Whether this configuration needs the `sanitize` feature compiled in.
     pub fn requires_sanitize(&self) -> bool {
         self.inject_handshake_bug || self.pause.is_some() || self.yield_points
@@ -217,8 +241,11 @@ pub fn run_config(cfg: &CheckConfig) -> RunOutcome {
 }
 
 fn new_machine(cfg: &CheckConfig) -> (Arc<Machine>, Arc<SimPlatform>) {
-    let machine =
-        Machine::new(MachineConfig { max_cycles: cfg.max_cycles, ..MachineConfig::paper(cfg.threads) });
+    let machine = Machine::new(MachineConfig {
+        max_cycles: cfg.max_cycles,
+        hw_cores: cfg.hw_cores,
+        ..MachineConfig::paper(cfg.threads)
+    });
     machine.set_policy(cfg.policy.clone());
     machine.enable_decisions();
     let platform = SimPlatform::new(Arc::clone(&machine));

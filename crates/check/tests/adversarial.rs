@@ -70,6 +70,31 @@ fn abort_storm_fuzzing_stays_linearizable_on_all_backends() {
     }
 }
 
+/// Wide abort-storm: 68 simulated contexts — past the 64-thread flat
+/// reader-bitmap limit, so every visible read registers in the striped
+/// indicator — multiplexed onto an oversubscribed 8-core machine with
+/// minimal patience. Judged by conservation (the history is too wide for
+/// the Wing–Gong bitmask); no violation may surface on either NZSTM mode.
+#[test]
+fn wide_abort_storm_past_64_threads_finds_no_violation() {
+    for backend in [Backend::Nzstm, Backend::Scss] {
+        let base = CheckConfig::abort_storm_wide(backend, 68);
+        let report = explore_random(&base, 3, 4);
+        assert!(
+            report.failure.is_none(),
+            "{}: {:?}",
+            backend.name(),
+            report.failure
+        );
+        assert_eq!(report.schedules, 3, "{}", backend.name());
+        assert!(
+            report.aborts > 0,
+            "{}: the storm must actually abort transactions",
+            backend.name()
+        );
+    }
+}
+
 /// Random-walk fuzzing explores genuinely different interleavings:
 /// distinct seeds produce many distinct decision traces.
 #[test]

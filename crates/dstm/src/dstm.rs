@@ -5,8 +5,9 @@
 //! costs two dependent loads ("each level of indirection is a potential
 //! cache miss"). Writers acquire by building a replacement locator and
 //! CAS-ing the object's start word; readers here are *visible* (a reader
-//! bitmap beside the start word), matching the read-sharing extension the
-//! paper gives all its software systems.
+//! indicator beside the start word — flat bitmap up to 64 threads, striped
+//! above that), matching the read-sharing extension the paper gives all
+//! its software systems.
 //!
 //! Aborting a peer uses the same polite AbortNowPlease handshake as the
 //! rest of this workspace — but, as in real DSTM, the requester does
@@ -23,7 +24,7 @@ use nztm_core::registry::ThreadRegistry;
 use nztm_core::stats::{ThreadStats, TmStats};
 use nztm_core::txn::{Abort, AbortCause, Status, TxnDesc};
 use nztm_core::util::{Backoff, PerCore};
-use nztm_core::{TmSys, WordBuf};
+use nztm_core::{ReaderIndicator, ReaderVisit, TmSys, WordBuf};
 use nztm_sim::{AccessKind, DetRng, Platform};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -52,8 +53,8 @@ impl DstmLocator {
 struct DstmHeader {
     /// Pointer to the current `DstmLocator` (one strong count).
     start: AtomicU64,
-    /// Visible-reader bitmap.
-    readers: AtomicU64,
+    /// Visible-reader indicator: flat bitmap ≤ 64 threads, striped above.
+    readers: ReaderIndicator,
     /// Synthetic address of the TMObject word.
     synth: usize,
 }
@@ -103,7 +104,7 @@ pub struct DstmObject<T: TmData> {
 }
 
 impl<T: TmData> DstmObject<T> {
-    fn new(init: T) -> Arc<Self> {
+    fn new(init: T, reader_capacity: usize) -> Arc<Self> {
         let buf = WordBuf::zeroed(T::n_words());
         let mut scratch = vec![0u64; T::n_words()];
         init.encode(&mut scratch);
@@ -117,11 +118,15 @@ impl<T: TmData> DstmObject<T> {
             new_data: buf,
             synth: nztm_sim::synth_alloc(64),
         });
+        // Header line first, then (striped mode only) the stripe lines, so
+        // ≤ 64-thread address sequences are byte-identical to the flat-bitmap
+        // layout.
+        let synth = nztm_sim::synth_alloc(64);
         Arc::new(DstmObject {
             header: DstmHeader {
                 start: AtomicU64::new(Arc::into_raw(loc) as u64),
-                readers: AtomicU64::new(0),
-                synth: nztm_sim::synth_alloc(64),
+                readers: ReaderIndicator::new(reader_capacity, synth),
+                synth,
             },
             _marker: std::marker::PhantomData,
         })
@@ -294,8 +299,8 @@ impl<P: Platform> Dstm<P> {
         for r in ctx.read_set.drain(..) {
             // Safety: keepalive holds the object.
             let h = unsafe { &*r.header };
-            self.platform.mem_nb(h.addr(), 8, AccessKind::Rmw);
-            h.readers.fetch_and(!(1u64 << tid), Ordering::SeqCst);
+            self.platform.mem_nb(h.readers.word_addr(tid), 8, AccessKind::Rmw);
+            h.readers.remove(tid);
         }
     }
 
@@ -337,20 +342,22 @@ impl<P: Platform> Dstm<P> {
 
     fn request_readers(&self, ctx: &mut ThreadCtx, h: &DstmHeader, tid: usize, guard: &Guard) -> Result<(), Abort> {
         self.platform.mem(h.addr(), 8, AccessKind::Read);
-        let mut mask = h.readers.load(Ordering::SeqCst) & !(1u64 << tid);
         let me = Arc::as_ptr(Self::me(ctx));
-        while mask != 0 {
-            let t = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
-            self.platform.mem(self.registry.slot_addr(t), 8, AccessKind::Read);
-            if let Some(d) = self.registry.current(t, guard) {
-                if !std::ptr::eq(d, me) && d.status() == Status::Active {
-                    self.platform.mem(d.addr(), 8, AccessKind::Rmw);
-                    d.request_abort();
-                    ctx.stats.abort_requests_sent.bump();
+        h.readers.visit_readers(tid, |step| match step {
+            ReaderVisit::Stripe { addr, .. } => {
+                self.platform.mem(addr, 8, AccessKind::Read);
+            }
+            ReaderVisit::Reader { tid: t } => {
+                self.platform.mem(self.registry.slot_addr(t), 8, AccessKind::Read);
+                if let Some(d) = self.registry.current(t, guard) {
+                    if !std::ptr::eq(d, me) && d.status() == Status::Active {
+                        self.platform.mem(d.addr(), 8, AccessKind::Rmw);
+                        d.request_abort();
+                        ctx.stats.abort_requests_sent.bump();
+                    }
                 }
             }
-        }
+        });
         self.validate(ctx)
     }
 
@@ -419,8 +426,10 @@ impl<P: Platform> Dstm<P> {
         loop {
             let guard = nztm_epoch::pin();
             if !registered {
-                self.platform.mem(h.addr(), 8, AccessKind::Rmw);
-                h.readers.fetch_or(1u64 << tid, Ordering::SeqCst);
+                self.platform.mem(h.readers.word_addr(tid), 8, AccessKind::Rmw);
+                if h.readers.add(tid) {
+                    self.platform.mem_nb(h.addr(), 8, AccessKind::Rmw);
+                }
                 let keepalive: Arc<dyn Send + Sync> = obj.clone();
                 ctx.read_set.push(ReadEntry { header: h, keepalive });
                 registered = true;
@@ -498,7 +507,7 @@ impl<P: Platform> TmSys for Dstm<P> {
     type Tx<'t> = DstmTx<'t, P>;
 
     fn alloc<T: TmData>(&self, init: T) -> Self::Obj<T> {
-        DstmObject::new(init)
+        DstmObject::new(init, self.registry.len())
     }
 
     fn peek<T: TmData>(obj: &Self::Obj<T>) -> T {

@@ -22,16 +22,17 @@ use nztm_core::registry::ThreadRegistry;
 use nztm_core::stats::{ThreadStats, TmStats};
 use nztm_core::txn::{Abort, AbortCause, Status, TxnDesc};
 use nztm_core::util::{Backoff, PerCore};
-use nztm_core::TmSys;
+use nztm_core::{ReaderIndicator, ReaderVisit, TmSys};
 use nztm_sim::{AccessKind, DetRng, Platform};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Type-erased shadow-object metadata: owner word + reader bitmap.
+/// Type-erased shadow-object metadata: owner word + reader indicator.
 struct ShadowHeader {
     /// Raw pointer to the owning `TxnDesc` (one strong count); 0 = none.
     owner: AtomicU64,
-    readers: AtomicU64,
+    /// Visible readers: flat bitmap up to 64 threads, striped above.
+    readers: ReaderIndicator,
     /// Synthetic base of the object: metadata at `synth`, data at
     /// `synth+32`, the collocated shadow right after the data — the
     /// 100% space overhead is visible to the cache model.
@@ -99,14 +100,14 @@ pub struct ShadowObject<T: TmData> {
 }
 
 impl<T: TmData> ShadowObject<T> {
-    fn new(init: T) -> Arc<Self> {
+    fn new(init: T, reader_capacity: usize) -> Arc<Self> {
         // Metadata + data + collocated shadow: double the payload
         // footprint, as in DSTM2-SF.
         let synth = nztm_sim::synth_alloc(32 + 2 * T::n_words() * 8);
         let obj: ShadowObject<T> = ShadowObject {
             header: ShadowHeader {
                 owner: AtomicU64::new(0),
-                readers: AtomicU64::new(0),
+                readers: ReaderIndicator::new(reader_capacity, synth),
                 synth,
             },
             data: T::Words::new_zeroed(),
@@ -330,8 +331,8 @@ impl<P: Platform> ShadowStm<P> {
 
     fn clear_reader_bits(&self, ctx: &mut ThreadCtx, tid: usize) {
         for r in ctx.read_set.drain(..) {
-            self.platform.mem_nb(r.header().addr(), 8, AccessKind::Rmw);
-            r.header().readers.fetch_and(!(1u64 << tid), Ordering::SeqCst);
+            self.platform.mem_nb(r.header().readers.word_addr(tid), 8, AccessKind::Rmw);
+            r.header().readers.remove(tid);
         }
     }
 
@@ -382,20 +383,22 @@ impl<P: Platform> ShadowStm<P> {
 
     fn request_readers(&self, ctx: &mut ThreadCtx, h: &ShadowHeader, tid: usize, guard: &Guard) -> Result<(), Abort> {
         self.platform.mem(h.addr(), 8, AccessKind::Read);
-        let mut mask = h.readers.load(Ordering::SeqCst) & !(1u64 << tid);
         let me = Arc::as_ptr(Self::me(ctx));
-        while mask != 0 {
-            let t = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
-            self.platform.mem(self.registry.slot_addr(t), 8, AccessKind::Read);
-            if let Some(d) = self.registry.current(t, guard) {
-                if !std::ptr::eq(d, me) && d.status() == Status::Active {
-                    self.platform.mem(d.addr(), 8, AccessKind::Rmw);
-                    d.request_abort();
-                    ctx.stats.abort_requests_sent.bump();
+        h.readers.visit_readers(tid, |step| match step {
+            ReaderVisit::Stripe { addr, .. } => {
+                self.platform.mem(addr, 8, AccessKind::Read);
+            }
+            ReaderVisit::Reader { tid: t } => {
+                self.platform.mem(self.registry.slot_addr(t), 8, AccessKind::Read);
+                if let Some(d) = self.registry.current(t, guard) {
+                    if !std::ptr::eq(d, me) && d.status() == Status::Active {
+                        self.platform.mem(d.addr(), 8, AccessKind::Rmw);
+                        d.request_abort();
+                        ctx.stats.abort_requests_sent.bump();
+                    }
                 }
             }
-        }
+        });
         self.validate(ctx)
     }
 
@@ -466,8 +469,10 @@ impl<P: Platform> ShadowStm<P> {
         loop {
             let guard = nztm_epoch::pin();
             if !registered {
-                self.platform.mem(h.addr(), 8, AccessKind::Rmw);
-                h.readers.fetch_or(1u64 << tid, Ordering::SeqCst);
+                self.platform.mem(h.readers.word_addr(tid), 8, AccessKind::Rmw);
+                if h.readers.add(tid) {
+                    self.platform.mem_nb(h.addr(), 8, AccessKind::Rmw);
+                }
                 let any: Arc<dyn ShadowAny> = obj.clone();
                 ctx.read_set.push(any);
                 registered = true;
@@ -557,7 +562,7 @@ impl<P: Platform> TmSys for ShadowStm<P> {
     type Tx<'t> = ShadowTx<'t, P>;
 
     fn alloc<T: TmData>(&self, init: T) -> Self::Obj<T> {
-        ShadowObject::new(init)
+        ShadowObject::new(init, self.registry.len())
     }
 
     fn peek<T: TmData>(obj: &Self::Obj<T>) -> T {

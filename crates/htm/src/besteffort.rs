@@ -432,6 +432,7 @@ mod tests {
     fn setup(cores: usize) -> (Arc<Machine>, Arc<SimPlatform>, Arc<BestEffortHtm>) {
         let m = Machine::new(MachineConfig {
             n_cores: cores,
+            hw_cores: 0,
             costs: CostModel::default(),
             l1: CacheConfig::tiny(64, 2),
             l2: CacheConfig::tiny(4096, 8),

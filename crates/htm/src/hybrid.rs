@@ -333,6 +333,7 @@ mod tests {
     fn setup(cores: usize) -> (Arc<Machine>, Arc<SimPlatform>, Arc<NztmHybrid>) {
         let m = Machine::new(MachineConfig {
             n_cores: cores,
+            hw_cores: 0,
             costs: CostModel::default(),
             l1: CacheConfig::tiny(1024, 4),
             l2: CacheConfig::tiny(8192, 8),

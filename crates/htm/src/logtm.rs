@@ -398,6 +398,7 @@ mod tests {
     fn setup(cores: usize) -> (Arc<Machine>, Arc<LogTmSe>) {
         let m = Machine::new(MachineConfig {
             n_cores: cores,
+            hw_cores: 0,
             costs: CostModel::default(),
             l1: CacheConfig::tiny(1024, 4),
             l2: CacheConfig::tiny(8192, 8),
@@ -537,6 +538,7 @@ mod signature_ablation_tests {
     fn run_counter_workload(kind: SignatureKind) -> (u64, u64) {
         let m = Machine::new(MachineConfig {
             n_cores: 4,
+            hw_cores: 0,
             costs: CostModel::default(),
             l1: CacheConfig::tiny(1024, 4),
             l2: CacheConfig::tiny(8192, 8),

@@ -166,6 +166,7 @@ fn hybrid_runs_are_deterministic() {
 fn big_read_sets_fall_back() {
     let m = Machine::new(MachineConfig {
         n_cores: 1,
+        hw_cores: 0,
         l1: nztm_sim::CacheConfig::tiny(64, 2),
         l2: nztm_sim::CacheConfig::tiny(4096, 8),
         costs: nztm_sim::CostModel::default(),

@@ -436,8 +436,13 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
     }
 
     /// Allocate a transactional object.
+    ///
+    /// The reader indicator is sized for this engine's thread count: on
+    /// platforms with ≤ 64 threads the object keeps the paper's inline
+    /// bitmap word (bit-for-bit the seed layout); wider platforms get a
+    /// striped indicator so reads scale past 64 threads.
     pub fn new_obj<T: TmData>(&self, init: T) -> Arc<NZObject<T>> {
-        NZObject::new(init)
+        NZObject::new_with_capacity(init, self.registry.len())
     }
 
     /// Merge per-thread statistics into a report. Safe to call from any
@@ -796,8 +801,11 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
     fn clear_reader_bits(&self, ctx: &mut ThreadCtx, tid: usize) {
         if self.cfg.read_mode == ReadMode::Visible {
             while let Some(r) = ctx.read_set.pop() {
-                self.platform.mem_nb(r.obj.header().addr(), 8, AccessKind::Rmw);
-                r.obj.header().remove_reader(tid);
+                let h = r.obj.header();
+                self.platform.mem_nb(h.reader_word_addr(tid), 8, AccessKind::Rmw);
+                let _intact = h.remove_reader(tid);
+                #[cfg(feature = "sanitize")]
+                self.san.reader_remove(h.addr(), tid, _intact);
             }
         } else {
             ctx.read_set.clear();
@@ -833,6 +841,12 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             h.addr() as u64,
             crate::trace::pack_txn(other.thread as usize, other.serial)
         );
+        // The sanitizer mirror keys transactions by descriptor address
+        // (what `txn_begin`/`ack` report). `raw` is the *owner word* —
+        // for a locator owner that is the tagged locator pointer, not the
+        // descriptor — so hooks about `other` must use its own address.
+        #[cfg(feature = "sanitize")]
+        let peer_key = other as *const TxnDesc as u64;
         let mut waited = 0u64;
         #[cfg(feature = "trace")]
         let mut traced_wait = false;
@@ -842,7 +856,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             #[cfg(feature = "sanitize")]
             {
                 let (st, anp) = other.state_snapshot();
-                self.san.observed_peer(raw, st, anp);
+                self.san.observed_peer(peer_key, st, anp);
             }
             if other.status() != Status::Active || h.owner_raw() != raw {
                 me.set_waiting(false);
@@ -880,7 +894,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                     self.platform.mem(other.addr(), 8, AccessKind::Rmw);
                     let prev = other.request_abort();
                     #[cfg(feature = "sanitize")]
-                    self.san.anp_set(raw, prev == Status::Active);
+                    self.san.anp_set(peer_key, prev == Status::Active);
                     #[cfg(feature = "sanitize")]
                     if self.cfg.inject_handshake_bug && prev == Status::Active {
                         // FAULT INJECTION: force the victim's status from
@@ -909,7 +923,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                         #[cfg(feature = "sanitize")]
                         {
                             let (st, anp) = other.state_snapshot();
-                            self.san.observed_peer(raw, st, anp);
+                            self.san.observed_peer(peer_key, st, anp);
                         }
                         if other.status() != Status::Active {
                             return Ok(ConflictOutcome::Settled);
@@ -942,35 +956,44 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         if self.cfg.read_mode != ReadMode::Visible {
             return Ok(());
         }
+        // Summary load: with no readers (or striped mode with an empty
+        // summary) the writer pays exactly this one header-line read.
         self.platform.mem(h.addr(), 8, AccessKind::Read);
-        let mut mask = h.readers() & !(1u64 << tid);
         let me = Arc::as_ptr(Self::me(ctx));
-        while mask != 0 {
-            let t = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
-            self.platform.mem(self.registry.slot_addr(t), 8, AccessKind::Read);
-            if let Some(d) = self.registry.current(t, guard) {
-                if !std::ptr::eq(d, me) && d.status() == Status::Active {
-                    // A live writer-reader conflict, resolved by request.
-                    hot_stat!(ctx, conflicts);
-                    trace_evt!(
-                        self,
-                        ctx,
-                        tid,
-                        Conflict,
-                        h.addr() as u64,
-                        crate::trace::pack_txn(t, d.serial)
-                    );
-                    self.san_point(ctx, tid, crate::sanitizer::Point::AnpSet);
-                    self.platform.mem(d.addr(), 8, AccessKind::Rmw);
-                    let _prev = d.request_abort();
-                    #[cfg(feature = "sanitize")]
-                    self.san
-                        .anp_set(d as *const TxnDesc as u64, _prev == Status::Active);
-                    ctx.stats.abort_requests_sent.bump();
+        h.reader_indicator().visit_readers(tid, |step| match step {
+            crate::readers::ReaderVisit::Stripe { addr, .. } => {
+                // Striped mode only: each flagged stripe is one extra
+                // cache-line read (sticky summary bits can make this a
+                // miss on an already-empty stripe — a perf cost, never a
+                // missed reader).
+                self.platform.mem(addr, 8, AccessKind::Read);
+                trace_evt!(self, ctx, tid, ReaderScan, addr as u64, h.addr() as u64);
+            }
+            crate::readers::ReaderVisit::Reader { tid: t } => {
+                self.platform.mem(self.registry.slot_addr(t), 8, AccessKind::Read);
+                if let Some(d) = self.registry.current(t, guard) {
+                    if !std::ptr::eq(d, me) && d.status() == Status::Active {
+                        // A live writer-reader conflict, resolved by request.
+                        hot_stat!(ctx, conflicts);
+                        trace_evt!(
+                            self,
+                            ctx,
+                            tid,
+                            Conflict,
+                            h.addr() as u64,
+                            crate::trace::pack_txn(t, d.serial)
+                        );
+                        self.san_point(ctx, tid, crate::sanitizer::Point::AnpSet);
+                        self.platform.mem(d.addr(), 8, AccessKind::Rmw);
+                        let _prev = d.request_abort();
+                        #[cfg(feature = "sanitize")]
+                        self.san
+                            .anp_set(d as *const TxnDesc as u64, _prev == Status::Active);
+                        ctx.stats.abort_requests_sent.bump();
+                    }
                 }
             }
-        }
+        });
         self.validate(ctx)
     }
 
@@ -1481,9 +1504,17 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                 // Register *before* examining the owner so any later
                 // writer is guaranteed to see us. The index dedups
                 // re-reads: one entry (and one `Arc` clone) per object
-                // per transaction, however many times it is read.
-                self.platform.mem(h.addr(), 8, AccessKind::Rmw);
-                h.add_reader(tid);
+                // per transaction, however many times it is read. On a
+                // striped indicator the registration lands on this
+                // thread's own stripe line; the first reader of a stripe
+                // additionally sets its sticky summary bit in the header
+                // line.
+                self.platform.mem(h.reader_word_addr(tid), 8, AccessKind::Rmw);
+                if h.add_reader(tid) {
+                    self.platform.mem_nb(h.addr(), 8, AccessKind::Rmw);
+                }
+                #[cfg(feature = "sanitize")]
+                self.san.reader_add(h.addr(), tid);
                 let any: Arc<dyn NzObjAny> = obj.clone();
                 ctx.read_index.insert(key, ctx.read_set.len() as u32);
                 ctx.read_set.push(ReadEntry { obj: any, version: 0 });

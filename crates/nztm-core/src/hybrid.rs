@@ -59,7 +59,7 @@ pub fn hw_examine_and_clean(
 ) -> HwCheck {
     use crate::object::OwnerRef;
 
-    if is_write && header.readers() & !(1u64 << self_tid) != 0 {
+    if is_write && header.has_reader_other_than(self_tid) {
         return HwCheck::ConflictWithSoftware;
     }
 

@@ -61,6 +61,7 @@ pub mod engine;
 pub mod hybrid;
 pub mod locator;
 pub mod object;
+pub mod readers;
 pub mod registry;
 pub mod runtime;
 pub mod sanitizer;
@@ -75,6 +76,7 @@ pub use engine::{
     Blocking, ModePolicy, Nonblocking, NzConfig, NzStm, NzTx, ReadMode, ScssMode, TraceConfig,
 };
 pub use object::{NZObject, NzObjAny, WordBuf};
+pub use readers::{ReaderIndicator, ReaderVisit};
 pub use runtime::{Handle, ObjPool, TmSys};
 pub use stats::{ThreadStats, TmStats};
 pub use trace::{EventKind, ObjectHeat, Trace, TraceEvent};

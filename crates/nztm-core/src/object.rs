@@ -24,8 +24,11 @@
 //!   acquiring writer; restored lazily if that writer aborted. Backup
 //!   buffers come from a per-thread pool and are reclaimed by successful
 //!   committers, reproducing the cache-locality property of §4.4.2.
-//! * **Readers** — visible-reader bitmap (one bit per thread, ≤ 64
-//!   threads), the read-sharing mechanism referenced in §2/§2.4.
+//! * **Readers** — visible-reader indicator, the read-sharing mechanism
+//!   referenced in §2/§2.4. Up to 64 threads it is the paper's inline
+//!   bitmap word; wider systems switch to a striped
+//!   [`crate::readers::ReaderIndicator`] whose summary word lives here
+//!   and whose per-stripe words take separate cache lines.
 //! * **Version** — bumped on each exclusive acquisition; only consumed by
 //!   the invisible-reader *extension*, ignored by the paper's algorithms.
 //! * **Clone()** — the paper stores a clone-function pointer; in Rust the
@@ -42,6 +45,7 @@
 
 use crate::data::{TmData, WordArray};
 use crate::locator::Locator;
+use crate::readers::ReaderIndicator;
 use crate::txn::TxnDesc;
 use nztm_epoch::Guard;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -228,12 +232,14 @@ pub(crate) const INFLATED_TAG: u64 = 1;
 pub struct NZHeader {
     owner: AtomicU64,
     backup: AtomicU64,
-    readers: AtomicU64,
+    readers: ReaderIndicator,
     version: AtomicU64,
-    /// Synthetic base address of the whole object: the four metadata
-    /// words occupy `[synth, synth+32)` and the in-place data starts at
+    /// Synthetic base address of the whole object: the metadata words
+    /// occupy `[synth, synth+32)` and the in-place data starts at
     /// `synth + 32` — so small objects' metadata and data share one
-    /// cache line, the collocation property of Figure 1.
+    /// cache line, the collocation property of Figure 1. A striped
+    /// reader indicator's stripe array takes additional synthetic lines
+    /// of its own (see [`ReaderIndicator`]).
     synth: usize,
 }
 
@@ -244,12 +250,20 @@ impl Default for NZHeader {
 }
 
 impl NZHeader {
-    /// Build a header whose synthetic object base is `synth`.
+    /// Build a header whose synthetic object base is `synth`, with the
+    /// flat 64-thread reader indicator (the seed layout).
     pub fn with_synth(synth: usize) -> Self {
+        NZHeader::with_synth_capacity(synth, crate::readers::FLAT_CAPACITY)
+    }
+
+    /// Build a header whose reader indicator can register up to
+    /// `reader_capacity` threads. Capacities ≤ 64 keep the flat in-line
+    /// bitmap; larger ones allocate a striped indicator.
+    pub fn with_synth_capacity(synth: usize, reader_capacity: usize) -> Self {
         NZHeader {
             owner: AtomicU64::new(0),
             backup: AtomicU64::new(0),
-            readers: AtomicU64::new(0),
+            readers: ReaderIndicator::new(reader_capacity, synth),
             version: AtomicU64::new(0),
             synth,
         }
@@ -406,21 +420,39 @@ impl NZHeader {
         }
     }
 
-    // ---- readers bitmap ----------------------------------------------------
+    // ---- visible-reader indicator ------------------------------------------
 
-    /// Register thread `tid` as a visible reader. Returns the previous mask.
-    pub fn add_reader(&self, tid: usize) -> u64 {
-        self.readers.fetch_or(1 << tid, Ordering::SeqCst)
+    /// Register thread `tid` as a visible reader. Returns `true` when a
+    /// striped indicator's summary word was also written (one extra RMW
+    /// on [`NZHeader::addr`] for cost-charging callers).
+    pub fn add_reader(&self, tid: usize) -> bool {
+        self.readers.add(tid)
     }
 
-    /// Deregister thread `tid`.
-    pub fn remove_reader(&self, tid: usize) {
-        self.readers.fetch_and(!(1 << tid), Ordering::SeqCst);
+    /// Deregister thread `tid`. Returns `true` when the registration was
+    /// intact (bit still set, sticky summary bit still present) — the
+    /// sanitizer treats `false` as a protocol violation.
+    pub fn remove_reader(&self, tid: usize) -> bool {
+        self.readers.remove(tid)
     }
 
-    /// Current visible-reader mask.
-    pub fn readers(&self) -> u64 {
-        self.readers.load(Ordering::SeqCst)
+    /// The object's reader indicator (enumeration, stripe addresses,
+    /// occupancy queries).
+    pub fn reader_indicator(&self) -> &ReaderIndicator {
+        &self.readers
+    }
+
+    /// Synthetic address of the word `tid`'s reader registration RMWs:
+    /// the header line itself in flat mode, `tid`'s stripe line when
+    /// striped.
+    pub fn reader_word_addr(&self, tid: usize) -> usize {
+        self.readers.word_addr(tid)
+    }
+
+    /// True when a thread other than `self_tid` is a visible reader
+    /// (the hybrid's hardware-writer check).
+    pub fn has_reader_other_than(&self, self_tid: usize) -> bool {
+        self.readers.has_reader_other_than(self_tid)
     }
 
     // ---- version (invisible-reader extension) --------------------------------
@@ -484,10 +516,23 @@ pub struct NZObject<T: TmData> {
 }
 
 impl<T: TmData> NZObject<T> {
+    /// Allocate with the flat 64-thread reader indicator (the seed
+    /// layout). Engines that may host more threads use
+    /// [`NZObject::new_with_capacity`].
     pub fn new(init: T) -> Arc<Self> {
+        Self::new_with_capacity(init, crate::readers::FLAT_CAPACITY)
+    }
+
+    /// Allocate with a reader indicator sized for `reader_capacity`
+    /// threads. Capacities ≤ 64 are identical to [`NZObject::new`] —
+    /// same layout, same synthetic-address consumption — so engines can
+    /// thread their platform's thread count through unconditionally.
+    pub fn new_with_capacity(init: T, reader_capacity: usize) -> Arc<Self> {
         let base = nztm_sim::synth_alloc(32 + T::n_words() * 8);
-        let obj: NZObject<T> =
-            NZObject { header: NZHeader::with_synth(base), data: T::Words::new_zeroed() };
+        let obj: NZObject<T> = NZObject {
+            header: NZHeader::with_synth_capacity(base, reader_capacity),
+            data: T::Words::new_zeroed(),
+        };
         let mut buf = vec![0u64; T::n_words()];
         init.encode(&mut buf);
         crate::data::write_words(obj.data.words(), &buf);
@@ -569,7 +614,7 @@ mod tests {
         let g = nztm_epoch::pin();
         assert!(matches!(o.header().owner(&g), OwnerRef::None));
         assert_eq!(o.read_untracked(), 42);
-        assert_eq!(o.header().readers(), 0);
+        assert_eq!(o.header().reader_indicator().reader_count(), 0);
     }
 
     #[test]
@@ -660,13 +705,38 @@ mod tests {
     fn reader_bitmap_set_clear() {
         let o = NZObject::new(0u64);
         let h = o.header();
-        assert_eq!(h.add_reader(3), 0);
-        assert_eq!(h.add_reader(5), 1 << 3);
-        assert_eq!(h.readers(), (1 << 3) | (1 << 5));
-        h.remove_reader(3);
-        assert_eq!(h.readers(), 1 << 5);
-        h.remove_reader(5);
-        assert_eq!(h.readers(), 0);
+        assert!(!h.add_reader(3), "flat mode has no separate summary word");
+        assert!(!h.add_reader(5));
+        let ind = h.reader_indicator();
+        assert!(!ind.is_striped());
+        assert!(ind.is_reader(3) && ind.is_reader(5));
+        assert_eq!(ind.reader_count(), 2);
+        assert!(h.has_reader_other_than(3));
+        assert!(h.remove_reader(3));
+        assert!(ind.is_reader(5) && !ind.is_reader(3));
+        assert!(h.remove_reader(5));
+        assert_eq!(ind.reader_count(), 0);
+        assert_eq!(h.reader_word_addr(9), h.addr(), "flat registrations charge the header line");
+    }
+
+    #[test]
+    fn wide_objects_stripe_readers_past_64_threads() {
+        let o = NZObject::new_with_capacity(0u64, 128);
+        let h = o.header();
+        let ind = h.reader_indicator();
+        assert!(ind.is_striped());
+        assert_eq!(ind.capacity(), 128);
+        assert!(!h.has_reader_other_than(0));
+        h.add_reader(7);
+        h.add_reader(100);
+        assert!(h.has_reader_other_than(7));
+        assert!(h.remove_reader(100));
+        assert!(h.remove_reader(7));
+        assert!(!h.has_reader_other_than(usize::from(u8::MAX) % 128));
+        // The stripe array takes its own synthetic lines, disjoint from
+        // the header/data lines.
+        assert_ne!(h.reader_word_addr(0) >> 6, h.addr() >> 6);
+        assert_ne!(h.reader_word_addr(1) >> 6, h.reader_word_addr(0) >> 6);
     }
 
     #[test]

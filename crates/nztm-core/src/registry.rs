@@ -2,10 +2,12 @@
 //! descriptor.
 //!
 //! Visible reading (the read-sharing mechanism the paper's experiments
-//! use) registers readers in a per-object bitmap — one bit per thread.
-//! A writer that finds reader bits set must translate each bit back to a
-//! transaction in order to request its abort; this registry provides that
-//! translation.
+//! use) registers readers in a per-object indicator — one bit per thread
+//! ([`crate::readers::ReaderIndicator`]). A writer that finds reader
+//! bits set must translate each bit back to a transaction in order to
+//! request its abort; this registry provides that translation. The
+//! registry itself is one padded slot per thread and carries no
+//! thread-count ceiling.
 //!
 //! A slot holds a raw pointer carrying one strong `Arc` count, replaced at
 //! each transaction begin; the displaced descriptor's count is dropped
@@ -37,7 +39,6 @@ pub struct ThreadRegistry {
 
 impl ThreadRegistry {
     pub fn new(n_threads: usize) -> Self {
-        assert!(n_threads <= 64, "reader bitmaps are 64 bits wide");
         ThreadRegistry {
             slots: (0..n_threads).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
             synth: nztm_sim::synth_alloc(n_threads.max(1) * 64),
@@ -124,6 +125,19 @@ mod tests {
         assert_eq!(r.current(0, &g).unwrap().serial, 2);
         // d1 still usable (deferred, not dropped) while pinned.
         assert_eq!(d1.status(), Status::Active);
+    }
+
+    #[test]
+    fn construction_past_64_threads_is_supported() {
+        let r = ThreadRegistry::new(130);
+        assert_eq!(r.len(), 130);
+        let g = nztm_epoch::pin();
+        let d = Arc::new(TxnDesc::new(129, 3));
+        r.publish(129, &d, &g);
+        assert_eq!(r.current(129, &g).unwrap().serial, 3);
+        assert!(r.current(64, &g).is_none());
+        // Slots keep one synthetic line each, past the old 64 ceiling.
+        assert_eq!(r.slot_addr(129) - r.slot_addr(0), 129 * 64);
     }
 
     #[test]

@@ -133,6 +133,10 @@ struct ObjInfo {
     /// Pre-transaction contents recorded when the current undo source
     /// (backup buffer) was installed.
     pre_txn: Option<Vec<u64>>,
+    /// Threads the mirror believes are registered as visible readers.
+    /// Per (object, tid) the add/remove pair is issued by `tid` itself,
+    /// so the mutex-serialized mirror sees them in program order.
+    readers: std::collections::HashSet<usize>,
 }
 
 #[derive(Default)]
@@ -255,8 +259,26 @@ impl Sanitizer {
 
     // ---- engine hooks ------------------------------------------------------
 
+    /// Guard for every hook keyed into the transaction mirror: the key
+    /// must be a descriptor address, never an inflated owner *word* — a
+    /// tagged locator pointer fed in here would silently split one
+    /// transaction's history across two mirror entries and fabricate
+    /// rule-3 violations (the victim's `ack` lands under the real
+    /// address while observers consult the tagged key).
+    #[track_caller]
+    fn txn_key(raw: u64) -> u64 {
+        assert_eq!(
+            raw & crate::object::INFLATED_TAG,
+            0,
+            "sanitizer txn hook keyed by a tagged owner word {raw:#x}, \
+             not a descriptor address"
+        );
+        raw
+    }
+
     /// A fresh descriptor began an attempt.
     pub fn txn_begin(&self, raw: u64, tid: u32, serial: u64) {
+        let raw = Self::txn_key(raw);
         let mut s = self.lock();
         // Descriptor reuse: a thread's TxnDesc only begins a new
         // transaction once the previous incarnation settled, so any
@@ -274,6 +296,7 @@ impl Sanitizer {
 
     /// The commit CAS succeeded.
     pub fn commit_ok(&self, raw: u64, tid: u32) {
+        let raw = Self::txn_key(raw);
         let mut s = self.lock();
         let info = s.txns.entry(raw).or_default();
         if info.anp_active {
@@ -293,6 +316,7 @@ impl Sanitizer {
     /// status CAS, so observers that see `Aborted` always find
     /// `acked = true` here).
     pub fn ack(&self, raw: u64, by_tid: u32) {
+        let raw = Self::txn_key(raw);
         let mut s = self.lock();
         let info = s.txns.entry(raw).or_default();
         if info.tid != by_tid {
@@ -309,6 +333,7 @@ impl Sanitizer {
     /// A peer's `AbortNowPlease` flag was set; `was_active` is the status
     /// `request_abort` linearized against.
     pub fn anp_set(&self, victim_raw: u64, was_active: bool) {
+        let victim_raw = Self::txn_key(victim_raw);
         if was_active {
             self.lock().txns.entry(victim_raw).or_default().anp_active = true;
         }
@@ -318,6 +343,7 @@ impl Sanitizer {
     /// descriptor reading `Aborted` whose acknowledge path never ran was
     /// forced by someone else.
     pub fn observed_peer(&self, raw: u64, status: Status, _anp: bool) {
+        let raw = Self::txn_key(raw);
         if status != Status::Aborted {
             return;
         }
@@ -373,6 +399,7 @@ impl Sanitizer {
         unresp_raw: u64,
         unresp_state: (Status, bool),
     ) {
+        let unresp_raw = Self::txn_key(unresp_raw);
         let mut s = self.lock();
         let tracked_anp = s.txns.get(&unresp_raw).map(|t| t.anp_active).unwrap_or(false);
         // Raced acknowledgements are benign (the victim settled between
@@ -435,6 +462,38 @@ impl Sanitizer {
                  pre-transaction contents were {expected:?} (rule 6)"
             );
             Self::push_violation(&mut s, self, "restore-mismatch", d);
+        }
+    }
+
+    /// Thread `tid` registered as a visible reader of the object (mirror
+    /// of [`crate::ReaderIndicator::add`]); fires after the indicator
+    /// write, before the owner examination.
+    pub fn reader_add(&self, h_addr: usize, tid: usize) {
+        self.lock().objs.entry(h_addr).or_default().readers.insert(tid);
+    }
+
+    /// Thread `tid` deregistered as a visible reader. `intact` is the
+    /// indicator's own report: the registration (the stripe bit and, in
+    /// striped mode, its sticky summary bit) was still present at removal.
+    pub fn reader_remove(&self, h_addr: usize, tid: usize, intact: bool) {
+        let mut s = self.lock();
+        let was_tracked = s.objs.entry(h_addr).or_default().readers.remove(&tid);
+        if !was_tracked {
+            let d = format!(
+                "object {h_addr:#x}: thread {tid} cleared a reader registration the \
+                 mirror never saw it make — visible reads must register before the \
+                 owner examination (§2.2)"
+            );
+            Self::push_violation(&mut s, self, "reader-remove-without-add", d);
+            return;
+        }
+        if !intact {
+            let d = format!(
+                "object {h_addr:#x}: thread {tid} is registered in the mirror but the \
+                 indicator lost the registration before removal (stripe or sticky \
+                 summary bit cleared) — a writer could have missed this reader"
+            );
+            Self::push_violation(&mut s, self, "reader-summary-bit-lost", d);
         }
     }
 
@@ -536,6 +595,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "tagged owner word")]
+    fn txn_hooks_reject_tagged_owner_words() {
+        // The rule-3 mirror is keyed by descriptor addresses; feeding it
+        // an inflated owner word (tag bit set) would split one
+        // transaction across two entries and fabricate violations.
+        let s = Sanitizer::new();
+        s.observed_peer(0x2001, Status::Aborted, true);
+    }
+
+    #[test]
     fn commit_after_active_anp_is_flagged() {
         let s = Sanitizer::new();
         s.txn_begin(0x3000, 0, 1);
@@ -600,6 +669,39 @@ mod tests {
         s.txn_begin(0xB0, 1, 1);
         s.anp_set(0xB0, true);
         s.inflated(0x40, 0xC1, 0xA0, 0xB0, (Status::Active, true));
+        assert!(s.violations().is_empty());
+    }
+
+    #[test]
+    fn reader_remove_without_add_is_flagged() {
+        let s = Sanitizer::new();
+        s.reader_add(0x40, 3);
+        s.reader_remove(0x40, 3, true);
+        assert!(s.violations().is_empty());
+        s.reader_remove(0x40, 3, true);
+        assert_eq!(s.violations()[0].rule, "reader-remove-without-add");
+    }
+
+    #[test]
+    fn lost_reader_registration_is_flagged() {
+        let s = Sanitizer::new();
+        s.reader_add(0x40, 70);
+        s.reader_remove(0x40, 70, false);
+        assert_eq!(s.violations()[0].rule, "reader-summary-bit-lost");
+        // The mirror entry is consumed either way.
+        s.reader_remove(0x40, 70, true);
+        assert_eq!(s.violations()[1].rule, "reader-remove-without-add");
+    }
+
+    #[test]
+    fn independent_readers_do_not_interfere() {
+        let s = Sanitizer::new();
+        s.reader_add(0x40, 1);
+        s.reader_add(0x40, 100);
+        s.reader_add(0x80, 1);
+        s.reader_remove(0x40, 100, true);
+        s.reader_remove(0x40, 1, true);
+        s.reader_remove(0x80, 1, true);
         assert!(s.violations().is_empty());
     }
 

@@ -76,6 +76,11 @@ pub enum EventKind {
     /// The simulated scheduler handed the run token to a core. `thread` =
     /// `a` = the chosen core. Injected by [`Trace::merge_schedule`].
     SchedSwitch = 13,
+    /// A writer scanned one flagged stripe of a striped reader indicator
+    /// while requesting reader aborts. `a` = stripe line address, `b` =
+    /// object address (`NZHeader::addr`). Only emitted past 64 threads
+    /// (flat indicators keep readers on the header line and never scan).
+    ReaderScan = 14,
 }
 
 impl EventKind {
@@ -96,6 +101,7 @@ impl EventKind {
             EventKind::HtmAbort => "htm_abort",
             EventKind::HtmFallback => "htm_fallback",
             EventKind::SchedSwitch => "sched_switch",
+            EventKind::ReaderScan => "reader_scan",
         }
     }
 }
@@ -185,6 +191,9 @@ impl TraceEvent {
                 format!("falls back to software after {} hw attempts", self.a)
             }
             EventKind::SchedSwitch => format!("scheduler runs core {}", self.a),
+            EventKind::ReaderScan => {
+                format!("scans reader stripe @{:#x} of {}", self.a, obj_name(self.b))
+            }
         }
     }
 }
@@ -262,6 +271,10 @@ pub struct ObjectHeat {
     pub inflations: u64,
     pub deflations: u64,
     pub acquires: u64,
+    /// Writer scans of this reader-indicator stripe line. Non-zero only
+    /// for stripe addresses (striped indicators, > 64 threads); attributes
+    /// reader-side contention to the exact stripe a writer had to walk.
+    pub reader_scans: u64,
 }
 
 impl ObjectHeat {
@@ -427,7 +440,8 @@ impl Trace {
                 | EventKind::Conflict
                 | EventKind::Wait
                 | EventKind::Inflate
-                | EventKind::Deflate => {
+                | EventKind::Deflate
+                | EventKind::ReaderScan => {
                     heat.entry(e.a).or_insert_with(|| ObjectHeat { addr: e.a, ..Default::default() })
                 }
                 _ => continue,
@@ -438,6 +452,7 @@ impl Trace {
                 EventKind::Wait => h.waits += 1,
                 EventKind::Inflate => h.inflations += 1,
                 EventKind::Deflate => h.deflations += 1,
+                EventKind::ReaderScan => h.reader_scans += 1,
                 _ => {}
             }
         }

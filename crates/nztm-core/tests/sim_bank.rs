@@ -11,6 +11,7 @@ use std::sync::Arc;
 fn sim_machine(cores: usize, max_cycles: u64) -> Arc<Machine> {
     Machine::new(MachineConfig {
         n_cores: cores,
+        hw_cores: 0,
         costs: CostModel::default(),
         l1: CacheConfig::tiny(1024, 4),
         l2: CacheConfig::tiny(8192, 8),

@@ -179,12 +179,85 @@ impl SetAssocCache {
     }
 }
 
+/// Sharer set over cores. The first 64 cores live in one inline word (no
+/// allocation — the common machine size); wider machines spill into extra
+/// words allocated on first use, so the directory carries no core-count
+/// ceiling.
+#[derive(Clone, Debug, Default)]
+struct SharerSet {
+    low: u64,
+    high: Vec<u64>,
+}
+
+impl SharerSet {
+    fn word(&self, i: usize) -> u64 {
+        if i == 0 {
+            self.low
+        } else {
+            self.high.get(i - 1).copied().unwrap_or(0)
+        }
+    }
+
+    fn n_words(&self) -> usize {
+        1 + self.high.len()
+    }
+
+    fn contains(&self, core: usize) -> bool {
+        self.word(core / 64) >> (core % 64) & 1 != 0
+    }
+
+    fn insert(&mut self, core: usize) {
+        if core < 64 {
+            self.low |= 1 << core;
+        } else {
+            let w = core / 64 - 1;
+            if self.high.len() <= w {
+                self.high.resize(w + 1, 0);
+            }
+            self.high[w] |= 1 << (core % 64);
+        }
+    }
+
+    /// Clear every bit but `core`'s (M-state takeover). Keeps any spill
+    /// allocation for reuse.
+    fn retain_only(&mut self, core: usize) {
+        self.low = 0;
+        for w in &mut self.high {
+            *w = 0;
+        }
+        self.insert(core);
+    }
+
+    fn remove(&mut self, core: usize) {
+        if core < 64 {
+            self.low &= !(1 << core);
+        } else if let Some(w) = self.high.get_mut(core / 64 - 1) {
+            *w &= !(1 << (core % 64));
+        }
+    }
+
+    /// Cores holding an S copy, excluding `skip`.
+    fn others(&self, skip: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n_words()).flat_map(move |w| {
+            let mut bits = self.word(w);
+            if skip / 64 == w {
+                bits &= !(1u64 << (skip % 64));
+            }
+            BitIter(bits).map(move |b| w * 64 + b)
+        })
+    }
+
+    fn has_others(&self, skip: usize) -> bool {
+        self.others(skip).next().is_some()
+    }
+}
+
 /// Directory entry: which cores hold the line, and whether one holds it
 /// modified. MSI: `owner = Some(c)` means core c has the line in M state
 /// (and is the only holder); otherwise all cores in `sharers` hold S copies.
 #[derive(Clone, Debug, Default)]
 struct DirEntry {
-    sharers: u64, // bitmask over cores (<= 64 cores)
+    sharers: SharerSet,
     owner: Option<usize>,
 }
 
@@ -214,7 +287,6 @@ pub struct CacheStats {
 
 impl CacheSystem {
     pub fn new(n_cores: usize, l1: CacheConfig, l2: CacheConfig, costs: CostModel) -> Self {
-        assert!(n_cores <= 64, "directory uses a 64-bit sharer mask");
         CacheSystem {
             l1: (0..n_cores).map(|_| SetAssocCache::new(&l1)).collect(),
             l2: SetAssocCache::new(&l2),
@@ -241,7 +313,6 @@ impl CacheSystem {
     pub fn access(&mut self, core: usize, addr: u64, kind: AccessKind) -> AccessResult {
         let line = LineAddr::of(addr);
         let write = kind.is_write();
-        let core_bit = 1u64 << core;
         let mut latency;
         let level;
         let mut invalidated_remote = false;
@@ -249,7 +320,7 @@ impl CacheSystem {
 
         let entry = self.dir.entry(line).or_default();
         let local_m = entry.owner == Some(core);
-        let local_s = entry.sharers & core_bit != 0;
+        let local_s = entry.sharers.contains(core);
 
         if self.l1[core].touch(line, write) && (local_m || (local_s && !write)) {
             // L1 hit with sufficient permissions.
@@ -258,15 +329,14 @@ impl CacheSystem {
             if write && !local_m {
                 // S -> M upgrade: invalidate other sharers.
                 latency += self.costs.remote_transfer;
-                let others = entry.sharers & !core_bit;
-                if others != 0 {
+                if entry.sharers.has_others(core) {
                     invalidated_remote = true;
-                    for c in BitIter(others) {
+                    for c in entry.sharers.others(core) {
                         self.l1[c].invalidate(line);
                         self.stats[c].invalidations_received += 1;
                     }
                 }
-                entry.sharers = core_bit;
+                entry.sharers.retain_only(core);
                 entry.owner = Some(core);
             }
         } else {
@@ -284,12 +354,12 @@ impl CacheSystem {
                     self.l1[owner].invalidate(line);
                     self.stats[owner].invalidations_received += 1;
                     invalidated_remote = true;
-                    entry.sharers = core_bit;
+                    entry.sharers.retain_only(core);
                     entry.owner = Some(core);
                 } else {
                     // Downgrade remote M to S; both now share.
                     entry.owner = None;
-                    entry.sharers |= core_bit;
+                    entry.sharers.insert(core);
                     // L2 picks up the (conceptually written-back) line.
                     if !self.l2.touch(line, true) {
                         self.l2.insert(line, true);
@@ -300,19 +370,18 @@ impl CacheSystem {
                 level = MissLevel::L2;
                 self.stats[core].l2_hits += 1;
                 if write {
-                    let others = entry.sharers & !core_bit;
-                    if others != 0 {
+                    if entry.sharers.has_others(core) {
                         invalidated_remote = true;
                         latency += self.costs.remote_transfer;
-                        for c in BitIter(others) {
+                        for c in entry.sharers.others(core) {
                             self.l1[c].invalidate(line);
                             self.stats[c].invalidations_received += 1;
                         }
                     }
-                    entry.sharers = core_bit;
+                    entry.sharers.retain_only(core);
                     entry.owner = Some(core);
                 } else {
-                    entry.sharers |= core_bit;
+                    entry.sharers.insert(core);
                 }
             } else {
                 latency = self.costs.memory;
@@ -320,10 +389,10 @@ impl CacheSystem {
                 self.stats[core].mem_accesses += 1;
                 self.l2.insert(line, false);
                 if write {
-                    entry.sharers = core_bit;
+                    entry.sharers.retain_only(core);
                     entry.owner = Some(core);
                 } else {
-                    entry.sharers |= core_bit;
+                    entry.sharers.insert(core);
                 }
             }
 
@@ -331,7 +400,7 @@ impl CacheSystem {
             if let Some(ev) = evicted {
                 // Evicted line leaves this core's domain.
                 if let Some(e) = self.dir.get_mut(&ev) {
-                    e.sharers &= !core_bit;
+                    e.sharers.remove(core);
                     if e.owner == Some(core) {
                         e.owner = None;
                         // Dirty writeback lands in L2.
@@ -494,6 +563,39 @@ mod tests {
         // Refetch must come from L2, not appear as local M.
         let r = s.access(0, 0x000, AccessKind::Read);
         assert_eq!(r.level, MissLevel::L2);
+    }
+
+    #[test]
+    fn directory_scales_past_64_cores() {
+        let mut s = sys(70, 16, 4);
+        s.access(3, 0x1000, AccessKind::Read);
+        s.access(68, 0x1000, AccessKind::Read);
+        let w = s.access(69, 0x1000, AccessKind::Write);
+        assert!(w.invalidated_remote, "spill-word sharers are found and invalidated");
+        assert_eq!(s.stats[3].invalidations_received, 1);
+        assert_eq!(s.stats[68].invalidations_received, 1);
+        // Writer 69 now holds M; core 68 refetches via cache-to-cache.
+        let r = s.access(68, 0x1000, AccessKind::Read);
+        assert_eq!(r.level, MissLevel::Remote);
+    }
+
+    #[test]
+    fn sharer_set_inline_and_spill_words() {
+        let mut m = SharerSet::default();
+        for c in [0usize, 63, 64, 65, 130] {
+            assert!(!m.contains(c));
+            m.insert(c);
+            assert!(m.contains(c));
+        }
+        let others: Vec<usize> = m.others(64).collect();
+        assert_eq!(others, vec![0, 63, 65, 130]);
+        assert!(m.has_others(64));
+        m.remove(130);
+        m.remove(0);
+        assert!(!m.contains(130));
+        m.retain_only(65);
+        assert!(m.contains(65));
+        assert!(!m.has_others(65));
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub struct CostModel {
     /// Cost of one SCSS operation (short hardware transaction wrapping a
     /// single store) over and above the store itself.
     pub scss_overhead: u64,
+    /// Context-switch penalty charged to a context when it receives the
+    /// execution token on an oversubscribed machine (more contexts than
+    /// `hw_cores`): register/TLB state swap plus cold-ish L1 on re-entry.
+    /// Never charged on dedicated machines (`hw_cores == 0`).
+    pub ctx_switch: u64,
 }
 
 impl Default for CostModel {
@@ -55,6 +60,7 @@ impl Default for CostModel {
             htm_abort: 50,
             logtm_unroll_per_word: 4,
             scss_overhead: 25,
+            ctx_switch: 1000,
         }
     }
 }
@@ -75,6 +81,7 @@ impl CostModel {
             htm_abort: 1,
             logtm_unroll_per_word: 1,
             scss_overhead: 1,
+            ctx_switch: 1,
         }
     }
 }

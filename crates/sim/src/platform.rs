@@ -315,6 +315,7 @@ mod tests {
     fn sim_platform_charges_through_cache() {
         let m = Machine::new(MachineConfig {
             n_cores: 1,
+            hw_cores: 0,
             costs: CostModel::default(),
             l1: CacheConfig::tiny(64, 4),
             l2: CacheConfig::tiny(1024, 8),
@@ -334,6 +335,7 @@ mod tests {
     fn sim_atomic_section_runs_and_charges() {
         let m = Machine::new(MachineConfig {
             n_cores: 1,
+            hw_cores: 0,
             costs: CostModel::uniform(),
             l1: CacheConfig::tiny(64, 4),
             l2: CacheConfig::tiny(1024, 8),

@@ -34,6 +34,14 @@ thread_local! {
 #[derive(Clone, Debug)]
 pub struct MachineConfig {
     pub n_cores: usize,
+    /// Physical cores backing the `n_cores` simulated contexts. `0` means
+    /// dedicated hardware (one physical core per context, the historical
+    /// behaviour). When non-zero and smaller than `n_cores` the machine is
+    /// **oversubscribed**: every run-token handoff to a different context
+    /// additionally charges [`CostModel::ctx_switch`] to the incoming
+    /// context, modelling the OS putting more software threads on the
+    /// machine than it has cores.
+    pub hw_cores: usize,
     pub costs: CostModel,
     pub l1: CacheConfig,
     pub l2: CacheConfig,
@@ -47,11 +55,23 @@ impl MachineConfig {
     pub fn paper(n: usize) -> Self {
         MachineConfig {
             n_cores: n,
+            hw_cores: 0,
             costs: CostModel::default(),
             l1: CacheConfig::paper_l1(),
             l2: CacheConfig::paper_l2(),
             max_cycles: u64::MAX,
         }
+    }
+
+    /// An oversubscribed variant of [`MachineConfig::paper`]: `n` contexts
+    /// multiplexed onto `hw` physical cores.
+    pub fn paper_oversubscribed(n: usize, hw: usize) -> Self {
+        MachineConfig { hw_cores: hw, ..MachineConfig::paper(n) }
+    }
+
+    /// Whether token handoffs pay the context-switch penalty.
+    pub fn oversubscribed(&self) -> bool {
+        self.hw_cores != 0 && self.n_cores > self.hw_cores
     }
 }
 
@@ -84,12 +104,14 @@ pub enum SchedPolicy {
 
 /// One scheduling decision, recorded when [`Machine::enable_decisions`]
 /// is armed: the core that received the token and the set of cores that
-/// were runnable at that instant (bitmask over core ids; recording
-/// requires `n_cores <= 32`).
+/// were runnable at that instant.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Decision {
     pub chosen: u32,
-    pub runnable: u32,
+    /// Bitmask over core ids `0..64`. Machines wider than 64 cores truncate
+    /// the mask to the first 64 cores (`chosen` is always exact); bounded-
+    /// exhaustive exploration therefore only branches over the first 64.
+    pub runnable: u64,
     /// The chosen core's logical clock when it received the token — the
     /// same clock domain `SimPlatform::now()` exposes, so decision
     /// traces correlate with engine flight-recorder events.
@@ -127,9 +149,9 @@ impl SchedState {
             .map(|(i, _)| i)
     }
 
-    fn runnable_mask(&self) -> u32 {
-        let mut m = 0u32;
-        for (i, s) in self.state.iter().enumerate().take(32) {
+    fn runnable_mask(&self) -> u64 {
+        let mut m = 0u64;
+        for (i, s) in self.state.iter().enumerate().take(64) {
             if *s == CoreState::Runnable {
                 m |= 1 << i;
             }
@@ -324,9 +346,6 @@ impl Machine {
     /// re-derived at the start of every [`Machine::run`], so the same
     /// machine + policy replays the same schedule).
     pub fn set_policy(&self, policy: SchedPolicy) {
-        if !matches!(policy, SchedPolicy::MinClock) {
-            assert!(self.cfg.n_cores <= 32, "schedule policies support at most 32 cores");
-        }
         let mut s = self.sched.lock();
         s.policy = policy;
         s.reset_policy();
@@ -338,9 +357,10 @@ impl Machine {
     }
 
     /// Start recording one [`Decision`] per scheduling decision (cleared
-    /// and re-armed at the start of each run).
+    /// and re-armed at the start of each run). Works at any core count;
+    /// past 64 cores the recorded runnable mask covers only the first 64
+    /// (see [`Decision::runnable`]).
     pub fn enable_decisions(&self) {
-        assert!(self.cfg.n_cores <= 32, "decision recording supports at most 32 cores");
         self.sched.lock().decisions = Some(Vec::new());
     }
 
@@ -454,9 +474,20 @@ impl Machine {
         s.clocks[id] += pending;
         s.state[id] = CoreState::Done;
         if let Some(next) = s.pick_next(None) {
+            self.charge_switch_in(&mut s, next);
             self.record_switch(s.clocks[id], next);
             s.current = next;
             self.cv.notify_all();
+        }
+    }
+
+    /// On an oversubscribed machine, a context that receives the token
+    /// from a *different* context pays the OS context-switch penalty.
+    /// Charged to the incoming context's published clock, after the
+    /// scheduling decision (so the pick itself is unaffected).
+    fn charge_switch_in(&self, s: &mut SchedState, next: usize) {
+        if self.cfg.oversubscribed() {
+            s.clocks[next] += self.cfg.costs.ctx_switch;
         }
     }
 
@@ -487,6 +518,7 @@ impl Machine {
         }
         let next = s.pick_next(Some(id)).expect("current core is runnable");
         if next != id {
+            self.charge_switch_in(&mut s, next);
             self.yields.fetch_add(1, Ordering::Relaxed);
             self.record_switch(s.clocks[id], next);
             s.current = next;
@@ -543,6 +575,19 @@ mod tests {
     fn tiny_machine(n: usize) -> Arc<Machine> {
         Machine::new(MachineConfig {
             n_cores: n,
+            hw_cores: 0,
+            costs: CostModel::uniform(),
+            l1: CacheConfig::tiny(64, 4),
+            l2: CacheConfig::tiny(1024, 8),
+            max_cycles: 10_000_000,
+        })
+    }
+
+    /// `n` contexts multiplexed onto `hw` physical cores.
+    fn oversub_machine(n: usize, hw: usize) -> Arc<Machine> {
+        Machine::new(MachineConfig {
+            n_cores: n,
+            hw_cores: hw,
             costs: CostModel::uniform(),
             l1: CacheConfig::tiny(64, 4),
             l2: CacheConfig::tiny(1024, 8),
@@ -647,6 +692,7 @@ mod tests {
     fn mem_access_charges_latency() {
         let m = Machine::new(MachineConfig {
             n_cores: 1,
+            hw_cores: 0,
             costs: CostModel::default(),
             l1: CacheConfig::tiny(64, 4),
             l2: CacheConfig::tiny(1024, 8),
@@ -665,6 +711,7 @@ mod tests {
     fn watchdog_fires() {
         let m = Machine::new(MachineConfig {
             n_cores: 1,
+            hw_cores: 0,
             costs: CostModel::uniform(),
             l1: CacheConfig::tiny(64, 4),
             l2: CacheConfig::tiny(1024, 8),
@@ -885,5 +932,63 @@ mod tests {
             }),
         ]);
         assert!(r.clocks[0] >= 500, "spinner waited for the peer's clock");
+    }
+
+    #[test]
+    fn oversubscription_charges_context_switches() {
+        let run = |m: Arc<Machine>| {
+            let (bodies, _log) = logged_bodies(&m, 4);
+            m.run(bodies)
+        };
+        let dedicated = run(tiny_machine(4));
+        let oversub = run(oversub_machine(4, 1));
+        // Same bodies, same (uniform) cost model; the only difference is the
+        // ctx_switch charge (1 cycle under uniform) per cross-context handoff.
+        assert!(
+            oversub.makespan > dedicated.makespan,
+            "oversubscribed run must pay switch penalties: {} vs {}",
+            oversub.makespan,
+            dedicated.makespan
+        );
+        // hw_cores >= n_cores is not oversubscription — no charge.
+        let full = run(oversub_machine(4, 4));
+        assert_eq!(full.makespan, dedicated.makespan);
+    }
+
+    #[test]
+    fn oversubscribed_runs_are_deterministic() {
+        let order = |_: ()| {
+            let m = oversub_machine(3, 2);
+            let (bodies, log) = logged_bodies(&m, 3);
+            m.run(bodies);
+            let v = log.lock().clone();
+            v
+        };
+        assert_eq!(order(()), order(()));
+    }
+
+    #[test]
+    fn policies_and_decision_recording_work_past_32_cores() {
+        let m = tiny_machine(40);
+        m.set_policy(SchedPolicy::Random { seed: 9, change_denom: 4 });
+        m.enable_decisions();
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..40)
+            .map(|i| {
+                let m = Arc::clone(&m);
+                Box::new(move || {
+                    m.work(i as u64 + 1);
+                    m.yield_now();
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        m.run(bodies);
+        let ds = m.decisions().expect("armed");
+        assert!(!ds.is_empty());
+        for d in &ds {
+            assert!((d.chosen as usize) < 40);
+            assert!(d.runnable & (1u64 << d.chosen) != 0, "chosen core was runnable: {d:?}");
+        }
+        // A mask that needs more than 32 bits must be representable.
+        assert!(ds[0].runnable > u64::from(u32::MAX), "all 40 cores runnable at the first decision");
     }
 }

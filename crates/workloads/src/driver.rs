@@ -476,6 +476,7 @@ mod tests {
     fn sim(cores: usize) -> (Arc<Machine>, Arc<SimPlatform>) {
         let m = Machine::new(MachineConfig {
             n_cores: cores,
+            hw_cores: 0,
             costs: CostModel::default(),
             l1: CacheConfig::tiny(2048, 4),
             l2: CacheConfig::tiny(16384, 8),

@@ -207,6 +207,7 @@ mod tests {
         let run = || {
             let m = Machine::new(MachineConfig {
                 n_cores: 3,
+                hw_cores: 0,
                 costs: CostModel::default(),
                 l1: CacheConfig::tiny(2048, 4),
                 l2: CacheConfig::tiny(16384, 8),

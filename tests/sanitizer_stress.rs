@@ -74,6 +74,60 @@ fn scss_native_stress_is_sanitizer_clean() {
 }
 
 // ---------------------------------------------------------------------------
+// Oversubscribed native stress: more transaction threads than any CI
+// machine has cores, and more than the 64-bit flat reader bitmap holds —
+// every read registration lands in the striped reader indicator, and the
+// sanitizer's reader mirror cross-checks each add/remove.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oversubscribed_128_thread_stress_is_sanitizer_clean_on_all_systems() {
+    let cfg = StressConfig {
+        threads: 128,
+        ops_per_thread: 12,
+        seed: 0xBEEF,
+        accounts: 16,
+        ..StressConfig::default()
+    };
+    let run = |name: &str, commits: u64, v: Vec<String>| {
+        assert!(commits > 0, "{name}: no commits at 128 threads");
+        assert!(v.is_empty(), "{name}: {v:?}");
+    };
+    {
+        let p = Native::new(128);
+        let stm = Bzstm::with_defaults(Arc::clone(&p));
+        stm.sanitizer().set_schedule(1, 3);
+        let st = stress_native(&p, &stm, &cfg);
+        let v = stm.sanitizer().violations().iter().map(|x| format!("{x:?}")).collect();
+        run("bzstm", st.commits, v);
+    }
+    {
+        let p = Native::new(128);
+        let stm: Arc<Nzstm<Native>> = Nzstm::new(
+            Arc::clone(&p),
+            Arc::new(KarmaDeadlock::default()),
+            NzConfig { patience: 24, ..NzConfig::default() },
+        );
+        stm.sanitizer().set_schedule(2, 3);
+        let st = stress_native(&p, &stm, &cfg);
+        let v = stm.sanitizer().violations().iter().map(|x| format!("{x:?}")).collect();
+        run("nzstm", st.commits, v);
+    }
+    {
+        let p = Native::new(128);
+        let stm: Arc<NzstmScss<Native>> = NzstmScss::new(
+            Arc::clone(&p),
+            Arc::new(KarmaDeadlock::default()),
+            NzConfig { patience: 24, ..NzConfig::default() },
+        );
+        stm.sanitizer().set_schedule(3, 3);
+        let st = stress_native(&p, &stm, &cfg);
+        let v = stm.sanitizer().violations().iter().map(|x| format!("{x:?}")).collect();
+        run("scss", st.commits, v);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Simulated machine: deterministic, seed-replayable.
 // ---------------------------------------------------------------------------
 
