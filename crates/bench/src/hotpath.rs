@@ -23,8 +23,8 @@
 //! gate while a real hot-path regression does.
 
 use crate::suite::paper_machine;
-use nztm_core::cm::KarmaDeadlock;
-use nztm_core::{Bzstm, NzConfig, Nzstm, NzstmScss, TmSys};
+use nztm_core::cm::{AdaptiveConfig, KarmaDeadlock};
+use nztm_core::{Bzstm, NzBuilder, NzConfig, Nzstm, NzstmScss, TmSys};
 use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, NztmHybrid};
 use nztm_sim::{DetRng, Machine, Native};
 use std::hint::black_box;
@@ -48,8 +48,49 @@ pub const SCALING_THREADS: &[usize] = &[1, 4, 16, 64, 128];
 /// dominated by the host scheduler, not the STM hot path.
 pub const SCALING_GATE_MAX_THREADS: usize = 64;
 
+/// Contention-management sweep (runs with `--scaling`): the write-heavy
+/// op mix at the abort-storm thread counts from the PR-5 sweep, NZSTM
+/// with the static Karma default vs `NZSTM-ACM` (the same engine under
+/// `cm::Adaptive`). These cells are gated on *abort rate*, not
+/// throughput: wall-clock at 68+ threads is host-scheduler noise on CI,
+/// but aborts-per-commit is a property of the protocol + policy and is
+/// comparable across hosts.
+pub const CM_WORKLOAD: &str = "cm-write-heavy";
+pub const CM_BASE_SYSTEM: &str = "NZSTM";
+pub const CM_ADAPTIVE_SYSTEM: &str = "NZSTM-ACM";
+pub const CM_THREADS: &[usize] = &[68, 96, 128];
+/// Thread counts whose abort-rate comparison gates the build (68 is
+/// reported for trend-watching only — at the low end of the storm the
+/// two policies legitimately track each other).
+pub const CM_GATE_THREADS: &[usize] = &[96, 128];
+/// The adaptive policy's abort rate may exceed Karma's by at most this
+/// relative slack before the gate fails. The acceptance target is a
+/// *reduction*; the slack only absorbs sampling noise on shared
+/// runners.
+pub const CM_ABORT_RATE_SLACK: f64 = 0.10;
+/// Absolute slack on top of the relative one. On an oversubscribed
+/// runner conflicts arrive as preemption-driven bursts: a 48k-op cell
+/// often measures *zero* aborts for one policy and a ~0.02-0.03
+/// aborts/commit burst for the other, in either direction — relative
+/// slack is useless against a zero baseline. 0.05 sits ~3x above the
+/// worst pooled burst observed while still failing a real
+/// waiting-policy collapse (the mistuned escalation measured +0.23
+/// over Karma).
+pub const CM_ABORT_RATE_EPSILON: f64 = 0.05;
+/// Ops per cm cell, independent of `--quick`: an abort *rate* needs a
+/// large op count to be stable (a single preemption-driven conflict
+/// cascade dominates a 4k-op quick cell), and the six cm cells are
+/// cheap enough to always run at full size.
+pub const CM_OPS: u64 = 48_000;
+
 const N_OBJECTS: usize = 256;
 const N_ACCOUNTS: usize = 64;
+/// Object-pool size for the cm sweep: small enough that concurrent
+/// write transactions conflict by construction, so the measured abort
+/// rate reflects the CM policy rather than scheduling luck (over 256
+/// objects, an oversubscribed host only conflicts when a thread is
+/// preempted mid-transaction — run-to-run noise swamps the policy).
+const CM_N_OBJECTS: usize = 16;
 
 /// One measured (workload, system, threads) cell.
 #[derive(Clone, Debug)]
@@ -64,6 +105,15 @@ pub struct HotCell {
     pub norm: f64,
     pub commits: u64,
     pub aborts: u64,
+}
+
+impl HotCell {
+    /// Aborts per committed transaction — the contention-sweep gate
+    /// metric. Unlike ops/s it is a property of the protocol + CM
+    /// policy, not the host, so it compares across machines.
+    pub fn abort_rate(&self) -> f64 {
+        self.aborts as f64 / self.commits.max(1) as f64
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -122,6 +172,9 @@ pub fn calibrate() -> f64 {
 enum HotWorkload {
     ReadHeavy,
     WriteHeavy,
+    /// The write-heavy op mix over [`CM_N_OBJECTS`] objects: a
+    /// conflict-by-construction storm for the contention sweep.
+    CmWriteHeavy,
     Transfer,
 }
 
@@ -130,6 +183,7 @@ impl HotWorkload {
         match s {
             "read-heavy" | "scale-read-mostly" => HotWorkload::ReadHeavy,
             "write-heavy" => HotWorkload::WriteHeavy,
+            "cm-write-heavy" => HotWorkload::CmWriteHeavy,
             "transfer" | "scale-mixed" => HotWorkload::Transfer,
             other => panic!("unknown workload {other:?}"),
         }
@@ -148,6 +202,9 @@ impl<S: TmSys> OpDriver<S> {
         let (objects, bank) = match workload {
             HotWorkload::Transfer => {
                 (Vec::new(), Some(nztm_workloads::harness::TransferBank::new(sys, N_ACCOUNTS, 1_000)))
+            }
+            HotWorkload::CmWriteHeavy => {
+                ((0..CM_N_OBJECTS).map(|i| sys.alloc(i as u64)).collect(), None)
             }
             _ => ((0..N_OBJECTS).map(|i| sys.alloc(i as u64)).collect(), None),
         };
@@ -180,7 +237,7 @@ impl<S: TmSys> OpDriver<S> {
                     black_box(sum);
                 }
             }
-            HotWorkload::WriteHeavy => {
+            HotWorkload::WriteHeavy | HotWorkload::CmWriteHeavy => {
                 let n = self.objects.len() as u64;
                 let mut idx = [0u64; 4];
                 for i in &mut idx {
@@ -278,6 +335,11 @@ fn run_native_cell<S: TmSys>(
     }
     let driver = Arc::new(OpDriver::new(&*sys, workload));
     let ops_per_thread = (scale.native_ops / threads as u64).max(1);
+    // Throughput cells keep the best-timed sample (one-sided scheduler
+    // noise); cm cells *sum* all samples instead — picking the fastest
+    // sample also picks the least-conflicted one, which biases an
+    // abort-rate metric toward zero.
+    let aggregate = workload == HotWorkload::CmWriteHeavy;
     let mut best: Option<CellTiming> = None;
     for s in 0..scale.samples.max(1) {
         let t = native_sample_timed(
@@ -288,10 +350,22 @@ fn run_native_cell<S: TmSys>(
             ops_per_thread,
             scale.seed.wrapping_add(s as u64),
         );
-        let better = best.as_ref().map(|b| t.elapsed_ns < b.elapsed_ns).unwrap_or(true);
-        if better {
-            best = Some(t);
-        }
+        best = Some(match best.take() {
+            None => t,
+            Some(b) if aggregate => CellTiming {
+                ops: b.ops + t.ops,
+                elapsed_ns: b.elapsed_ns + t.elapsed_ns,
+                commits: b.commits + t.commits,
+                aborts: b.aborts + t.aborts,
+            },
+            Some(b) => {
+                if t.elapsed_ns < b.elapsed_ns {
+                    t
+                } else {
+                    b
+                }
+            }
+        });
     }
     best.unwrap()
 }
@@ -365,6 +439,16 @@ fn run_hybrid_cell(workload: HotWorkload, threads: usize, scale: &HotScale) -> C
 
 fn run_cell(workload: &str, system: &str, threads: usize, scale: &HotScale) -> CellTiming {
     let w = HotWorkload::from_name(workload);
+    // Abort rates need op volume to be stable; pin cm cells to full
+    // size (and at least two summed samples) even under --quick — see
+    // CM_OPS and the sample aggregation in run_native_cell.
+    let cm_scale;
+    let scale = if w == HotWorkload::CmWriteHeavy && scale.native_ops < CM_OPS {
+        cm_scale = HotScale { native_ops: CM_OPS, samples: scale.samples.max(2), ..*scale };
+        &cm_scale
+    } else {
+        scale
+    };
     match system {
         "BZSTM" => run_native_cell(
             |p| -> Arc<Bzstm<Native>> { Bzstm::with_defaults(Arc::clone(p)) },
@@ -374,6 +458,19 @@ fn run_cell(workload: &str, system: &str, threads: usize, scale: &HotScale) -> C
         ),
         "NZSTM" => run_native_cell(
             |p| -> Arc<Nzstm<Native>> { Nzstm::with_defaults(Arc::clone(p)) },
+            w,
+            threads,
+            scale,
+        ),
+        // Same engine, adaptive contention manager (ISSUE 6): the only
+        // delta vs the "NZSTM" cells is the CM policy, so the abort-rate
+        // comparison isolates what adaptation buys.
+        "NZSTM-ACM" => run_native_cell(
+            |p| -> Arc<Nzstm<Native>> {
+                NzBuilder::new(Arc::clone(p))
+                    .adaptive_cm(AdaptiveConfig::default())
+                    .build_nzstm()
+            },
             w,
             threads,
             scale,
@@ -429,6 +526,11 @@ pub fn run_matrix(mode: &str, scale: &HotScale, progress: bool, scaling: bool) -
         for &w in SCALING_WORKLOADS {
             for &t in SCALING_THREADS {
                 measure(w, SCALING_SYSTEM, t);
+            }
+        }
+        for &s in &[CM_BASE_SYSTEM, CM_ADAPTIVE_SYSTEM] {
+            for &t in CM_THREADS {
+                measure(CM_WORKLOAD, s, t);
             }
         }
     }
@@ -549,6 +651,29 @@ impl HotReport {
                     match self.cell(w, SCALING_SYSTEM, t) {
                         Some(c) => write!(out, "{:>14.0}", c.ops_per_sec).unwrap(),
                         None => write!(out, "{:>14}", "-").unwrap(),
+                    }
+                }
+                writeln!(out).unwrap();
+            }
+        }
+        if self.cells.iter().any(|c| c.workload == CM_WORKLOAD) {
+            writeln!(out, "\n--- {CM_WORKLOAD} (aborts/commit; ops/s in parens) ---").unwrap();
+            write!(out, "{:<10}", "system").unwrap();
+            for t in CM_THREADS {
+                write!(out, "{t:>22}").unwrap();
+            }
+            writeln!(out).unwrap();
+            for &s in &[CM_BASE_SYSTEM, CM_ADAPTIVE_SYSTEM] {
+                write!(out, "{s:<10}").unwrap();
+                for &t in CM_THREADS {
+                    match self.cell(CM_WORKLOAD, s, t) {
+                        Some(c) => write!(
+                            out,
+                            "{:>22}",
+                            format!("{:.4} ({:.0})", c.abort_rate(), c.ops_per_sec)
+                        )
+                        .unwrap(),
+                        None => write!(out, "{:>22}", "-").unwrap(),
                     }
                 }
                 writeln!(out).unwrap();
@@ -769,6 +894,60 @@ pub fn check_reports_with(
         .unwrap();
         workload_speedup.push((w.to_string(), geomean));
     }
+    // Contention-management sweep: gated on abort rate *within the
+    // current report* — NZSTM-ACM (adaptive CM) vs NZSTM (static Karma)
+    // measured back-to-back in the same run, so host speed, load, and
+    // oversubscription noise cancel out of the comparison. The adaptive
+    // policy exists to cut the abort storm, so it fails the gate if its
+    // abort rate exceeds the Karma baseline's by more than
+    // CM_ABORT_RATE_SLACK (relative) + CM_ABORT_RATE_EPSILON (absolute,
+    // for burst noise against a zero baseline — see the constants).
+    // Abort and commit counts are pooled across the
+    // CM_GATE_THREADS cells before comparing — one pooled verdict, not
+    // per-cell verdicts, so a single unlucky schedule cannot fail the
+    // build. Wall-clock at these thread counts is never gated, and a
+    // report without cm cells (a run without --scaling) gates nothing.
+    {
+        let mut any = false;
+        let (mut gk, mut ga) = ((0u64, 0u64), (0u64, 0u64)); // (aborts, commits)
+        for &t in CM_THREADS {
+            let (Some(k), Some(a)) = (
+                current.cell(CM_WORKLOAD, CM_BASE_SYSTEM, t),
+                current.cell(CM_WORKLOAD, CM_ADAPTIVE_SYSTEM, t),
+            ) else {
+                continue;
+            };
+            if !any {
+                writeln!(out, "\n--- {CM_WORKLOAD} (abort rate, current run) ---").unwrap();
+                any = true;
+            }
+            let in_gate = CM_GATE_THREADS.contains(&t);
+            if in_gate {
+                gk = (gk.0 + k.aborts, gk.1 + k.commits);
+                ga = (ga.0 + a.aborts, ga.1 + a.commits);
+            }
+            writeln!(
+                out,
+                "  t={t:<3}  karma {:.4} -> adaptive {:.4} aborts/commit{}",
+                k.abort_rate(),
+                a.abort_rate(),
+                if in_gate { "" } else { "   (not gated)" }
+            )
+            .unwrap();
+        }
+        if ga.1 > 0 {
+            let kr = gk.0 as f64 / gk.1.max(1) as f64;
+            let ar = ga.0 as f64 / ga.1.max(1) as f64;
+            let pass = ar <= kr * (1.0 + CM_ABORT_RATE_SLACK) + CM_ABORT_RATE_EPSILON;
+            ok &= pass;
+            writeln!(
+                out,
+                "  pooled (t in {CM_GATE_THREADS:?})  karma {kr:.4} -> adaptive {ar:.4}   {}",
+                if pass { "OK" } else { "REGRESSION (adaptive aborts more than karma)" }
+            )
+            .unwrap();
+        }
+    }
     CheckOutcome { report: out, workload_speedup, ok }
 }
 
@@ -886,6 +1065,90 @@ mod tests {
         let old = demo_report(1.0);
         let out3 = check_reports(&old, &cur2, 0.15);
         assert!(out3.ok, "{}", out3.report);
+    }
+
+    fn demo_cm_cells(karma_aborts: u64, adaptive_aborts: u64) -> Vec<HotCell> {
+        let mut cells = Vec::new();
+        for &(s, aborts) in
+            &[(CM_BASE_SYSTEM, karma_aborts), (CM_ADAPTIVE_SYSTEM, adaptive_aborts)]
+        {
+            for &t in CM_THREADS {
+                cells.push(HotCell {
+                    workload: CM_WORKLOAD.into(),
+                    system: s.into(),
+                    threads: t,
+                    ops: 1000,
+                    elapsed_ns: 1_000_000,
+                    ops_per_sec: 1e6,
+                    norm: 1e6 / 100e6,
+                    commits: 1000,
+                    aborts,
+                });
+            }
+        }
+        cells
+    }
+
+    #[test]
+    fn cm_gate_compares_adaptive_to_karma_within_the_current_run() {
+        let base = demo_report(1.0);
+        // Adaptive cutting the abort rate passes.
+        let mut cur = demo_report(1.0);
+        cur.cells.extend(demo_cm_cells(400, 150));
+        let out = check_reports(&base, &cur, 0.15);
+        assert!(out.ok, "{}", out.report);
+        assert!(out.report.contains(CM_WORKLOAD));
+        // Adaptive aborting materially more than Karma fails, even
+        // though every throughput cell is unchanged — and it fails
+        // against a baseline with no cm cells at all, because the gate
+        // is intra-run.
+        let mut cur2 = demo_report(1.0);
+        cur2.cells.extend(demo_cm_cells(150, 400));
+        let out2 = check_reports(&base, &cur2, 0.15);
+        assert!(!out2.ok, "{}", out2.report);
+        assert!(out2.report.contains("adaptive aborts more than karma"));
+        // A report without cm cells (run without --scaling) gates
+        // nothing here.
+        let out3 = check_reports(&base, &demo_report(1.0), 0.15);
+        assert!(out3.ok, "{}", out3.report);
+        assert!(!out3.report.contains(CM_WORKLOAD));
+    }
+
+    #[test]
+    fn cm_gate_skips_the_ungated_68_thread_cell() {
+        // A regression confined to the 68-thread cell (trend-watching
+        // only) must pass; the same regression at a gated count fails.
+        let base = demo_report(1.0);
+        let bump = |cells: Vec<HotCell>, at: usize| {
+            cells
+                .into_iter()
+                .map(|mut c| {
+                    if c.system == CM_ADAPTIVE_SYSTEM && c.threads == at {
+                        c.aborts = 900;
+                    }
+                    c
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut cur = demo_report(1.0);
+        cur.cells.extend(bump(demo_cm_cells(200, 100), 68));
+        assert!(check_reports(&base, &cur, 0.15).ok);
+        let mut cur2 = demo_report(1.0);
+        cur2.cells.extend(bump(demo_cm_cells(200, 100), 96));
+        assert!(!check_reports(&base, &cur2, 0.15).ok);
+    }
+
+    #[test]
+    fn cm_cells_round_trip_and_render() {
+        let mut r = demo_report(1.0);
+        r.cells.extend(demo_cm_cells(300, 120));
+        let parsed = parse_report(&r.to_json()).unwrap();
+        let c = parsed.cell(CM_WORKLOAD, CM_ADAPTIVE_SYSTEM, 96).unwrap();
+        assert_eq!(c.aborts, 120);
+        assert!((c.abort_rate() - 0.12).abs() < 1e-12);
+        let text = r.render_text();
+        assert!(text.contains(CM_WORKLOAD), "{text}");
+        assert!(text.contains(CM_ADAPTIVE_SYSTEM), "{text}");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! reports whether the failure reproduces.
 
 use crate::explore::{judge, CheckError, Failure};
-use crate::harness::{run_config, Backend, CheckConfig, Workload};
+use crate::harness::{run_config, Backend, CheckConfig, CmKind, Workload};
 use nztm_sim::SchedPolicy;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -91,12 +91,13 @@ pub fn to_text(art: &Artifact) -> String {
         art.choices.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
     format!(
         "nztm-check failure artifact v1\n\
-         backend={}\nworkload={}\nthreads={}\nhw_cores={}\nobjects={}\nops_per_thread={}\n\
+         backend={}\nworkload={}\ncm={}\nthreads={}\nhw_cores={}\nobjects={}\nops_per_thread={}\n\
          initial={}\npatience={}\nseed={}\nmax_cycles={}\ncrash_tid={}\nstall={}\n\
          inject_handshake_bug={}\npause={}\nyield_points={}\n\
          kind={}\ndetail={}\nchoices={}\n",
         c.backend.name(),
         c.workload.name(),
+        c.cm.name(),
         c.threads,
         c.hw_cores,
         c.objects,
@@ -167,9 +168,16 @@ pub fn from_text(text: &str) -> Result<Artifact, String> {
             .map(|c| c.parse().map_err(|e| format!("choices: {e}")))
             .collect::<Result<_, String>>()?
     };
+    // Absent in artifacts written before policy selection existed:
+    // those all ran the Karma default.
+    let cm = match fields.get("cm") {
+        None => CmKind::Karma,
+        Some(v) => CmKind::parse(v).ok_or_else(|| format!("unknown cm {v:?}"))?,
+    };
     let cfg = CheckConfig {
         backend,
         workload,
+        cm,
         threads: num("threads")? as usize,
         // Absent in artifacts written before oversubscription existed:
         // those ran on dedicated machines.
@@ -292,6 +300,27 @@ mod tests {
             .join("\n");
         let back = from_text(&text).unwrap();
         assert_eq!(back.cfg.hw_cores, 0, "pre-oversubscription artifacts ran dedicated");
+    }
+
+    #[test]
+    fn cm_field_round_trips_and_defaults_to_karma() {
+        let art = Artifact {
+            cfg: CheckConfig { cm: CmKind::Adaptive, ..CheckConfig::transfer(Backend::Nzstm) },
+            kind: "conservation".into(),
+            detail: "d".into(),
+            choices: vec![],
+        };
+        let back = from_text(&to_text(&art)).unwrap();
+        assert_eq!(back.cfg.cm, CmKind::Adaptive);
+        // Artifacts from before policy selection carry no cm= line and
+        // must replay under the Karma default they were found with.
+        let text = to_text(&art)
+            .lines()
+            .filter(|l| !l.starts_with("cm="))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(from_text(&text).unwrap().cfg.cm, CmKind::Karma);
+        assert!(from_text(&to_text(&art).replace("cm=adaptive", "cm=bogus")).is_err());
     }
 
     #[test]

@@ -54,7 +54,7 @@ const LIN_MAX_OPS: usize = 64;
 /// conservation, then sanitizer findings. Linearizability is checked
 /// before sanitizer findings so an end-to-end data corruption is
 /// reported as such even when the invariant mirror also flagged it.
-/// Histories wider than [`LIN_MAX_OPS`] skip the permutation search and
+/// Histories wider than `LIN_MAX_OPS` skip the permutation search and
 /// rely on the conservation checks (the sum of bank balances, or the
 /// count of committed increments), which remain exact at any width.
 pub fn judge(cfg: &CheckConfig, out: &RunOutcome) -> Result<(), CheckError> {

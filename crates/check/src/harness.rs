@@ -6,7 +6,10 @@
 //! histories and statistics — across processes, which is what makes
 //! failure artifacts replayable by `check_replay`.
 
-use nztm_core::cm::KarmaDeadlock;
+use nztm_core::cm::{
+    Adaptive, AdaptiveConfig, Aggressive, ContentionManager, Greedy, KarmaDeadlock, Polite,
+    Timestamp,
+};
 use nztm_core::{Blocking, ModePolicy, Nonblocking, NzConfig, NzStm, ScssMode, TmStats, TmSys};
 use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, NztmHybrid};
 use nztm_sim::sync::Mutex;
@@ -42,6 +45,67 @@ impl Backend {
     }
 }
 
+/// The contention-management policy a run builds its engine with.
+/// Part of the replayable configuration (serialized into artifacts, with
+/// absent-field backward compatibility defaulting to [`CmKind::Karma`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmKind {
+    /// The paper's §4.3 default: Karma + deadlock detection.
+    Karma,
+    /// Always request the peer's abort (livelock-prone by design).
+    Aggressive,
+    /// Wait up to a budget, then request.
+    Polite,
+    /// Older transaction wins (livelock-free given unique serials).
+    Timestamp,
+    /// Greedy (PODC 2005): elder wins, younger yields to stalled elders.
+    Greedy,
+    /// Telemetry-driven adaptive wrapper over Karma (PR 6 tentpole).
+    Adaptive,
+}
+
+/// Every policy the harness can drive, in presentation order.
+pub const CM_KINDS: [CmKind; 6] = [
+    CmKind::Karma,
+    CmKind::Aggressive,
+    CmKind::Polite,
+    CmKind::Timestamp,
+    CmKind::Greedy,
+    CmKind::Adaptive,
+];
+
+impl CmKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            CmKind::Karma => "karma",
+            CmKind::Aggressive => "aggressive",
+            CmKind::Polite => "polite",
+            CmKind::Timestamp => "timestamp",
+            CmKind::Greedy => "greedy",
+            CmKind::Adaptive => "adaptive",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<CmKind> {
+        CM_KINDS.iter().copied().find(|k| k.name() == s)
+    }
+
+    /// Construct the policy with its default parameters. Determinism
+    /// note: every policy here is either stateless or (Adaptive) seeds
+    /// all state from the run's own event stream, so same config + same
+    /// schedule still reproduces the same decisions.
+    pub fn build(self) -> Arc<dyn ContentionManager> {
+        match self {
+            CmKind::Karma => Arc::new(KarmaDeadlock::default()),
+            CmKind::Aggressive => Arc::new(Aggressive),
+            CmKind::Polite => Arc::new(Polite::default()),
+            CmKind::Timestamp => Arc::new(Timestamp),
+            CmKind::Greedy => Arc::new(Greedy),
+            CmKind::Adaptive => Arc::new(Adaptive::new(AdaptiveConfig::default())),
+        }
+    }
+}
+
 /// The workload shape a run executes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Workload {
@@ -71,6 +135,8 @@ impl Workload {
 pub struct CheckConfig {
     pub backend: Backend,
     pub workload: Workload,
+    /// Contention-management policy (default [`CmKind::Karma`]).
+    pub cm: CmKind,
     pub threads: usize,
     /// Physical cores backing the simulated contexts (0 = dedicated, one
     /// core per thread). Setting this below `threads` makes the simulated
@@ -114,6 +180,7 @@ impl CheckConfig {
         CheckConfig {
             backend,
             workload: Workload::Transfer,
+            cm: CmKind::Karma,
             threads: 3,
             hw_cores: 0,
             objects: 2,
@@ -481,7 +548,7 @@ fn outcome(
 fn run_on_mode<M: ModePolicy>(cfg: &CheckConfig) -> RunOutcome {
     let (machine, platform) = new_machine(cfg);
     let stm: Arc<NzStm<SimPlatform, M>> =
-        NzStm::new(Arc::clone(&platform), Arc::new(KarmaDeadlock::default()), nz_config(cfg));
+        NzStm::new(Arc::clone(&platform), cfg.cm.build(), nz_config(cfg));
     #[cfg(feature = "sanitize")]
     arm_sanitizer(&stm, cfg);
     let init = match cfg.workload {
@@ -540,7 +607,7 @@ fn run_hybrid(cfg: &CheckConfig) -> RunOutcome {
     let (machine, platform) = new_machine(cfg);
     let stm = NzStm::<SimPlatform, Nonblocking>::new(
         Arc::clone(&platform),
-        Arc::new(KarmaDeadlock::default()),
+        cfg.cm.build(),
         nz_config(cfg),
     );
     #[cfg(feature = "sanitize")]

@@ -41,5 +41,5 @@ pub use explore::{
     explore_exhaustive, explore_exhaustive_with, explore_random, explore_random_with, judge,
     CheckError, ExploreReport, Failure,
 };
-pub use harness::{run_config, Backend, CheckConfig, RunOutcome, Workload, BACKENDS};
+pub use harness::{run_config, Backend, CheckConfig, CmKind, RunOutcome, Workload, BACKENDS, CM_KINDS};
 pub use lin::{check_set_history, linearizable, BankSpec, CounterSpec, KeySpec, LinError, SeqSpec};

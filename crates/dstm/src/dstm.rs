@@ -292,6 +292,7 @@ impl<P: Platform> Dstm<P> {
             AbortCause::SelfAbort => ctx.stats.aborts_self.bump(),
             AbortCause::Validation => ctx.stats.aborts_validation.bump(),
             AbortCause::Explicit => ctx.stats.aborts_explicit.bump(),
+            AbortCause::Htm => ctx.stats.aborts_htm.bump(),
         }
     }
 

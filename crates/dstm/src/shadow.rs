@@ -326,6 +326,7 @@ impl<P: Platform> ShadowStm<P> {
             AbortCause::SelfAbort => ctx.stats.aborts_self.bump(),
             AbortCause::Validation => ctx.stats.aborts_validation.bump(),
             AbortCause::Explicit => ctx.stats.aborts_explicit.bump(),
+            AbortCause::Htm => ctx.stats.aborts_htm.bump(),
         }
     }
 

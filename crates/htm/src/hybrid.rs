@@ -257,7 +257,7 @@ impl TmSys for NztmHybrid {
         match tx {
             HybridTx::Hw { sys, hw, core } => sys
                 .hw_read_obj(hw, *core, obj)
-                .map_err(|HwAbort| Abort(AbortCause::Requested)),
+                .map_err(|HwAbort| Abort(AbortCause::Htm)),
             HybridTx::Sw { tx, .. } => tx.read(obj),
         }
     }
@@ -266,7 +266,7 @@ impl TmSys for NztmHybrid {
         match tx {
             HybridTx::Hw { sys, hw, core } => sys
                 .hw_write_obj(hw, *core, obj, v)
-                .map_err(|HwAbort| Abort(AbortCause::Requested)),
+                .map_err(|HwAbort| Abort(AbortCause::Htm)),
             HybridTx::Sw { tx, .. } => tx.write(obj, v),
         }
     }

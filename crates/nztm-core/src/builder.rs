@@ -124,6 +124,13 @@ impl<P: Platform> NzBuilder<P> {
         self
     }
 
+    /// Use the telemetry-driven adaptive contention manager
+    /// ([`crate::cm::Adaptive`]) with `cfg`'s thresholds. Shorthand for
+    /// `.cm(Arc::new(Adaptive::new(cfg)))`.
+    pub fn adaptive_cm(self, cfg: crate::cm::AdaptiveConfig) -> Self {
+        self.cm(Arc::new(crate::cm::Adaptive::new(cfg)))
+    }
+
     /// Arm the flight recorder from construction (no effect unless the
     /// crate is built with the `trace` feature; see [`crate::trace`]).
     pub fn tracing(mut self, enabled: bool) -> Self {

@@ -1,0 +1,491 @@
+//! Telemetry-driven adaptive contention management (ROADMAP item 4).
+//!
+//! The paper's §4.3 policy ([`KarmaDeadlock`]) is static, and the PR-5
+//! scaling sweep shows what Scherer & Scott's design-space studies
+//! predict: no fixed policy wins everywhere. At 68–128 threads the
+//! write-heavy cells dissolve into abort storms — every thread keeps
+//! paying the abort + redo cost on the same few objects while the fixed
+//! 2^12 backoff cap re-injects all of them at once.
+//!
+//! [`Adaptive`] closes the loop from the PR-4 telemetry (abort causes,
+//! per-object conflict attribution — the same signals the flight
+//! recorder's `hottest_objects` report aggregates) back into policy. It
+//! wraps [`KarmaDeadlock`] and pulls three levers:
+//!
+//! 1. **Hot-object escalation.** Objects whose abort heat crosses
+//!    [`AdaptiveConfig::hot_threshold`] enter [`CmMode::Escalated`]: a
+//!    queued-ownership mode in which contenders wait politely (no abort
+//!    requests) for up to [`AdaptiveConfig::escalated_timeout`]
+//!    consultations, so the storm drains through the current owner one
+//!    transaction at a time instead of thrashing. The prefix is kept
+//!    *shorter* than Karma's own timeout — each Wait consultation is a
+//!    scheduler yield natively, so deep waiting on an oversubscribed
+//!    host burns timeslices on a descheduled owner. Past the prefix the
+//!    wrapped Karma policy takes over unchanged (its timeout escape
+//!    hatch included) — every wait stays bounded, so the §2 nonblocking
+//!    invariants are untouched (policy can only choose *among* bounded
+//!    waits; the engine's patience/inflation mechanism is never
+//!    disabled).
+//! 2. **Backoff widening.** Each thread's conflict rate (an EWMA of
+//!    abort-per-attempt fed by [`ContentionManager::on_abort`] /
+//!    [`ContentionManager::on_commit`]) maps to a retry-backoff cap
+//!    exponent between [`AdaptiveConfig::min_cap_exp`] and
+//!    [`AdaptiveConfig::max_cap_exp`], so quiet threads retry promptly
+//!    while storming threads spread out far beyond the static
+//!    [`crate::util::Backoff::CAP_EXP`].
+//! 3. **Inflate-vs-wait.** When an unresponsive-owner patience budget
+//!    expires on a *hot* object, [`ContentionManager::extra_patience`]
+//!    grants bounded extra acknowledgement-wait chunks before the engine
+//!    inflates. Inflation of a hot object makes every subsequent access
+//!    pay the locator indirection; on a storming object the owner is
+//!    usually alive-but-slow, so a little extra patience is cheaper than
+//!    permanently de-optimizing the object. Grants are capped by
+//!    [`AdaptiveConfig::max_extra_patience`], preserving obstruction
+//!    freedom: a truly crashed owner still gets inflated past, just a
+//!    bounded number of steps later.
+//!
+//! All state lives in fixed-size tables of relaxed atomics (no locks, no
+//! allocation after construction), so consulting the policy stays cheap
+//! and the policy itself cannot block anyone.
+
+use super::{CmMode, ContentionManager, KarmaDeadlock, ModeChange, Resolution};
+use crate::txn::{AbortCause, TxnDesc};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+
+/// Tuning knobs for [`Adaptive`]. `Default` matches the values used by
+/// the bench sweep; every threshold is denominated in the same units as
+/// the telemetry that feeds it (abort events for heat, consultations for
+/// timeouts, spin steps for patience).
+#[derive(Clone, Debug)]
+pub struct AdaptiveConfig {
+    /// Heat units (decayed abort count) at which an object escalates.
+    pub hot_threshold: u32,
+    /// Heat units at or below which an escalated object de-escalates.
+    /// Must be `< hot_threshold` (hysteresis prevents mode flapping).
+    pub cool_threshold: u32,
+    /// Consultations a contender waits politely on an escalated object
+    /// before the wrapped Karma policy (and its own timeout) takes over.
+    /// This is the bound that keeps escalation obstruction-free.
+    pub escalated_timeout: u64,
+    /// Backoff cap exponent when a thread's conflict EWMA is 0.
+    pub min_cap_exp: u32,
+    /// Backoff cap exponent when a thread's conflict EWMA saturates.
+    pub max_cap_exp: u32,
+    /// Total extra acknowledgement-wait steps ever granted per conflict
+    /// before inflation proceeds regardless (lever 3 bound).
+    pub max_extra_patience: u64,
+    /// Extra patience granted per expiry while the object stays hot.
+    pub patience_chunk: u64,
+    /// Telemetry events (aborts + commits) between heat-decay sweeps.
+    pub decay_interval: u64,
+    /// EWMA smoothing shift: `ewma += (sample - ewma) >> ewma_shift`.
+    /// Larger = smoother/slower; 4 tracks a ~16-event horizon.
+    pub ewma_shift: u32,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            // ~8 aborts on one object inside a decay window is already a
+            // storm for the paper's short transactions.
+            hot_threshold: 8,
+            cool_threshold: 2,
+            // Each Wait consultation is a scheduler yield on native
+            // hosts, so escalated waiting must stay *shorter* than the
+            // inner Karma timeout (256): long enough to drain a convoy
+            // of short transactions, short enough that a descheduled
+            // owner on an oversubscribed host costs a bounded prefix of
+            // yields before Karma's deadlock logic takes over. (Deeper
+            // waits measurably collapse throughput at 68–128 threads on
+            // few cores.)
+            escalated_timeout: 160,
+            min_cap_exp: 6,
+            max_cap_exp: Adaptive::MAX_CAP_EXP_LIMIT,
+            max_extra_patience: 128,
+            patience_chunk: 64,
+            decay_interval: 1024,
+            ewma_shift: 4,
+        }
+    }
+}
+
+/// EWMA fixed point: 1024 == an abort rate of 1.0.
+const EWMA_ONE: u32 = 1024;
+/// Heat added per abort attributed to an object.
+const HEAT_PER_ABORT: u32 = 1;
+
+/// Per-thread conflict-rate slot. Written only by its owning thread
+/// (the engine delivers `on_abort`/`on_commit` from the aborting /
+/// committing thread itself); read by the same thread in `backoff_cap`.
+/// Relaxed atomics make the cross-thread case (stats scrapes, tests)
+/// merely racy-but-defined.
+#[derive(Default)]
+struct ThreadSlot {
+    /// Fixed-point EWMA of abort-per-attempt, 0..=[`EWMA_ONE`].
+    ewma: AtomicU32,
+}
+
+/// Per-object heat slot, keyed by header address hashed into the table.
+/// Distinct objects may collide into one slot; that only merges their
+/// heat, which over-approximates — an acceptable error for a policy
+/// input (same trade the flight recorder's `hottest_objects` makes).
+#[derive(Default)]
+struct HeatSlot {
+    /// Header address of the last object that heated this slot (for
+    /// mode-change reporting; informational under collisions).
+    addr: AtomicU64,
+    /// Decayed abort count.
+    heat: AtomicU32,
+    /// [`CmMode::code`] of the slot's current mode.
+    mode: AtomicU32,
+    /// Spin steps of extra patience already granted on the current
+    /// conflict epoch (reset on de-escalation).
+    granted: AtomicU64,
+}
+
+const THREAD_SLOTS: usize = 256;
+const HEAT_SLOTS: usize = 512;
+
+/// Adaptive contention manager: [`KarmaDeadlock`] plus the three
+/// telemetry-driven levers described in the module docs above.
+pub struct Adaptive {
+    inner: KarmaDeadlock,
+    cfg: AdaptiveConfig,
+    threads: Vec<ThreadSlot>,
+    heat: Vec<HeatSlot>,
+    /// Total telemetry events, for decay scheduling.
+    events: AtomicU64,
+    /// Index of the next heat slot a decay sweep will inspect for
+    /// de-escalation (sweeps resume where the last left off, so every
+    /// cooled slot is eventually reported even though each sweep may
+    /// return only one [`ModeChange`]).
+    sweep_cursor: AtomicU64,
+}
+
+impl Adaptive {
+    /// Hard ceiling on [`AdaptiveConfig::max_cap_exp`]; matches
+    /// [`crate::util::Backoff::MAX_CAP_EXP`] (2^16 steps) — kept as a
+    /// local const so `cm` does not depend on `util` internals.
+    pub const MAX_CAP_EXP_LIMIT: u32 = 16;
+
+    pub fn new(cfg: AdaptiveConfig) -> Self {
+        assert!(cfg.cool_threshold < cfg.hot_threshold, "hysteresis requires cool < hot");
+        let cfg = AdaptiveConfig {
+            max_cap_exp: cfg.max_cap_exp.min(Self::MAX_CAP_EXP_LIMIT),
+            min_cap_exp: cfg.min_cap_exp.min(cfg.max_cap_exp).min(Self::MAX_CAP_EXP_LIMIT),
+            decay_interval: cfg.decay_interval.max(1),
+            ..cfg
+        };
+        Adaptive {
+            inner: KarmaDeadlock::default(),
+            cfg,
+            threads: (0..THREAD_SLOTS).map(|_| ThreadSlot::default()).collect(),
+            heat: (0..HEAT_SLOTS).map(|_| HeatSlot::default()).collect(),
+            events: AtomicU64::new(0),
+            sweep_cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration in effect (post-clamping).
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
+    }
+
+    fn thread_slot(&self, thread: u32) -> &ThreadSlot {
+        &self.threads[thread as usize % THREAD_SLOTS]
+    }
+
+    fn heat_slot(&self, obj_addr: u64) -> &HeatSlot {
+        // Fibonacci hashing of the header address; headers are
+        // cache-line spaced, so the low bits alone would collide.
+        let h = obj_addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.heat[(h >> 32) as usize % HEAT_SLOTS]
+    }
+
+    /// True if `obj_addr`'s slot is currently escalated.
+    pub fn is_escalated(&self, obj_addr: u64) -> bool {
+        self.heat_slot(obj_addr).mode.load(Relaxed) == CmMode::Escalated.code() as u32
+    }
+
+    /// Current conflict-rate EWMA for `thread`, as fixed point over
+    /// `EWMA_ONE` = 1024 (test/observability hook).
+    pub fn conflict_ewma(&self, thread: u32) -> u32 {
+        self.thread_slot(thread).ewma.load(Relaxed)
+    }
+
+    /// Fold one attempt outcome into `thread`'s EWMA.
+    fn note_attempt(&self, thread: u32, aborted: bool) {
+        let slot = self.thread_slot(thread);
+        let old = slot.ewma.load(Relaxed);
+        let sample = if aborted { EWMA_ONE as i64 } else { 0 };
+        let next = old as i64 + ((sample - old as i64) >> self.cfg.ewma_shift);
+        slot.ewma.store(next.clamp(0, EWMA_ONE as i64) as u32, Relaxed);
+    }
+
+    /// Count a telemetry event; every `decay_interval` events, run a
+    /// decay sweep and return the first de-escalation it produced.
+    fn tick(&self) -> Option<ModeChange> {
+        let n = self.events.fetch_add(1, Relaxed).wrapping_add(1);
+        if !n.is_multiple_of(self.cfg.decay_interval) {
+            return None;
+        }
+        // Halve all heat. Load/store (not RMW) is fine: a concurrent
+        // heat bump lost to the race only delays escalation by one
+        // abort, and policy inputs tolerate that.
+        let mut change = None;
+        let start = self.sweep_cursor.load(Relaxed) as usize;
+        for i in 0..HEAT_SLOTS {
+            let slot = &self.heat[(start + i) % HEAT_SLOTS];
+            let h = slot.heat.load(Relaxed);
+            if h > 0 {
+                slot.heat.store(h / 2, Relaxed);
+            }
+            if change.is_none()
+                && h / 2 <= self.cfg.cool_threshold
+                && slot
+                    .mode
+                    .compare_exchange(
+                        CmMode::Escalated.code() as u32,
+                        CmMode::Normal.code() as u32,
+                        Relaxed,
+                        Relaxed,
+                    )
+                    .is_ok()
+            {
+                slot.granted.store(0, Relaxed);
+                change = Some(ModeChange {
+                    obj_addr: slot.addr.load(Relaxed),
+                    to: CmMode::Normal,
+                });
+                self.sweep_cursor.store(((start + i) % HEAT_SLOTS) as u64 + 1, Relaxed);
+            }
+        }
+        change
+    }
+}
+
+impl Default for Adaptive {
+    fn default() -> Self {
+        Adaptive::new(AdaptiveConfig::default())
+    }
+}
+
+impl ContentionManager for Adaptive {
+    fn resolve(&self, me: &TxnDesc, other: &TxnDesc, waited: u64) -> Resolution {
+        // Object-agnostic entry point: no heat to consult, pure Karma.
+        self.inner.resolve(me, other, waited)
+    }
+
+    fn resolve_at(&self, me: &TxnDesc, other: &TxnDesc, obj_addr: u64, waited: u64) -> Resolution {
+        let slot = self.heat_slot(obj_addr);
+        if slot.mode.load(Relaxed) == CmMode::Escalated.code() as u32
+            && waited < self.cfg.escalated_timeout
+        {
+            // Queued ownership: drain the storm through the current
+            // owner. Bounded — past escalated_timeout the inner Karma
+            // policy decides (and its own timeout escape hatch still
+            // fires at `waited >= timeout`), so no wait is unbounded.
+            return Resolution::Wait;
+        }
+        self.inner.resolve(me, other, waited)
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn on_abort(&self, thread: u32, cause: AbortCause, obj_addr: u64) -> Option<ModeChange> {
+        self.note_attempt(thread, true);
+        let mut change = self.tick();
+        // Explicit aborts are programmatic control flow, not contention;
+        // everything else (Requested, SelfAbort, Validation, Htm) is a
+        // conflict signal that heats the object it was fought over.
+        if obj_addr != 0 && cause != AbortCause::Explicit {
+            let slot = self.heat_slot(obj_addr);
+            slot.addr.store(obj_addr, Relaxed);
+            let h = slot.heat.fetch_add(HEAT_PER_ABORT, Relaxed) + HEAT_PER_ABORT;
+            if h >= self.cfg.hot_threshold
+                && slot
+                    .mode
+                    .compare_exchange(
+                        CmMode::Normal.code() as u32,
+                        CmMode::Escalated.code() as u32,
+                        Relaxed,
+                        Relaxed,
+                    )
+                    .is_ok()
+            {
+                slot.granted.store(0, Relaxed);
+                change = Some(ModeChange { obj_addr, to: CmMode::Escalated });
+            }
+        }
+        change
+    }
+
+    fn on_commit(&self, thread: u32) -> Option<ModeChange> {
+        self.note_attempt(thread, false);
+        self.tick()
+    }
+
+    fn backoff_cap(&self, thread: u32) -> Option<u32> {
+        let ewma = self.thread_slot(thread).ewma.load(Relaxed);
+        let span = self.cfg.max_cap_exp - self.cfg.min_cap_exp;
+        Some(self.cfg.min_cap_exp + (ewma * span + EWMA_ONE / 2) / EWMA_ONE)
+    }
+
+    fn extra_patience(&self, obj_addr: u64, granted: u64) -> u64 {
+        if granted >= self.cfg.max_extra_patience {
+            return 0;
+        }
+        let slot = self.heat_slot(obj_addr);
+        if slot.mode.load(Relaxed) != CmMode::Escalated.code() as u32 {
+            return 0;
+        }
+        self.cfg.patience_chunk.min(self.cfg.max_extra_patience - granted)
+    }
+}
+
+impl std::fmt::Debug for Adaptive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Adaptive")
+            .field("cfg", &self.cfg)
+            .field("events", &self.events.load(Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_small() -> AdaptiveConfig {
+        AdaptiveConfig {
+            hot_threshold: 4,
+            cool_threshold: 1,
+            decay_interval: 16,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn escalates_once_at_threshold_and_traces_the_transition() {
+        let cm = Adaptive::new(cfg_small());
+        let addr = 0x1000;
+        let mut changes = vec![];
+        for _ in 0..6 {
+            if let Some(c) = cm.on_abort(0, AbortCause::Requested, addr) {
+                changes.push(c);
+            }
+        }
+        assert_eq!(changes, vec![ModeChange { obj_addr: addr, to: CmMode::Escalated }]);
+        assert!(cm.is_escalated(addr));
+    }
+
+    #[test]
+    fn explicit_aborts_do_not_heat_objects() {
+        let cm = Adaptive::new(cfg_small());
+        for _ in 0..64 {
+            assert_eq!(cm.on_abort(0, AbortCause::Explicit, 0x2000), None);
+        }
+        assert!(!cm.is_escalated(0x2000));
+    }
+
+    #[test]
+    fn deescalates_after_commit_driven_decay() {
+        let cfg = cfg_small();
+        let interval = cfg.decay_interval;
+        let cm = Adaptive::new(cfg);
+        let addr = 0x3000;
+        for _ in 0..4 {
+            cm.on_abort(0, AbortCause::Requested, addr);
+        }
+        assert!(cm.is_escalated(addr));
+        // Commits carry no heat; decay sweeps halve it toward the cool
+        // threshold and the escalation lapses.
+        let mut change = None;
+        for _ in 0..interval * 8 {
+            if let Some(c) = cm.on_commit(0) {
+                change = Some(c);
+                break;
+            }
+        }
+        assert_eq!(change, Some(ModeChange { obj_addr: addr, to: CmMode::Normal }));
+        assert!(!cm.is_escalated(addr));
+    }
+
+    #[test]
+    fn escalated_mode_waits_then_falls_back_to_karma() {
+        let cm = Adaptive::new(cfg_small());
+        let addr = 0x4000;
+        for _ in 0..4 {
+            cm.on_abort(0, AbortCause::Requested, addr);
+        }
+        let me = TxnDesc::new(0, 1);
+        let other = TxnDesc::new(1, 2);
+        let t = cm.config().escalated_timeout;
+        assert!(
+            t < KarmaDeadlock::default().timeout,
+            "escalated waiting must stay a prefix of Karma's own timeout"
+        );
+        // Inside the prefix: pure wait, regardless of what Karma's
+        // priority comparison would have decided.
+        assert_eq!(cm.resolve_at(&me, &other, addr, 0), Resolution::Wait);
+        assert_eq!(cm.resolve_at(&me, &other, addr, t - 1), Resolution::Wait);
+        // Past the prefix Karma decides, and its timeout escape hatch
+        // still fires — the wait was bounded.
+        assert_eq!(cm.resolve_at(&me, &other, addr, 300), Resolution::RequestAbort);
+        // A cold object never entered escalation: Karma timeout applies.
+        assert_eq!(cm.resolve_at(&me, &other, 0x5000, 300), Resolution::RequestAbort);
+    }
+
+    #[test]
+    fn backoff_cap_tracks_conflict_rate_within_bounds() {
+        let cm = Adaptive::new(AdaptiveConfig::default());
+        let lo = cm.backoff_cap(7).unwrap();
+        assert_eq!(lo, cm.config().min_cap_exp, "fresh thread gets the floor");
+        for _ in 0..256 {
+            cm.on_abort(7, AbortCause::Validation, 0);
+        }
+        let hi = cm.backoff_cap(7).unwrap();
+        assert_eq!(hi, cm.config().max_cap_exp, "saturated thread gets the ceiling");
+        for _ in 0..256 {
+            cm.on_commit(7);
+        }
+        assert_eq!(cm.backoff_cap(7).unwrap(), cm.config().min_cap_exp, "recovers after commits");
+        assert!(cm.config().max_cap_exp <= Adaptive::MAX_CAP_EXP_LIMIT);
+    }
+
+    #[test]
+    fn extra_patience_is_bounded_and_hot_only() {
+        let cm = Adaptive::new(cfg_small());
+        let addr = 0x6000;
+        // Cold object: inflate immediately, as the paper specifies.
+        assert_eq!(cm.extra_patience(addr, 0), 0);
+        for _ in 0..4 {
+            cm.on_abort(0, AbortCause::Requested, addr);
+        }
+        // Hot object: bounded chunks, total never exceeding the cap.
+        let mut granted = 0;
+        loop {
+            let extra = cm.extra_patience(addr, granted);
+            if extra == 0 {
+                break;
+            }
+            granted += extra;
+            assert!(granted <= cm.config().max_extra_patience, "grants escaped the cap");
+        }
+        assert_eq!(granted, cm.config().max_extra_patience);
+        assert_eq!(cm.extra_patience(addr, granted), 0, "converges to 0");
+    }
+
+    #[test]
+    fn plain_resolve_is_pure_karma() {
+        let cm = Adaptive::default();
+        let me = TxnDesc::new(0, 1);
+        let other = TxnDesc::new(1, 2);
+        let karma = KarmaDeadlock::default();
+        for waited in [0, 100, 255, 256, 1000] {
+            assert_eq!(cm.resolve(&me, &other, waited), karma.resolve(&me, &other, waited));
+        }
+    }
+}

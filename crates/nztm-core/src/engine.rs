@@ -306,6 +306,10 @@ struct ThreadCtx {
     pool: BackupPool,
     rng: DetRng,
     backoff: Backoff,
+    /// Header address of the object this attempt last fought a conflict
+    /// over (0 = none). Feeds the contention manager's per-object abort
+    /// attribution ([`crate::cm::ContentionManager::on_abort`]).
+    conflict_obj: u64,
     /// This thread's live counters. The `Arc` is shared with the
     /// engine-level [`NzStm::thread_stats`] list so any thread can
     /// snapshot mid-run; only this thread writes (single-writer cells).
@@ -336,6 +340,7 @@ impl ThreadCtx {
             pool: BackupPool::default(),
             rng: DetRng::new(0x5EED_0000 + tid as u64),
             backoff: Backoff::new(),
+            conflict_obj: 0,
             stats,
             scratch: Vec::with_capacity(64),
             #[cfg(feature = "trace")]
@@ -587,7 +592,13 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                 }
             }
             // Randomized exponential backoff between attempts breaks the
-            // symmetric-retry livelock obstruction-freedom permits.
+            // symmetric-retry livelock obstruction-freedom permits. An
+            // adaptive CM may move the window cap with the observed
+            // conflict rate; `set_cap` clamps to `Backoff::MAX_CAP_EXP`,
+            // so policy can never unbound the stall.
+            if let Some(cap) = self.cm.backoff_cap(tid as u32) {
+                ctx.backoff.set_cap(cap);
+            }
             let steps = ctx.backoff.steps(ctx.rng.next_u64());
             for _ in 0..steps {
                 self.platform.spin_wait();
@@ -628,6 +639,9 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                 }
                 Ok(None) => return None,
                 Err(Abort(cause)) => self.abort_txn(ctx, tid, cause),
+            }
+            if let Some(cap) = self.cm.backoff_cap(tid as u32) {
+                ctx.backoff.set_cap(cap);
             }
             let steps = ctx.backoff.steps(ctx.rng.next_u64());
             for _ in 0..steps {
@@ -690,6 +704,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         ctx.write_set.clear();
         ctx.read_index.clear();
         ctx.write_index.clear();
+        ctx.conflict_obj = 0;
     }
 
     fn me(ctx: &ThreadCtx) -> &Arc<TxnDesc> {
@@ -732,6 +747,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                     OwnerRef::Inflated(l, _) => std::ptr::eq(l.owner(), Arc::as_ptr(&me)),
                 };
                 if !ok {
+                    ctx.conflict_obj = h.addr() as u64;
                     valid = false;
                     break;
                 }
@@ -751,6 +767,8 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             self.cleanup_after_commit(ctx, tid);
             ctx.stats.commits.bump();
             trace_evt!(self, ctx, tid, TxnCommit, ctx.serial, 0);
+            let change = self.cm.on_commit(tid as u32);
+            self.note_mode_change(ctx, tid, change);
             true
         } else {
             // AbortNowPlease arrived before the commit CAS.
@@ -789,13 +807,36 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         me.acknowledge_abort();
         self.clear_reader_bits(ctx, tid);
         ctx.write_set.clear();
+        // Exhaustive by design (no `_` arm): adding an `AbortCause`
+        // variant without a counter must fail to compile, so every abort
+        // — including HTM-fallback-originated ones — is counted exactly
+        // once here and nowhere else.
         match cause {
             AbortCause::Requested => ctx.stats.aborts_requested.bump(),
             AbortCause::SelfAbort => ctx.stats.aborts_self.bump(),
             AbortCause::Validation => ctx.stats.aborts_validation.bump(),
             AbortCause::Explicit => ctx.stats.aborts_explicit.bump(),
+            AbortCause::Htm => ctx.stats.aborts_htm.bump(),
         }
         trace_evt!(self, ctx, tid, TxnAbort, ctx.serial, cause.code());
+        let change = self.cm.on_abort(tid as u32, cause, ctx.conflict_obj);
+        self.note_mode_change(ctx, tid, change);
+    }
+
+    /// Count and trace a contention-manager mode transition
+    /// ([`crate::cm::ModeChange`]) so adaptation itself is observable.
+    fn note_mode_change(
+        &self,
+        ctx: &mut ThreadCtx,
+        tid: usize,
+        change: Option<crate::cm::ModeChange>,
+    ) {
+        let Some(c) = change else { return };
+        match c.to {
+            crate::cm::CmMode::Escalated => ctx.stats.cm_escalations.bump(),
+            crate::cm::CmMode::Normal => ctx.stats.cm_deescalations.bump(),
+        }
+        trace_evt!(self, ctx, tid, CmMode, c.obj_addr, c.to.code());
     }
 
     fn clear_reader_bits(&self, ctx: &mut ThreadCtx, tid: usize) {
@@ -833,6 +874,9 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
     ) -> Result<ConflictOutcome, Abort> {
         let me = Arc::clone(Self::me(ctx));
         hot_stat!(ctx, conflicts);
+        // Attribute a later abort of *this* attempt to this object (the
+        // contention manager's per-object heat input).
+        ctx.conflict_obj = h.addr() as u64;
         trace_evt!(
             self,
             ctx,
@@ -862,7 +906,11 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                 me.set_waiting(false);
                 return Ok(ConflictOutcome::Settled);
             }
-            match self.cm.resolve(&me, other, waited) {
+            // One consultation per spin step: exactly one `spin_wait`
+            // runs between consecutive calls (the `Wait` arm below), so
+            // the `waited` count the policy sees equals spin steps — the
+            // unit its budgets are documented in.
+            match self.cm.resolve_at(&me, other, h.addr() as u64, waited) {
                 Resolution::Wait => {
                     #[cfg(feature = "trace")]
                     if !traced_wait {
@@ -918,6 +966,15 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                     // Wait for the acknowledgement (Status = Aborted).
                     self.san_point(ctx, me.thread as usize, crate::sanitizer::Point::AwaitAck);
                     let mut acked_wait = 0u64;
+                    // Inflate-vs-wait (adaptive CM lever 3): each time
+                    // the budget expires, the policy may grant extra
+                    // acknowledgement-wait steps before we inflate.
+                    // `granted` accumulates across grants, and policies
+                    // contract to converge to 0 as it grows, so the
+                    // total delay before inflation stays bounded and
+                    // obstruction freedom is preserved.
+                    let mut patience_budget = self.cfg.patience;
+                    let mut granted = 0u64;
                     loop {
                         self.platform.mem(other.addr(), 8, AccessKind::Read);
                         #[cfg(feature = "sanitize")]
@@ -929,7 +986,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                             return Ok(ConflictOutcome::Settled);
                         }
                         self.validate(ctx)?;
-                        if M::NONBLOCKING && acked_wait >= self.cfg.patience {
+                        if M::NONBLOCKING && acked_wait >= patience_budget {
                             if M::SCSS {
                                 // One-shot barrier: after this, any
                                 // in-flight SCSS store by the victim has
@@ -938,7 +995,12 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                                 other.with_scss_lock(|| {});
                                 return Ok(ConflictOutcome::Settled);
                             }
-                            return Ok(ConflictOutcome::Unresponsive);
+                            let extra = self.cm.extra_patience(h.addr() as u64, granted);
+                            if extra == 0 {
+                                return Ok(ConflictOutcome::Unresponsive);
+                            }
+                            granted += extra;
+                            patience_budget += extra;
                         }
                         self.platform.spin_wait();
                         hot_stat!(ctx, wait_steps);
@@ -1042,6 +1104,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             // (the epoch pin rules out owner-word ABA).
             if let Some(v) = read_version {
                 if h.version() != v {
+                    ctx.conflict_obj = h.addr() as u64;
                     return Err(Abort(AbortCause::Validation));
                 }
             }
@@ -1863,5 +1926,65 @@ mod tests {
             let c = BackupPool::class_of(len);
             assert_eq!(1usize << c, WordBuf::cap_for(len));
         }
+    }
+
+    /// Satellite: exhaustive `AbortCause` accounting. Drives one abort
+    /// through the engine for each variant (via [`AbortCause::ALL`], so
+    /// a new variant extends this test automatically) and checks that
+    /// exactly the matching counter moved — and that the `aborts()`
+    /// total agrees, i.e. no cause is dropped or double-counted.
+    #[test]
+    fn every_abort_cause_is_counted_exactly_once() {
+        let p = nztm_sim::Native::new(1);
+        p.register_thread_as(0);
+        let s = crate::builder::NzBuilder::new(p).build_nzstm();
+        for (i, cause) in AbortCause::ALL.into_iter().enumerate() {
+            let mut pending = true;
+            s.run(|_tx| {
+                if std::mem::take(&mut pending) {
+                    Err(Abort(cause))
+                } else {
+                    Ok(())
+                }
+            });
+            let st = s.stats_snapshot();
+            let so_far = &AbortCause::ALL[..=i];
+            let expect =
+                |c: AbortCause| so_far.iter().filter(|&&x| x == c).count() as u64;
+            assert_eq!(st.aborts(), (i + 1) as u64, "after {cause:?}");
+            assert_eq!(st.aborts_requested, expect(AbortCause::Requested));
+            assert_eq!(st.aborts_self, expect(AbortCause::SelfAbort));
+            assert_eq!(st.aborts_validation, expect(AbortCause::Validation));
+            assert_eq!(st.aborts_explicit, expect(AbortCause::Explicit));
+            assert_eq!(st.aborts_htm, expect(AbortCause::Htm));
+        }
+        assert_eq!(s.stats_snapshot().commits, AbortCause::ALL.len() as u64);
+    }
+
+    /// The engine delivers commit/abort telemetry to the contention
+    /// manager: an adaptive policy's per-thread conflict EWMA rises
+    /// under an abort streak and drains back under pure commits.
+    #[test]
+    fn engine_feeds_adaptive_telemetry_hooks() {
+        let p = nztm_sim::Native::new(1);
+        p.register_thread_as(0);
+        let cm = Arc::new(crate::cm::Adaptive::default());
+        let s = crate::builder::NzBuilder::new(p).cm(cm.clone()).build_nzstm();
+        assert_eq!(cm.conflict_ewma(0), 0);
+        for _ in 0..32 {
+            let mut pending = true;
+            s.run(|tx| if std::mem::take(&mut pending) { Err(tx.abort()) } else { Ok(()) });
+        }
+        let stormy = cm.conflict_ewma(0);
+        assert!(stormy > 0, "aborts must raise the conflict EWMA");
+        for _ in 0..256 {
+            s.run(|_tx| Ok(()));
+        }
+        assert!(
+            cm.conflict_ewma(0) < stormy.max(1),
+            "a commit run must drain the EWMA ({} -> {})",
+            stormy,
+            cm.conflict_ewma(0)
+        );
     }
 }

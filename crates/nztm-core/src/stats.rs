@@ -38,6 +38,10 @@ pub struct TmStats {
     pub aborts_validation: u64,
     /// Explicit user aborts.
     pub aborts_explicit: u64,
+    /// Software attempts unwound by a doomed hardware transaction
+    /// (hybrid NZTM; see [`crate::txn::AbortCause::Htm`]). Distinct from
+    /// `htm_aborts`, which counts the *hardware attempts* themselves.
+    pub aborts_htm: u64,
     /// Abort requests this thread sent to peers.
     pub abort_requests_sent: u64,
     /// Conflict-wait spin steps taken.
@@ -76,6 +80,11 @@ pub struct TmStats {
     pub htm_other_aborts: u64,
     /// Transactions that fell back to the software path.
     pub fallbacks: u64,
+    /// Objects escalated into the adaptive contention manager's
+    /// serialization mode (see `cm::Adaptive`).
+    pub cm_escalations: u64,
+    /// Objects de-escalated back to normal contention handling.
+    pub cm_deescalations: u64,
     /// Logical transactions that experienced ≥1 abort before committing
     /// — the paper's "X% of transactions abort" metric (per-transaction,
     /// not per-attempt).
@@ -83,9 +92,14 @@ pub struct TmStats {
 }
 
 impl TmStats {
-    /// Total aborted attempts.
+    /// Total aborted attempts — the sum over every [`crate::AbortCause`]
+    /// counter, kept exhaustive so no cause can leak out of the total.
     pub fn aborts(&self) -> u64 {
-        self.aborts_requested + self.aborts_self + self.aborts_validation + self.aborts_explicit
+        self.aborts_requested
+            + self.aborts_self
+            + self.aborts_validation
+            + self.aborts_explicit
+            + self.aborts_htm
     }
 
     /// Total attempts (commits + aborts).
@@ -135,6 +149,7 @@ impl TmStats {
             aborts_self,
             aborts_validation,
             aborts_explicit,
+            aborts_htm,
             abort_requests_sent,
             wait_steps,
             conflicts,
@@ -154,6 +169,8 @@ impl TmStats {
             htm_capacity_aborts,
             htm_other_aborts,
             fallbacks,
+            cm_escalations,
+            cm_deescalations,
             txns_with_aborts,
         );
     }
@@ -204,6 +221,7 @@ macro_rules! for_each_stat {
             aborts_self,
             aborts_validation,
             aborts_explicit,
+            aborts_htm,
             abort_requests_sent,
             wait_steps,
             conflicts,
@@ -223,6 +241,8 @@ macro_rules! for_each_stat {
             htm_capacity_aborts,
             htm_other_aborts,
             fallbacks,
+            cm_escalations,
+            cm_deescalations,
             txns_with_aborts,
         );
     };
@@ -240,6 +260,7 @@ pub struct ThreadStats {
     pub aborts_self: Counter,
     pub aborts_validation: Counter,
     pub aborts_explicit: Counter,
+    pub aborts_htm: Counter,
     pub abort_requests_sent: Counter,
     pub wait_steps: Counter,
     pub conflicts: Counter,
@@ -259,6 +280,8 @@ pub struct ThreadStats {
     pub htm_capacity_aborts: Counter,
     pub htm_other_aborts: Counter,
     pub fallbacks: Counter,
+    pub cm_escalations: Counter,
+    pub cm_deescalations: Counter,
     pub txns_with_aborts: Counter,
 }
 

@@ -81,6 +81,10 @@ pub enum EventKind {
     /// object address (`NZHeader::addr`). Only emitted past 64 threads
     /// (flat indicators keep readers on the header line and never scan).
     ReaderScan = 14,
+    /// The contention manager switched an object's handling mode
+    /// (adaptive policies only; see [`crate::cm::CmMode`]). `a` = object
+    /// address, `b` = the [`crate::cm::CmMode::code`] switched *to*.
+    CmMode = 15,
 }
 
 impl EventKind {
@@ -102,6 +106,7 @@ impl EventKind {
             EventKind::HtmFallback => "htm_fallback",
             EventKind::SchedSwitch => "sched_switch",
             EventKind::ReaderScan => "reader_scan",
+            EventKind::CmMode => "cm_mode",
         }
     }
 }
@@ -193,6 +198,14 @@ impl TraceEvent {
             EventKind::SchedSwitch => format!("scheduler runs core {}", self.a),
             EventKind::ReaderScan => {
                 format!("scans reader stripe @{:#x} of {}", self.a, obj_name(self.b))
+            }
+            EventKind::CmMode => {
+                let mode = match self.b {
+                    0 => "normal",
+                    1 => "escalated",
+                    _ => "unknown",
+                };
+                format!("cm switches {} to {mode}", obj_name(self.a))
             }
         }
     }

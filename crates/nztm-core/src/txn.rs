@@ -81,9 +81,27 @@ pub enum AbortCause {
     Validation,
     /// Explicit user abort (e.g. `retry`-style workload logic).
     Explicit,
+    /// The enclosing best-effort hardware attempt was doomed (hybrid
+    /// NZTM, §2.4): a transactional load/store hit a coherence conflict
+    /// or the attempt was asked to stand down, and the `Abort` unwinds
+    /// the user closure out of the hardware path. Distinct from
+    /// [`AbortCause::Requested`] — no software peer set AbortNowPlease;
+    /// conflating the two inflated `aborts_requested` in any tooling
+    /// that inspected the cause on the hardware path.
+    Htm,
 }
 
 impl AbortCause {
+    /// Every cause, in [`AbortCause::code`] order — for exhaustive
+    /// accounting tests and report iteration.
+    pub const ALL: [AbortCause; 5] = [
+        AbortCause::Requested,
+        AbortCause::SelfAbort,
+        AbortCause::Validation,
+        AbortCause::Explicit,
+        AbortCause::Htm,
+    ];
+
     /// Stable numeric code, used in flight-recorder event records.
     pub fn code(self) -> u64 {
         match self {
@@ -91,6 +109,7 @@ impl AbortCause {
             AbortCause::SelfAbort => 1,
             AbortCause::Validation => 2,
             AbortCause::Explicit => 3,
+            AbortCause::Htm => 4,
         }
     }
 
@@ -101,18 +120,20 @@ impl AbortCause {
             1 => AbortCause::SelfAbort,
             2 => AbortCause::Validation,
             3 => AbortCause::Explicit,
+            4 => AbortCause::Htm,
             _ => return None,
         })
     }
 
     /// Short human-readable name (`requested`, `self`, `validation`,
-    /// `explicit`).
+    /// `explicit`, `htm`).
     pub fn name(self) -> &'static str {
         match self {
             AbortCause::Requested => "requested",
             AbortCause::SelfAbort => "self",
             AbortCause::Validation => "validation",
             AbortCause::Explicit => "explicit",
+            AbortCause::Htm => "htm",
         }
     }
 }

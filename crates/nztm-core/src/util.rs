@@ -104,15 +104,41 @@ pub struct Backoff {
 }
 
 impl Backoff {
-    /// Maximum window exponent: windows never exceed 2^12 = 4096 steps.
+    /// Default window exponent cap: windows never exceed 2^12 = 4096
+    /// steps unless a policy widens the cap via [`Backoff::set_cap`].
     pub const CAP_EXP: u32 = 12;
+
+    /// Hard ceiling on [`Backoff::set_cap`]: no policy, however
+    /// adaptive, may widen windows past 2^16 = 65536 steps. This is
+    /// mechanism, not policy — it bounds how long any retry can stall,
+    /// independent of what the contention manager recommends.
+    pub const MAX_CAP_EXP: u32 = 16;
 
     pub fn new() -> Self {
         Backoff { attempt: 0, cap: Self::CAP_EXP, state: 0x9E37_79B9_7F4A_7C15 }
     }
 
+    /// Restart the window schedule (next draw sees attempt 0).
+    ///
+    /// **Contract (pinned by the `properties` suite):** call on
+    /// *commit*, never between successive aborts of the same
+    /// transaction — the window must keep widening across an abort
+    /// streak or backoff does nothing to break symmetric retry races.
+    /// The cap set by [`Backoff::set_cap`] survives a reset; it tracks
+    /// the thread's environment, not one transaction's history.
     pub fn reset(&mut self) {
         self.attempt = 0;
+    }
+
+    /// Set the window exponent cap, clamped to [`Backoff::MAX_CAP_EXP`].
+    /// Takes effect on the next [`Backoff::steps`] draw.
+    pub fn set_cap(&mut self, cap_exp: u32) {
+        self.cap = cap_exp.min(Self::MAX_CAP_EXP);
+    }
+
+    /// The window exponent cap currently in effect.
+    pub fn cap(&self) -> u32 {
+        self.cap
     }
 
     /// Number of spin-wait steps to take before the next retry, given a

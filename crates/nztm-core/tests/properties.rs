@@ -222,6 +222,62 @@ fn backoff_attempt_counting_and_reset() {
     assert_eq!(bo.attempt(), 1);
 }
 
+/// The reset contract: the window persists (keeps widening) across
+/// successive aborts and resets only on commit. Simulates random
+/// commit/abort outcome streams the way the engine drives `Backoff` —
+/// `steps` after every attempt, `reset` only after commits — and checks
+/// the window exponent always equals the abort streak length since the
+/// last commit (capped), i.e. aborts never shrink the window.
+#[test]
+fn backoff_window_persists_across_aborts_resets_on_commit() {
+    let mut rng = DetRng::new(0xBAC0_0004);
+    for case in 0..64 {
+        let mut bo = Backoff::new();
+        let mut streak = 0u32; // attempts since the last commit
+        for step in 0..200 {
+            let committed = rng.chance(1, 3);
+            if committed {
+                bo.reset();
+                streak = 0;
+            }
+            let window = 1u64 << streak.min(Backoff::CAP_EXP);
+            let s = bo.steps(rng.next_u64());
+            assert!(
+                s < window,
+                "case {case}, step {step}: drew {s} from a window that must be {window}"
+            );
+            streak += 1;
+            assert_eq!(bo.attempt(), streak, "case {case}: attempt count tracks the streak");
+        }
+    }
+}
+
+/// `set_cap` widens or narrows the window cap, is clamped to
+/// `MAX_CAP_EXP`, and survives `reset` (the cap tracks the environment,
+/// not one transaction's history).
+#[test]
+fn backoff_cap_is_dynamic_clamped_and_reset_proof() {
+    let mut rng = DetRng::new(0xBAC0_0005);
+    for case in 0..64 {
+        let cap = rng.range_inclusive(0, 24) as u32;
+        let mut bo = Backoff::new();
+        bo.set_cap(cap);
+        let effective = cap.min(Backoff::MAX_CAP_EXP);
+        assert_eq!(bo.cap(), effective, "case {case}: cap must clamp to MAX_CAP_EXP");
+        // Saturate the schedule, then verify draws respect the cap.
+        for _ in 0..40 {
+            bo.steps(rng.next_u64());
+        }
+        for draw in 0..32 {
+            let s = bo.steps(rng.next_u64());
+            assert!(s < 1u64 << effective, "case {case}, draw {draw}: {s} escaped 2^{effective}");
+        }
+        bo.reset();
+        assert_eq!(bo.cap(), effective, "case {case}: reset must not touch the cap");
+        assert_eq!(bo.attempt(), 0, "case {case}: reset must restart the schedule");
+    }
+}
+
 /// Given the same entropy sequence, two instances produce identical
 /// step sequences (replayability); the re-seeding actually consumes the
 /// entropy, so a different sequence diverges once windows are wide.
