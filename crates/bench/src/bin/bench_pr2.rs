@@ -1,8 +1,9 @@
 //! `bench_pr2` — hot-path throughput matrix and regression gate.
 //!
 //! ```text
-//! bench_pr2 run   [--quick] [--repeat N] [--out PATH]
-//! bench_pr2 check --baseline PATH --current PATH [--tolerance 0.15] [--raw]
+//! bench_pr2 run    [--quick] [--repeat N] [--out PATH]
+//! bench_pr2 check  --baseline PATH --current PATH [--tolerance 0.15] [--raw]
+//! bench_pr2 attrib [--threads N] [--ops N] [--out PATH]
 //! ```
 //!
 //! `run` measures the three hot-path workloads (read-heavy,
@@ -10,7 +11,10 @@
 //! NZTM hybrid (simulator) at 1/4/8 threads, prints the table, and
 //! writes the JSON report. `check` compares two reports on
 //! calibration-normalized throughput and exits nonzero if any
-//! workload's geometric mean regressed beyond the tolerance.
+//! workload's geometric mean regressed beyond the tolerance. `attrib`
+//! runs the sim-vs-native per-structure miss attribution cross-check
+//! (see `nztm_bench::attrib`) and exits nonzero only on infrastructure
+//! failure — a top-2 disagreement is reported in the JSON, not fatal.
 
 use nztm_bench::hotpath::{check_reports_with, parse_report, run_matrix_best_of, HotScale};
 use std::process::ExitCode;
@@ -18,11 +22,14 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  bench_pr2 run [--quick] [--repeat N] [--scaling] [--out PATH]\n  \
-         bench_pr2 check --baseline PATH --current PATH [--tolerance 0.15] [--raw]\n\n\
+         bench_pr2 check --baseline PATH --current PATH [--tolerance 0.15] [--raw]\n  \
+         bench_pr2 attrib [--threads N] [--ops N] [--out PATH]\n\n\
          --scaling appends the NZSTM thread-scaling sweep (1..128 threads,\n\
          crossing the striped-reader-indicator boundary at 64).\n\
          --raw gates on plain ops/s (same-machine A/B runs) instead of\n\
-         calibration-normalized throughput (cross-machine baselines)."
+         calibration-normalized throughput (cross-machine baselines).\n\
+         attrib cross-checks simulated per-structure miss attribution\n\
+         against a native engine-stats traffic model (top-2 agreement)."
     );
     ExitCode::FAILURE
 }
@@ -32,6 +39,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("attrib") => cmd_attrib(&args[1..]),
         _ => usage(),
     }
 }
@@ -65,6 +73,50 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("wrote {path}");
     } else {
         println!("{}", report.to_json());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_attrib(args: &[String]) -> ExitCode {
+    let threads: usize = match flag_value(args, "--threads").unwrap_or("4").parse() {
+        Ok(n) if n >= 1 => n,
+        _ => return usage(),
+    };
+    // Per-thread ops: the sim side is the cost driver (~1000x slower
+    // per op than native); 192/thread keeps the 4-thread check under a
+    // minute while still exercising warmed pools.
+    let ops: u64 = match flag_value(args, "--ops").unwrap_or("192").parse() {
+        Ok(n) if n >= 1 => n,
+        _ => return usage(),
+    };
+    let report = nztm_bench::attrib::run_cross_check(threads, ops, 0xB24C);
+    for c in &report.comparisons {
+        let names = |v: &[nztm_sim::StructClass]| {
+            v.iter().map(|c| c.name()).collect::<Vec<_>>().join(", ")
+        };
+        eprintln!(
+            "{:<12} sim top-2: [{}]  native top-2: [{}]  agree={}",
+            c.workload,
+            names(&c.sim_top2),
+            names(&c.native_top2),
+            c.agree
+        );
+    }
+    eprintln!(
+        "attrib cross-check: {} (native_source={}, perf_available={})",
+        if report.all_agree() { "top-2 AGREE" } else { "top-2 DISAGREE (see report)" },
+        report.native_source,
+        report.perf_available
+    );
+    let json = report.to_json();
+    if let Some(path) = flag_value(args, "--out") {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    } else {
+        println!("{json}");
     }
     ExitCode::SUCCESS
 }

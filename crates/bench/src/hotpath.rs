@@ -83,6 +83,17 @@ pub const CM_ABORT_RATE_EPSILON: f64 = 0.05;
 /// cheap enough to always run at full size.
 pub const CM_OPS: u64 = 48_000;
 
+/// Ops per hybrid (simulator) cell, independent of `--quick`'s
+/// native scale — the same pinning the cm cells get via [`CM_OPS`].
+/// The old per-scale budget left full-mode hybrid cells at 384 total
+/// ops (48 per thread at 8 threads): wall-clock granularity and warmup
+/// edges dominated, so the cells' `norm` values were meaningless. The
+/// simulator is deterministic, so unlike the native cells it needs op
+/// volume only for timing granularity, not noise rejection; 3072 ops
+/// keeps the slowest cell (write-heavy at 8 simulated cores, ~7K
+/// simulated ops/s of host wall) under a second.
+pub const HYBRID_OPS: u64 = 3_072;
+
 const N_OBJECTS: usize = 256;
 const N_ACCOUNTS: usize = 64;
 /// Object-pool size for the cm sweep: small enough that concurrent
@@ -93,6 +104,15 @@ const N_ACCOUNTS: usize = 64;
 const CM_N_OBJECTS: usize = 16;
 
 /// One measured (workload, system, threads) cell.
+///
+/// The headline numbers (`ops_per_sec`, `norm`, `commits`, `aborts`)
+/// come from the *best* timed sample — right for a throughput gate on a
+/// noisy shared host, but biased for anything conflict-related: picking
+/// the fastest sample also picks the least-conflicted one, skewing
+/// abort rates toward zero. The sample-distribution fields
+/// (`samples`, `ops_per_sec_mean`, `ops_per_sec_p95`,
+/// `abort_rate_mean`) report the whole pool so readers can see the
+/// spread and an unbiased abort rate next to the best-of value.
 #[derive(Clone, Debug)]
 pub struct HotCell {
     pub workload: String,
@@ -105,6 +125,18 @@ pub struct HotCell {
     pub norm: f64,
     pub commits: u64,
     pub aborts: u64,
+    /// Timed samples behind this cell (across `--repeat` rounds too).
+    pub samples: u64,
+    /// Mean ops/s over all samples (best-of-unbiased central value).
+    pub ops_per_sec_mean: f64,
+    /// 95th-percentile ops/s over all samples (nearest-rank).
+    pub ops_per_sec_p95: f64,
+    /// Mean per-sample aborts/commit — the unbiased abort rate.
+    pub abort_rate_mean: f64,
+    /// Raw per-sample `(ops/s, aborts/commit)` pool; carried so
+    /// best-of merging recomputes exact summaries, never serialized
+    /// (empty on a parsed report).
+    pub sample_stats: Vec<(f64, f64)>,
 }
 
 impl HotCell {
@@ -113,6 +145,25 @@ impl HotCell {
     /// policy, not the host, so it compares across machines.
     pub fn abort_rate(&self) -> f64 {
         self.aborts as f64 / self.commits.max(1) as f64
+    }
+
+    /// Recompute the sample-summary fields from the raw pool (no-op on
+    /// parsed cells, whose pool is empty and whose summaries came from
+    /// the JSON).
+    fn refresh_sample_summary(&mut self) {
+        if self.sample_stats.is_empty() {
+            return;
+        }
+        let n = self.sample_stats.len();
+        self.samples = n as u64;
+        self.ops_per_sec_mean =
+            self.sample_stats.iter().map(|(o, _)| o).sum::<f64>() / n as f64;
+        self.abort_rate_mean =
+            self.sample_stats.iter().map(|(_, r)| r).sum::<f64>() / n as f64;
+        let mut ops: Vec<f64> = self.sample_stats.iter().map(|(o, _)| *o).collect();
+        ops.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1;
+        self.ops_per_sec_p95 = ops[rank];
     }
 }
 
@@ -169,7 +220,7 @@ pub fn calibrate() -> f64 {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum HotWorkload {
+pub(crate) enum HotWorkload {
     ReadHeavy,
     WriteHeavy,
     /// The write-heavy op mix over [`CM_N_OBJECTS`] objects: a
@@ -179,7 +230,7 @@ enum HotWorkload {
 }
 
 impl HotWorkload {
-    fn from_name(s: &str) -> HotWorkload {
+    pub(crate) fn from_name(s: &str) -> HotWorkload {
         match s {
             "read-heavy" | "scale-read-mostly" => HotWorkload::ReadHeavy,
             "write-heavy" => HotWorkload::WriteHeavy,
@@ -190,15 +241,16 @@ impl HotWorkload {
     }
 }
 
-/// The per-thread op driver shared by the native and simulated runners.
-struct OpDriver<S: TmSys> {
+/// The per-thread op driver shared by the native and simulated runners
+/// (and the attribution cross-check in [`crate::attrib`]).
+pub(crate) struct OpDriver<S: TmSys> {
     workload: HotWorkload,
     objects: Vec<S::Obj<u64>>,
     bank: Option<nztm_workloads::harness::TransferBank<S>>,
 }
 
 impl<S: TmSys> OpDriver<S> {
-    fn new(sys: &S, workload: HotWorkload) -> Self {
+    pub(crate) fn new(sys: &S, workload: HotWorkload) -> Self {
         let (objects, bank) = match workload {
             HotWorkload::Transfer => {
                 (Vec::new(), Some(nztm_workloads::harness::TransferBank::new(sys, N_ACCOUNTS, 1_000)))
@@ -211,7 +263,7 @@ impl<S: TmSys> OpDriver<S> {
         OpDriver { workload, objects, bank }
     }
 
-    fn one_op(&self, sys: &S, rng: &mut DetRng) {
+    pub(crate) fn one_op(&self, sys: &S, rng: &mut DetRng) {
         match self.workload {
             HotWorkload::Transfer => self.bank.as_ref().unwrap().one_op(sys, rng),
             HotWorkload::ReadHeavy => {
@@ -261,6 +313,18 @@ struct CellTiming {
     elapsed_ns: u64,
     commits: u64,
     aborts: u64,
+    /// Per-sample `(ops/s, aborts/commit)` — every timed sample taken
+    /// for this cell, not just the kept one.
+    sample_stats: Vec<(f64, f64)>,
+}
+
+impl CellTiming {
+    fn own_sample(&self) -> (f64, f64) {
+        (
+            self.ops as f64 / (self.elapsed_ns.max(1) as f64 / 1e9),
+            self.aborts as f64 / self.commits.max(1) as f64,
+        )
+    }
 }
 
 /// One timed native sample: warmup phase, stats reset while the workers
@@ -318,6 +382,7 @@ fn native_sample_timed<S: TmSys>(
         elapsed_ns: elapsed_ns.max(1),
         commits: st.commits,
         aborts: st.aborts(),
+        sample_stats: Vec::new(),
     }
 }
 
@@ -340,6 +405,7 @@ fn run_native_cell<S: TmSys>(
     // sample also picks the least-conflicted one, which biases an
     // abort-rate metric toward zero.
     let aggregate = workload == HotWorkload::CmWriteHeavy;
+    let mut pool = Vec::new();
     let mut best: Option<CellTiming> = None;
     for s in 0..scale.samples.max(1) {
         let t = native_sample_timed(
@@ -350,6 +416,7 @@ fn run_native_cell<S: TmSys>(
             ops_per_thread,
             scale.seed.wrapping_add(s as u64),
         );
+        pool.push(t.own_sample());
         best = Some(match best.take() {
             None => t,
             Some(b) if aggregate => CellTiming {
@@ -357,6 +424,7 @@ fn run_native_cell<S: TmSys>(
                 elapsed_ns: b.elapsed_ns + t.elapsed_ns,
                 commits: b.commits + t.commits,
                 aborts: b.aborts + t.aborts,
+                sample_stats: Vec::new(),
             },
             Some(b) => {
                 if t.elapsed_ns < b.elapsed_ns {
@@ -367,7 +435,9 @@ fn run_native_cell<S: TmSys>(
             }
         });
     }
-    best.unwrap()
+    let mut best = best.unwrap();
+    best.sample_stats = pool;
+    best
 }
 
 /// One hybrid (simulator) cell. Wall-clock is host time spent simulating
@@ -429,12 +499,15 @@ fn run_hybrid_cell(workload: HotWorkload, threads: usize, scale: &HotScale) -> C
     }
     let st = sys.stats_snapshot();
     sys.htm().uninstall();
-    CellTiming {
+    let mut t = CellTiming {
         ops: ops_per_thread * threads as u64,
         elapsed_ns: elapsed_ns.max(1),
         commits: st.commits,
         aborts: st.aborts(),
-    }
+        sample_stats: Vec::new(),
+    };
+    t.sample_stats = vec![t.own_sample()];
+    t
 }
 
 fn run_cell(workload: &str, system: &str, threads: usize, scale: &HotScale) -> CellTiming {
@@ -443,12 +516,19 @@ fn run_cell(workload: &str, system: &str, threads: usize, scale: &HotScale) -> C
     // size (and at least two summed samples) even under --quick — see
     // CM_OPS and the sample aggregation in run_native_cell.
     let cm_scale;
-    let scale = if w == HotWorkload::CmWriteHeavy && scale.native_ops < CM_OPS {
+    let mut scale = if w == HotWorkload::CmWriteHeavy && scale.native_ops < CM_OPS {
         cm_scale = HotScale { native_ops: CM_OPS, samples: scale.samples.max(2), ..*scale };
         &cm_scale
     } else {
         scale
     };
+    // Hybrid cells are likewise pinned: per-scale sim budgets left them
+    // with op counts too small to time (see HYBRID_OPS).
+    let hybrid_scale;
+    if system == "HYBRID" && scale.sim_ops < HYBRID_OPS {
+        hybrid_scale = HotScale { sim_ops: HYBRID_OPS, ..*scale };
+        scale = &hybrid_scale;
+    }
     match system {
         "BZSTM" => run_native_cell(
             |p| -> Arc<Bzstm<Native>> { Bzstm::with_defaults(Arc::clone(p)) },
@@ -503,7 +583,7 @@ pub fn run_matrix(mode: &str, scale: &HotScale, progress: bool, scaling: bool) -
                 ops_per_sec, timing.commits, timing.aborts
             );
         }
-        cells.push(HotCell {
+        let mut cell = HotCell {
             workload: w.to_string(),
             system: s.to_string(),
             threads: t,
@@ -513,7 +593,14 @@ pub fn run_matrix(mode: &str, scale: &HotScale, progress: bool, scaling: bool) -
             norm,
             commits: timing.commits,
             aborts: timing.aborts,
-        });
+            samples: 1,
+            ops_per_sec_mean: ops_per_sec,
+            ops_per_sec_p95: ops_per_sec,
+            abort_rate_mean: timing.aborts as f64 / timing.commits.max(1) as f64,
+            sample_stats: timing.sample_stats,
+        };
+        cell.refresh_sample_summary();
+        cells.push(cell);
     };
     for &w in WORKLOADS {
         for &s in SYSTEMS {
@@ -558,9 +645,16 @@ pub fn run_matrix_best_of(
         best.calibration_mops = best.calibration_mops.max(next.calibration_mops);
         for (b, n) in best.cells.iter_mut().zip(next.cells) {
             debug_assert_eq!((&b.workload, &b.system, b.threads), (&n.workload, &n.system, n.threads));
+            // The sample pool spans rounds even though the headline
+            // numbers keep only the best round's cell.
+            let mut pool = std::mem::take(&mut b.sample_stats);
+            let mut n = n;
+            pool.append(&mut n.sample_stats);
             if n.ops_per_sec > b.ops_per_sec {
                 *b = n;
             }
+            b.sample_stats = pool;
+            b.refresh_sample_summary();
         }
         // Normalize every kept cell against the single best calibration
         // so `norm` stays one consistent machine-speed reference.
@@ -586,7 +680,13 @@ impl HotReport {
         let mut out = String::new();
         writeln!(out, "{{").unwrap();
         writeln!(out, "  \"bench\": \"BENCH_PR2\",").unwrap();
-        writeln!(out, "  \"schema\": 1,").unwrap();
+        // Schema 2: per-cell sample distribution (samples,
+        // ops_per_sec_mean, ops_per_sec_p95, abort_rate_mean) alongside
+        // the schema-1 best-of fields, which are unchanged — the gate
+        // reads the same fields it always did, and schema-1 reports
+        // still parse (distribution fields default to the best-of
+        // values).
+        writeln!(out, "  \"schema\": 2,").unwrap();
         writeln!(out, "  \"mode\": \"{}\",", self.mode).unwrap();
         writeln!(out, "  \"hybrid_platform\": \"sim\",").unwrap();
         writeln!(out, "  \"calibration_mops\": {},", json_f64(self.calibration_mops)).unwrap();
@@ -596,7 +696,9 @@ impl HotReport {
                 out,
                 "    {{ \"workload\": \"{}\", \"system\": \"{}\", \"threads\": {}, \
                  \"ops\": {}, \"elapsed_ns\": {}, \"ops_per_sec\": {}, \"norm\": {}, \
-                 \"commits\": {}, \"aborts\": {} }}",
+                 \"commits\": {}, \"aborts\": {}, \"samples\": {}, \
+                 \"ops_per_sec_mean\": {}, \"ops_per_sec_p95\": {}, \
+                 \"abort_rate_mean\": {} }}",
                 c.workload,
                 c.system,
                 c.threads,
@@ -605,7 +707,11 @@ impl HotReport {
                 json_f64(c.ops_per_sec),
                 json_f64(c.norm),
                 c.commits,
-                c.aborts
+                c.aborts,
+                c.samples,
+                json_f64(c.ops_per_sec_mean),
+                json_f64(c.ops_per_sec_p95),
+                json_f64(c.abort_rate_mean)
             )
             .unwrap();
             writeln!(out, "{}", if i + 1 < self.cells.len() { "," } else { "" }).unwrap();
@@ -733,16 +839,27 @@ pub fn parse_report(s: &str) -> Result<HotReport, String> {
         if obj.trim().is_empty() {
             continue;
         }
+        let ops_per_sec = f64_field(obj, "ops_per_sec").ok_or("cell missing ops_per_sec")?;
+        let commits = u64_field(obj, "commits").unwrap_or(0);
+        let aborts = u64_field(obj, "aborts").unwrap_or(0);
+        // Schema-1 back-compat: distribution fields default to the
+        // best-of values (a single-sample report is its own mean).
         let cell = HotCell {
             workload: str_field(obj, "workload").ok_or("cell missing workload")?,
             system: str_field(obj, "system").ok_or("cell missing system")?,
             threads: u64_field(obj, "threads").ok_or("cell missing threads")? as usize,
             ops: u64_field(obj, "ops").ok_or("cell missing ops")?,
             elapsed_ns: u64_field(obj, "elapsed_ns").ok_or("cell missing elapsed_ns")?,
-            ops_per_sec: f64_field(obj, "ops_per_sec").ok_or("cell missing ops_per_sec")?,
+            ops_per_sec,
             norm: f64_field(obj, "norm").ok_or("cell missing norm")?,
-            commits: u64_field(obj, "commits").unwrap_or(0),
-            aborts: u64_field(obj, "aborts").unwrap_or(0),
+            commits,
+            aborts,
+            samples: u64_field(obj, "samples").unwrap_or(1),
+            ops_per_sec_mean: f64_field(obj, "ops_per_sec_mean").unwrap_or(ops_per_sec),
+            ops_per_sec_p95: f64_field(obj, "ops_per_sec_p95").unwrap_or(ops_per_sec),
+            abort_rate_mean: f64_field(obj, "abort_rate_mean")
+                .unwrap_or(aborts as f64 / commits.max(1) as f64),
+            sample_stats: Vec::new(),
         };
         cells.push(cell);
     }
@@ -955,23 +1072,33 @@ pub fn check_reports_with(
 mod tests {
     use super::*;
 
+    fn demo_cell(w: &str, s: &str, t: usize, ops_per_sec: f64, aborts: u64) -> HotCell {
+        let mut c = HotCell {
+            workload: w.into(),
+            system: s.into(),
+            threads: t,
+            ops: 1000,
+            elapsed_ns: 1_000_000,
+            ops_per_sec,
+            norm: ops_per_sec / 100e6,
+            commits: 1000,
+            aborts,
+            samples: 1,
+            ops_per_sec_mean: ops_per_sec,
+            ops_per_sec_p95: ops_per_sec,
+            abort_rate_mean: aborts as f64 / 1000.0,
+            sample_stats: vec![(ops_per_sec, aborts as f64 / 1000.0)],
+        };
+        c.refresh_sample_summary();
+        c
+    }
+
     fn demo_report(scale: f64) -> HotReport {
         let mut cells = Vec::new();
         for &w in WORKLOADS {
             for &s in SYSTEMS {
                 for &t in THREADS {
-                    let ops_per_sec = 1e6 * scale * (t as f64);
-                    cells.push(HotCell {
-                        workload: w.into(),
-                        system: s.into(),
-                        threads: t,
-                        ops: 1000,
-                        elapsed_ns: 1_000_000,
-                        ops_per_sec,
-                        norm: ops_per_sec / 100e6,
-                        commits: 1000,
-                        aborts: 7,
-                    });
+                    cells.push(demo_cell(w, s, t, 1e6 * scale * (t as f64), 7));
                 }
             }
         }
@@ -989,6 +1116,49 @@ mod tests {
         assert_eq!(a.ops, b.ops);
         assert!((a.norm - b.norm).abs() < 1e-12);
         assert_eq!(a.commits, 1000);
+        // Schema-2 sample-distribution fields survive the round trip.
+        assert_eq!(a.samples, b.samples);
+        assert!((a.ops_per_sec_mean - b.ops_per_sec_mean).abs() < 1e-9);
+        assert!((a.ops_per_sec_p95 - b.ops_per_sec_p95).abs() < 1e-9);
+        assert!((a.abort_rate_mean - b.abort_rate_mean).abs() < 1e-12);
+        assert!(r.to_json().contains("\"schema\": 2"));
+    }
+
+    #[test]
+    fn schema1_reports_parse_with_bestof_defaults() {
+        // A committed schema-1 baseline has no distribution fields; they
+        // default to the best-of values so mixed-schema gating works.
+        let legacy = r#"{
+  "bench": "BENCH_PR2",
+  "schema": 1,
+  "mode": "full",
+  "calibration_mops": 100.0,
+  "cells": [
+    { "workload": "read-heavy", "system": "NZSTM", "threads": 8, "ops": 1000, "elapsed_ns": 1000000, "ops_per_sec": 500000, "norm": 0.005, "commits": 900, "aborts": 9 }
+  ]
+}"#;
+        let r = parse_report(legacy).unwrap();
+        let c = r.cell("read-heavy", "NZSTM", 8).unwrap();
+        assert_eq!(c.samples, 1);
+        assert_eq!(c.ops_per_sec_mean, c.ops_per_sec);
+        assert_eq!(c.ops_per_sec_p95, c.ops_per_sec);
+        assert!((c.abort_rate_mean - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_summary_is_unbiased_by_best_of() {
+        // Three samples: the best-of fields keep the fastest, but the
+        // distribution fields see all three — including the abort rate
+        // of the slow, conflicted samples best-of discards.
+        let mut c = demo_cell("read-heavy", "NZSTM", 8, 9e5, 0);
+        c.sample_stats = vec![(9e5, 0.0), (5e5, 0.3), (4e5, 0.6)];
+        c.refresh_sample_summary();
+        assert_eq!(c.samples, 3);
+        assert!((c.ops_per_sec_mean - 6e5).abs() < 1.0);
+        assert!((c.abort_rate_mean - 0.3).abs() < 1e-12);
+        assert_eq!(c.ops_per_sec_p95, 9e5, "nearest-rank p95 of 3 is the max");
+        // Best-of headline is untouched.
+        assert_eq!(c.ops_per_sec, 9e5);
     }
 
     #[test]
@@ -1022,17 +1192,7 @@ mod tests {
         for &w in SCALING_WORKLOADS {
             for &t in SCALING_THREADS {
                 let ops_per_sec = 1e6 * scale * (t as f64).min(8.0);
-                cells.push(HotCell {
-                    workload: w.into(),
-                    system: SCALING_SYSTEM.into(),
-                    threads: t,
-                    ops: 1000,
-                    elapsed_ns: 1_000_000,
-                    ops_per_sec,
-                    norm: ops_per_sec / 100e6,
-                    commits: 1000,
-                    aborts: 3,
-                });
+                cells.push(demo_cell(w, SCALING_SYSTEM, t, ops_per_sec, 3));
             }
         }
         cells
@@ -1073,17 +1233,7 @@ mod tests {
             &[(CM_BASE_SYSTEM, karma_aborts), (CM_ADAPTIVE_SYSTEM, adaptive_aborts)]
         {
             for &t in CM_THREADS {
-                cells.push(HotCell {
-                    workload: CM_WORKLOAD.into(),
-                    system: s.into(),
-                    threads: t,
-                    ops: 1000,
-                    elapsed_ns: 1_000_000,
-                    ops_per_sec: 1e6,
-                    norm: 1e6 / 100e6,
-                    commits: 1000,
-                    aborts,
-                });
+                cells.push(demo_cell(CM_WORKLOAD, s, t, 1e6, aborts));
             }
         }
         cells

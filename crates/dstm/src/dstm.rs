@@ -116,12 +116,12 @@ impl<T: TmData> DstmObject<T> {
             owner: committed,
             old_data: Arc::clone(&buf),
             new_data: buf,
-            synth: nztm_sim::synth_alloc(64),
+            synth: nztm_sim::synth_alloc_as(64, nztm_sim::StructClass::Locators),
         });
         // Header line first, then (striped mode only) the stripe lines, so
         // ≤ 64-thread address sequences are byte-identical to the flat-bitmap
         // layout.
-        let synth = nztm_sim::synth_alloc(64);
+        let synth = nztm_sim::synth_alloc_as(64, nztm_sim::StructClass::ObjHeaders);
         Arc::new(DstmObject {
             header: DstmHeader {
                 start: AtomicU64::new(Arc::into_raw(loc) as u64),
@@ -397,7 +397,7 @@ impl<P: Platform> Dstm<P> {
                 owner: Arc::clone(&me),
                 old_data: Arc::clone(value),
                 new_data: new,
-                synth: nztm_sim::synth_alloc(64),
+                synth: nztm_sim::synth_alloc_as(64, nztm_sim::StructClass::Locators),
             });
             self.platform.mem(h.addr(), 8, AccessKind::Rmw);
             if h.cas_locator(raw, &mine, &guard) {

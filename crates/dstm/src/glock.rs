@@ -30,7 +30,7 @@ impl<T: TmData> PlainObject<T> {
     fn new(init: T) -> Arc<Self> {
         let obj: PlainObject<T> = PlainObject {
             data: T::Words::new_zeroed(),
-            synth: nztm_sim::synth_alloc(T::n_words() * 8),
+            synth: nztm_sim::synth_alloc_as(T::n_words() * 8, nztm_sim::StructClass::ObjData),
         };
         let mut scratch = vec![0u64; T::n_words()];
         init.encode(&mut scratch);

@@ -103,7 +103,12 @@ impl<T: TmData> ShadowObject<T> {
     fn new(init: T, reader_capacity: usize) -> Arc<Self> {
         // Metadata + data + collocated shadow: double the payload
         // footprint, as in DSTM2-SF.
-        let synth = nztm_sim::synth_alloc(32 + 2 * T::n_words() * 8);
+        let bytes = 32 + 2 * T::n_words() * 8;
+        let synth = nztm_sim::synth_alloc(bytes);
+        nztm_sim::tag_synth_range(synth, bytes.min(64), nztm_sim::StructClass::ObjHeaders);
+        if bytes > 64 {
+            nztm_sim::tag_synth_range(synth + 64, bytes - 64, nztm_sim::StructClass::ObjData);
+        }
         let obj: ShadowObject<T> = ShadowObject {
             header: ShadowHeader {
                 owner: AtomicU64::new(0),

@@ -17,10 +17,13 @@
 //!
 //! Orderings are deliberately all `SeqCst`: this is the correctness
 //! backbone of a test- and simulation-grade STM, not a throughput-
-//! critical allocator. The one fast path that matters (re-entrant pin)
-//! touches only a thread-local counter.
+//! critical allocator. The fast paths that matter touch only
+//! thread-local state: re-entrant pin is a thread-local counter, and
+//! deferred destructors accumulate in a private per-thread batch that
+//! is handed to the global garbage list in bulk at a high watermark
+//! (see [`BATCH_HIWAT`]) instead of locking the global list per defer.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -28,6 +31,13 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// remaining bits hold the epoch observed at pin time.
 const PINNED: usize = 1;
 
+/// Line-aligned (two lines, for adjacent-line prefetchers): each
+/// participant's `local` word is stored on every outermost pin/unpin of
+/// its owning thread, and participants are separate small heap
+/// allocations the allocator is otherwise free to pack onto one cache
+/// line — which would make every thread's pin invalidate its
+/// neighbours' lines.
+#[repr(align(128))]
 struct Participant {
     /// `(epoch << 1) | PINNED` while pinned, `0` while unpinned.
     local: AtomicUsize,
@@ -68,25 +78,55 @@ impl Deferred {
 
 unsafe impl Send for Deferred {}
 
-/// Collect (advance the epoch + free old garbage) every this many
-/// outermost unpins per thread. Collection takes two global mutexes; at
-/// interval 1 that cost lands on every transactional operation. The
-/// interval only delays *reclamation*, never safety — and `flush()`
-/// still collects eagerly for quiescent teardown/tests.
-const COLLECT_INTERVAL: u64 = 32;
+/// Local-batch high watermark: once a thread has this many deferred
+/// destructors batched privately, the next outermost unpin flushes the
+/// batch into the global garbage list (one lock acquisition for the
+/// whole batch) and runs a collection round. Batching only delays
+/// *reclamation*, never safety — each item carries the epoch observed
+/// when it was deferred, and `flush()` still collects eagerly for
+/// quiescent teardown/tests.
+///
+/// Before the batch existed, every `defer_fn` locked the global garbage
+/// mutex and every 32nd outermost unpin took both global mutexes — on
+/// the STM read path (one defer per `begin` for the registry publish)
+/// that shared-counter traffic dominated 8-thread read-heavy cells.
+const BATCH_HIWAT: usize = 64;
 
+/// Hard cap on the local batch while a guard stays pinned (a pinned
+/// thread cannot collect past itself, but a defer storm inside one long
+/// pin must not grow the batch unboundedly): past this, the batch is
+/// pushed to the global list without a collection round.
+const BATCH_HARD_CAP: usize = 256;
+
+/// The global epoch word is read by every outermost pin on every
+/// thread; the two mutex lock words next to it are RMW'd on every batch
+/// flush and collection round. [`Pad`] separates them so lock traffic
+/// never invalidates the pin path's epoch reads.
 struct Global {
-    epoch: AtomicUsize,
-    participants: Mutex<Vec<Arc<Participant>>>,
-    garbage: Mutex<Vec<Deferred>>,
+    epoch: Pad<AtomicUsize>,
+    participants: Pad<Mutex<Vec<Arc<Participant>>>>,
+    garbage: Pad<Mutex<Vec<Deferred>>>,
+}
+
+/// Minimal local cache-line pad (this crate deliberately has no deps,
+/// so it cannot borrow `nztm-core`'s `CachePadded`). Two lines, same
+/// rationale as there: adjacent-line prefetchers pull pairs.
+#[repr(align(128))]
+struct Pad<T>(T);
+
+impl<T> std::ops::Deref for Pad<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
 }
 
 fn global() -> &'static Global {
     static GLOBAL: OnceLock<Global> = OnceLock::new();
     GLOBAL.get_or_init(|| Global {
-        epoch: AtomicUsize::new(0),
-        participants: Mutex::new(Vec::new()),
-        garbage: Mutex::new(Vec::new()),
+        epoch: Pad(AtomicUsize::new(0)),
+        participants: Pad(Mutex::new(Vec::new())),
+        garbage: Pad(Mutex::new(Vec::new())),
     })
 }
 
@@ -154,12 +194,19 @@ impl Global {
 struct Handle {
     participant: Arc<Participant>,
     depth: Cell<usize>,
-    /// Outermost-unpin counter driving the throttled collect.
-    unpins: Cell<u64>,
+    /// Private deferred-destructor batch; flushed to the global list at
+    /// [`BATCH_HIWAT`] on an outermost unpin (see the const docs).
+    batch: RefCell<Vec<Deferred>>,
 }
 
 impl Drop for Handle {
     fn drop(&mut self) {
+        // Thread exit: the private batch must reach the global list or
+        // its destructors would leak with the thread.
+        let batch = std::mem::take(&mut *self.batch.borrow_mut());
+        if !batch.is_empty() {
+            lock(&global().garbage).extend(batch);
+        }
         self.participant.active.store(false, Ordering::SeqCst);
         self.participant.local.store(0, Ordering::SeqCst);
     }
@@ -172,8 +219,24 @@ thread_local! {
             active: AtomicBool::new(true),
         });
         lock(&global().participants).push(Arc::clone(&p));
-        Handle { participant: p, depth: Cell::new(0), unpins: Cell::new(0) }
+        Handle {
+            participant: p,
+            depth: Cell::new(0),
+            batch: RefCell::new(Vec::with_capacity(BATCH_HIWAT)),
+        }
     };
+}
+
+/// Append to the thread-local batch; past [`BATCH_HARD_CAP`] spill to
+/// the global list (no collection — the caller may still be pinned).
+fn defer_push(d: Deferred) {
+    HANDLE.with(|h| {
+        let mut b = h.batch.borrow_mut();
+        b.push(d);
+        if b.len() >= BATCH_HARD_CAP {
+            lock(&global().garbage).append(&mut b);
+        }
+    });
 }
 
 /// A pinned epoch scope. While any `Guard` is alive on a thread, memory
@@ -226,7 +289,7 @@ impl Guard {
         // validity the caller vouches for (that is this fn's contract), and
         // everything they borrow otherwise must in fact be 'static.
         let run: Box<dyn FnOnce()> = unsafe { std::mem::transmute(run) };
-        lock(&g.garbage).push(Deferred { epoch, op: DeferredOp::Boxed(run) });
+        defer_push(Deferred { epoch, op: DeferredOp::Boxed(run) });
     }
 
     /// Allocation-free variant of [`Guard::defer_unchecked`]: defer
@@ -239,9 +302,8 @@ impl Guard {
     /// typically a raw pointer smuggled as a word (e.g. an `Arc` count to
     /// release); `f` must tolerate running on any thread.
     pub unsafe fn defer_fn(&self, f: unsafe fn(u64), arg: u64) {
-        let g = global();
-        let epoch = g.epoch.load(Ordering::SeqCst);
-        lock(&g.garbage).push(Deferred { epoch, op: DeferredOp::Fn { f, arg } });
+        let epoch = global().epoch.load(Ordering::SeqCst);
+        defer_push(Deferred { epoch, op: DeferredOp::Fn { f, arg } });
     }
 
     /// Compatibility no-op (crossbeam's `Guard::flush`).
@@ -256,10 +318,15 @@ impl Drop for Guard {
             h.depth.set(d - 1);
             if d == 1 {
                 h.participant.local.store(0, Ordering::SeqCst);
-                let n = h.unpins.get().wrapping_add(1);
-                h.unpins.set(n);
-                if n % COLLECT_INTERVAL == 0 {
-                    global().collect();
+                // High-watermark flush: hand the whole private batch to
+                // the global list under one lock and collect, now that
+                // this thread is unpinned and cannot hold the epoch
+                // back. Threads that defer nothing never touch the
+                // shared state here.
+                if h.batch.borrow().len() >= BATCH_HIWAT {
+                    let g = global();
+                    lock(&g.garbage).append(&mut h.batch.borrow_mut());
+                    g.collect();
                 }
             }
         });
@@ -272,6 +339,15 @@ impl Drop for Guard {
 /// to drain everything deferred so far.
 pub fn flush() {
     let g = global();
+    // Drain the calling thread's private batch first so its own garbage
+    // is visible to the collection rounds below. Other threads' batches
+    // drain at their next watermark crossing or thread exit.
+    let _ = HANDLE.try_with(|h| {
+        let mut b = h.batch.borrow_mut();
+        if !b.is_empty() {
+            lock(&g.garbage).append(&mut b);
+        }
+    });
     for _ in 0..4 {
         g.collect();
     }
@@ -328,6 +404,53 @@ mod tests {
         drop(outer);
         flush();
         assert_eq!(Arc::strong_count(&held), 1);
+    }
+
+    #[test]
+    fn batched_defers_drain_at_the_watermark() {
+        // More defers than the watermark, each in its own pin scope: the
+        // periodic flush+collect must free all but a bounded tail, and a
+        // final flush() drains the rest.
+        static FREED: Counter = Counter::new(0);
+        unsafe fn bump(_: u64) {
+            FREED.fetch_add(1, Ordering::SeqCst);
+        }
+        let before = FREED.load(Ordering::SeqCst);
+        let n = super::BATCH_HIWAT * 4;
+        for _ in 0..n {
+            let g = pin();
+            unsafe { g.defer_fn(bump, 0) };
+        }
+        assert!(
+            FREED.load(Ordering::SeqCst) > before,
+            "watermark crossings must have collected some garbage"
+        );
+        flush();
+        flush();
+        assert_eq!(FREED.load(Ordering::SeqCst), before + n, "flush drains the private batch");
+    }
+
+    #[test]
+    fn thread_exit_flushes_the_private_batch() {
+        static FREED: Counter = Counter::new(0);
+        unsafe fn bump(_: u64) {
+            FREED.fetch_add(1, Ordering::SeqCst);
+        }
+        let before = FREED.load(Ordering::SeqCst);
+        std::thread::spawn(|| {
+            // Stay below the watermark so nothing drains until exit.
+            for _ in 0..3 {
+                let g = pin();
+                unsafe { g.defer_fn(bump, 0) };
+            }
+        })
+        .join()
+        .unwrap();
+        // The exiting thread pushed its batch to the global list; a few
+        // collection rounds from this thread free it.
+        flush();
+        flush();
+        assert_eq!(FREED.load(Ordering::SeqCst), before + 3);
     }
 
     #[test]

@@ -117,6 +117,25 @@ impl<P: Platform> NzBuilder<P> {
         self
     }
 
+    /// Thread-placement policy for the shared-metadata layout (registry
+    /// slot lines, striped reader-indicator stripes). The default,
+    /// [`crate::TopologyPolicy::Flat`], reproduces the seed layout
+    /// bit-exactly; `Detect` groups same-NUMA-node threads using the
+    /// host's sysfs map; `Synthetic(n)` imposes an `n`-node round-robin
+    /// machine for simulator placement studies.
+    pub fn topology(mut self, policy: crate::topology::TopologyPolicy) -> Self {
+        self.cfg.topology = policy;
+        self
+    }
+
+    /// Reserve each object's backup-copy lines inside the object's own
+    /// block (object–backup colocation). Off by default; turn on to
+    /// measure the layout against the pooled-backup baseline.
+    pub fn colocate_backup(mut self, on: bool) -> Self {
+        self.cfg.colocate_backup = on;
+        self
+    }
+
     /// Contention-management policy (default: Karma + deadlock
     /// detection, the paper's §4.3 configuration).
     pub fn cm(mut self, cm: Arc<dyn ContentionManager>) -> Self {

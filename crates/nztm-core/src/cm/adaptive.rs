@@ -50,6 +50,7 @@
 
 use super::{CmMode, ContentionManager, KarmaDeadlock, ModeChange, Resolution};
 use crate::txn::{AbortCause, TxnDesc};
+use crate::util::CachePadded;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 
 /// Tuning knobs for [`Adaptive`]. `Default` matches the values used by
@@ -118,7 +119,10 @@ const HEAT_PER_ABORT: u32 = 1;
 /// (the engine delivers `on_abort`/`on_commit` from the aborting /
 /// committing thread itself); read by the same thread in `backoff_cap`.
 /// Relaxed atomics make the cross-thread case (stats scrapes, tests)
-/// merely racy-but-defined.
+/// merely racy-but-defined. Each slot gets its own cache line: bare
+/// `AtomicU32`s would pack sixteen threads' EWMAs onto one host line,
+/// so every attempt outcome would invalidate fifteen other threads'
+/// `backoff_cap` reads — false sharing on the hottest policy path.
 #[derive(Default)]
 struct ThreadSlot {
     /// Fixed-point EWMA of abort-per-attempt, 0..=[`EWMA_ONE`].
@@ -129,6 +133,10 @@ struct ThreadSlot {
 /// Distinct objects may collide into one slot; that only merges their
 /// heat, which over-approximates — an acceptable error for a policy
 /// input (same trade the flight recorder's `hottest_objects` makes).
+/// Line-padded like [`ThreadSlot`]: heat bumps from aborting threads
+/// and mode probes from `resolve_at`/`extra_patience` hit different
+/// objects' slots concurrently, and at 24 bytes two-plus slots would
+/// otherwise share every line.
 #[derive(Default)]
 struct HeatSlot {
     /// Header address of the last object that heated this slot (for
@@ -151,15 +159,18 @@ const HEAT_SLOTS: usize = 512;
 pub struct Adaptive {
     inner: KarmaDeadlock,
     cfg: AdaptiveConfig,
-    threads: Vec<ThreadSlot>,
-    heat: Vec<HeatSlot>,
-    /// Total telemetry events, for decay scheduling.
-    events: AtomicU64,
+    threads: Vec<CachePadded<ThreadSlot>>,
+    heat: Vec<CachePadded<HeatSlot>>,
+    /// Total telemetry events, for decay scheduling. Every thread RMWs
+    /// this on every abort *and* commit — the single hottest word in
+    /// the policy — so it gets a line to itself, away from the
+    /// read-mostly `cfg`/`inner` fields and the sweep cursor.
+    events: CachePadded<AtomicU64>,
     /// Index of the next heat slot a decay sweep will inspect for
     /// de-escalation (sweeps resume where the last left off, so every
     /// cooled slot is eventually reported even though each sweep may
     /// return only one [`ModeChange`]).
-    sweep_cursor: AtomicU64,
+    sweep_cursor: CachePadded<AtomicU64>,
 }
 
 impl Adaptive {
@@ -179,10 +190,10 @@ impl Adaptive {
         Adaptive {
             inner: KarmaDeadlock::default(),
             cfg,
-            threads: (0..THREAD_SLOTS).map(|_| ThreadSlot::default()).collect(),
-            heat: (0..HEAT_SLOTS).map(|_| HeatSlot::default()).collect(),
-            events: AtomicU64::new(0),
-            sweep_cursor: AtomicU64::new(0),
+            threads: (0..THREAD_SLOTS).map(|_| CachePadded::new(ThreadSlot::default())).collect(),
+            heat: (0..HEAT_SLOTS).map(|_| CachePadded::new(HeatSlot::default())).collect(),
+            events: CachePadded::new(AtomicU64::new(0)),
+            sweep_cursor: CachePadded::new(AtomicU64::new(0)),
         }
     }
 

@@ -151,6 +151,17 @@ pub struct NzConfig {
     /// Extra cycles charged per SCSS store on simulated platforms (models
     /// the short hardware transaction's latency).
     pub scss_cycles: u64,
+    /// How thread placement is derived for the layout of shared
+    /// metadata (registry slot lines, striped reader-indicator stripe
+    /// assignment). [`TopologyPolicy::Flat`] (the default) is the seed
+    /// layout, bit-exact; see [`crate::topology`].
+    pub topology: crate::topology::TopologyPolicy,
+    /// Reserve each object's backup-copy lines inside the object's own
+    /// synthetic block and keep a resident buffer bound to them
+    /// ([`crate::object::ObjectLayout::colocate_backup`]). Off by
+    /// default: backups then live wherever the per-thread pool's
+    /// buffers were allocated.
+    pub colocate_backup: bool,
     /// Flight-recorder configuration (inert without the `trace` feature).
     pub trace: TraceConfig,
     /// TEST-ONLY fault injection (`sanitize` builds): requesters force
@@ -167,6 +178,8 @@ impl Default for NzConfig {
             patience: 128,
             read_mode: ReadMode::Visible,
             scss_cycles: 25,
+            topology: crate::topology::TopologyPolicy::Flat,
+            colocate_backup: false,
             trace: TraceConfig::default(),
             #[cfg(feature = "sanitize")]
             inject_handshake_bug: false,
@@ -381,6 +394,10 @@ pub struct NzStm<P: Platform, M: ModePolicy> {
     platform: Arc<P>,
     cm: Arc<dyn ContentionManager>,
     registry: ThreadRegistry,
+    /// Layout directives handed to every [`NzStm::new_obj`] allocation
+    /// (reader capacity, topology placement, backup colocation) —
+    /// resolved once from [`NzConfig`] at construction.
+    layout: crate::object::ObjectLayout,
     threads: PerCore<ThreadCtx>,
     /// Per-thread counter cells, shared with each `ThreadCtx`. Read side
     /// of [`NzStm::stats_snapshot`] — safe to merge at any time.
@@ -404,10 +421,17 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         let trace_capacity = cfg.trace.capacity;
         #[cfg(feature = "trace")]
         let trace_on = std::sync::atomic::AtomicBool::new(cfg.trace.enabled);
+        let placement = cfg.topology.resolve(n);
+        let layout = crate::object::ObjectLayout {
+            reader_capacity: n,
+            placement: placement.clone(),
+            colocate_backup: cfg.colocate_backup,
+        };
         Arc::new(NzStm {
             platform,
             cm,
-            registry: ThreadRegistry::new(n),
+            registry: ThreadRegistry::with_placement(n, placement),
+            layout,
             threads: PerCore::new(n, |tid| {
                 ThreadCtx::new(tid, Arc::clone(&thread_stats[tid]), trace_capacity)
             }),
@@ -440,14 +464,17 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         self.cfg.read_mode
     }
 
-    /// Allocate a transactional object.
+    /// Allocate a transactional object under this engine's layout.
     ///
     /// The reader indicator is sized for this engine's thread count: on
     /// platforms with ≤ 64 threads the object keeps the paper's inline
     /// bitmap word (bit-for-bit the seed layout); wider platforms get a
-    /// striped indicator so reads scale past 64 threads.
+    /// striped indicator so reads scale past 64 threads. The engine's
+    /// topology placement and backup-colocation knobs
+    /// ([`NzConfig::topology`], [`NzConfig::colocate_backup`]) are
+    /// applied as configured.
     pub fn new_obj<T: TmData>(&self, init: T) -> Arc<NZObject<T>> {
-        NZObject::new_with_capacity(init, self.registry.len())
+        NZObject::new_with_layout(init, &self.layout)
     }
 
     /// Merge per-thread statistics into a report. Safe to call from any
@@ -650,24 +677,33 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         }
     }
 
+    /// Start an attempt: retire the previous descriptor and produce a
+    /// logically fresh one (§2.2).
+    ///
+    /// Descriptor lifecycle and the epoch-drain lag: a retired
+    /// descriptor enters [`ThreadCtx::free_descs`] immediately, but
+    /// shared references to it (its registry slot, owner words of
+    /// objects it acquired, installer fields of their backups) drain
+    /// asynchronously — the registry slot within ~1 attempt plus the
+    /// epoch's throttled collect interval, owner words only at each
+    /// object's *next* acquisition. Recycling therefore probes the
+    /// oldest [`DESC_SCAN`] retirees for sole ownership
+    /// (`Arc::get_mut`: strong == 1, weak == 0) — the gate that makes
+    /// owner-word ABA impossible (see txn.rs, "Recycling and the ABA
+    /// argument") — and only once the list holds [`DESC_MIN`] entries,
+    /// so the front candidate is old enough to have drained. Failed
+    /// probes rotate to the back: a descriptor pinned by a
+    /// rarely-rewritten object's owner word must not block the ones
+    /// behind it.
     fn begin(&self, ctx: &mut ThreadCtx, tid: usize) {
         ctx.serial += 1;
-        // Retire the previous attempt's descriptor to the free list; it
-        // becomes recyclable once every shared reference (registry slot,
-        // owner words, installer fields) has drained through the epoch.
         if let Some(prev) = ctx.current.take() {
             if ctx.free_descs.len() < DESC_POOL_DEPTH {
                 ctx.free_descs.push_back(prev);
             }
         }
-        // A logically fresh descriptor per attempt (§2.2); Arc because
-        // object owner fields and the registry take strong counts.
-        // Physically, probe the oldest few retirees for sole ownership
-        // (`Arc::get_mut`: strong == 1, weak == 0) and recycle in place —
-        // the gate that makes owner-word ABA impossible (see txn.rs,
-        // "Recycling and the ABA argument"). Failed probes rotate to the
-        // back: a descriptor pinned by a rarely-rewritten object's owner
-        // word must not block the ones behind it.
+        // Arc because object owner fields and the registry take strong
+        // counts.
         let mut recycled = None;
         let probes = if ctx.free_descs.len() >= DESC_MIN { DESC_SCAN } else { 0 };
         for _ in 0..probes {
@@ -786,7 +822,15 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             if let WriteTarget::InPlace { backup_raw } = w.target {
                 self.platform.mem_nb(w.obj.header().addr(), 8, AccessKind::Rmw);
                 if let Some(buf) = w.obj.header().take_backup(backup_raw) {
-                    ctx.pool.put(buf);
+                    match w.obj.resident_backup() {
+                        // A colocated resident buffer returns to its
+                        // object (dropping our count frees it for the
+                        // next acquirer), never to the pool — pooled
+                        // buffers wander to other objects and threads,
+                        // which is exactly what colocation avoids.
+                        Some(r) if Arc::ptr_eq(r, &buf) => drop(buf),
+                        _ => ctx.pool.put(buf),
+                    }
                 }
             }
         }
@@ -1246,16 +1290,30 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             }
             braw
         } else {
-            // Create a backup copy of the (valid) current data.
-            let buf = match ctx.pool.take(n) {
+            // Create a backup copy of the (valid) current data. A
+            // colocated layout prefers the object's own resident buffer
+            // (lines adjacent to the data being shadowed); strong count
+            // 1 proves it is free — not installed on the object, not in
+            // any pool, no stale reader still holding it — and nobody
+            // can clone it concurrently (clones only come from the
+            // backup field, where it is not). Falls back to the pool
+            // when the resident buffer is still in flight.
+            let resident = obj.resident_backup().filter(|b| Arc::strong_count(b) == 1);
+            let buf = match resident {
                 Some(b) => {
                     hot_stat!(ctx, backup_reused);
-                    b
+                    Arc::clone(b)
                 }
-                None => {
-                    hot_stat!(ctx, backup_alloc);
-                    WordBuf::zeroed(n)
-                }
+                None => match ctx.pool.take(n) {
+                    Some(b) => {
+                        hot_stat!(ctx, backup_reused);
+                        b
+                    }
+                    None => {
+                        hot_stat!(ctx, backup_alloc);
+                        WordBuf::zeroed(n)
+                    }
+                },
             };
             buf.set_installer(&me, guard);
             self.platform.mem_nb(obj.data_addr(), n * 8, AccessKind::Read);

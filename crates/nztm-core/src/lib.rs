@@ -66,6 +66,7 @@ pub mod registry;
 pub mod runtime;
 pub mod sanitizer;
 pub mod stats;
+pub mod topology;
 pub mod trace;
 pub mod txn;
 pub mod util;
@@ -79,6 +80,7 @@ pub use object::{NZObject, NzObjAny, WordBuf};
 pub use readers::{ReaderIndicator, ReaderVisit};
 pub use runtime::{Handle, ObjPool, TmSys};
 pub use stats::{ThreadStats, TmStats};
+pub use topology::{Placement, Topology, TopologyPolicy};
 pub use trace::{EventKind, ObjectHeat, Trace, TraceEvent};
 pub use txn::{Abort, AbortCause, Status, TxnDesc};
 

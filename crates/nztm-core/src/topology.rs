@@ -1,0 +1,373 @@
+//! NUMA topology and thread-placement policy.
+//!
+//! The engine's shared metadata tables — registry slots, striped
+//! reader-indicator words — are laid out as one synthetic cache line
+//! per thread, indexed by the platform's fixed core id. On a multi-node
+//! machine, *which* lines sit next to each other decides how much
+//! cross-node coherence traffic a scan pays: a writer enumerating the
+//! readers of a hot object walks one stripe line per 64 registered
+//! threads, and with the legacy interleaved mapping (`stripe = tid mod
+//! S`) every stripe mixes threads from every node, so every stripe line
+//! bounces between nodes.
+//!
+//! [`Topology`] answers "which node does core `c` live on", and
+//! [`Placement`] turns that into a permutation of thread ids that
+//! groups same-node threads contiguously. A grouped striped indicator
+//! assigns `stripe = place / 64`, so threads of one node fill whole
+//! stripes before spilling into the next — a stripe line is written by
+//! (at most) one node and cross-node transfers happen only on the
+//! writer's scan, not on every reader registration.
+//!
+//! Detection reads the Linux sysfs node map
+//! (`/sys/devices/system/node/node*/cpulist`); anything that fails to
+//! parse degrades to a single node, whose placement is the identity
+//! permutation — bit-exact with the layout the seed produced. The
+//! simulator has no NUMA domains of its own, so simulated studies use
+//! [`Topology::synthetic`] to impose one (round-robin, the common
+//! SMT-less socket enumeration) and measure the stripe-sharing effect
+//! through the cache model's coherence counters.
+
+use std::sync::Arc;
+
+/// A map from core id to NUMA node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// `node_of[c]` = node of core `c`. Never empty.
+    node_of: Vec<u16>,
+    n_nodes: usize,
+}
+
+impl Topology {
+    /// All `n_cores` cores on one node (the identity-placement
+    /// topology; also the fallback when detection fails).
+    pub fn single_node(n_cores: usize) -> Topology {
+        Topology { node_of: vec![0; n_cores.max(1)], n_nodes: 1 }
+    }
+
+    /// A synthetic machine of `n_nodes` nodes with cores assigned
+    /// round-robin (`node = core mod n_nodes`) — adjacent core ids on
+    /// *different* nodes, the enumeration that makes interleaved
+    /// striping worst-case and grouping observable under the simulator.
+    pub fn synthetic(n_cores: usize, n_nodes: usize) -> Topology {
+        let n_cores = n_cores.max(1);
+        let n_nodes = n_nodes.clamp(1, n_cores);
+        Topology {
+            node_of: (0..n_cores).map(|c| (c % n_nodes) as u16).collect(),
+            n_nodes,
+        }
+    }
+
+    /// Build from an explicit core → node map (ids are compacted, so
+    /// holes in the numbering are fine).
+    pub fn from_nodes(node_of: Vec<u16>) -> Topology {
+        if node_of.is_empty() {
+            return Topology::single_node(1);
+        }
+        // Compact node ids to 0..n_nodes preserving order of first
+        // appearance, so `n_nodes` is a count, not max-id + 1.
+        let mut seen: Vec<u16> = Vec::new();
+        let node_of: Vec<u16> = node_of
+            .into_iter()
+            .map(|raw| match seen.iter().position(|&s| s == raw) {
+                Some(i) => i as u16,
+                None => {
+                    seen.push(raw);
+                    (seen.len() - 1) as u16
+                }
+            })
+            .collect();
+        Topology { n_nodes: seen.len(), node_of }
+    }
+
+    /// Detect the host topology from sysfs, covering at least
+    /// `n_cores` cores. Cores sysfs does not mention (oversubscribed
+    /// simulations may register more threads than the host has CPUs)
+    /// wrap around modulo the detected CPU count. Any read or parse
+    /// failure falls back to a single node.
+    pub fn detect(n_cores: usize) -> Topology {
+        match detect_sysfs() {
+            Some(map) if !map.is_empty() => {
+                let n = n_cores.max(1);
+                Topology::from_nodes((0..n).map(|c| map[c % map.len()]).collect())
+            }
+            _ => Topology::single_node(n_cores),
+        }
+    }
+
+    /// Number of nodes (≥ 1).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of mapped cores (≥ 1).
+    pub fn n_cores(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Node of core `c` (cores past the map wrap around, matching
+    /// oversubscribed platforms that alias virtual cores onto hardware
+    /// contexts round-robin).
+    pub fn node_of(&self, c: usize) -> usize {
+        self.node_of[c % self.node_of.len()] as usize
+    }
+
+    /// The placement permutation for `n_threads` threads: same-node
+    /// threads take contiguous placement indices (node-major, core-id
+    /// order within a node). On a single node this is the identity.
+    pub fn placement(&self, n_threads: usize) -> Placement {
+        let mut tids: Vec<u32> = (0..n_threads as u32).collect();
+        tids.sort_by_key(|&t| self.node_of(t as usize));
+        // `tids[i]` = thread placed at index i; invert to index-by-tid.
+        let mut index = vec![0u32; n_threads];
+        for (i, &t) in tids.iter().enumerate() {
+            index[t as usize] = i as u32;
+        }
+        Placement::new(index, tids.into_boxed_slice())
+    }
+}
+
+/// A bijection between thread ids and placement indices, produced by
+/// [`Topology::placement`]. `index_of` maps tid → place (used when a
+/// thread picks its stripe/slot line); `tid_at` is the inverse (used
+/// when a scanner decodes a bit back to a thread id).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    index: Box<[u32]>,
+    inverse: Box<[u32]>,
+    identity: bool,
+}
+
+impl Placement {
+    fn new(index: Vec<u32>, inverse: Box<[u32]>) -> Placement {
+        let identity = index.iter().enumerate().all(|(i, &p)| i as u32 == p);
+        Placement { index: index.into_boxed_slice(), inverse, identity }
+    }
+
+    /// The identity permutation over `n` threads.
+    pub fn identity(n: usize) -> Placement {
+        let v: Vec<u32> = (0..n as u32).collect();
+        Placement { index: v.clone().into_boxed_slice(), inverse: v.into_boxed_slice(), identity: true }
+    }
+
+    /// Number of mapped threads.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// True when the permutation is the identity (single-node layouts).
+    pub fn is_identity(&self) -> bool {
+        self.identity
+    }
+
+    /// Placement index of thread `tid`. Tids past the map place as
+    /// themselves (they cannot collide: mapped tids occupy exactly
+    /// `0..len`, and an unmapped tid ≥ `len` places at its own value).
+    #[inline]
+    pub fn index_of(&self, tid: usize) -> usize {
+        match self.index.get(tid) {
+            Some(&p) => p as usize,
+            None => tid,
+        }
+    }
+
+    /// Thread id placed at `place` (inverse of [`Placement::index_of`]).
+    #[inline]
+    pub fn tid_at(&self, place: usize) -> usize {
+        match self.inverse.get(place) {
+            Some(&t) => t as usize,
+            None => place,
+        }
+    }
+}
+
+/// How an engine derives its [`Topology`] (an [`crate::NzConfig`] knob).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyPolicy {
+    /// Identity placement, interleaved striping — the seed layout.
+    /// The default: committed baselines are reproduced bit-exactly.
+    Flat,
+    /// Detect the host's node map from sysfs and group same-node
+    /// threads; on a single-node host (or when detection fails) the
+    /// placement is the identity and only the stripe mapping changes
+    /// to grouped.
+    Detect,
+    /// A synthetic round-robin machine of this many nodes
+    /// ([`Topology::synthetic`]) — for simulator placement studies.
+    Synthetic(usize),
+}
+
+impl TopologyPolicy {
+    /// Resolve the policy into a placement for `n_threads` threads;
+    /// `None` means "keep the legacy flat layout".
+    pub fn resolve(self, n_threads: usize) -> Option<Arc<Placement>> {
+        match self {
+            TopologyPolicy::Flat => None,
+            TopologyPolicy::Detect => {
+                Some(Arc::new(Topology::detect(n_threads).placement(n_threads)))
+            }
+            TopologyPolicy::Synthetic(nodes) => {
+                Some(Arc::new(Topology::synthetic(n_threads, nodes).placement(n_threads)))
+            }
+        }
+    }
+}
+
+fn detect_sysfs() -> Option<Vec<u16>> {
+    let entries = std::fs::read_dir("/sys/devices/system/node").ok()?;
+    let mut cpu_node: Vec<(usize, u16)> = Vec::new();
+    for e in entries.flatten() {
+        let name = e.file_name();
+        let name = name.to_str()?;
+        let Some(id) = name.strip_prefix("node").and_then(|s| s.parse::<u16>().ok()) else {
+            continue;
+        };
+        let list = std::fs::read_to_string(e.path().join("cpulist")).ok()?;
+        for cpu in parse_cpulist(list.trim())? {
+            cpu_node.push((cpu, id));
+        }
+    }
+    if cpu_node.is_empty() {
+        return None;
+    }
+    cpu_node.sort_unstable();
+    // Require a dense 0..n cpu numbering; anything stranger is treated
+    // as a detection failure (single node) rather than guessed at.
+    if cpu_node.iter().enumerate().any(|(i, &(c, _))| i != c) {
+        return None;
+    }
+    Some(cpu_node.into_iter().map(|(_, n)| n).collect())
+}
+
+/// Parse a sysfs cpulist ("0-3,8,10-11") into cpu indices.
+fn parse_cpulist(s: &str) -> Option<Vec<usize>> {
+    let mut cpus = Vec::new();
+    if s.is_empty() {
+        return Some(cpus);
+    }
+    for part in s.split(',') {
+        match part.split_once('-') {
+            Some((lo, hi)) => {
+                let (lo, hi) = (lo.trim().parse::<usize>().ok()?, hi.trim().parse::<usize>().ok()?);
+                if hi < lo || hi - lo > 1 << 20 {
+                    return None;
+                }
+                cpus.extend(lo..=hi);
+            }
+            None => cpus.push(part.trim().parse::<usize>().ok()?),
+        }
+    }
+    Some(cpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_placement_is_identity() {
+        let t = Topology::single_node(8);
+        assert_eq!(t.n_nodes(), 1);
+        let p = t.placement(8);
+        assert!(p.is_identity());
+        for tid in 0..8 {
+            assert_eq!(p.index_of(tid), tid);
+            assert_eq!(p.tid_at(tid), tid);
+        }
+    }
+
+    #[test]
+    fn synthetic_round_robin_groups_by_node() {
+        // 8 cores, 2 nodes, round-robin: evens on node 0, odds on 1.
+        let t = Topology::synthetic(8, 2);
+        assert_eq!(t.n_nodes(), 2);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(1), 1);
+        let p = t.placement(8);
+        assert!(!p.is_identity());
+        // Node 0's threads (0,2,4,6) take places 0..4 in tid order.
+        assert_eq!(
+            (0..8).map(|t| p.index_of(t)).collect::<Vec<_>>(),
+            vec![0, 4, 1, 5, 2, 6, 3, 7]
+        );
+        // Inverse really inverts.
+        for tid in 0..8 {
+            assert_eq!(p.tid_at(p.index_of(tid)), tid);
+        }
+    }
+
+    #[test]
+    fn placement_is_stable_across_resolutions() {
+        // Same topology, same thread count ⇒ identical permutation —
+        // the property that keeps slot/stripe mapping stable when a
+        // thread exits and a new one reuses its core id.
+        let a = Topology::synthetic(130, 4).placement(130);
+        let b = Topology::synthetic(130, 4).placement(130);
+        assert_eq!(a, b);
+        for tid in 0..130 {
+            assert_eq!(a.tid_at(a.index_of(tid)), tid);
+        }
+    }
+
+    #[test]
+    fn unmapped_tids_place_as_themselves_without_collision() {
+        let p = Topology::synthetic(6, 3).placement(6);
+        let mut places: Vec<usize> = (0..10).map(|t| p.index_of(t)).collect();
+        places.sort_unstable();
+        places.dedup();
+        assert_eq!(places.len(), 10, "mapped and unmapped tids never collide");
+        assert_eq!(p.index_of(9), 9);
+        assert_eq!(p.tid_at(9), 9);
+    }
+
+    #[test]
+    fn from_nodes_compacts_sparse_ids() {
+        let t = Topology::from_nodes(vec![3, 3, 7, 7, 3]);
+        assert_eq!(t.n_nodes(), 2);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(2), 1);
+        assert_eq!(t.node_of(4), 0);
+    }
+
+    #[test]
+    fn node_of_wraps_past_the_map() {
+        let t = Topology::synthetic(4, 2);
+        assert_eq!(t.node_of(5), t.node_of(1));
+    }
+
+    #[test]
+    fn cpulist_parsing() {
+        assert_eq!(parse_cpulist("0-3").unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(parse_cpulist("0,2,4-5").unwrap(), vec![0, 2, 4, 5]);
+        assert_eq!(parse_cpulist("7").unwrap(), vec![7]);
+        assert!(parse_cpulist("3-1").is_none());
+        assert!(parse_cpulist("x").is_none());
+    }
+
+    #[test]
+    fn detect_never_panics_and_covers_requested_cores() {
+        // On any host: either a real map or the single-node fallback.
+        let t = Topology::detect(16);
+        assert!(t.n_nodes() >= 1);
+        assert_eq!(t.placement(16).len(), 16);
+        // Oversubscription: more threads than the host has CPUs still
+        // yields a full bijection.
+        let p = Topology::detect(4).placement(300);
+        for tid in 0..300 {
+            assert_eq!(p.tid_at(p.index_of(tid)), tid);
+        }
+    }
+
+    #[test]
+    fn policy_resolution() {
+        assert!(TopologyPolicy::Flat.resolve(8).is_none());
+        let p = TopologyPolicy::Synthetic(2).resolve(8).unwrap();
+        assert!(!p.is_identity());
+        // Detect resolves to *some* placement on every host.
+        let p = TopologyPolicy::Detect.resolve(8).unwrap();
+        assert_eq!(p.len(), 8);
+    }
+}

@@ -208,7 +208,7 @@ impl TxnDesc {
             priority: AtomicU64::new(0),
             waiting_flag: AtomicU64::new(0),
             scss_lock: AtomicU64::new(0),
-            synth: nztm_sim::synth_alloc(64),
+            synth: nztm_sim::synth_alloc_as(64, nztm_sim::StructClass::TxnDescs),
         }
     }
 

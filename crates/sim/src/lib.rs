@@ -39,6 +39,7 @@
 //! never consults wall-clock time and the only scheduling input is the
 //! logical clock vector.
 
+pub mod attrib;
 pub mod cache;
 pub mod costs;
 pub mod platform;
@@ -46,6 +47,7 @@ pub mod rng;
 pub mod sched;
 pub mod sync;
 
+pub use attrib::{synth_alloc_as, tag_synth_range, ClassStats, StructClass};
 pub use cache::{AccessKind, CacheConfig, CacheSystem, LineAddr, MissLevel};
 pub use costs::CostModel;
 pub use platform::{synth_alloc, Native, Platform, SimPlatform};

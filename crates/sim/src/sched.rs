@@ -14,12 +14,13 @@
 //! "short hardware transaction" on the simulated platform is simply a
 //! sequence of operations with no intervening yield.
 
+use crate::attrib::{ClassStats, StructClass};
 use crate::cache::{AccessKind, CacheConfig, CacheStats, CacheSystem};
 use crate::costs::CostModel;
 use crate::rng::DetRng;
 use crate::sync::{Condvar, Mutex};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 thread_local! {
@@ -277,6 +278,12 @@ pub struct Machine {
     /// bodies must produce byte-identical traces — the replay check used
     /// by the protocol sanitizer's stress harness.
     trace: Mutex<Option<Vec<(u64, u32)>>>,
+    /// Fast-path gate for per-structure attribution (see
+    /// [`Machine::enable_attribution`]).
+    attrib_on: AtomicBool,
+    /// Per-class access counters, keyed by [`StructClass::index`];
+    /// `None` until armed.
+    attrib: Mutex<Option<[ClassStats; StructClass::COUNT]>>,
 }
 
 /// Snoop callback type; see [`Machine::set_snoop`].
@@ -294,6 +301,9 @@ pub struct RunReport {
     pub cache: Vec<CacheStats>,
     /// Total scheduler handoffs (diagnostic).
     pub yields: u64,
+    /// Per-structure attribution in [`StructClass::ALL`] order; `None`
+    /// unless [`Machine::enable_attribution`] was called.
+    pub attribution: Option<Vec<(StructClass, ClassStats)>>,
 }
 
 impl Machine {
@@ -320,7 +330,38 @@ impl Machine {
             next_line: AtomicU64::new(16), // skip "NULL page" lines
             snoop: Mutex::new(None),
             trace: Mutex::new(None),
+            attrib_on: AtomicBool::new(false),
+            attrib: Mutex::new(None),
         })
+    }
+
+    /// Start attributing every charged access to the tagged structure
+    /// class of its **pre-translation** address (see [`crate::attrib`]).
+    /// Also arms the process-global range registry so structures built
+    /// after this call get tagged. Counters are cleared at the start of
+    /// each [`Machine::run`].
+    pub fn enable_attribution(&self) {
+        crate::attrib::arm_ranges();
+        *self.attrib.lock() = Some([ClassStats::default(); StructClass::COUNT]);
+        self.attrib_on.store(true, Ordering::Relaxed);
+    }
+
+    /// Per-structure counters of the last (or in-progress) run, in
+    /// [`StructClass::ALL`] order; `None` unless
+    /// [`Machine::enable_attribution`] was called.
+    pub fn attribution(&self) -> Option<Vec<(StructClass, ClassStats)>> {
+        let t = self.attrib.lock();
+        t.as_ref().map(|tbl| StructClass::ALL.iter().map(|c| (*c, tbl[c.index()])).collect())
+    }
+
+    fn record_attrib(&self, addr: usize, kind: AccessKind, res: &crate::cache::AccessResult) {
+        if !self.attrib_on.load(Ordering::Relaxed) {
+            return;
+        }
+        let class = crate::attrib::classify(addr);
+        if let Some(tbl) = self.attrib.lock().as_mut() {
+            tbl[class.index()].record(kind, res);
+        }
     }
 
     /// Start recording the run-token handoff schedule (cleared and
@@ -418,6 +459,9 @@ impl Machine {
         if let Some(t) = self.trace.lock().as_mut() {
             t.clear();
         }
+        if let Some(tbl) = self.attrib.lock().as_mut() {
+            *tbl = [ClassStats::default(); StructClass::COUNT];
+        }
 
         let handles: Vec<_> = bodies
             .into_iter()
@@ -458,6 +502,7 @@ impl Machine {
             makespan: s.clocks.iter().copied().max().unwrap_or(0),
             cache: cache.stats.clone(),
             yields: self.yields.load(Ordering::Relaxed),
+            attribution: self.attribution(),
         }
     }
 
@@ -536,6 +581,7 @@ impl Machine {
         let id = self.core_id();
         let synth = self.translate(addr);
         let res = { self.cache.lock().access(id, synth, kind) };
+        self.record_attrib(addr, kind, &res);
         self.run_snoop(id, synth, kind);
         self.work(res.latency);
         self.yield_now();
@@ -549,6 +595,7 @@ impl Machine {
         let id = self.core_id();
         let synth = self.translate(addr);
         let res = { self.cache.lock().access(id, synth, kind) };
+        self.record_attrib(addr, kind, &res);
         self.run_snoop(id, synth, kind);
         self.work(res.latency);
         res
@@ -908,6 +955,43 @@ mod tests {
         // A non-runnable forced choice is ignored, not an error.
         let bogus = run(Some(SchedPolicy::Replay { choices: Arc::new(vec![31; 4]) }));
         assert_eq!(bogus, baseline);
+    }
+
+    #[test]
+    fn attribution_counts_tagged_structures() {
+        use crate::attrib::{synth_alloc_as, StructClass};
+        let m = tiny_machine(2);
+        m.enable_attribution();
+        let stripes = synth_alloc_as(128, StructClass::ReaderStripes);
+        let bufs = synth_alloc_as(64, StructClass::WordBufs);
+        let (m0, m1) = (Arc::clone(&m), Arc::clone(&m));
+        let r = m.run(vec![
+            Box::new(move || {
+                for _ in 0..4 {
+                    m0.mem_access(stripes, AccessKind::Rmw);
+                    m0.mem_access(bufs, AccessKind::Read);
+                }
+            }),
+            Box::new(move || {
+                for _ in 0..4 {
+                    m1.mem_access(stripes + 64, AccessKind::Rmw);
+                }
+            }),
+        ]);
+        let attr = r.attribution.expect("armed");
+        let get = |c: StructClass| attr.iter().find(|(k, _)| *k == c).unwrap().1;
+        let s = get(StructClass::ReaderStripes);
+        assert_eq!(s.accesses, 8);
+        assert_eq!(s.writes, 8);
+        let b = get(StructClass::WordBufs);
+        assert_eq!(b.accesses, 4);
+        assert_eq!(b.writes, 0);
+        assert!(b.l1_hits >= 3, "repeat reads of a private line hit L1");
+        assert_eq!(get(StructClass::Other).accesses, 0);
+        // Counters reset between runs.
+        let r2 = m.run(vec![Box::new(|| {}), Box::new(|| {})]);
+        let attr2 = r2.attribution.expect("still armed");
+        assert!(attr2.iter().all(|(_, s)| s.accesses == 0));
     }
 
     #[test]
