@@ -5,7 +5,7 @@
 //! cache misses on the hot path?*
 //!
 //! * **Sim side** — runs NZSTM on the deterministic simulator with
-//!   [`Machine::enable_attribution`] armed, so every charged access is
+//!   [`nztm_sim::Machine::enable_attribution`] armed, so every charged access is
 //!   binned by the structure class of its pre-translation address
 //!   (reader stripes, registry slots, object headers, object data,
 //!   word buffers, descriptors, locators). Misses come straight from
@@ -394,10 +394,7 @@ mod tests {
     #[test]
     fn native_model_ranks_headers_first_on_read_heavy() {
         // Synthetic read-heavy stats: many reads, few acquires.
-        let mut st = TmStats::default();
-        st.reads = 10_000;
-        st.acquires = 400;
-        st.commits = 1_300;
+        let st = TmStats { reads: 10_000, acquires: 400, commits: 1_300, ..Default::default() };
         // Single-word objects: data folds onto the header line, so the
         // runner-up is descriptor traffic, not obj_data.
         let model = native_model(&st, 8, 1);

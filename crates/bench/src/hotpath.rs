@@ -27,6 +27,7 @@ use nztm_core::cm::{AdaptiveConfig, KarmaDeadlock};
 use nztm_core::{Bzstm, NzBuilder, NzConfig, Nzstm, NzstmScss, TmSys};
 use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, NztmHybrid};
 use nztm_sim::{DetRng, Machine, Native};
+use nztm_workloads::kv::{KvTraceCfg, KvTraceGen, ShardedKv};
 use std::hint::black_box;
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -47,6 +48,23 @@ pub const SCALING_THREADS: &[usize] = &[1, 4, 16, 64, 128];
 /// 128 threads oversubscribe every CI runner, so their wall-clock is
 /// dominated by the host scheduler, not the STM hot path.
 pub const SCALING_GATE_MAX_THREADS: usize = 64;
+
+/// Sharded KV service sweep (PR 8, runs with `--scaling`): the
+/// `nztm-workloads` sharded session/wallet store — [`ShardedKv`] over
+/// `nztm-tds` hash-map shards — driven by the deterministic
+/// million-user zipfian trace generator ([`KvTraceGen`]), NZSTM on
+/// native threads across the same thread counts as the scaling sweep.
+/// Read-mostly with write bursts and cross-shard transfers; every cell
+/// re-checks the wallet-conservation invariant after the run. Cells up
+/// to [`SCALING_GATE_MAX_THREADS`] ride the regression gate.
+pub const KV_WORKLOAD: &str = "sharded-kv";
+const KV_SHARDS: usize = 8;
+const KV_BUCKETS_PER_SHARD: usize = 1_024;
+/// Distinct-users-per-shard headroom. Gets never allocate and puts /
+/// transfers allocate only on a user's first touch, so the worst case
+/// is ~0.3 allocations per trace op; this bounds even a maximally
+/// unskewed full-scale run (3 samples x 54k ops) with >2x slack.
+const KV_CAPACITY_PER_SHARD: usize = 16_384;
 
 /// Contention-management sweep (runs with `--scaling`): the write-heavy
 /// op mix at the abort-storm thread counts from the PR-5 sweep, NZSTM
@@ -227,6 +245,10 @@ pub(crate) enum HotWorkload {
     /// conflict-by-construction storm for the contention sweep.
     CmWriteHeavy,
     Transfer,
+    /// The sharded KV/session store under the million-user zipfian
+    /// trace (PR 8). Ops come from a stateful per-thread [`KvTraceGen`]
+    /// rather than the plain RNG — see [`OpSource`].
+    ShardedKv,
 }
 
 impl HotWorkload {
@@ -236,6 +258,7 @@ impl HotWorkload {
             "write-heavy" => HotWorkload::WriteHeavy,
             "cm-write-heavy" => HotWorkload::CmWriteHeavy,
             "transfer" | "scale-mixed" => HotWorkload::Transfer,
+            "sharded-kv" => HotWorkload::ShardedKv,
             other => panic!("unknown workload {other:?}"),
         }
     }
@@ -247,10 +270,20 @@ pub(crate) struct OpDriver<S: TmSys> {
     workload: HotWorkload,
     objects: Vec<S::Obj<u64>>,
     bank: Option<nztm_workloads::harness::TransferBank<S>>,
+    kv: Option<ShardedKv<S>>,
+}
+
+/// Per-thread op stream: the classic workloads draw from a plain RNG;
+/// the sharded KV workload replays the stateful trace generator (write
+/// bursts and transfer cadence live in the generator, not the RNG).
+pub(crate) enum OpSource {
+    Rng(DetRng),
+    Kv(KvTraceGen),
 }
 
 impl<S: TmSys> OpDriver<S> {
     pub(crate) fn new(sys: &S, workload: HotWorkload) -> Self {
+        let mut kv = None;
         let (objects, bank) = match workload {
             HotWorkload::Transfer => {
                 (Vec::new(), Some(nztm_workloads::harness::TransferBank::new(sys, N_ACCOUNTS, 1_000)))
@@ -258,9 +291,41 @@ impl<S: TmSys> OpDriver<S> {
             HotWorkload::CmWriteHeavy => {
                 ((0..CM_N_OBJECTS).map(|i| sys.alloc(i as u64)).collect(), None)
             }
+            HotWorkload::ShardedKv => {
+                kv = Some(ShardedKv::new(
+                    sys,
+                    KV_SHARDS,
+                    KV_BUCKETS_PER_SHARD,
+                    KV_CAPACITY_PER_SHARD,
+                    100,
+                ));
+                (Vec::new(), None)
+            }
             _ => ((0..N_OBJECTS).map(|i| sys.alloc(i as u64)).collect(), None),
         };
-        OpDriver { workload, objects, bank }
+        OpDriver { workload, objects, bank, kv }
+    }
+
+    /// Build the op stream for one worker thread. Constructing the KV
+    /// generator pays the zipfian zeta sum (one pass over the user
+    /// population) — callers do this outside the timed phase.
+    pub(crate) fn source(&self, seed: u64, stream: u64) -> OpSource {
+        match self.workload {
+            HotWorkload::ShardedKv => {
+                OpSource::Kv(KvTraceGen::new(KvTraceCfg::million_users(), seed, stream))
+            }
+            _ => OpSource::Rng(DetRng::new(seed).split(stream)),
+        }
+    }
+
+    pub(crate) fn step(&self, sys: &S, src: &mut OpSource) {
+        match src {
+            OpSource::Rng(rng) => self.one_op(sys, rng),
+            OpSource::Kv(gen) => {
+                let op = gen.next();
+                black_box(self.kv.as_ref().unwrap().apply(sys, &op));
+            }
+        }
     }
 
     pub(crate) fn one_op(&self, sys: &S, rng: &mut DetRng) {
@@ -288,6 +353,9 @@ impl<S: TmSys> OpDriver<S> {
                     });
                     black_box(sum);
                 }
+            }
+            HotWorkload::ShardedKv => {
+                unreachable!("sharded-kv ops come from the trace generator — use step()")
             }
             HotWorkload::WriteHeavy | HotWorkload::CmWriteHeavy => {
                 let n = self.objects.len() as u64;
@@ -353,14 +421,14 @@ fn native_sample_timed<S: TmSys>(
             let (start, done) = (Arc::clone(&start), Arc::clone(&done));
             scope.spawn(move || {
                 platform.register_thread_as(tid);
-                let mut rng = DetRng::new(seed).split(tid as u64 + 1);
+                let mut src = driver.source(seed, tid as u64 + 1);
                 for _ in 0..warmup_ops {
-                    driver.one_op(&*sys, &mut rng);
+                    driver.step(&*sys, &mut src);
                 }
                 start.wait(); // workers parked; main resets stats
                 start.wait(); // released together; measured phase
                 for _ in 0..ops_per_thread {
-                    driver.one_op(&*sys, &mut rng);
+                    driver.step(&*sys, &mut src);
                 }
                 done.wait();
             });
@@ -375,6 +443,9 @@ fn native_sample_timed<S: TmSys>(
     platform.register_thread_as(0);
     if let Some(bank) = &driver.bank {
         bank.assert_conserved();
+    }
+    if let Some(kv) = &driver.kv {
+        kv.assert_conserved();
     }
     let st = sys.stats_snapshot();
     CellTiming {
@@ -479,9 +550,9 @@ fn run_hybrid_cell(workload: HotWorkload, threads: usize, scale: &HotScale) -> C
                 let sys = Arc::clone(&sys);
                 let driver = Arc::clone(&driver);
                 Box::new(move || {
-                    let mut rng = DetRng::new(seed).split(tid as u64 + 1);
+                    let mut src = driver.source(seed, tid as u64 + 1);
                     for _ in 0..ops {
-                        driver.one_op(&*sys, &mut rng);
+                        driver.step(&*sys, &mut src);
                     }
                 }) as Box<dyn FnOnce() + Send>
             })
@@ -496,6 +567,9 @@ fn run_hybrid_cell(workload: HotWorkload, threads: usize, scale: &HotScale) -> C
     let elapsed_ns = t0.elapsed().as_nanos() as u64;
     if let Some(bank) = &driver.bank {
         bank.assert_conserved();
+    }
+    if let Some(kv) = &driver.kv {
+        kv.assert_conserved();
     }
     let st = sys.stats_snapshot();
     sys.htm().uninstall();
@@ -614,6 +688,9 @@ pub fn run_matrix(mode: &str, scale: &HotScale, progress: bool, scaling: bool) -
             for &t in SCALING_THREADS {
                 measure(w, SCALING_SYSTEM, t);
             }
+        }
+        for &t in SCALING_THREADS {
+            measure(KV_WORKLOAD, SCALING_SYSTEM, t);
         }
         for &s in &[CM_BASE_SYSTEM, CM_ADAPTIVE_SYSTEM] {
             for &t in CM_THREADS {
@@ -744,14 +821,17 @@ impl HotReport {
                 writeln!(out).unwrap();
             }
         }
-        if self.cells.iter().any(|c| SCALING_WORKLOADS.contains(&c.workload.as_str())) {
+        let sweep_workloads = || SCALING_WORKLOADS.iter().chain(std::iter::once(&KV_WORKLOAD));
+        if self.cells.iter().any(|c| {
+            SCALING_WORKLOADS.contains(&c.workload.as_str()) || c.workload == KV_WORKLOAD
+        }) {
             writeln!(out, "\n--- scaling sweep, {SCALING_SYSTEM} (ops/s) ---").unwrap();
             write!(out, "{:<18}", "workload").unwrap();
             for t in SCALING_THREADS {
                 write!(out, "{t:>14}").unwrap();
             }
             writeln!(out).unwrap();
-            for &w in SCALING_WORKLOADS {
+            for &w in sweep_workloads() {
                 write!(out, "{w:<18}").unwrap();
                 for &t in SCALING_THREADS {
                     match self.cell(w, SCALING_SYSTEM, t) {
@@ -962,9 +1042,13 @@ pub fn check_reports_with(
     // means the striping refactor leaked cost into the common case.
     // Cells past SCALING_GATE_MAX_THREADS and the mixed sweep are
     // reported for trend-watching only. An old baseline without scaling
-    // cells simply has no matched cells and gates nothing.
-    for &w in SCALING_WORKLOADS {
-        let gated = w == "scale-read-mostly";
+    // cells simply has no matched cells and gates nothing. The sharded
+    // KV sweep (PR 8) rides the same gate at the same thread cutoff —
+    // its hot path is the tds hash map through the full engine, so a
+    // regression there is a real ADT-path regression even when the word
+    // workloads hold steady.
+    for &w in SCALING_WORKLOADS.iter().chain(std::iter::once(&KV_WORKLOAD)) {
+        let gated = w == "scale-read-mostly" || w == KV_WORKLOAD;
         let mut log_sum = 0.0f64;
         let mut n = 0u32;
         let mut any = false;
@@ -1225,6 +1309,40 @@ mod tests {
         let old = demo_report(1.0);
         let out3 = check_reports(&old, &cur2, 0.15);
         assert!(out3.ok, "{}", out3.report);
+    }
+
+    fn demo_kv_cells(scale: f64) -> Vec<HotCell> {
+        SCALING_THREADS
+            .iter()
+            .map(|&t| {
+                demo_cell(KV_WORKLOAD, SCALING_SYSTEM, t, 1e6 * scale * (t as f64).min(8.0), 3)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kv_sweep_rides_the_scaling_gate_below_the_thread_cutoff() {
+        let mut base = demo_report(1.0);
+        base.cells.extend(demo_kv_cells(1.0));
+        // A slowdown confined to the oversubscribed 128-thread cell is
+        // reported but not gated.
+        let mut cur = demo_report(1.0);
+        cur.cells.extend(demo_kv_cells(1.0).into_iter().map(|mut c| {
+            if c.threads > SCALING_GATE_MAX_THREADS {
+                c.ops_per_sec *= 0.4;
+                c.norm *= 0.4;
+            }
+            c
+        }));
+        let out = check_reports(&base, &cur, 0.15);
+        assert!(out.ok, "{}", out.report);
+        // An across-the-board KV slowdown fails even with every word
+        // workload unchanged: the ADT path is gated in its own right.
+        let mut cur2 = demo_report(1.0);
+        cur2.cells.extend(demo_kv_cells(0.5));
+        let out2 = check_reports(&base, &cur2, 0.15);
+        assert!(!out2.ok, "{}", out2.report);
+        assert!(out2.report.contains(KV_WORKLOAD));
     }
 
     fn demo_cm_cells(karma_aborts: u64, adaptive_aborts: u64) -> Vec<HotCell> {

@@ -7,8 +7,13 @@
 //! random-walk fuzzing block, and the targeted adversarial presets.
 //!
 //! ```text
-//! check_smoke [--budget-secs 120] [--out results] [--deep]
+//! check_smoke [--budget-secs 120] [--out results] [--deep] [--tds]
 //! ```
+//!
+//! `--tds` runs *only* the transactional-data-structure campaign (the
+//! `tds-check` CI job): the hash map, skiplist and MPMC queue on every
+//! backend under bounded-exhaustive, PCT-random and abort-storm
+//! exploration, judged by the ADT-level Wing-Gong specs.
 //!
 //! `--deep` appends the nightly campaign: deeper bounded-exhaustive
 //! enumeration, long PCT-style random blocks, bounded-exhaustive at a
@@ -19,7 +24,7 @@
 
 use nztm_check::{
     explore_exhaustive, explore_random, shrink, write_artifact, Artifact, Backend,
-    CheckConfig, ExploreReport, Failure, BACKENDS,
+    CheckConfig, ExploreReport, Failure, Workload, BACKENDS,
 };
 use std::time::Instant;
 
@@ -84,10 +89,40 @@ impl Campaign {
     }
 }
 
+/// The transactional-data-structure campaign (PR 8): all three `nztm-tds`
+/// structures on every backend, under bounded-exhaustive enumeration,
+/// PCT-style random walks and the abort-storm adversary. `deep` scales
+/// the per-stage schedule caps up for the nightly time box.
+fn tds_campaign(c: &mut Campaign, deep: bool) {
+    let (exh_cap, rand_seeds, storm_seeds) =
+        if deep { (2_000, 600, 300) } else { (300, 100, 60) };
+    for backend in BACKENDS {
+        let name = backend.name();
+        for wl in [Workload::MapHash, Workload::MapSkip, Workload::Queue] {
+            c.stage(
+                &format!("{name} exhaustive {}", wl.name()),
+                &CheckConfig::tds(backend, wl),
+                |b| explore_exhaustive(b, 6, exh_cap),
+            );
+            c.stage(
+                &format!("{name} random {}", wl.name()),
+                &CheckConfig::tds(backend, wl),
+                |b| explore_random(b, rand_seeds, 4),
+            );
+            c.stage(
+                &format!("{name} {} abort storm", wl.name()),
+                &CheckConfig::tds_abort_storm(backend, wl),
+                |b| explore_random(b, storm_seeds, 4),
+            );
+        }
+    }
+}
+
 fn main() {
     let mut budget_secs = 120u64;
     let mut out_dir = std::path::PathBuf::from("results");
     let mut deep = false;
+    let mut tds_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -101,6 +136,7 @@ fn main() {
                 out_dir = args.next().map(Into::into).unwrap_or_else(|| usage("--out needs a path"));
             }
             "--deep" => deep = true,
+            "--tds" => tds_only = true,
             other => usage(&format!("unknown argument {other:?}")),
         }
     }
@@ -114,10 +150,27 @@ fn main() {
     };
     println!(
         "nztm-check {}: budget {budget_secs}s, artifacts to {} (sanitize: {})",
-        if deep { "deep" } else { "smoke" },
+        if tds_only {
+            "tds"
+        } else if deep {
+            "deep"
+        } else {
+            "smoke"
+        },
         c.out_dir.display(),
         cfg!(feature = "sanitize"),
     );
+
+    if tds_only {
+        tds_campaign(&mut c, deep);
+        println!(
+            "tds PASS: {} stages, {} schedules in {:.1}s",
+            c.stages,
+            c.schedules,
+            c.start.elapsed().as_secs_f64()
+        );
+        return;
+    }
 
     for backend in BACKENDS {
         let name = backend.name();
@@ -147,6 +200,10 @@ fn main() {
             });
         }
     }
+
+    // The tds structures ride in the smoke pass at reduced caps; the
+    // dedicated tds-check job (--tds) runs the full campaign.
+    tds_campaign(&mut c, false);
 
     if deep {
         // The wide storms run first: they are the coverage the smoke pass
@@ -203,6 +260,6 @@ fn main() {
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("check_smoke: {msg}\nusage: check_smoke [--budget-secs N] [--out DIR] [--deep]");
+    eprintln!("check_smoke: {msg}\nusage: check_smoke [--budget-secs N] [--out DIR] [--deep] [--tds]");
     std::process::exit(2);
 }

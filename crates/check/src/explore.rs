@@ -10,7 +10,7 @@
 //! tree of the first `depth` decisions is covered without duplicates.
 
 use crate::harness::{run_config, CheckConfig, RunOutcome, Workload};
-use crate::lin::{linearizable, BankSpec, CounterSpec};
+use crate::lin::{linearizable, BankSpec, CounterSpec, MapSpec, QueueSpec};
 use nztm_sim::SchedPolicy;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -97,6 +97,77 @@ pub fn judge(cfg: &CheckConfig, out: &RunOutcome) -> Result<(), CheckError> {
                 if total != incs {
                     return Err(CheckError::Conservation(format!(
                         "counters sum to {total}, but {incs} increments committed"
+                    )));
+                }
+            }
+        }
+        Workload::MapHash | Workload::MapSkip => {
+            if out.ops.len() <= LIN_MAX_OPS {
+                let spec = MapSpec { keys: (0..cfg.objects as u64).collect() };
+                linearizable(&spec, &out.ops).map_err(|e| CheckError::Lin(e.0))?;
+            }
+            // Exact at any width: every value present at the end (encoded
+            // val + 1 per key) must have been the argument of a committed
+            // insert of that key.
+            use nztm_workloads::history::HistOp;
+            let inserted: HashSet<(u64, u64)> = out
+                .ops
+                .iter()
+                .filter_map(|o| match o.op {
+                    HistOp::MapInsert(k, v) => Some((k, v)),
+                    _ => None,
+                })
+                .collect();
+            for (k, enc) in out.final_values.iter().enumerate() {
+                if *enc != 0 && !inserted.contains(&(k as u64, enc - 1)) {
+                    return Err(CheckError::Conservation(format!(
+                        "final map binding {k} -> {} was never inserted",
+                        enc - 1
+                    )));
+                }
+            }
+        }
+        Workload::Queue => {
+            if out.ops.len() <= LIN_MAX_OPS {
+                let spec = QueueSpec { capacity: cfg.objects };
+                linearizable(&spec, &out.ops).map_err(|e| CheckError::Lin(e.0))?;
+            }
+            // Exact at any width: committed enqueues and dequeues must
+            // balance against the final contents (values are unique per
+            // (thread, op), so multisets are sets here).
+            use nztm_workloads::history::{HistOp, HistRet};
+            let enqueued: HashSet<u64> = out
+                .ops
+                .iter()
+                .filter_map(|o| match (&o.op, &o.ret) {
+                    (HistOp::Enqueue(v), HistRet::Bool(true)) => Some(*v),
+                    _ => None,
+                })
+                .collect();
+            let mut dequeued: HashSet<u64> = HashSet::new();
+            for o in &out.ops {
+                if let (HistOp::Dequeue, HistRet::OptVal(Some(v))) = (&o.op, &o.ret) {
+                    if !enqueued.contains(v) {
+                        return Err(CheckError::Conservation(format!(
+                            "dequeued {v} which no committed enqueue produced"
+                        )));
+                    }
+                    if !dequeued.insert(*v) {
+                        return Err(CheckError::Conservation(format!("{v} dequeued twice")));
+                    }
+                }
+            }
+            if !out.final_values.is_empty() || out.ops.iter().any(|o| o.op == HistOp::ReadAll)
+            {
+                let mut remaining: Vec<u64> =
+                    enqueued.difference(&dequeued).copied().collect();
+                remaining.sort_unstable();
+                let mut finals = out.final_values.clone();
+                finals.sort_unstable();
+                if finals != remaining {
+                    return Err(CheckError::Conservation(format!(
+                        "final queue contents {finals:?} != enqueued-minus-dequeued \
+                         {remaining:?}"
                     )));
                 }
             }

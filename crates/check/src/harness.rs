@@ -14,6 +14,7 @@ use nztm_core::{Blocking, ModePolicy, Nonblocking, NzConfig, NzStm, ScssMode, Tm
 use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, NztmHybrid};
 use nztm_sim::sync::Mutex;
 use nztm_sim::{Decision, DetRng, Machine, MachineConfig, Platform, SchedPolicy, SimPlatform};
+use nztm_tds::{TdsHashMap, TdsQueue, TdsSkipList};
 use nztm_workloads::history::{complete_ops, HistOp, HistRet, HistoryLog, OpRecord};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -115,6 +116,15 @@ pub enum Workload {
     /// Each thread increments each object once, rotated by thread id —
     /// the §3 model's counter workload (checked by [`crate::lin::CounterSpec`]).
     Increment,
+    /// Random insert/remove/get/contains on a [`nztm_tds::TdsHashMap`]
+    /// over a key universe of `objects` keys (checked by
+    /// [`crate::lin::MapSpec`]).
+    MapHash,
+    /// The same ADT operations on a [`nztm_tds::TdsSkipList`].
+    MapSkip,
+    /// Random enqueue/dequeue on a [`nztm_tds::TdsQueue`] of capacity
+    /// `objects` (checked by [`crate::lin::QueueSpec`]).
+    Queue,
 }
 
 impl Workload {
@@ -122,11 +132,28 @@ impl Workload {
         match self {
             Workload::Transfer => "transfer",
             Workload::Increment => "increment",
+            Workload::MapHash => "map-hash",
+            Workload::MapSkip => "map-skip",
+            Workload::Queue => "queue",
         }
     }
 
     pub fn parse(s: &str) -> Option<Workload> {
-        [Workload::Transfer, Workload::Increment].into_iter().find(|w| w.name() == s)
+        [
+            Workload::Transfer,
+            Workload::Increment,
+            Workload::MapHash,
+            Workload::MapSkip,
+            Workload::Queue,
+        ]
+        .into_iter()
+        .find(|w| w.name() == s)
+    }
+
+    /// Whether this workload drives a `nztm-tds` structure through ADT
+    /// operations (rather than raw word transactions).
+    pub fn is_tds(self) -> bool {
+        matches!(self, Workload::MapHash | Workload::MapSkip | Workload::Queue)
     }
 }
 
@@ -209,6 +236,27 @@ impl CheckConfig {
             ops_per_thread: objects,
             ..CheckConfig::transfer(backend)
         }
+    }
+
+    /// A transactional-data-structure run: `threads` threads each doing
+    /// `ops_per_thread` random ADT operations on one shared structure
+    /// (`objects` = key universe for the maps, capacity for the queue),
+    /// ending with one atomic `ReadAll` snapshot. Small enough that
+    /// every history fits the Wing–Gong bitmask.
+    pub fn tds(backend: Backend, workload: Workload) -> Self {
+        assert!(workload.is_tds());
+        CheckConfig {
+            workload,
+            objects: 3,
+            ops_per_thread: 2,
+            ..CheckConfig::transfer(backend)
+        }
+    }
+
+    /// Abort-storm variant of [`CheckConfig::tds`]: minimal patience so
+    /// the handshake path runs under ADT operations too.
+    pub fn tds_abort_storm(backend: Backend, workload: Workload) -> Self {
+        CheckConfig { patience: 2, ops_per_thread: 3, ..CheckConfig::tds(backend, workload) }
     }
 
     /// Targeted adversary: thread 0 stalls mid-transaction long past the
@@ -422,6 +470,7 @@ fn worker_body<S: TmSys>(
                     });
                     log.ret(tid as u32, HistRet::Unit);
                 }
+                other => unreachable!("{other:?} runs through tds_worker_body"),
             }
         }
         done.fetch_add(1, Ordering::SeqCst);
@@ -443,6 +492,218 @@ fn worker_body<S: TmSys>(
             *finals.lock() = vals;
         }
     })
+}
+
+/// The shared structure behind a tds workload run.
+enum TdsStruct<S: TmSys> {
+    Map(TdsHashMap<S>),
+    Skip(TdsSkipList<S>),
+    Queue(TdsQueue<S>),
+}
+
+impl<S: TmSys> TdsStruct<S> {
+    fn build(sys: &S, cfg: &CheckConfig) -> Self {
+        // Every *attempt* of an inserting operation allocates a node, and
+        // aborted attempts leave theirs as pool garbage (the DSTM-era
+        // idiom the tds crate documents), so abort storms need headroom
+        // proportional to the retry count. 200 attempts per operation is
+        // far beyond what any schedule inside the watchdog budget
+        // produces, and the slots are one `OnceLock` each.
+        let cap = cfg.threads * cfg.ops_per_thread * 200;
+        match cfg.workload {
+            // Two buckets over a 3-key universe: collisions occur, so
+            // chain traversal is exercised, without serializing all keys.
+            Workload::MapHash => TdsStruct::Map(TdsHashMap::new(sys, 2, cap)),
+            Workload::MapSkip => TdsStruct::Skip(TdsSkipList::new(sys, cap)),
+            Workload::Queue => TdsStruct::Queue(TdsQueue::new(sys, cfg.objects)),
+            other => unreachable!("{other:?} is not a tds workload"),
+        }
+    }
+
+    fn insert(
+        &self,
+        sys: &S,
+        tx: &mut S::Tx<'_>,
+        k: u64,
+        v: u64,
+    ) -> Result<Option<u64>, nztm_core::txn::Abort> {
+        match self {
+            TdsStruct::Map(m) => m.insert_tx(sys, tx, k, v),
+            TdsStruct::Skip(l) => l.insert_tx(sys, tx, k, v),
+            TdsStruct::Queue(_) => unreachable!(),
+        }
+    }
+
+    fn get(
+        &self,
+        tx: &mut S::Tx<'_>,
+        k: u64,
+    ) -> Result<Option<u64>, nztm_core::txn::Abort> {
+        match self {
+            TdsStruct::Map(m) => m.get_tx(tx, k),
+            TdsStruct::Skip(l) => l.get_tx(tx, k),
+            TdsStruct::Queue(_) => unreachable!(),
+        }
+    }
+
+    fn remove(
+        &self,
+        tx: &mut S::Tx<'_>,
+        k: u64,
+    ) -> Result<Option<u64>, nztm_core::txn::Abort> {
+        match self {
+            TdsStruct::Map(m) => m.remove_tx(tx, k),
+            TdsStruct::Skip(l) => l.remove_tx(tx, k),
+            TdsStruct::Queue(_) => unreachable!(),
+        }
+    }
+
+    fn contains(&self, tx: &mut S::Tx<'_>, k: u64) -> Result<bool, nztm_core::txn::Abort> {
+        match self {
+            TdsStruct::Map(m) => m.contains_tx(tx, k),
+            TdsStruct::Skip(l) => l.contains_tx(tx, k),
+            TdsStruct::Queue(_) => unreachable!(),
+        }
+    }
+
+}
+
+/// Worker body for the tds workloads: `ops_per_thread` random ADT
+/// operations, history-recorded, then the reader thread's quiescent
+/// `ReadAll` (for the maps: every key in the universe, encoded
+/// `val + 1`, 0 = absent; for the queue: the contents in FIFO order).
+#[allow(clippy::too_many_arguments)]
+fn tds_worker_body<S: TmSys>(
+    sys: Arc<S>,
+    platform: Arc<SimPlatform>,
+    st: Arc<TdsStruct<S>>,
+    log: Arc<HistoryLog>,
+    done: Arc<AtomicUsize>,
+    finals: Arc<Mutex<Vec<u64>>>,
+    cfg: CheckConfig,
+    tid: usize,
+) -> Box<dyn FnOnce() + Send> {
+    Box::new(move || {
+        let mut rng = DetRng::new(cfg.seed).split(tid as u64);
+        let mut stall_left = match cfg.stall {
+            Some((t, cycles)) if t == tid => Some(cycles),
+            _ => None,
+        };
+        for i in 0..cfg.ops_per_thread {
+            // Values are unique per (thread, op) so every write is
+            // distinguishable in the history.
+            let val = (tid * 1000 + i) as u64 + 1;
+            // Stall (pause-owner adversary) inside the op's transaction,
+            // after the ADT call has performed its writes.
+            let mut stall = |platform: &SimPlatform| {
+                if let Some(cycles) = stall_left.take() {
+                    platform.work(cycles);
+                    platform.yield_now();
+                }
+            };
+            match &*st {
+                TdsStruct::Map(_) | TdsStruct::Skip(_) => {
+                    let key = rng.next_below(cfg.objects as u64);
+                    match rng.next_below(4) {
+                        0 => {
+                            log.invoke(tid as u32, HistOp::MapInsert(key, val));
+                            let r = sys.execute(|tx| {
+                                let r = st.insert(&sys, tx, key, val)?;
+                                stall(&platform);
+                                Ok(r)
+                            });
+                            log.ret(tid as u32, HistRet::OptVal(r));
+                        }
+                        1 => {
+                            log.invoke(tid as u32, HistOp::MapRemove(key));
+                            let r = sys.execute(|tx| {
+                                let r = st.remove(tx, key)?;
+                                stall(&platform);
+                                Ok(r)
+                            });
+                            log.ret(tid as u32, HistRet::OptVal(r));
+                        }
+                        2 => {
+                            log.invoke(tid as u32, HistOp::MapGet(key));
+                            let r = sys.execute(|tx| st.get(tx, key));
+                            log.ret(tid as u32, HistRet::OptVal(r));
+                        }
+                        _ => {
+                            log.invoke(tid as u32, HistOp::Contains(key));
+                            let r = sys.execute(|tx| st.contains(tx, key));
+                            log.ret(tid as u32, HistRet::Bool(r));
+                        }
+                    }
+                }
+                TdsStruct::Queue(q) => {
+                    if rng.chance(1, 2) {
+                        log.invoke(tid as u32, HistOp::Enqueue(val));
+                        let ok = sys.execute(|tx| {
+                            let r = q.enqueue_tx(tx, val)?;
+                            stall(&platform);
+                            Ok(r)
+                        });
+                        log.ret(tid as u32, HistRet::Bool(ok));
+                    } else {
+                        log.invoke(tid as u32, HistOp::Dequeue);
+                        let r = sys.execute(|tx| {
+                            let r = q.dequeue_tx(tx)?;
+                            stall(&platform);
+                            Ok(r)
+                        });
+                        log.ret(tid as u32, HistRet::OptVal(r));
+                    }
+                }
+            }
+        }
+        done.fetch_add(1, Ordering::SeqCst);
+        if tid == reader_tid(&cfg) {
+            while done.load(Ordering::SeqCst) < cfg.threads {
+                platform.spin_wait();
+            }
+            log.invoke(tid as u32, HistOp::ReadAll);
+            let vals = match &*st {
+                TdsStruct::Map(_) | TdsStruct::Skip(_) => sys.execute(|tx| {
+                    let mut v = Vec::with_capacity(cfg.objects);
+                    for k in 0..cfg.objects as u64 {
+                        v.push(st.get(tx, k)?.map_or(0, |x| x + 1));
+                    }
+                    Ok(v)
+                }),
+                TdsStruct::Queue(q) => sys.execute(|tx| q.contents_tx(tx)),
+            };
+            log.ret(tid as u32, HistRet::Values(vals.clone()));
+            *finals.lock() = vals;
+        }
+    })
+}
+
+/// Build the bodies for a tds workload run (crash bodies are raw-object
+/// NzStm constructs and do not apply to ADT workloads).
+fn tds_bodies<S: TmSys>(
+    sys: &Arc<S>,
+    platform: &Arc<SimPlatform>,
+    cfg: &CheckConfig,
+    log: &Arc<HistoryLog>,
+    done: &Arc<AtomicUsize>,
+    finals: &Arc<Mutex<Vec<u64>>>,
+) -> Vec<Box<dyn FnOnce() + Send>> {
+    assert!(cfg.crash_tid.is_none(), "crash bodies are word-workload-specific");
+    let st = Arc::new(TdsStruct::build(&**sys, cfg));
+    (0..cfg.threads)
+        .map(|tid| {
+            tds_worker_body(
+                Arc::clone(sys),
+                Arc::clone(platform),
+                Arc::clone(&st),
+                Arc::clone(log),
+                Arc::clone(done),
+                Arc::clone(finals),
+                cfg.clone(),
+                tid,
+            )
+        })
+        .collect()
 }
 
 /// Crash body: performs the thread's first operation via
@@ -486,6 +747,7 @@ fn crash_body<M: ModePolicy>(
                     Ok(None::<()>)
                 });
             }
+            other => unreachable!("{other:?} has no crash body"),
         }
         done.fetch_add(1, Ordering::SeqCst);
     })
@@ -553,9 +815,11 @@ fn run_on_mode<M: ModePolicy>(cfg: &CheckConfig) -> RunOutcome {
     arm_sanitizer(&stm, cfg);
     let init = match cfg.workload {
         Workload::Transfer => cfg.initial,
-        Workload::Increment => 0,
+        _ => 0,
     };
-    let objs = Arc::new((0..cfg.objects).map(|_| stm.new_obj(init)).collect::<Vec<_>>());
+    // tds workloads allocate their structure's objects themselves.
+    let n_word_objs = if cfg.workload.is_tds() { 0 } else { cfg.objects };
+    let objs = Arc::new((0..n_word_objs).map(|_| stm.new_obj(init)).collect::<Vec<_>>());
     let obj_addrs: Vec<u64> = objs.iter().map(|o| o.header().addr() as u64).collect();
     if cfg.trace {
         stm.set_tracing(true);
@@ -563,31 +827,35 @@ fn run_on_mode<M: ModePolicy>(cfg: &CheckConfig) -> RunOutcome {
     let log = Arc::new(HistoryLog::new());
     let done = Arc::new(AtomicUsize::new(0));
     let finals = Arc::new(Mutex::new(Vec::new()));
-    let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..cfg.threads)
-        .map(|tid| {
-            if cfg.crash_tid == Some(tid) {
-                crash_body(
-                    Arc::clone(&stm),
-                    Arc::clone(&objs),
-                    Arc::clone(&log),
-                    Arc::clone(&done),
-                    cfg.clone(),
-                    tid,
-                )
-            } else {
-                worker_body(
-                    Arc::clone(&stm),
-                    Arc::clone(&platform),
-                    Arc::clone(&objs),
-                    Arc::clone(&log),
-                    Arc::clone(&done),
-                    Arc::clone(&finals),
-                    cfg.clone(),
-                    tid,
-                )
-            }
-        })
-        .collect();
+    let bodies: Vec<Box<dyn FnOnce() + Send>> = if cfg.workload.is_tds() {
+        tds_bodies(&stm, &platform, cfg, &log, &done, &finals)
+    } else {
+        (0..cfg.threads)
+            .map(|tid| {
+                if cfg.crash_tid == Some(tid) {
+                    crash_body(
+                        Arc::clone(&stm),
+                        Arc::clone(&objs),
+                        Arc::clone(&log),
+                        Arc::clone(&done),
+                        cfg.clone(),
+                        tid,
+                    )
+                } else {
+                    worker_body(
+                        Arc::clone(&stm),
+                        Arc::clone(&platform),
+                        Arc::clone(&objs),
+                        Arc::clone(&log),
+                        Arc::clone(&done),
+                        Arc::clone(&finals),
+                        cfg.clone(),
+                        tid,
+                    )
+                }
+            })
+            .collect()
+    };
     let watchdog = run_bodies(&machine, bodies);
     let trace = if cfg.trace { stm.take_trace() } else { nztm_core::Trace::default() };
     outcome(
@@ -617,9 +885,10 @@ fn run_hybrid(cfg: &CheckConfig) -> RunOutcome {
     let hybrid = NztmHybrid::new(Arc::clone(&stm), Arc::clone(&htm), HybridConfig::default());
     let init = match cfg.workload {
         Workload::Transfer => cfg.initial,
-        Workload::Increment => 0,
+        _ => 0,
     };
-    let objs = Arc::new((0..cfg.objects).map(|_| hybrid.alloc(init)).collect::<Vec<_>>());
+    let n_word_objs = if cfg.workload.is_tds() { 0 } else { cfg.objects };
+    let objs = Arc::new((0..n_word_objs).map(|_| hybrid.alloc(init)).collect::<Vec<_>>());
     let obj_addrs: Vec<u64> = objs.iter().map(|o| o.header().addr() as u64).collect();
     if cfg.trace {
         hybrid.set_tracing(true);
@@ -627,20 +896,24 @@ fn run_hybrid(cfg: &CheckConfig) -> RunOutcome {
     let log = Arc::new(HistoryLog::new());
     let done = Arc::new(AtomicUsize::new(0));
     let finals = Arc::new(Mutex::new(Vec::new()));
-    let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..cfg.threads)
-        .map(|tid| {
-            worker_body(
-                Arc::clone(&hybrid),
-                Arc::clone(&platform),
-                Arc::clone(&objs),
-                Arc::clone(&log),
-                Arc::clone(&done),
-                Arc::clone(&finals),
-                cfg.clone(),
-                tid,
-            )
-        })
-        .collect();
+    let bodies: Vec<Box<dyn FnOnce() + Send>> = if cfg.workload.is_tds() {
+        tds_bodies(&hybrid, &platform, cfg, &log, &done, &finals)
+    } else {
+        (0..cfg.threads)
+            .map(|tid| {
+                worker_body(
+                    Arc::clone(&hybrid),
+                    Arc::clone(&platform),
+                    Arc::clone(&objs),
+                    Arc::clone(&log),
+                    Arc::clone(&done),
+                    Arc::clone(&finals),
+                    cfg.clone(),
+                    tid,
+                )
+            })
+            .collect()
+    };
     let watchdog = run_bodies(&machine, bodies);
     let trace = if cfg.trace { hybrid.take_trace() } else { nztm_core::Trace::default() };
     let out = outcome(

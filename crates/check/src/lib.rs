@@ -42,4 +42,7 @@ pub use explore::{
     CheckError, ExploreReport, Failure,
 };
 pub use harness::{run_config, Backend, CheckConfig, CmKind, RunOutcome, Workload, BACKENDS, CM_KINDS};
-pub use lin::{check_set_history, linearizable, BankSpec, CounterSpec, KeySpec, LinError, SeqSpec};
+pub use lin::{
+    check_set_history, linearizable, BankSpec, CounterSpec, KeySpec, LinError, MapSpec,
+    QueueSpec, SeqSpec,
+};

@@ -111,6 +111,85 @@ impl SeqSpec for KeySpec {
     }
 }
 
+/// A `u64 → u64` map (the `nztm-tds` hash map and skiplist both refine
+/// it). `MapInsert`/`MapRemove`/`MapGet` return the previous/removed/
+/// current value as `OptVal`; `Contains` returns `Bool`; `ReadAll`
+/// snapshots the value of every key in `keys` encoded as `val + 1`
+/// (0 = absent), in `keys` order.
+pub struct MapSpec {
+    /// The key universe the workload draws from (fixes the `ReadAll`
+    /// encoding width).
+    pub keys: Vec<u64>,
+}
+
+impl SeqSpec for MapSpec {
+    type State = std::collections::BTreeMap<u64, u64>;
+
+    fn init(&self) -> Self::State {
+        Default::default()
+    }
+
+    fn apply(&self, st: &Self::State, op: &HistOp) -> (Self::State, HistRet) {
+        match op {
+            HistOp::MapInsert(k, v) => {
+                let mut st = st.clone();
+                let prev = st.insert(*k, *v);
+                (st, HistRet::OptVal(prev))
+            }
+            HistOp::MapRemove(k) => {
+                let mut st = st.clone();
+                let prev = st.remove(k);
+                (st, HistRet::OptVal(prev))
+            }
+            HistOp::MapGet(k) => (st.clone(), HistRet::OptVal(st.get(k).copied())),
+            HistOp::Contains(k) => (st.clone(), HistRet::Bool(st.contains_key(k))),
+            HistOp::ReadAll => {
+                let vals =
+                    self.keys.iter().map(|k| st.get(k).map_or(0, |v| v + 1)).collect();
+                (st.clone(), HistRet::Values(vals))
+            }
+            other => panic!("MapSpec cannot apply {other:?}"),
+        }
+    }
+}
+
+/// A bounded FIFO queue of at most `capacity` values (the `nztm-tds`
+/// MPMC queue refines it). `Enqueue` returns whether the value fit,
+/// `Dequeue` pops the head as `OptVal`, `ReadAll` snapshots the contents
+/// in FIFO order.
+pub struct QueueSpec {
+    pub capacity: usize,
+}
+
+impl SeqSpec for QueueSpec {
+    type State = std::collections::VecDeque<u64>;
+
+    fn init(&self) -> Self::State {
+        Default::default()
+    }
+
+    fn apply(&self, st: &Self::State, op: &HistOp) -> (Self::State, HistRet) {
+        match op {
+            HistOp::Enqueue(v) => {
+                if st.len() == self.capacity {
+                    (st.clone(), HistRet::Bool(false))
+                } else {
+                    let mut st = st.clone();
+                    st.push_back(*v);
+                    (st, HistRet::Bool(true))
+                }
+            }
+            HistOp::Dequeue => {
+                let mut st = st.clone();
+                let v = st.pop_front();
+                (st, HistRet::OptVal(v))
+            }
+            HistOp::ReadAll => (st.clone(), HistRet::Values(st.iter().copied().collect())),
+            other => panic!("QueueSpec cannot apply {other:?}"),
+        }
+    }
+}
+
 /// A failed linearizability check.
 #[derive(Clone, Debug)]
 pub struct LinError(pub String);
@@ -235,6 +314,52 @@ mod tests {
             rec(1, HistOp::Transfer { from: 0, to: 1 }, HistRet::Bool(true), 2, 3),
         ];
         assert!(linearizable(&spec, &ops).is_err());
+    }
+
+    #[test]
+    fn map_spec_accepts_overlapping_inserts_in_either_order() {
+        // Two concurrent inserts to the same key: one must see None, the
+        // other the first's value — both assignments linearize.
+        let spec = MapSpec { keys: vec![5] };
+        let ops = vec![
+            rec(0, HistOp::MapInsert(5, 10), HistRet::OptVal(Some(20)), 0, 3),
+            rec(1, HistOp::MapInsert(5, 20), HistRet::OptVal(None), 1, 2),
+            rec(0, HistOp::ReadAll, HistRet::Values(vec![11]), 4, 5),
+        ];
+        linearizable(&spec, &ops).unwrap();
+    }
+
+    #[test]
+    fn map_spec_rejects_lost_remove() {
+        // A remove that returned the value, yet a later sequential get
+        // still sees it: the remove's effect was lost.
+        let spec = MapSpec { keys: vec![5] };
+        let ops = vec![
+            rec(0, HistOp::MapInsert(5, 10), HistRet::OptVal(None), 0, 1),
+            rec(1, HistOp::MapRemove(5), HistRet::OptVal(Some(10)), 2, 3),
+            rec(0, HistOp::MapGet(5), HistRet::OptVal(Some(10)), 4, 5),
+        ];
+        assert!(linearizable(&spec, &ops).is_err());
+    }
+
+    #[test]
+    fn queue_spec_enforces_fifo_and_capacity() {
+        let spec = QueueSpec { capacity: 2 };
+        let ops = vec![
+            rec(0, HistOp::Enqueue(1), HistRet::Bool(true), 0, 1),
+            rec(0, HistOp::Enqueue(2), HistRet::Bool(true), 2, 3),
+            rec(1, HistOp::Enqueue(3), HistRet::Bool(false), 4, 5),
+            rec(1, HistOp::Dequeue, HistRet::OptVal(Some(1)), 6, 7),
+            rec(0, HistOp::ReadAll, HistRet::Values(vec![2]), 8, 9),
+        ];
+        linearizable(&spec, &ops).unwrap();
+        // LIFO observation is rejected.
+        let bad = vec![
+            rec(0, HistOp::Enqueue(1), HistRet::Bool(true), 0, 1),
+            rec(0, HistOp::Enqueue(2), HistRet::Bool(true), 2, 3),
+            rec(1, HistOp::Dequeue, HistRet::OptVal(Some(2)), 4, 5),
+        ];
+        assert!(linearizable(&spec, &bad).is_err());
     }
 
     #[test]

@@ -66,6 +66,37 @@ fn injected_handshake_bug_is_caught_shrunk_and_replayed() {
     }
 }
 
+/// The same end-to-end gate through the transactional data structures
+/// (PR 8): the seeded handshake bug corrupts a `nztm-tds` queue run —
+/// every enqueue/dequeue writes the shared head/tail words, so the
+/// stolen-object write lands in data the FIFO spec observes — the
+/// ADT-level checker ([`nztm_check::QueueSpec`] via the judge) catches
+/// it, and the failure shrinks to an artifact that replays. This proves
+/// the tds battery detects real protocol bugs, not just word-level ones.
+#[test]
+fn injected_bug_is_caught_through_the_tds_queue() {
+    use nztm_check::Workload;
+    let mut base = CheckConfig::tds_abort_storm(Backend::Nzstm, Workload::Queue);
+    base.inject_handshake_bug = true;
+
+    let report = explore_random_with(&base, 400, 16, |cfg, out| match judge(cfg, out) {
+        Err(e) if e.kind() == "sanitizer" => Ok(()),
+        r => r,
+    });
+    let failure = report.failure.expect("the injected bug must corrupt the queue");
+    assert_eq!(failure.kind, "linearizability", "{}", failure.detail);
+
+    let small = shrink(&base, &failure);
+    assert!(small.choices.len() <= failure.choices.len());
+    let art = Artifact::new(&base, &small);
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("nztm-check-artifacts");
+    let path = write_artifact(&dir, &art).expect("artifact written");
+    let back = read_artifact(&path).expect("artifact parsed");
+    assert_eq!(back.cfg.workload, Workload::Queue);
+    let rep = replay(&back).expect("replay ran");
+    assert!(rep.reproduced, "replay verdict: {} — {}", rep.kind, rep.detail);
+}
+
 /// The same campaign with the fault compiled out (flag off, same yield
 /// points) passes clean — the catch above is the bug, not the harness.
 #[test]

@@ -21,7 +21,7 @@
 //! thread-local state: re-entrant pin is a thread-local counter, and
 //! deferred destructors accumulate in a private per-thread batch that
 //! is handed to the global garbage list in bulk at a high watermark
-//! (see [`BATCH_HIWAT`]) instead of locking the global list per defer.
+//! (see `BATCH_HIWAT`) instead of locking the global list per defer.
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};

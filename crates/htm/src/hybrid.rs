@@ -271,6 +271,22 @@ impl TmSys for NztmHybrid {
         }
     }
 
+    fn note_adt_op(tx: &mut Self::Tx<'_>, desc: nztm_core::adt::AdtOpDesc) {
+        match tx {
+            // Hardware attempts have no software descriptor; count the
+            // announcement on the hybrid's own per-core cell (the trace
+            // event would be torn on a hardware abort, so stats only).
+            HybridTx::Hw { sys, core, .. } => {
+                #[cfg(feature = "stats")]
+                sys.stats[*core].adt_ops.bump();
+                #[cfg(not(feature = "stats"))]
+                let _ = (sys, core);
+                let _ = desc;
+            }
+            HybridTx::Sw { tx, .. } => tx.note_adt_op(desc),
+        }
+    }
+
     fn stats_snapshot(&self) -> TmStats {
         // Hardware-path counters live here; software-path commits/aborts
         // come from the embedded STM.

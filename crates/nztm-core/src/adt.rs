@@ -1,0 +1,114 @@
+//! ADT-level operation descriptors.
+//!
+//! NZTM detects conflicts at *object* granularity, and the `crates/tds`
+//! data structures arrange their state so object boundaries coincide with
+//! per-key operation footprints (NBTC's design point: operations on
+//! disjoint keys never conflict). This module adds the complementary
+//! *announcement* side of that discipline: before performing its reads
+//! and writes, an ADT operation publishes a one-word descriptor — which
+//! structure, which logical operation, which key — through
+//! [`crate::TmSys::note_adt_op`].
+//!
+//! The descriptor is observability plumbing, not a correctness mechanism:
+//! engines record it into the per-thread statistics (`adt_ops`) and the
+//! flight recorder ([`crate::EventKind::AdtOp`]), so a trace of a
+//! contended run attributes conflicts to *logical operations on keys*
+//! rather than raw word accesses. Reference systems keep the no-op
+//! default.
+
+/// The logical operation kind an ADT announces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AdtOpKind {
+    /// Map/set insert (or in-place value update).
+    Insert = 0,
+    /// Map/set lookup returning the value.
+    Get = 1,
+    /// Map/set removal.
+    Remove = 2,
+    /// Membership query.
+    Contains = 3,
+    /// Queue enqueue at the tail.
+    Enqueue = 4,
+    /// Queue dequeue at the head.
+    Dequeue = 5,
+}
+
+impl AdtOpKind {
+    /// Stable snake_case name (trace rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            AdtOpKind::Insert => "insert",
+            AdtOpKind::Get => "get",
+            AdtOpKind::Remove => "remove",
+            AdtOpKind::Contains => "contains",
+            AdtOpKind::Enqueue => "enqueue",
+            AdtOpKind::Dequeue => "dequeue",
+        }
+    }
+
+    fn from_code(code: u8) -> AdtOpKind {
+        match code {
+            0 => AdtOpKind::Insert,
+            1 => AdtOpKind::Get,
+            2 => AdtOpKind::Remove,
+            3 => AdtOpKind::Contains,
+            4 => AdtOpKind::Enqueue,
+            _ => AdtOpKind::Dequeue,
+        }
+    }
+}
+
+/// A one-word ADT operation descriptor: which structure instance
+/// (`adt_id`, assigned by the structure), which logical operation, and
+/// which key (queues use the slot index; keyless ops pass 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AdtOpDesc {
+    /// Structure-instance id (stable within one structure's lifetime).
+    pub adt_id: u32,
+    /// The logical operation.
+    pub op: AdtOpKind,
+    /// The key (or index) the operation targets.
+    pub key: u64,
+}
+
+impl AdtOpDesc {
+    pub fn new(adt_id: u32, op: AdtOpKind, key: u64) -> Self {
+        AdtOpDesc { adt_id, op, key }
+    }
+
+    /// Pack structure id + op kind into one trace word (the key travels
+    /// in the event's `a` word).
+    pub fn pack(&self) -> u64 {
+        (u64::from(self.adt_id) << 8) | self.op as u64
+    }
+
+    /// Inverse of [`AdtOpDesc::pack`].
+    pub fn unpack(word: u64) -> (u32, AdtOpKind) {
+        ((word >> 8) as u32, AdtOpKind::from_code((word & 0xff) as u8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_packs_and_unpacks() {
+        for (id, op) in [
+            (0u32, AdtOpKind::Insert),
+            (7, AdtOpKind::Get),
+            (u32::MAX, AdtOpKind::Dequeue),
+            (3, AdtOpKind::Contains),
+        ] {
+            let d = AdtOpDesc::new(id, op, 99);
+            assert_eq!(AdtOpDesc::unpack(d.pack()), (id, op));
+        }
+    }
+
+    #[test]
+    fn op_kind_names_are_stable() {
+        assert_eq!(AdtOpKind::Insert.name(), "insert");
+        assert_eq!(AdtOpKind::Enqueue.name(), "enqueue");
+    }
+}

@@ -153,7 +153,7 @@ pub struct NzConfig {
     pub scss_cycles: u64,
     /// How thread placement is derived for the layout of shared
     /// metadata (registry slot lines, striped reader-indicator stripe
-    /// assignment). [`TopologyPolicy::Flat`] (the default) is the seed
+    /// assignment). [`crate::topology::TopologyPolicy::Flat`] (the default) is the seed
     /// layout, bit-exact; see [`crate::topology`].
     pub topology: crate::topology::TopologyPolicy,
     /// Reserve each object's backup-copy lines inside the object's own
@@ -1870,6 +1870,19 @@ impl<P: Platform, M: ModePolicy> NzTx<P, M> {
     /// Explicitly abort this attempt (it will be retried).
     pub fn abort(&mut self) -> Abort {
         Abort(AbortCause::Explicit)
+    }
+
+    /// Publish an ADT-level operation descriptor (see [`crate::adt`]):
+    /// bumps the `adt_ops` counter and, when the flight recorder is
+    /// armed, records an [`crate::trace::EventKind::AdtOp`] event keyed
+    /// by the logical operation rather than a raw word access.
+    pub fn note_adt_op(&mut self, desc: crate::adt::AdtOpDesc) {
+        let tid = self.tid;
+        // Safety: as in `read`.
+        let (sys, ctx) = unsafe { (&*self.sys, &mut *self.ctx) };
+        let _ = (sys, &desc);
+        hot_stat!(ctx, adt_ops);
+        trace_evt!(sys, ctx, tid, AdtOp, desc.key, desc.pack());
     }
 }
 

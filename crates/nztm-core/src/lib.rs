@@ -54,6 +54,7 @@
 //! simulated multiprocessor ([`nztm_sim::SimPlatform`]) used to reproduce
 //! the paper's simulator experiments.
 
+pub mod adt;
 pub mod builder;
 pub mod cm;
 pub mod data;
@@ -71,6 +72,7 @@ pub mod trace;
 pub mod txn;
 pub mod util;
 
+pub use adt::{AdtOpDesc, AdtOpKind};
 pub use builder::{BackendKind, NzBuilder};
 pub use data::{FieldWord, TmData, WordArray};
 pub use engine::{

@@ -58,6 +58,16 @@ pub trait TmSys: Send + Sync + Sized + 'static {
     /// Transactional overwrite.
     fn write<T: TmData>(tx: &mut Self::Tx<'_>, obj: &Self::Obj<T>, v: &T) -> Result<(), Abort>;
 
+    /// Publish an ADT-level operation descriptor (see [`crate::adt`]):
+    /// a transactional data structure announces the *logical* operation
+    /// (structure, op kind, key) it is about to perform, so engines can
+    /// attribute conflicts and throughput to operations on keys instead
+    /// of raw word accesses. Observability-only; the default is a no-op
+    /// (reference systems, or engines without the hook).
+    fn note_adt_op(tx: &mut Self::Tx<'_>, desc: crate::adt::AdtOpDesc) {
+        let _ = (tx, desc);
+    }
+
     /// Merged statistics. Safe to call from any thread at any time —
     /// implementations merge single-writer per-thread counters on read.
     fn stats_snapshot(&self) -> TmStats;
@@ -110,6 +120,10 @@ impl<P: Platform, M: ModePolicy> TmSys for NzStm<P, M> {
 
     fn write<T: TmData>(tx: &mut Self::Tx<'_>, obj: &Self::Obj<T>, v: &T) -> Result<(), Abort> {
         tx.write(obj, v)
+    }
+
+    fn note_adt_op(tx: &mut Self::Tx<'_>, desc: crate::adt::AdtOpDesc) {
+        tx.note_adt_op(desc)
     }
 
     fn stats_snapshot(&self) -> TmStats {

@@ -89,6 +89,10 @@ pub struct TmStats {
     /// — the paper's "X% of transactions abort" metric (per-transaction,
     /// not per-attempt).
     pub txns_with_aborts: u64,
+    /// ADT-level operation descriptors published via
+    /// [`crate::TmSys::note_adt_op`] (transactional data structures
+    /// announcing logical operations, e.g. map insert / queue dequeue).
+    pub adt_ops: u64,
 }
 
 impl TmStats {
@@ -172,6 +176,7 @@ impl TmStats {
             cm_escalations,
             cm_deescalations,
             txns_with_aborts,
+            adt_ops,
         );
     }
 }
@@ -244,6 +249,7 @@ macro_rules! for_each_stat {
             cm_escalations,
             cm_deescalations,
             txns_with_aborts,
+            adt_ops,
         );
     };
 }
@@ -283,6 +289,7 @@ pub struct ThreadStats {
     pub cm_escalations: Counter,
     pub cm_deescalations: Counter,
     pub txns_with_aborts: Counter,
+    pub adt_ops: Counter,
 }
 
 impl ThreadStats {

@@ -85,6 +85,11 @@ pub enum EventKind {
     /// (adaptive policies only; see [`crate::cm::CmMode`]). `a` = object
     /// address, `b` = the [`crate::cm::CmMode::code`] switched *to*.
     CmMode = 15,
+    /// An ADT-level operation descriptor published by a transactional
+    /// data structure (see [`crate::adt::AdtOpDesc`] and
+    /// [`crate::TmSys::note_adt_op`]). `a` = the operation key,
+    /// `b` = [`crate::adt::AdtOpDesc::pack`] (structure id + op kind).
+    AdtOp = 16,
 }
 
 impl EventKind {
@@ -107,6 +112,7 @@ impl EventKind {
             EventKind::SchedSwitch => "sched_switch",
             EventKind::ReaderScan => "reader_scan",
             EventKind::CmMode => "cm_mode",
+            EventKind::AdtOp => "adt_op",
         }
     }
 }
@@ -206,6 +212,10 @@ impl TraceEvent {
                     _ => "unknown",
                 };
                 format!("cm switches {} to {mode}", obj_name(self.a))
+            }
+            EventKind::AdtOp => {
+                let (adt, op) = crate::adt::AdtOpDesc::unpack(self.b);
+                format!("adt#{adt} {} key {}", op.name(), self.a)
             }
         }
     }

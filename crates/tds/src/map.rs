@@ -1,0 +1,273 @@
+//! Transactional hash map: bucketized sorted chains of entry objects.
+//!
+//! One pool object per entry `(key, val, next)`, one sentinel object per
+//! bucket, and nothing else — in particular no size word — so the
+//! footprint of an operation on key `k` is exactly `k`'s bucket chain
+//! prefix. With enough buckets that chains stay short, operations on
+//! disjoint keys touch disjoint objects and never conflict (the ADT
+//! conflict-granularity property; see the crate docs).
+
+use nztm_core::adt::{AdtOpDesc, AdtOpKind};
+use nztm_core::txn::Abort;
+use nztm_core::{tm_data_struct, Handle, ObjPool, TmSys};
+
+/// One map entry. Chains are sorted by key; `next` links within the
+/// bucket.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MapNode {
+    pub key: u64,
+    pub val: u64,
+    pub next: Option<Handle<MapNode>>,
+}
+tm_data_struct!(MapNode { key: u64, val: u64, next: Option<Handle<MapNode>> });
+
+/// Transactionally composable hash map from `u64` keys to `u64` values.
+pub struct TdsHashMap<S: TmSys> {
+    pool: ObjPool<S, MapNode>,
+    heads: Vec<Handle<MapNode>>,
+    adt_id: u32,
+}
+
+impl<S: TmSys> TdsHashMap<S> {
+    /// A map with `buckets` chains able to hold `capacity` live entries.
+    /// Size the pool for the workload: inserts allocate (including
+    /// re-inserts after a remove — removed nodes become pool garbage, the
+    /// DSTM-era idiom), in-place value updates do not.
+    pub fn new(sys: &S, buckets: usize, capacity: usize) -> Self {
+        assert!(buckets > 0);
+        let pool = ObjPool::new(capacity + buckets);
+        let heads = (0..buckets)
+            .map(|_| pool.alloc(sys, MapNode { key: 0, val: 0, next: None }))
+            .collect();
+        TdsHashMap { pool, heads, adt_id: crate::next_adt_id() }
+    }
+
+    /// This structure's id in published [`AdtOpDesc`]s.
+    pub fn adt_id(&self) -> u32 {
+        self.adt_id
+    }
+
+    fn bucket(&self, key: u64) -> usize {
+        (crate::spread(key) % self.heads.len() as u64) as usize
+    }
+
+    fn note(&self, tx: &mut S::Tx<'_>, op: AdtOpKind, key: u64) {
+        S::note_adt_op(tx, AdtOpDesc::new(self.adt_id, op, key));
+    }
+
+    /// Walk `key`'s chain to the last node with a key `< key`.
+    fn find_prev(
+        &self,
+        tx: &mut S::Tx<'_>,
+        key: u64,
+    ) -> Result<(Handle<MapNode>, MapNode), Abort> {
+        let mut prev_h = self.heads[self.bucket(key)];
+        let mut prev = S::read(tx, self.pool.get(prev_h))?;
+        while let Some(cur_h) = prev.next {
+            let cur = S::read(tx, self.pool.get(cur_h))?;
+            if cur.key >= key {
+                break;
+            }
+            prev_h = cur_h;
+            prev = cur;
+        }
+        Ok((prev_h, prev))
+    }
+
+    /// Insert `key → val`; returns the previous value if the key was
+    /// present (value updated in place, no allocation).
+    pub fn insert_tx(
+        &self,
+        sys: &S,
+        tx: &mut S::Tx<'_>,
+        key: u64,
+        val: u64,
+    ) -> Result<Option<u64>, Abort> {
+        self.note(tx, AdtOpKind::Insert, key);
+        let (prev_h, prev) = self.find_prev(tx, key)?;
+        if let Some(cur_h) = prev.next {
+            let cur = S::read(tx, self.pool.get(cur_h))?;
+            if cur.key == key {
+                S::write(tx, self.pool.get(cur_h), &MapNode { val, ..cur })?;
+                return Ok(Some(cur.val));
+            }
+        }
+        let node = self.pool.alloc(sys, MapNode { key, val, next: prev.next });
+        S::write(tx, self.pool.get(prev_h), &MapNode { next: Some(node), ..prev })?;
+        Ok(None)
+    }
+
+    /// Look up `key`.
+    pub fn get_tx(&self, tx: &mut S::Tx<'_>, key: u64) -> Result<Option<u64>, Abort> {
+        self.note(tx, AdtOpKind::Get, key);
+        let (_, prev) = self.find_prev(tx, key)?;
+        if let Some(cur_h) = prev.next {
+            let cur = S::read(tx, self.pool.get(cur_h))?;
+            if cur.key == key {
+                return Ok(Some(cur.val));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Remove `key`; returns the removed value if it was present.
+    pub fn remove_tx(&self, tx: &mut S::Tx<'_>, key: u64) -> Result<Option<u64>, Abort> {
+        self.note(tx, AdtOpKind::Remove, key);
+        let (prev_h, prev) = self.find_prev(tx, key)?;
+        if let Some(cur_h) = prev.next {
+            let cur = S::read(tx, self.pool.get(cur_h))?;
+            if cur.key == key {
+                S::write(tx, self.pool.get(prev_h), &MapNode { next: cur.next, ..prev })?;
+                return Ok(Some(cur.val));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Membership query.
+    pub fn contains_tx(&self, tx: &mut S::Tx<'_>, key: u64) -> Result<bool, Abort> {
+        self.note(tx, AdtOpKind::Contains, key);
+        Ok(self.get_tx_unnoted(tx, key)?.is_some())
+    }
+
+    fn get_tx_unnoted(&self, tx: &mut S::Tx<'_>, key: u64) -> Result<Option<u64>, Abort> {
+        let (_, prev) = self.find_prev(tx, key)?;
+        if let Some(cur_h) = prev.next {
+            let cur = S::read(tx, self.pool.get(cur_h))?;
+            if cur.key == key {
+                return Ok(Some(cur.val));
+            }
+        }
+        Ok(None)
+    }
+
+    // --- standalone wrappers (one operation = one transaction) ---
+
+    pub fn insert(&self, sys: &S, key: u64, val: u64) -> Option<u64> {
+        sys.execute(|tx| self.insert_tx(sys, tx, key, val))
+    }
+
+    pub fn get(&self, sys: &S, key: u64) -> Option<u64> {
+        sys.execute(|tx| self.get_tx(tx, key))
+    }
+
+    pub fn remove(&self, sys: &S, key: u64) -> Option<u64> {
+        sys.execute(|tx| self.remove_tx(tx, key))
+    }
+
+    pub fn contains(&self, sys: &S, key: u64) -> bool {
+        sys.execute(|tx| self.contains_tx(tx, key))
+    }
+
+    /// Quiescent snapshot of all entries, sorted by key. Untracked reads
+    /// (setup / post-run verification only).
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for head in &self.heads {
+            let mut cur = S::peek(self.pool.get(*head)).next;
+            while let Some(h) = cur {
+                let n = S::peek(self.pool.get(h));
+                out.push((n.key, n.val));
+                cur = n.next;
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nztm_core::Nzstm;
+    use nztm_sim::Native;
+    use std::sync::Arc;
+
+    type Sys = Nzstm<Native>;
+
+    fn sys() -> Arc<Sys> {
+        let p = Native::new(1);
+        p.register_thread();
+        Nzstm::with_defaults(p)
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let s = sys();
+        let m = TdsHashMap::new(&*s, 16, 64);
+        assert_eq!(m.insert(&*s, 7, 70), None);
+        assert_eq!(m.insert(&*s, 7, 71), Some(70), "in-place update returns old");
+        assert_eq!(m.get(&*s, 7), Some(71));
+        assert!(m.contains(&*s, 7));
+        assert_eq!(m.get(&*s, 8), None);
+        assert_eq!(m.remove(&*s, 7), Some(71));
+        assert_eq!(m.remove(&*s, 7), None);
+        assert!(!m.contains(&*s, 7));
+    }
+
+    #[test]
+    fn colliding_keys_chain() {
+        let s = sys();
+        let m = TdsHashMap::new(&*s, 1, 64); // every key collides
+        for k in 0..20u64 {
+            assert_eq!(m.insert(&*s, k * 3, k), None);
+        }
+        for k in 0..20u64 {
+            assert_eq!(m.get(&*s, k * 3), Some(k));
+        }
+        assert_eq!(m.remove(&*s, 9), Some(3));
+        assert_eq!(m.get(&*s, 9), None);
+        assert_eq!(m.get(&*s, 6), Some(2));
+        assert_eq!(m.get(&*s, 12), Some(4));
+        assert_eq!(m.snapshot().len(), 19);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_key() {
+        let s = sys();
+        let m = TdsHashMap::new(&*s, 8, 64);
+        for k in [9u64, 2, 33, 17, 5] {
+            m.insert(&*s, k, k * 10);
+        }
+        assert_eq!(
+            m.snapshot(),
+            vec![(2, 20), (5, 50), (9, 90), (17, 170), (33, 330)]
+        );
+    }
+
+    #[test]
+    fn composed_ops_are_atomic_under_abort() {
+        let s = sys();
+        let m = TdsHashMap::new(&*s, 8, 64);
+        m.insert(&*s, 1, 100);
+        // First attempt mutates two keys, then aborts explicitly; the
+        // retry does nothing. Nothing of the first attempt may survive.
+        let mut attempts = 0;
+        s.execute(|tx| {
+            attempts += 1;
+            if attempts == 1 {
+                m.insert_tx(&*s, tx, 2, 200)?;
+                m.remove_tx(tx, 1)?;
+                return Err(tx.abort());
+            }
+            Ok(())
+        });
+        assert_eq!(m.get(&*s, 1), Some(100), "remove rolled back");
+        assert_eq!(m.get(&*s, 2), None, "insert rolled back");
+    }
+
+    #[test]
+    fn adt_ops_are_counted() {
+        let s = sys();
+        let m = TdsHashMap::new(&*s, 8, 16);
+        s.reset_stats();
+        m.insert(&*s, 3, 30);
+        m.get(&*s, 3);
+        m.contains(&*s, 3);
+        m.remove(&*s, 3);
+        #[cfg(feature = "stats")]
+        assert_eq!(s.stats_snapshot().adt_ops, 4);
+        #[cfg(not(feature = "stats"))]
+        assert_eq!(s.stats_snapshot().adt_ops, 0);
+    }
+}

@@ -25,6 +25,16 @@ pub enum HistOp {
     ReadAll,
     /// Add one to object `obj`.
     Increment { obj: u32 },
+    /// Map `key → val`; returns the previous value (`OptVal`).
+    MapInsert(u64, u64),
+    /// Look up a map key; returns the value if present (`OptVal`).
+    MapGet(u64),
+    /// Remove a map key; returns the removed value (`OptVal`).
+    MapRemove(u64),
+    /// Push onto a FIFO queue; returns whether it fit (`Bool`).
+    Enqueue(u64),
+    /// Pop the queue head; returns the value if nonempty (`OptVal`).
+    Dequeue,
 }
 
 impl HistOp {
@@ -43,6 +53,8 @@ pub enum HistRet {
     Bool(bool),
     Unit,
     Values(Vec<u64>),
+    /// An optional value (map lookups/updates, queue pops).
+    OptVal(Option<u64>),
 }
 
 /// One event in the shared log.

@@ -1,0 +1,597 @@
+//! Sharded in-memory KV/session store over `nztm-tds` maps, plus the
+//! deterministic zipfian trace generator that drives it.
+//!
+//! The production shape ROADMAP item 3 asks for: `N` shards, each backed
+//! by a [`TdsHashMap`], addressed by a deterministic spread of the user
+//! id. Each user owns two entries in its shard — a *session* value
+//! (read-mostly payload) and a *wallet* balance. Session gets/puts touch
+//! one shard; wallet transfers touch **two shards atomically** in one
+//! transaction (composability across structures is the point of the tds
+//! layer). Wallets are initialized lazily on first touch with
+//! `initial_balance`, and transfers conserve value, so at quiescence
+//!
+//! > sum(present wallet balances) == count(present wallets) × initial
+//!
+//! holds on every backend under any schedule — the cross-shard
+//! conservation invariant the differential tests assert.
+//!
+//! The trace generator ([`KvTraceGen`]) is a pure function of
+//! `(config, seed, thread)` via [`DetRng`]: zipfian-skewed user draws
+//! (Gray et al.'s formula, YCSB's constants), read-mostly with periodic
+//! write bursts, and occasional cross-shard transfers. Same seed, same
+//! ops — byte-identical across runs, machines, and backends.
+
+use nztm_core::txn::Abort;
+use nztm_core::TmSys;
+use nztm_sim::DetRng;
+use nztm_tds::TdsHashMap;
+
+/// Session entry key for `user` (even); wallets take the odd keys.
+fn session_key(user: u64) -> u64 {
+    user << 1
+}
+
+fn wallet_key(user: u64) -> u64 {
+    (user << 1) | 1
+}
+
+fn spread(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A sharded KV/session store: `shards[i]` is a [`TdsHashMap`] holding
+/// the session and wallet entries of the users that spread to shard `i`.
+pub struct ShardedKv<S: TmSys> {
+    shards: Vec<TdsHashMap<S>>,
+    initial_balance: u64,
+}
+
+impl<S: TmSys> ShardedKv<S> {
+    /// `capacity_per_shard` bounds the *distinct users per shard* the
+    /// store will touch (each first touch allocates at most a session
+    /// and a wallet node); `buckets_per_shard` sizes the chains.
+    pub fn new(
+        sys: &S,
+        n_shards: usize,
+        buckets_per_shard: usize,
+        capacity_per_shard: usize,
+        initial_balance: u64,
+    ) -> Self {
+        assert!(n_shards > 0);
+        ShardedKv {
+            shards: (0..n_shards)
+                .map(|_| TdsHashMap::new(sys, buckets_per_shard, 2 * capacity_per_shard))
+                .collect(),
+            initial_balance,
+        }
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn initial_balance(&self) -> u64 {
+        self.initial_balance
+    }
+
+    /// Which shard holds `user`'s entries.
+    pub fn shard_of(&self, user: u64) -> usize {
+        (spread(user) % self.shards.len() as u64) as usize
+    }
+
+    // --- composable operation bodies ---
+
+    pub fn get_session_tx(
+        &self,
+        tx: &mut S::Tx<'_>,
+        user: u64,
+    ) -> Result<Option<u64>, Abort> {
+        self.shards[self.shard_of(user)].get_tx(tx, session_key(user))
+    }
+
+    /// Overwrite `user`'s session payload; returns the previous payload.
+    pub fn put_session_tx(
+        &self,
+        sys: &S,
+        tx: &mut S::Tx<'_>,
+        user: u64,
+        v: u64,
+    ) -> Result<Option<u64>, Abort> {
+        self.shards[self.shard_of(user)].insert_tx(sys, tx, session_key(user), v)
+    }
+
+    /// `user`'s wallet balance, initializing it on first touch.
+    fn wallet_tx(&self, sys: &S, tx: &mut S::Tx<'_>, user: u64) -> Result<u64, Abort> {
+        let shard = &self.shards[self.shard_of(user)];
+        match shard.get_tx(tx, wallet_key(user))? {
+            Some(b) => Ok(b),
+            None => {
+                shard.insert_tx(sys, tx, wallet_key(user), self.initial_balance)?;
+                Ok(self.initial_balance)
+            }
+        }
+    }
+
+    /// Move `amt` from `from`'s wallet to `to`'s if funds suffice —
+    /// one transaction spanning both users' shards.
+    pub fn transfer_tx(
+        &self,
+        sys: &S,
+        tx: &mut S::Tx<'_>,
+        from: u64,
+        to: u64,
+        amt: u64,
+    ) -> Result<bool, Abort> {
+        if from == to {
+            // Still a logical op: touch the wallet so the footprint (and
+            // lazy init) is schedule-independent.
+            let b = self.wallet_tx(sys, tx, from)?;
+            return Ok(b >= amt);
+        }
+        let fb = self.wallet_tx(sys, tx, from)?;
+        let tb = self.wallet_tx(sys, tx, to)?;
+        if fb < amt {
+            return Ok(false);
+        }
+        self.shards[self.shard_of(from)].insert_tx(sys, tx, wallet_key(from), fb - amt)?;
+        self.shards[self.shard_of(to)].insert_tx(sys, tx, wallet_key(to), tb + amt)?;
+        Ok(true)
+    }
+
+    // --- standalone wrappers ---
+
+    pub fn get_session(&self, sys: &S, user: u64) -> Option<u64> {
+        sys.execute(|tx| self.get_session_tx(tx, user))
+    }
+
+    pub fn put_session(&self, sys: &S, user: u64, v: u64) -> Option<u64> {
+        sys.execute(|tx| self.put_session_tx(sys, tx, user, v))
+    }
+
+    pub fn transfer(&self, sys: &S, from: u64, to: u64, amt: u64) -> bool {
+        sys.execute(|tx| self.transfer_tx(sys, tx, from, to, amt))
+    }
+
+    /// Apply one trace operation.
+    pub fn apply(&self, sys: &S, op: &KvOp) -> KvRet {
+        match *op {
+            KvOp::Get(u) => KvRet::Val(self.get_session(sys, u)),
+            KvOp::Put(u, v) => KvRet::Val(self.put_session(sys, u, v)),
+            KvOp::Transfer { from, to, amt } => KvRet::Ok(self.transfer(sys, from, to, amt)),
+        }
+    }
+
+    /// Quiescent wallet snapshot `(user, balance)`, sorted by user.
+    pub fn wallet_snapshot(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.snapshot())
+            .filter(|(k, _)| k & 1 == 1)
+            .map(|(k, v)| (k >> 1, v))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Quiescent session snapshot `(user, payload)`, sorted by user.
+    pub fn session_snapshot(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.snapshot())
+            .filter(|(k, _)| k & 1 == 0)
+            .map(|(k, v)| (k >> 1, v))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The cross-shard conservation invariant (quiescent): transfers
+    /// only move value between lazily-initialized wallets, so the total
+    /// must equal `initial_balance` per initialized wallet.
+    pub fn assert_conserved(&self) {
+        let wallets = self.wallet_snapshot();
+        let total: u64 = wallets.iter().map(|(_, b)| b).sum();
+        let expect = self.initial_balance * wallets.len() as u64;
+        assert!(
+            total == expect,
+            "wallet conservation violated: {} wallets sum to {total}, expected {expect}",
+            wallets.len()
+        );
+    }
+}
+
+/// A coarse-lock reference store with the same interface: one mutex
+/// around two plain maps. The differential oracle for
+/// `tests/cross_system.rs`.
+pub struct RefKv {
+    inner: nztm_sim::sync::Mutex<RefKvState>,
+    initial_balance: u64,
+}
+
+#[derive(Default)]
+struct RefKvState {
+    sessions: std::collections::BTreeMap<u64, u64>,
+    wallets: std::collections::BTreeMap<u64, u64>,
+}
+
+impl RefKv {
+    pub fn new(initial_balance: u64) -> Self {
+        RefKv { inner: nztm_sim::sync::Mutex::new(RefKvState::default()), initial_balance }
+    }
+
+    pub fn apply(&self, op: &KvOp) -> KvRet {
+        let mut st = self.inner.lock();
+        match *op {
+            KvOp::Get(u) => KvRet::Val(st.sessions.get(&u).copied()),
+            KvOp::Put(u, v) => KvRet::Val(st.sessions.insert(u, v)),
+            KvOp::Transfer { from, to, amt } => {
+                let init = self.initial_balance;
+                if from == to {
+                    let b = *st.wallets.entry(from).or_insert(init);
+                    return KvRet::Ok(b >= amt);
+                }
+                let fb = *st.wallets.entry(from).or_insert(init);
+                let tb = *st.wallets.entry(to).or_insert(init);
+                if fb < amt {
+                    return KvRet::Ok(false);
+                }
+                st.wallets.insert(from, fb - amt);
+                st.wallets.insert(to, tb + amt);
+                KvRet::Ok(true)
+            }
+        }
+    }
+
+    pub fn wallet_snapshot(&self) -> Vec<(u64, u64)> {
+        self.inner.lock().wallets.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    pub fn session_snapshot(&self) -> Vec<(u64, u64)> {
+        self.inner.lock().sessions.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+}
+
+/// One trace operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KvOp {
+    /// Read `user`'s session payload.
+    Get(u64),
+    /// Overwrite `user`'s session payload.
+    Put(u64, u64),
+    /// Move `amt` between two wallets (cross-shard when the users spread
+    /// to different shards).
+    Transfer { from: u64, to: u64, amt: u64 },
+}
+
+/// What an operation returned (for differential comparison).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KvRet {
+    Val(Option<u64>),
+    Ok(bool),
+}
+
+/// Zipfian generator over `0..n` (Gray et al., *Quickly Generating
+/// Billion-Record Synthetic Databases*, SIGMOD '94 — the YCSB
+/// `ZipfianGenerator` constants). `theta = 0` degenerates to uniform;
+/// YCSB's default skew is `theta = 0.99`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!((0.0..1.0).contains(&theta), "theta in [0,1): 1 diverges");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        Zipf {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    /// The generalized harmonic number `H_{n,theta}`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Theoretical probability of the rank-`r` item (0-based).
+    pub fn rank_prob(&self, r: u64) -> f64 {
+        1.0 / ((r + 1) as f64).powf(self.theta) / self.zetan
+    }
+
+    /// Draw a 0-based rank. Rank 0 is the hottest item; callers wanting
+    /// decorrelated *ids* should spread the rank (as [`KvTraceGen`]
+    /// does) so hot users are not all adjacent.
+    pub fn draw(&self, rng: &mut DetRng) -> u64 {
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let r = ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        r.min(self.n - 1)
+    }
+}
+
+/// Trace-generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct KvTraceCfg {
+    /// User-id space (ranks are spread over it deterministically).
+    pub users: u64,
+    /// Zipfian skew (YCSB default 0.99; 0 = uniform).
+    pub theta: f64,
+    /// Out-of-burst puts: one in `put_every` ops (the read-mostly mix).
+    pub put_every: u64,
+    /// A write burst starts every `burst_every` ops...
+    pub burst_every: u64,
+    /// ...and lasts `burst_len` consecutive puts.
+    pub burst_len: u64,
+    /// Cross-shard transfers: one in `transfer_every` ops.
+    pub transfer_every: u64,
+    /// Transfer amounts are drawn in `1..=max_transfer`.
+    pub max_transfer: u64,
+}
+
+impl KvTraceCfg {
+    /// The production-shaped preset: a million-user id space, YCSB skew,
+    /// ~90% reads outside bursts, a 32-op write burst every 1024 ops,
+    /// a cross-shard transfer every 16 ops.
+    pub fn million_users() -> Self {
+        KvTraceCfg {
+            users: 1_000_000,
+            theta: 0.99,
+            put_every: 10,
+            burst_every: 1024,
+            burst_len: 32,
+            transfer_every: 16,
+            max_transfer: 3,
+        }
+    }
+
+    /// A small key space for exhaustive checking (conflicts are likely,
+    /// which is the point).
+    pub fn small(users: u64) -> Self {
+        KvTraceCfg { users, ..Self::million_users() }
+    }
+}
+
+/// Deterministic per-thread operation stream: a pure function of
+/// `(cfg, seed, thread)`.
+pub struct KvTraceGen {
+    cfg: KvTraceCfg,
+    zipf: Zipf,
+    rng: DetRng,
+    i: u64,
+    burst_left: u64,
+}
+
+impl KvTraceGen {
+    pub fn new(cfg: KvTraceCfg, seed: u64, thread: u64) -> Self {
+        KvTraceGen {
+            cfg,
+            zipf: Zipf::new(cfg.users, cfg.theta),
+            rng: DetRng::new(seed).split(thread),
+            i: 0,
+            burst_left: 0,
+        }
+    }
+
+    /// Map a zipfian *rank* to a user id, spreading hot users over the
+    /// id space (per YCSB: hash the rank so popular items aren't
+    /// clustered).
+    fn user_of_rank(&self, rank: u64) -> u64 {
+        spread(rank) % self.cfg.users
+    }
+
+    fn draw_user(&mut self) -> u64 {
+        let rank = self.zipf.draw(&mut self.rng);
+        self.user_of_rank(rank)
+    }
+
+    /// The next operation in this thread's stream.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> KvOp {
+        let i = self.i;
+        self.i += 1;
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
+            let u = self.draw_user();
+            return KvOp::Put(u, self.rng.next_u64() >> 1);
+        }
+        if i > 0 && i.is_multiple_of(self.cfg.burst_every) {
+            self.burst_left = self.cfg.burst_len.saturating_sub(1);
+            let u = self.draw_user();
+            return KvOp::Put(u, self.rng.next_u64() >> 1);
+        }
+        if i % self.cfg.transfer_every == self.cfg.transfer_every - 1 {
+            let from = self.draw_user();
+            let mut to = self.draw_user();
+            if to == from {
+                to = (to + 1) % self.cfg.users;
+            }
+            let amt = 1 + self.rng.next_below(self.cfg.max_transfer);
+            return KvOp::Transfer { from, to, amt };
+        }
+        let u = self.draw_user();
+        if self.rng.chance(1, self.cfg.put_every) {
+            KvOp::Put(u, self.rng.next_u64() >> 1)
+        } else {
+            KvOp::Get(u)
+        }
+    }
+
+    /// Materialize the next `n` operations.
+    pub fn take(&mut self, n: usize) -> Vec<KvOp> {
+        (0..n).map(|_| self.next()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nztm_core::Nzstm;
+    use nztm_sim::Native;
+    use std::sync::Arc;
+
+    type Sys = Nzstm<Native>;
+
+    fn sys() -> Arc<Sys> {
+        let p = Native::new(1);
+        p.register_thread();
+        Nzstm::with_defaults(p)
+    }
+
+    fn small_cfg() -> KvTraceCfg {
+        KvTraceCfg::small(64)
+    }
+
+    #[test]
+    fn zipf_skew_matches_theta_within_tolerance() {
+        // Empirical rank frequencies vs. the closed form, for both a
+        // skewed and a near-uniform theta.
+        for &(theta, n) in &[(0.99f64, 1000u64), (0.5, 1000)] {
+            let z = Zipf::new(n, theta);
+            let mut rng = DetRng::new(42);
+            let draws = 200_000;
+            let mut counts = vec![0u64; n as usize];
+            for _ in 0..draws {
+                counts[z.draw(&mut rng) as usize] += 1;
+            }
+            // Ranks 0 and 1 are exact cases of the sampler — check them
+            // tightly. Deeper ranks go through Gray et al.'s continuous
+            // approximation, so only aggregate mass is checked there.
+            for r in 0..2u64 {
+                let expect = z.rank_prob(r);
+                let got = counts[r as usize] as f64 / draws as f64;
+                assert!(
+                    (got - expect).abs() / expect < 0.10,
+                    "theta={theta} rank {r}: got {got:.5}, expect {expect:.5}"
+                );
+            }
+            // Aggregate mass of the top 1% and top 10% of ranks matches
+            // the closed form within a few percent absolute.
+            for &frac in &[100u64, 10] {
+                let cut = (n / frac) as usize;
+                let expect: f64 = (0..cut as u64).map(|r| z.rank_prob(r)).sum();
+                let got: f64 = counts[..cut].iter().sum::<u64>() as f64 / draws as f64;
+                assert!(
+                    (got - expect).abs() < 0.03,
+                    "theta={theta} top 1/{frac}: mass {got:.4} vs {expect:.4}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(256, 0.0);
+        let mut rng = DetRng::new(7);
+        let mut counts = vec![0u64; 256];
+        for _ in 0..100_000 {
+            counts[z.draw(&mut rng) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        // Uniform expectation ~390 per bin.
+        assert!(*min > 250 && *max < 550, "min {min} max {max}");
+    }
+
+    #[test]
+    fn seeded_traces_are_byte_identical() {
+        let a = KvTraceGen::new(small_cfg(), 123, 0).take(10_000);
+        let b = KvTraceGen::new(small_cfg(), 123, 0).take(10_000);
+        assert_eq!(a, b, "same (cfg, seed, thread) must reproduce exactly");
+        let c = KvTraceGen::new(small_cfg(), 124, 0).take(10_000);
+        assert_ne!(a, c, "different seed must differ");
+        let d = KvTraceGen::new(small_cfg(), 123, 1).take(10_000);
+        assert_ne!(a, d, "different thread stream must differ");
+    }
+
+    #[test]
+    fn trace_mix_is_read_mostly_with_bursts_and_transfers() {
+        let ops = KvTraceGen::new(KvTraceCfg::million_users(), 9, 0).take(50_000);
+        let gets = ops.iter().filter(|o| matches!(o, KvOp::Get(_))).count();
+        let puts = ops.iter().filter(|o| matches!(o, KvOp::Put(..))).count();
+        let xfers = ops.iter().filter(|o| matches!(o, KvOp::Transfer { .. })).count();
+        assert_eq!(gets + puts + xfers, ops.len());
+        assert!(gets > ops.len() * 70 / 100, "read-mostly: {gets} gets");
+        assert!(puts > ops.len() * 5 / 100, "bursts contribute writes: {puts} puts");
+        assert!(xfers > ops.len() * 3 / 100, "transfers present: {xfers}");
+        // Bursts exist: somewhere there are >= 16 consecutive puts.
+        let mut run = 0;
+        let mut max_run = 0;
+        for op in &ops {
+            if matches!(op, KvOp::Put(..)) {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(max_run >= 16, "longest put run {max_run}");
+    }
+
+    #[test]
+    fn transfers_conserve_the_global_balance() {
+        let s = sys();
+        let kv = ShardedKv::new(&*s, 4, 32, 256, 100);
+        let mut gen = KvTraceGen::new(small_cfg(), 55, 0);
+        for _ in 0..5_000 {
+            kv.apply(&*s, &gen.next());
+        }
+        kv.assert_conserved();
+        // And the wallet totals match the coarse-lock reference run over
+        // the identical trace.
+        let rf = RefKv::new(100);
+        let mut gen2 = KvTraceGen::new(small_cfg(), 55, 0);
+        for _ in 0..5_000 {
+            rf.apply(&gen2.next());
+        }
+        assert_eq!(kv.wallet_snapshot(), rf.wallet_snapshot());
+        assert_eq!(kv.session_snapshot(), rf.session_snapshot());
+    }
+
+    #[test]
+    fn cross_shard_transfer_is_atomic_and_funds_checked() {
+        let s = sys();
+        let kv = ShardedKv::new(&*s, 4, 16, 64, 10);
+        // Find two users on different shards.
+        let (a, b) = {
+            let a = 0u64;
+            let b = (1..64).find(|&u| kv.shard_of(u) != kv.shard_of(a)).unwrap();
+            (a, b)
+        };
+        assert!(kv.transfer(&*s, a, b, 10), "full balance moves");
+        assert!(!kv.transfer(&*s, a, b, 1), "source exhausted");
+        let wallets = kv.wallet_snapshot();
+        assert_eq!(wallets, vec![(a, 0), (b, 20)]);
+        kv.assert_conserved();
+    }
+
+    #[test]
+    fn users_land_on_all_shards() {
+        let s = sys();
+        let kv = ShardedKv::new(&*s, 8, 4, 8, 1);
+        let mut seen = vec![false; 8];
+        for u in 0..64 {
+            seen[kv.shard_of(u)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "spread covers every shard: {seen:?}");
+    }
+}

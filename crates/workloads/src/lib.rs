@@ -23,6 +23,7 @@ pub mod driver;
 pub mod harness;
 pub mod hashtable;
 pub mod history;
+pub mod kv;
 pub mod linkedlist;
 pub mod redblack;
 pub mod set;

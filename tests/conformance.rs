@@ -115,6 +115,73 @@ fn battery<S: TmSys>(sys: &S, caps: Caps) {
     assert!(sys.take_trace().is_empty(), "{who}: drain is destructive");
 }
 
+/// ADT-level conformance: every backend must drive the `nztm-tds`
+/// structures correctly through the same `TmSys` interface — including
+/// cross-structure composition in one transaction. No operation here
+/// requires an explicit abort, so the battery also runs on
+/// `GlobalLockTm` (which cannot abort by construction).
+/// `counts_adt_ops`: whether the backend forwards
+/// [`TmSys::note_adt_op`] into its stats (the NZTM engines and the
+/// hybrid do; the reference systems keep the no-op default).
+fn tds_battery<S: TmSys>(sys: &S, counts_adt_ops: bool) {
+    use nztm_tds::{TdsHashMap, TdsQueue, TdsSkipList};
+    let who = sys.name();
+
+    let m = TdsHashMap::new(sys, 4, 32);
+    assert_eq!(m.insert(sys, 7, 70), None, "{who}: fresh insert");
+    assert_eq!(m.insert(sys, 7, 71), Some(70), "{who}: in-place update returns old");
+    assert_eq!(m.get(sys, 7), Some(71), "{who}: get sees update");
+    assert!(m.contains(sys, 7), "{who}: contains");
+    assert_eq!(m.remove(sys, 7), Some(71), "{who}: remove returns value");
+    assert_eq!(m.get(sys, 7), None, "{who}: removed key gone");
+
+    let l = TdsSkipList::new(sys, 64);
+    for k in [5u64, 1, 9, 3] {
+        assert_eq!(l.insert(sys, k, k * 10), None, "{who}: skiplist insert {k}");
+    }
+    assert_eq!(
+        l.snapshot(),
+        vec![(1, 10), (3, 30), (5, 50), (9, 90)],
+        "{who}: skiplist sorted"
+    );
+    assert_eq!(l.succ(sys, 2), Some((3, 30)), "{who}: succ finds next entry");
+    assert_eq!(l.remove(sys, 3), Some(30), "{who}: skiplist remove");
+    assert_eq!(l.succ(sys, 2), Some((5, 50)), "{who}: succ skips removed entry");
+
+    let q = TdsQueue::new(sys, 3);
+    assert!(q.enqueue(sys, 100), "{who}: enqueue");
+    assert!(q.enqueue(sys, 200) && q.enqueue(sys, 300), "{who}: fill");
+    assert!(!q.enqueue(sys, 400), "{who}: full queue rejects");
+    assert_eq!(q.dequeue(sys), Some(100), "{who}: FIFO order");
+    assert!(q.enqueue(sys, 400), "{who}: slot reused after wrap");
+
+    // Cross-structure composition: one transaction moves a map entry
+    // into the queue and a queue entry into the skiplist, atomically.
+    m.insert(sys, 1, 11);
+    sys.execute(|tx| {
+        let v = m.remove_tx(tx, 1)?.expect("present");
+        let moved = q.dequeue_tx(tx)?.expect("nonempty");
+        q.enqueue_tx(tx, v)?;
+        l.insert_tx(sys, tx, 2, moved)?;
+        Ok(())
+    });
+    assert_eq!(m.get(sys, 1), None, "{who}: map side of the composed tx");
+    assert_eq!(q.snapshot(), vec![300, 400, 11], "{who}: queue side");
+    assert_eq!(l.get(sys, 2), Some(200), "{who}: skiplist side");
+
+    // ADT operation descriptors are published through note_adt_op and
+    // surface in the stats (when compiled in); reset restores zero.
+    sys.reset_stats();
+    m.insert(sys, 3, 33);
+    m.get(sys, 3);
+    let st = sys.stats_snapshot();
+    if cfg!(feature = "stats") && counts_adt_ops {
+        assert!(st.adt_ops >= 2, "{who}: adt ops counted: {st:?}");
+    } else {
+        assert_eq!(st.adt_ops, 0, "{who}: no adt op counting expected");
+    }
+}
+
 fn native1() -> Arc<Native> {
     let p = Native::new(1);
     p.register_thread_as(0);
@@ -123,22 +190,30 @@ fn native1() -> Arc<Native> {
 
 #[test]
 fn conformance_bzstm() {
-    battery(&*NzBuilder::new(native1()).build_bzstm(), ENGINE);
+    let sys = NzBuilder::new(native1()).build_bzstm();
+    battery(&*sys, ENGINE);
+    tds_battery(&*sys, true);
 }
 
 #[test]
 fn conformance_nzstm() {
-    battery(&*NzBuilder::new(native1()).build_nzstm(), ENGINE);
+    let sys = NzBuilder::new(native1()).build_nzstm();
+    battery(&*sys, ENGINE);
+    tds_battery(&*sys, true);
 }
 
 #[test]
 fn conformance_nzstm_invisible_reads() {
-    battery(&*NzBuilder::new(native1()).read_mode(ReadMode::Invisible).build_nzstm(), ENGINE);
+    let sys = NzBuilder::new(native1()).read_mode(ReadMode::Invisible).build_nzstm();
+    battery(&*sys, ENGINE);
+    tds_battery(&*sys, true);
 }
 
 #[test]
 fn conformance_scss() {
-    battery(&*NzBuilder::new(native1()).build_scss(), ENGINE);
+    let sys = NzBuilder::new(native1()).build_scss();
+    battery(&*sys, ENGINE);
+    tds_battery(&*sys, true);
 }
 
 #[test]
@@ -154,17 +229,23 @@ fn conformance_pre_builder_constructors_still_work() {
 
 #[test]
 fn conformance_dstm() {
-    battery(&*Dstm::with_defaults(native1()), REFERENCE);
+    let sys = Dstm::with_defaults(native1());
+    battery(&*sys, REFERENCE);
+    tds_battery(&*sys, false);
 }
 
 #[test]
 fn conformance_shadow() {
-    battery(&*ShadowStm::with_defaults(native1()), REFERENCE);
+    let sys = ShadowStm::with_defaults(native1());
+    battery(&*sys, REFERENCE);
+    tds_battery(&*sys, false);
 }
 
 #[test]
 fn conformance_global_lock() {
-    battery(&*GlobalLockTm::new(native1()), NO_ABORT);
+    let sys = GlobalLockTm::new(native1());
+    battery(&*sys, NO_ABORT);
+    tds_battery(&*sys, false);
 }
 
 #[test]
@@ -173,7 +254,10 @@ fn conformance_logtm_on_sim() {
     let p = SimPlatform::new(Arc::clone(&m));
     let s = LogTmSe::new(p);
     let s2 = Arc::clone(&s);
-    m.run(vec![Box::new(move || battery(&*s2, REFERENCE))]);
+    m.run(vec![Box::new(move || {
+        battery(&*s2, REFERENCE);
+        tds_battery(&*s2, false);
+    })]);
 }
 
 #[test]
@@ -186,6 +270,9 @@ fn conformance_hybrid_on_sim() {
     htm.install();
     let hy = NztmHybrid::new(stm, htm, HybridConfig::default());
     let hy2 = Arc::clone(&hy);
-    m.run(vec![Box::new(move || battery(&*hy2, ENGINE))]);
+    m.run(vec![Box::new(move || {
+        battery(&*hy2, ENGINE);
+        tds_battery(&*hy2, true);
+    })]);
     hy.htm().uninstall();
 }

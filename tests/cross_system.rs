@@ -15,6 +15,7 @@ use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, LogTmSe, NztmHybrid};
 use nztm_sim::{DetRng, Machine, MachineConfig, Native, SimPlatform};
 use nztm_workloads::hashtable::HashTableSet;
 use nztm_workloads::history::{complete_ops, recorded_set_op, HistOp, HistRet, HistoryLog};
+use nztm_workloads::kv::{KvOp, KvRet, KvTraceCfg, KvTraceGen, RefKv, ShardedKv};
 use nztm_workloads::linkedlist::LinkedListSet;
 use nztm_workloads::redblack::RedBlackSet;
 use nztm_workloads::set::{check_against_reference, Contention, SetOp, TmSet};
@@ -259,4 +260,126 @@ fn committed_op_multisets_agree_across_backends() {
     assert_eq!(bz.1, nz.1, "committed ops: BZSTM vs NZSTM");
     assert_eq!(bz.1, sc.1, "committed ops: BZSTM vs SCSS");
     assert_eq!(bz.1, hy.1, "committed ops: BZSTM vs hybrid");
+}
+
+// --- sharded KV differential (PR 8) ---
+
+const KV_TRACE_OPS: usize = 2_000;
+
+fn kv_trace() -> Vec<KvOp> {
+    KvTraceGen::new(KvTraceCfg::small(64), 42, 0).take(KV_TRACE_OPS)
+}
+
+type KvSummary = (Vec<KvRet>, Vec<(u64, u64)>, Vec<(u64, u64)>);
+
+/// Apply the shared seeded trace single-threaded and summarize: the full
+/// return sequence plus both quiescent snapshots. Single-threaded, every
+/// backend is deterministic, so the summary must be *exactly* the
+/// reference oracle's — any divergence names the faulty backend.
+fn run_kv_trace<S: TmSys>(sys: &S) -> KvSummary {
+    let kv = ShardedKv::new(sys, 4, 16, 512, 100);
+    let rets = kv_trace().iter().map(|op| kv.apply(sys, op)).collect();
+    kv.assert_conserved();
+    (rets, kv.wallet_snapshot(), kv.session_snapshot())
+}
+
+fn kv_oracle() -> KvSummary {
+    let r = RefKv::new(100);
+    let rets = kv_trace().iter().map(|op| r.apply(op)).collect();
+    (rets, r.wallet_snapshot(), r.session_snapshot())
+}
+
+/// The seeded KV/session trace — zipfian gets/puts, write bursts, and
+/// cross-shard transfers — produces the identical committed-operation
+/// sequence and final state on every native-platform backend as on the
+/// coarse-lock reference store.
+#[test]
+fn sharded_kv_trace_matches_reference_on_every_backend() {
+    let expect = kv_oracle();
+    let native = || {
+        let p = Native::new(1);
+        p.register_thread_as(0);
+        p
+    };
+    assert_eq!(run_kv_trace(&*Nzstm::with_defaults(native())), expect, "NZSTM");
+    assert_eq!(run_kv_trace(&*Bzstm::with_defaults(native())), expect, "BZSTM");
+    assert_eq!(run_kv_trace(&*NzstmScss::with_defaults(native())), expect, "SCSS");
+    assert_eq!(run_kv_trace(&*Dstm::with_defaults(native())), expect, "DSTM2-SF");
+    assert_eq!(run_kv_trace(&*ShadowStm::with_defaults(native())), expect, "shadow");
+    assert_eq!(run_kv_trace(&*GlobalLockTm::new(native())), expect, "global-lock");
+}
+
+/// The same differential on the simulator-hosted backends (LogTM-SE and
+/// the NZTM hybrid) — the trace is platform-independent, so the oracle
+/// is the same.
+#[test]
+fn sharded_kv_trace_matches_reference_on_sim_backends() {
+    let expect = kv_oracle();
+
+    let m = Machine::new(MachineConfig::paper(1));
+    let p = SimPlatform::new(Arc::clone(&m));
+    let s = LogTmSe::new(p);
+    let s2 = Arc::clone(&s);
+    let want = expect.clone();
+    m.run(vec![Box::new(move || {
+        assert_eq!(run_kv_trace(&*s2), want, "LogTM-SE");
+    })]);
+
+    let m = Machine::new(MachineConfig::paper(1));
+    let p = SimPlatform::new(Arc::clone(&m));
+    let stm = Nzstm::new(Arc::clone(&p), Arc::new(KarmaDeadlock::default()), NzConfig::default());
+    let htm = BestEffortHtm::new(Arc::clone(&p), AtmtpConfig::default());
+    htm.install();
+    let hy = NztmHybrid::new(stm, htm, HybridConfig::default());
+    let hy2 = Arc::clone(&hy);
+    m.run(vec![Box::new(move || {
+        assert_eq!(run_kv_trace(&*hy2), expect, "hybrid");
+    })]);
+    hy.htm().uninstall();
+}
+
+/// Concurrent conservation: four threads fire independent seeded trace
+/// streams (shared zipfian-hot users, so transfers genuinely contend and
+/// cross shards) at the same store; afterwards the cross-shard transfer
+/// invariant must hold on every backend that can run concurrently on the
+/// native platform.
+#[test]
+fn concurrent_kv_transfers_conserve_on_every_backend() {
+    fn run<S: TmSys>(sys: Arc<S>, p: Arc<Native>, label: &str) {
+        // Generous per-shard capacity: aborted insert attempts leak pool
+        // nodes, and contention here is the point of the test.
+        let kv = Arc::new(ShardedKv::new(&*sys, 4, 16, 40_000, 100));
+        std::thread::scope(|scope| {
+            for tid in 0..4usize {
+                let sys = Arc::clone(&sys);
+                let kv = Arc::clone(&kv);
+                let p = Arc::clone(&p);
+                scope.spawn(move || {
+                    p.register_thread_as(tid);
+                    let mut gen = KvTraceGen::new(KvTraceCfg::small(64), 42, tid as u64);
+                    for _ in 0..1_500 {
+                        let op = gen.next();
+                        kv.apply(&*sys, &op);
+                    }
+                });
+            }
+        });
+        p.register_thread_as(0);
+        kv.assert_conserved();
+        let wallets = kv.wallet_snapshot();
+        assert!(!wallets.is_empty(), "{label}: transfers initialized wallets");
+    }
+
+    let p = Native::new(4);
+    run(Nzstm::with_defaults(Arc::clone(&p)), p, "NZSTM");
+    let p = Native::new(4);
+    run(Bzstm::with_defaults(Arc::clone(&p)), p, "BZSTM");
+    let p = Native::new(4);
+    run(NzstmScss::with_defaults(Arc::clone(&p)), p, "SCSS");
+    let p = Native::new(4);
+    run(Dstm::with_defaults(Arc::clone(&p)), p, "DSTM2-SF");
+    let p = Native::new(4);
+    run(ShadowStm::with_defaults(Arc::clone(&p)), p, "shadow");
+    let p = Native::new(4);
+    run(GlobalLockTm::new(Arc::clone(&p)), p, "global-lock");
 }
