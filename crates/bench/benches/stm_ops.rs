@@ -7,7 +7,7 @@
 //! BZSTM, SCSS, DSTM, DSTM2-SF, and the global lock.
 
 use nztm_bench::microbench::bench;
-use nztm_core::{Bzstm, Nzstm, NzstmScss, TmSys};
+use nztm_core::{NzBuilder, TmSys};
 use nztm_dstm::{Dstm, GlobalLockTm, ShadowStm};
 use nztm_sim::Native;
 use std::sync::Arc;
@@ -40,17 +40,17 @@ fn main() {
     {
         let p = Native::new(1);
         p.register_thread_as(0);
-        bench_system("NZSTM", Nzstm::with_defaults(p));
+        bench_system("NZSTM", NzBuilder::new(p).build_nzstm());
     }
     {
         let p = Native::new(1);
         p.register_thread_as(0);
-        bench_system("BZSTM", Bzstm::with_defaults(p));
+        bench_system("BZSTM", NzBuilder::new(p).build_bzstm());
     }
     {
         let p = Native::new(1);
         p.register_thread_as(0);
-        bench_system("SCSS", NzstmScss::with_defaults(p));
+        bench_system("SCSS", NzBuilder::new(p).build_scss());
     }
     {
         let p = Native::new(1);

@@ -29,7 +29,7 @@
 
 use crate::hotpath::{HotWorkload, OpDriver};
 use crate::suite::paper_machine;
-use nztm_core::{Nzstm, TmStats};
+use nztm_core::{NzBuilder, Nzstm, TmStats};
 use nztm_sim::attrib::{ClassStats, StructClass};
 use nztm_sim::{DetRng, Native, SimPlatform};
 use std::sync::Arc;
@@ -150,7 +150,7 @@ pub(crate) fn sim_attribution(
 ) -> Vec<(StructClass, ClassStats)> {
     let (machine, platform) = paper_machine(threads);
     machine.enable_attribution();
-    let sys: Arc<Nzstm<SimPlatform>> = Nzstm::with_defaults(Arc::clone(&platform));
+    let sys: Arc<Nzstm<SimPlatform>> = NzBuilder::new(Arc::clone(&platform)).build_nzstm();
 
     // Setup on core 0, so allocation is charged (and tagged) in-model.
     let driver: Arc<OpDriver<Nzstm<SimPlatform>>> = {
@@ -200,7 +200,7 @@ fn native_stats(
 ) -> TmStats {
     let platform = Native::new(threads.max(1));
     platform.register_thread_as(0);
-    let sys: Arc<Nzstm<Native>> = Nzstm::with_defaults(Arc::clone(&platform));
+    let sys: Arc<Nzstm<Native>> = NzBuilder::new(Arc::clone(&platform)).build_nzstm();
     let driver = Arc::new(OpDriver::new(&*sys, workload));
     let warmup = (ops_per_thread / 4).max(4);
     let start = std::sync::Barrier::new(threads + 1);

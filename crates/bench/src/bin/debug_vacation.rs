@@ -4,7 +4,7 @@
 
 use nztm_bench::suite::paper_machine;
 use nztm_core::cm::KarmaDeadlock;
-use nztm_core::{Bzstm, NzConfig, Nzstm, NzstmScss};
+use nztm_core::{Bzstm, NzBuilder, NzConfig, Nzstm, NzstmScss};
 use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, LogTmSe, NztmHybrid};
 use nztm_workloads::driver::run_vacation_sim;
 use nztm_workloads::stamp::vacation::VacationConfig;
@@ -30,11 +30,11 @@ fn main() {
             run_vacation_sim(&machine, &platform, &s, cfg, txns)
         }
         "bzstm" => {
-            let s: Arc<Bzstm<_>> = Bzstm::with_defaults(Arc::clone(&platform));
+            let s: Arc<Bzstm<_>> = NzBuilder::new(Arc::clone(&platform)).build_bzstm();
             run_vacation_sim(&machine, &platform, &s, cfg, txns)
         }
         "scss" => {
-            let s: Arc<NzstmScss<_>> = NzstmScss::with_defaults(Arc::clone(&platform));
+            let s: Arc<NzstmScss<_>> = NzBuilder::new(Arc::clone(&platform)).build_scss();
             run_vacation_sim(&machine, &platform, &s, cfg, txns)
         }
         "logtm" => {

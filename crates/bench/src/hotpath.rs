@@ -33,7 +33,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 pub const WORKLOADS: &[&str] = &["read-heavy", "write-heavy", "transfer"];
-pub const SYSTEMS: &[&str] = &["BZSTM", "NZSTM", "SCSS", "HYBRID"];
+pub const SYSTEMS: &[&str] = &["BZSTM", "NZSTM", "SCSS", "NOREC", "HYBRID"];
 pub const THREADS: &[usize] = &[1, 4, 8];
 
 /// Scaling-sweep dimension (`bench_pr2 run --scaling`): NZSTM on native
@@ -605,13 +605,13 @@ fn run_cell(workload: &str, system: &str, threads: usize, scale: &HotScale) -> C
     }
     match system {
         "BZSTM" => run_native_cell(
-            |p| -> Arc<Bzstm<Native>> { Bzstm::with_defaults(Arc::clone(p)) },
+            |p| -> Arc<Bzstm<Native>> { NzBuilder::new(Arc::clone(p)).build_bzstm() },
             w,
             threads,
             scale,
         ),
         "NZSTM" => run_native_cell(
-            |p| -> Arc<Nzstm<Native>> { Nzstm::with_defaults(Arc::clone(p)) },
+            |p| -> Arc<Nzstm<Native>> { NzBuilder::new(Arc::clone(p)).build_nzstm() },
             w,
             threads,
             scale,
@@ -630,7 +630,13 @@ fn run_cell(workload: &str, system: &str, threads: usize, scale: &HotScale) -> C
             scale,
         ),
         "SCSS" => run_native_cell(
-            |p| -> Arc<NzstmScss<Native>> { NzstmScss::with_defaults(Arc::clone(p)) },
+            |p| -> Arc<NzstmScss<Native>> { NzBuilder::new(Arc::clone(p)).build_scss() },
+            w,
+            threads,
+            scale,
+        ),
+        "NOREC" => run_native_cell(
+            |p| -> Arc<nztm_core::Norec<Native>> { NzBuilder::new(Arc::clone(p)).build_norec() },
             w,
             threads,
             scale,

@@ -19,6 +19,7 @@
 pub mod attrib;
 pub mod hotpath;
 pub mod microbench;
+pub mod registry;
 pub mod report;
 pub mod suite;
 

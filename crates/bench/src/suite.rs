@@ -1,7 +1,7 @@
 //! Workload × system × platform matrix used by the figure binaries.
 
 use nztm_core::cm::KarmaDeadlock;
-use nztm_core::{Bzstm, NzConfig, Nzstm, NzstmScss, TmSys};
+use nztm_core::{Bzstm, NzBuilder, NzConfig, Nzstm, NzstmScss, TmSys};
 use nztm_dstm::{GlobalLockTm, ShadowStm};
 use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, LogTmSe, NztmHybrid};
 use nztm_sim::{Machine, MachineConfig, Native, SimPlatform};
@@ -263,6 +263,7 @@ pub enum SimSystem {
     LogTmSe,
     NztmAtmtp,
     Nzstm,
+    Norec,
 }
 
 impl SimSystem {
@@ -271,17 +272,18 @@ impl SimSystem {
             SimSystem::LogTmSe => "LogTM-SE",
             SimSystem::NztmAtmtp => "NZTM/ATMTP",
             SimSystem::Nzstm => "NZSTM",
+            SimSystem::Norec => "NOREC",
         }
     }
 }
 
 pub fn fig3_systems() -> Vec<SimSystem> {
-    vec![SimSystem::LogTmSe, SimSystem::NztmAtmtp, SimSystem::Nzstm]
+    vec![SimSystem::LogTmSe, SimSystem::NztmAtmtp, SimSystem::Nzstm, SimSystem::Norec]
 }
 
 /// Figure 4's native systems (plus the normalization baseline).
 pub fn fig4_systems() -> Vec<&'static str> {
-    vec!["DSTM2-SF", "BZSTM", "SCSS", "NZSTM"]
+    vec!["DSTM2-SF", "BZSTM", "SCSS", "NZSTM", "NOREC"]
 }
 
 /// Build a fresh simulated machine with the paper's configuration.
@@ -331,6 +333,10 @@ pub fn fig3_cell(sys: SimSystem, w: Workload, threads: usize, scale: &WorkloadSc
             );
             run_workload_sim(&machine, &platform, &s, w, scale)
         }
+        SimSystem::Norec => {
+            let s = NzBuilder::new(Arc::clone(&platform)).build_norec();
+            run_workload_sim(&machine, &platform, &s, w, scale)
+        }
         SimSystem::NztmAtmtp => {
             let stm = Nzstm::new(
                 Arc::clone(&platform),
@@ -368,15 +374,19 @@ pub fn fig4_sim_cell(
             run_workload_sim(&machine, &platform, &s, w, scale)
         }
         "BZSTM" => {
-            let s: Arc<Bzstm<SimPlatform>> = Bzstm::with_defaults(Arc::clone(&platform));
+            let s: Arc<Bzstm<SimPlatform>> = NzBuilder::new(Arc::clone(&platform)).build_bzstm();
             run_workload_sim(&machine, &platform, &s, w, scale)
         }
         "SCSS" => {
-            let s: Arc<NzstmScss<SimPlatform>> = NzstmScss::with_defaults(Arc::clone(&platform));
+            let s: Arc<NzstmScss<SimPlatform>> = NzBuilder::new(Arc::clone(&platform)).build_scss();
             run_workload_sim(&machine, &platform, &s, w, scale)
         }
         "NZSTM" => {
-            let s: Arc<Nzstm<SimPlatform>> = Nzstm::with_defaults(Arc::clone(&platform));
+            let s: Arc<Nzstm<SimPlatform>> = NzBuilder::new(Arc::clone(&platform)).build_nzstm();
+            run_workload_sim(&machine, &platform, &s, w, scale)
+        }
+        "NOREC" => {
+            let s = NzBuilder::new(Arc::clone(&platform)).build_norec();
             run_workload_sim(&machine, &platform, &s, w, scale)
         }
         "DSTM" => {
@@ -401,15 +411,19 @@ pub fn fig4_cell(sys_name: &str, w: Workload, threads: usize, scale: &WorkloadSc
             run_workload_native(&platform, &s, w, threads, scale)
         }
         "BZSTM" => {
-            let s: Arc<Bzstm<Native>> = Bzstm::with_defaults(Arc::clone(&platform));
+            let s: Arc<Bzstm<Native>> = NzBuilder::new(Arc::clone(&platform)).build_bzstm();
             run_workload_native(&platform, &s, w, threads, scale)
         }
         "SCSS" => {
-            let s: Arc<NzstmScss<Native>> = NzstmScss::with_defaults(Arc::clone(&platform));
+            let s: Arc<NzstmScss<Native>> = NzBuilder::new(Arc::clone(&platform)).build_scss();
             run_workload_native(&platform, &s, w, threads, scale)
         }
         "NZSTM" => {
-            let s: Arc<Nzstm<Native>> = Nzstm::with_defaults(Arc::clone(&platform));
+            let s: Arc<Nzstm<Native>> = NzBuilder::new(Arc::clone(&platform)).build_nzstm();
+            run_workload_native(&platform, &s, w, threads, scale)
+        }
+        "NOREC" => {
+            let s = NzBuilder::new(Arc::clone(&platform)).build_norec();
             run_workload_native(&platform, &s, w, threads, scale)
         }
         "DSTM" => {

@@ -10,7 +10,9 @@ use nztm_core::cm::{
     Adaptive, AdaptiveConfig, Aggressive, ContentionManager, Greedy, KarmaDeadlock, Polite,
     Timestamp,
 };
-use nztm_core::{Blocking, ModePolicy, Nonblocking, NzConfig, NzStm, ScssMode, TmStats, TmSys};
+use nztm_core::{
+    Blocking, ModePolicy, Nonblocking, NorecMode, NzConfig, NzStm, ScssMode, TmStats, TmSys,
+};
 use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, NztmHybrid};
 use nztm_sim::sync::Mutex;
 use nztm_sim::{Decision, DetRng, Machine, MachineConfig, Platform, SchedPolicy, SimPlatform};
@@ -19,17 +21,19 @@ use nztm_workloads::history::{complete_ops, HistOp, HistRet, HistoryLog, OpRecor
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// The four systems under check.
+/// The five systems under check.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Backend {
     Bzstm,
     Nzstm,
     Scss,
     Hybrid,
+    Norec,
 }
 
-/// All four backends, in presentation order.
-pub const BACKENDS: [Backend; 4] = [Backend::Bzstm, Backend::Nzstm, Backend::Scss, Backend::Hybrid];
+/// All five backends, in presentation order.
+pub const BACKENDS: [Backend; 5] =
+    [Backend::Bzstm, Backend::Nzstm, Backend::Scss, Backend::Hybrid, Backend::Norec];
 
 impl Backend {
     pub fn name(self) -> &'static str {
@@ -38,6 +42,7 @@ impl Backend {
             Backend::Nzstm => "NZSTM",
             Backend::Scss => "SCSS",
             Backend::Hybrid => "HYBRID",
+            Backend::Norec => "NOREC",
         }
     }
 
@@ -352,6 +357,7 @@ pub fn run_config(cfg: &CheckConfig) -> RunOutcome {
         Backend::Nzstm => run_on_mode::<Nonblocking>(cfg),
         Backend::Scss => run_on_mode::<ScssMode>(cfg),
         Backend::Hybrid => run_hybrid(cfg),
+        Backend::Norec => run_on_mode::<NorecMode>(cfg),
     }
 }
 

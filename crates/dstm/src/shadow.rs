@@ -332,6 +332,7 @@ impl<P: Platform> ShadowStm<P> {
             AbortCause::Validation => ctx.stats.aborts_validation.bump(),
             AbortCause::Explicit => ctx.stats.aborts_explicit.bump(),
             AbortCause::Htm => ctx.stats.aborts_htm.bump(),
+            AbortCause::ValueValidation => ctx.stats.aborts_value_validation.bump(),
         }
     }
 

@@ -1,0 +1,185 @@
+//! Algorithm composition axes.
+//!
+//! An STM algorithm in this engine is a *composition*, not a fork: a
+//! [`crate::ModePolicy`] names one type per axis —
+//!
+//! * [`ReadStrategy`] — how reads are tracked and kept consistent:
+//!   per-object reader indicators a writer must consult
+//!   ([`VisibleIndicator`], §2's visible reads, with the invisible
+//!   version-validation extension as a runtime knob), or a logged value
+//!   snapshot re-validated against a global clock ([`ValueValidation`],
+//!   NOrec).
+//! * [`LogRepr`] — where speculative writes live until commit: eagerly
+//!   in place with a zero-indirection undo backup ([`EagerWriteBack`],
+//!   §2.2), or in a private redo log written back at commit
+//!   ([`RedoLog`]).
+//! * [`BackupPolicy`] — whether objects carry the collocated backup /
+//!   lazy-restore machinery ([`ZeroIndirectionBackup`]) or need none
+//!   because data is never speculatively dirtied ([`NoBackup`]).
+//! * [`CommitProtocol`] — how commit serializes against conflicting
+//!   peers: per-object ownership CAS plus the AbortNowPlease handshake
+//!   ([`OwnerCas`]), or one global sequence lock taken for the
+//!   write-back window ([`GlobalSeqLock`], NOrec).
+//!
+//! Each trait exposes a `const` discriminator so the engine can gate
+//! per-axis code paths at compile time: a composition that does not use
+//! an axis pays nothing for it — the property behind BZSTM's measured
+//! 2–5% edge over NZSTM (§4.4.2), preserved here for every axis.
+//!
+//! The shipped compositions (see [`crate::ModePolicy`] impls):
+//!
+//! | Mode | Reads | Log | Backup | Commit |
+//! |---|---|---|---|---|
+//! | `Blocking` (BZSTM) | `VisibleIndicator` | `EagerWriteBack` | `ZeroIndirectionBackup` | `OwnerCas` |
+//! | `Nonblocking` (NZSTM) | `VisibleIndicator` | `EagerWriteBack` | `ZeroIndirectionBackup` | `OwnerCas` |
+//! | `ScssMode` (SCSS) | `VisibleIndicator` | `EagerWriteBack` | `ZeroIndirectionBackup` | `OwnerCas` |
+//! | `NorecMode` (NOrec) | `ValueValidation` | `RedoLog` | `NoBackup` | `GlobalSeqLock` |
+
+/// How transactional reads are tracked and revalidated.
+pub trait ReadStrategy: Send + Sync + 'static {
+    /// Reads log the observed *values* and revalidate them against a
+    /// global clock (NOrec); they never register in per-object reader
+    /// indicators, so writers cannot see (or abort) them.
+    const VALUE_VALIDATION: bool;
+    /// Display name for docs/tooling.
+    const NAME: &'static str;
+}
+
+/// Per-object reader indicators (the paper's visible reads; the
+/// invisible version-validation extension remains a runtime
+/// [`crate::ReadMode`] knob of this strategy).
+pub struct VisibleIndicator;
+impl ReadStrategy for VisibleIndicator {
+    const VALUE_VALIDATION: bool = false;
+    const NAME: &'static str = "visible-indicator";
+}
+
+/// Value-based validation against a global sequence clock (NOrec).
+pub struct ValueValidation;
+impl ReadStrategy for ValueValidation {
+    const VALUE_VALIDATION: bool = true;
+    const NAME: &'static str = "value-validation";
+}
+
+/// Where speculative writes live until commit.
+pub trait LogRepr: Send + Sync + 'static {
+    /// Writes are buffered in a private redo log and written back at
+    /// commit; shared data is never dirtied by an uncommitted attempt.
+    const REDO: bool;
+    /// Display name for docs/tooling.
+    const NAME: &'static str;
+}
+
+/// Eager in-place stores, undone lazily from the backup (§2.2).
+pub struct EagerWriteBack;
+impl LogRepr for EagerWriteBack {
+    const REDO: bool = false;
+    const NAME: &'static str = "eager-write-back";
+}
+
+/// Lazy redo log, written back inside the commit window.
+pub struct RedoLog;
+impl LogRepr for RedoLog {
+    const REDO: bool = true;
+    const NAME: &'static str = "redo-log";
+}
+
+/// Whether objects carry the zero-indirection backup machinery.
+pub trait BackupPolicy: Send + Sync + 'static {
+    /// Acquisitions install a backup copy for lazy restore; conflicts
+    /// may inflate past an unresponsive owner's backup (§2.2/§2.3).
+    const ZERO_INDIRECTION: bool;
+    /// Display name for docs/tooling.
+    const NAME: &'static str;
+}
+
+/// The paper's collocated backup + lazy restore.
+pub struct ZeroIndirectionBackup;
+impl BackupPolicy for ZeroIndirectionBackup {
+    const ZERO_INDIRECTION: bool = true;
+    const NAME: &'static str = "zero-indirection-backup";
+}
+
+/// No backups: redo-logged compositions never dirty shared data.
+pub struct NoBackup;
+impl BackupPolicy for NoBackup {
+    const ZERO_INDIRECTION: bool = false;
+    const NAME: &'static str = "no-backup";
+}
+
+/// How commit serializes against conflicting peers.
+pub trait CommitProtocol: Send + Sync + 'static {
+    /// Commit holds one global sequence lock for the write-back window
+    /// (NOrec): odd clock = a writer is committing; every clock bump
+    /// forces readers to revalidate by value.
+    const GLOBAL_SEQLOCK: bool;
+    /// Display name for docs/tooling.
+    const NAME: &'static str;
+}
+
+/// Per-object ownership CAS + the AbortNowPlease handshake (§2.2).
+pub struct OwnerCas;
+impl CommitProtocol for OwnerCas {
+    const GLOBAL_SEQLOCK: bool = false;
+    const NAME: &'static str = "owner-cas";
+}
+
+/// One global sequence lock serializing all writers (NOrec).
+pub struct GlobalSeqLock;
+impl CommitProtocol for GlobalSeqLock {
+    const GLOBAL_SEQLOCK: bool = true;
+    const NAME: &'static str = "global-seqlock";
+}
+
+/// A composition's axis names, for docs, tooling and registry listings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Composition {
+    pub reads: &'static str,
+    pub log: &'static str,
+    pub backup: &'static str,
+    pub commit: &'static str,
+}
+
+impl Composition {
+    /// The composition of a [`crate::ModePolicy`].
+    pub fn of<M: crate::ModePolicy>() -> Composition {
+        Composition {
+            reads: <M::Reads as ReadStrategy>::NAME,
+            log: <M::Log as LogRepr>::NAME,
+            backup: <M::Backup as BackupPolicy>::NAME,
+            commit: <M::Commit as CommitProtocol>::NAME,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_compositions_have_the_documented_axes() {
+        let nz = Composition::of::<crate::Nonblocking>();
+        assert_eq!(nz, Composition::of::<crate::Blocking>());
+        assert_eq!(nz, Composition::of::<crate::ScssMode>());
+        assert_eq!(nz.reads, "visible-indicator");
+        assert_eq!(nz.log, "eager-write-back");
+        assert_eq!(nz.backup, "zero-indirection-backup");
+        assert_eq!(nz.commit, "owner-cas");
+        let norec = Composition::of::<crate::NorecMode>();
+        assert_eq!(norec.reads, "value-validation");
+        assert_eq!(norec.log, "redo-log");
+        assert_eq!(norec.backup, "no-backup");
+        assert_eq!(norec.commit, "global-seqlock");
+    }
+
+    #[test]
+    fn norec_gate_is_derived_from_the_commit_protocol() {
+        use crate::ModePolicy;
+        const {
+            assert!(!crate::Blocking::NOREC);
+            assert!(!crate::Nonblocking::NOREC);
+            assert!(!crate::ScssMode::NOREC);
+            assert!(crate::NorecMode::NOREC);
+        }
+    }
+}

@@ -78,19 +78,45 @@ macro_rules! trace_evt {
     }};
 }
 
-/// Compile-time selection of the engine variant.
+/// Compile-time selection of the engine variant: a *composition* of one
+/// type per algorithm axis (see [`crate::algo`]) plus the protocol knobs
+/// the ownership compositions differentiate on.
+///
+/// The engine gates per-axis code paths on the axes' `const`
+/// discriminators (surfaced here as [`ModePolicy::NOREC`]), so a
+/// composition that does not use an axis compiles it away entirely —
+/// BZSTM really contains no inflation-tag checks (§4.4.2's 2–5%), and
+/// the ownership modes really contain no global-clock traffic.
 pub trait ModePolicy: Send + Sync + 'static {
+    /// How reads are tracked ([`crate::algo::ReadStrategy`]).
+    type Reads: crate::algo::ReadStrategy;
+    /// Where speculative writes live ([`crate::algo::LogRepr`]).
+    type Log: crate::algo::LogRepr;
+    /// Whether objects carry backups ([`crate::algo::BackupPolicy`]).
+    type Backup: crate::algo::BackupPolicy;
+    /// How commit serializes ([`crate::algo::CommitProtocol`]).
+    type Commit: crate::algo::CommitProtocol;
     /// Give up waiting for an abort acknowledgement after `patience`
     /// steps (inflate / SCSS-barrier). `false` = BZSTM.
     const NONBLOCKING: bool;
     /// Pair every data store with an AbortNowPlease check (SCSS).
     const SCSS: bool;
+    /// Derived master gate for the NOrec path: value-validated reads +
+    /// redo log + global sequence lock travel together (a global-clock
+    /// commit is only sound when nothing is dirtied in place and reads
+    /// revalidate by value), so the commit protocol's discriminator
+    /// selects the whole path.
+    const NOREC: bool = <Self::Commit as crate::algo::CommitProtocol>::GLOBAL_SEQLOCK;
     const NAME: &'static str;
 }
 
 /// BZSTM: the blocking base algorithm of §2.2.
 pub struct Blocking;
 impl ModePolicy for Blocking {
+    type Reads = crate::algo::VisibleIndicator;
+    type Log = crate::algo::EagerWriteBack;
+    type Backup = crate::algo::ZeroIndirectionBackup;
+    type Commit = crate::algo::OwnerCas;
     const NONBLOCKING: bool = false;
     const SCSS: bool = false;
     const NAME: &'static str = "BZSTM";
@@ -99,6 +125,10 @@ impl ModePolicy for Blocking {
 /// NZSTM: nonblocking via inflation (§2.3.1).
 pub struct Nonblocking;
 impl ModePolicy for Nonblocking {
+    type Reads = crate::algo::VisibleIndicator;
+    type Log = crate::algo::EagerWriteBack;
+    type Backup = crate::algo::ZeroIndirectionBackup;
+    type Commit = crate::algo::OwnerCas;
     const NONBLOCKING: bool = true;
     const SCSS: bool = false;
     const NAME: &'static str = "NZSTM";
@@ -107,9 +137,33 @@ impl ModePolicy for Nonblocking {
 /// NZSTM+SCSS: nonblocking via Single-Compare Single-Store (§2.3.2).
 pub struct ScssMode;
 impl ModePolicy for ScssMode {
+    type Reads = crate::algo::VisibleIndicator;
+    type Log = crate::algo::EagerWriteBack;
+    type Backup = crate::algo::ZeroIndirectionBackup;
+    type Commit = crate::algo::OwnerCas;
     const NONBLOCKING: bool = true;
     const SCSS: bool = true;
     const NAME: &'static str = "SCSS";
+}
+
+/// NOrec: one global sequence lock, value-based validation, lazy redo
+/// writes (Dalessandro, Spear & Scott, PPoPP 2010) — the progressive,
+/// ownership-free point in the design space, composed from the same
+/// kernel as the NZTM family. Blocking (a preempted committer stalls the
+/// clock), but with no per-object metadata traffic at all: reads log
+/// values, writes buffer in a redo log, and the only shared-write beyond
+/// data itself is the clock CAS at commit.
+pub struct NorecMode;
+impl ModePolicy for NorecMode {
+    type Reads = crate::algo::ValueValidation;
+    type Log = crate::algo::RedoLog;
+    type Backup = crate::algo::NoBackup;
+    type Commit = crate::algo::GlobalSeqLock;
+    // Ownership-protocol knobs; never consulted on the NOrec path (which
+    // bypasses owner words, inflation, and SCSS stores entirely).
+    const NONBLOCKING: bool = false;
+    const SCSS: bool = false;
+    const NAME: &'static str = "NOREC";
 }
 
 /// How transactional reads are tracked.
@@ -195,6 +249,10 @@ enum WriteTarget {
     /// Object is inflated and we own it through this locator; writes go
     /// to its `new_data`.
     Inflated { loc: Arc<Locator> },
+    /// NOrec redo-log entry: the speculative value lives at
+    /// `norec_redo[off..off + len]` and is written back at commit under
+    /// the global sequence lock. Never constructed by ownership modes.
+    Buffered { off: usize, len: usize },
 }
 
 struct WriteEntry {
@@ -204,8 +262,24 @@ struct WriteEntry {
 
 struct ReadEntry {
     obj: Arc<dyn NzObjAny>,
-    /// Version observed (invisible mode); unused in visible mode.
+    /// Version observed (invisible mode); unused in visible mode. NOrec
+    /// repurposes it as the packed `(off << 32) | len` slice of
+    /// `norec_vals` holding this entry's logged values
+    /// ([`norec_pack`]/[`norec_unpack`]).
     version: u64,
+}
+
+/// Pack a NOrec read-log slice descriptor into a `ReadEntry::version`.
+#[inline]
+fn norec_pack(off: usize, len: usize) -> u64 {
+    debug_assert!(off <= u32::MAX as usize && len <= u32::MAX as usize);
+    ((off as u64) << 32) | len as u64
+}
+
+/// Inverse of [`norec_pack`].
+#[inline]
+fn norec_unpack(version: u64) -> (usize, usize) {
+    ((version >> 32) as usize, (version & 0xFFFF_FFFF) as usize)
 }
 
 /// Per-thread pool of backup buffers in power-of-two **size classes**
@@ -329,6 +403,15 @@ struct ThreadCtx {
     stats: Arc<ThreadStats>,
     /// Scratch encode/decode buffer, reused across operations.
     scratch: Vec<u64>,
+    /// NOrec only: the global-clock value this attempt last validated
+    /// against (always even). Dead (and never touched) in other modes.
+    snapshot: u64,
+    /// NOrec only: logged read values. Entry `i` of the read set owns
+    /// the slice packed into its `version` ([`norec_pack`]).
+    norec_vals: Vec<u64>,
+    /// NOrec only: redo-log value words, sliced by the write set's
+    /// [`WriteTarget::Buffered`] entries.
+    norec_redo: Vec<u64>,
     /// Flight-recorder ring (single-writer; drained quiescently).
     #[cfg(feature = "trace")]
     ring: crate::trace::TraceRing,
@@ -356,6 +439,9 @@ impl ThreadCtx {
             conflict_obj: 0,
             stats,
             scratch: Vec::with_capacity(64),
+            snapshot: 0,
+            norec_vals: Vec::new(),
+            norec_redo: Vec::new(),
             #[cfg(feature = "trace")]
             ring: crate::trace::TraceRing::new(trace_capacity),
             #[cfg(feature = "sanitize")]
@@ -380,6 +466,26 @@ fn push_write(ctx: &mut ThreadCtx, entry: WriteEntry) {
     ctx.write_set.push(entry);
 }
 
+/// NOrec's global sequence lock, on its own cache line (every committer
+/// writes it; every reader polls it — the one genuinely global word of
+/// that composition). Even = unlocked (the value doubles as the snapshot
+/// clock); odd = a writer is inside its commit write-back window.
+#[repr(align(128))]
+struct NorecClock {
+    word: std::sync::atomic::AtomicU64,
+    /// Synthetic address feeding the sim cache model.
+    synth: usize,
+}
+
+impl NorecClock {
+    fn new() -> Self {
+        NorecClock {
+            word: std::sync::atomic::AtomicU64::new(0),
+            synth: nztm_sim::synth_alloc_as(128, nztm_sim::StructClass::Other),
+        }
+    }
+}
+
 /// Outcome of conflict resolution against one peer transaction.
 enum ConflictOutcome {
     /// The conflict no longer exists (peer settled, or ownership changed).
@@ -402,6 +508,9 @@ pub struct NzStm<P: Platform, M: ModePolicy> {
     /// Per-thread counter cells, shared with each `ThreadCtx`. Read side
     /// of [`NzStm::stats_snapshot`] — safe to merge at any time.
     thread_stats: Box<[Arc<ThreadStats>]>,
+    /// NOrec's global sequence lock. Present in every engine (the struct
+    /// shape is mode-independent) but only touched when `M::NOREC`.
+    norec_clock: NorecClock,
     cfg: NzConfig,
     /// Runtime arming flag for the flight recorder.
     #[cfg(feature = "trace")]
@@ -436,6 +545,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                 ThreadCtx::new(tid, Arc::clone(&thread_stats[tid]), trace_capacity)
             }),
             thread_stats,
+            norec_clock: NorecClock::new(),
             cfg,
             #[cfg(feature = "trace")]
             trace_on,
@@ -443,12 +553,6 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             san: crate::sanitizer::Sanitizer::new(),
             _mode: PhantomData,
         })
-    }
-
-    /// Paper defaults (visible reads, Karma + deadlock-detection CM) —
-    /// equivalent to `NzBuilder::new(platform).build()`.
-    pub fn with_defaults(platform: Arc<P>) -> Arc<Self> {
-        NzStm::new(platform, Arc::new(crate::cm::KarmaDeadlock::default()), NzConfig::default())
     }
 
     pub fn platform(&self) -> &Arc<P> {
@@ -484,12 +588,6 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
     /// landed yet).
     pub fn stats_snapshot(&self) -> TmStats {
         ThreadStats::merge_all(self.thread_stats.iter().map(Arc::as_ref))
-    }
-
-    /// Deprecated name for [`NzStm::stats_snapshot`].
-    #[deprecated(note = "renamed to `stats_snapshot` (safe to call at any time)")]
-    pub fn stats(&self) -> TmStats {
-        self.stats_snapshot()
     }
 
     /// Reset per-thread statistics (e.g. after warmup).
@@ -741,6 +839,14 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         ctx.read_index.clear();
         ctx.write_index.clear();
         ctx.conflict_obj = 0;
+        if M::NOREC {
+            ctx.norec_vals.clear();
+            ctx.norec_redo.clear();
+            // Sample the snapshot clock, waiting out any in-flight
+            // committer (odd clock) so the first reads cannot observe its
+            // partial write-back.
+            ctx.snapshot = self.norec_wait_even();
+        }
     }
 
     fn me(ctx: &ThreadCtx) -> &Arc<TxnDesc> {
@@ -759,6 +865,9 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
     }
 
     fn commit(&self, ctx: &mut ThreadCtx, tid: usize) -> bool {
+        if M::NOREC {
+            return self.norec_commit(ctx, tid);
+        }
         let me = Arc::clone(Self::me(ctx));
 
         // Invisible-read extension: validate the read set. Serialization
@@ -861,6 +970,7 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
             AbortCause::Validation => ctx.stats.aborts_validation.bump(),
             AbortCause::Explicit => ctx.stats.aborts_explicit.bump(),
             AbortCause::Htm => ctx.stats.aborts_htm.bump(),
+            AbortCause::ValueValidation => ctx.stats.aborts_value_validation.bump(),
         }
         trace_evt!(self, ctx, tid, TxnAbort, ctx.serial, cause.code());
         let change = self.cm.on_abort(tid as u32, cause, ctx.conflict_obj);
@@ -884,6 +994,15 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
     }
 
     fn clear_reader_bits(&self, ctx: &mut ThreadCtx, tid: usize) {
+        if M::NOREC {
+            // NOrec reads never registered anywhere: drop the value log.
+            // (Calling `remove_reader` here would trip the sanitizer's
+            // reader-intactness check — and rightly so.)
+            ctx.read_set.clear();
+            ctx.norec_vals.clear();
+            ctx.norec_redo.clear();
+            return;
+        }
         if self.cfg.read_mode == ReadMode::Visible {
             while let Some(r) = ctx.read_set.pop() {
                 let h = r.obj.header();
@@ -1611,6 +1730,9 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         tid: usize,
         obj: &Arc<NZObject<T>>,
     ) -> Result<T, Abort> {
+        if M::NOREC {
+            return self.norec_read(ctx, tid, obj);
+        }
         self.validate(ctx)?;
         hot_stat!(ctx, reads);
         let me_ptr = Arc::as_ptr(Self::me(ctx));
@@ -1769,6 +1891,9 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
         obj: &Arc<NZObject<T>>,
         value: &T,
     ) -> Result<(), Abort> {
+        if M::NOREC {
+            return self.norec_write(ctx, obj, value);
+        }
         // Fast path: already acquired — no `Arc` clone, no owner-word
         // traffic, just an index hit and a self-validation. The clone for
         // the write-set entry happens at most once per object, inside
@@ -1823,8 +1948,242 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
                 self.platform.mem_nb(buf.addr(), n * 8, AccessKind::Write);
                 crate::data::write_words(buf.words(), &ctx.scratch);
             }
+            WriteTarget::Buffered { .. } => {
+                unreachable!("{} never buffers writes (NOrec-only target)", M::NAME)
+            }
         }
         self.validate(ctx)
+    }
+
+    // ------------------------------------------------------------------
+    // NOrec path (value validation + global sequence lock)
+    //
+    // Everything below is gated by `M::NOREC` at the lifecycle entry
+    // points (begin / read_value / write_value / commit /
+    // clear_reader_bits) and compiles out of the ownership modes. NOrec
+    // transactions never touch owner words, reader indicators, backups,
+    // or the AbortNowPlease handshake: the only shared metadata word is
+    // the global sequence clock.
+    // ------------------------------------------------------------------
+
+    /// Poll the global clock (one shared-line read in the cache model).
+    #[inline]
+    fn norec_clock_load(&self) -> u64 {
+        self.platform.mem(self.norec_clock.synth, 8, AccessKind::Read);
+        self.norec_clock.word.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Spin until the clock is even (no writer inside its commit
+    /// write-back window) and return it.
+    fn norec_wait_even(&self) -> u64 {
+        loop {
+            let t = self.norec_clock_load();
+            if t & 1 == 0 {
+                return t;
+            }
+            self.platform.spin_wait();
+        }
+    }
+
+    /// Value-based validation (NOrec's `Validate`): wait out any
+    /// in-flight committer, re-read every logged location and compare it
+    /// to the logged value, and succeed only if the clock did not move
+    /// during the scan — extending the snapshot to the scanned clock.
+    /// A mismatch means a committed writer overwrote something we read:
+    /// the attempt aborts with [`AbortCause::ValueValidation`].
+    fn norec_validate_extend(&self, ctx: &mut ThreadCtx, tid: usize) -> Result<(), Abort> {
+        hot_stat!(ctx, norec_validations);
+        trace_evt!(self, ctx, tid, NorecValidate, ctx.snapshot, ctx.read_set.len() as u64);
+        loop {
+            let t = self.norec_wait_even();
+            for i in 0..ctx.read_set.len() {
+                let r = ctx.read_set.get(i).expect("index in range");
+                let (off, len) = norec_unpack(r.version);
+                self.platform.mem_nb(r.obj.data_addr(), len * 8, AccessKind::Read);
+                let words = r.obj.data_words();
+                let logged = &ctx.norec_vals[off..off + len];
+                let intact = words.len() == len
+                    && words
+                        .iter()
+                        .zip(logged)
+                        .all(|(w, v)| w.load(std::sync::atomic::Ordering::Relaxed) == *v);
+                if !intact {
+                    ctx.conflict_obj = r.obj.header().addr() as u64;
+                    hot_stat!(ctx, conflicts);
+                    return Err(Abort(AbortCause::ValueValidation));
+                }
+            }
+            if self.norec_clock_load() == t {
+                if t != ctx.snapshot {
+                    hot_stat!(ctx, norec_extensions);
+                    trace_evt!(self, ctx, tid, NorecExtend, ctx.snapshot, t);
+                    ctx.snapshot = t;
+                }
+                return Ok(());
+            }
+            // A writer committed mid-scan; the values we compared may mix
+            // epochs. Rescan against the newer clock.
+        }
+    }
+
+    fn norec_read<T: TmData>(
+        &self,
+        ctx: &mut ThreadCtx,
+        tid: usize,
+        obj: &Arc<NZObject<T>>,
+    ) -> Result<T, Abort> {
+        hot_stat!(ctx, reads);
+        let h = obj.header();
+        let key = header_key(h);
+        let n = T::n_words();
+
+        // Our own buffered write wins (read-your-writes).
+        if let Some(i) = ctx.write_index.get(key) {
+            let w = ctx.write_set.get(i as usize).expect("indexed write entry");
+            let WriteTarget::Buffered { off, len } = w.target else {
+                unreachable!("NOrec write entries are always Buffered")
+            };
+            debug_assert_eq!(len, n);
+            return Ok(T::decode(&ctx.norec_redo[off..off + len]));
+        }
+
+        // Re-read: return the logged value (opacity — the attempt keeps
+        // seeing exactly the state it validated, even if the location
+        // has since moved on).
+        if let Some(i) = ctx.read_index.get(key) {
+            let r = ctx.read_set.get(i as usize).expect("indexed read entry");
+            let (off, len) = norec_unpack(r.version);
+            debug_assert_eq!(len, n);
+            return Ok(T::decode(&ctx.norec_vals[off..off + len]));
+        }
+
+        // Fresh read: snapshot the data words, then make sure the clock
+        // stood still across the copy — if it moved, revalidate the whole
+        // read log (snapshot extension) and re-copy.
+        ctx.scratch.clear();
+        ctx.scratch.resize(n, 0);
+        loop {
+            self.platform.mem_nb(obj.data_addr(), n * 8, AccessKind::Read);
+            crate::data::snapshot_words(obj.data_words(), &mut ctx.scratch);
+            if self.norec_clock_load() == ctx.snapshot {
+                break;
+            }
+            self.norec_validate_extend(ctx, tid)?;
+        }
+        let off = ctx.norec_vals.len();
+        ctx.norec_vals.extend_from_slice(&ctx.scratch);
+        let any: Arc<dyn NzObjAny> = obj.clone();
+        ctx.read_index.insert(key, ctx.read_set.len() as u32);
+        ctx.read_set.push(ReadEntry { obj: any, version: norec_pack(off, n) });
+        Ok(T::decode(&ctx.scratch))
+    }
+
+    fn norec_write<T: TmData>(
+        &self,
+        ctx: &mut ThreadCtx,
+        obj: &Arc<NZObject<T>>,
+        value: &T,
+    ) -> Result<(), Abort> {
+        let key = header_key(obj.header());
+        let n = T::n_words();
+        ctx.scratch.clear();
+        ctx.scratch.resize(n, 0);
+        value.encode(&mut ctx.scratch);
+        if let Some(i) = ctx.write_index.get(key) {
+            let w = ctx.write_set.get(i as usize).expect("indexed write entry");
+            let WriteTarget::Buffered { off, len } = w.target else {
+                unreachable!("NOrec write entries are always Buffered")
+            };
+            debug_assert_eq!(len, n);
+            ctx.norec_redo[off..off + len].copy_from_slice(&ctx.scratch);
+            return Ok(());
+        }
+        // First write to this object: append a redo slot. Counted as an
+        // acquisition (one per object per attempt, like the ownership
+        // modes) even though nothing is owned until commit.
+        let off = ctx.norec_redo.len();
+        ctx.norec_redo.extend_from_slice(&ctx.scratch);
+        hot_stat!(ctx, acquires);
+        let any: Arc<dyn NzObjAny> = obj.clone();
+        push_write(ctx, WriteEntry { obj: any, target: WriteTarget::Buffered { off, len: n } });
+        Ok(())
+    }
+
+    /// NOrec commit. Read-only attempts are already valid at their
+    /// snapshot and commit without touching the clock (NOrec's
+    /// read-only fast path). Writers CAS the clock from their snapshot
+    /// to odd (locking out other committers *and* proving no one
+    /// committed since the snapshot), write the redo log back, and
+    /// release the clock two ticks up.
+    fn norec_commit(&self, ctx: &mut ThreadCtx, tid: usize) -> bool {
+        let me = Arc::clone(Self::me(ctx));
+        if !ctx.write_set.is_empty() {
+            loop {
+                self.san_point(ctx, tid, crate::sanitizer::Point::CommitCas);
+                self.platform.mem(self.norec_clock.synth, 8, AccessKind::Rmw);
+                if self
+                    .norec_clock
+                    .word
+                    .compare_exchange(
+                        ctx.snapshot,
+                        ctx.snapshot + 1,
+                        std::sync::atomic::Ordering::AcqRel,
+                        std::sync::atomic::Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    break;
+                }
+                // Someone committed since our snapshot: revalidate (and
+                // extend) or abort on a value conflict.
+                if let Err(Abort(cause)) = self.norec_validate_extend(ctx, tid) {
+                    self.abort_txn(ctx, tid, cause);
+                    return false;
+                }
+            }
+        }
+        self.platform.mem(me.addr(), 8, AccessKind::Rmw);
+        if !me.try_commit() {
+            // Defensive only: no peer can find a NOrec descriptor (it is
+            // never published in owner words or reader indicators), so
+            // AbortNowPlease cannot arrive. Unlock and unwind anyway.
+            if !ctx.write_set.is_empty() {
+                self.norec_clock
+                    .word
+                    .store(ctx.snapshot, std::sync::atomic::Ordering::Release);
+            }
+            self.abort_txn(ctx, tid, AbortCause::Requested);
+            return false;
+        }
+        #[cfg(feature = "sanitize")]
+        self.san.commit_ok(Arc::as_ptr(&me) as u64, tid as u32);
+        if !ctx.write_set.is_empty() {
+            // Locked: write the redo log back. Readers observing these
+            // stores see an odd clock and wait us out.
+            while let Some(w) = ctx.write_set.pop() {
+                let WriteTarget::Buffered { off, len } = w.target else {
+                    unreachable!("NOrec write entries are always Buffered")
+                };
+                self.platform.mem_nb(w.obj.data_addr(), len * 8, AccessKind::Write);
+                let words = w.obj.data_words();
+                for (k, word) in words.iter().enumerate() {
+                    word.store(
+                        ctx.norec_redo[off + k],
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                }
+            }
+            self.platform.mem(self.norec_clock.synth, 8, AccessKind::Write);
+            self.norec_clock
+                .word
+                .store(ctx.snapshot + 2, std::sync::atomic::Ordering::Release);
+        }
+        self.clear_reader_bits(ctx, tid);
+        ctx.stats.commits.bump();
+        trace_evt!(self, ctx, tid, TxnCommit, ctx.serial, 0);
+        let change = self.cm.on_commit(tid as u32);
+        self.note_mode_change(ctx, tid, change);
+        true
     }
 }
 
@@ -2028,6 +2387,7 @@ mod tests {
             assert_eq!(st.aborts_validation, expect(AbortCause::Validation));
             assert_eq!(st.aborts_explicit, expect(AbortCause::Explicit));
             assert_eq!(st.aborts_htm, expect(AbortCause::Htm));
+            assert_eq!(st.aborts_value_validation, expect(AbortCause::ValueValidation));
         }
         assert_eq!(s.stats_snapshot().commits, AbortCause::ALL.len() as u64);
     }

@@ -15,6 +15,10 @@
 //!   machinery at all, by pairing every data store with a check of the
 //!   writer's own AbortNowPlease flag (Single-Compare Single-Store,
 //!   emulated as a short atomic section).
+//! * [`Norec`] — NOrec (value-based validation, lazy redo writes, one
+//!   global sequence lock), composed from the same kernel: proof that an
+//!   algorithm here is a [composition](algo) of per-axis strategies, not
+//!   a fork of the engine.
 //! * [`hybrid`] — hooks for the NZTM hybrid (§2.4), used by the
 //!   `nztm-htm` crate's best-effort hardware path.
 //!
@@ -55,6 +59,7 @@
 //! the paper's simulator experiments.
 
 pub mod adt;
+pub mod algo;
 pub mod builder;
 pub mod cm;
 pub mod data;
@@ -73,10 +78,12 @@ pub mod txn;
 pub mod util;
 
 pub use adt::{AdtOpDesc, AdtOpKind};
-pub use builder::{BackendKind, NzBuilder};
+pub use algo::{BackupPolicy, CommitProtocol, Composition, LogRepr, ReadStrategy};
+pub use builder::{Algo, BackendKind, BuildError, NzBuilder};
 pub use data::{FieldWord, TmData, WordArray};
 pub use engine::{
-    Blocking, ModePolicy, Nonblocking, NzConfig, NzStm, NzTx, ReadMode, ScssMode, TraceConfig,
+    Blocking, ModePolicy, Nonblocking, NorecMode, NzConfig, NzStm, NzTx, ReadMode, ScssMode,
+    TraceConfig,
 };
 pub use object::{NZObject, NzObjAny, WordBuf};
 pub use readers::{ReaderIndicator, ReaderVisit};
@@ -86,18 +93,11 @@ pub use topology::{Placement, Topology, TopologyPolicy};
 pub use trace::{EventKind, ObjectHeat, Trace, TraceEvent};
 pub use txn::{Abort, AbortCause, Status, TxnDesc};
 
-use nztm_sim::Platform;
-
 /// The blocking base STM of §2.2 ("BZSTM" in the paper's evaluation).
 pub type Bzstm<P> = NzStm<P, Blocking>;
 /// The nonblocking zero-indirection STM of §2.3.1.
 pub type Nzstm<P> = NzStm<P, Nonblocking>;
 /// The SCSS variant of §2.3.2.
 pub type NzstmScss<P> = NzStm<P, ScssMode>;
-
-/// Convenience constructor matching the paper's default configuration
-/// (visible reads, Karma + deadlock-detection contention management).
-#[deprecated(note = "use `NzBuilder::new(platform).build_nzstm()`")]
-pub fn nzstm_default<P: Platform>(platform: std::sync::Arc<P>) -> std::sync::Arc<Nzstm<P>> {
-    NzBuilder::new(platform).build_nzstm()
-}
+/// NOrec: value-validated reads + redo log + global sequence lock.
+pub type Norec<P> = NzStm<P, NorecMode>;

@@ -72,12 +72,6 @@ pub trait TmSys: Send + Sync + Sized + 'static {
     /// implementations merge single-writer per-thread counters on read.
     fn stats_snapshot(&self) -> TmStats;
 
-    /// Deprecated name for [`TmSys::stats_snapshot`].
-    #[deprecated(note = "renamed to `stats_snapshot` (safe to call at any time)")]
-    fn stats(&self) -> TmStats {
-        self.stats_snapshot()
-    }
-
     /// Reset statistics. Quiescent-only for exactness: increments racing
     /// with the reset can be lost.
     fn reset_stats(&self);
@@ -256,7 +250,7 @@ mod tests {
     fn sys() -> Arc<Sys> {
         let p = Native::new(1);
         p.register_thread();
-        NzStm::with_defaults(p)
+        crate::builder::NzBuilder::new(p).build()
     }
 
     #[test]

@@ -42,6 +42,14 @@ pub struct TmStats {
     /// (hybrid NZTM; see [`crate::txn::AbortCause::Htm`]). Distinct from
     /// `htm_aborts`, which counts the *hardware attempts* themselves.
     pub aborts_htm: u64,
+    /// Aborted attempts whose NOrec value validation found a changed
+    /// value (see [`crate::txn::AbortCause::ValueValidation`]).
+    pub aborts_value_validation: u64,
+    /// NOrec validation passes (full read-log value scans).
+    pub norec_validations: u64,
+    /// NOrec snapshot extensions (validation passes that moved the
+    /// snapshot forward rather than merely confirming it).
+    pub norec_extensions: u64,
     /// Abort requests this thread sent to peers.
     pub abort_requests_sent: u64,
     /// Conflict-wait spin steps taken.
@@ -104,6 +112,7 @@ impl TmStats {
             + self.aborts_validation
             + self.aborts_explicit
             + self.aborts_htm
+            + self.aborts_value_validation
     }
 
     /// Total attempts (commits + aborts).
@@ -154,6 +163,9 @@ impl TmStats {
             aborts_validation,
             aborts_explicit,
             aborts_htm,
+            aborts_value_validation,
+            norec_validations,
+            norec_extensions,
             abort_requests_sent,
             wait_steps,
             conflicts,
@@ -227,6 +239,9 @@ macro_rules! for_each_stat {
             aborts_validation,
             aborts_explicit,
             aborts_htm,
+            aborts_value_validation,
+            norec_validations,
+            norec_extensions,
             abort_requests_sent,
             wait_steps,
             conflicts,
@@ -267,6 +282,9 @@ pub struct ThreadStats {
     pub aborts_validation: Counter,
     pub aborts_explicit: Counter,
     pub aborts_htm: Counter,
+    pub aborts_value_validation: Counter,
+    pub norec_validations: Counter,
+    pub norec_extensions: Counter,
     pub abort_requests_sent: Counter,
     pub wait_steps: Counter,
     pub conflicts: Counter,

@@ -90,6 +90,13 @@ pub enum EventKind {
     /// [`crate::TmSys::note_adt_op`]). `a` = the operation key,
     /// `b` = [`crate::adt::AdtOpDesc::pack`] (structure id + op kind).
     AdtOp = 16,
+    /// A NOrec value-validation pass started (full read-log scan).
+    /// `a` = the snapshot clock being validated from, `b` = read-set
+    /// size (locations scanned).
+    NorecValidate = 17,
+    /// A NOrec validation pass succeeded with a newer clock, extending
+    /// the snapshot. `a` = old snapshot, `b` = new snapshot.
+    NorecExtend = 18,
 }
 
 impl EventKind {
@@ -113,6 +120,8 @@ impl EventKind {
             EventKind::ReaderScan => "reader_scan",
             EventKind::CmMode => "cm_mode",
             EventKind::AdtOp => "adt_op",
+            EventKind::NorecValidate => "norec_validate",
+            EventKind::NorecExtend => "norec_extend",
         }
     }
 }
@@ -216,6 +225,12 @@ impl TraceEvent {
             EventKind::AdtOp => {
                 let (adt, op) = crate::adt::AdtOpDesc::unpack(self.b);
                 format!("adt#{adt} {} key {}", op.name(), self.a)
+            }
+            EventKind::NorecValidate => {
+                format!("norec validates {} reads at clock {}", self.b, self.a)
+            }
+            EventKind::NorecExtend => {
+                format!("norec extends snapshot {} -> {}", self.a, self.b)
             }
         }
     }

@@ -89,17 +89,24 @@ pub enum AbortCause {
     /// conflating the two inflated `aborts_requested` in any tooling
     /// that inspected the cause on the hardware path.
     Htm,
+    /// NOrec value validation failed: a committed writer changed a value
+    /// this attempt read (and the change did not restore the original
+    /// bytes — A→B→A histories pass value validation by design).
+    /// Distinct from [`AbortCause::Validation`], which is the
+    /// invisible-read *version* check of the ownership modes.
+    ValueValidation,
 }
 
 impl AbortCause {
     /// Every cause, in [`AbortCause::code`] order — for exhaustive
     /// accounting tests and report iteration.
-    pub const ALL: [AbortCause; 5] = [
+    pub const ALL: [AbortCause; 6] = [
         AbortCause::Requested,
         AbortCause::SelfAbort,
         AbortCause::Validation,
         AbortCause::Explicit,
         AbortCause::Htm,
+        AbortCause::ValueValidation,
     ];
 
     /// Stable numeric code, used in flight-recorder event records.
@@ -110,6 +117,7 @@ impl AbortCause {
             AbortCause::Validation => 2,
             AbortCause::Explicit => 3,
             AbortCause::Htm => 4,
+            AbortCause::ValueValidation => 5,
         }
     }
 
@@ -121,12 +129,13 @@ impl AbortCause {
             2 => AbortCause::Validation,
             3 => AbortCause::Explicit,
             4 => AbortCause::Htm,
+            5 => AbortCause::ValueValidation,
             _ => return None,
         })
     }
 
     /// Short human-readable name (`requested`, `self`, `validation`,
-    /// `explicit`, `htm`).
+    /// `explicit`, `htm`, `value_validation`).
     pub fn name(self) -> &'static str {
         match self {
             AbortCause::Requested => "requested",
@@ -134,6 +143,7 @@ impl AbortCause {
             AbortCause::Validation => "validation",
             AbortCause::Explicit => "explicit",
             AbortCause::Htm => "htm",
+            AbortCause::ValueValidation => "value_validation",
         }
     }
 }

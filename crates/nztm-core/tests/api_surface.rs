@@ -67,7 +67,27 @@ fn scan_surface(src: &Path) -> String {
                     None => break,
                 }
             }
-            let cut = sig.find(['{', ';']).unwrap_or(sig.len());
+            // Cut at the body / terminator / initializer, but not at a
+            // `;` inside a type (array lengths like `[BackendKind; 5]`
+            // are part of the surface — the backend registry's count
+            // check reads them from this snapshot).
+            let mut cut = sig.len();
+            let mut depth = 0usize;
+            for (i, c) in sig.char_indices() {
+                match c {
+                    '[' | '(' | '<' => depth += 1,
+                    ']' | ')' | '>' => depth = depth.saturating_sub(1),
+                    '{' => {
+                        cut = i;
+                        break;
+                    }
+                    ';' | '=' if depth == 0 => {
+                        cut = i;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
             let sig: String =
                 sig[..cut].split_whitespace().collect::<Vec<_>>().join(" ");
             let sig = sig.trim_end_matches(',').to_string();

@@ -7,14 +7,14 @@
 //! printed seed pins the offending case.
 
 use nztm_core::data::TmData;
-use nztm_core::{tm_data_struct, Nzstm};
+use nztm_core::{tm_data_struct, NzBuilder, Nzstm};
 use nztm_sim::{DetRng, Native};
 use std::sync::Arc;
 
 fn sys() -> Arc<Nzstm<Native>> {
     let p = Native::new(1);
     p.register_thread_as(0);
-    Nzstm::with_defaults(p)
+    NzBuilder::new(p).build_nzstm()
 }
 
 #[derive(Clone, Debug, PartialEq)]

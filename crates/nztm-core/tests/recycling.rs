@@ -10,7 +10,7 @@
 
 use nztm_core::object::OwnerRef;
 use nztm_core::txn::Status;
-use nztm_core::Nzstm;
+use nztm_core::{NzBuilder, Nzstm};
 use nztm_sim::Native;
 use std::sync::Arc;
 
@@ -40,7 +40,7 @@ fn drive(stm: &Nzstm<Native>, objs: &[Arc<nztm_core::NZObject<u64>>], txns: usiz
 fn steady_state_attempts_allocate_nothing() {
     let p = Native::new(1);
     p.register_thread();
-    let stm = Nzstm::with_defaults(Arc::clone(&p));
+    let stm = NzBuilder::new(Arc::clone(&p)).build_nzstm();
     let objs: Vec<_> = (0..8).map(|i| stm.new_obj(i as u64)).collect();
 
     // Warmup: populate the descriptor free list and the backup pool, and
@@ -68,7 +68,7 @@ fn steady_state_attempts_allocate_nothing() {
 fn descriptor_referenced_by_owner_word_is_never_recycled() {
     let p = Native::new(1);
     p.register_thread();
-    let stm = Nzstm::with_defaults(Arc::clone(&p));
+    let stm = NzBuilder::new(Arc::clone(&p)).build_nzstm();
     let target = stm.new_obj(7u64);
     let others: Vec<_> = (0..8).map(|i| stm.new_obj(i as u64)).collect();
 
@@ -117,7 +117,7 @@ fn recycling_keeps_counters_correct_under_contention() {
     const THREADS: usize = 4;
     const TXNS: usize = 800;
     let p = Native::new(THREADS);
-    let stm = Nzstm::with_defaults(Arc::clone(&p));
+    let stm = NzBuilder::new(Arc::clone(&p)).build_nzstm();
     let shared = stm.new_obj(0u64);
     let locals: Vec<_> = (0..THREADS).map(|i| stm.new_obj(i as u64)).collect();
 

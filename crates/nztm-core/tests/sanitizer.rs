@@ -11,7 +11,7 @@
 
 use nztm_core::cm::{Aggressive, KarmaDeadlock, Polite};
 use nztm_core::engine::{ModePolicy, NzStm};
-use nztm_core::{Bzstm, NZObject, NzConfig, Nzstm, NzstmScss};
+use nztm_core::{Bzstm, NZObject, NzBuilder, NzConfig, Nzstm, NzstmScss};
 use nztm_sim::{DetRng, Machine, MachineConfig, Native, Platform, SimPlatform};
 use std::sync::Arc;
 
@@ -94,7 +94,7 @@ fn native_stress<M: ModePolicy>(
 fn bzstm_clean_under_adversarial_schedules_native() {
     for seed in 1..=4u64 {
         let p = Native::new(4);
-        let stm = Bzstm::with_defaults(Arc::clone(&p));
+        let stm = NzBuilder::new(Arc::clone(&p)).build_bzstm();
         stm.sanitizer().set_schedule(seed, 6);
         native_stress(&p, &stm, 4, 150, seed);
         let v = stm.sanitizer().violations();
@@ -147,7 +147,7 @@ fn same_seed_gives_byte_identical_schedule_on_sim() {
         let m = Machine::new(MachineConfig::paper(3));
         let p = SimPlatform::new(Arc::clone(&m));
         m.enable_trace();
-        let stm = Bzstm::with_defaults(Arc::clone(&p));
+        let stm = NzBuilder::new(Arc::clone(&p)).build_bzstm();
         stm.sanitizer().set_schedule(seed, 8);
         // Setup on core 0 (allocation charges the sim cache model).
         let bank = {

@@ -15,7 +15,7 @@
 //! hardware repair).
 
 use nztm_core::hybrid::{hw_examine_and_clean, HwCheck};
-use nztm_core::{NZObject, Nzstm, TxnDesc, WordBuf};
+use nztm_core::{NZObject, NzBuilder, TxnDesc, WordBuf};
 use nztm_sim::Native;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -80,7 +80,7 @@ fn software_acquire_keeps_committed_value() {
     // the stale buffer either.
     let platform = Native::new(1);
     platform.register_thread_as(0);
-    let stm = Nzstm::with_defaults(platform);
+    let stm = NzBuilder::new(platform).build_nzstm();
     // Note: the object was built outside this STM instance, but both
     // operate on the same NZObject primitives.
     let got = stm.run(|tx| {
@@ -97,7 +97,7 @@ fn software_read_keeps_committed_value() {
     let (obj, _p, _v) = racy_object();
     let platform = Native::new(1);
     platform.register_thread_as(0);
-    let stm = Nzstm::with_defaults(platform);
+    let stm = NzBuilder::new(platform).build_nzstm();
     assert_eq!(stm.run(|tx| tx.read(&obj)), 42);
 }
 
@@ -119,7 +119,7 @@ fn aborted_owners_backup_is_still_restored() {
 
     let platform = Native::new(1);
     platform.register_thread_as(0);
-    let stm = Nzstm::with_defaults(platform);
+    let stm = NzBuilder::new(platform).build_nzstm();
     assert_eq!(stm.run(|tx| tx.read(&obj)), 10, "aborted writer's dirt must not leak");
     let g = nztm_epoch::pin();
     let (b, _) = obj.header().backup(&g).expect("attached");

@@ -131,7 +131,7 @@ mod tests {
     fn sys() -> Arc<Sys> {
         let p = Native::new(1);
         p.register_thread();
-        Nzstm::with_defaults(p)
+        nztm_core::NzBuilder::new(p).build_nzstm()
     }
 
     #[test]

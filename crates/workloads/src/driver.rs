@@ -489,7 +489,7 @@ mod tests {
     #[test]
     fn native_hashtable_benchmark_runs() {
         let p = Native::new(2);
-        let s = Nzstm::with_defaults(Arc::clone(&p));
+        let s = nztm_core::NzBuilder::new(Arc::clone(&p)).build_nzstm();
         let cfg = SetBenchConfig {
             kind: SetKind::HashTable,
             contention: Contention::Low,

@@ -190,13 +190,12 @@ pub fn stress_sim<S: TmSys>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nztm_core::{Bzstm, Nzstm};
     use nztm_sim::{CacheConfig, CostModel, MachineConfig, SimPlatform};
 
     #[test]
     fn native_stress_conserves_money() {
         let p = Native::new(3);
-        let s = Nzstm::with_defaults(Arc::clone(&p));
+        let s = nztm_core::NzBuilder::new(Arc::clone(&p)).build_nzstm();
         let cfg = StressConfig { threads: 3, ops_per_thread: 200, ..StressConfig::default() };
         let st = stress_native(&p, &s, &cfg);
         assert!(st.commits >= 600, "each op commits at least once");
@@ -214,7 +213,7 @@ mod tests {
                 max_cycles: 4_000_000_000,
             });
             let p = SimPlatform::new(Arc::clone(&m));
-            let s = Bzstm::with_defaults(Arc::clone(&p));
+            let s = nztm_core::NzBuilder::new(Arc::clone(&p)).build_bzstm();
             let cfg = StressConfig { threads: 3, ops_per_thread: 60, ..StressConfig::default() };
             let (st, report) = stress_sim(&m, &s, &cfg);
             (st.commits, st.aborts(), report.makespan)

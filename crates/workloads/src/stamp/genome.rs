@@ -233,7 +233,7 @@ mod tests {
     fn single_thread_full_pipeline() {
         let p = Native::new(1);
         p.register_thread_as(0);
-        let s: Arc<Sys> = Nzstm::with_defaults(p);
+        let s: Arc<Sys> = nztm_core::NzBuilder::new(p).build_nzstm();
         let mut g = Genome::new(&*s, GenomeConfig { genome_len: 128, seed: 7 });
         let inserted = g.dedup_phase(&*s, 0, 1);
         assert_eq!(inserted as usize, g.expected_unique());
@@ -247,7 +247,7 @@ mod tests {
     fn claims_are_exclusive_across_threads() {
         let threads = 4;
         let p = Native::new(threads);
-        let s: Arc<Sys> = Nzstm::with_defaults(Arc::clone(&p));
+        let s: Arc<Sys> = nztm_core::NzBuilder::new(Arc::clone(&p)).build_nzstm();
         p.register_thread_as(0);
         let mut g = Genome::new(&*s, GenomeConfig { genome_len: 256, seed: 3 });
         std::thread::scope(|scope| {

@@ -209,7 +209,7 @@ mod tests {
     fn single_thread_matches_reference() {
         let p = Native::new(1);
         p.register_thread();
-        let s: Arc<Sys> = Nzstm::with_defaults(p);
+        let s: Arc<Sys> = nztm_core::NzBuilder::new(p).build_nzstm();
         let km = Kmeans::new(
             &*s,
             KmeansConfig { clusters: 5, points: 200, iterations: 1, seed: 9, compute_cycles: 0 },
@@ -229,7 +229,7 @@ mod tests {
     #[test]
     fn multithreaded_conserves_points() {
         let p = Native::new(4);
-        let s: Arc<Sys> = Nzstm::with_defaults(Arc::clone(&p));
+        let s: Arc<Sys> = nztm_core::NzBuilder::new(Arc::clone(&p)).build_nzstm();
         let km = Arc::new(Kmeans::new(
             &*s,
             KmeansConfig { clusters: 15, points: 1000, iterations: 2, seed: 2, compute_cycles: 0 },

@@ -339,7 +339,7 @@ mod tests {
     fn single_thread_mixed_transactions() {
         let p = Native::new(1);
         p.register_thread_as(0);
-        let s: Arc<Sys> = Nzstm::with_defaults(p);
+        let s: Arc<Sys> = nztm_core::NzBuilder::new(p).build_nzstm();
         let v = Vacation::new(&*s, VacationConfig::high(32, 16));
         let mut rng = DetRng::new(99);
         for _ in 0..500 {
@@ -352,7 +352,7 @@ mod tests {
     fn multithreaded_conservation() {
         let threads = 4;
         let p = Native::new(threads);
-        let s: Arc<Sys> = Nzstm::with_defaults(Arc::clone(&p));
+        let s: Arc<Sys> = nztm_core::NzBuilder::new(Arc::clone(&p)).build_nzstm();
         p.register_thread_as(0);
         let v = Arc::new(Vacation::new(&*s, VacationConfig::high(32, 16)));
         std::thread::scope(|scope| {
@@ -377,7 +377,7 @@ mod tests {
     fn reservation_respects_capacity() {
         let p = Native::new(1);
         p.register_thread_as(0);
-        let s: Arc<Sys> = Nzstm::with_defaults(p);
+        let s: Arc<Sys> = nztm_core::NzBuilder::new(p).build_nzstm();
         let v = Vacation::new(&*s, VacationConfig::low(4, 64));
         let mut rng = DetRng::new(1);
         for _ in 0..2_000 {

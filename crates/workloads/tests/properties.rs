@@ -2,7 +2,7 @@
 //! reference model, across data structures and backends, plus STAMP
 //! invariants under random seeds.
 
-use nztm_core::{Bzstm, Nzstm, TmSys};
+use nztm_core::{NzBuilder, Nzstm, TmSys};
 use nztm_dstm::{Dstm, ShadowStm};
 use nztm_sim::{DetRng, Native};
 use nztm_workloads::hashtable::HashTableSet;
@@ -15,7 +15,7 @@ use std::sync::Arc;
 fn nz() -> Arc<Nzstm<Native>> {
     let p = Native::new(1);
     p.register_thread_as(0);
-    Nzstm::with_defaults(p)
+    NzBuilder::new(p).build_nzstm()
 }
 
 /// Red-black tree: arbitrary seeds, reference equivalence and the
@@ -76,10 +76,10 @@ fn backends_agree_on_random_streams() {
         let seed = meta.next_u64();
         let p = Native::new(1);
         p.register_thread_as(0);
-        let a = run(&*Nzstm::with_defaults(Arc::clone(&p)), seed);
+        let a = run(&*NzBuilder::new(Arc::clone(&p)).build_nzstm(), seed);
         let p = Native::new(1);
         p.register_thread_as(0);
-        let b = run(&*Bzstm::with_defaults(Arc::clone(&p)), seed);
+        let b = run(&*NzBuilder::new(Arc::clone(&p)).build_bzstm(), seed);
         let p = Native::new(1);
         p.register_thread_as(0);
         let c = run(&*ShadowStm::with_defaults(Arc::clone(&p)), seed);
@@ -98,7 +98,7 @@ fn vacation_conservation_random() {
         let high = meta.chance(1, 2);
         let p = Native::new(1);
         p.register_thread_as(0);
-        let s = Nzstm::with_defaults(p);
+        let s = NzBuilder::new(p).build_nzstm();
         let mut cfg = if high { VacationConfig::high(16, 8) } else { VacationConfig::low(16, 8) };
         cfg.seed = seed;
         let v = Vacation::new(&*s, cfg);

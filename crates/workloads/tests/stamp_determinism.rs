@@ -7,7 +7,7 @@
 //! schedule, so only run-to-run (same thread count) equality is
 //! asserted there.
 
-use nztm_core::{Nzstm, NzstmScss};
+use nztm_core::NzBuilder;
 use nztm_sim::{Machine, MachineConfig, SimPlatform};
 use nztm_workloads::driver::{run_genome_sim, run_kmeans_sim, run_vacation_sim, BenchResult};
 use nztm_workloads::set::TmSet;
@@ -43,19 +43,19 @@ fn sim(threads: usize) -> (Arc<Machine>, Arc<SimPlatform>) {
 
 fn genome_run(threads: usize) -> u64 {
     let (machine, platform) = sim(threads);
-    let sys = Nzstm::with_defaults(Arc::clone(&platform));
+    let sys = NzBuilder::new(Arc::clone(&platform)).build_nzstm();
     fingerprint(&run_genome_sim(&machine, &platform, &sys, GenomeConfig::small()))
 }
 
 fn kmeans_run(threads: usize) -> u64 {
     let (machine, platform) = sim(threads);
-    let sys = Nzstm::with_defaults(Arc::clone(&platform));
+    let sys = NzBuilder::new(Arc::clone(&platform)).build_nzstm();
     fingerprint(&run_kmeans_sim(&machine, &platform, &sys, KmeansConfig::high(160, 3)))
 }
 
 fn vacation_run(threads: usize) -> u64 {
     let (machine, platform) = sim(threads);
-    let sys = Nzstm::with_defaults(Arc::clone(&platform));
+    let sys = NzBuilder::new(Arc::clone(&platform)).build_nzstm();
     // Conservation is asserted inside the driver after the client phase.
     fingerprint(&run_vacation_sim(&machine, &platform, &sys, VacationConfig::low(48, 24), 40))
 }
@@ -90,7 +90,7 @@ fn vacation_is_deterministic_per_thread_count() {
 fn genome_dedup_set_agrees_across_thread_counts() {
     fn dedup_elements(threads: usize) -> Vec<u64> {
         let (machine, platform) = sim(threads);
-        let sys = Nzstm::with_defaults(Arc::clone(&platform));
+        let sys = NzBuilder::new(Arc::clone(&platform)).build_nzstm();
         let g = Arc::new(Genome::new(&*sys, GenomeConfig::small()));
         let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..threads)
             .map(|tid| {
@@ -120,7 +120,7 @@ fn genome_dedup_set_agrees_across_thread_counts() {
 #[test]
 fn stamp_smoke_on_scss() {
     let (machine, platform) = sim(4);
-    let sys = NzstmScss::with_defaults(Arc::clone(&platform));
+    let sys = NzBuilder::new(Arc::clone(&platform)).build_scss();
     let g = run_genome_sim(&machine, &platform, &sys, GenomeConfig::small());
     assert!(g.ops > 0);
     let k = run_kmeans_sim(&machine, &platform, &sys, KmeansConfig::low(120, 2));

@@ -12,7 +12,7 @@
 //! verifying that every backend converges to the *same* set contents
 //! (the operation stream is deterministic).
 
-use nztm_core::{Bzstm, Nzstm, NzstmScss, TmSys};
+use nztm_core::{NzBuilder, TmSys};
 use nztm_dstm::ShadowStm;
 use nztm_sim::Native;
 use nztm_workloads::redblack::RedBlackSet;
@@ -68,15 +68,15 @@ fn main() {
 
     {
         let p = Native::new(THREADS);
-        finals.push(run_backend("NZSTM", Nzstm::with_defaults(Arc::clone(&p)), p));
+        finals.push(run_backend("NZSTM", NzBuilder::new(Arc::clone(&p)).build_nzstm(), p));
     }
     {
         let p = Native::new(THREADS);
-        finals.push(run_backend("BZSTM", Bzstm::with_defaults(Arc::clone(&p)), p));
+        finals.push(run_backend("BZSTM", NzBuilder::new(Arc::clone(&p)).build_bzstm(), p));
     }
     {
         let p = Native::new(THREADS);
-        finals.push(run_backend("SCSS", NzstmScss::with_defaults(Arc::clone(&p)), p));
+        finals.push(run_backend("SCSS", NzBuilder::new(Arc::clone(&p)).build_scss(), p));
     }
     {
         let p = Native::new(THREADS);

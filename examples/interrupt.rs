@@ -17,7 +17,7 @@
 //!   patience budget, **inflates** the queue object past the
 //!   unresponsive owner, and completes immediately.
 
-use nztm_core::{tm_data_struct, Bzstm, NzConfig, NzStm, Nzstm};
+use nztm_core::{tm_data_struct, NzConfig, NzStm};
 use nztm_sim::Native;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -143,6 +143,4 @@ fn main() {
     assert!(bz_latency.is_none(), "BZSTM handler blocks on the preempted thread");
     println!("NZSTM is nonblocking: the handler inflated past the unresponsive owner.");
     println!("BZSTM is blocking: the handler could only wait. (§1, §2.3)");
-    // Quiet unused-import warnings on some toolchains.
-    let _ = (Nzstm::<Native>::with_defaults, Bzstm::<Native>::with_defaults);
 }

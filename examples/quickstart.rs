@@ -9,7 +9,7 @@
 //! multiple threads. The invariant printed at the end (total balance
 //! conserved) holds because every transfer is atomic.
 
-use nztm_core::Nzstm;
+use nztm_core::NzBuilder;
 use nztm_sim::{DetRng, Native};
 use std::sync::Arc;
 
@@ -24,7 +24,7 @@ fn main() {
 
     // 2. The STM: NZSTM with the paper's defaults (visible reads,
     //    Karma + deadlock-detection contention management).
-    let stm = Nzstm::with_defaults(Arc::clone(&platform));
+    let stm = NzBuilder::new(Arc::clone(&platform)).build_nzstm();
 
     // 3. Transactional objects.
     let accounts: Arc<Vec<_>> = Arc::new((0..ACCOUNTS).map(|_| stm.new_obj(INITIAL)).collect());

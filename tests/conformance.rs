@@ -8,32 +8,19 @@
 //! that they honour the same *interface contract*, so a new backend (or
 //! an API change) that silently diverges fails here by name.
 
-use nztm_core::cm::KarmaDeadlock;
-use nztm_core::{
-    Abort, AbortCause, Bzstm, NzBuilder, NzConfig, Nzstm, NzstmScss, ReadMode, TmSys,
+use nztm_bench::registry::{
+    self, BackendCaps, BackendVisitor, ReferenceKind, ReferenceVisitor,
 };
-use nztm_dstm::{Dstm, GlobalLockTm, ShadowStm};
+use nztm_core::cm::KarmaDeadlock;
+use nztm_core::{Abort, AbortCause, BackendKind, NzBuilder, NzConfig, Nzstm, ReadMode, TmSys};
 use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, LogTmSe, NztmHybrid};
 use nztm_sim::{Machine, MachineConfig, Native, SimPlatform};
 use std::sync::Arc;
 
-/// What a backend opts out of; the battery adapts rather than failing.
-#[derive(Clone, Copy)]
-struct Caps {
-    /// The closure may return `Err(Abort)` and the system aborts the
-    /// attempt and retries. `GlobalLockTm` cannot abort by construction,
-    /// so it opts out.
-    explicit_abort: bool,
-    /// The engine has a flight recorder (BZSTM/NZSTM/SCSS/hybrid);
-    /// reference systems keep the no-op tracing defaults.
-    records_events: bool,
-}
+const ENGINE: BackendCaps = BackendCaps::ENGINE;
+const REFERENCE: BackendCaps = BackendCaps::REFERENCE;
 
-const ENGINE: Caps = Caps { explicit_abort: true, records_events: true };
-const REFERENCE: Caps = Caps { explicit_abort: true, records_events: false };
-const NO_ABORT: Caps = Caps { explicit_abort: false, records_events: false };
-
-fn battery<S: TmSys>(sys: &S, caps: Caps) {
+fn battery<S: TmSys>(sys: &S, caps: BackendCaps) {
     let who = sys.name();
     assert!(!who.is_empty(), "name() must be non-empty");
 
@@ -188,18 +175,30 @@ fn native1() -> Arc<Native> {
     p
 }
 
+/// The interface battery over every software composition the registry
+/// enumerates — so a backend added to `BackendKind` is conformance-
+/// checked the moment it exists, with no per-backend test to remember.
 #[test]
-fn conformance_bzstm() {
-    let sys = NzBuilder::new(native1()).build_bzstm();
-    battery(&*sys, ENGINE);
-    tds_battery(&*sys, true);
-}
-
-#[test]
-fn conformance_nzstm() {
-    let sys = NzBuilder::new(native1()).build_nzstm();
-    battery(&*sys, ENGINE);
-    tds_battery(&*sys, true);
+fn conformance_every_registered_software_backend() {
+    struct V {
+        visited: Vec<&'static str>,
+    }
+    impl BackendVisitor<Native> for V {
+        fn visit<S, F>(&mut self, kind: BackendKind, caps: BackendCaps, build: F)
+        where
+            S: TmSys,
+            F: FnOnce(Arc<Native>) -> Arc<S>,
+        {
+            let sys = build(native1());
+            battery(&*sys, caps);
+            tds_battery(&*sys, caps.counts_adt_ops);
+            self.visited.push(kind.name());
+        }
+    }
+    let mut v = V { visited: Vec::new() };
+    registry::for_each_software_backend(&mut v);
+    assert_eq!(v.visited, ["BZSTM", "NZSTM", "SCSS", "NOREC"]);
+    assert_eq!(v.visited.len(), registry::software_backend_count());
 }
 
 #[test]
@@ -209,43 +208,27 @@ fn conformance_nzstm_invisible_reads() {
     tds_battery(&*sys, true);
 }
 
+/// Same enumeration discipline for the reference systems.
 #[test]
-fn conformance_scss() {
-    let sys = NzBuilder::new(native1()).build_scss();
-    battery(&*sys, ENGINE);
-    tds_battery(&*sys, true);
-}
-
-#[test]
-fn conformance_pre_builder_constructors_still_work() {
-    // The pre-builder construction paths keep working (the deprecated
-    // `nzstm_default` shim and the plain `with_defaults` constructors)
-    // and behave like the builder's output.
-    #[allow(deprecated)]
-    battery(&*nztm_core::nzstm_default(native1()), ENGINE);
-    battery(&*Bzstm::with_defaults(native1()), ENGINE);
-    battery(&*NzstmScss::with_defaults(native1()), ENGINE);
-}
-
-#[test]
-fn conformance_dstm() {
-    let sys = Dstm::with_defaults(native1());
-    battery(&*sys, REFERENCE);
-    tds_battery(&*sys, false);
-}
-
-#[test]
-fn conformance_shadow() {
-    let sys = ShadowStm::with_defaults(native1());
-    battery(&*sys, REFERENCE);
-    tds_battery(&*sys, false);
-}
-
-#[test]
-fn conformance_global_lock() {
-    let sys = GlobalLockTm::new(native1());
-    battery(&*sys, NO_ABORT);
-    tds_battery(&*sys, false);
+fn conformance_every_registered_reference_backend() {
+    struct V {
+        visited: usize,
+    }
+    impl ReferenceVisitor<Native> for V {
+        fn visit<S, F>(&mut self, _kind: ReferenceKind, caps: BackendCaps, build: F)
+        where
+            S: TmSys,
+            F: FnOnce(Arc<Native>) -> Arc<S>,
+        {
+            let sys = build(native1());
+            battery(&*sys, caps);
+            tds_battery(&*sys, caps.counts_adt_ops);
+            self.visited += 1;
+        }
+    }
+    let mut v = V { visited: 0 };
+    registry::for_each_reference_backend(&mut v);
+    assert_eq!(v.visited, ReferenceKind::ALL.len());
 }
 
 #[test]

@@ -8,9 +8,12 @@
 //! operation stream against a `BTreeSet` reference (so divergence
 //! pinpoints the faulty backend), then a concurrent smoke run.
 
+use nztm_bench::registry::{
+    self, BackendCaps, BackendVisitor, ReferenceKind, ReferenceVisitor,
+};
 use nztm_core::cm::KarmaDeadlock;
-use nztm_core::{Bzstm, NzConfig, Nzstm, NzstmScss, ReadMode, TmSys};
-use nztm_dstm::{Dstm, GlobalLockTm, ShadowStm};
+use nztm_core::{BackendKind, NzConfig, Nzstm, ReadMode, TmSys};
+use nztm_dstm::ShadowStm;
 use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, LogTmSe, NztmHybrid};
 use nztm_sim::{DetRng, Machine, MachineConfig, Native, SimPlatform};
 use nztm_workloads::hashtable::HashTableSet;
@@ -33,11 +36,48 @@ fn reference_all_sets<S: TmSys>(sys: &S) {
     check_against_reference(&ht, sys, 33, REF_OPS, Contention::Low);
 }
 
+/// Every software composition the registry enumerates (BZSTM, NZSTM,
+/// SCSS, NOrec) against the `BTreeSet` reference — a new `BackendKind`
+/// goes through this differential automatically.
 #[test]
-fn nzstm_matches_reference() {
-    let p = Native::new(1);
-    p.register_thread_as(0);
-    reference_all_sets(&*Nzstm::with_defaults(p));
+fn every_registered_software_backend_matches_reference() {
+    struct V(Vec<&'static str>);
+    impl BackendVisitor<Native> for V {
+        fn visit<S, F>(&mut self, kind: BackendKind, _caps: BackendCaps, build: F)
+        where
+            S: TmSys,
+            F: FnOnce(Arc<Native>) -> Arc<S>,
+        {
+            let p = Native::new(1);
+            p.register_thread_as(0);
+            reference_all_sets(&*build(p));
+            self.0.push(kind.name());
+        }
+    }
+    let mut v = V(Vec::new());
+    registry::for_each_software_backend(&mut v);
+    assert_eq!(v.0.len(), registry::software_backend_count());
+}
+
+/// Same differential for the non-NZTM reference systems.
+#[test]
+fn every_registered_reference_backend_matches_reference() {
+    struct V(usize);
+    impl ReferenceVisitor<Native> for V {
+        fn visit<S, F>(&mut self, _kind: ReferenceKind, _caps: BackendCaps, build: F)
+        where
+            S: TmSys,
+            F: FnOnce(Arc<Native>) -> Arc<S>,
+        {
+            let p = Native::new(1);
+            p.register_thread_as(0);
+            reference_all_sets(&*build(p));
+            self.0 += 1;
+        }
+    }
+    let mut v = V(0);
+    registry::for_each_reference_backend(&mut v);
+    assert_eq!(v.0, ReferenceKind::ALL.len());
 }
 
 #[test]
@@ -50,41 +90,6 @@ fn nzstm_invisible_reads_match_reference() {
         NzConfig { read_mode: ReadMode::Invisible, ..NzConfig::default() },
     );
     reference_all_sets(&*s);
-}
-
-#[test]
-fn bzstm_matches_reference() {
-    let p = Native::new(1);
-    p.register_thread_as(0);
-    reference_all_sets(&*Bzstm::with_defaults(p));
-}
-
-#[test]
-fn scss_matches_reference() {
-    let p = Native::new(1);
-    p.register_thread_as(0);
-    reference_all_sets(&*NzstmScss::with_defaults(p));
-}
-
-#[test]
-fn dstm_matches_reference() {
-    let p = Native::new(1);
-    p.register_thread_as(0);
-    reference_all_sets(&*Dstm::with_defaults(p));
-}
-
-#[test]
-fn shadow_matches_reference() {
-    let p = Native::new(1);
-    p.register_thread_as(0);
-    reference_all_sets(&*ShadowStm::with_defaults(p));
-}
-
-#[test]
-fn global_lock_matches_reference() {
-    let p = Native::new(1);
-    p.register_thread_as(0);
-    reference_all_sets(&*GlobalLockTm::new(p));
 }
 
 #[test]
@@ -162,17 +167,25 @@ fn concurrent_disjoint_streams_agree_across_backends() {
         set.elements(&*sys)
     }
 
+    struct V(Vec<(&'static str, Vec<u64>)>);
+    impl BackendVisitor<Native> for V {
+        fn visit<S, F>(&mut self, kind: BackendKind, _caps: BackendCaps, build: F)
+        where
+            S: TmSys,
+            F: FnOnce(Arc<Native>) -> Arc<S>,
+        {
+            let p = Native::new(4);
+            self.0.push((kind.name(), run(build(Arc::clone(&p)), p)));
+        }
+    }
+    let mut v = V(Vec::new());
+    registry::for_each_software_backend(&mut v);
     let p = Native::new(4);
-    let a = run(Nzstm::with_defaults(Arc::clone(&p)), Arc::clone(&p));
-    let p = Native::new(4);
-    let b = run(Bzstm::with_defaults(Arc::clone(&p)), Arc::clone(&p));
-    let p = Native::new(4);
-    let c = run(NzstmScss::with_defaults(Arc::clone(&p)), Arc::clone(&p));
-    let p = Native::new(4);
-    let d = run(ShadowStm::with_defaults(Arc::clone(&p)), Arc::clone(&p));
-    assert_eq!(a, b, "NZSTM vs BZSTM");
-    assert_eq!(a, c, "NZSTM vs SCSS");
-    assert_eq!(a, d, "NZSTM vs DSTM2-SF");
+    v.0.push(("shadow", run(ShadowStm::with_defaults(Arc::clone(&p)), p)));
+    let (base_name, base) = &v.0[0];
+    for (name, got) in &v.0[1..] {
+        assert_eq!(got, base, "{base_name} vs {name}");
+    }
 }
 
 /// Differential cross-backend check on the deterministic simulator:
@@ -236,12 +249,23 @@ fn committed_op_multisets_agree_across_backends() {
         (machine, platform)
     };
 
-    let (machine, platform) = sim();
-    let bz = run_stm(Bzstm::with_defaults(Arc::clone(&platform)), machine);
-    let (machine, platform) = sim();
-    let nz = run_stm(Nzstm::with_defaults(Arc::clone(&platform)), machine);
-    let (machine, platform) = sim();
-    let sc = run_stm(NzstmScss::with_defaults(Arc::clone(&platform)), machine);
+    type SetRun = (Vec<u64>, Vec<OpSummary>);
+    struct V {
+        sim: fn() -> (Arc<Machine>, Arc<SimPlatform>),
+        out: Vec<(&'static str, SetRun)>,
+    }
+    impl BackendVisitor<SimPlatform> for V {
+        fn visit<S, F>(&mut self, kind: BackendKind, _caps: BackendCaps, build: F)
+        where
+            S: TmSys,
+            F: FnOnce(Arc<SimPlatform>) -> Arc<S>,
+        {
+            let (machine, platform) = (self.sim)();
+            self.out.push((kind.name(), run_stm(build(platform), machine)));
+        }
+    }
+    let mut v = V { sim, out: Vec::new() };
+    registry::for_each_software_backend(&mut v);
 
     let (machine, platform) = sim();
     let stm = Nzstm::new(Arc::clone(&platform), Arc::new(KarmaDeadlock::default()), NzConfig::default());
@@ -251,15 +275,14 @@ fn committed_op_multisets_agree_across_backends() {
     let set = Arc::new(HashTableSet::new(&*hybrid, 4 * 64));
     let log = Arc::new(HistoryLog::new());
     machine.run(stream_bodies(&hybrid, &set, &log, 3));
-    let hy = (set.elements(&*hybrid), summarize(&log));
     hybrid.htm().uninstall();
+    v.out.push(("NZTM", (set.elements(&*hybrid), summarize(&log))));
 
-    assert_eq!(bz.0, nz.0, "final contents: BZSTM vs NZSTM");
-    assert_eq!(bz.0, sc.0, "final contents: BZSTM vs SCSS");
-    assert_eq!(bz.0, hy.0, "final contents: BZSTM vs hybrid");
-    assert_eq!(bz.1, nz.1, "committed ops: BZSTM vs NZSTM");
-    assert_eq!(bz.1, sc.1, "committed ops: BZSTM vs SCSS");
-    assert_eq!(bz.1, hy.1, "committed ops: BZSTM vs hybrid");
+    let (base_name, base) = &v.out[0];
+    for (name, got) in &v.out[1..] {
+        assert_eq!(got.0, base.0, "final contents: {base_name} vs {name}");
+        assert_eq!(got.1, base.1, "committed ops: {base_name} vs {name}");
+    }
 }
 
 // --- sharded KV differential (PR 8) ---
@@ -295,18 +318,43 @@ fn kv_oracle() -> KvSummary {
 /// coarse-lock reference store.
 #[test]
 fn sharded_kv_trace_matches_reference_on_every_backend() {
-    let expect = kv_oracle();
-    let native = || {
+    fn native() -> Arc<Native> {
         let p = Native::new(1);
         p.register_thread_as(0);
         p
-    };
-    assert_eq!(run_kv_trace(&*Nzstm::with_defaults(native())), expect, "NZSTM");
-    assert_eq!(run_kv_trace(&*Bzstm::with_defaults(native())), expect, "BZSTM");
-    assert_eq!(run_kv_trace(&*NzstmScss::with_defaults(native())), expect, "SCSS");
-    assert_eq!(run_kv_trace(&*Dstm::with_defaults(native())), expect, "DSTM2-SF");
-    assert_eq!(run_kv_trace(&*ShadowStm::with_defaults(native())), expect, "shadow");
-    assert_eq!(run_kv_trace(&*GlobalLockTm::new(native())), expect, "global-lock");
+    }
+    struct V {
+        expect: KvSummary,
+        visited: usize,
+    }
+    impl V {
+        fn check<S: TmSys>(&mut self, sys: Arc<S>, label: &str) {
+            assert_eq!(run_kv_trace(&*sys), self.expect, "{label}");
+            self.visited += 1;
+        }
+    }
+    impl BackendVisitor<Native> for V {
+        fn visit<S, F>(&mut self, kind: BackendKind, _caps: BackendCaps, build: F)
+        where
+            S: TmSys,
+            F: FnOnce(Arc<Native>) -> Arc<S>,
+        {
+            self.check(build(native()), kind.name());
+        }
+    }
+    impl ReferenceVisitor<Native> for V {
+        fn visit<S, F>(&mut self, kind: ReferenceKind, _caps: BackendCaps, build: F)
+        where
+            S: TmSys,
+            F: FnOnce(Arc<Native>) -> Arc<S>,
+        {
+            self.check(build(native()), kind.name());
+        }
+    }
+    let mut v = V { expect: kv_oracle(), visited: 0 };
+    registry::for_each_software_backend(&mut v);
+    registry::for_each_reference_backend(&mut v);
+    assert_eq!(v.visited, registry::software_backend_count() + ReferenceKind::ALL.len());
 }
 
 /// The same differential on the simulator-hosted backends (LogTM-SE and
@@ -370,16 +418,27 @@ fn concurrent_kv_transfers_conserve_on_every_backend() {
         assert!(!wallets.is_empty(), "{label}: transfers initialized wallets");
     }
 
-    let p = Native::new(4);
-    run(Nzstm::with_defaults(Arc::clone(&p)), p, "NZSTM");
-    let p = Native::new(4);
-    run(Bzstm::with_defaults(Arc::clone(&p)), p, "BZSTM");
-    let p = Native::new(4);
-    run(NzstmScss::with_defaults(Arc::clone(&p)), p, "SCSS");
-    let p = Native::new(4);
-    run(Dstm::with_defaults(Arc::clone(&p)), p, "DSTM2-SF");
-    let p = Native::new(4);
-    run(ShadowStm::with_defaults(Arc::clone(&p)), p, "shadow");
-    let p = Native::new(4);
-    run(GlobalLockTm::new(Arc::clone(&p)), p, "global-lock");
+    struct V;
+    impl BackendVisitor<Native> for V {
+        fn visit<S, F>(&mut self, kind: BackendKind, _caps: BackendCaps, build: F)
+        where
+            S: TmSys,
+            F: FnOnce(Arc<Native>) -> Arc<S>,
+        {
+            let p = Native::new(4);
+            run(build(Arc::clone(&p)), p, kind.name());
+        }
+    }
+    impl ReferenceVisitor<Native> for V {
+        fn visit<S, F>(&mut self, kind: ReferenceKind, _caps: BackendCaps, build: F)
+        where
+            S: TmSys,
+            F: FnOnce(Arc<Native>) -> Arc<S>,
+        {
+            let p = Native::new(4);
+            run(build(Arc::clone(&p)), p, kind.name());
+        }
+    }
+    registry::for_each_software_backend(&mut V);
+    registry::for_each_reference_backend(&mut V);
 }

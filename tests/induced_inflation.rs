@@ -3,7 +3,7 @@
 //! ordinary benchmark executions inflation never happens.
 
 use nztm_core::cm::KarmaDeadlock;
-use nztm_core::{NzConfig, Nzstm};
+use nztm_core::{NzBuilder, NzConfig, Nzstm};
 use nztm_sim::{DetRng, Machine, MachineConfig, Native, Platform, SimPlatform};
 use nztm_workloads::linkedlist::LinkedListSet;
 use nztm_workloads::set::{Contention, SetOp, TmSet};
@@ -16,7 +16,7 @@ use std::sync::Arc;
 #[test]
 fn inflation_not_observed_in_ordinary_runs() {
     let p = Native::new(4);
-    let s = Nzstm::with_defaults(Arc::clone(&p));
+    let s = NzBuilder::new(Arc::clone(&p)).build_nzstm();
     let set = Arc::new(LinkedListSet::new(&*s, 60_000));
     std::thread::scope(|scope| {
         for tid in 0..4usize {

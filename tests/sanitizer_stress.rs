@@ -10,7 +10,7 @@
 //! schedule digest, and machine handoff trace.
 
 use nztm_core::cm::{KarmaDeadlock, Polite};
-use nztm_core::{Bzstm, NzConfig, Nzstm, NzstmScss};
+use nztm_core::{Bzstm, NzBuilder, NzConfig, Nzstm, NzstmScss};
 use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, NztmHybrid};
 use nztm_sim::{Machine, MachineConfig, Native, SimPlatform};
 use nztm_workloads::harness::{stress_native, stress_sim, StressConfig};
@@ -28,7 +28,7 @@ fn cfg(threads: usize, seed: u64) -> StressConfig {
 fn bzstm_native_stress_is_sanitizer_clean() {
     for seed in [3u64, 77] {
         let p = Native::new(4);
-        let stm = Bzstm::with_defaults(Arc::clone(&p));
+        let stm = NzBuilder::new(Arc::clone(&p)).build_bzstm();
         stm.sanitizer().set_schedule(seed, 5);
         let st = stress_native(&p, &stm, &cfg(4, seed));
         assert!(st.commits > 0);
@@ -95,7 +95,7 @@ fn oversubscribed_128_thread_stress_is_sanitizer_clean_on_all_systems() {
     };
     {
         let p = Native::new(128);
-        let stm = Bzstm::with_defaults(Arc::clone(&p));
+        let stm = NzBuilder::new(Arc::clone(&p)).build_bzstm();
         stm.sanitizer().set_schedule(1, 3);
         let st = stress_native(&p, &stm, &cfg);
         let v = stm.sanitizer().violations().iter().map(|x| format!("{x:?}")).collect();
