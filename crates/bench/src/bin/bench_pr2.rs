@@ -21,11 +21,13 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  bench_pr2 run [--quick] [--repeat N] [--scaling] [--out PATH]\n  \
+        "usage:\n  bench_pr2 run [--quick] [--repeat N] [--scaling] [--out PATH] [--htm-hist PATH]\n  \
          bench_pr2 check --baseline PATH --current PATH [--tolerance 0.15] [--raw]\n  \
          bench_pr2 attrib [--threads N] [--ops N] [--out PATH]\n\n\
          --scaling appends the NZSTM thread-scaling sweep (1..128 threads,\n\
          crossing the striped-reader-indicator boundary at 64).\n\
+         --htm-hist writes the per-cell HTM abort-reason histogram (hybrid\n\
+         cells; includes the NZTM-RTM cells on htm-native builds).\n\
          --raw gates on plain ops/s (same-machine A/B runs) instead of\n\
          calibration-normalized throughput (cross-machine baselines).\n\
          attrib cross-checks simulated per-structure miss attribution\n\
@@ -73,6 +75,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("wrote {path}");
     } else {
         println!("{}", report.to_json());
+    }
+    if let Some(path) = flag_value(args, "--htm-hist") {
+        if let Err(e) = std::fs::write(path, report.htm_histogram_json()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
     }
     ExitCode::SUCCESS
 }

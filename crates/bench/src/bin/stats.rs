@@ -62,10 +62,11 @@ fn s3(scale: &WorkloadScale) {
     let st = r.stats;
     let hw_attempts = st.htm_commits + st.htm_aborts;
     println!(
-        "measured: capacity-abort share of hw attempts = {} (capacity={} conflict={} other={})",
+        "measured: capacity-abort share of hw attempts = {} (capacity={} conflict={} explicit={} other={})",
         pct(st.htm_capacity_aborts as f64 / hw_attempts.max(1) as f64),
         st.htm_capacity_aborts,
         st.htm_conflict_aborts,
+        st.htm_explicit_aborts,
         st.htm_other_aborts
     );
     println!("paper: ~25% of hardware transactions abort due to resource limitations");

@@ -24,7 +24,7 @@
 
 use crate::suite::paper_machine;
 use nztm_core::cm::{AdaptiveConfig, KarmaDeadlock};
-use nztm_core::{Bzstm, NzBuilder, NzConfig, Nzstm, NzstmScss, TmSys};
+use nztm_core::{Bzstm, NzBuilder, NzConfig, Nzstm, NzstmScss, TmStats, TmSys};
 use nztm_htm::{AtmtpConfig, BestEffortHtm, HybridConfig, NztmHybrid};
 use nztm_sim::{DetRng, Machine, Native};
 use nztm_workloads::kv::{KvTraceCfg, KvTraceGen, ShardedKv};
@@ -35,6 +35,14 @@ use std::time::Instant;
 pub const WORKLOADS: &[&str] = &["read-heavy", "write-heavy", "transfer"];
 pub const SYSTEMS: &[&str] = &["BZSTM", "NZSTM", "SCSS", "NOREC", "HYBRID"];
 pub const THREADS: &[usize] = &[1, 4, 8];
+
+/// The hybrid over the arch-native x86_64 RTM backend, on real threads
+/// (`htm-native` builds only). Deliberately *not* in [`SYSTEMS`]: its
+/// numbers depend on whether the host has RTM, so the regression gate
+/// never matches these cells against a baseline — they are reported for
+/// the abort-reason histogram and hw-commit ratio, with the backend
+/// decision recorded in the report's `htm_native` field.
+pub const NATIVE_HTM_SYSTEM: &str = "NZTM-RTM";
 
 /// Scaling-sweep dimension (`bench_pr2 run --scaling`): NZSTM on native
 /// threads across thread counts that cross the 64-thread flat reader-
@@ -121,6 +129,61 @@ const N_ACCOUNTS: usize = 64;
 /// preempted mid-transaction — run-to-run noise swamps the policy).
 const CM_N_OBJECTS: usize = 16;
 
+/// Hardware-transaction accounting for one hybrid cell: how many
+/// transactions committed on the HTM path and why the rest aborted,
+/// in the CPS taxonomy the retry policy consults. Populated for the
+/// simulated `HYBRID` cells and the native [`NATIVE_HTM_SYSTEM`] cells;
+/// `None` on pure-software systems.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HtmCellStats {
+    /// Transactions that committed on the hardware path.
+    pub hw_commits: u64,
+    /// Hardware aborts classified as coherence conflicts (retried).
+    pub conflict_aborts: u64,
+    /// Hardware aborts from overflowing hardware resources (straight to
+    /// software — retrying cannot help).
+    pub capacity_aborts: u64,
+    /// Explicit self-aborts: the §2.4 software-conflict check fired
+    /// inside a hardware transaction (`xabort` on the native path).
+    pub explicit_aborts: u64,
+    /// Environmental aborts (TLB miss, interrupt, spurious).
+    pub other_aborts: u64,
+    /// Transactions that exhausted the hardware budget and completed on
+    /// the software path.
+    pub fallbacks: u64,
+}
+
+impl HtmCellStats {
+    fn from_tm(st: &TmStats) -> HtmCellStats {
+        HtmCellStats {
+            hw_commits: st.htm_commits,
+            conflict_aborts: st.htm_conflict_aborts,
+            capacity_aborts: st.htm_capacity_aborts,
+            explicit_aborts: st.htm_explicit_aborts,
+            other_aborts: st.htm_other_aborts,
+            fallbacks: st.fallbacks,
+        }
+    }
+
+    fn add(&mut self, o: &HtmCellStats) {
+        self.hw_commits += o.hw_commits;
+        self.conflict_aborts += o.conflict_aborts;
+        self.capacity_aborts += o.capacity_aborts;
+        self.explicit_aborts += o.explicit_aborts;
+        self.other_aborts += o.other_aborts;
+        self.fallbacks += o.fallbacks;
+    }
+
+    /// Fraction of the cell's commits that landed on the hardware path.
+    pub fn hw_ratio(&self, commits: u64) -> f64 {
+        self.hw_commits as f64 / commits.max(1) as f64
+    }
+
+    pub fn total_aborts(&self) -> u64 {
+        self.conflict_aborts + self.capacity_aborts + self.explicit_aborts + self.other_aborts
+    }
+}
+
 /// One measured (workload, system, threads) cell.
 ///
 /// The headline numbers (`ops_per_sec`, `norm`, `commits`, `aborts`)
@@ -155,6 +218,8 @@ pub struct HotCell {
     /// best-of merging recomputes exact summaries, never serialized
     /// (empty on a parsed report).
     pub sample_stats: Vec<(f64, f64)>,
+    /// Hardware-path accounting (hybrid cells only).
+    pub htm: Option<HtmCellStats>,
 }
 
 impl HotCell {
@@ -189,6 +254,11 @@ impl HotCell {
 pub struct HotReport {
     pub mode: String,
     pub calibration_mops: f64,
+    /// One-line record of the native-HTM backend decision for this run
+    /// ("not built" / "native RTM" / the fallback reason) — so a report
+    /// always says which path its hybrid cells exercised, never
+    /// silently. Kept comma-free for the flat JSON reader.
+    pub htm_native: String,
     pub cells: Vec<HotCell>,
 }
 
@@ -384,6 +454,7 @@ struct CellTiming {
     /// Per-sample `(ops/s, aborts/commit)` — every timed sample taken
     /// for this cell, not just the kept one.
     sample_stats: Vec<(f64, f64)>,
+    htm: Option<HtmCellStats>,
 }
 
 impl CellTiming {
@@ -454,6 +525,7 @@ fn native_sample_timed<S: TmSys>(
         commits: st.commits,
         aborts: st.aborts(),
         sample_stats: Vec::new(),
+        htm: Some(HtmCellStats::from_tm(&st)),
     }
 }
 
@@ -496,6 +568,13 @@ fn run_native_cell<S: TmSys>(
                 commits: b.commits + t.commits,
                 aborts: b.aborts + t.aborts,
                 sample_stats: Vec::new(),
+                htm: match (b.htm, t.htm) {
+                    (Some(mut x), Some(y)) => {
+                        x.add(&y);
+                        Some(x)
+                    }
+                    (x, y) => x.or(y),
+                },
             },
             Some(b) => {
                 if t.elapsed_ns < b.elapsed_ns {
@@ -579,9 +658,42 @@ fn run_hybrid_cell(workload: HotWorkload, threads: usize, scale: &HotScale) -> C
         commits: st.commits,
         aborts: st.aborts(),
         sample_stats: Vec::new(),
+        htm: Some(HtmCellStats::from_tm(&st)),
     };
     t.sample_stats = vec![t.own_sample()];
     t
+}
+
+/// Native-HTM policy for the NZTM-RTM cells: `NZTM_HTM_NATIVE=0` forces
+/// the transparent software fallback (an A/B lever for the conformance
+/// lane); anything else — including unset — probes the CPU (`Auto`).
+#[cfg(feature = "htm-native")]
+fn native_htm_policy_from_env() -> nztm_core::NativeHtmPolicy {
+    match std::env::var("NZTM_HTM_NATIVE").as_deref() {
+        Ok("0") => nztm_core::NativeHtmPolicy::ForceOff,
+        _ => nztm_core::NativeHtmPolicy::Auto,
+    }
+}
+
+/// One NZTM-RTM cell: the same hybrid engine as the simulated `HYBRID`
+/// cells, but on native threads with the arch-native RTM backend. On a
+/// host without RTM the cells still run (through the transparent
+/// software fallback) so the report shape is host-independent; the
+/// decision lands in [`HotReport::htm_native`].
+#[cfg(feature = "htm-native")]
+fn run_native_htm_cell(workload: HotWorkload, threads: usize, scale: &HotScale) -> CellTiming {
+    use nztm_htm::native::NativeHtm;
+    let policy = native_htm_policy_from_env();
+    run_native_cell(
+        |p| -> Arc<NztmHybrid<Native, NativeHtm>> {
+            let stm = NzBuilder::new(Arc::clone(p)).native_htm(policy).build_nzstm();
+            let htm = NativeHtm::new(stm.native_htm_policy());
+            NztmHybrid::new(stm, htm, HybridConfig::default())
+        },
+        workload,
+        threads,
+        scale,
+    )
 }
 
 fn run_cell(workload: &str, system: &str, threads: usize, scale: &HotScale) -> CellTiming {
@@ -603,7 +715,7 @@ fn run_cell(workload: &str, system: &str, threads: usize, scale: &HotScale) -> C
         hybrid_scale = HotScale { sim_ops: HYBRID_OPS, ..*scale };
         scale = &hybrid_scale;
     }
-    match system {
+    let mut t = match system {
         "BZSTM" => run_native_cell(
             |p| -> Arc<Bzstm<Native>> { NzBuilder::new(Arc::clone(p)).build_bzstm() },
             w,
@@ -642,8 +754,17 @@ fn run_cell(workload: &str, system: &str, threads: usize, scale: &HotScale) -> C
             scale,
         ),
         "HYBRID" => run_hybrid_cell(w, threads, scale),
+        #[cfg(feature = "htm-native")]
+        s if s == NATIVE_HTM_SYSTEM => run_native_htm_cell(w, threads, scale),
         other => panic!("unknown system {other:?}"),
+    };
+    // Only hybrid cells carry a hardware-path breakdown; pure-software
+    // systems share the stats struct but their HTM counters are
+    // structurally zero — suppress them instead of reporting noise.
+    if !(system == "HYBRID" || system == NATIVE_HTM_SYSTEM) {
+        t.htm = None;
     }
+    t
 }
 
 /// Run the full matrix and assemble the report. With `scaling`, the
@@ -678,6 +799,7 @@ pub fn run_matrix(mode: &str, scale: &HotScale, progress: bool, scaling: bool) -
             ops_per_sec_p95: ops_per_sec,
             abort_rate_mean: timing.aborts as f64 / timing.commits.max(1) as f64,
             sample_stats: timing.sample_stats,
+            htm: timing.htm,
         };
         cell.refresh_sample_summary();
         cells.push(cell);
@@ -686,6 +808,20 @@ pub fn run_matrix(mode: &str, scale: &HotScale, progress: bool, scaling: bool) -
         for &s in SYSTEMS {
             for &t in THREADS {
                 measure(w, s, t);
+            }
+        }
+    }
+    // Native-HTM cells ride every run of an `htm-native` build — on a
+    // host without RTM they exercise (and thereby prove) the
+    // transparent fallback, and the report records which.
+    #[cfg(feature = "htm-native")]
+    {
+        if progress {
+            eprintln!("native HTM: {}", crate::registry::native_htm_status());
+        }
+        for &w in WORKLOADS {
+            for &t in THREADS {
+                measure(w, NATIVE_HTM_SYSTEM, t);
             }
         }
     }
@@ -704,7 +840,12 @@ pub fn run_matrix(mode: &str, scale: &HotScale, progress: bool, scaling: bool) -
             }
         }
     }
-    HotReport { mode: mode.to_string(), calibration_mops, cells }
+    HotReport {
+        mode: mode.to_string(),
+        calibration_mops,
+        htm_native: crate::registry::native_htm_status(),
+        cells,
+    }
 }
 
 /// Run the matrix `repeat` times and keep each cell's best run (and the
@@ -763,16 +904,22 @@ impl HotReport {
         let mut out = String::new();
         writeln!(out, "{{").unwrap();
         writeln!(out, "  \"bench\": \"BENCH_PR2\",").unwrap();
-        // Schema 2: per-cell sample distribution (samples,
-        // ops_per_sec_mean, ops_per_sec_p95, abort_rate_mean) alongside
-        // the schema-1 best-of fields, which are unchanged — the gate
-        // reads the same fields it always did, and schema-1 reports
-        // still parse (distribution fields default to the best-of
-        // values).
-        writeln!(out, "  \"schema\": 2,").unwrap();
+        // Schema 2 added the per-cell sample distribution (samples,
+        // ops_per_sec_mean, ops_per_sec_p95, abort_rate_mean); schema 3
+        // adds the header `htm_native` decision string and, on hybrid
+        // cells only, the flat `htm_*` hardware-path breakdown. The
+        // gate reads the same fields it always did, and older reports
+        // still parse (missing fields default — distribution to the
+        // best-of values, htm to absent).
+        writeln!(out, "  \"schema\": 3,").unwrap();
         writeln!(out, "  \"mode\": \"{}\",", self.mode).unwrap();
         writeln!(out, "  \"hybrid_platform\": \"sim\",").unwrap();
         writeln!(out, "  \"calibration_mops\": {},", json_f64(self.calibration_mops)).unwrap();
+        // Comma-free by construction (the flat reader stops a field at
+        // the first comma) and before "cells" so it parses as a header
+        // field; sanitize defensively in case a fallback reason grows
+        // punctuation.
+        writeln!(out, "  \"htm_native\": \"{}\",", self.htm_native.replace(',', ";")).unwrap();
         writeln!(out, "  \"cells\": [").unwrap();
         for (i, c) in self.cells.iter().enumerate() {
             write!(
@@ -781,7 +928,7 @@ impl HotReport {
                  \"ops\": {}, \"elapsed_ns\": {}, \"ops_per_sec\": {}, \"norm\": {}, \
                  \"commits\": {}, \"aborts\": {}, \"samples\": {}, \
                  \"ops_per_sec_mean\": {}, \"ops_per_sec_p95\": {}, \
-                 \"abort_rate_mean\": {} }}",
+                 \"abort_rate_mean\": {}",
                 c.workload,
                 c.system,
                 c.threads,
@@ -797,6 +944,25 @@ impl HotReport {
                 json_f64(c.abort_rate_mean)
             )
             .unwrap();
+            // Hybrid cells append the hardware-path breakdown as flat
+            // fields (the reader splits cells on braces, so no nesting).
+            if let Some(h) = &c.htm {
+                write!(
+                    out,
+                    ", \"htm_hw_commits\": {}, \"htm_hw_ratio\": {}, \
+                     \"htm_ab_conflict\": {}, \"htm_ab_capacity\": {}, \
+                     \"htm_ab_explicit\": {}, \"htm_ab_other\": {}, \"htm_fallbacks\": {}",
+                    h.hw_commits,
+                    json_f64(h.hw_ratio(c.commits)),
+                    h.conflict_aborts,
+                    h.capacity_aborts,
+                    h.explicit_aborts,
+                    h.other_aborts,
+                    h.fallbacks
+                )
+                .unwrap();
+            }
+            write!(out, " }}").unwrap();
             writeln!(out, "{}", if i + 1 < self.cells.len() { "," } else { "" }).unwrap();
         }
         writeln!(out, "  ]").unwrap();
@@ -871,6 +1037,92 @@ impl HotReport {
                 writeln!(out).unwrap();
             }
         }
+        let htm_cells: Vec<&HotCell> = self.cells.iter().filter(|c| c.htm.is_some()).collect();
+        if !htm_cells.is_empty() {
+            writeln!(
+                out,
+                "\n--- HTM hardware path (hw-commit ratio; abort reasons; fallbacks) ---"
+            )
+            .unwrap();
+            writeln!(out, "native backend: {}", self.htm_native).unwrap();
+            for c in htm_cells {
+                let h = c.htm.as_ref().unwrap();
+                writeln!(
+                    out,
+                    "{:<16} {:<9} t={:<3} hw {:>5.1}%  conflict={} capacity={} explicit={} \
+                     other={} fallbacks={}",
+                    c.workload,
+                    c.system,
+                    c.threads,
+                    h.hw_ratio(c.commits) * 100.0,
+                    h.conflict_aborts,
+                    h.capacity_aborts,
+                    h.explicit_aborts,
+                    h.other_aborts,
+                    h.fallbacks
+                )
+                .unwrap();
+            }
+        }
+        out
+    }
+
+    /// Standalone abort-reason histogram over every hybrid cell, for
+    /// the `bench_pr2 run --htm-hist` artifact: one JSON object per
+    /// cell plus a pooled total, same flat style as the main report.
+    pub fn htm_histogram_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "{{").unwrap();
+        writeln!(out, "  \"bench\": \"BENCH_PR2_HTM_HIST\",").unwrap();
+        writeln!(out, "  \"schema\": 1,").unwrap();
+        writeln!(out, "  \"mode\": \"{}\",", self.mode).unwrap();
+        writeln!(out, "  \"htm_native\": \"{}\",", self.htm_native.replace(',', ";")).unwrap();
+        let cells: Vec<&HotCell> = self.cells.iter().filter(|c| c.htm.is_some()).collect();
+        let mut pooled = HtmCellStats::default();
+        let mut pooled_commits = 0u64;
+        writeln!(out, "  \"cells\": [").unwrap();
+        for (i, c) in cells.iter().enumerate() {
+            let h = c.htm.as_ref().unwrap();
+            pooled.add(h);
+            pooled_commits += c.commits;
+            write!(
+                out,
+                "    {{ \"workload\": \"{}\", \"system\": \"{}\", \"threads\": {}, \
+                 \"commits\": {}, \"hw_commits\": {}, \"hw_ratio\": {}, \"conflict\": {}, \
+                 \"capacity\": {}, \"explicit\": {}, \"other\": {}, \"fallbacks\": {} }}",
+                c.workload,
+                c.system,
+                c.threads,
+                c.commits,
+                h.hw_commits,
+                json_f64(h.hw_ratio(c.commits)),
+                h.conflict_aborts,
+                h.capacity_aborts,
+                h.explicit_aborts,
+                h.other_aborts,
+                h.fallbacks
+            )
+            .unwrap();
+            writeln!(out, "{}", if i + 1 < cells.len() { "," } else { "" }).unwrap();
+        }
+        writeln!(out, "  ],").unwrap();
+        writeln!(
+            out,
+            "  \"pooled\": {{ \"commits\": {}, \"hw_commits\": {}, \"hw_ratio\": {}, \
+             \"conflict\": {}, \"capacity\": {}, \"explicit\": {}, \"other\": {}, \
+             \"fallbacks\": {} }}",
+            pooled_commits,
+            pooled.hw_commits,
+            json_f64(pooled.hw_ratio(pooled_commits)),
+            pooled.conflict_aborts,
+            pooled.capacity_aborts,
+            pooled.explicit_aborts,
+            pooled.other_aborts,
+            pooled.fallbacks
+        )
+        .unwrap();
+        write!(out, "}}").unwrap();
         out
     }
 
@@ -916,6 +1168,9 @@ pub fn parse_report(s: &str) -> Result<HotReport, String> {
     let mode = str_field(head, "mode").unwrap_or_else(|| "unknown".into());
     let calibration_mops =
         f64_field(head, "calibration_mops").ok_or("missing calibration_mops")?;
+    // Pre-schema-3 reports have no decision string.
+    let htm_native =
+        str_field(head, "htm_native").unwrap_or_else(|| "unknown (schema < 3)".into());
     let body = &s[head_end..];
     let open = body.find('[').ok_or("missing cells [")?;
     let close = body.rfind(']').ok_or("missing cells ]")?;
@@ -946,13 +1201,23 @@ pub fn parse_report(s: &str) -> Result<HotReport, String> {
             abort_rate_mean: f64_field(obj, "abort_rate_mean")
                 .unwrap_or(aborts as f64 / commits.max(1) as f64),
             sample_stats: Vec::new(),
+            // Hybrid cells carry the flat htm_* fields; their presence
+            // is keyed on hw_commits (always written together).
+            htm: u64_field(obj, "htm_hw_commits").map(|hw_commits| HtmCellStats {
+                hw_commits,
+                conflict_aborts: u64_field(obj, "htm_ab_conflict").unwrap_or(0),
+                capacity_aborts: u64_field(obj, "htm_ab_capacity").unwrap_or(0),
+                explicit_aborts: u64_field(obj, "htm_ab_explicit").unwrap_or(0),
+                other_aborts: u64_field(obj, "htm_ab_other").unwrap_or(0),
+                fallbacks: u64_field(obj, "htm_fallbacks").unwrap_or(0),
+            }),
         };
         cells.push(cell);
     }
     if cells.is_empty() {
         return Err("no cells parsed".into());
     }
-    Ok(HotReport { mode, calibration_mops, cells })
+    Ok(HotReport { mode, calibration_mops, htm_native, cells })
 }
 
 // ---------------------------------------------------------------------
@@ -1178,6 +1443,7 @@ mod tests {
             ops_per_sec_p95: ops_per_sec,
             abort_rate_mean: aborts as f64 / 1000.0,
             sample_stats: vec![(ops_per_sec, aborts as f64 / 1000.0)],
+            htm: None,
         };
         c.refresh_sample_summary();
         c
@@ -1192,7 +1458,12 @@ mod tests {
                 }
             }
         }
-        HotReport { mode: "test".into(), calibration_mops: 100.0, cells }
+        HotReport {
+            mode: "test".into(),
+            calibration_mops: 100.0,
+            htm_native: "test fixture".into(),
+            cells,
+        }
     }
 
     #[test]
@@ -1211,7 +1482,58 @@ mod tests {
         assert!((a.ops_per_sec_mean - b.ops_per_sec_mean).abs() < 1e-9);
         assert!((a.ops_per_sec_p95 - b.ops_per_sec_p95).abs() < 1e-9);
         assert!((a.abort_rate_mean - b.abort_rate_mean).abs() < 1e-12);
-        assert!(r.to_json().contains("\"schema\": 2"));
+        assert!(r.to_json().contains("\"schema\": 3"));
+        assert_eq!(parsed.htm_native, r.htm_native);
+    }
+
+    #[test]
+    fn htm_breakdown_round_trips_and_renders() {
+        let mut r = demo_report(1.0);
+        let h = HtmCellStats {
+            hw_commits: 900,
+            conflict_aborts: 40,
+            capacity_aborts: 3,
+            explicit_aborts: 7,
+            other_aborts: 2,
+            fallbacks: 100,
+        };
+        // Attach the breakdown to every HYBRID cell, the way a real run
+        // does; software cells stay bare.
+        for c in r.cells.iter_mut().filter(|c| c.system == "HYBRID") {
+            c.htm = Some(h);
+        }
+        let parsed = parse_report(&r.to_json()).unwrap();
+        let c = parsed.cell("transfer", "HYBRID", 4).unwrap();
+        assert_eq!(c.htm, Some(h));
+        assert!((c.htm.unwrap().hw_ratio(c.commits) - 0.9).abs() < 1e-12);
+        assert_eq!(parsed.cell("transfer", "NZSTM", 4).unwrap().htm, None);
+        // The flat reader requires one-line cells: no nested objects.
+        for line in r.to_json().lines().filter(|l| l.contains("\"workload\"")) {
+            assert_eq!(line.matches('{').count(), 1, "{line}");
+            assert_eq!(line.matches('}').count(), 1, "{line}");
+        }
+        let text = r.render_text();
+        assert!(text.contains("HTM hardware path"), "{text}");
+        assert!(text.contains("explicit=7"), "{text}");
+        // Histogram artifact: per-cell rows plus a pooled total.
+        let hist = r.htm_histogram_json();
+        assert!(hist.contains("BENCH_PR2_HTM_HIST"), "{hist}");
+        assert!(hist.contains("\"pooled\""), "{hist}");
+        let n_hybrid = r.cells.iter().filter(|c| c.htm.is_some()).count();
+        assert_eq!(hist.matches("\"workload\"").count(), n_hybrid);
+        assert!(hist.contains(&format!("\"hw_commits\": {}", 900 * n_hybrid as u64)), "{hist}");
+    }
+
+    #[test]
+    fn reports_without_htm_fields_parse_as_software_only() {
+        // A pre-schema-3 report (no htm_native header, no htm_* cell
+        // fields) parses with the breakdown absent, not zeroed.
+        let r = demo_report(1.0);
+        let mut json = r.to_json();
+        json = json.lines().filter(|l| !l.contains("htm_native")).collect::<Vec<_>>().join("\n");
+        let parsed = parse_report(&json).unwrap();
+        assert!(parsed.htm_native.contains("schema < 3"));
+        assert!(parsed.cells.iter().all(|c| c.htm.is_none()));
     }
 
     #[test]

@@ -39,18 +39,53 @@ pub struct BackendCaps {
     pub records_events: bool,
     /// The system forwards [`TmSys::note_adt_op`] into its stats.
     pub counts_adt_ops: bool,
+    /// The system may commit transactions on a hardware path (real RTM
+    /// or the simulated best-effort model). True only for the hybrid
+    /// compositions, which live outside the software registry — every
+    /// backend the registry visits is pure software.
+    pub hardware_txns: bool,
 }
 
 impl BackendCaps {
     /// Full-featured NZTM-family engine.
-    pub const ENGINE: BackendCaps =
-        BackendCaps { explicit_abort: true, records_events: true, counts_adt_ops: true };
+    pub const ENGINE: BackendCaps = BackendCaps {
+        explicit_abort: true,
+        records_events: true,
+        counts_adt_ops: true,
+        hardware_txns: false,
+    };
     /// Reference STM: aborts but no recorder, no ADT-op accounting.
-    pub const REFERENCE: BackendCaps =
-        BackendCaps { explicit_abort: true, records_events: false, counts_adt_ops: false };
+    pub const REFERENCE: BackendCaps = BackendCaps {
+        explicit_abort: true,
+        records_events: false,
+        counts_adt_ops: false,
+        hardware_txns: false,
+    };
     /// Single-global-lock reference: cannot abort at all.
-    pub const NO_ABORT: BackendCaps =
-        BackendCaps { explicit_abort: false, records_events: false, counts_adt_ops: false };
+    pub const NO_ABORT: BackendCaps = BackendCaps {
+        explicit_abort: false,
+        records_events: false,
+        counts_adt_ops: false,
+        hardware_txns: false,
+    };
+}
+
+/// One comma-free line describing the native-HTM path compiled into
+/// this binary — recorded in every bench report (and CI log) so a run
+/// always states which path its hybrid cells exercised instead of
+/// silently skipping. Comma-free because the flat JSON reader in
+/// [`crate::hotpath`] stops a field at the first comma.
+pub fn native_htm_status() -> String {
+    #[cfg(feature = "htm-native")]
+    {
+        use nztm_htm::native::NativeHtm;
+        let htm = NativeHtm::new(nztm_core::NativeHtmPolicy::Auto);
+        format!("htm-native built; auto decision: {}", htm.decision().describe())
+    }
+    #[cfg(not(feature = "htm-native"))]
+    {
+        "htm-native not built (simulated ATMTP model only)".to_string()
+    }
 }
 
 /// The non-NZTM software reference systems (the comparison bars of
@@ -217,6 +252,7 @@ mod tests {
                 let sys = build(p);
                 assert_eq!(sys.name(), kind.name());
                 assert!(caps.explicit_abort);
+                assert!(!caps.hardware_txns, "registry visits software backends only");
             }
         }
         for_each_software_backend(&mut NameCheck);

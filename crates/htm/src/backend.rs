@@ -1,0 +1,119 @@
+//! The best-effort HTM backend trait the hybrid composes over.
+//!
+//! NZTM's hybrid (§2.4) is written against an *interface* to a
+//! best-effort HTM — begin, tracked accesses, buffered stores, commit,
+//! and a CPS-style abort-reason register — not against any particular
+//! implementation. Two implementations ship:
+//!
+//! * [`crate::BestEffortHtm`] — the ATMTP/Rock model on the
+//!   deterministic simulated machine (§4.1). Conflicts with software
+//!   traffic arrive through the machine's coherence snoop; capacity is
+//!   a modeled store buffer and L1; spurious aborts stand in for TLB
+//!   misses and interrupts. Sim-schedulable: attempts interleave under
+//!   the cooperative scheduler, so `nztm-check` can explore and replay
+//!   them.
+//! * `NativeHtm` (`htm-native` feature) — real x86_64 RTM through
+//!   `core::arch` intrinsics. Tracking is implicit (every line a
+//!   hardware transaction touches joins its read/write set), stores are
+//!   buffered by the hardware, and the abort status word maps onto the
+//!   same [`CpsReason`] taxonomy. Not sim-schedulable: a real hardware
+//!   transaction commits atomically with respect to the host's cores,
+//!   invisible to the simulated scheduler.
+//!
+//! The hybrid ([`crate::NztmHybrid`]) is generic over this trait, so
+//! the retry policy, the §2.4 software-conflict checks, statistics, and
+//! flight-recorder events are shared verbatim between the simulated and
+//! the native hardware paths.
+
+use crate::cps::CpsReason;
+use std::sync::atomic::AtomicU64;
+
+/// Unit sentinel: "this hardware attempt is aborting". Produced by the
+/// tracked-access operations when the transaction is doomed and by
+/// [`HtmTxnOps::explicit_abort`]; consumed by [`HtmBackend::attempt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwAbort;
+
+/// Why a hardware attempt failed, plus the backend's raw status word.
+///
+/// `raw_status` is the native RTM abort status (`_xbegin`'s return
+/// value) on the native backend and `0` on the simulated model, whose
+/// CPS register *is* the [`CpsReason`] — carried so flight-recorder
+/// events can preserve the unmapped hardware word next to the taxonomy
+/// class.
+#[derive(Debug, Clone, Copy)]
+pub struct HtmAbortInfo {
+    /// The abort reason, mapped onto the CPS taxonomy (§4.3 retry
+    /// policy input).
+    pub reason: CpsReason,
+    /// Backend-specific raw status (native RTM status bits; 0 on the
+    /// simulated model).
+    pub raw_status: u32,
+}
+
+/// Operations available to code running inside one hardware attempt.
+///
+/// The simulated model implements these against its explicit read/write
+/// line sets and store buffer; the native backend's accesses are
+/// tracked by the hardware itself, so its tracking methods are no-ops
+/// and its reads/stores are plain (transactionally buffered) memory
+/// operations.
+pub trait HtmTxnOps {
+    /// Add `[addr, addr+bytes)` to the transactional read set. Fails if
+    /// the attempt is already doomed or the read set overflows.
+    fn track_read(&mut self, addr: usize, bytes: usize) -> Result<(), HwAbort>;
+
+    /// Add `[addr, addr+bytes)` to the transactional write set.
+    fn track_write(&mut self, addr: usize, bytes: usize) -> Result<(), HwAbort>;
+
+    /// Transactional read of one word (the address is the synthetic
+    /// cost-model address on the simulated machine).
+    fn read_word(&mut self, word: &AtomicU64, addr: usize) -> Result<u64, HwAbort>;
+
+    /// Transactional store of one word, buffered until commit.
+    fn buffered_store(
+        &mut self,
+        word: &AtomicU64,
+        addr: usize,
+        value: u64,
+    ) -> Result<(), HwAbort>;
+
+    /// Abort this attempt deliberately (§2.4: the hardware transaction
+    /// that observes a conflicting software transaction aborts
+    /// *itself*). On the native backend this executes `_xabort` and
+    /// control re-enters `_xbegin`; the returned sentinel is for the
+    /// simulated model and the not-in-transaction edge case.
+    fn explicit_abort(&mut self) -> HwAbort;
+}
+
+/// A best-effort hardware TM: bounded, may fail for environmental
+/// reasons, reports *why* through the CPS taxonomy.
+pub trait HtmBackend: Send + Sync + 'static {
+    /// Handle passed to the attempt closure.
+    type Txn: HtmTxnOps;
+
+    /// Run `f` as one hardware transaction attempt. `Ok(v)` means the
+    /// attempt committed (all buffered stores became visible
+    /// atomically); `Err` reports the abort reason for the retry
+    /// policy.
+    fn attempt<R>(
+        &self,
+        f: impl FnOnce(&mut Self::Txn) -> Result<R, HwAbort>,
+    ) -> Result<R, HtmAbortInfo>;
+
+    /// Whether hardware attempts can succeed at all. The hybrid skips
+    /// the hardware loop entirely (straight to the software path) when
+    /// this is `false` — the native backend on a host without RTM, or
+    /// with the native path forced off by policy.
+    fn hw_available(&self) -> bool;
+
+    /// Whether attempts interleave under the deterministic simulated
+    /// scheduler. `nztm-check` requires this: exploration replays
+    /// recorded scheduling decisions, and a backend whose commits are
+    /// invisible to the scheduler (native RTM) would make histories
+    /// unreproducible. The check harness asserts it.
+    fn sim_schedulable(&self) -> bool;
+
+    /// Short backend name for reports and probes.
+    fn backend_name(&self) -> &'static str;
+}

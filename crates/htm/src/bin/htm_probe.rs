@@ -1,0 +1,67 @@
+//! RTM capability probe (`htm-native` builds).
+//!
+//! Prints the CPUID decision, the backend selection for each policy,
+//! and — when the host has RTM — commits one real hardware transaction
+//! as a smoke check. Exit status 0 either way: the probe *reports*; CI
+//! asserts on its output so the decision is logged, never silently
+//! skipped. `--require-native` / `--require-fallback` flip that into a
+//! hard assertion for matrix rows that know what the runner should be.
+
+use nztm_core::NativeHtmPolicy;
+use nztm_htm::backend::{HtmBackend, HtmTxnOps};
+use nztm_htm::native::{rtm_supported, HtmDecision, NativeHtm};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let require_native = args.iter().any(|a| a == "--require-native");
+    let require_fallback = args.iter().any(|a| a == "--require-fallback");
+
+    let supported = rtm_supported();
+    println!("rtm_supported: {supported}");
+    println!("target_arch: {}", std::env::consts::ARCH);
+
+    let auto = NativeHtm::new(NativeHtmPolicy::Auto);
+    println!("policy Auto     -> {}", auto.decision().describe());
+    let off = NativeHtm::new(NativeHtmPolicy::ForceOff);
+    println!("policy ForceOff -> {}", off.decision().describe());
+
+    if auto.hw_available() {
+        // One real transaction, end to end.
+        let word = AtomicU64::new(41);
+        let mut committed = false;
+        for _ in 0..10_000 {
+            if auto
+                .attempt(|t| {
+                    let v = t.read_word(&word, 0)?;
+                    t.buffered_store(&word, 0, v + 1)
+                })
+                .is_ok()
+            {
+                committed = true;
+                break;
+            }
+        }
+        println!(
+            "smoke txn: {} (word = {})",
+            if committed { "committed" } else { "never committed in 10000 tries" },
+            word.load(Ordering::SeqCst)
+        );
+        if !committed {
+            eprintln!("warning: RTM reported but no transaction committed (heavy noisy host?)");
+        }
+    } else {
+        println!("smoke txn: skipped (no native path)");
+    }
+
+    let is_native = auto.decision() == HtmDecision::Native;
+    if require_native && !is_native {
+        eprintln!("FAIL: --require-native but decision was {}", auto.decision().describe());
+        std::process::exit(1);
+    }
+    if require_fallback && is_native {
+        eprintln!("FAIL: --require-fallback but native RTM was selected");
+        std::process::exit(1);
+    }
+    println!("decision: {}", auto.decision().describe());
+}

@@ -18,8 +18,15 @@
 //! conflict as determined by the CPS register. After all attempts are
 //! exhausted, or if the reason ... was something other than a coherence
 //! conflict, NZTM falls back onto NZSTM."
+//!
+//! The hybrid is generic over the best-effort HTM
+//! ([`crate::backend::HtmBackend`]): the simulated ATMTP model
+//! ([`BestEffortHtm`], the default) and the native x86_64 RTM backend
+//! (`htm-native` feature) share this retry policy, the §2.4 conflict
+//! checks, the statistics, and the flight-recorder events verbatim.
 
-use crate::besteffort::{BestEffortHtm, HwAbort, HwTxn};
+use crate::backend::{HtmBackend, HtmTxnOps, HwAbort};
+use crate::besteffort::BestEffortHtm;
 use crate::cps::CpsReason;
 use nztm_core::data::TmData;
 use nztm_core::hybrid::{hw_examine_and_clean, HwCheck};
@@ -44,11 +51,19 @@ impl Default for HybridConfig {
     }
 }
 
-/// The NZTM hybrid system.
-pub struct NztmHybrid {
-    stm: Arc<Nzstm<SimPlatform>>,
-    htm: Arc<BestEffortHtm>,
-    platform: Arc<SimPlatform>,
+/// Word scratch sized so the common object fits on the stack: a heap
+/// allocation inside a *native* hardware transaction would fault or
+/// syscall and abort it (the simulated model doesn't care), so data
+/// copies for objects up to this many words must not allocate.
+const SCRATCH_WORDS: usize = 16;
+
+/// The NZTM hybrid system, generic over the platform and the
+/// best-effort HTM backend. Defaults reproduce the paper's simulated
+/// configuration, so existing call sites keep working unchanged.
+pub struct NztmHybrid<P: Platform = SimPlatform, H: HtmBackend = BestEffortHtm> {
+    stm: Arc<Nzstm<P>>,
+    htm: Arc<H>,
+    platform: Arc<P>,
     cfg: HybridConfig,
     /// Hardware-path counters, one cache-line-isolated cell per core;
     /// single-writer atomics, so snapshots need no quiescence.
@@ -61,15 +76,11 @@ pub struct NztmHybrid {
     trace_on: std::sync::atomic::AtomicBool,
 }
 
-impl NztmHybrid {
+impl<P: Platform, H: HtmBackend> NztmHybrid<P, H> {
     /// Build a hybrid over an NZSTM software path and a best-effort HTM.
     /// The STM must use visible reads (the §2.4 reader checks rely on
     /// the reader bitmap).
-    pub fn new(
-        stm: Arc<Nzstm<SimPlatform>>,
-        htm: Arc<BestEffortHtm>,
-        cfg: HybridConfig,
-    ) -> Arc<Self> {
+    pub fn new(stm: Arc<Nzstm<P>>, htm: Arc<H>, cfg: HybridConfig) -> Arc<Self> {
         assert_visible_reads(stm.read_mode());
         let platform = Arc::clone(stm.platform());
         let n = platform.n_cores();
@@ -107,17 +118,17 @@ impl NztmHybrid {
     #[inline(always)]
     fn trace_hw(&self, _core: usize, _kind: nztm_core::trace::EventKind, _a: u64, _b: u64) {}
 
-    pub fn stm(&self) -> &Arc<Nzstm<SimPlatform>> {
+    pub fn stm(&self) -> &Arc<Nzstm<P>> {
         &self.stm
     }
 
-    pub fn htm(&self) -> &Arc<BestEffortHtm> {
+    pub fn htm(&self) -> &Arc<H> {
         &self.htm
     }
 
     fn hw_read_obj<T: TmData>(
         &self,
-        hw: &mut HwTxn,
+        hw: &mut H::Txn,
         core: usize,
         obj: &Arc<NZObject<T>>,
     ) -> Result<T, HwAbort> {
@@ -136,16 +147,26 @@ impl NztmHybrid {
         // (The repairs are idempotent and only touch settled state, so
         // they are safe to publish even if we later abort.)
         let n = T::n_words();
-        let mut buf = vec![0u64; n];
+        let mut inline = [0u64; SCRATCH_WORDS];
+        let mut heap;
+        let buf: &mut [u64] = if n <= SCRATCH_WORDS {
+            &mut inline[..n]
+        } else {
+            // Oversized object: the allocation will typically abort a
+            // native hardware transaction (→ software fallback); on the
+            // simulated model it is free.
+            heap = vec![0u64; n];
+            &mut heap
+        };
         for (i, w) in obj.data_words().iter().enumerate() {
             buf[i] = hw.read_word(w, obj.data_addr() + i * 8)?;
         }
-        Ok(T::decode(&buf))
+        Ok(T::decode(buf))
     }
 
     fn hw_write_obj<T: TmData>(
         &self,
-        hw: &mut HwTxn,
+        hw: &mut H::Txn,
         core: usize,
         obj: &Arc<NZObject<T>>,
         v: &T,
@@ -158,8 +179,15 @@ impl NztmHybrid {
             HwCheck::ConflictWithSoftware => return Err(hw.explicit_abort()),
         }
         let n = T::n_words();
-        let mut buf = vec![0u64; n];
-        v.encode(&mut buf);
+        let mut inline = [0u64; SCRATCH_WORDS];
+        let mut heap;
+        let buf: &mut [u64] = if n <= SCRATCH_WORDS {
+            &mut inline[..n]
+        } else {
+            heap = vec![0u64; n];
+            &mut heap
+        };
+        v.encode(buf);
         for (i, w) in obj.data_words().iter().enumerate() {
             hw.buffered_store(w, obj.data_addr() + i * 8, buf[i])?;
         }
@@ -168,14 +196,14 @@ impl NztmHybrid {
 }
 
 /// A hybrid transaction: hardware attempt or software fallback.
-pub enum HybridTx<'a> {
-    Hw { sys: &'a NztmHybrid, hw: &'a mut HwTxn, core: usize },
-    Sw { sys: &'a NztmHybrid, tx: &'a mut NzTx<SimPlatform, nztm_core::Nonblocking> },
+pub enum HybridTx<'a, P: Platform = SimPlatform, H: HtmBackend = BestEffortHtm> {
+    Hw { sys: &'a NztmHybrid<P, H>, hw: &'a mut H::Txn, core: usize },
+    Sw { sys: &'a NztmHybrid<P, H>, tx: &'a mut NzTx<P, nztm_core::Nonblocking> },
 }
 
-impl TmSys for NztmHybrid {
+impl<P: Platform, H: HtmBackend> TmSys for NztmHybrid<P, H> {
     type Obj<T: TmData> = Arc<NZObject<T>>;
-    type Tx<'t> = HybridTx<'t>;
+    type Tx<'t> = HybridTx<'t, P, H>;
 
     fn alloc<T: TmData>(&self, init: T) -> Self::Obj<T> {
         self.stm.new_obj(init)
@@ -187,13 +215,28 @@ impl TmSys for NztmHybrid {
 
     fn execute<R>(&self, mut f: impl FnMut(&mut Self::Tx<'_>) -> Result<R, Abort>) -> R {
         let core = self.platform.core_id();
-        let max_hw = self.cfg.retries_factor * self.platform.n_cores();
+        // When hardware attempts cannot succeed (native backend on a
+        // host without RTM, or the native path forced off by policy),
+        // go straight to the software path — and don't count it as a
+        // fallback, because nothing fell.
+        let max_hw = if self.htm.hw_available() {
+            self.cfg.retries_factor * self.platform.n_cores()
+        } else {
+            0
+        };
         let stats = &self.stats[core];
 
         let mut attempts = 0u64;
         while (attempts as usize) < max_hw {
             attempts += 1;
             self.trace_hw(core, nztm_core::trace::EventKind::HtmAttempt, attempts - 1, 0);
+            // Hold the epoch pin *across* the hardware attempt: `pin()`
+            // is re-entrant, so the inner pins taken by the §2.4 checks
+            // inside the transaction are a thread-local depth bump —
+            // no SeqCst participant publication inside a native RTM
+            // region (such a store would join the write set and turn
+            // every concurrent epoch advance into a spurious abort).
+            let outer_pin = nztm_epoch::pin();
             let outcome = self.htm.attempt(|hw| {
                 let mut tx = HybridTx::Hw { sys: self, hw, core };
                 match f(&mut tx) {
@@ -201,6 +244,7 @@ impl TmSys for NztmHybrid {
                     Err(_) => Err(HwAbort),
                 }
             });
+            drop(outer_pin);
             match outcome {
                 Ok(v) => {
                     stats.commits.bump();
@@ -211,12 +255,12 @@ impl TmSys for NztmHybrid {
                     self.trace_hw(core, nztm_core::trace::EventKind::HtmCommit, attempts - 1, 0);
                     return v;
                 }
-                Err(reason) => {
+                Err(info) => {
                     stats.htm_aborts.bump();
-                    let cps_class = match reason {
+                    let cps_class = match info.reason {
                         CpsReason::Conflict => {
                             stats.htm_conflict_aborts.bump();
-                            0
+                            0u64
                         }
                         CpsReason::Capacity => {
                             stats.htm_capacity_aborts.bump();
@@ -227,12 +271,16 @@ impl TmSys for NztmHybrid {
                             2
                         }
                         CpsReason::Explicit => {
-                            stats.htm_conflict_aborts.bump();
+                            stats.htm_explicit_aborts.bump();
                             3
                         }
                     };
-                    self.trace_hw(core, nztm_core::trace::EventKind::HtmAbort, attempts - 1, cps_class);
-                    if !reason.hw_retry_worthwhile() {
+                    // Pack the backend's raw status word (native RTM
+                    // abort status; 0 on the simulated model) above the
+                    // CPS class so the flight recorder carries both.
+                    let b = cps_class | ((info.raw_status as u64) << 8);
+                    self.trace_hw(core, nztm_core::trace::EventKind::HtmAbort, attempts - 1, b);
+                    if !info.reason.hw_retry_worthwhile() {
                         break;
                     }
                 }
@@ -241,12 +289,13 @@ impl TmSys for NztmHybrid {
 
         // Software fallback: this logical transaction aborted in hardware
         // at least once (the embedded STM separately counts software
-        // retries of its own).
-        stats.fallbacks.bump();
+        // retries of its own). With the hardware loop skipped entirely
+        // (`max_hw == 0`) this is the primary path, not a fallback.
         if attempts > 0 {
+            stats.fallbacks.bump();
             stats.txns_with_aborts.bump();
+            self.trace_hw(core, nztm_core::trace::EventKind::HtmFallback, attempts, 0);
         }
-        self.trace_hw(core, nztm_core::trace::EventKind::HtmFallback, attempts, 0);
         self.stm.run(|tx| {
             let mut htx = HybridTx::Sw { sys: self, tx };
             f(&mut htx)
@@ -444,6 +493,101 @@ mod tests {
         assert_eq!(st.fallbacks, 1, "store-buffer overflow must fall back: {st:?}");
         assert!(st.htm_capacity_aborts >= 1);
         assert_eq!(objs[31].read_untracked(), 32);
+        hy.htm().uninstall();
+    }
+
+    #[test]
+    fn native_htm_knob_does_not_perturb_the_simulated_engine() {
+        // Conformance for the `NativeHtmPolicy` builder knob: on the
+        // deterministic simulator the knob is carried but never
+        // consulted (it only selects the backend on native builds), so
+        // a hybrid built with the native path forced off must replay
+        // bit-identically — same final state, same full stats — as one
+        // built with the default policy.
+        use nztm_core::NativeHtmPolicy;
+        let run = |policy: NativeHtmPolicy| {
+            let m = Machine::new(MachineConfig {
+                n_cores: 2,
+                hw_cores: 0,
+                costs: CostModel::default(),
+                l1: CacheConfig::tiny(1024, 4),
+                l2: CacheConfig::tiny(8192, 8),
+                max_cycles: 2_000_000_000,
+            });
+            let p = SimPlatform::new(Arc::clone(&m));
+            let stm = Nzstm::new(
+                Arc::clone(&p),
+                Arc::new(KarmaDeadlock::default()),
+                NzConfig { native_htm: policy, ..NzConfig::default() },
+            );
+            assert_eq!(stm.native_htm_policy(), policy);
+            let htm = BestEffortHtm::new(
+                Arc::clone(&p),
+                AtmtpConfig { spurious_num: 0, ..AtmtpConfig::default() },
+            );
+            htm.install();
+            let hy = NztmHybrid::new(stm, htm, HybridConfig::default());
+            let o = hy.alloc(0u64);
+            let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..2)
+                .map(|_| {
+                    let hy = Arc::clone(&hy);
+                    let o = Arc::clone(&o);
+                    Box::new(move || {
+                        for _ in 0..80 {
+                            hy.execute(|tx| {
+                                let v = NztmHybrid::read(tx, &o)?;
+                                NztmHybrid::write(tx, &o, &(v + 1))
+                            });
+                        }
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            m.run(bodies);
+            let st = hy.stats_snapshot();
+            let v = o.read_untracked();
+            hy.htm().uninstall();
+            (v, st)
+        };
+        let (v_def, st_def) = run(NativeHtmPolicy::Auto);
+        let (v_off, st_off) = run(NativeHtmPolicy::ForceOff);
+        assert_eq!(v_def, 160);
+        assert_eq!(v_off, v_def);
+        assert_eq!(st_off, st_def, "knob must be inert on the simulator");
+    }
+
+    #[test]
+    fn explicit_self_aborts_are_counted_separately() {
+        // An object owned by a *live* software transaction triggers the
+        // §2.4 self-abort, which must land in htm_explicit_aborts (not
+        // the conflict counter) while staying retry-worthwhile.
+        use nztm_core::TxnDesc;
+        let (m, _p, hy) = setup(1);
+        let o = hy.alloc(7u64);
+        let live = Arc::new(TxnDesc::new(0, 1));
+        {
+            let g = nztm_epoch::pin();
+            assert!(o.header().cas_owner_to_txn(0, &live, &g));
+        }
+        let (h2, o2, live2) = (Arc::clone(&hy), Arc::clone(&o), Arc::clone(&live));
+        m.run(vec![Box::new(move || {
+            let mut first = true;
+            let v = h2.execute(|tx| {
+                if first {
+                    first = false;
+                } else {
+                    // Unblock the retry (hardware or software fallback —
+                    // one core means a single-attempt budget): settle the
+                    // blocking owner so the read can proceed.
+                    live2.request_abort();
+                    live2.acknowledge_abort();
+                }
+                NztmHybrid::read(tx, &o2)
+            });
+            assert_eq!(v, 7);
+        })]);
+        let st = hy.stats_snapshot();
+        assert!(st.htm_explicit_aborts >= 1, "self-abort must be explicit: {st:?}");
+        assert_eq!(st.htm_conflict_aborts, 0, "no coherence conflict here: {st:?}");
         hy.htm().uninstall();
     }
 

@@ -1,0 +1,520 @@
+//! Arch-native x86_64 RTM backend (`htm-native` feature).
+//!
+//! Implements [`HtmBackend`] over real hardware transactions via
+//! `core::arch::x86_64`'s `_xbegin`/`_xend`/`_xabort` intrinsics, so the
+//! hybrid's retry policy, §2.4 software-conflict checks, statistics, and
+//! flight-recorder events run unchanged on real silicon.
+//!
+//! ## Detection and fallback
+//!
+//! RTM support is probed at runtime ([`rtm_supported`]: CPUID leaf 7,
+//! subleaf 0, EBX bit 11 — executing `xbegin` on a CPU without RTM is
+//! `#UD`, so the probe gates every native transaction). Backend
+//! selection ([`NativeHtm::select`]) combines the probe with the
+//! [`NativeHtmPolicy`] knob from `NzConfig`; on any non-RTM host — or
+//! any non-x86_64 target, which compiles the portable stub — the
+//! decision is a transparent fallback and the hybrid's
+//! `hw_available() == false` path routes every transaction to the
+//! unmodified NZSTM software engine.
+//!
+//! ## Why no extra commit fencing
+//!
+//! Hybrid NOrec (llvm-transmem's `hybrid_norec_two_counter.h`) needs a
+//! two-location counter handshake because its software commits publish
+//! values *outside* any shared metadata the hardware path reads. NZTM's
+//! zero-indirection layout makes that machinery unnecessary: a hardware
+//! transaction's first action on every object is a plain load of the
+//! collocated owner word (and, for writes, the reader indicator), which
+//! joins the transaction's read set. Every software-path acquisition is
+//! a CAS on that same owner word and every visible read sets the
+//! indicator on the same line, so any software transaction that could
+//! overlap a hardware transaction's footprint aborts it through plain
+//! cache coherence before either commits. `xend` itself has full-fence
+//! semantics, ordering the atomically-published write set against later
+//! software loads. This is the paper's own §2.4 argument ("will modify
+//! data that the hardware transaction has accessed, thereby aborting
+//! the hardware transaction"), carried over verbatim to RTM's strong
+//! isolation.
+//!
+//! ## Abort-status mapping
+//!
+//! `_xbegin`'s status word maps onto the CPS taxonomy through
+//! [`CpsReason::from_rtm_status`] (pure, table-tested in `cps.rs`); the
+//! raw word rides along in [`HtmAbortInfo::raw_status`] so the flight
+//! recorder keeps the unmapped bits. Two `xabort` codes are used:
+//! [`XABORT_SW_CONFLICT`] for the §2.4 self-abort and [`XABORT_USER`]
+//! for user-level aborts propagated out of the transaction body.
+
+use crate::backend::{HtmAbortInfo, HtmBackend, HtmTxnOps, HwAbort};
+use crate::cps::CpsReason;
+use nztm_core::NativeHtmPolicy;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// `xabort` code for the §2.4 self-abort: the hardware transaction
+/// observed a live software transaction (or software readers) on an
+/// object it touched.
+pub const XABORT_SW_CONFLICT: u32 = 0xCA;
+
+/// `xabort` code for a user-level abort surfaced out of the transaction
+/// body (the hybrid retries these on the software path, where the
+/// contention manager arbitrates).
+pub const XABORT_USER: u32 = 0xAB;
+
+/// Runtime probe: does this CPU implement RTM?
+///
+/// CPUID leaf 7 (structured extended features), subleaf 0, EBX bit 11.
+/// Guarded by the max-supported-leaf check from leaf 0 — pre-2010 CPUs
+/// don't implement leaf 7 and may echo the last valid leaf instead.
+/// Always `false` off x86_64.
+pub fn rtm_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use core::arch::x86_64::{__cpuid, __cpuid_count};
+        // CPUID itself is architectural on x86_64 (no feature probe
+        // needed for the probe).
+        let max_leaf = __cpuid(0).eax;
+        if max_leaf < 7 {
+            return false;
+        }
+        let leaf7 = __cpuid_count(7, 0);
+        (leaf7.ebx >> 11) & 1 == 1
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// [`rtm_supported`], probed once and cached. `CPUID` *aborts* a
+/// running hardware transaction, so anything that may execute
+/// transactionally (e.g. [`in_rtm_transaction`]) must consult the cache
+/// instead of re-probing.
+fn rtm_supported_cached() -> bool {
+    static CACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(rtm_supported)
+}
+
+/// Is the calling thread currently executing inside a hardware
+/// transaction (`xtest`)? `false` on hosts without RTM (where the
+/// instruction would be `#UD`).
+pub fn in_rtm_transaction() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: gated on the (cached) CPUID probe.
+        rtm_supported_cached() && unsafe { imp::test() }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The backend-selection outcome: native RTM or a transparent fallback
+/// to the simulated model, with the reason spelled out so harnesses and
+/// CI can log the decision instead of silently skipping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HtmDecision {
+    /// Real hardware transactions will be issued.
+    Native,
+    /// The simulated/software path should serve instead; why.
+    Fallback(&'static str),
+}
+
+impl HtmDecision {
+    /// One-line human-readable form for probe output and CI logs.
+    pub fn describe(self) -> String {
+        match self {
+            HtmDecision::Native => "native RTM".to_string(),
+            HtmDecision::Fallback(why) => format!("simulated fallback ({why})"),
+        }
+    }
+}
+
+/// Best-effort HTM backed by real x86_64 RTM.
+///
+/// Construct with [`NativeHtm::new`]; when the policy/probe decision is
+/// a fallback the instance still exists but reports
+/// `hw_available() == false`, so a hybrid built over it runs every
+/// transaction on the software path (bit-identically to the simulated
+/// build with a zero-attempt hardware budget).
+pub struct NativeHtm {
+    active: bool,
+    decision: HtmDecision,
+}
+
+impl NativeHtm {
+    /// Combine the policy knob with the runtime probe.
+    pub fn select(policy: NativeHtmPolicy) -> HtmDecision {
+        if policy == NativeHtmPolicy::ForceOff {
+            return HtmDecision::Fallback("forced off by NativeHtmPolicy::ForceOff");
+        }
+        if !cfg!(target_arch = "x86_64") {
+            return HtmDecision::Fallback("target is not x86_64");
+        }
+        if !rtm_supported_cached() {
+            return HtmDecision::Fallback("host CPU does not report RTM (CPUID.7.0:EBX.11)");
+        }
+        HtmDecision::Native
+    }
+
+    /// Build the backend under `policy`.
+    ///
+    /// Panics when `policy` is [`NativeHtmPolicy::ForceOn`] but the
+    /// build target or host CPU cannot execute RTM — CI probe jobs use
+    /// this to make silent fallback impossible.
+    pub fn new(policy: NativeHtmPolicy) -> Arc<NativeHtm> {
+        let decision = Self::select(policy);
+        if policy == NativeHtmPolicy::ForceOn {
+            if let HtmDecision::Fallback(why) = decision {
+                panic!("NativeHtmPolicy::ForceOn but native RTM is unavailable: {why}");
+            }
+        }
+        Arc::new(NativeHtm { active: decision == HtmDecision::Native, decision })
+    }
+
+    /// The selection this instance was built with.
+    pub fn decision(&self) -> HtmDecision {
+        self.decision
+    }
+}
+
+/// Handle passed to the transaction body on the native path.
+///
+/// The hardware tracks every touched cache line implicitly, so the
+/// tracking methods are no-ops and reads/stores are plain (and thereby
+/// transactional) memory operations. Zero-sized: the whole handle
+/// compiles away.
+pub struct RtmTxn {
+    _not_send: std::marker::PhantomData<*mut ()>,
+}
+
+impl HtmTxnOps for RtmTxn {
+    #[inline(always)]
+    fn track_read(&mut self, _addr: usize, _bytes: usize) -> Result<(), HwAbort> {
+        // Implicit: the next load of the line adds it to the read set.
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn track_write(&mut self, _addr: usize, _bytes: usize) -> Result<(), HwAbort> {
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn read_word(&mut self, word: &AtomicU64, _addr: usize) -> Result<u64, HwAbort> {
+        // Relaxed compiles to a plain load; the enclosing transaction
+        // supplies atomicity and `xend` the ordering.
+        Ok(word.load(Ordering::Relaxed))
+    }
+
+    #[inline(always)]
+    fn buffered_store(&mut self, word: &AtomicU64, _addr: usize, value: u64) -> Result<(), HwAbort> {
+        // Plain store into the write set; becomes visible atomically at
+        // `xend`, or never.
+        word.store(value, Ordering::Relaxed);
+        Ok(())
+    }
+
+    #[inline]
+    fn explicit_abort(&mut self) -> HwAbort {
+        // Inside a transaction this never returns: control re-enters
+        // `_xbegin` with EXPLICIT | (0xCA << 24). Outside one (the
+        // not-in-txn edge case) `xabort` is architecturally a no-op and
+        // the sentinel propagates the abort through the Err channel.
+        #[cfg(target_arch = "x86_64")]
+        // Safety: RtmTxn is only constructed after `_xbegin` succeeded,
+        // which implies RTM; `xabort` outside a transaction is a no-op.
+        unsafe {
+            imp::abort_sw_conflict()
+        };
+        HwAbort
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    //! RTM primitives via stable inline asm.
+    //!
+    //! `core::arch::x86_64::_xbegin`/`_xend`/`_xabort`/`_xtest` are
+    //! nightly-only (`stdarch_x86_rtm`), so the instructions are emitted
+    //! by raw encoding, mirroring GCC's `rtmintrin.h` implementation
+    //! byte for byte. The soundness argument is the hardware's register
+    //! checkpoint: an abort restores every architectural register to
+    //! its value at `xbegin` (and rolls memory back), then resumes at
+    //! the fallback address — here, the instruction *inside the same
+    //! asm block* right after `xbegin`, with only EAX (a declared
+    //! output) changed. The compiler therefore observes exactly the
+    //! state its model predicts at the block's exit on both the started
+    //! and the aborted path; the default memory clobber forbids caching
+    //! memory across the block. Callers must runtime-gate on the CPUID
+    //! probe: `xbegin`/`xend` raise `#UD` on CPUs without RTM.
+
+    /// `_xbegin`'s "transaction started" sentinel (all-ones; any abort
+    /// status has the reserved high bits clear of at least one bit).
+    pub const STARTED: u32 = u32::MAX;
+
+    #[inline(always)]
+    pub unsafe fn begin() -> u32 {
+        let mut ret: u32 = STARTED;
+        // xbegin rel32 with fallback displacement 0: on abort, control
+        // re-enters at the next instruction with EAX = abort status.
+        core::arch::asm!(
+            ".byte 0xc7, 0xf8",
+            ".long 0",
+            inout("eax") ret,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[inline(always)]
+    pub unsafe fn end() {
+        // xend
+        core::arch::asm!(".byte 0x0f, 0x01, 0xd5", options(nostack));
+    }
+
+    #[inline(always)]
+    pub unsafe fn abort_sw_conflict() {
+        // xabort 0xCA (== super::XABORT_SW_CONFLICT). The immediate is
+        // part of the instruction encoding, hence the two fixed
+        // variants instead of a parameter.
+        core::arch::asm!(".byte 0xc6, 0xf8, 0xca", options(nostack));
+    }
+
+    #[inline(always)]
+    pub unsafe fn abort_user() {
+        // xabort 0xAB (== super::XABORT_USER).
+        core::arch::asm!(".byte 0xc6, 0xf8, 0xab", options(nostack));
+    }
+
+    /// `xtest`: are we inside a transaction? `#UD` without RTM/HLE —
+    /// runtime-gate like the rest.
+    #[inline(always)]
+    pub unsafe fn test() -> bool {
+        let out: u8;
+        core::arch::asm!(
+            ".byte 0x0f, 0x01, 0xd6",
+            "setnz {0}",
+            out(reg_byte) out,
+            options(nostack),
+        );
+        out != 0
+    }
+}
+
+// The fixed xabort immediates above must track the public constants.
+const _: () = assert!(XABORT_SW_CONFLICT == 0xCA && XABORT_USER == 0xAB);
+
+impl HtmBackend for NativeHtm {
+    type Txn = RtmTxn;
+
+    fn attempt<R>(
+        &self,
+        f: impl FnOnce(&mut RtmTxn) -> Result<R, HwAbort>,
+    ) -> Result<R, HtmAbortInfo> {
+        // The hybrid skips the hardware loop when `hw_available()` is
+        // false, so this path is defensive: classify as Other (never
+        // retry-worthwhile) and let the caller fall back.
+        if !self.active {
+            return Err(HtmAbortInfo { reason: CpsReason::Other, raw_status: 0 });
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            // Safety: `self.active` implies the CPUID probe reported
+            // RTM, so the rtm-target-feature trampolines are callable.
+            unsafe {
+                let status = imp::begin();
+                if status == imp::STARTED {
+                    let mut txn = RtmTxn { _not_send: std::marker::PhantomData };
+                    match f(&mut txn) {
+                        Ok(v) => {
+                            imp::end();
+                            Ok(v)
+                        }
+                        Err(HwAbort) => {
+                            // Still transactional: surface the abort as
+                            // EXPLICIT | (0xAB << 24) through _xbegin.
+                            // (A doomed attempt that already aborted
+                            // architecturally never reaches this line —
+                            // execution re-entered _xbegin directly.)
+                            imp::abort_user();
+                            unreachable!("xabort returned inside a transaction")
+                        }
+                    }
+                } else {
+                    Err(HtmAbortInfo {
+                        reason: CpsReason::from_rtm_status(status),
+                        raw_status: status,
+                    })
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            // Unreachable: `active` is never true off x86_64.
+            let _ = f;
+            Err(HtmAbortInfo { reason: CpsReason::Other, raw_status: 0 })
+        }
+    }
+
+    fn hw_available(&self) -> bool {
+        self.active
+    }
+
+    fn sim_schedulable(&self) -> bool {
+        // Real hardware transactions commit invisibly to the simulated
+        // scheduler; nztm-check must never explore this backend.
+        false
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "x86_64-rtm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_agrees_with_std_feature_detection() {
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(rtm_supported(), std::arch::is_x86_feature_detected!("rtm"));
+        #[cfg(not(target_arch = "x86_64"))]
+        assert!(!rtm_supported());
+    }
+
+    #[test]
+    fn status_constants_match_the_architecture() {
+        // The Intel SDM bit assignments for the xbegin abort status
+        // (identical to GCC/Clang's `_XABORT_*` and core::arch's
+        // nightly-only constants of the same names).
+        use crate::cps::rtm_status;
+        assert_eq!(rtm_status::EXPLICIT, 1 << 0);
+        assert_eq!(rtm_status::RETRY, 1 << 1);
+        assert_eq!(rtm_status::CONFLICT, 1 << 2);
+        assert_eq!(rtm_status::CAPACITY, 1 << 3);
+        assert_eq!(rtm_status::DEBUG, 1 << 4);
+        assert_eq!(rtm_status::NESTED, 1 << 5);
+    }
+
+    #[test]
+    fn xtest_reports_transactional_state() {
+        // Outside any transaction (also exercises the no-RTM stub path).
+        assert!(!in_rtm_transaction());
+        if !rtm_supported() {
+            eprintln!("xtest_reports_transactional_state: no RTM, inside-txn check not run");
+            return;
+        }
+        // Inside one (best-effort: tolerate environmental aborts).
+        let htm = NativeHtm::new(NativeHtmPolicy::Auto);
+        for _ in 0..1000 {
+            if let Ok(in_txn) = htm.attempt(|_| Ok(in_rtm_transaction())) {
+                assert!(in_txn, "xtest must report ZF=0 inside a transaction");
+                return;
+            }
+        }
+        panic!("no attempt committed in 1000 tries");
+    }
+
+    #[test]
+    fn force_off_always_falls_back() {
+        let htm = NativeHtm::new(NativeHtmPolicy::ForceOff);
+        assert!(!htm.hw_available());
+        assert!(matches!(htm.decision(), HtmDecision::Fallback(_)));
+        // And the defensive attempt path classifies as Other.
+        let r = htm.attempt(|_| Ok(1u64));
+        assert!(matches!(
+            r,
+            Err(HtmAbortInfo { reason: CpsReason::Other, raw_status: 0 })
+        ));
+    }
+
+    #[test]
+    fn auto_matches_the_probe() {
+        let htm = NativeHtm::new(NativeHtmPolicy::Auto);
+        assert_eq!(htm.hw_available(), rtm_supported());
+        match htm.decision() {
+            HtmDecision::Native => assert!(rtm_supported()),
+            HtmDecision::Fallback(_) => assert!(!rtm_supported()),
+        }
+    }
+
+    #[test]
+    fn force_on_panics_without_rtm() {
+        if rtm_supported() {
+            let htm = NativeHtm::new(NativeHtmPolicy::ForceOn);
+            assert!(htm.hw_available());
+        } else {
+            let r = std::panic::catch_unwind(|| NativeHtm::new(NativeHtmPolicy::ForceOn));
+            assert!(r.is_err(), "ForceOn must refuse to build without RTM");
+        }
+    }
+
+    #[test]
+    fn native_transactions_commit_and_abort() {
+        let htm = NativeHtm::new(NativeHtmPolicy::Auto);
+        if !htm.hw_available() {
+            eprintln!("native_transactions_commit_and_abort: no RTM, exercising fallback path");
+            return;
+        }
+        let word = AtomicU64::new(5);
+        // Commit: the buffered store becomes visible.
+        let mut committed = false;
+        for _ in 0..1000 {
+            let r = htm.attempt(|t| {
+                let v = t.read_word(&word, 0)?;
+                t.buffered_store(&word, 0, v + 1)?;
+                Ok(v)
+            });
+            if let Ok(v) = r {
+                assert_eq!(v, 5);
+                committed = true;
+                break;
+            }
+        }
+        assert!(committed, "an uncontended RTM transaction should commit within 1000 tries");
+        assert_eq!(word.load(Ordering::SeqCst), 6);
+
+        // User abort: the Err channel surfaces EXPLICIT with code 0xAB
+        // and the buffered store rolls back.
+        let mut aborted = false;
+        for _ in 0..1000 {
+            let r: Result<(), HtmAbortInfo> = htm.attempt(|t| {
+                t.buffered_store(&word, 0, 999)?;
+                Err(HwAbort)
+            });
+            match r {
+                Err(info) if info.raw_status & crate::cps::rtm_status::EXPLICIT != 0 => {
+                    assert_eq!(info.reason, CpsReason::Explicit);
+                    assert_eq!(crate::cps::rtm_status::code(info.raw_status), XABORT_USER as u8);
+                    aborted = true;
+                    break;
+                }
+                // Environmental abort before reaching xabort; retry.
+                Err(_) => continue,
+                Ok(()) => unreachable!("body always aborts"),
+            }
+        }
+        assert!(aborted, "xabort should surface as an explicit abort");
+        assert_eq!(word.load(Ordering::SeqCst), 6, "aborted store must roll back");
+
+        // Self-abort: explicit_abort surfaces code 0xCA.
+        let mut self_aborted = false;
+        for _ in 0..1000 {
+            let r: Result<(), HtmAbortInfo> = htm.attempt(|t| Err(t.explicit_abort()));
+            if let Err(info) = r {
+                if info.raw_status & crate::cps::rtm_status::EXPLICIT != 0 {
+                    assert_eq!(
+                        crate::cps::rtm_status::code(info.raw_status),
+                        XABORT_SW_CONFLICT as u8
+                    );
+                    self_aborted = true;
+                    break;
+                }
+            }
+        }
+        assert!(self_aborted, "explicit_abort should surface code 0xCA");
+    }
+}

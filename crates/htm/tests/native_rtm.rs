@@ -1,0 +1,184 @@
+//! The native-HTM battery (`htm-native` feature, `required-features`
+//! gated).
+//!
+//! Runtime-adaptive, never silently skipped: on a host with RTM the
+//! hybrid runs real hardware transactions and must commit some of them;
+//! on a host without RTM the very same battery runs through the
+//! transparent software fallback and must prove the fallback decision
+//! was taken. Either way the decision is logged to stderr so CI
+//! artifacts show which path a run exercised.
+
+use nztm_core::{NativeHtmPolicy, NzBuilder, TmSys};
+use nztm_htm::backend::HtmBackend;
+use nztm_htm::native::{rtm_supported, HtmDecision, NativeHtm};
+use nztm_htm::{HybridConfig, NztmHybrid};
+use nztm_sim::Native;
+use std::sync::Arc;
+
+type NativeHybrid = NztmHybrid<Native, NativeHtm>;
+
+fn build_hybrid(policy: NativeHtmPolicy, threads: usize) -> Arc<NativeHybrid> {
+    let platform = Native::new(threads);
+    platform.register_thread_as(0);
+    let stm = NzBuilder::new(Arc::clone(&platform)).native_htm(policy).build_nzstm();
+    let htm = NativeHtm::new(stm.native_htm_policy());
+    eprintln!(
+        "native_rtm battery: policy {policy:?} -> {} ({} threads)",
+        htm.decision().describe(),
+        threads
+    );
+    NztmHybrid::new(stm, htm, HybridConfig::default())
+}
+
+/// Run `threads × iters` increments of one shared counter and return
+/// the stats. The workload is identical on the native and the fallback
+/// path — only the backend decision differs.
+fn increment_battery(hy: &Arc<NativeHybrid>, threads: usize, iters: u64) -> nztm_core::TmStats {
+    let counter = hy.alloc(0u64);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let hy = Arc::clone(hy);
+            let counter = Arc::clone(&counter);
+            s.spawn(move || {
+                hy.stm().platform().register_thread_as(t);
+                for _ in 0..iters {
+                    hy.execute(|tx| {
+                        let v = NativeHybrid::read(tx, &counter)?;
+                        NativeHybrid::write(tx, &counter, &(v + 1))
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(counter.read_untracked(), threads as u64 * iters, "conservation");
+    hy.stats_snapshot()
+}
+
+#[test]
+fn auto_policy_battery_native_or_fallback() {
+    let threads = 4;
+    let hy = build_hybrid(NativeHtmPolicy::Auto, threads);
+    let native = hy.htm().hw_available();
+    let st = increment_battery(&hy, threads, 500);
+    let total = threads as u64 * 500;
+    assert_eq!(st.commits, total, "{st:?}");
+    if native {
+        assert!(rtm_supported());
+        // Real silicon: some transactions must land on the hardware
+        // path (uncontended increments essentially always do).
+        assert!(st.htm_commits > 0, "RTM host but zero hw commits: {st:?}");
+        eprintln!(
+            "native path: {}/{} hw commits ({} conflict / {} capacity / {} explicit / {} other aborts, {} fallbacks)",
+            st.htm_commits, total, st.htm_conflict_aborts, st.htm_capacity_aborts,
+            st.htm_explicit_aborts, st.htm_other_aborts, st.fallbacks
+        );
+    } else {
+        assert!(!rtm_supported(), "fallback decision on an RTM-capable host");
+        assert!(matches!(hy.htm().decision(), HtmDecision::Fallback(_)));
+        // The fallback is transparent: zero hardware activity, zero
+        // "fallbacks" (nothing fell — software is the primary path).
+        assert_eq!(st.htm_commits, 0, "{st:?}");
+        assert_eq!(st.htm_aborts, 0, "{st:?}");
+        assert_eq!(st.fallbacks, 0, "{st:?}");
+        eprintln!("fallback path proved: all {total} commits software, zero hw attempts");
+    }
+}
+
+#[test]
+fn force_off_is_all_software_even_on_rtm_hosts() {
+    let threads = 2;
+    let hy = build_hybrid(NativeHtmPolicy::ForceOff, threads);
+    assert!(!hy.htm().hw_available());
+    let st = increment_battery(&hy, threads, 300);
+    assert_eq!(st.commits, 600, "{st:?}");
+    assert_eq!(st.htm_commits, 0, "{st:?}");
+    assert_eq!(st.htm_aborts, 0, "{st:?}");
+    assert_eq!(st.fallbacks, 0, "{st:?}");
+}
+
+#[test]
+fn force_off_matches_plain_software_engine() {
+    // Conformance: the hybrid with the native path forced off must
+    // produce the same final state and the same commit count as the
+    // bare software engine on the same workload — the fallback is the
+    // unmodified NZSTM, not a third algorithm.
+    let threads = 2;
+    let iters = 250u64;
+
+    let hy = build_hybrid(NativeHtmPolicy::ForceOff, threads);
+    let hy_st = increment_battery(&hy, threads, iters);
+
+    let platform = Native::new(threads);
+    platform.register_thread_as(0);
+    let stm = NzBuilder::new(Arc::clone(&platform)).build_nzstm();
+    let counter = stm.new_obj(0u64);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let stm = Arc::clone(&stm);
+            let counter = Arc::clone(&counter);
+            let platform = Arc::clone(&platform);
+            s.spawn(move || {
+                platform.register_thread_as(t);
+                for _ in 0..iters {
+                    stm.run(|tx| {
+                        let v = tx.read(&counter)?;
+                        tx.write(&counter, &(v + 1))
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(counter.read_untracked(), threads as u64 * iters);
+    let sw_st = stm.stats_snapshot();
+
+    assert_eq!(hy_st.commits, sw_st.commits);
+    assert_eq!(hy_st.htm_commits, 0);
+    assert_eq!(hy_st.fallbacks, 0);
+}
+
+#[test]
+fn capacity_pressure_falls_back_and_classifies() {
+    let hy = build_hybrid(NativeHtmPolicy::Auto, 1);
+    if !hy.htm().hw_available() {
+        eprintln!("capacity_pressure: no RTM, fallback-only host — nothing to classify");
+        return;
+    }
+    // One transaction touching far more lines than any L1 can buffer:
+    // the hardware attempt must die with CAPACITY (or an environmental
+    // abort) and the software path must complete it.
+    let objs: Vec<_> = (0..8192).map(|i| hy.alloc(i as u64)).collect();
+    hy.execute(|tx| {
+        for o in objs.iter() {
+            let v = NativeHybrid::read(tx, o)?;
+            NativeHybrid::write(tx, o, &(v + 1))?;
+        }
+        Ok(())
+    });
+    assert_eq!(objs[8191].read_untracked(), 8192);
+    let st = hy.stats_snapshot();
+    assert_eq!(st.commits, 1, "{st:?}");
+    assert!(st.fallbacks >= 1, "oversized txn must fall back: {st:?}");
+    assert!(st.htm_aborts >= 1, "{st:?}");
+    eprintln!(
+        "capacity pressure: {} hw aborts ({} capacity / {} conflict / {} explicit / {} other)",
+        st.htm_aborts, st.htm_capacity_aborts, st.htm_conflict_aborts, st.htm_explicit_aborts,
+        st.htm_other_aborts
+    );
+}
+
+#[test]
+fn contended_counter_is_conserved_under_native_htm() {
+    // The §2.4 mixed-mode safety property on real silicon: heavy
+    // same-word contention, every increment must survive whichever
+    // path (hw or sw) commits it.
+    let threads = 8;
+    let hy = build_hybrid(NativeHtmPolicy::Auto, threads);
+    let st = increment_battery(&hy, threads, 1000);
+    assert_eq!(st.commits, 8000, "{st:?}");
+    if hy.htm().hw_available() {
+        eprintln!(
+            "contended: {} hw commits, {} fallbacks, {} hw aborts",
+            st.htm_commits, st.fallbacks, st.htm_aborts
+        );
+    }
+}

@@ -38,7 +38,8 @@
 
 use crate::cm::{ContentionManager, KarmaDeadlock};
 use crate::engine::{
-    Blocking, ModePolicy, Nonblocking, NorecMode, NzConfig, NzStm, ReadMode, ScssMode,
+    Blocking, ModePolicy, NativeHtmPolicy, Nonblocking, NorecMode, NzConfig, NzStm, ReadMode,
+    ScssMode,
 };
 use nztm_sim::Platform;
 use std::sync::Arc;
@@ -270,6 +271,15 @@ impl<P: Platform> NzBuilder<P> {
     /// `.cm(Arc::new(Adaptive::new(cfg)))`.
     pub fn adaptive_cm(self, cfg: crate::cm::AdaptiveConfig) -> Self {
         self.cm(Arc::new(crate::cm::Adaptive::new(cfg)))
+    }
+
+    /// Native-HTM policy for a hybrid assembled over the built engine
+    /// (`nztm-htm` consults it when selecting between the simulated
+    /// ATMTP model and the arch-native RTM backend; the software engine
+    /// itself ignores it). Default: [`NativeHtmPolicy::Auto`].
+    pub fn native_htm(mut self, policy: NativeHtmPolicy) -> Self {
+        self.cfg.native_htm = policy;
+        self
     }
 
     /// Arm the flight recorder from construction (no effect unless the

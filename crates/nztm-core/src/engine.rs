@@ -177,6 +177,28 @@ pub enum ReadMode {
     Invisible,
 }
 
+/// Whether a hybrid built over this engine may use the arch-native
+/// hardware-transaction path (`nztm-htm`'s `htm-native` feature).
+///
+/// Lives here — not in the htm crate — so [`NzConfig`]/`NzBuilder` can
+/// carry the knob without a dependency cycle; the engine itself never
+/// reads it. The htm crate's backend selection consults it together
+/// with the runtime CPUID probe.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NativeHtmPolicy {
+    /// Use native RTM when the build has it (`htm-native`) and the host
+    /// CPU supports it; otherwise fall back to the simulated model.
+    #[default]
+    Auto,
+    /// Never issue native hardware transactions, even on capable hosts
+    /// — the hybrid behaves bit-identically to the simulated build.
+    ForceOff,
+    /// Require the native path: backend selection panics when the build
+    /// or the host cannot provide RTM (CI probes use this to make
+    /// silent fallback impossible).
+    ForceOn,
+}
+
 /// Flight-recorder knobs (see [`crate::trace`]). The struct is always
 /// present so configurations are feature-independent; without the `trace`
 /// cargo feature it is inert (the hooks are compiled out).
@@ -218,6 +240,9 @@ pub struct NzConfig {
     pub colocate_backup: bool,
     /// Flight-recorder configuration (inert without the `trace` feature).
     pub trace: TraceConfig,
+    /// Native-HTM policy for hybrids assembled over this engine (the
+    /// engine itself ignores it; see [`NativeHtmPolicy`]).
+    pub native_htm: NativeHtmPolicy,
     /// TEST-ONLY fault injection (`sanitize` builds): requesters force
     /// the victim's `Status = Aborted` instead of waiting for the
     /// acknowledgement — the §2.2 handshake violation the sanitizer
@@ -235,6 +260,7 @@ impl Default for NzConfig {
             topology: crate::topology::TopologyPolicy::Flat,
             colocate_backup: false,
             trace: TraceConfig::default(),
+            native_htm: NativeHtmPolicy::default(),
             #[cfg(feature = "sanitize")]
             inject_handshake_bug: false,
         }
@@ -566,6 +592,12 @@ impl<P: Platform, M: ModePolicy> NzStm<P, M> {
     /// The configured read-tracking mode.
     pub fn read_mode(&self) -> ReadMode {
         self.cfg.read_mode
+    }
+
+    /// The native-HTM policy a hybrid assembled over this engine should
+    /// honor (see [`NativeHtmPolicy`]; the engine itself never reads it).
+    pub fn native_htm_policy(&self) -> NativeHtmPolicy {
+        self.cfg.native_htm
     }
 
     /// Allocate a transactional object under this engine's layout.

@@ -82,8 +82,8 @@ pub use algo::{BackupPolicy, CommitProtocol, Composition, LogRepr, ReadStrategy}
 pub use builder::{Algo, BackendKind, BuildError, NzBuilder};
 pub use data::{FieldWord, TmData, WordArray};
 pub use engine::{
-    Blocking, ModePolicy, Nonblocking, NorecMode, NzConfig, NzStm, NzTx, ReadMode, ScssMode,
-    TraceConfig,
+    Blocking, ModePolicy, NativeHtmPolicy, Nonblocking, NorecMode, NzConfig, NzStm, NzTx,
+    ReadMode, ScssMode, TraceConfig,
 };
 pub use object::{NZObject, NzObjAny, WordBuf};
 pub use readers::{ReaderIndicator, ReaderVisit};

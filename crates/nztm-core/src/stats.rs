@@ -84,7 +84,11 @@ pub struct TmStats {
     pub htm_conflict_aborts: u64,
     /// Hardware aborts attributed to capacity/resource exhaustion (CPS).
     pub htm_capacity_aborts: u64,
-    /// Hardware aborts for other reasons (TLB miss, interrupt, explicit).
+    /// Hardware aborts the transaction requested itself (§2.4's
+    /// self-abort on observing a live software transaction; `xabort` on
+    /// the native RTM path).
+    pub htm_explicit_aborts: u64,
+    /// Hardware aborts for other reasons (TLB miss, interrupt, ...).
     pub htm_other_aborts: u64,
     /// Transactions that fell back to the software path.
     pub fallbacks: u64,
@@ -183,6 +187,7 @@ impl TmStats {
             htm_aborts,
             htm_conflict_aborts,
             htm_capacity_aborts,
+            htm_explicit_aborts,
             htm_other_aborts,
             fallbacks,
             cm_escalations,
@@ -259,6 +264,7 @@ macro_rules! for_each_stat {
             htm_aborts,
             htm_conflict_aborts,
             htm_capacity_aborts,
+            htm_explicit_aborts,
             htm_other_aborts,
             fallbacks,
             cm_escalations,
@@ -302,6 +308,7 @@ pub struct ThreadStats {
     pub htm_aborts: Counter,
     pub htm_conflict_aborts: Counter,
     pub htm_capacity_aborts: Counter,
+    pub htm_explicit_aborts: Counter,
     pub htm_other_aborts: Counter,
     pub fallbacks: Counter,
     pub cm_escalations: Counter,

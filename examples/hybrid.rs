@@ -38,12 +38,13 @@ fn build(cores: usize, store_buffer: usize) -> (Arc<Machine>, Arc<NztmHybrid>) {
 fn report(label: &str, hy: &NztmHybrid, cycles: u64) {
     let st = hy.stats_snapshot();
     println!(
-        "{label:<28} cycles={cycles:<11} commits={:<6} hw-share={:>5.1}%  hw-aborts={} (conflict {} / capacity {} / other {})  fallbacks={}",
+        "{label:<28} cycles={cycles:<11} commits={:<6} hw-share={:>5.1}%  hw-aborts={} (conflict {} / capacity {} / explicit {} / other {})  fallbacks={}",
         st.commits,
         st.htm_commit_share() * 100.0,
         st.htm_aborts,
         st.htm_conflict_aborts,
         st.htm_capacity_aborts,
+        st.htm_explicit_aborts,
         st.htm_other_aborts,
         st.fallbacks,
     );
